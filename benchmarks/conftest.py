@@ -1,0 +1,28 @@
+"""Benchmark-suite plumbing.
+
+Every benchmark runs its experiment exactly once (``pedantic`` with one
+round — training a DQN is the workload, repetition adds nothing), asserts
+the paper-shaped outcome, and records the rendered table/series under
+``benchmarks/results/`` so EXPERIMENTS.md can be regenerated from a run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory collecting the rendered output of each experiment."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def record(results_dir: Path, experiment_id: str, text: str) -> None:
+    """Write one experiment's rendered output to the results directory."""
+    (results_dir / f"{experiment_id}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")

@@ -1,0 +1,41 @@
+"""E10 — extensions study: vanilla DQN vs extended DQN vs MPC.
+
+Beyond the paper's evaluation: positions the DAC'17 controller against
+(a) its post-paper DQN refinements (dueling heads, prioritized replay,
+Polyak targets) and (b) the classical model-based alternative —
+receding-horizon MPC planning with the true model and with a model
+identified from operational data (``repro.sysid``).
+
+Shape assertions: MPC with the true model is a strong reference that
+beats the thermostat; the identified-model MPC lands close to it
+(system identification works); both DQN variants stay in the same
+league without needing any model.
+"""
+
+from benchmarks.conftest import record
+from repro.eval.experiments import FAST, e10_extensions_and_mpc
+
+
+def test_e10_extensions_and_mpc(benchmark, results_dir):
+    result = benchmark.pedantic(
+        e10_extensions_and_mpc, args=(FAST,), rounds=1, iterations=1
+    )
+    record(results_dir, "e10", result.render())
+
+    table = result.table
+    thermo = table.row("thermostat")
+    dqn = table.row("drl_dqn")
+    ext = table.row("drl_dqn_extended")
+    mpc_true = table.row("mpc_true_model")
+    mpc_fit = table.row("mpc_fitted_model")
+
+    # The true-model planner is a genuine reference: beats the thermostat.
+    assert mpc_true.episode_return > thermo.episode_return, table.render()
+    # System identification is good enough to plan with.
+    assert mpc_fit.episode_return > mpc_true.episode_return - 5.0, table.render()
+    # Model-free DRL plays in the same league without any model.
+    assert dqn.episode_return > mpc_true.episode_return - 10.0, table.render()
+    assert ext.episode_return > mpc_true.episode_return - 10.0, table.render()
+    # Everyone keeps comfort.
+    for row in table.rows:
+        assert row.violation_rate < 0.10, table.render()

@@ -1,0 +1,34 @@
+"""E11 — robustness: out-of-distribution heat wave (beyond the paper).
+
+The DQN is trained on typical synthetic summer weather and evaluated on
+a week containing a multi-day +6 °C heat wave it never saw.  A deployed
+controller must not trade its training-distribution savings for comfort
+collapse under extremes.
+
+Shape assertions: the DQN keeps the comfort band essentially intact
+through the wave and remains cost-competitive with the (inherently
+robust) thermostat; random control collapses as always.
+"""
+
+from benchmarks.conftest import record
+from repro.eval.experiments import FAST, e11_heat_wave_robustness
+
+
+def test_e11_heat_wave_robustness(benchmark, results_dir):
+    result = benchmark.pedantic(
+        e11_heat_wave_robustness, args=(FAST,), rounds=1, iterations=1
+    )
+    record(results_dir, "e11", result.render())
+
+    table = result.table
+    drl = table.row("drl_dqn")
+    thermo = table.row("thermostat")
+    rand = table.row("random")
+
+    # Comfort holds through the unseen heat wave.
+    assert drl.violation_rate < 0.10, table.render()
+    assert drl.violation_deg_hours < 0.05 * max(rand.violation_deg_hours, 1.0)
+    # Still cost-competitive with the reactive thermostat under the wave.
+    assert drl.cost_usd < 1.10 * thermo.cost_usd, table.render()
+    # And far better than the floor on overall objective.
+    assert drl.episode_return > rand.episode_return + 100.0

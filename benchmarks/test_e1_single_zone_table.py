@@ -1,0 +1,34 @@
+"""E1 — Table I shape: single-zone energy cost & comfort comparison.
+
+Regenerates the paper's headline table: the DRL controller vs the
+rule-based thermostat, tabular Q-learning, PID, and random, over a
+simulated summer week under a time-of-use tariff.
+
+Paper-shape assertions: DRL saves energy cost vs the thermostat while
+keeping the occupied comfort-violation rate small; random is
+catastrophically worse on comfort.
+"""
+
+from benchmarks.conftest import record
+from repro.eval.experiments import FAST, e1_single_zone_table
+
+
+def test_e1_single_zone_table(benchmark, results_dir):
+    result = benchmark.pedantic(
+        e1_single_zone_table, args=(FAST,), rounds=1, iterations=1
+    )
+    record(results_dir, "e1", result.render())
+
+    table = result.table
+    drl = table.row("drl_dqn")
+    thermo = table.row("thermostat")
+    rand = table.row("random")
+
+    # Who wins: DRL cuts cost relative to the rule-based baseline.
+    assert drl.cost_usd < thermo.cost_usd, table.render()
+    # ... without giving up comfort (small occupied violation rate).
+    assert drl.violation_rate < 0.10, table.render()
+    # Sanity floor: random control destroys comfort.
+    assert rand.violation_deg_hours > 10 * max(drl.violation_deg_hours, 0.1)
+    # The return ordering the reward was designed for.
+    assert drl.episode_return > rand.episode_return

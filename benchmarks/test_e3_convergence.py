@@ -1,0 +1,23 @@
+"""E3 — figure shape: DQN training convergence.
+
+Regenerates the training-curve figure: per-episode return and its moving
+average over the training run.
+
+Shape assertions: returns improve substantially from the exploration
+phase to the converged phase, and the final moving average is within the
+plausible band of a trained controller (not the random-policy floor).
+"""
+
+from benchmarks.conftest import record
+from repro.eval.experiments import FAST, e3_convergence
+
+
+def test_e3_convergence(benchmark, results_dir):
+    result = benchmark.pedantic(e3_convergence, args=(FAST,), rounds=1, iterations=1)
+    record(results_dir, "e3", result.render())
+
+    assert len(result.episode_returns) == FAST.train_episodes
+    # Learning direction: the last tenth of training clearly beats the first.
+    assert result.improvement() > 5.0, result.render()
+    # Converged daily return is far above the random-policy floor (~-100).
+    assert result.moving_average[-1] > -20.0, result.render()

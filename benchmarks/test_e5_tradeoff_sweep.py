@@ -1,0 +1,31 @@
+"""E5 — figure shape: energy-cost vs comfort trade-off over λ.
+
+Regenerates the sensitivity figure sweeping the comfort penalty weight:
+small λ lets the controller sacrifice comfort for cost; large λ buys
+comfort with energy.
+
+Shape assertions: comfort violations are (weakly) decreasing in λ across
+the sweep endpoints, and the cheapest-cost policy sits at the smallest λ.
+"""
+
+from benchmarks.conftest import record
+from repro.eval.experiments import FAST, e5_tradeoff_sweep
+
+LAMBDAS = (0.5, 1.0, 4.0, 10.0)
+
+
+def test_e5_tradeoff_sweep(benchmark, results_dir):
+    result = benchmark.pedantic(
+        e5_tradeoff_sweep, args=(FAST, LAMBDAS), rounds=1, iterations=1
+    )
+    record(results_dir, "e5", result.render())
+
+    viols = result.column("violation_deg_hours")
+    costs = result.column("cost_usd")
+
+    # Crossover shape: comfort improves decisively from λ=0.5 to λ=10.
+    assert viols[-1] < viols[0], result.render()
+    # At the strict end the controller is essentially comfort-clean.
+    assert viols[-1] < 2.0, result.render()
+    # Loose comfort is the cheap end of the frontier.
+    assert costs[0] == min(costs) or costs[0] < 1.1 * min(costs), result.render()

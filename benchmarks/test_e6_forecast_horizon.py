@@ -1,0 +1,31 @@
+"""E6 — figure shape: value of weather forecasts in the DRL state.
+
+The paper augments the state with short-horizon weather forecasts; this
+ablation trains agents with horizon 0 (no forecast) and horizon 3 (the
+default) and compares evaluation returns.
+
+Shape assertion: forecast augmentation does not hurt, and the
+forecast-equipped agent achieves at least comparable return (the benefit
+is modest on this substrate — documented in EXPERIMENTS.md).
+"""
+
+from benchmarks.conftest import record
+from repro.eval.experiments import FAST, e6_forecast_horizon
+
+HORIZONS = (0, 3)
+
+
+def test_e6_forecast_horizon(benchmark, results_dir):
+    result = benchmark.pedantic(
+        e6_forecast_horizon, args=(FAST, HORIZONS), rounds=1, iterations=1
+    )
+    record(results_dir, "e6", result.render())
+
+    returns = result.column("return")
+    viols = result.column("violation_deg_hours")
+
+    # Both agents must be trained controllers, not noise.
+    assert all(r > -60.0 for r in returns), result.render()
+    assert all(v < 10.0 for v in viols), result.render()
+    # Forecast state is at worst neutral (within a small tolerance band).
+    assert returns[1] > returns[0] - 5.0, result.render()

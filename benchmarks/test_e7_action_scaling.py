@@ -1,0 +1,31 @@
+"""E7 — the scaling heuristic: joint vs factored multi-zone action spaces.
+
+Quantifies the paper's multi-zone design choice: a joint Q-network needs
+``levels**zones`` outputs while the factored agent needs ``levels*zones``;
+on the 2-zone building (where joint is still tractable) the factored
+agent's return must be competitive with the joint agent's.
+"""
+
+from benchmarks.conftest import record
+from repro.eval.experiments import FAST, e7_action_scaling
+
+ZONES = (1, 2, 4)
+
+
+def test_e7_action_scaling(benchmark, results_dir):
+    result = benchmark.pedantic(
+        e7_action_scaling, args=(FAST, ZONES), rounds=1, iterations=1
+    )
+    record(results_dir, "e7", result.render())
+
+    joint = result.column("joint_actions")
+    factored = result.column("factored_outputs")
+
+    # The exponential vs linear scaling the heuristic exists for.
+    assert joint == [4.0, 16.0, 256.0]
+    assert factored == [4.0, 8.0, 16.0]
+
+    # On the 2-zone case both were trained: factored must be competitive.
+    two_zone = result.rows[1]
+    assert "joint_return" in two_zone and "factored_return" in two_zone
+    assert two_zone["factored_return"] > two_zone["joint_return"] - 10.0, result.render()

@@ -1,0 +1,31 @@
+"""E8 — ablation of the DQN stabilizers (replay / target net / double).
+
+The DAC'17 controller inherits experience replay and target networks from
+Mnih et al.; this ablation trains the full agent and three crippled
+variants under identical budgets.
+
+Shape assertions: every variant still controls the building (the task is
+forgiving), but the full agent is not beaten by a wide margin by any
+ablation, and the no-replay variant — the classically unstable one — does
+not outperform the full agent.
+"""
+
+from benchmarks.conftest import record
+from repro.eval.experiments import FAST, e8_dqn_ablation
+
+
+def test_e8_dqn_ablation(benchmark, results_dir):
+    result = benchmark.pedantic(e8_dqn_ablation, args=(FAST,), rounds=1, iterations=1)
+    record(results_dir, "e8", result.render())
+
+    by_name = {row["_name"]: row for row in result.rows}
+    full = by_name["full"]
+
+    # All variants produce usable controllers on this forgiving task.
+    for name, row in by_name.items():
+        assert row["return"] > -60.0, f"{name}: {result.render()}"
+    # The full agent is at worst marginally behind any ablation...
+    for name in ("no_double", "no_target", "no_replay"):
+        assert full["return"] > by_name[name]["return"] - 10.0, result.render()
+    # ...and no-replay does not win outright.
+    assert by_name["no_replay"]["return"] < full["return"] + 5.0, result.render()

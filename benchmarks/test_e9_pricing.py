@@ -1,0 +1,33 @@
+"""E9 — demand-response scenario: DRL savings under different tariffs.
+
+The paper's smart-grid motivation: price-aware control matters more the
+more time-varying the price is.  Trains a DQN per tariff (flat,
+time-of-use, TOU + demand-response events) and compares cost against the
+price-blind thermostat under each.
+
+Shape assertions: the DRL saving relative to the thermostat is larger
+under time-varying pricing than under the flat tariff, and everyone's
+absolute cost rises when DR events multiply peak prices.
+"""
+
+from benchmarks.conftest import record
+from repro.eval.experiments import FAST, e9_pricing
+
+
+def test_e9_pricing(benchmark, results_dir):
+    result = benchmark.pedantic(e9_pricing, args=(FAST,), rounds=1, iterations=1)
+    record(results_dir, "e9", result.render())
+
+    by_name = {row["_name"]: row for row in result.rows}
+    flat, tou, dr = by_name["flat"], by_name["tou"], by_name["dr_event"]
+
+    # Time-varying prices open the load-shifting opportunity: DRL's
+    # saving under TOU/DR beats its saving under flat pricing.
+    assert max(tou["saving_pct"], dr["saving_pct"]) > flat["saving_pct"], (
+        result.render()
+    )
+    # DR events make the thermostat's bill strictly worse than plain TOU.
+    assert dr["thermostat_cost_usd"] > tou["thermostat_cost_usd"], result.render()
+    # DRL keeps comfort under every tariff.
+    for row in result.rows:
+        assert row["drl_violation_deg_hours"] < 5.0, result.render()

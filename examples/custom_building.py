@@ -1,0 +1,99 @@
+"""Custom building walkthrough: define your own zones, plant, and tariff.
+
+Shows the full configuration surface of the library by assembling a
+two-zone lab building from scratch — a server room with constant internal
+load and a daytime office — with asymmetric VAV sizing and a custom
+comfort band, then running the model-based lookahead reference and the
+thermostat on it (no training required, runs in seconds).
+
+Run:  python examples/custom_building.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import LookaheadController, ThermostatController
+from repro.building import Building, ConstantSchedule, OfficeSchedule, ZoneConfig
+from repro.env import ComfortBand, HVACEnv, HVACEnvConfig
+from repro.eval import ComparisonRow, ComparisonTable, evaluate_controller
+from repro.hvac import TimeOfUseTariff, VAVConfig
+from repro.weather import SyntheticWeatherConfig, generate_weather
+
+
+def build_lab() -> Building:
+    """A 60 m² server room coupled to a 120 m² office."""
+    server_room = ZoneConfig(
+        name="server_room",
+        capacitance_j_per_k=2.0e6,
+        ua_ambient_w_per_k=60.0,
+        solar_aperture_m2=0.0,  # windowless
+        floor_area_m2=60.0,
+    )
+    office = ZoneConfig(
+        name="office",
+        capacitance_j_per_k=4.0e6,
+        ua_ambient_w_per_k=150.0,
+        solar_aperture_m2=4.0,
+        floor_area_m2=120.0,
+    )
+    partition = np.array([[0.0, 70.0], [70.0, 0.0]])
+    schedules = [
+        ConstantSchedule(gains=60.0),  # racks: 60 W/m2, 24/7, always "occupied"
+        OfficeSchedule(),
+    ]
+    return Building([server_room, office], partition, schedules)
+
+
+def main() -> None:
+    weather = generate_weather(
+        SyntheticWeatherConfig(), start_day_of_year=213, n_days=4, rng=0
+    )
+    env = HVACEnv(
+        build_lab(),
+        weather,
+        vav=VAVConfig(
+            flow_levels_kg_s=(0.0, 0.2, 0.4, 0.6, 0.8),  # oversized for the racks
+            supply_temp_c=13.0,
+            cop=3.5,
+        ),
+        tariff=TimeOfUseTariff(peak_per_kwh=0.35),
+        comfort=ComfortBand(
+            occupied_low_c=18.0,  # servers tolerate cool air
+            occupied_high_c=27.0,
+            setback_low_c=15.0,
+            setback_high_c=32.0,
+        ),
+        config=HVACEnvConfig(
+            episode_days=3.0, comfort_weight=4.0, initial_temp_noise_c=0.0
+        ),
+        rng=0,
+    )
+
+    print("zones:", env.building.zone_names)
+    print("observation channels:", env.obs_names)
+    print("action space:", env.action_space)
+
+    table = ComparisonTable(baseline_name="thermostat")
+    table.add(
+        ComparisonRow.from_metrics(
+            "thermostat",
+            evaluate_controller(env, ThermostatController(env, setpoint_c=25.0)),
+        )
+    )
+    table.add(
+        ComparisonRow.from_metrics(
+            "lookahead_oracle",
+            evaluate_controller(env, LookaheadController(env)),
+        )
+    )
+    print()
+    print(table.render())
+    print(
+        "\nThe myopic oracle uses the true model one step ahead; training a "
+        "DQN on this building (see quickstart.py) closes the gap without a model."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Quickstart: train a DQN HVAC controller and compare it to a thermostat.
+
+This is the minimal end-to-end use of the library:
+
+1. generate synthetic summer weather (the TMY3 substitute),
+2. build the single-zone office and wrap it in the HVAC MDP,
+3. train the paper's DQN controller,
+4. evaluate it against the rule-based thermostat on held-out weather.
+
+Run:  python examples/quickstart.py  [--episodes N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.baselines import ThermostatController
+from repro.building import single_zone_building
+from repro.core import DQNAgent, DQNConfig, Trainer, TrainerConfig
+from repro.env import HVACEnv, HVACEnvConfig
+from repro.eval import ComparisonRow, ComparisonTable, evaluate_controller
+from repro.weather import SyntheticWeatherConfig, generate_weather
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--episodes", type=int, default=120, help="training episodes")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    # 1. Weather: one month for training, a held-out week for evaluation.
+    climate = SyntheticWeatherConfig()
+    train_weather = generate_weather(
+        climate, start_day_of_year=200, n_days=30, rng=args.seed + 1
+    )
+    eval_weather = generate_weather(
+        climate, start_day_of_year=213, n_days=8, rng=args.seed + 2
+    )
+
+    # 2. The MDP: 1-day training episodes starting on random days.
+    train_env = HVACEnv(
+        single_zone_building(),
+        train_weather,
+        config=HVACEnvConfig(
+            episode_days=1.0, randomize_start_day=True, comfort_weight=4.0
+        ),
+        rng=args.seed,
+    )
+
+    # 3. Train the DQN controller.
+    agent = DQNAgent(
+        train_env.obs_dim,
+        train_env.action_space,
+        config=DQNConfig(epsilon_decay_steps=50 * args.episodes, learn_start=200),
+        rng=args.seed,
+    )
+    print(f"training DQN for {args.episodes} episodes ...")
+    log = Trainer(
+        train_env, agent, config=TrainerConfig(n_episodes=args.episodes)
+    ).train()
+    returns = log.series("episode_return")
+    print(f"  first episodes mean return: {sum(returns[:5]) / 5:8.2f}")
+    print(f"  last episodes mean return:  {sum(returns[-5:]) / 5:8.2f}")
+
+    # 4. Head-to-head on a held-out week.
+    eval_env = HVACEnv(
+        single_zone_building(),
+        eval_weather,
+        config=HVACEnvConfig(
+            episode_days=7.0, initial_temp_noise_c=0.0, comfort_weight=4.0
+        ),
+        rng=args.seed + 3,
+    )
+    table = ComparisonTable(baseline_name="thermostat")
+    table.add(
+        ComparisonRow.from_metrics(
+            "thermostat",
+            evaluate_controller(eval_env, ThermostatController(eval_env)),
+        )
+    )
+    table.add(ComparisonRow.from_metrics("drl_dqn", evaluate_controller(eval_env, agent)))
+    print()
+    print(table.render())
+    saving = table.cost_saving_pct("drl_dqn")
+    print(f"\nDRL energy-cost saving vs thermostat: {saving:+.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim for offline editable installs.
+
+The execution environment has no ``wheel`` package, so PEP 517 editable
+installs fail; this file enables the legacy ``pip install -e . --no-use-pep517``
+path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""repro — reproduction of "Deep Reinforcement Learning for Building HVAC
+Control" (DAC 2017).
+
+The package is organized as the paper's system plus every substrate it
+depends on, all implemented from scratch:
+
+* :mod:`repro.core` — the deep-RL controller (DQN, factored multi-zone
+  variant, trainer) — the paper's contribution.
+* :mod:`repro.building` / :mod:`repro.hvac` / :mod:`repro.weather` — the
+  EnergyPlus/TMY3 substitute: RC thermal network, VAV plant, tariffs,
+  synthetic weather with forecasts.
+* :mod:`repro.env` — the gym-like MDP formulation.
+* :mod:`repro.baselines` — thermostat, PID, tabular Q-learning, random,
+  and a model-based lookahead reference.
+* :mod:`repro.eval` — metrics, runners, comparison tables, reporting.
+* :mod:`repro.nn` — the NumPy deep-learning substrate.
+
+Quickstart::
+
+    from repro.building import single_zone_building
+    from repro.weather import SyntheticWeatherConfig, generate_weather
+    from repro.env import HVACEnv, HVACEnvConfig
+    from repro.core import DQNAgent, Trainer
+
+    weather = generate_weather(
+        SyntheticWeatherConfig(), start_day_of_year=213, n_days=30, rng=0)
+    env = HVACEnv(single_zone_building(), weather,
+                  config=HVACEnvConfig(randomize_start_day=True), rng=0)
+    agent = DQNAgent(env.obs_dim, env.action_space, rng=0)
+    Trainer(env, agent).train()
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "building",
+    "baselines",
+    "core",
+    "env",
+    "eval",
+    "hvac",
+    "nn",
+    "utils",
+    "weather",
+]

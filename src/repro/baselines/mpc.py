@@ -1,0 +1,153 @@
+"""Receding-horizon MPC baseline over an identified (or true) zone model.
+
+The classical model-based alternative to the paper's model-free DRL: at
+each control step, enumerate airflow-level sequences over a short
+horizon, roll each out through the zone model against the weather
+forecast, score total (cost + comfort penalty) exactly as the
+environment's reward does, apply the first action of the best sequence,
+and re-plan.
+
+Single-zone only: an exhaustive ``levels**horizon`` search is the honest
+textbook formulation, and its exponential blow-up in zones is precisely
+why the multi-zone story needs either factorization or model-free RL.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Optional
+
+import numpy as np
+
+from repro.core.agent import AgentBase
+from repro.env.core import Env
+from repro.env.hvac_env import HVACEnv
+from repro.sysid.fit import FirstOrderZoneModel
+from repro.utils.validation import check_positive
+
+
+class MPCController(AgentBase):
+    """Exhaustive receding-horizon planner for single-zone buildings.
+
+    Parameters
+    ----------
+    env:
+        The environment to control (single-zone ``HVACEnv``).
+    model:
+        An identified :class:`FirstOrderZoneModel`.  ``None`` plans with
+        a model fitted implicitly from the true building parameters —
+        the "perfect model" MPC reference.
+    horizon:
+        Planning horizon in control steps; the search enumerates
+        ``n_levels**horizon`` sequences, so keep it modest (4 by default
+        = 256 rollouts per step with a 4-level VAV).
+    """
+
+    def __init__(
+        self,
+        env: Env,
+        *,
+        model: Optional[FirstOrderZoneModel] = None,
+        horizon: int = 4,
+        max_sequences: int = 100_000,
+    ) -> None:
+        check_positive("horizon", horizon)
+        inner = env.unwrapped()
+        if not isinstance(inner, HVACEnv):
+            raise TypeError(
+                f"MPCController requires an HVACEnv, got {type(inner).__name__}"
+            )
+        if inner.building.n_zones != 1:
+            raise ValueError(
+                "MPCController supports single-zone buildings only "
+                f"(got {inner.building.n_zones} zones); the exponential search "
+                "is exactly what breaks in multi-zone — use the factored DRL agent"
+            )
+        self.env = inner
+        self.horizon = int(horizon)
+        n_levels = int(inner.action_space.nvec[0])
+        if n_levels**self.horizon > max_sequences:
+            raise ValueError(
+                f"{n_levels}**{self.horizon} sequences exceed limit {max_sequences}"
+            )
+        self.model = model if model is not None else self._true_model(inner)
+        self._sequences = list(product(range(n_levels), repeat=self.horizon))
+
+    @staticmethod
+    def _true_model(env: HVACEnv) -> FirstOrderZoneModel:
+        """Build the oracle model straight from the true zone parameters."""
+        zone = env.building.zones[0]
+        schedule = env.building.schedules[0]
+        # Probe the schedule at canonical occupied/unoccupied times.
+        occupied_gain = schedule.gains_w_per_m2(1, 12.0) * zone.floor_area_m2
+        base_gain = schedule.gains_w_per_m2(1, 2.0) * zone.floor_area_m2
+        return FirstOrderZoneModel(
+            capacitance_j_per_k=zone.capacitance_j_per_k,
+            ua_w_per_k=zone.ua_ambient_w_per_k,
+            solar_aperture_m2=zone.solar_aperture_m2,
+            gains_occupied_w=occupied_gain,
+            gains_base_w=base_gain,
+            dt_seconds=env.weather.dt_seconds,
+            residual_rmse_c=0.0,
+        )
+
+    # ------------------------------------------------------------- planning
+    def _plan_inputs(self) -> dict:
+        """Gather the weather/occupancy/price lookahead for the horizon."""
+        env = self.env
+        idx = [
+            min(env.time_index + k, len(env.weather) - 1) for k in range(self.horizon)
+        ]
+        days = [env.weather.day_of_year(i) for i in idx]
+        hours = [env.weather.hour_of_day(i) for i in idx]
+        return {
+            "temp_out": env.weather.temp_out_c[idx],
+            "ghi": env.weather.ghi_w_m2[idx],
+            "occupied": np.array(
+                [env.building.occupancy(d, h)[0] for d, h in zip(days, hours)]
+            ),
+            "price": np.array(
+                [env.tariff.price_per_kwh(d, h) for d, h in zip(days, hours)]
+            ),
+        }
+
+    def _score_sequence(self, levels: tuple, inputs: dict, temp0: float) -> float:
+        """Total reward of one airflow-level sequence under the model."""
+        env = self.env
+        dt = env.weather.dt_seconds
+        dt_hours = dt / 3600.0
+        total = 0.0
+        temp = temp0
+        for k, level in enumerate(levels):
+            heat = env.vav.zone_heat_w(
+                np.array([level]), np.array([temp])
+            )[0]
+            power = env.vav.electric_power_w(
+                np.array([level]), np.array([temp]), float(inputs["temp_out"][k])
+            )
+            cost = power * dt / 3.6e6 * float(inputs["price"][k])
+            temp = self.model.step(
+                temp,
+                float(inputs["temp_out"][k]),
+                float(inputs["ghi"][k]),
+                float(heat),
+                bool(inputs["occupied"][k]),
+                dt,
+            )
+            violation = env.comfort.violation_deg(temp, bool(inputs["occupied"][k]))
+            total -= env.config.cost_weight * cost
+            total -= env.config.comfort_weight * violation * dt_hours
+        return total
+
+    def select_action(self, obs: np.ndarray, *, explore: bool = False) -> np.ndarray:
+        """Re-plan from the current state and return the first action."""
+        inputs = self._plan_inputs()
+        temp0 = float(self.env.zone_temps_c[0])
+        best_score = -np.inf
+        best_first = 0
+        for seq in self._sequences:
+            score = self._score_sequence(seq, inputs, temp0)
+            if score > best_score:
+                best_score = score
+                best_first = seq[0]
+        return np.array([best_first])

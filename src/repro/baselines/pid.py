@@ -1,0 +1,66 @@
+"""PID setpoint tracking mapped onto the discrete airflow levels.
+
+A stronger conventional baseline than the two-position thermostat: each
+zone runs an independent PID loop on the cooling error
+``T_zone - setpoint`` and the continuous controller output is quantized
+to the nearest available airflow level.  Integral windup is clamped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.agent import AgentBase
+from repro.env.core import Env
+from repro.utils.validation import check_positive
+
+
+class PIDController(AgentBase):
+    """Per-zone discrete-output PID cooling control.
+
+    Gains are expressed in "airflow level units per °C (per °C·step,
+    per °C/step)".  With the default four-level VAV a ``kp`` of 1.5 means
+    a 2 °C excursion commands max flow.
+    """
+
+    def __init__(
+        self,
+        env: Env,
+        *,
+        setpoint_c: float = 24.0,
+        kp: float = 1.5,
+        ki: float = 0.05,
+        kd: float = 2.0,
+        integral_limit: float = 10.0,
+    ) -> None:
+        check_positive("kp", kp, strict=False)
+        check_positive("ki", ki, strict=False)
+        check_positive("kd", kd, strict=False)
+        check_positive("integral_limit", integral_limit)
+        inner = env.unwrapped()
+        self.env = inner
+        self.setpoint_c = float(setpoint_c)
+        self.kp, self.ki, self.kd = float(kp), float(ki), float(kd)
+        self.integral_limit = float(integral_limit)
+        self.n_zones = len(inner.action_space.nvec)
+        self.n_levels = int(inner.action_space.nvec[0])
+        self._integral = np.zeros(self.n_zones)
+        self._last_error = np.zeros(self.n_zones)
+        self._initialized = False
+
+    def begin_episode(self, obs: np.ndarray) -> None:
+        self._integral[:] = 0.0
+        self._last_error[:] = 0.0
+        self._initialized = False
+
+    def select_action(self, obs: np.ndarray, *, explore: bool = False) -> np.ndarray:
+        error = self.env.zone_temps_c - self.setpoint_c  # positive = too warm
+        self._integral = np.clip(
+            self._integral + error, -self.integral_limit, self.integral_limit
+        )
+        derivative = np.zeros_like(error) if not self._initialized else error - self._last_error
+        self._last_error = error
+        self._initialized = True
+        output = self.kp * error + self.ki * self._integral + self.kd * derivative
+        levels = np.clip(np.rint(output), 0, self.n_levels - 1)
+        return levels.astype(int)

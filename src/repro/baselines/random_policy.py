@@ -1,0 +1,20 @@
+"""Uniform-random action baseline (the sanity floor)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.agent import AgentBase
+from repro.env.spaces import MultiDiscrete
+from repro.utils.seeding import RandomState, ensure_rng
+
+
+class RandomController(AgentBase):
+    """Samples a uniformly random airflow level per zone every step."""
+
+    def __init__(self, action_space: MultiDiscrete, rng: RandomState | int | None = None) -> None:
+        self.action_space = action_space
+        self._rng = ensure_rng(rng)
+
+    def select_action(self, obs: np.ndarray, *, explore: bool = False) -> np.ndarray:
+        return self.action_space.sample(self._rng)

@@ -1,0 +1,78 @@
+"""Rule-based ON/OFF (two-position) thermostat — the paper's baseline.
+
+Each zone independently runs hysteresis control around a cooling
+setpoint: airflow switches to maximum when the zone temperature rises
+above ``setpoint + deadband/2`` and back off below
+``setpoint - deadband/2``.  This ignores prices and forecasts entirely —
+exactly the conventional controller the paper's DRL agent is measured
+against.
+
+The controller reads zone temperatures directly from the environment
+(it is a local device with its own sensor, not an observer of the RL
+feature vector), so it must be bound to an env before use.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.agent import AgentBase
+from repro.env.core import Env
+from repro.utils.validation import check_in_range, check_positive
+
+
+class ThermostatController(AgentBase):
+    """Per-zone two-position cooling control with hysteresis.
+
+    Parameters
+    ----------
+    env:
+        The environment whose (unwrapped) ``zone_temps_c`` this thermostat
+        senses.
+    setpoint_c:
+        Cooling setpoint; defaults to the middle-upper region of the
+        default occupied comfort band.
+    deadband_c:
+        Full hysteresis width around the setpoint.
+    on_level / off_level:
+        Airflow level indices used in the ON and OFF states.
+    """
+
+    def __init__(
+        self,
+        env: Env,
+        *,
+        setpoint_c: float = 24.5,
+        deadband_c: float = 1.0,
+        on_level: Optional[int] = None,
+        off_level: int = 0,
+    ) -> None:
+        check_in_range("setpoint_c", setpoint_c, 0.0, 40.0)
+        check_positive("deadband_c", deadband_c)
+        inner = env.unwrapped()
+        n_levels = int(inner.action_space.nvec[0])
+        self.env = inner
+        self.setpoint_c = float(setpoint_c)
+        self.deadband_c = float(deadband_c)
+        self.on_level = int(on_level) if on_level is not None else n_levels - 1
+        self.off_level = int(off_level)
+        if not 0 <= self.off_level < self.on_level < n_levels:
+            raise ValueError(
+                f"need 0 <= off_level < on_level < {n_levels}, "
+                f"got off={self.off_level} on={self.on_level}"
+            )
+        self.n_zones = len(inner.action_space.nvec)
+        self._state = np.zeros(self.n_zones, dtype=bool)  # True = cooling ON
+
+    def begin_episode(self, obs: np.ndarray) -> None:
+        self._state[:] = False
+
+    def select_action(self, obs: np.ndarray, *, explore: bool = False) -> np.ndarray:
+        temps = self.env.zone_temps_c
+        upper = self.setpoint_c + 0.5 * self.deadband_c
+        lower = self.setpoint_c - 0.5 * self.deadband_c
+        self._state = np.where(temps > upper, True, self._state)
+        self._state = np.where(temps < lower, False, self._state)
+        return np.where(self._state, self.on_level, self.off_level).astype(int)

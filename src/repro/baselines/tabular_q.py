@@ -1,0 +1,195 @@
+"""Tabular Q-learning on a discretized state — the paper's classical-RL baseline.
+
+The observation vector is reduced to a small discrete key (hour-of-day
+bin, per-zone temperature bin, ambient bin, peak-price flag) and a
+standard Q-learning table is trained over the joint action space.  This
+is the method the DAC'17 paper shows degrading as the state/action space
+grows — the motivation for the deep Q-network.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.agent import AgentBase
+from repro.core.schedules import LinearSchedule
+from repro.env.spaces import MultiDiscrete
+from repro.utils.seeding import RandomState, derive_rng, ensure_rng
+from repro.utils.validation import check_in_range, check_positive
+
+
+class ObsDiscretizer:
+    """Maps the scaled observation vector to a small discrete key.
+
+    Works from the environment's ``obs_names`` so it stays correct if the
+    observation layout changes.  Scaled channels are binned directly:
+
+    * hour of day recovered from the sin/cos pair, binned into
+      ``hour_bins``;
+    * each ``temp_*`` channel binned uniformly over the scaled band that
+      corresponds to roughly 15–31 °C;
+    * ``temp_out`` binned likewise;
+    * ``price`` reduced to a binary peak/off-peak flag.
+    """
+
+    def __init__(
+        self,
+        obs_names: Sequence[str],
+        *,
+        hour_bins: int = 8,
+        temp_bins: int = 8,
+        out_bins: int = 4,
+    ) -> None:
+        check_positive("hour_bins", hour_bins)
+        check_positive("temp_bins", temp_bins)
+        check_positive("out_bins", out_bins)
+        self.obs_names = list(obs_names)
+        self.hour_bins = int(hour_bins)
+        self.temp_bins = int(temp_bins)
+        self.out_bins = int(out_bins)
+        index = {name: i for i, name in enumerate(self.obs_names)}
+        try:
+            self._i_sin = index["sin_hour"]
+            self._i_cos = index["cos_hour"]
+            self._i_out = index["temp_out"]
+            self._i_price = index["price"]
+        except KeyError as exc:
+            raise ValueError(f"observation is missing channel {exc}") from exc
+        self._i_temps = [
+            i
+            for i, name in enumerate(self.obs_names)
+            if name.startswith("temp_") and name != "temp_out" and not name.startswith("temp_out")
+        ]
+        if not self._i_temps:
+            raise ValueError("observation has no zone temperature channels")
+
+    @staticmethod
+    def _bin(value: float, low: float, high: float, bins: int) -> int:
+        frac = (value - low) / (high - low)
+        return int(np.clip(np.floor(frac * bins), 0, bins - 1))
+
+    def key(self, obs: np.ndarray) -> Tuple[int, ...]:
+        """Discretize one observation into a hashable state key."""
+        obs = np.asarray(obs, dtype=np.float64)
+        hour = (np.arctan2(obs[self._i_sin], obs[self._i_cos]) / (2 * np.pi)) % 1.0
+        parts: List[int] = [int(np.floor(hour * self.hour_bins)) % self.hour_bins]
+        # Zone temps are scaled as (T - 23) / 10; [-0.8, 0.8] covers 15-31 C.
+        for i in self._i_temps:
+            parts.append(self._bin(obs[i], -0.8, 0.8, self.temp_bins))
+        # Ambient scaled as (T - 20) / 15; [-1, 1] covers 5-35 C.
+        parts.append(self._bin(obs[self._i_out], -1.0, 1.0, self.out_bins))
+        parts.append(1 if obs[self._i_price] > 0.5 else 0)
+        return tuple(parts)
+
+    def n_states_bound(self) -> int:
+        """Upper bound on reachable discrete states (table-size estimate)."""
+        return (
+            self.hour_bins
+            * self.temp_bins ** len(self._i_temps)
+            * self.out_bins
+            * 2
+        )
+
+
+@dataclass(frozen=True)
+class TabularQConfig:
+    """Hyperparameters for the tabular Q-learning baseline."""
+
+    gamma: float = 0.99
+    learning_rate: float = 0.1
+    epsilon_start: float = 1.0
+    epsilon_end: float = 0.05
+    epsilon_decay_steps: int = 5_000
+    optimistic_init: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_in_range("gamma", self.gamma, 0.0, 1.0)
+        check_in_range("learning_rate", self.learning_rate, 0.0, 1.0, inclusive=False)
+        check_in_range("epsilon_start", self.epsilon_start, 0.0, 1.0)
+        check_in_range("epsilon_end", self.epsilon_end, 0.0, 1.0)
+        check_positive("epsilon_decay_steps", self.epsilon_decay_steps)
+
+
+class TabularQAgent(AgentBase):
+    """ε-greedy tabular Q-learning over the joint action space."""
+
+    def __init__(
+        self,
+        obs_names: Sequence[str],
+        action_space: MultiDiscrete,
+        *,
+        config: Optional[TabularQConfig] = None,
+        discretizer: Optional[ObsDiscretizer] = None,
+        rng: RandomState | int | None = None,
+    ) -> None:
+        self.config = config if config is not None else TabularQConfig()
+        self.action_space = action_space
+        self.n_actions = action_space.n_joint
+        self.discretizer = (
+            discretizer if discretizer is not None else ObsDiscretizer(obs_names)
+        )
+        rng = ensure_rng(rng)
+        self._rng = derive_rng(rng, "explore")
+        init = self.config.optimistic_init
+        self._table: Dict[Tuple[int, ...], np.ndarray] = defaultdict(
+            lambda: np.full(self.n_actions, init)
+        )
+        self.epsilon_schedule = LinearSchedule(
+            self.config.epsilon_start,
+            self.config.epsilon_end,
+            self.config.epsilon_decay_steps,
+        )
+        self.total_steps = 0
+        self._pending: Optional[tuple] = None
+
+    @property
+    def epsilon(self) -> float:
+        """Current exploration rate."""
+        return self.epsilon_schedule.value(self.total_steps)
+
+    @property
+    def n_visited_states(self) -> int:
+        """Number of distinct discrete states seen so far."""
+        return len(self._table)
+
+    def q_values(self, obs: np.ndarray) -> np.ndarray:
+        """Q row for the discretized state of ``obs`` (copy)."""
+        return self._table[self.discretizer.key(obs)].copy()
+
+    def select_action(self, obs: np.ndarray, *, explore: bool = False) -> np.ndarray:
+        if explore and self._rng.random() < self.epsilon:
+            joint = int(self._rng.integers(self.n_actions))
+        else:
+            row = self._table[self.discretizer.key(obs)]
+            joint = int(np.argmax(row))
+        return self.action_space.unflatten(joint)
+
+    def store(
+        self,
+        obs: np.ndarray,
+        action: np.ndarray,
+        reward: float,
+        next_obs: np.ndarray,
+        done: bool,
+        info: Optional[dict] = None,
+    ) -> None:
+        self._pending = (obs, action, reward, next_obs, done)
+        self.total_steps += 1
+
+    def learn(self) -> Optional[float]:
+        """Q-learning update on the most recent transition."""
+        if self._pending is None:
+            return None
+        obs, action, reward, next_obs, done = self._pending
+        self._pending = None
+        key = self.discretizer.key(obs)
+        joint = self.action_space.flatten(action)
+        row = self._table[key]
+        bootstrap = 0.0 if done else float(self._table[self.discretizer.key(next_obs)].max())
+        td_error = reward + self.config.gamma * bootstrap - row[joint]
+        row[joint] += self.config.learning_rate * td_error
+        return float(abs(td_error))

@@ -1,0 +1,39 @@
+"""Building thermal substrate — the EnergyPlus substitute.
+
+The DAC'17 paper simulates its buildings in EnergyPlus.  This package
+implements the reduced-order model that captures the dynamics relevant to
+HVAC control: each zone is a lumped thermal capacitance coupled to ambient
+through an envelope conductance, to neighbouring zones through partition
+conductances, and driven by solar gains, internal (occupancy/equipment)
+gains, and the HVAC supply-air heat extraction.  Integration is explicit
+with sub-steps sized for stability.
+
+See DESIGN.md for the substitution argument (why an RC network preserves
+the control-relevant behaviour of the EnergyPlus zone heat balance).
+"""
+
+from repro.building.zone import ZoneConfig
+from repro.building.occupancy import (
+    ConstantSchedule,
+    OfficeSchedule,
+    Schedule,
+)
+from repro.building.thermal import RCNetwork
+from repro.building.building import Building
+from repro.building.presets import (
+    four_zone_office,
+    single_zone_building,
+    five_zone_perimeter_core,
+)
+
+__all__ = [
+    "ZoneConfig",
+    "Schedule",
+    "ConstantSchedule",
+    "OfficeSchedule",
+    "RCNetwork",
+    "Building",
+    "single_zone_building",
+    "four_zone_office",
+    "five_zone_perimeter_core",
+]

@@ -1,0 +1,138 @@
+"""Building: zones + RC network + schedules composed into one simulator.
+
+A :class:`Building` owns the static description (zones, conductances,
+schedules) and exposes a pure ``step`` that advances zone temperatures one
+control step given ambient conditions and the HVAC heat extraction per
+zone.  It has no notion of the HVAC plant or of rewards — those live in
+``repro.hvac`` and ``repro.env`` respectively — which keeps the physics
+independently testable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.building.occupancy import Schedule
+from repro.building.thermal import RCNetwork
+from repro.building.zone import ZoneConfig
+
+
+class Building:
+    """A multi-zone building with solar and internal gains.
+
+    Parameters
+    ----------
+    zones:
+        Per-zone static thermal configuration.
+    ua_interzone:
+        Symmetric zone-to-zone conductance matrix, W/K (zero diagonal).
+    schedules:
+        One internal-gain schedule per zone.
+    """
+
+    def __init__(
+        self,
+        zones: Sequence[ZoneConfig],
+        ua_interzone: np.ndarray,
+        schedules: Sequence[Schedule],
+    ) -> None:
+        if not zones:
+            raise ValueError("building needs at least one zone")
+        if len(schedules) != len(zones):
+            raise ValueError(
+                f"need one schedule per zone: {len(schedules)} schedules "
+                f"for {len(zones)} zones"
+            )
+        names = [z.name for z in zones]
+        if len(set(names)) != len(names):
+            raise ValueError(f"zone names must be unique, got {names}")
+
+        self.zones: List[ZoneConfig] = list(zones)
+        self.schedules: List[Schedule] = list(schedules)
+        self.network = RCNetwork(
+            capacitance=np.array([z.capacitance_j_per_k for z in zones]),
+            ua_ambient=np.array([z.ua_ambient_w_per_k for z in zones]),
+            ua_interzone=np.asarray(ua_interzone, dtype=np.float64),
+        )
+
+    # ------------------------------------------------------------ properties
+    @property
+    def n_zones(self) -> int:
+        """Number of zones."""
+        return len(self.zones)
+
+    @property
+    def zone_names(self) -> List[str]:
+        """Zone names in index order."""
+        return [z.name for z in self.zones]
+
+    @property
+    def floor_area_m2(self) -> float:
+        """Total conditioned floor area."""
+        return sum(z.floor_area_m2 for z in self.zones)
+
+    # --------------------------------------------------------------- gains
+    def solar_gains_w(self, ghi_w_m2: float) -> np.ndarray:
+        """Per-zone solar gains (W) for a global horizontal irradiance."""
+        if ghi_w_m2 < 0:
+            raise ValueError(f"ghi must be >= 0, got {ghi_w_m2}")
+        return np.array([z.solar_aperture_m2 * ghi_w_m2 for z in self.zones])
+
+    def internal_gains_w(self, day_of_year: int, hour_of_day: float) -> np.ndarray:
+        """Per-zone internal gains (W) from the occupancy schedules."""
+        return np.array(
+            [
+                sched.gains_w_per_m2(day_of_year, hour_of_day) * zone.floor_area_m2
+                for zone, sched in zip(self.zones, self.schedules)
+            ]
+        )
+
+    def occupancy(self, day_of_year: int, hour_of_day: float) -> np.ndarray:
+        """Boolean per-zone occupancy flags at the given time."""
+        return np.array(
+            [s.occupied(day_of_year, hour_of_day) for s in self.schedules],
+            dtype=bool,
+        )
+
+    # ----------------------------------------------------------- simulation
+    def step(
+        self,
+        temps: np.ndarray,
+        *,
+        temp_out_c: float,
+        ghi_w_m2: float,
+        hvac_heat_w: np.ndarray,
+        day_of_year: int,
+        hour_of_day: float,
+        dt_seconds: float,
+    ) -> np.ndarray:
+        """Advance zone temperatures one control step.
+
+        ``hvac_heat_w`` is the HVAC heat flow per zone (negative when the
+        supply air is cooling the zone).  Returns the new temperatures.
+        """
+        hvac_heat_w = np.asarray(hvac_heat_w, dtype=np.float64)
+        if hvac_heat_w.shape != (self.n_zones,):
+            raise ValueError(
+                f"hvac_heat_w must have shape ({self.n_zones},), got {hvac_heat_w.shape}"
+            )
+        heat = (
+            self.solar_gains_w(ghi_w_m2)
+            + self.internal_gains_w(day_of_year, hour_of_day)
+            + hvac_heat_w
+        )
+        return self.network.step(temps, temp_out_c, heat, dt_seconds)
+
+    def free_float_steady_state(
+        self, temp_out_c: float, ghi_w_m2: float, day_of_year: int, hour_of_day: float
+    ) -> np.ndarray:
+        """Equilibrium zone temperatures with the HVAC off."""
+        heat = self.solar_gains_w(ghi_w_m2) + self.internal_gains_w(
+            day_of_year, hour_of_day
+        )
+        return self.network.steady_state(temp_out_c, heat)
+
+    def __repr__(self) -> str:
+        return f"Building(zones={self.zone_names}, area={self.floor_area_m2:.0f} m2)"

@@ -1,0 +1,82 @@
+"""Internal-gain schedules (occupants, lighting, plug loads).
+
+Schedules map (day_of_year, hour_of_day) to an areal internal gain in
+W/m² and an occupancy flag.  The occupancy flag drives the comfort band:
+violations only matter (fully) while people are present, matching how the
+paper's comfort constraint is evaluated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_in_range, check_positive
+
+
+class Schedule:
+    """Interface: internal gains and occupancy as functions of time."""
+
+    def gains_w_per_m2(self, day_of_year: int, hour_of_day: float) -> float:
+        """Internal heat gain density at the given time, W/m²."""
+        raise NotImplementedError
+
+    def occupied(self, day_of_year: int, hour_of_day: float) -> bool:
+        """Whether the zone is occupied at the given time."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantSchedule(Schedule):
+    """Always-on gains and occupancy (useful for tests and data centers)."""
+
+    gains: float = 5.0
+    is_occupied: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive("gains", self.gains, strict=False)
+
+    def gains_w_per_m2(self, day_of_year: int, hour_of_day: float) -> float:
+        return self.gains
+
+    def occupied(self, day_of_year: int, hour_of_day: float) -> bool:
+        return self.is_occupied
+
+
+@dataclass(frozen=True)
+class OfficeSchedule(Schedule):
+    """Weekday office profile: occupied gains inside working hours.
+
+    Weekends (day_of_year mod 7 in {5, 6} with day 1 = Monday) carry only
+    the base load.  This is the canonical schedule of the paper's office
+    building workloads.
+    """
+
+    work_start_hour: float = 8.0
+    work_end_hour: float = 18.0
+    occupied_gains: float = 20.0  # people + lighting + plug loads, W/m²
+    base_gains: float = 2.0  # standby equipment, W/m²
+
+    def __post_init__(self) -> None:
+        check_in_range("work_start_hour", self.work_start_hour, 0.0, 24.0)
+        check_in_range("work_end_hour", self.work_end_hour, 0.0, 24.0)
+        if self.work_end_hour <= self.work_start_hour:
+            raise ValueError(
+                f"work_end_hour ({self.work_end_hour}) must be after "
+                f"work_start_hour ({self.work_start_hour})"
+            )
+        check_positive("occupied_gains", self.occupied_gains, strict=False)
+        check_positive("base_gains", self.base_gains, strict=False)
+
+    def is_weekend(self, day_of_year: int) -> bool:
+        """Day 1 is a Monday; days 6 and 7 of each week are the weekend."""
+        return (day_of_year - 1) % 7 >= 5
+
+    def occupied(self, day_of_year: int, hour_of_day: float) -> bool:
+        if self.is_weekend(day_of_year):
+            return False
+        return self.work_start_hour <= hour_of_day < self.work_end_hour
+
+    def gains_w_per_m2(self, day_of_year: int, hour_of_day: float) -> float:
+        if self.occupied(day_of_year, hour_of_day):
+            return self.occupied_gains
+        return self.base_gains

@@ -1,0 +1,103 @@
+"""Building presets mirroring the paper's evaluation buildings.
+
+The DAC'17 evaluation uses a single-zone building and a multi-zone office.
+We provide three presets with parameters in the range building-science
+references give for medium offices:
+
+* ``single_zone_building`` — one 100 m² zone (the paper's single-zone case).
+* ``four_zone_office``     — four 100 m² perimeter quadrants (the paper's
+  multi-zone case).
+* ``five_zone_perimeter_core`` — four perimeter zones around an interior
+  core, the classic EnergyPlus reference small-office layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.building.building import Building
+from repro.building.occupancy import OfficeSchedule, Schedule
+from repro.building.zone import ZoneConfig
+
+# Reference parameters for a 100 m2 office zone.
+_ZONE_CAP_J_PER_K = 3.6e6  # air + fast mass, ~10x air-only capacitance
+_ZONE_UA_W_PER_K = 130.0  # envelope conduction + infiltration
+_ZONE_AREA_M2 = 100.0
+
+
+def _office_schedule() -> Schedule:
+    return OfficeSchedule()
+
+
+def single_zone_building(*, solar_aperture_m2: float = 3.0) -> Building:
+    """One-zone test building: 100 m² office zone, weekday schedule."""
+    zone = ZoneConfig(
+        name="zone0",
+        capacitance_j_per_k=_ZONE_CAP_J_PER_K,
+        ua_ambient_w_per_k=_ZONE_UA_W_PER_K,
+        solar_aperture_m2=solar_aperture_m2,
+        floor_area_m2=_ZONE_AREA_M2,
+    )
+    return Building(
+        zones=[zone],
+        ua_interzone=np.zeros((1, 1)),
+        schedules=[_office_schedule()],
+    )
+
+
+def four_zone_office() -> Building:
+    """Four perimeter quadrants (N/E/S/W) with orientation-dependent solar.
+
+    South-facing zones receive the most solar gain; north the least.  The
+    quadrants share partition walls in a ring (N–E, E–S, S–W, W–N).
+    """
+    apertures = {"north": 1.0, "east": 2.5, "south": 4.0, "west": 2.5}
+    zones = [
+        ZoneConfig(
+            name=name,
+            capacitance_j_per_k=_ZONE_CAP_J_PER_K,
+            ua_ambient_w_per_k=_ZONE_UA_W_PER_K,
+            solar_aperture_m2=aperture,
+            floor_area_m2=_ZONE_AREA_M2,
+        )
+        for name, aperture in apertures.items()
+    ]
+    # Ring topology: indices 0=N, 1=E, 2=S, 3=W.
+    partition_ua = 60.0
+    ua = np.zeros((4, 4))
+    for i, j in [(0, 1), (1, 2), (2, 3), (3, 0)]:
+        ua[i, j] = ua[j, i] = partition_ua
+    return Building(
+        zones=zones,
+        ua_interzone=ua,
+        schedules=[_office_schedule() for _ in zones],
+    )
+
+
+def five_zone_perimeter_core() -> Building:
+    """Four perimeter zones around an interior core zone.
+
+    The core has no envelope exposure or solar gain (only the partition
+    coupling and its internal loads) — the configuration that makes
+    multi-zone coordination genuinely non-trivial, because the core can
+    only reject heat through its neighbours or its own VAV airflow.
+    """
+    perimeter = four_zone_office()
+    core = ZoneConfig(
+        name="core",
+        capacitance_j_per_k=2.0 * _ZONE_CAP_J_PER_K,
+        ua_ambient_w_per_k=5.0,  # roof/floor losses only
+        solar_aperture_m2=0.0,
+        floor_area_m2=2.0 * _ZONE_AREA_M2,
+    )
+    zones = list(perimeter.zones) + [core]
+    ua = np.zeros((5, 5))
+    ua[:4, :4] = perimeter.network.ua_interzone
+    core_partition_ua = 80.0
+    for i in range(4):
+        ua[i, 4] = ua[4, i] = core_partition_ua
+    return Building(
+        zones=zones,
+        ua_interzone=ua,
+        schedules=[_office_schedule() for _ in zones],
+    )

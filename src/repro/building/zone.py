@@ -1,0 +1,50 @@
+"""Per-zone thermal configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ZoneConfig:
+    """Static thermal parameters of one zone.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (``"core"``, ``"south"`` ...).
+    capacitance_j_per_k:
+        Lumped thermal capacitance of the zone air plus fast-responding
+        mass (furniture, interior surfaces).  A 100 m² office zone with a
+        mass multiplier of ~10 over its air capacitance is ≈ 3.6 MJ/K.
+    ua_ambient_w_per_k:
+        Envelope conductance to ambient (walls + windows + infiltration).
+    solar_aperture_m2:
+        Effective solar aperture: window area × SHGC × orientation factor.
+        Zone solar gain = aperture × GHI.
+    floor_area_m2:
+        Conditioned floor area; scales schedule-driven internal gains.
+    """
+
+    name: str
+    capacitance_j_per_k: float
+    ua_ambient_w_per_k: float
+    solar_aperture_m2: float
+    floor_area_m2: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("zone name must be non-empty")
+        check_positive("capacitance_j_per_k", self.capacitance_j_per_k)
+        check_positive("ua_ambient_w_per_k", self.ua_ambient_w_per_k, strict=False)
+        check_positive("solar_aperture_m2", self.solar_aperture_m2, strict=False)
+        check_positive("floor_area_m2", self.floor_area_m2)
+
+    @property
+    def time_constant_hours(self) -> float:
+        """Open-loop envelope time constant C/UA in hours (∞ if UA = 0)."""
+        if self.ua_ambient_w_per_k == 0:
+            return float("inf")
+        return self.capacitance_j_per_k / self.ua_ambient_w_per_k / 3600.0

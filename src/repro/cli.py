@@ -1,0 +1,227 @@
+"""Command-line interface.
+
+Exposes the library's main workflows without writing Python:
+
+* ``repro-hvac train``      — train a DQN and save its checkpoint.
+* ``repro-hvac evaluate``   — evaluate a checkpoint (or a baseline) on
+  held-out weather and print the comparison row.
+* ``repro-hvac experiment`` — run one of the paper experiments E1–E10
+  and print its rendered table/series.
+* ``repro-hvac weather``    — generate a synthetic weather CSV.
+
+Usage::
+
+    python -m repro.cli experiment e1
+    python -m repro.cli train --episodes 150 --out agent.json
+    python -m repro.cli evaluate --checkpoint agent.json
+    python -m repro.cli weather --days 30 --out weather.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.baselines import PIDController, ThermostatController
+from repro.building import single_zone_building
+from repro.core import DQNAgent, DQNConfig, Trainer, TrainerConfig
+from repro.env import HVACEnv, HVACEnvConfig
+from repro.eval import ComparisonRow, ComparisonTable, evaluate_controller
+from repro.eval import experiments as exp
+from repro.nn.serialization import load_state_dict, state_dict
+from repro.weather import SyntheticWeatherConfig, generate_weather, weather_to_csv
+
+_EXPERIMENTS = {
+    "e1": exp.e1_single_zone_table,
+    "e2": exp.e2_temperature_trace,
+    "e3": exp.e3_convergence,
+    "e4": exp.e4_multizone_table,
+    "e5": exp.e5_tradeoff_sweep,
+    "e6": exp.e6_forecast_horizon,
+    "e7": exp.e7_action_scaling,
+    "e8": exp.e8_dqn_ablation,
+    "e9": exp.e9_pricing,
+    "e10": exp.e10_extensions_and_mpc,
+}
+
+_PROFILES = {"tiny": exp.TINY, "fast": exp.FAST, "full": exp.FULL}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-hvac",
+        description="DRL building-HVAC control (DAC'17 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train a single-zone DQN controller")
+    train.add_argument("--episodes", type=int, default=120)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--comfort-weight", type=float, default=4.0)
+    train.add_argument("--out", type=str, default=None, help="checkpoint JSON path")
+
+    evaluate = sub.add_parser("evaluate", help="evaluate a controller")
+    evaluate.add_argument("--checkpoint", type=str, default=None)
+    evaluate.add_argument(
+        "--baseline",
+        choices=["thermostat", "pid"],
+        default=None,
+        help="evaluate a named baseline instead of a checkpoint",
+    )
+    evaluate.add_argument("--days", type=int, default=7)
+    evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument("--comfort-weight", type=float, default=4.0)
+
+    experiment = sub.add_parser("experiment", help="run a paper experiment")
+    experiment.add_argument("id", choices=sorted(_EXPERIMENTS))
+    experiment.add_argument(
+        "--profile", choices=sorted(_PROFILES), default="fast"
+    )
+
+    weather = sub.add_parser("weather", help="generate a synthetic weather CSV")
+    weather.add_argument("--days", type=float, default=30.0)
+    weather.add_argument("--start-day", type=int, default=200)
+    weather.add_argument("--seed", type=int, default=0)
+    weather.add_argument("--out", type=str, required=True)
+    return parser
+
+
+def _make_envs(seed: int, comfort_weight: float, eval_days: int):
+    train_weather = generate_weather(
+        SyntheticWeatherConfig(), start_day_of_year=200, n_days=30, rng=seed + 1
+    )
+    eval_weather = generate_weather(
+        SyntheticWeatherConfig(),
+        start_day_of_year=213,
+        n_days=eval_days + 1,
+        rng=seed + 2,
+    )
+    train_env = HVACEnv(
+        single_zone_building(),
+        train_weather,
+        config=HVACEnvConfig(
+            episode_days=1.0, randomize_start_day=True, comfort_weight=comfort_weight
+        ),
+        rng=seed,
+    )
+    eval_env = HVACEnv(
+        single_zone_building(),
+        eval_weather,
+        config=HVACEnvConfig(
+            episode_days=float(eval_days),
+            initial_temp_noise_c=0.0,
+            comfort_weight=comfort_weight,
+        ),
+        rng=seed + 3,
+    )
+    return train_env, eval_env
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    train_env, eval_env = _make_envs(args.seed, args.comfort_weight, eval_days=7)
+    agent = DQNAgent(
+        train_env.obs_dim,
+        train_env.action_space,
+        config=DQNConfig(epsilon_decay_steps=50 * args.episodes, learn_start=200),
+        rng=args.seed,
+    )
+    log = Trainer(
+        train_env, agent, config=TrainerConfig(n_episodes=args.episodes)
+    ).train()
+    returns = log.series("episode_return")
+    print(f"trained {args.episodes} episodes; final return {returns[-1]:.2f}")
+    metrics = evaluate_controller(eval_env, agent)
+    print(
+        f"eval: cost=${metrics.cost_usd:.2f} "
+        f"violations={metrics.violation_deg_hours:.2f} deg-h "
+        f"rate={metrics.violation_rate:.3f}"
+    )
+    if args.out:
+        payload = {
+            "obs_dim": train_env.obs_dim,
+            "nvec": train_env.action_space.nvec.tolist(),
+            "hidden": list(agent.config.hidden),
+            "state": state_dict(agent.online),
+        }
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh)
+        print(f"checkpoint written to {args.out}")
+    return 0
+
+
+def _load_agent(path: str) -> DQNAgent:
+    from repro.env.spaces import MultiDiscrete
+
+    with open(path) as fh:
+        payload = json.load(fh)
+    agent = DQNAgent(
+        payload["obs_dim"],
+        MultiDiscrete(payload["nvec"]),
+        config=DQNConfig(hidden=tuple(payload["hidden"])),
+        rng=0,
+    )
+    load_state_dict(agent.online, payload["state"])
+    agent.target.copy_weights_from(agent.online)
+    return agent
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    if (args.checkpoint is None) == (args.baseline is None):
+        print("evaluate: pass exactly one of --checkpoint or --baseline",
+              file=sys.stderr)
+        return 2
+    _, eval_env = _make_envs(args.seed, args.comfort_weight, eval_days=args.days)
+    if args.checkpoint:
+        name = "drl_dqn"
+        controller = _load_agent(args.checkpoint)
+    elif args.baseline == "thermostat":
+        name = "thermostat"
+        controller = ThermostatController(eval_env)
+    else:
+        name = "pid"
+        controller = PIDController(eval_env)
+    table = ComparisonTable()
+    table.add(ComparisonRow.from_metrics(name, evaluate_controller(eval_env, controller)))
+    print(table.render())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    profile = _PROFILES[args.profile]
+    result = _EXPERIMENTS[args.id](profile)
+    print(result.render())
+    return 0
+
+
+def _cmd_weather(args: argparse.Namespace) -> int:
+    series = generate_weather(
+        SyntheticWeatherConfig(),
+        start_day_of_year=args.start_day,
+        n_days=args.days,
+        rng=args.seed,
+    )
+    weather_to_csv(series, args.out)
+    stats = series.stats()
+    print(
+        f"wrote {stats['n_samples']} samples to {args.out} "
+        f"(mean {stats['temp_mean_c']:.1f} C, peak GHI {stats['ghi_peak_w_m2']:.0f} W/m2)"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "train": _cmd_train,
+        "evaluate": _cmd_evaluate,
+        "experiment": _cmd_experiment,
+        "weather": _cmd_weather,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

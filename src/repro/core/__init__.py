@@ -1,0 +1,37 @@
+"""The paper's primary contribution: the deep-RL HVAC controller.
+
+This package implements the DAC'17 control stack:
+
+* :class:`~repro.core.replay.ReplayBuffer` — experience replay.
+* :class:`~repro.core.schedules.LinearSchedule` — ε / learning-rate decay.
+* :class:`~repro.core.dqn.DQNAgent` — the deep Q-network controller over
+  the **joint** (exponential) multi-zone action space.
+* :class:`~repro.core.multizone.FactoredDQNAgent` — the scaling heuristic:
+  per-zone Q-heads trained as independent learners on the shared reward,
+  keeping the action space linear in the number of zones.
+* :class:`~repro.core.trainer.Trainer` — the training loop with periodic
+  greedy evaluation.
+"""
+
+from repro.core.replay import ReplayBuffer, Transition
+from repro.core.prioritized_replay import PrioritizedReplayBuffer
+from repro.core.schedules import ConstantSchedule, ExponentialSchedule, LinearSchedule
+from repro.core.agent import AgentBase
+from repro.core.dqn import DQNAgent, DQNConfig
+from repro.core.multizone import FactoredDQNAgent
+from repro.core.trainer import Trainer, TrainerConfig
+
+__all__ = [
+    "Transition",
+    "ReplayBuffer",
+    "PrioritizedReplayBuffer",
+    "ConstantSchedule",
+    "LinearSchedule",
+    "ExponentialSchedule",
+    "AgentBase",
+    "DQNConfig",
+    "DQNAgent",
+    "FactoredDQNAgent",
+    "Trainer",
+    "TrainerConfig",
+]

@@ -1,0 +1,49 @@
+"""The agent interface shared by DRL agents and classical baselines.
+
+Every controller — DQN, factored DQN, thermostat, PID, tabular Q — exposes
+the same surface so the evaluation harness can run and compare them
+uniformly:
+
+* :meth:`AgentBase.begin_episode` — reset per-episode controller state.
+* :meth:`AgentBase.select_action` — map an observation to an
+  environment-ready action (per-zone level vector), optionally exploring.
+* :meth:`AgentBase.store` / :meth:`AgentBase.learn` — learning hooks;
+  no-ops for non-learning controllers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class AgentBase:
+    """Common controller interface (non-learning defaults)."""
+
+    def begin_episode(self, obs: np.ndarray) -> None:
+        """Hook called at each environment reset with the first observation."""
+
+    def select_action(self, obs: np.ndarray, *, explore: bool = False) -> np.ndarray:
+        """Return the per-zone airflow-level vector for this observation."""
+        raise NotImplementedError
+
+    def store(
+        self,
+        obs: np.ndarray,
+        action: np.ndarray,
+        reward: float,
+        next_obs: np.ndarray,
+        done: bool,
+        info: Optional[dict] = None,
+    ) -> None:
+        """Record one transition (no-op for non-learning controllers).
+
+        ``info`` is the environment's step-info dict; agents that exploit
+        structured signals (e.g. the factored multi-zone agent reading
+        ``reward_per_zone``) may use it, everyone else ignores it.
+        """
+
+    def learn(self) -> Optional[float]:
+        """Run one learning update; returns the loss or None if skipped."""
+        return None

@@ -1,0 +1,248 @@
+"""Deep Q-network controller over the joint multi-zone action space.
+
+This is the paper's algorithm: an MLP maps the HVAC state vector to one
+Q-value per **joint** action (the Cartesian product of per-zone airflow
+levels), trained with experience replay, a periodically synchronized
+target network, ε-greedy exploration, and the Huber TD loss.  The
+optional double-DQN target decouples action selection from evaluation
+(ablated in experiment E8).
+
+For many zones the joint action space grows as ``levels**zones``; the
+paper's scaling heuristic is implemented separately in
+:mod:`repro.core.multizone`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro import nn
+from repro.core.agent import AgentBase
+from repro.core.prioritized_replay import PrioritizedReplayBuffer
+from repro.core.replay import ReplayBuffer
+from repro.core.schedules import LinearSchedule, Schedule
+from repro.env.spaces import MultiDiscrete
+from repro.utils.seeding import RandomState, derive_rng, ensure_rng
+from repro.utils.validation import check_in_range, check_positive
+
+
+@dataclass(frozen=True)
+class DQNConfig:
+    """Hyperparameters of the DQN controller.
+
+    Defaults follow the paper's regime scaled to the NumPy substrate:
+    two hidden layers, Adam, replay of ~50 episode-days, target sync every
+    few hundred updates, ε decaying linearly over the exploration budget.
+    """
+
+    hidden: Tuple[int, ...] = (64, 64)
+    gamma: float = 0.99
+    learning_rate: float = 1e-3
+    batch_size: int = 32
+    buffer_capacity: int = 20_000
+    learn_start: int = 500
+    train_every: int = 1
+    target_sync_every: int = 200
+    double_dqn: bool = True
+    grad_clip_norm: float = 10.0
+    epsilon_start: float = 1.0
+    epsilon_end: float = 0.05
+    epsilon_decay_steps: int = 5_000
+    use_replay: bool = True
+    use_target_network: bool = True
+    # Extensions beyond the paper's controller (default off; see E10).
+    dueling: bool = False
+    target_tau: Optional[float] = None  # Polyak soft updates when set
+    prioritized_replay: bool = False
+    per_alpha: float = 0.6
+    per_beta_start: float = 0.4
+    per_beta_end: float = 1.0
+    per_beta_decay_steps: int = 20_000
+
+    def __post_init__(self) -> None:
+        if not self.hidden:
+            raise ValueError("hidden must contain at least one layer width")
+        check_in_range("gamma", self.gamma, 0.0, 1.0)
+        check_positive("learning_rate", self.learning_rate)
+        check_positive("batch_size", self.batch_size)
+        check_positive("buffer_capacity", self.buffer_capacity)
+        check_positive("train_every", self.train_every)
+        check_positive("target_sync_every", self.target_sync_every)
+        check_positive("grad_clip_norm", self.grad_clip_norm)
+        check_in_range("epsilon_start", self.epsilon_start, 0.0, 1.0)
+        check_in_range("epsilon_end", self.epsilon_end, 0.0, 1.0)
+        check_positive("epsilon_decay_steps", self.epsilon_decay_steps)
+        if self.learn_start < self.batch_size:
+            raise ValueError(
+                f"learn_start ({self.learn_start}) must be >= batch_size "
+                f"({self.batch_size})"
+            )
+        if self.target_tau is not None:
+            check_in_range("target_tau", self.target_tau, 0.0, 1.0, inclusive=False)
+        check_in_range("per_alpha", self.per_alpha, 0.0, 1.0)
+        check_in_range("per_beta_start", self.per_beta_start, 0.0, 1.0)
+        check_in_range("per_beta_end", self.per_beta_end, 0.0, 1.0)
+        check_positive("per_beta_decay_steps", self.per_beta_decay_steps)
+        if self.prioritized_replay and not self.use_replay:
+            raise ValueError("prioritized_replay requires use_replay=True")
+
+
+class DQNAgent(AgentBase):
+    """DQN over the flattened joint action space of a ``MultiDiscrete``.
+
+    Parameters
+    ----------
+    obs_dim:
+        Observation dimensionality (``env.obs_dim``).
+    action_space:
+        The environment's ``MultiDiscrete`` action space; internally the
+        agent acts on its flattened joint index.
+    config:
+        Hyperparameters.
+    rng:
+        Seed or generator driving init, exploration, and replay sampling.
+    """
+
+    def __init__(
+        self,
+        obs_dim: int,
+        action_space: MultiDiscrete,
+        *,
+        config: Optional[DQNConfig] = None,
+        rng: RandomState | int | None = None,
+    ) -> None:
+        self.config = config if config is not None else DQNConfig()
+        self.action_space = action_space
+        self.obs_dim = int(obs_dim)
+        self.n_actions = action_space.n_joint
+
+        rng = ensure_rng(rng)
+        self._explore_rng = derive_rng(rng, "explore")
+        self._sample_rng = derive_rng(rng, "replay")
+
+        net_cls = nn.DuelingMLP if self.config.dueling else nn.MLP
+        self.online = net_cls(
+            self.obs_dim, self.config.hidden, self.n_actions, rng=derive_rng(rng, "net")
+        )
+        self.target = self.online.clone()
+        self.optimizer = nn.Adam(self.online.parameters(), lr=self.config.learning_rate)
+
+        capacity = self.config.buffer_capacity if self.config.use_replay else self.config.batch_size
+        if self.config.prioritized_replay:
+            self.buffer: ReplayBuffer = PrioritizedReplayBuffer(
+                capacity, self.obs_dim, action_dim=1, alpha=self.config.per_alpha
+            )
+        else:
+            self.buffer = ReplayBuffer(capacity, self.obs_dim, action_dim=1)
+        self.epsilon_schedule: Schedule = LinearSchedule(
+            self.config.epsilon_start,
+            self.config.epsilon_end,
+            self.config.epsilon_decay_steps,
+        )
+        self._beta_schedule = LinearSchedule(
+            self.config.per_beta_start,
+            self.config.per_beta_end,
+            self.config.per_beta_decay_steps,
+        )
+        self.total_steps = 0
+        self.total_updates = 0
+
+    # ------------------------------------------------------------- policies
+    @property
+    def epsilon(self) -> float:
+        """Current exploration rate."""
+        return self.epsilon_schedule.value(self.total_steps)
+
+    def q_values(self, obs: np.ndarray) -> np.ndarray:
+        """Q-values of every joint action for a single observation."""
+        return self.online.forward(np.asarray(obs, dtype=np.float64))
+
+    def select_action(self, obs: np.ndarray, *, explore: bool = False) -> np.ndarray:
+        """ε-greedy (``explore=True``) or greedy per-zone level vector."""
+        if explore and self._explore_rng.random() < self.epsilon:
+            joint = int(self._explore_rng.integers(self.n_actions))
+        else:
+            joint = int(np.argmax(self.q_values(obs)))
+        return self.action_space.unflatten(joint)
+
+    # ------------------------------------------------------------- learning
+    def store(
+        self,
+        obs: np.ndarray,
+        action: np.ndarray,
+        reward: float,
+        next_obs: np.ndarray,
+        done: bool,
+        info: Optional[dict] = None,
+    ) -> None:
+        joint = self.action_space.flatten(action)
+        self.buffer.add(obs, joint, reward, next_obs, done)
+        self.total_steps += 1
+
+    def _td_targets(self, batch: dict) -> np.ndarray:
+        """Bootstrapped TD(0) targets for a sampled batch."""
+        cfg = self.config
+        bootstrap_net = self.target if cfg.use_target_network else self.online
+        q_next = bootstrap_net.forward(batch["next_obs"])
+        if cfg.double_dqn and cfg.use_target_network:
+            online_next = self.online.forward(batch["next_obs"])
+            best = np.argmax(online_next, axis=1)
+            next_value = q_next[np.arange(len(best)), best]
+        else:
+            next_value = q_next.max(axis=1)
+        not_done = ~batch["dones"]
+        return batch["rewards"] + cfg.gamma * not_done * next_value
+
+    def learn(self) -> Optional[float]:
+        """One replay-sampled gradient step on the Huber TD loss.
+
+        With prioritized replay the per-sample gradients carry
+        importance-sampling weights and the sampled transitions'
+        priorities are refreshed from their new TD errors.
+        """
+        cfg = self.config
+        if self.total_steps < cfg.learn_start:
+            return None
+        if self.total_steps % cfg.train_every != 0:
+            return None
+        prioritized = isinstance(self.buffer, PrioritizedReplayBuffer)
+        if prioritized:
+            beta = self._beta_schedule.value(self.total_steps)
+            batch = self.buffer.sample(cfg.batch_size, self._sample_rng, beta=beta)
+            weights = batch["weights"]
+        else:
+            batch = self.buffer.sample(cfg.batch_size, self._sample_rng)
+            weights = np.ones(cfg.batch_size)
+        actions = batch["actions"][:, 0]
+        targets = self._td_targets(batch)
+
+        q_all = self.online.forward(batch["obs"])
+        rows = np.arange(len(actions))
+        pred = q_all[rows, actions]
+        td_error = pred - targets
+        # Weighted Huber: quadratic within 1 of the target, linear outside.
+        abs_td = np.abs(td_error)
+        per_sample = np.where(abs_td <= 1.0, 0.5 * td_error**2, abs_td - 0.5)
+        loss = float(np.mean(weights * per_sample))
+        dpred = weights * np.clip(td_error, -1.0, 1.0) / len(actions)
+
+        grad = np.zeros_like(q_all)
+        grad[rows, actions] = dpred
+        self.optimizer.zero_grad()
+        self.online.backward(grad)
+        nn.clip_gradients(self.online.parameters(), cfg.grad_clip_norm)
+        self.optimizer.step()
+
+        if prioritized:
+            self.buffer.update_priorities(batch["indices"], td_error)
+
+        self.total_updates += 1
+        if cfg.use_target_network:
+            if cfg.target_tau is not None:
+                self.target.soft_update_from(self.online, cfg.target_tau)
+            elif self.total_updates % cfg.target_sync_every == 0:
+                self.target.copy_weights_from(self.online)
+        return float(loss)

@@ -1,0 +1,180 @@
+"""The multi-zone scaling heuristic: factored per-zone Q-learning.
+
+A joint DQN over ``z`` zones with ``m`` airflow levels needs ``m**z``
+outputs — the exponential blow-up the DAC'17 paper's heuristic avoids.
+:class:`FactoredDQNAgent` gives each zone its own Q-head over only its
+``m`` local levels and trains every head on the **shared global reward**
+(the "independent learners" decomposition).  Action selection is then a
+per-zone argmax, so both network size and action enumeration stay linear
+in the number of zones.
+
+Credit assignment uses the environment's **per-zone reward
+decomposition** when available (``info["reward_per_zone"]``: energy cost
+attributed by airflow share, comfort penalty by the zone's own
+violation; the components sum exactly to the scalar reward).  Without
+it, every head falls back to the shared global reward.
+
+The approximation this makes — that the joint Q decomposes additively
+across zones — is exactly what experiment E7 quantifies against the
+joint-action agent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro import nn
+from repro.core.agent import AgentBase
+from repro.core.dqn import DQNConfig
+from repro.core.replay import ReplayBuffer
+from repro.core.schedules import LinearSchedule
+from repro.env.spaces import MultiDiscrete
+from repro.utils.seeding import RandomState, derive_rng, ensure_rng
+
+
+class FactoredDQNAgent(AgentBase):
+    """Per-zone Q-heads trained as independent learners on shared reward."""
+
+    def __init__(
+        self,
+        obs_dim: int,
+        action_space: MultiDiscrete,
+        *,
+        config: Optional[DQNConfig] = None,
+        rng: RandomState | int | None = None,
+    ) -> None:
+        self.config = config if config is not None else DQNConfig()
+        self.action_space = action_space
+        self.obs_dim = int(obs_dim)
+        self.n_zones = len(action_space.nvec)
+        self.levels_per_zone = [int(n) for n in action_space.nvec]
+
+        rng = ensure_rng(rng)
+        self._explore_rng = derive_rng(rng, "explore")
+        self._sample_rng = derive_rng(rng, "replay")
+
+        self.online: List[nn.MLP] = []
+        self.target: List[nn.MLP] = []
+        self.optimizers: List[nn.Adam] = []
+        for z, n_levels in enumerate(self.levels_per_zone):
+            net = nn.MLP(
+                self.obs_dim,
+                self.config.hidden,
+                n_levels,
+                rng=derive_rng(rng, f"zone{z}"),
+            )
+            self.online.append(net)
+            self.target.append(net.clone())
+            self.optimizers.append(nn.Adam(net.parameters(), lr=self.config.learning_rate))
+
+        self.buffer = ReplayBuffer(
+            self.config.buffer_capacity,
+            self.obs_dim,
+            action_dim=self.n_zones,
+            reward_dim=self.n_zones,
+        )
+        self.epsilon_schedule = LinearSchedule(
+            self.config.epsilon_start,
+            self.config.epsilon_end,
+            self.config.epsilon_decay_steps,
+        )
+        self.total_steps = 0
+        self.total_updates = 0
+
+    # ------------------------------------------------------------- policies
+    @property
+    def epsilon(self) -> float:
+        """Current exploration rate."""
+        return self.epsilon_schedule.value(self.total_steps)
+
+    def q_values(self, obs: np.ndarray) -> List[np.ndarray]:
+        """Per-zone Q-value vectors for a single observation."""
+        obs = np.asarray(obs, dtype=np.float64)
+        return [net.forward(obs) for net in self.online]
+
+    def select_action(self, obs: np.ndarray, *, explore: bool = False) -> np.ndarray:
+        """Per-zone ε-greedy: each zone explores independently."""
+        levels = np.zeros(self.n_zones, dtype=int)
+        eps = self.epsilon
+        per_zone_q = None
+        for z in range(self.n_zones):
+            if explore and self._explore_rng.random() < eps:
+                levels[z] = int(self._explore_rng.integers(self.levels_per_zone[z]))
+            else:
+                if per_zone_q is None:
+                    per_zone_q = self.q_values(obs)
+                levels[z] = int(np.argmax(per_zone_q[z]))
+        return levels
+
+    # ------------------------------------------------------------- learning
+    def store(
+        self,
+        obs: np.ndarray,
+        action: np.ndarray,
+        reward: float,
+        next_obs: np.ndarray,
+        done: bool,
+        info: Optional[dict] = None,
+    ) -> None:
+        if info is not None and "reward_per_zone" in info:
+            per_zone = np.asarray(info["reward_per_zone"], dtype=np.float64)
+            if per_zone.shape != (self.n_zones,):
+                raise ValueError(
+                    f"reward_per_zone must have shape ({self.n_zones},), "
+                    f"got {per_zone.shape}"
+                )
+        else:
+            # Fallback: shared global reward for every head.
+            per_zone = np.full(self.n_zones, float(reward))
+        self.buffer.add(obs, action, per_zone, next_obs, done)
+        self.total_steps += 1
+
+    def learn(self) -> Optional[float]:
+        """One gradient step per zone head on a shared sampled batch."""
+        cfg = self.config
+        if self.total_steps < cfg.learn_start:
+            return None
+        if self.total_steps % cfg.train_every != 0:
+            return None
+        batch = self.buffer.sample(cfg.batch_size, self._sample_rng)
+        not_done = ~batch["dones"]
+        rows = np.arange(cfg.batch_size)
+        rewards = batch["rewards"]
+        if rewards.ndim == 1:  # single-zone buffers squeeze the reward dim
+            rewards = rewards[:, None]
+
+        total_loss = 0.0
+        for z in range(self.n_zones):
+            online, target, opt = self.online[z], self.target[z], self.optimizers[z]
+            q_next = target.forward(batch["next_obs"])
+            if cfg.double_dqn:
+                best = np.argmax(online.forward(batch["next_obs"]), axis=1)
+                next_value = q_next[rows, best]
+            else:
+                next_value = q_next.max(axis=1)
+            targets = rewards[:, z] + cfg.gamma * not_done * next_value
+
+            q_all = online.forward(batch["obs"])
+            actions = batch["actions"][:, z]
+            pred = q_all[rows, actions]
+            loss, dpred = nn.huber_loss(pred, targets, return_grad=True)
+            grad = np.zeros_like(q_all)
+            grad[rows, actions] = dpred
+            opt.zero_grad()
+            online.backward(grad)
+            nn.clip_gradients(online.parameters(), cfg.grad_clip_norm)
+            opt.step()
+            total_loss += float(loss)
+
+        self.total_updates += 1
+        if self.total_updates % cfg.target_sync_every == 0:
+            for online, target in zip(self.online, self.target):
+                target.copy_weights_from(online)
+        return total_loss / self.n_zones
+
+    # ------------------------------------------------------------- scaling
+    def num_q_outputs(self) -> int:
+        """Total Q outputs across heads — linear in zones (vs m**z joint)."""
+        return sum(self.levels_per_zone)

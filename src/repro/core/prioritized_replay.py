@@ -1,0 +1,118 @@
+"""Prioritized experience replay (Schaul et al. 2016, proportional variant).
+
+Transitions are sampled with probability proportional to
+``(|td_error| + eps)**alpha`` and corrected with importance-sampling
+weights annealed by ``beta``.  At this library's buffer sizes (tens of
+thousands) a vectorized O(n) categorical draw is faster and simpler than
+a sum-tree, so that is what we use.
+
+This is an extension of the DAC'17 controller (the paper uses uniform
+replay); its effect is measured by the E10 ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.replay import ReplayBuffer
+from repro.utils.seeding import RandomState, ensure_rng
+from repro.utils.validation import check_in_range, check_positive
+
+
+class PrioritizedReplayBuffer(ReplayBuffer):
+    """Proportional prioritized replay.
+
+    Parameters
+    ----------
+    alpha:
+        Prioritization strength; 0 recovers uniform sampling.
+    eps:
+        Floor added to |TD error| so no transition starves.
+
+    New transitions enter with the current maximum priority so they are
+    sampled at least once before being down-weighted.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        obs_dim: int,
+        action_dim: int = 1,
+        reward_dim: int = 1,
+        *,
+        alpha: float = 0.6,
+        eps: float = 1e-3,
+    ) -> None:
+        super().__init__(capacity, obs_dim, action_dim, reward_dim)
+        check_in_range("alpha", alpha, 0.0, 1.0)
+        check_positive("eps", eps)
+        self.alpha = float(alpha)
+        self.eps = float(eps)
+        self._priorities = np.zeros(capacity)
+        self._max_priority = 1.0
+
+    def add(self, obs, action, reward, next_obs, done) -> None:  # type: ignore[override]
+        index = self._cursor  # the slot the parent will fill
+        super().add(obs, action, reward, next_obs, done)
+        self._priorities[index] = self._max_priority
+
+    def sample(  # type: ignore[override]
+        self,
+        batch_size: int,
+        rng: RandomState | int | None = None,
+        *,
+        beta: float = 0.4,
+    ) -> Dict[str, np.ndarray]:
+        """Priority-proportional sample with IS weights under ``beta``.
+
+        Returns the parent's batch dict plus ``indices`` (for
+        :meth:`update_priorities`) and ``weights`` (normalized to max 1).
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if self._size == 0:
+            raise ValueError("cannot sample from an empty buffer")
+        check_in_range("beta", beta, 0.0, 1.0)
+        rng = ensure_rng(rng)
+
+        scaled = self._priorities[: self._size] ** self.alpha
+        probs = scaled / scaled.sum()
+        idx = rng.choice(self._size, size=batch_size, p=probs)
+
+        weights = (self._size * probs[idx]) ** (-beta)
+        weights /= weights.max()
+
+        rewards = self._rewards[idx].copy()
+        if self.reward_dim == 1:
+            rewards = rewards[:, 0]
+        return {
+            "obs": self._obs[idx].copy(),
+            "actions": self._actions[idx].copy(),
+            "rewards": rewards,
+            "next_obs": self._next_obs[idx].copy(),
+            "dones": self._dones[idx].copy(),
+            "indices": idx,
+            "weights": weights,
+        }
+
+    def update_priorities(self, indices: np.ndarray, td_errors: np.ndarray) -> None:
+        """Refresh priorities of sampled transitions from new TD errors."""
+        indices = np.asarray(indices, dtype=int)
+        td_errors = np.asarray(td_errors, dtype=np.float64)
+        if indices.shape != td_errors.shape:
+            raise ValueError(
+                f"indices {indices.shape} and td_errors {td_errors.shape} must match"
+            )
+        if np.any(indices < 0) or np.any(indices >= self._size):
+            raise ValueError("priority index out of the filled region")
+        new = np.abs(td_errors) + self.eps
+        self._priorities[indices] = new
+        self._max_priority = max(self._max_priority, float(new.max()))
+
+    def priority_of(self, index: int) -> float:
+        """Current priority of slot ``index`` (for tests/diagnostics)."""
+        if not 0 <= index < self._size:
+            raise ValueError(f"index {index} outside filled region of {self._size}")
+        return float(self._priorities[index])

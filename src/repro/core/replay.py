@@ -1,0 +1,137 @@
+"""Experience replay.
+
+A fixed-capacity circular buffer over transitions, sampled uniformly —
+the stabilizer DQN introduced to break the temporal correlation of
+sequential building states.  Actions are stored as integer vectors so the
+same buffer serves both the joint-action agent (vector length 1 holding a
+joint index) and the factored agent (one level per zone).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.utils.seeding import RandomState, ensure_rng
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One step of experience: ``(s, a, r, s', done)``."""
+
+    obs: np.ndarray
+    action: np.ndarray
+    reward: float
+    next_obs: np.ndarray
+    done: bool
+
+
+class ReplayBuffer:
+    """Uniform-sampling circular replay buffer.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of stored transitions; the oldest is overwritten.
+    obs_dim:
+        Observation dimensionality.
+    action_dim:
+        Length of the stored action vector (1 for a joint index).
+    reward_dim:
+        1 for scalar rewards (default); >1 stores a reward vector per
+        transition (the factored agent's per-zone rewards).
+    """
+
+    def __init__(
+        self, capacity: int, obs_dim: int, action_dim: int = 1, reward_dim: int = 1
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if obs_dim < 1 or action_dim < 1 or reward_dim < 1:
+            raise ValueError("obs_dim, action_dim, and reward_dim must be >= 1")
+        self.capacity = int(capacity)
+        self.obs_dim = int(obs_dim)
+        self.action_dim = int(action_dim)
+        self.reward_dim = int(reward_dim)
+        self._obs = np.zeros((capacity, obs_dim))
+        self._next_obs = np.zeros((capacity, obs_dim))
+        self._actions = np.zeros((capacity, action_dim), dtype=np.int64)
+        self._rewards = np.zeros((capacity, reward_dim))
+        self._dones = np.zeros(capacity, dtype=bool)
+        self._size = 0
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the buffer has wrapped around at least once."""
+        return self._size == self.capacity
+
+    def add(
+        self,
+        obs: np.ndarray,
+        action: np.ndarray | int,
+        reward: float,
+        next_obs: np.ndarray,
+        done: bool,
+    ) -> None:
+        """Store one transition, overwriting the oldest when full."""
+        obs = np.asarray(obs, dtype=np.float64)
+        next_obs = np.asarray(next_obs, dtype=np.float64)
+        action = np.atleast_1d(np.asarray(action, dtype=np.int64))
+        if obs.shape != (self.obs_dim,) or next_obs.shape != (self.obs_dim,):
+            raise ValueError(
+                f"obs must have shape ({self.obs_dim},), got {obs.shape} / {next_obs.shape}"
+            )
+        if action.shape != (self.action_dim,):
+            raise ValueError(
+                f"action must have shape ({self.action_dim},), got {action.shape}"
+            )
+        reward = np.atleast_1d(np.asarray(reward, dtype=np.float64))
+        if reward.shape != (self.reward_dim,):
+            raise ValueError(
+                f"reward must have shape ({self.reward_dim},), got {reward.shape}"
+            )
+        i = self._cursor
+        self._obs[i] = obs
+        self._next_obs[i] = next_obs
+        self._actions[i] = action
+        self._rewards[i] = reward
+        self._dones[i] = bool(done)
+        self._cursor = (self._cursor + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+
+    def add_transition(self, transition: Transition) -> None:
+        """Store a :class:`Transition` (convenience overload of :meth:`add`)."""
+        self.add(
+            transition.obs,
+            transition.action,
+            transition.reward,
+            transition.next_obs,
+            transition.done,
+        )
+
+    def sample(
+        self, batch_size: int, rng: RandomState | int | None = None
+    ) -> Dict[str, np.ndarray]:
+        """Sample ``batch_size`` transitions uniformly with replacement."""
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if self._size == 0:
+            raise ValueError("cannot sample from an empty buffer")
+        rng = ensure_rng(rng)
+        idx = rng.integers(0, self._size, size=batch_size)
+        rewards = self._rewards[idx].copy()
+        if self.reward_dim == 1:
+            rewards = rewards[:, 0]
+        return {
+            "obs": self._obs[idx].copy(),
+            "actions": self._actions[idx].copy(),
+            "rewards": rewards,
+            "next_obs": self._next_obs[idx].copy(),
+            "dones": self._dones[idx].copy(),
+        }

@@ -1,0 +1,64 @@
+"""Scalar schedules for exploration and learning-rate decay."""
+
+from __future__ import annotations
+
+from repro.utils.validation import check_positive
+
+
+class Schedule:
+    """Interface: a scalar as a function of the global step counter."""
+
+    def value(self, step: int) -> float:
+        """Value of the schedule at ``step`` (>= 0)."""
+        raise NotImplementedError
+
+
+class ConstantSchedule(Schedule):
+    """Always the same value."""
+
+    def __init__(self, value: float) -> None:
+        self._value = float(value)
+
+    def value(self, step: int) -> float:
+        return self._value
+
+
+class LinearSchedule(Schedule):
+    """Linear interpolation from ``start`` to ``end`` over ``decay_steps``.
+
+    The canonical DQN ε-schedule: ε decays linearly from 1.0 to a small
+    floor over the exploration budget, then stays at the floor.
+    """
+
+    def __init__(self, start: float, end: float, decay_steps: int) -> None:
+        if decay_steps < 1:
+            raise ValueError(f"decay_steps must be >= 1, got {decay_steps}")
+        self.start = float(start)
+        self.end = float(end)
+        self.decay_steps = int(decay_steps)
+
+    def value(self, step: int) -> float:
+        if step < 0:
+            raise ValueError(f"step must be >= 0, got {step}")
+        frac = min(step / self.decay_steps, 1.0)
+        return self.start + frac * (self.end - self.start)
+
+
+class ExponentialSchedule(Schedule):
+    """Geometric decay ``start * rate**step`` floored at ``end``."""
+
+    def __init__(self, start: float, end: float, rate: float) -> None:
+        check_positive("start", start)
+        check_positive("end", end)
+        if not 0.0 < rate < 1.0:
+            raise ValueError(f"rate must be in (0, 1), got {rate}")
+        if end > start:
+            raise ValueError("end must be <= start for a decaying schedule")
+        self.start = float(start)
+        self.end = float(end)
+        self.rate = float(rate)
+
+    def value(self, step: int) -> float:
+        if step < 0:
+            raise ValueError(f"step must be >= 0, got {step}")
+        return max(self.start * self.rate**step, self.end)

@@ -1,0 +1,114 @@
+"""The training loop.
+
+``Trainer`` runs episodes against an environment, feeding transitions to
+the agent and invoking its learning hook each step, with periodic greedy
+evaluation episodes (exploration off) to track true control performance.
+All series land in a :class:`~repro.utils.logging.RunLogger` keyed as:
+
+* ``episode_return`` / ``episode_cost_usd`` / ``episode_violation_deg_hours``
+  — per training episode;
+* ``eval_return`` — greedy evaluation returns;
+* ``loss`` — per-update TD losses;
+* ``epsilon`` — exploration rate at each episode end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.agent import AgentBase
+from repro.env.core import Env
+from repro.utils.logging import RunLogger
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class TrainerConfig:
+    """Training-loop parameters."""
+
+    n_episodes: int = 60
+    eval_every: int = 0  # 0 disables periodic greedy evaluation
+    max_steps_per_episode: int = 10_000  # safety net over env termination
+
+    def __post_init__(self) -> None:
+        check_positive("n_episodes", self.n_episodes)
+        if self.eval_every < 0:
+            raise ValueError(f"eval_every must be >= 0, got {self.eval_every}")
+        check_positive("max_steps_per_episode", self.max_steps_per_episode)
+
+
+class Trainer:
+    """Runs the agent-environment interaction and learning loop."""
+
+    def __init__(
+        self,
+        env: Env,
+        agent: AgentBase,
+        *,
+        config: Optional[TrainerConfig] = None,
+        logger: Optional[RunLogger] = None,
+    ) -> None:
+        self.env = env
+        self.agent = agent
+        self.config = config if config is not None else TrainerConfig()
+        self.logger = logger if logger is not None else RunLogger()
+
+    # ------------------------------------------------------------- episodes
+    def run_episode(self, *, explore: bool, learn: bool) -> dict:
+        """Run one episode; returns its aggregate metrics."""
+        obs = self.env.reset()
+        self.agent.begin_episode(obs)
+        ep_return = ep_cost = ep_violation = ep_energy = 0.0
+        steps = 0
+        done = False
+        while not done and steps < self.config.max_steps_per_episode:
+            action = self.agent.select_action(obs, explore=explore)
+            next_obs, reward, done, info = self.env.step(action)
+            if learn:
+                self.agent.store(obs, action, reward, next_obs, done, info=info)
+                loss = self.agent.learn()
+                if loss is not None:
+                    self.logger.log("loss", loss)
+            obs = next_obs
+            ep_return += reward
+            ep_cost += float(info.get("cost_usd", 0.0))
+            ep_energy += float(info.get("energy_kwh", 0.0))
+            ep_violation += float(info.get("violation_deg_hours", 0.0))
+            steps += 1
+        return {
+            "return": ep_return,
+            "cost_usd": ep_cost,
+            "energy_kwh": ep_energy,
+            "violation_deg_hours": ep_violation,
+            "steps": steps,
+        }
+
+    def train(self) -> RunLogger:
+        """Run the configured number of training episodes; returns the log."""
+        for episode in range(self.config.n_episodes):
+            metrics = self.run_episode(explore=True, learn=True)
+            self.logger.log_many(
+                episode_return=metrics["return"],
+                episode_cost_usd=metrics["cost_usd"],
+                episode_energy_kwh=metrics["energy_kwh"],
+                episode_violation_deg_hours=metrics["violation_deg_hours"],
+                epsilon=getattr(self.agent, "epsilon", 0.0),
+            )
+            if (
+                self.config.eval_every
+                and (episode + 1) % self.config.eval_every == 0
+            ):
+                eval_metrics = self.run_episode(explore=False, learn=False)
+                self.logger.log("eval_return", eval_metrics["return"])
+        return self.logger
+
+    def evaluate(self, n_episodes: int = 1) -> dict:
+        """Average greedy-episode metrics over ``n_episodes``."""
+        check_positive("n_episodes", n_episodes)
+        totals = {"return": 0.0, "cost_usd": 0.0, "energy_kwh": 0.0, "violation_deg_hours": 0.0}
+        for _ in range(n_episodes):
+            metrics = self.run_episode(explore=False, learn=False)
+            for key in totals:
+                totals[key] += metrics[key]
+        return {key: value / n_episodes for key, value in totals.items()}

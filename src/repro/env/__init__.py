@@ -1,0 +1,26 @@
+"""Gym-like environment layer.
+
+``repro.env`` provides the small slice of the OpenAI-Gym API the agents
+need (``reset``/``step``, action/observation spaces, wrappers) and the
+:class:`HVACEnv` that composes the building, weather, VAV plant, tariff,
+and comfort model into the MDP the DAC'17 paper formulates.
+"""
+
+from repro.env.spaces import Box, Discrete, MultiDiscrete, Space
+from repro.env.core import Env
+from repro.env.comfort import ComfortBand
+from repro.env.hvac_env import HVACEnv, HVACEnvConfig
+from repro.env.wrappers import Monitor, TimeLimit
+
+__all__ = [
+    "Space",
+    "Discrete",
+    "MultiDiscrete",
+    "Box",
+    "Env",
+    "ComfortBand",
+    "HVACEnv",
+    "HVACEnvConfig",
+    "TimeLimit",
+    "Monitor",
+]

@@ -1,0 +1,61 @@
+"""Environment base class (the gym-like contract)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from repro.env.spaces import Space
+
+StepResult = Tuple[np.ndarray, float, bool, Dict[str, Any]]
+
+
+class Env:
+    """Abstract episodic environment.
+
+    Subclasses set ``observation_space`` and ``action_space`` and implement
+    ``reset``/``step``.  ``step`` returns ``(obs, reward, done, info)``;
+    ``info`` carries diagnostic scalars (energy cost, violations) that the
+    evaluation harness aggregates.
+    """
+
+    observation_space: Space
+    action_space: Space
+
+    def reset(self) -> np.ndarray:
+        """Start a new episode and return the initial observation."""
+        raise NotImplementedError
+
+    def step(self, action) -> StepResult:
+        """Apply ``action`` for one control step."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources (no-op by default)."""
+
+    # Wrapper plumbing: the innermost environment, for attribute access.
+    def unwrapped(self) -> "Env":
+        """Return the innermost (unwrapped) environment."""
+        return self
+
+
+class Wrapper(Env):
+    """Base class for environment decorators."""
+
+    def __init__(self, env: Env) -> None:
+        self.env = env
+        self.observation_space = env.observation_space
+        self.action_space = env.action_space
+
+    def reset(self) -> np.ndarray:
+        return self.env.reset()
+
+    def step(self, action) -> StepResult:
+        return self.env.step(action)
+
+    def close(self) -> None:
+        self.env.close()
+
+    def unwrapped(self) -> Env:
+        return self.env.unwrapped()

@@ -1,0 +1,314 @@
+"""The HVAC-control MDP (the paper's problem formulation).
+
+State (one control step, 15 minutes by default)
+    time-of-day encoding, workday flag, per-zone occupancy, zone
+    temperatures, ambient temperature, solar irradiance, current
+    electricity price, and noisy weather forecasts for the next
+    ``forecast_horizon`` steps — exactly the channels the DAC'17 state
+    vector carries, pre-scaled to O(1) ranges for the Q-network.
+
+Action
+    one discrete airflow level per zone (``MultiDiscrete``).
+
+Reward
+    ``-(energy cost in $) - comfort_weight * (violation degree-hours)``,
+    i.e. the paper's weighted trade-off between energy cost and comfort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.building.building import Building
+from repro.env.comfort import ComfortBand
+from repro.env.core import Env, StepResult
+from repro.env.spaces import Box, MultiDiscrete
+from repro.hvac.tariffs import Tariff, TimeOfUseTariff
+from repro.hvac.vav import VAVConfig, VAVSystem
+from repro.utils.seeding import RandomState, derive_rng, ensure_rng
+from repro.utils.validation import check_positive
+from repro.weather.forecast import ForecastProvider
+from repro.weather.series import SECONDS_PER_DAY, WeatherSeries
+
+# Fixed feature scalings: chosen so every observation channel is O(1).
+_TEMP_CENTER_C = 23.0
+_TEMP_SCALE_C = 10.0
+_OUT_CENTER_C = 20.0
+_OUT_SCALE_C = 15.0
+_GHI_SCALE = 1000.0
+_PRICE_SCALE = 0.30
+
+
+@dataclass(frozen=True)
+class HVACEnvConfig:
+    """Episode and reward configuration.
+
+    Attributes
+    ----------
+    comfort_weight:
+        λ — dollars of penalty per zone-degree-hour of comfort violation.
+        The paper's single trade-off knob (swept in experiment E5).
+    episode_days:
+        Episode length; one episode of one day matches the paper's
+        training protocol.
+    randomize_start_day:
+        When True each episode starts at a random day of the weather
+        trace (weather-diverse training); when False at day 0.
+    forecast_horizon:
+        Number of future control steps of weather forecast in the state
+        (0 disables forecast augmentation — ablated in E6).
+    forecast_temp_noise_std:
+        Forecast temperature error per step of lead time, °C.
+    initial_temp_noise_c:
+        Half-width of the uniform perturbation applied to initial zone
+        temperatures at reset.
+    """
+
+    comfort_weight: float = 1.0
+    cost_weight: float = 1.0
+    episode_days: float = 1.0
+    randomize_start_day: bool = False
+    forecast_horizon: int = 3
+    forecast_temp_noise_std: float = 0.25
+    forecast_ghi_relative_noise: float = 0.05
+    initial_temp_noise_c: float = 0.5
+
+    def __post_init__(self) -> None:
+        check_positive("comfort_weight", self.comfort_weight, strict=False)
+        check_positive("cost_weight", self.cost_weight, strict=False)
+        check_positive("episode_days", self.episode_days)
+        if self.forecast_horizon < 0:
+            raise ValueError(
+                f"forecast_horizon must be >= 0, got {self.forecast_horizon}"
+            )
+        check_positive("initial_temp_noise_c", self.initial_temp_noise_c, strict=False)
+
+
+class HVACEnv(Env):
+    """Building + VAV plant + weather + tariff composed into an MDP."""
+
+    def __init__(
+        self,
+        building: Building,
+        weather: WeatherSeries,
+        *,
+        vav: VAVConfig | VAVSystem | None = None,
+        tariff: Optional[Tariff] = None,
+        comfort: Optional[ComfortBand] = None,
+        config: Optional[HVACEnvConfig] = None,
+        rng: RandomState | int | None = None,
+    ) -> None:
+        self.building = building
+        self.weather = weather
+        if vav is None:
+            vav = VAVConfig()
+        if isinstance(vav, VAVConfig):
+            vav = VAVSystem(vav, building.n_zones)
+        if vav.n_zones != building.n_zones:
+            raise ValueError(
+                f"VAV serves {vav.n_zones} zones but building has {building.n_zones}"
+            )
+        self.vav = vav
+        self.tariff = tariff if tariff is not None else TimeOfUseTariff()
+        self.comfort = comfort if comfort is not None else ComfortBand()
+        self.config = config if config is not None else HVACEnvConfig()
+
+        self._rng = ensure_rng(rng)
+        self._forecast = ForecastProvider(
+            weather,
+            horizon=self.config.forecast_horizon,
+            temp_noise_std_per_step=self.config.forecast_temp_noise_std,
+            ghi_relative_noise_per_step=self.config.forecast_ghi_relative_noise,
+            rng=derive_rng(self._rng, "forecast"),
+        )
+
+        self.steps_per_day = int(round(SECONDS_PER_DAY / weather.dt_seconds))
+        self.episode_steps = int(round(self.config.episode_days * self.steps_per_day))
+        if self.episode_steps < 1:
+            raise ValueError("episode must span at least one control step")
+        if self.episode_steps >= len(weather):
+            raise ValueError(
+                f"episode of {self.episode_steps} steps does not fit in weather "
+                f"trace of {len(weather)} samples"
+            )
+
+        n = building.n_zones
+        self.action_space = MultiDiscrete([vav.n_levels] * n)
+        self._obs_names = self._build_obs_names()
+        dim = len(self._obs_names)
+        self.observation_space = Box(-np.inf, np.inf, (dim,))
+
+        self._index = 0
+        self._start_index = 0
+        self._temps = np.full(n, 0.5 * (self.comfort.occupied_low_c + self.comfort.occupied_high_c))
+        self._steps_taken = 0
+        self._needs_reset = True
+
+    # ------------------------------------------------------------- features
+    def _build_obs_names(self) -> List[str]:
+        n = self.building.n_zones
+        names = ["sin_hour", "cos_hour", "workday"]
+        names += [f"occupied_{z}" for z in self.building.zone_names]
+        names += [f"temp_{z}" for z in self.building.zone_names]
+        names += ["temp_out", "ghi", "price"]
+        for k in range(1, self.config.forecast_horizon + 1):
+            names.append(f"forecast_temp_out_{k}")
+        for k in range(1, self.config.forecast_horizon + 1):
+            names.append(f"forecast_ghi_{k}")
+        return names
+
+    @property
+    def obs_names(self) -> List[str]:
+        """Names of observation channels, index-aligned with the vector."""
+        return list(self._obs_names)
+
+    def _observation(self) -> np.ndarray:
+        i = self._index
+        day = self.weather.day_of_year(i)
+        hour = self.weather.hour_of_day(i)
+        occupied = self.building.occupancy(day, hour)
+        price = self.tariff.price_per_kwh(day, hour)
+
+        parts: List[float] = [
+            np.sin(2.0 * np.pi * hour / 24.0),
+            np.cos(2.0 * np.pi * hour / 24.0),
+            0.0 if (day - 1) % 7 >= 5 else 1.0,
+        ]
+        parts.extend(1.0 if o else 0.0 for o in occupied)
+        parts.extend((self._temps - _TEMP_CENTER_C) / _TEMP_SCALE_C)
+        parts.append((self.weather.temp_out_c[i] - _OUT_CENTER_C) / _OUT_SCALE_C)
+        parts.append(self.weather.ghi_w_m2[i] / _GHI_SCALE)
+        parts.append(price / _PRICE_SCALE)
+        if self.config.forecast_horizon > 0:
+            f_temp, f_ghi = self._forecast.forecast(i)
+            parts.extend((f_temp - _OUT_CENTER_C) / _OUT_SCALE_C)
+            parts.extend(f_ghi / _GHI_SCALE)
+        return np.asarray(parts, dtype=np.float64)
+
+    # ------------------------------------------------------------ lifecycle
+    def reset(self) -> np.ndarray:
+        """Start a new episode; returns the initial observation."""
+        max_start_day = int(len(self.weather) / self.steps_per_day - self.config.episode_days)
+        if self.config.randomize_start_day and max_start_day > 0:
+            start_day = int(self._rng.integers(0, max_start_day + 1))
+        else:
+            start_day = 0
+        self._start_index = start_day * self.steps_per_day
+        self._index = self._start_index
+        mid = 0.5 * (self.comfort.occupied_low_c + self.comfort.occupied_high_c)
+        noise = self.config.initial_temp_noise_c
+        self._temps = mid + self._rng.uniform(-noise, noise, size=self.building.n_zones)
+        self._steps_taken = 0
+        self._needs_reset = False
+        return self._observation()
+
+    def _coerce_action(self, action) -> np.ndarray:
+        if np.isscalar(action) and self.building.n_zones == 1:
+            action = [int(action)]
+        levels = np.asarray(action, dtype=int)
+        if not self.action_space.contains(levels):
+            raise ValueError(f"action {action!r} not in {self.action_space}")
+        return levels
+
+    def step(self, action) -> StepResult:
+        """Apply per-zone airflow levels for one control step."""
+        if self._needs_reset:
+            raise RuntimeError("call reset() before step()")
+        levels = self._coerce_action(action)
+
+        i = self._index
+        day = self.weather.day_of_year(i)
+        hour = self.weather.hour_of_day(i)
+        temp_out = float(self.weather.temp_out_c[i])
+        ghi = float(self.weather.ghi_w_m2[i])
+        dt = self.weather.dt_seconds
+        dt_hours = dt / 3600.0
+
+        # Plant response to the chosen airflow levels.
+        hvac_heat = self.vav.zone_heat_w(levels, self._temps)
+        power_w = self.vav.electric_power_w(levels, self._temps, temp_out)
+        cost_usd = self.tariff.energy_cost_usd(power_w, dt, day, hour)
+        energy_kwh = power_w * dt / 3.6e6
+
+        # Advance the thermal state.
+        new_temps = self.building.step(
+            self._temps,
+            temp_out_c=temp_out,
+            ghi_w_m2=ghi,
+            hvac_heat_w=hvac_heat,
+            day_of_year=day,
+            hour_of_day=hour,
+            dt_seconds=dt,
+        )
+
+        # Comfort accounting uses the end-of-step temperatures (what the
+        # occupants experience after the decision acts).
+        occupied = self.building.occupancy(day, hour)
+        violations = self.comfort.violations_deg(new_temps, occupied)
+        violation_deg_hours = float(violations.sum() * dt_hours)
+
+        reward = (
+            -self.config.cost_weight * cost_usd
+            - self.config.comfort_weight * violation_deg_hours
+        )
+
+        # Per-zone reward decomposition (sums exactly to the scalar
+        # reward): energy cost attributed by airflow share, comfort
+        # penalty by the zone's own violation.  The factored multi-zone
+        # agent trains each zone head on its local component.
+        flows = self.vav.flows_from_levels(levels)
+        total_flow = float(flows.sum())
+        if total_flow > 0.0:
+            cost_share = flows / total_flow
+        else:
+            cost_share = np.full(self.building.n_zones, 1.0 / self.building.n_zones)
+        reward_per_zone = (
+            -self.config.cost_weight * cost_usd * cost_share
+            - self.config.comfort_weight * violations * dt_hours
+        )
+
+        self._temps = new_temps
+        self._index += 1
+        self._steps_taken += 1
+        done = self._steps_taken >= self.episode_steps
+        if self._index >= len(self.weather) - 1:
+            done = True
+        if done:
+            self._needs_reset = True
+
+        info: Dict[str, object] = {
+            "energy_kwh": energy_kwh,
+            "cost_usd": cost_usd,
+            "power_w": power_w,
+            "violation_deg_hours": violation_deg_hours,
+            "violation_per_zone_deg": violations,
+            "reward_per_zone": reward_per_zone,
+            "temps_c": new_temps.copy(),
+            "temp_out_c": temp_out,
+            "ghi_w_m2": ghi,
+            "price_per_kwh": self.tariff.price_per_kwh(day, hour),
+            "levels": levels.copy(),
+            "occupied": occupied.copy(),
+            "day_of_year": day,
+            "hour_of_day": hour,
+        }
+        return self._observation(), float(reward), bool(done), info
+
+    # ------------------------------------------------------------- helpers
+    @property
+    def zone_temps_c(self) -> np.ndarray:
+        """Current zone temperatures (read-only copy)."""
+        return self._temps.copy()
+
+    @property
+    def time_index(self) -> int:
+        """Current index into the weather trace (advances each step)."""
+        return self._index
+
+    @property
+    def obs_dim(self) -> int:
+        """Length of the observation vector."""
+        return len(self._obs_names)

@@ -1,0 +1,140 @@
+"""Action/observation space descriptions.
+
+A minimal, dependency-free reimplementation of the Gym space classes the
+library uses: :class:`Discrete` (joint action index), :class:`MultiDiscrete`
+(one level per zone), and :class:`Box` (continuous observation vector).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.seeding import RandomState, ensure_rng
+
+
+class Space:
+    """Interface shared by all spaces."""
+
+    def sample(self, rng: RandomState | int | None = None):
+        """Draw a uniformly random element of the space."""
+        raise NotImplementedError
+
+    def contains(self, x) -> bool:
+        """Whether ``x`` is a valid element of the space."""
+        raise NotImplementedError
+
+
+class Discrete(Space):
+    """The integers ``0 .. n-1``."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        self.n = int(n)
+
+    def sample(self, rng: RandomState | int | None = None) -> int:
+        return int(ensure_rng(rng).integers(self.n))
+
+    def contains(self, x) -> bool:
+        try:
+            xi = int(x)
+        except (TypeError, ValueError):
+            return False
+        return 0 <= xi < self.n and float(x) == xi
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Discrete) and other.n == self.n
+
+    def __repr__(self) -> str:
+        return f"Discrete({self.n})"
+
+
+class MultiDiscrete(Space):
+    """A vector of independent discrete dimensions (one per zone)."""
+
+    def __init__(self, nvec: Sequence[int]) -> None:
+        nvec = np.asarray(nvec, dtype=int)
+        if nvec.ndim != 1 or nvec.size == 0:
+            raise ValueError("nvec must be a non-empty 1-D sequence")
+        if np.any(nvec < 1):
+            raise ValueError(f"all dimensions must be >= 1, got {nvec}")
+        self.nvec = nvec
+
+    @property
+    def n_joint(self) -> int:
+        """Size of the flattened joint action space (product of dims)."""
+        return int(np.prod(self.nvec))
+
+    def sample(self, rng: RandomState | int | None = None) -> np.ndarray:
+        rng = ensure_rng(rng)
+        return np.array([int(rng.integers(n)) for n in self.nvec])
+
+    def contains(self, x) -> bool:
+        x = np.asarray(x)
+        if x.shape != self.nvec.shape:
+            return False
+        if not np.issubdtype(x.dtype, np.integer):
+            if not np.all(x == np.floor(x)):
+                return False
+            x = x.astype(int)
+        return bool(np.all(x >= 0) and np.all(x < self.nvec))
+
+    # ---------------------------------------------------- joint index codec
+    def flatten(self, levels: Sequence[int]) -> int:
+        """Encode a per-dimension vector as a single joint index."""
+        levels = np.asarray(levels, dtype=int)
+        if not self.contains(levels):
+            raise ValueError(f"{levels} not contained in {self}")
+        index = 0
+        for level, n in zip(levels, self.nvec):
+            index = index * int(n) + int(level)
+        return index
+
+    def unflatten(self, index: int) -> np.ndarray:
+        """Decode a joint index back to the per-dimension vector."""
+        index = int(index)
+        if not 0 <= index < self.n_joint:
+            raise ValueError(f"joint index {index} out of range [0, {self.n_joint})")
+        out = np.zeros(len(self.nvec), dtype=int)
+        for i in range(len(self.nvec) - 1, -1, -1):
+            n = int(self.nvec[i])
+            out[i] = index % n
+            index //= n
+        return out
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, MultiDiscrete) and np.array_equal(other.nvec, self.nvec)
+
+    def __repr__(self) -> str:
+        return f"MultiDiscrete({self.nvec.tolist()})"
+
+
+class Box(Space):
+    """A continuous box ``[low, high]^shape`` (bounds broadcastable)."""
+
+    def __init__(self, low, high, shape: Sequence[int]) -> None:
+        shape = tuple(int(s) for s in shape)
+        self.low = np.broadcast_to(np.asarray(low, dtype=np.float64), shape).copy()
+        self.high = np.broadcast_to(np.asarray(high, dtype=np.float64), shape).copy()
+        if np.any(self.low > self.high):
+            raise ValueError("low must be <= high everywhere")
+        self.shape = shape
+
+    def sample(self, rng: RandomState | int | None = None) -> np.ndarray:
+        rng = ensure_rng(rng)
+        finite_low = np.where(np.isfinite(self.low), self.low, -1e3)
+        finite_high = np.where(np.isfinite(self.high), self.high, 1e3)
+        return rng.uniform(finite_low, finite_high)
+
+    def contains(self, x) -> bool:
+        x = np.asarray(x, dtype=np.float64)
+        return (
+            x.shape == self.shape
+            and bool(np.all(x >= self.low))
+            and bool(np.all(x <= self.high))
+        )
+
+    def __repr__(self) -> str:
+        return f"Box(shape={self.shape})"

@@ -1,0 +1,88 @@
+"""Environment wrappers: episode truncation and metric monitoring."""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.env.core import Env, StepResult, Wrapper
+from repro.utils.logging import RunLogger
+
+
+class TimeLimit(Wrapper):
+    """Truncate episodes after ``max_steps`` regardless of the inner env."""
+
+    def __init__(self, env: Env, max_steps: int) -> None:
+        super().__init__(env)
+        if max_steps < 1:
+            raise ValueError(f"max_steps must be >= 1, got {max_steps}")
+        self.max_steps = int(max_steps)
+        self._elapsed = 0
+
+    def reset(self) -> np.ndarray:
+        self._elapsed = 0
+        return self.env.reset()
+
+    def step(self, action) -> StepResult:
+        obs, reward, done, info = self.env.step(action)
+        self._elapsed += 1
+        if self._elapsed >= self.max_steps and not done:
+            done = True
+            info = dict(info)
+            info["time_limit_truncated"] = True
+        return obs, reward, done, info
+
+
+class Monitor(Wrapper):
+    """Accumulate per-episode return / energy / comfort series.
+
+    After each episode finishes, per-episode aggregates are appended to a
+    :class:`~repro.utils.logging.RunLogger` under the names
+    ``episode_return``, ``episode_cost_usd``, ``episode_energy_kwh``, and
+    ``episode_violation_deg_hours``.
+    """
+
+    def __init__(self, env: Env, logger: RunLogger | None = None) -> None:
+        super().__init__(env)
+        self.logger = logger if logger is not None else RunLogger()
+        self._reset_accumulators()
+
+    def _reset_accumulators(self) -> None:
+        self._ep_return = 0.0
+        self._ep_cost = 0.0
+        self._ep_energy = 0.0
+        self._ep_violation = 0.0
+        self._ep_steps = 0
+
+    def reset(self) -> np.ndarray:
+        self._reset_accumulators()
+        return self.env.reset()
+
+    def step(self, action) -> StepResult:
+        obs, reward, done, info = self.env.step(action)
+        self._ep_return += reward
+        self._ep_cost += float(info.get("cost_usd", 0.0))
+        self._ep_energy += float(info.get("energy_kwh", 0.0))
+        self._ep_violation += float(info.get("violation_deg_hours", 0.0))
+        self._ep_steps += 1
+        if done:
+            self.logger.log_many(
+                episode_return=self._ep_return,
+                episode_cost_usd=self._ep_cost,
+                episode_energy_kwh=self._ep_energy,
+                episode_violation_deg_hours=self._ep_violation,
+                episode_steps=self._ep_steps,
+            )
+        return obs, reward, done, info
+
+    def episode_summary(self) -> Dict[str, Any]:
+        """Latest per-episode aggregates (NaN before any episode ends)."""
+        return {
+            "episode_return": self.logger.last("episode_return"),
+            "episode_cost_usd": self.logger.last("episode_cost_usd"),
+            "episode_energy_kwh": self.logger.last("episode_energy_kwh"),
+            "episode_violation_deg_hours": self.logger.last(
+                "episode_violation_deg_hours"
+            ),
+        }

@@ -1,0 +1,25 @@
+"""Evaluation harness: metrics, episode runner, comparisons, reporting.
+
+The benchmarks in ``benchmarks/`` are thin wrappers over
+:mod:`repro.eval.experiments`, which holds one function per paper
+table/figure (E1–E9).  Everything renders to plain text tables and ASCII
+series so results can be diffed and recorded in EXPERIMENTS.md.
+"""
+
+from repro.eval.metrics import EpisodeMetrics, EpisodeTrace, comfort_violation_rate
+from repro.eval.runner import evaluate_controller, run_episode
+from repro.eval.compare import ComparisonRow, ComparisonTable
+from repro.eval.reporting import format_series, format_table, sparkline
+
+__all__ = [
+    "EpisodeMetrics",
+    "EpisodeTrace",
+    "comfort_violation_rate",
+    "run_episode",
+    "evaluate_controller",
+    "ComparisonRow",
+    "ComparisonTable",
+    "format_table",
+    "format_series",
+    "sparkline",
+]

@@ -1,0 +1,93 @@
+"""Controller comparison tables (the paper's Table I / Table II shape)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.eval.metrics import EpisodeMetrics
+from repro.eval.reporting import format_table
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One controller's evaluation summary."""
+
+    name: str
+    cost_usd: float
+    energy_kwh: float
+    violation_deg_hours: float
+    violation_rate: float
+    episode_return: float
+
+    @classmethod
+    def from_metrics(cls, name: str, metrics: EpisodeMetrics) -> "ComparisonRow":
+        """Build a row from evaluated episode metrics."""
+        return cls(
+            name=name,
+            cost_usd=metrics.cost_usd,
+            energy_kwh=metrics.energy_kwh,
+            violation_deg_hours=metrics.violation_deg_hours,
+            violation_rate=metrics.violation_rate,
+            episode_return=metrics.episode_return,
+        )
+
+
+class ComparisonTable:
+    """Ordered collection of rows with savings relative to a baseline."""
+
+    def __init__(self, baseline_name: Optional[str] = None) -> None:
+        self.rows: List[ComparisonRow] = []
+        self.baseline_name = baseline_name
+
+    def add(self, row: ComparisonRow) -> None:
+        """Append a controller's row."""
+        if any(r.name == row.name for r in self.rows):
+            raise ValueError(f"duplicate controller name {row.name!r}")
+        self.rows.append(row)
+
+    def row(self, name: str) -> ComparisonRow:
+        """Look up a row by controller name."""
+        for r in self.rows:
+            if r.name == name:
+                return r
+        raise KeyError(f"no controller named {name!r}")
+
+    def cost_saving_pct(self, name: str) -> float:
+        """Percent energy-cost saving of ``name`` vs the baseline row."""
+        if self.baseline_name is None:
+            raise ValueError("no baseline_name configured")
+        base = self.row(self.baseline_name).cost_usd
+        if base == 0:
+            return 0.0
+        return 100.0 * (base - self.row(name).cost_usd) / base
+
+    def render(self) -> str:
+        """Render the table as aligned text (the benchmark output)."""
+        header = [
+            "controller",
+            "cost_usd",
+            "energy_kwh",
+            "viol_degh",
+            "viol_rate",
+            "return",
+        ]
+        if self.baseline_name is not None:
+            header.append("cost_saving_%")
+        body = []
+        for r in self.rows:
+            cells = [
+                r.name,
+                f"{r.cost_usd:.3f}",
+                f"{r.energy_kwh:.2f}",
+                f"{r.violation_deg_hours:.2f}",
+                f"{r.violation_rate:.3f}",
+                f"{r.episode_return:.3f}",
+            ]
+            if self.baseline_name is not None:
+                if r.name == self.baseline_name:
+                    cells.append("baseline")
+                else:
+                    cells.append(f"{self.cost_saving_pct(r.name):+.1f}")
+            body.append(cells)
+        return format_table(header, body)

@@ -1,0 +1,96 @@
+"""Episode-level metrics and trace containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+
+@dataclass
+class EpisodeMetrics:
+    """Aggregates of one evaluation episode."""
+
+    episode_return: float = 0.0
+    cost_usd: float = 0.0
+    energy_kwh: float = 0.0
+    violation_deg_hours: float = 0.0
+    occupied_steps: int = 0
+    occupied_violation_steps: int = 0
+    steps: int = 0
+
+    def add_step(self, reward: float, info: dict) -> None:
+        """Fold one environment step into the aggregates."""
+        self.episode_return += reward
+        self.cost_usd += float(info.get("cost_usd", 0.0))
+        self.energy_kwh += float(info.get("energy_kwh", 0.0))
+        self.violation_deg_hours += float(info.get("violation_deg_hours", 0.0))
+        occupied = np.asarray(info.get("occupied", []), dtype=bool)
+        violations = np.asarray(info.get("violation_per_zone_deg", []), dtype=float)
+        if occupied.size:
+            self.occupied_steps += int(occupied.sum())
+            if violations.size:
+                self.occupied_violation_steps += int(
+                    np.sum((violations > 0.0) & occupied)
+                )
+        self.steps += 1
+
+    @property
+    def violation_rate(self) -> float:
+        """Fraction of occupied zone-steps outside the comfort band."""
+        if self.occupied_steps == 0:
+            return 0.0
+        return self.occupied_violation_steps / self.occupied_steps
+
+    def as_dict(self) -> dict:
+        """Flat dict of all metrics (for tables and assertions)."""
+        return {
+            "return": self.episode_return,
+            "cost_usd": self.cost_usd,
+            "energy_kwh": self.energy_kwh,
+            "violation_deg_hours": self.violation_deg_hours,
+            "violation_rate": self.violation_rate,
+            "steps": self.steps,
+        }
+
+
+@dataclass
+class EpisodeTrace:
+    """Step-by-step series of one episode, for figure-style outputs."""
+
+    hour_of_day: List[float] = field(default_factory=list)
+    temps_c: List[np.ndarray] = field(default_factory=list)
+    temp_out_c: List[float] = field(default_factory=list)
+    ghi_w_m2: List[float] = field(default_factory=list)
+    price_per_kwh: List[float] = field(default_factory=list)
+    power_w: List[float] = field(default_factory=list)
+    cost_usd: List[float] = field(default_factory=list)
+    levels: List[np.ndarray] = field(default_factory=list)
+    reward: List[float] = field(default_factory=list)
+    occupied_any: List[bool] = field(default_factory=list)
+
+    def add_step(self, reward: float, info: dict) -> None:
+        """Append one step's diagnostics."""
+        self.hour_of_day.append(float(info["hour_of_day"]))
+        self.temps_c.append(np.asarray(info["temps_c"], dtype=float))
+        self.temp_out_c.append(float(info["temp_out_c"]))
+        self.ghi_w_m2.append(float(info["ghi_w_m2"]))
+        self.price_per_kwh.append(float(info["price_per_kwh"]))
+        self.power_w.append(float(info["power_w"]))
+        self.cost_usd.append(float(info["cost_usd"]))
+        self.levels.append(np.asarray(info["levels"], dtype=int))
+        self.reward.append(float(reward))
+        self.occupied_any.append(bool(np.any(info["occupied"])))
+
+    def temps_array(self) -> np.ndarray:
+        """Zone temperatures as a ``(steps, zones)`` array."""
+        return np.asarray(self.temps_c)
+
+    def __len__(self) -> int:
+        return len(self.reward)
+
+
+def comfort_violation_rate(metrics: EpisodeMetrics) -> float:
+    """Convenience alias for the occupied-step violation rate."""
+    return metrics.violation_rate

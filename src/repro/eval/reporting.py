@@ -1,0 +1,67 @@
+"""Plain-text rendering: aligned tables, ASCII series, sparklines.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output aligned and diffable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def format_table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render rows as an aligned monospace table."""
+    header = [str(h) for h in header]
+    rows = [[str(c) for c in row] for row in rows]
+    for i, row in enumerate(rows):
+        if len(row) != len(header):
+            raise ValueError(
+                f"row {i} has {len(row)} cells for {len(header)} columns"
+            )
+    widths = [len(h) for h in header]
+    for row in rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    lines = [fmt(header), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Compress a numeric series into a one-line unicode sparkline."""
+    values = np.asarray(list(values), dtype=float)
+    if values.size == 0:
+        return ""
+    lo, hi = float(values.min()), float(values.max())
+    if hi - lo < 1e-12:
+        return _SPARK_CHARS[0] * values.size
+    scaled = (values - lo) / (hi - lo)
+    idx = np.minimum((scaled * len(_SPARK_CHARS)).astype(int), len(_SPARK_CHARS) - 1)
+    return "".join(_SPARK_CHARS[i] for i in idx)
+
+
+def format_series(
+    name: str, values: Sequence[float], *, width: int = 72
+) -> str:
+    """Render a named series: stats line plus a downsampled sparkline."""
+    values = list(values)
+    if not values:
+        return f"{name}: (empty)"
+    arr = np.asarray(values, dtype=float)
+    if arr.size > width:
+        # Downsample by block means so the sparkline fits the width.
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        arr = np.asarray(
+            [arr[a:b].mean() for a, b in zip(edges[:-1], edges[1:]) if b > a]
+        )
+    stats = (
+        f"n={len(values)} min={min(values):.3g} "
+        f"mean={sum(values) / len(values):.3g} max={max(values):.3g}"
+    )
+    return f"{name}: {stats}\n  {sparkline(arr)}"

@@ -1,0 +1,69 @@
+"""Episode runner: executes any controller on any env and aggregates."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.agent import AgentBase
+from repro.env.core import Env
+from repro.eval.metrics import EpisodeMetrics, EpisodeTrace
+from repro.utils.validation import check_positive
+
+
+def run_episode(
+    env: Env,
+    agent: AgentBase,
+    *,
+    explore: bool = False,
+    learn: bool = False,
+    record_trace: bool = False,
+    max_steps: int = 100_000,
+) -> Tuple[EpisodeMetrics, Optional[EpisodeTrace]]:
+    """Run one episode; returns ``(metrics, trace-or-None)``."""
+    check_positive("max_steps", max_steps)
+    obs = env.reset()
+    agent.begin_episode(obs)
+    metrics = EpisodeMetrics()
+    trace = EpisodeTrace() if record_trace else None
+    done = False
+    while not done and metrics.steps < max_steps:
+        action = agent.select_action(obs, explore=explore)
+        next_obs, reward, done, info = env.step(action)
+        if learn:
+            agent.store(obs, action, reward, next_obs, done, info=info)
+            agent.learn()
+        metrics.add_step(reward, info)
+        if trace is not None:
+            trace.add_step(reward, info)
+        obs = next_obs
+    return metrics, trace
+
+
+def evaluate_controller(
+    env: Env,
+    agent: AgentBase,
+    *,
+    n_episodes: int = 1,
+) -> EpisodeMetrics:
+    """Average greedy-episode metrics over ``n_episodes``.
+
+    Returns an :class:`EpisodeMetrics` whose totals are per-episode means
+    (violation-rate counters are summed so the rate stays exact).
+    """
+    check_positive("n_episodes", n_episodes)
+    combined = EpisodeMetrics()
+    for _ in range(n_episodes):
+        metrics, _ = run_episode(env, agent, explore=False, learn=False)
+        combined.episode_return += metrics.episode_return
+        combined.cost_usd += metrics.cost_usd
+        combined.energy_kwh += metrics.energy_kwh
+        combined.violation_deg_hours += metrics.violation_deg_hours
+        combined.occupied_steps += metrics.occupied_steps
+        combined.occupied_violation_steps += metrics.occupied_violation_steps
+        combined.steps += metrics.steps
+    combined.episode_return /= n_episodes
+    combined.cost_usd /= n_episodes
+    combined.energy_kwh /= n_episodes
+    combined.violation_deg_hours /= n_episodes
+    combined.steps //= n_episodes
+    return combined

@@ -1,0 +1,26 @@
+"""HVAC plant substrate: the VAV system and electricity tariffs.
+
+The controlled actuator in the DAC'17 setup is the VAV (variable air
+volume) box of each zone: the agent picks one of a small set of discrete
+airflow levels per zone every control step.  This package models the
+thermal effect of that airflow on the zones and the electric energy it
+costs (supply fan + cooling coil), plus the tariff structures used to
+price that energy (flat, time-of-use, and demand-response-event).
+"""
+
+from repro.hvac.vav import VAVConfig, VAVSystem
+from repro.hvac.tariffs import (
+    DemandResponseTariff,
+    FlatTariff,
+    Tariff,
+    TimeOfUseTariff,
+)
+
+__all__ = [
+    "VAVConfig",
+    "VAVSystem",
+    "Tariff",
+    "FlatTariff",
+    "TimeOfUseTariff",
+    "DemandResponseTariff",
+]

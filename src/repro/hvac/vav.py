@@ -1,0 +1,157 @@
+"""Variable-air-volume (VAV) HVAC plant model.
+
+Thermal side: supply air at ``supply_temp_c`` enters zone ``i`` at mass
+flow ``m_i``, so the zone receives ``m_i * cp * (T_supply - T_zone_i)``
+watts (negative = cooling).
+
+Electric side (what the tariff prices):
+
+* **Fan power** follows the affinity (cube) law on the total-flow
+  fraction — the physics behind why VAV saves energy at part load.
+* **Coil load** is the enthalpy drop from the mixed-air condition to the
+  supply condition: return air (flow-weighted zone temperature) blended
+  with ``outdoor_air_fraction`` of ambient air, cooled to supply
+  temperature, divided by the chiller COP to get electric power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_in_range, check_positive
+
+AIR_CP_J_PER_KG_K = 1006.0  # specific heat of air at HVAC conditions
+
+
+@dataclass(frozen=True)
+class VAVConfig:
+    """Static parameters of the VAV plant.
+
+    Attributes
+    ----------
+    flow_levels_kg_s:
+        The discrete airflow levels (kg/s) each zone's VAV box can take;
+        level 0 is conventionally "off".  This is the per-zone action set.
+    supply_temp_c:
+        Supply-air temperature leaving the cooling coil.
+    fan_power_max_w:
+        Fan electric power per zone at maximum airflow (cube law below).
+    outdoor_air_fraction:
+        Ventilation fraction of outdoor air in the mixed-air stream.
+    cop:
+        Chiller coefficient of performance (thermal W removed per
+        electric W).
+    """
+
+    flow_levels_kg_s: Tuple[float, ...] = (0.0, 0.15, 0.30, 0.45)
+    supply_temp_c: float = 12.8
+    fan_power_max_w: float = 400.0
+    outdoor_air_fraction: float = 0.3
+    cop: float = 3.0
+
+    def __post_init__(self) -> None:
+        levels = tuple(float(f) for f in self.flow_levels_kg_s)
+        if len(levels) < 2:
+            raise ValueError("need at least two flow levels (off + one on)")
+        if levels[0] != 0.0:
+            raise ValueError(f"first flow level must be 0 (off), got {levels[0]}")
+        if any(b <= a for a, b in zip(levels, levels[1:])):
+            raise ValueError(f"flow levels must be strictly increasing, got {levels}")
+        object.__setattr__(self, "flow_levels_kg_s", levels)
+        check_in_range("supply_temp_c", self.supply_temp_c, 0.0, 30.0)
+        check_positive("fan_power_max_w", self.fan_power_max_w, strict=False)
+        check_in_range("outdoor_air_fraction", self.outdoor_air_fraction, 0.0, 1.0)
+        check_positive("cop", self.cop)
+
+    @property
+    def n_levels(self) -> int:
+        """Number of discrete airflow levels per zone."""
+        return len(self.flow_levels_kg_s)
+
+    @property
+    def max_flow_kg_s(self) -> float:
+        """The top airflow level of one zone."""
+        return self.flow_levels_kg_s[-1]
+
+
+class VAVSystem:
+    """The VAV plant serving ``n_zones`` zones."""
+
+    def __init__(self, config: VAVConfig, n_zones: int) -> None:
+        if n_zones < 1:
+            raise ValueError(f"n_zones must be >= 1, got {n_zones}")
+        self.config = config
+        self.n_zones = int(n_zones)
+
+    # -------------------------------------------------------------- actions
+    @property
+    def n_levels(self) -> int:
+        """Discrete airflow levels per zone (the per-zone action count)."""
+        return self.config.n_levels
+
+    def flows_from_levels(self, levels: Sequence[int]) -> np.ndarray:
+        """Map per-zone level indices to airflow rates (kg/s)."""
+        levels = np.asarray(levels, dtype=int)
+        if levels.shape != (self.n_zones,):
+            raise ValueError(
+                f"levels must have shape ({self.n_zones},), got {levels.shape}"
+            )
+        if np.any(levels < 0) or np.any(levels >= self.config.n_levels):
+            raise ValueError(
+                f"levels must be in [0, {self.config.n_levels - 1}], got {levels}"
+            )
+        table = np.asarray(self.config.flow_levels_kg_s)
+        return table[levels]
+
+    # -------------------------------------------------------------- thermal
+    def zone_heat_w(self, levels: Sequence[int], zone_temps_c: np.ndarray) -> np.ndarray:
+        """Heat delivered to each zone by the supply air (negative = cooling)."""
+        zone_temps_c = np.asarray(zone_temps_c, dtype=np.float64)
+        if zone_temps_c.shape != (self.n_zones,):
+            raise ValueError(
+                f"zone_temps_c must have shape ({self.n_zones},), got {zone_temps_c.shape}"
+            )
+        flows = self.flows_from_levels(levels)
+        return flows * AIR_CP_J_PER_KG_K * (self.config.supply_temp_c - zone_temps_c)
+
+    # -------------------------------------------------------------- electric
+    def fan_power_w(self, levels: Sequence[int]) -> float:
+        """Supply-fan electric power via the affinity (cube) law."""
+        flows = self.flows_from_levels(levels)
+        total_max = self.config.max_flow_kg_s * self.n_zones
+        frac = float(flows.sum() / total_max)
+        return self.config.fan_power_max_w * self.n_zones * frac**3
+
+    def coil_power_w(
+        self, levels: Sequence[int], zone_temps_c: np.ndarray, temp_out_c: float
+    ) -> float:
+        """Cooling-coil electric power for the mixed-air stream.
+
+        Return air is the flow-weighted zone temperature; mixed air blends
+        in ``outdoor_air_fraction`` of ambient.  Only sensible cooling from
+        mixed-air to supply temperature is modelled; if the mixed air is
+        already at or below supply temperature (free cooling) the coil is
+        off.
+        """
+        zone_temps_c = np.asarray(zone_temps_c, dtype=np.float64)
+        flows = self.flows_from_levels(levels)
+        total = float(flows.sum())
+        if total <= 0.0:
+            return 0.0
+        return_temp = float(flows @ zone_temps_c / total)
+        oaf = self.config.outdoor_air_fraction
+        mixed_temp = (1.0 - oaf) * return_temp + oaf * temp_out_c
+        delta = max(mixed_temp - self.config.supply_temp_c, 0.0)
+        thermal_w = total * AIR_CP_J_PER_KG_K * delta
+        return thermal_w / self.config.cop
+
+    def electric_power_w(
+        self, levels: Sequence[int], zone_temps_c: np.ndarray, temp_out_c: float
+    ) -> float:
+        """Total electric power drawn by the plant for this action."""
+        return self.fan_power_w(levels) + self.coil_power_w(
+            levels, zone_temps_c, temp_out_c
+        )

@@ -1,0 +1,33 @@
+"""Weight-initialization schemes.
+
+He-uniform is the default for ReLU hidden layers; Xavier-uniform suits
+tanh and the linear output head.  Both draw from a symmetric uniform with
+variance matched to keep activation scale stable through depth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.seeding import RandomState
+
+
+def he_uniform(rng: RandomState, fan_in: int, fan_out: int) -> np.ndarray:
+    """He (Kaiming) uniform init: appropriate before ReLU nonlinearities."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError(f"fan_in/fan_out must be > 0, got {fan_in}, {fan_out}")
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def xavier_uniform(rng: RandomState, fan_in: int, fan_out: int) -> np.ndarray:
+    """Xavier (Glorot) uniform init: appropriate before tanh/linear layers."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError(f"fan_in/fan_out must be > 0, got {fan_in}, {fan_out}")
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def zeros_init(_rng: RandomState, fan_in: int, fan_out: int) -> np.ndarray:
+    """All-zeros init (used for biases and for deterministic tests)."""
+    return np.zeros((fan_in, fan_out))

@@ -1,0 +1,60 @@
+"""Scalar losses and their gradients for regression targets.
+
+Both losses average over every element of the batch, matching the DQN
+convention where each sampled transition contributes equally.  With
+``return_grad=True`` they also return ``dL/dpred`` ready to feed into
+``Sequential.backward``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+LossResult = Union[float, Tuple[float, np.ndarray]]
+
+
+def _prepare(pred: np.ndarray, target: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if pred.shape != target.shape:
+        raise ValueError(f"pred shape {pred.shape} != target shape {target.shape}")
+    return pred, target
+
+
+def mse_loss(pred: np.ndarray, target: np.ndarray, *, return_grad: bool = False) -> LossResult:
+    """Mean squared error ``mean((pred - target)^2)``."""
+    pred, target = _prepare(pred, target)
+    diff = pred - target
+    loss = float(np.mean(diff**2))
+    if not return_grad:
+        return loss
+    grad = 2.0 * diff / diff.size
+    return loss, grad
+
+
+def huber_loss(
+    pred: np.ndarray,
+    target: np.ndarray,
+    *,
+    delta: float = 1.0,
+    return_grad: bool = False,
+) -> LossResult:
+    """Huber loss: quadratic within ``delta`` of the target, linear outside.
+
+    This is the loss DQN uses (equivalently, error clipping) to keep large
+    TD errors from destabilizing training.
+    """
+    if delta <= 0:
+        raise ValueError(f"delta must be > 0, got {delta}")
+    pred, target = _prepare(pred, target)
+    diff = pred - target
+    abs_diff = np.abs(diff)
+    quadratic = 0.5 * diff**2
+    linear = delta * (abs_diff - 0.5 * delta)
+    loss = float(np.mean(np.where(abs_diff <= delta, quadratic, linear)))
+    if not return_grad:
+        return loss
+    grad = np.clip(diff, -delta, delta) / diff.size
+    return loss, grad

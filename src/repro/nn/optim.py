@@ -1,0 +1,136 @@
+"""First-order optimizers over :class:`~repro.nn.parameter.Parameter` lists.
+
+Optimizers mutate ``param.value`` in place using the gradient accumulated
+in ``param.grad``.  Internal state (momentum buffers, Adam moments) is
+keyed by position in the parameter list, so the list must stay stable for
+the lifetime of the optimizer — which it does for our static MLPs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+
+def clip_gradients(params: Sequence[Parameter], max_norm: float) -> float:
+    """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm so callers can log it.
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be > 0, got {max_norm}")
+    total = 0.0
+    for p in params:
+        total += float(np.sum(p.grad**2))
+    norm = float(np.sqrt(total))
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for p in params:
+            p.grad *= scale
+    return norm
+
+
+class Optimizer:
+    """Base optimizer holding a parameter list and a learning rate."""
+
+    def __init__(self, params: Sequence[Parameter], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"lr must be > 0, got {lr}")
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer needs at least one parameter")
+        self.lr = float(lr)
+
+    def step(self) -> None:
+        """Apply one update using the currently accumulated gradients."""
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        """Reset gradients of all managed parameters."""
+        for p in self.params:
+            p.zero_grad()
+
+
+class SGD(Optimizer):
+    """Vanilla stochastic gradient descent."""
+
+    def step(self) -> None:
+        for p in self.params:
+            p.value -= self.lr * p.grad
+
+
+class Momentum(Optimizer):
+    """SGD with classical (heavy-ball) momentum."""
+
+    def __init__(self, params: Sequence[Parameter], lr: float, momentum: float = 0.9) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self._velocity = [np.zeros_like(p.value) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            v *= self.momentum
+            v -= self.lr * p.grad
+            p.value += v
+
+
+class RMSProp(Optimizer):
+    """RMSProp — the optimizer used by the original DQN paper."""
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float,
+        decay: float = 0.95,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= decay < 1.0:
+            raise ValueError(f"decay must be in [0, 1), got {decay}")
+        self.decay = float(decay)
+        self.eps = float(eps)
+        self._mean_sq = [np.zeros_like(p.value) for p in self.params]
+
+    def step(self) -> None:
+        for p, ms in zip(self.params, self._mean_sq):
+            ms *= self.decay
+            ms += (1.0 - self.decay) * p.grad**2
+            p.value -= self.lr * p.grad / (np.sqrt(ms) + self.eps)
+
+
+class Adam(Optimizer):
+    """Adam with bias-corrected first and second moments."""
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"betas must be in [0, 1), got {beta1}, {beta2}")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self._m = [np.zeros_like(p.value) for p in self.params]
+        self._v = [np.zeros_like(p.value) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bc1 = 1.0 - self.beta1**self._t
+        bc2 = 1.0 - self.beta2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * p.grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * p.grad**2
+            p.value -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)

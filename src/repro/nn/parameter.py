@@ -1,0 +1,53 @@
+"""Trainable parameter container.
+
+A :class:`Parameter` couples a value array with a same-shaped gradient
+accumulator.  Layers add into ``grad`` during ``backward``; optimizers read
+``grad`` and update ``value`` in place so that references held by layers
+stay valid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Parameter:
+    """A named, trainable array with an accumulated gradient."""
+
+    def __init__(self, value: np.ndarray, name: str = "param") -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = str(name)
+
+    @property
+    def shape(self) -> tuple:
+        """Shape of the underlying value array."""
+        return self.value.shape
+
+    @property
+    def size(self) -> int:
+        """Number of scalar entries in the parameter."""
+        return int(self.value.size)
+
+    def zero_grad(self) -> None:
+        """Reset the gradient accumulator to zeros."""
+        self.grad.fill(0.0)
+
+    def copy_from(self, other: "Parameter") -> None:
+        """Copy another parameter's value in place (used for target nets)."""
+        if other.value.shape != self.value.shape:
+            raise ValueError(
+                f"shape mismatch copying {other.name} {other.value.shape} "
+                f"into {self.name} {self.value.shape}"
+            )
+        np.copyto(self.value, other.value)
+
+    def soft_update_from(self, other: "Parameter", tau: float) -> None:
+        """Polyak update: ``value <- tau * other + (1 - tau) * value``."""
+        if not 0.0 <= tau <= 1.0:
+            raise ValueError(f"tau must be in [0, 1], got {tau}")
+        self.value *= 1.0 - tau
+        self.value += tau * other.value
+
+    def __repr__(self) -> str:
+        return f"Parameter(name={self.name!r}, shape={self.value.shape})"

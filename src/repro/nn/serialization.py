@@ -1,0 +1,58 @@
+"""Checkpointing helpers: flatten a network to plain dicts and back.
+
+State dicts map parameter names to ``list``-of-floats payloads so they can
+be round-tripped through JSON; shapes are stored alongside for validation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+
+def state_dict(net: Layer) -> Dict[str, dict]:
+    """Extract all parameters of ``net`` into a JSON-serializable dict."""
+    out: Dict[str, dict] = {}
+    for i, p in enumerate(net.parameters()):
+        key = f"{i}:{p.name}"
+        out[key] = {"shape": list(p.value.shape), "data": p.value.ravel().tolist()}
+    return out
+
+
+def load_state_dict(net: Layer, state: Dict[str, dict]) -> None:
+    """Load parameters extracted by :func:`state_dict` back into ``net``.
+
+    The network must have the same architecture (same parameter order and
+    shapes) as the one the state was extracted from.
+    """
+    params = net.parameters()
+    if len(params) != len(state):
+        raise ValueError(
+            f"parameter count mismatch: net has {len(params)}, state has {len(state)}"
+        )
+    for i, p in enumerate(params):
+        key = f"{i}:{p.name}"
+        if key not in state:
+            raise KeyError(f"state missing parameter {key!r}")
+        entry = state[key]
+        shape = tuple(entry["shape"])
+        if shape != p.value.shape:
+            raise ValueError(
+                f"shape mismatch for {key}: state {shape} vs net {p.value.shape}"
+            )
+        np.copyto(p.value, np.asarray(entry["data"], dtype=np.float64).reshape(shape))
+
+
+def save_checkpoint(net: Layer, path: str | Path) -> None:
+    """Write a network checkpoint as JSON to ``path``."""
+    Path(path).write_text(json.dumps(state_dict(net)))
+
+
+def load_checkpoint(net: Layer, path: str | Path) -> None:
+    """Load a JSON checkpoint produced by :func:`save_checkpoint`."""
+    load_state_dict(net, json.loads(Path(path).read_text()))

@@ -1,0 +1,23 @@
+"""System identification: fit reduced-order zone models from traces.
+
+Model-based control (MPC) needs a plant model; in practice it is fitted
+from operational data rather than known.  This package collects
+operational traces from the simulator and fits a first-order RC zone
+model by linear least squares, recovering physical parameters
+(capacitance, envelope UA, solar aperture, internal gains) that the MPC
+baseline in :mod:`repro.baselines.mpc` then plans with.
+
+This closes the loop the DAC'17 paper motivates: DRL needs *no* model,
+while the classical alternative needs this identification step — whose
+accuracy the tests quantify.
+"""
+
+from repro.sysid.trace import OperationalTrace, collect_trace
+from repro.sysid.fit import FirstOrderZoneModel, fit_first_order_zone
+
+__all__ = [
+    "OperationalTrace",
+    "collect_trace",
+    "FirstOrderZoneModel",
+    "fit_first_order_zone",
+]

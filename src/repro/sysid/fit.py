@@ -1,0 +1,139 @@
+"""Least-squares fit of a first-order RC zone model.
+
+The single-zone heat balance, Euler-discretized over one control step, is
+
+    ΔT = dt/C · [ UA·(T_out − T) + a_s·GHI + q_int(occ) + Q_hvac ]
+
+which is linear in the grouped parameters ``UA/C``, ``a_s/C``,
+``q_occ/C``, ``q_base/C``, and ``1/C``.  Ordinary least squares on a
+logged trace recovers them; dividing by the fitted ``1/C`` converts back
+to physical units.  The fitted model predicts one step ahead and rolls
+out multi-step trajectories for the MPC baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sysid.trace import OperationalTrace
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class FirstOrderZoneModel:
+    """Identified single-zone RC model in physical units."""
+
+    capacitance_j_per_k: float
+    ua_w_per_k: float
+    solar_aperture_m2: float
+    gains_occupied_w: float
+    gains_base_w: float
+    dt_seconds: float
+    residual_rmse_c: float
+
+    def derivative(
+        self,
+        temp_c: float,
+        temp_out_c: float,
+        ghi_w_m2: float,
+        hvac_heat_w: float,
+        occupied: bool,
+    ) -> float:
+        """dT/dt (K/s) under the fitted parameters."""
+        gains = self.gains_occupied_w if occupied else self.gains_base_w
+        heat = (
+            self.ua_w_per_k * (temp_out_c - temp_c)
+            + self.solar_aperture_m2 * ghi_w_m2
+            + gains
+            + hvac_heat_w
+        )
+        return heat / self.capacitance_j_per_k
+
+    def step(
+        self,
+        temp_c: float,
+        temp_out_c: float,
+        ghi_w_m2: float,
+        hvac_heat_w: float,
+        occupied: bool,
+        dt_seconds: float | None = None,
+    ) -> float:
+        """One-step-ahead temperature prediction (Euler, as fitted)."""
+        dt = self.dt_seconds if dt_seconds is None else float(dt_seconds)
+        return temp_c + dt * self.derivative(
+            temp_c, temp_out_c, ghi_w_m2, hvac_heat_w, occupied
+        )
+
+    def rollout(
+        self,
+        temp_c: float,
+        temp_out_c: np.ndarray,
+        ghi_w_m2: np.ndarray,
+        hvac_heat_w: np.ndarray,
+        occupied: np.ndarray,
+    ) -> np.ndarray:
+        """Multi-step open-loop prediction; returns temps after each step."""
+        temps = np.empty(len(temp_out_c))
+        t = float(temp_c)
+        for k in range(len(temp_out_c)):
+            t = self.step(
+                t,
+                float(temp_out_c[k]),
+                float(ghi_w_m2[k]),
+                float(hvac_heat_w[k]),
+                bool(occupied[k]),
+            )
+            temps[k] = t
+        return temps
+
+
+def fit_first_order_zone(trace: OperationalTrace) -> FirstOrderZoneModel:
+    """Identify a :class:`FirstOrderZoneModel` from a logged trace.
+
+    Raises if the trace is too short or the regressors are degenerate
+    (e.g. the HVAC never ran, making ``1/C`` unidentifiable).
+    """
+    n = len(trace)
+    if n < 20:
+        raise ValueError(f"need at least 20 transitions to fit, got {n}")
+    if np.allclose(trace.hvac_heat_w, 0.0):
+        raise ValueError(
+            "trace has no HVAC activity: capacitance is unidentifiable "
+            "(excite the system with a policy that actually cools)"
+        )
+
+    dt = trace.dt_seconds
+    occ = trace.occupied.astype(float)
+    design = np.column_stack(
+        [
+            dt * (trace.temp_out_c - trace.temp_before_c),  # UA / C
+            dt * trace.ghi_w_m2,  # a_s / C
+            dt * occ,  # q_occ / C
+            dt * (1.0 - occ),  # q_base / C
+            dt * trace.hvac_heat_w,  # 1 / C
+        ]
+    )
+    target = trace.delta_t()
+    theta, *_ = np.linalg.lstsq(design, target, rcond=None)
+    inv_c = theta[4]
+    if inv_c <= 0:
+        raise ValueError(
+            f"fit produced non-physical capacitance (1/C = {inv_c:.3g}); "
+            "the trace likely lacks excitation"
+        )
+    capacitance = 1.0 / inv_c
+    residual = target - design @ theta
+    rmse = float(np.sqrt(np.mean(residual**2)))
+    model = FirstOrderZoneModel(
+        capacitance_j_per_k=capacitance,
+        ua_w_per_k=float(theta[0] * capacitance),
+        solar_aperture_m2=float(theta[1] * capacitance),
+        gains_occupied_w=float(theta[2] * capacitance),
+        gains_base_w=float(theta[3] * capacitance),
+        dt_seconds=dt,
+        residual_rmse_c=rmse,
+    )
+    check_positive("fitted capacitance", model.capacitance_j_per_k)
+    return model

@@ -1,0 +1,26 @@
+"""Shared utilities: seeding, validation, and lightweight run logging.
+
+These helpers are deliberately free of any domain knowledge so every other
+subpackage (neural nets, weather, building physics, agents) can depend on
+them without import cycles.
+"""
+
+from repro.utils.seeding import RandomState, derive_rng, ensure_rng
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_positive,
+    check_shape,
+)
+from repro.utils.logging import RunLogger
+
+__all__ = [
+    "RandomState",
+    "derive_rng",
+    "ensure_rng",
+    "check_finite",
+    "check_in_range",
+    "check_positive",
+    "check_shape",
+    "RunLogger",
+]

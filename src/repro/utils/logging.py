@@ -1,0 +1,88 @@
+"""A tiny structured run logger.
+
+Training loops record scalar series (episode return, epsilon, loss) keyed by
+name; the logger stores them in memory and can render a compact text digest
+or dump CSV for offline plotting.  It intentionally avoids any dependency on
+logging frameworks so it can be used inside benchmarks without setup.
+"""
+
+from __future__ import annotations
+
+import io
+from collections import defaultdict
+from typing import Dict, List
+
+
+class RunLogger:
+    """Accumulates named scalar series produced during a run."""
+
+    def __init__(self) -> None:
+        self._series: Dict[str, List[float]] = defaultdict(list)
+
+    def log(self, name: str, value: float) -> None:
+        """Append ``value`` to the series ``name``."""
+        self._series[name].append(float(value))
+
+    def log_many(self, **values: float) -> None:
+        """Append one value to each named series given as keyword args."""
+        for name, value in values.items():
+            self.log(name, value)
+
+    def series(self, name: str) -> List[float]:
+        """Return a copy of the series ``name`` (empty list if absent)."""
+        return list(self._series.get(name, []))
+
+    def names(self) -> List[str]:
+        """Return the sorted names of all recorded series."""
+        return sorted(self._series)
+
+    def last(self, name: str, default: float = float("nan")) -> float:
+        """Return the most recent value of ``name`` or ``default``."""
+        values = self._series.get(name)
+        if not values:
+            return default
+        return values[-1]
+
+    def moving_average(self, name: str, window: int) -> List[float]:
+        """Return the trailing moving average of a series.
+
+        Entry ``i`` averages the values up to and including ``i`` over at
+        most ``window`` samples, so the output has the same length as the
+        input and is well-defined from the first element.
+        """
+        if window <= 0:
+            raise ValueError(f"window must be > 0, got {window}")
+        values = self._series.get(name, [])
+        out: List[float] = []
+        running = 0.0
+        for i, v in enumerate(values):
+            running += v
+            if i >= window:
+                running -= values[i - window]
+            out.append(running / min(i + 1, window))
+        return out
+
+    def to_csv(self) -> str:
+        """Render all series as CSV (columns padded with empty cells)."""
+        names = self.names()
+        if not names:
+            return ""
+        rows = max(len(self._series[n]) for n in names)
+        buf = io.StringIO()
+        buf.write(",".join(names) + "\n")
+        for i in range(rows):
+            cells = []
+            for n in names:
+                series = self._series[n]
+                cells.append(f"{series[i]:.6g}" if i < len(series) else "")
+            buf.write(",".join(cells) + "\n")
+        return buf.getvalue()
+
+    def summary(self) -> str:
+        """Render a one-line-per-series digest (count, mean, last)."""
+        lines = []
+        for n in self.names():
+            s = self._series[n]
+            mean = sum(s) / len(s)
+            lines.append(f"{n}: n={len(s)} mean={mean:.4g} last={s[-1]:.4g}")
+        return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Small argument-validation helpers with consistent error messages.
+
+Building physics and RL hyperparameters are easy to misconfigure (negative
+capacitances, probabilities outside [0, 1], NaN observations).  Failing
+early with a named-argument message is much cheaper to debug than a NaN
+that surfaces three subsystems later.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> float:
+    """Validate that ``value`` is positive (or non-negative if not strict)."""
+    value = float(value)
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    low: float,
+    high: float,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Validate that ``value`` lies in ``[low, high]`` (or ``(low, high)``)."""
+    value = float(value)
+    if inclusive:
+        ok = low <= value <= high
+    else:
+        ok = low < value < high
+    if not ok:
+        bounds = f"[{low}, {high}]" if inclusive else f"({low}, {high})"
+        raise ValueError(f"{name} must be in {bounds}, got {value}")
+    return value
+
+
+def check_shape(name: str, array: np.ndarray, shape: Sequence[int]) -> np.ndarray:
+    """Validate that ``array`` has exactly ``shape`` (use -1 for any size)."""
+    array = np.asarray(array)
+    if len(array.shape) != len(shape):
+        raise ValueError(
+            f"{name} must have {len(shape)} dims {tuple(shape)}, got shape {array.shape}"
+        )
+    for got, want in zip(array.shape, shape):
+        if want != -1 and got != want:
+            raise ValueError(f"{name} must have shape {tuple(shape)}, got {array.shape}")
+    return array
+
+
+def check_finite(name: str, array: np.ndarray) -> np.ndarray:
+    """Validate that every element of ``array`` is finite (no NaN/inf)."""
+    array = np.asarray(array, dtype=float)
+    if not np.all(np.isfinite(array)):
+        bad = int(np.size(array) - np.isfinite(array).sum())
+        raise ValueError(f"{name} contains {bad} non-finite value(s)")
+    return array

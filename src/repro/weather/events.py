@@ -1,0 +1,69 @@
+"""Synthetic extreme-weather events for robustness experiments.
+
+A controller trained on typical weather must not fall apart in an
+atypical week — the generalization question any deployed HVAC RL agent
+faces.  :func:`inject_heat_wave` superimposes a smooth multi-day
+temperature anomaly (with an optional clear-sky boost) onto an existing
+trace, producing the out-of-distribution evaluation weather used by
+experiment E11.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+from repro.weather.series import SECONDS_PER_DAY, WeatherSeries
+
+
+def inject_heat_wave(
+    series: WeatherSeries,
+    *,
+    start_day: int,
+    n_days: float,
+    peak_amplitude_c: float = 6.0,
+    ghi_boost: float = 1.1,
+) -> WeatherSeries:
+    """Return a copy of ``series`` with a heat wave superimposed.
+
+    Parameters
+    ----------
+    start_day:
+        Day offset into the trace (0 = first day) where the wave begins.
+    n_days:
+        Duration of the wave; the anomaly ramps up and down as a raised
+        half-sine, peaking mid-wave.
+    peak_amplitude_c:
+        Temperature anomaly at the peak of the wave.
+    ghi_boost:
+        Multiplier on irradiance during the wave (heat waves are usually
+        cloudless); capped at clear-sky-plausible values by the caller's
+        choice of boost.
+    """
+    check_positive("n_days", n_days)
+    check_positive("peak_amplitude_c", peak_amplitude_c, strict=False)
+    check_positive("ghi_boost", ghi_boost)
+    if start_day < 0:
+        raise ValueError(f"start_day must be >= 0, got {start_day}")
+    steps_per_day = SECONDS_PER_DAY / series.dt_seconds
+    start = int(round(start_day * steps_per_day))
+    length = int(round(n_days * steps_per_day))
+    if start >= len(series):
+        raise ValueError(
+            f"heat wave starts at step {start}, beyond trace of {len(series)}"
+        )
+    stop = min(start + length, len(series))
+
+    temp = series.temp_out_c.copy()
+    ghi = series.ghi_w_m2.copy()
+    phase = np.linspace(0.0, np.pi, stop - start)
+    anomaly = peak_amplitude_c * np.sin(phase)
+    temp[start:stop] += anomaly
+    ghi[start:stop] *= 1.0 + (ghi_boost - 1.0) * np.sin(phase)
+
+    return WeatherSeries(
+        dt_seconds=series.dt_seconds,
+        start_day_of_year=series.start_day_of_year,
+        temp_out_c=temp,
+        ghi_w_m2=ghi,
+    )

@@ -1,0 +1,75 @@
+"""Weather forecast providers.
+
+The DAC'17 state vector augments current weather with forecasts of the
+next few control steps.  :class:`ForecastProvider` serves those forecasts
+with lead-time-proportional Gaussian noise (imperfect forecasts);
+:class:`PerfectForecastProvider` serves the true future (the idealized
+upper bound used in ablations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.seeding import RandomState, ensure_rng
+from repro.utils.validation import check_positive
+from repro.weather.series import WeatherSeries
+
+
+class ForecastProvider:
+    """Noisy forecasts of ambient temperature and GHI.
+
+    Forecast error grows with lead time: step ``k`` ahead has standard
+    deviation ``k * noise_std_per_step`` for temperature and the same
+    relative noise on irradiance.  Beyond the end of the series, the last
+    sample is persisted (standard "persistence" fallback).
+    """
+
+    def __init__(
+        self,
+        series: WeatherSeries,
+        *,
+        horizon: int,
+        temp_noise_std_per_step: float = 0.25,
+        ghi_relative_noise_per_step: float = 0.05,
+        rng: RandomState | int | None = None,
+    ) -> None:
+        if horizon < 0:
+            raise ValueError(f"horizon must be >= 0, got {horizon}")
+        check_positive("temp_noise_std_per_step", temp_noise_std_per_step, strict=False)
+        check_positive("ghi_relative_noise_per_step", ghi_relative_noise_per_step, strict=False)
+        self.series = series
+        self.horizon = int(horizon)
+        self.temp_noise_std_per_step = float(temp_noise_std_per_step)
+        self.ghi_relative_noise_per_step = float(ghi_relative_noise_per_step)
+        self._rng = ensure_rng(rng)
+
+    def _future_index(self, index: int, lead: int) -> int:
+        return min(index + lead, len(self.series) - 1)
+
+    def forecast(self, index: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(temps, ghis)`` for leads ``1..horizon`` from ``index``."""
+        if not 0 <= index < len(self.series):
+            raise IndexError(f"index {index} out of range for series of {len(self.series)}")
+        temps = np.empty(self.horizon)
+        ghis = np.empty(self.horizon)
+        for k in range(1, self.horizon + 1):
+            j = self._future_index(index, k)
+            temp_noise = self._rng.normal(0.0, self.temp_noise_std_per_step * k)
+            ghi_noise = self._rng.normal(0.0, self.ghi_relative_noise_per_step * k)
+            temps[k - 1] = self.series.temp_out_c[j] + temp_noise
+            ghis[k - 1] = max(self.series.ghi_w_m2[j] * (1.0 + ghi_noise), 0.0)
+        return temps, ghis
+
+
+class PerfectForecastProvider(ForecastProvider):
+    """Forecasts with zero error — the oracle variant for ablations."""
+
+    def __init__(self, series: WeatherSeries, *, horizon: int) -> None:
+        super().__init__(
+            series,
+            horizon=horizon,
+            temp_noise_std_per_step=0.0,
+            ghi_relative_noise_per_step=0.0,
+            rng=0,
+        )

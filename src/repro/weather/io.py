@@ -1,0 +1,64 @@
+"""CSV persistence for weather traces.
+
+A deliberately simple EPW-lite format: a two-line header carrying the
+sampling metadata followed by ``temp_out_c,ghi_w_m2`` rows.  This lets
+users drive the simulator with externally prepared traces (e.g. converted
+from real TMY3 files) without this library needing an EPW parser.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.weather.series import WeatherSeries
+
+_HEADER_PREFIX = "# repro-weather"
+
+
+def weather_to_csv(series: WeatherSeries, path: str | Path) -> None:
+    """Write ``series`` to ``path`` in the repro weather CSV format."""
+    path = Path(path)
+    lines = [
+        f"{_HEADER_PREFIX} dt_seconds={series.dt_seconds} "
+        f"start_day_of_year={series.start_day_of_year}",
+        "temp_out_c,ghi_w_m2",
+    ]
+    for t, g in zip(series.temp_out_c, series.ghi_w_m2):
+        lines.append(f"{t:.4f},{g:.4f}")
+    path.write_text("\n".join(lines) + "\n")
+
+
+def weather_from_csv(path: str | Path) -> WeatherSeries:
+    """Read a trace written by :func:`weather_to_csv`."""
+    path = Path(path)
+    lines = path.read_text().strip().splitlines()
+    if len(lines) < 3:
+        raise ValueError(f"{path}: too short to be a weather CSV")
+    header = lines[0]
+    if not header.startswith(_HEADER_PREFIX):
+        raise ValueError(f"{path}: missing '{_HEADER_PREFIX}' header")
+    meta = dict(
+        kv.split("=", 1) for kv in header[len(_HEADER_PREFIX):].split() if "=" in kv
+    )
+    try:
+        dt_seconds = float(meta["dt_seconds"])
+        start_day = int(meta["start_day_of_year"])
+    except KeyError as exc:
+        raise ValueError(f"{path}: header missing key {exc}") from exc
+    if lines[1].strip() != "temp_out_c,ghi_w_m2":
+        raise ValueError(f"{path}: unexpected column header {lines[1]!r}")
+    temps, ghis = [], []
+    for i, line in enumerate(lines[2:], start=3):
+        parts = line.split(",")
+        if len(parts) != 2:
+            raise ValueError(f"{path}:{i}: expected 2 columns, got {len(parts)}")
+        temps.append(float(parts[0]))
+        ghis.append(float(parts[1]))
+    return WeatherSeries(
+        dt_seconds=dt_seconds,
+        start_day_of_year=start_day,
+        temp_out_c=np.asarray(temps),
+        ghi_w_m2=np.asarray(ghis),
+    )

@@ -1,0 +1,73 @@
+"""Tests for the receding-horizon MPC baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MPCController, RandomController, ThermostatController
+from repro.eval import evaluate_controller, run_episode
+from repro.sysid import collect_trace, fit_first_order_zone
+
+
+class TestConstruction:
+    def test_true_model_default(self, single_zone_env):
+        mpc = MPCController(single_zone_env, horizon=3)
+        zone = single_zone_env.building.zones[0]
+        assert mpc.model.capacitance_j_per_k == zone.capacitance_j_per_k
+        assert mpc.model.ua_w_per_k == zone.ua_ambient_w_per_k
+
+    def test_rejects_multizone(self, four_zone_env):
+        with pytest.raises(ValueError, match="single-zone"):
+            MPCController(four_zone_env)
+
+    def test_rejects_huge_search(self, single_zone_env):
+        with pytest.raises(ValueError, match="exceed limit"):
+            MPCController(single_zone_env, horizon=12, max_sequences=1000)
+
+    def test_rejects_bad_horizon(self, single_zone_env):
+        with pytest.raises(ValueError, match="horizon"):
+            MPCController(single_zone_env, horizon=0)
+
+
+class TestControl:
+    def test_actions_valid(self, single_zone_env):
+        mpc = MPCController(single_zone_env, horizon=3)
+        obs = single_zone_env.reset()
+        for _ in range(5):
+            action = mpc.select_action(obs)
+            assert single_zone_env.action_space.contains(action)
+            obs, *_ = single_zone_env.step(action)
+
+    def test_beats_random(self, single_zone_env):
+        mpc = MPCController(single_zone_env, horizon=3)
+        mpc_metrics, _ = run_episode(single_zone_env, mpc)
+        rand_metrics, _ = run_episode(
+            single_zone_env, RandomController(single_zone_env.action_space, rng=0)
+        )
+        assert mpc_metrics.episode_return > rand_metrics.episode_return
+
+    def test_competitive_with_thermostat(self, single_zone_env):
+        mpc = MPCController(single_zone_env, horizon=4)
+        mpc_metrics = evaluate_controller(single_zone_env, mpc)
+        thermo_metrics = evaluate_controller(
+            single_zone_env, ThermostatController(single_zone_env)
+        )
+        # A planner with the true model should never be much worse.
+        assert mpc_metrics.episode_return > thermo_metrics.episode_return - 2.0
+
+    def test_keeps_comfort(self, single_zone_env):
+        mpc = MPCController(single_zone_env, horizon=4)
+        metrics, _ = run_episode(single_zone_env, mpc)
+        assert metrics.violation_rate < 0.15
+
+
+class TestWithIdentifiedModel:
+    def test_fitted_model_controls(self, single_zone_env):
+        trace = collect_trace(single_zone_env, n_steps=400, rng=2)
+        model = fit_first_order_zone(trace)
+        mpc = MPCController(single_zone_env, model=model, horizon=3)
+        metrics, _ = run_episode(single_zone_env, mpc)
+        rand_metrics, _ = run_episode(
+            single_zone_env, RandomController(single_zone_env.action_space, rng=0)
+        )
+        assert metrics.episode_return > rand_metrics.episode_return
+        assert metrics.violation_rate < 0.2

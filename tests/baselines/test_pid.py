@@ -1,0 +1,52 @@
+"""Tests for the PID baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PIDController
+from repro.eval import run_episode
+
+
+class TestPID:
+    def test_output_is_valid_action(self, single_zone_env):
+        obs = single_zone_env.reset()
+        pid = PIDController(single_zone_env)
+        action = pid.select_action(obs)
+        assert single_zone_env.action_space.contains(action)
+
+    def test_proportional_response(self, single_zone_env):
+        obs = single_zone_env.reset()
+        # Well above setpoint -> strong action.
+        hot = PIDController(single_zone_env, setpoint_c=15.0, ki=0.0, kd=0.0)
+        cold = PIDController(single_zone_env, setpoint_c=35.0, ki=0.0, kd=0.0)
+        assert hot.select_action(obs)[0] > cold.select_action(obs)[0]
+
+    def test_integral_windup_clamped(self, single_zone_env):
+        obs = single_zone_env.reset()
+        pid = PIDController(single_zone_env, ki=1.0, integral_limit=2.0)
+        for _ in range(100):
+            pid.select_action(obs)
+        assert np.all(np.abs(pid._integral) <= 2.0)
+
+    def test_begin_episode_clears_state(self, single_zone_env):
+        obs = single_zone_env.reset()
+        pid = PIDController(single_zone_env)
+        pid.select_action(obs)
+        pid.begin_episode(obs)
+        assert np.all(pid._integral == 0.0)
+        assert not pid._initialized
+
+    def test_derivative_zero_on_first_step(self, single_zone_env):
+        obs = single_zone_env.reset()
+        with_kd = PIDController(single_zone_env, kp=1.0, ki=0.0, kd=100.0)
+        without_kd = PIDController(single_zone_env, kp=1.0, ki=0.0, kd=0.0)
+        assert with_kd.select_action(obs)[0] == without_kd.select_action(obs)[0]
+
+    def test_controls_comfort_reasonably(self, single_zone_env):
+        pid = PIDController(single_zone_env)
+        metrics, _ = run_episode(single_zone_env, pid)
+        assert metrics.violation_rate < 0.25
+
+    def test_rejects_negative_gain(self, single_zone_env):
+        with pytest.raises(ValueError):
+            PIDController(single_zone_env, kp=-1.0)

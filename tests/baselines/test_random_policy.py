@@ -1,0 +1,32 @@
+"""Tests for the random baseline."""
+
+import numpy as np
+
+from repro.baselines import RandomController
+from repro.env.spaces import MultiDiscrete
+
+
+class TestRandomController:
+    def test_actions_valid(self):
+        space = MultiDiscrete([4, 4])
+        ctrl = RandomController(space, rng=0)
+        for _ in range(50):
+            assert space.contains(ctrl.select_action(np.zeros(3)))
+
+    def test_deterministic_with_seed(self):
+        space = MultiDiscrete([4])
+        a = [RandomController(space, rng=5).select_action(np.zeros(1))[0] for _ in range(1)]
+        b = [RandomController(space, rng=5).select_action(np.zeros(1))[0] for _ in range(1)]
+        assert a == b
+
+    def test_covers_action_space(self):
+        space = MultiDiscrete([4])
+        ctrl = RandomController(space, rng=0)
+        seen = {ctrl.select_action(np.zeros(1))[0] for _ in range(100)}
+        assert seen == {0, 1, 2, 3}
+
+    def test_learning_hooks_are_noops(self):
+        space = MultiDiscrete([2])
+        ctrl = RandomController(space, rng=0)
+        ctrl.store(np.zeros(1), np.zeros(1, dtype=int), 0.0, np.zeros(1), False)
+        assert ctrl.learn() is None

@@ -1,0 +1,59 @@
+"""Tests for the rule-based thermostat baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ThermostatController
+from repro.eval import run_episode
+
+
+class TestThermostat:
+    def test_off_when_cool(self, single_zone_env):
+        obs = single_zone_env.reset()
+        thermo = ThermostatController(single_zone_env, setpoint_c=30.0)
+        thermo.begin_episode(obs)
+        # Initial temps ~24 C, far below a 30 C setpoint: stays off.
+        assert thermo.select_action(obs)[0] == 0
+
+    def test_on_when_hot(self, single_zone_env):
+        obs = single_zone_env.reset()
+        thermo = ThermostatController(single_zone_env, setpoint_c=18.0)
+        thermo.begin_episode(obs)
+        # 24 C zone above an 18 C setpoint: full cooling.
+        assert thermo.select_action(obs)[0] == thermo.on_level
+
+    def test_hysteresis_keeps_state_inside_deadband(self, single_zone_env):
+        obs = single_zone_env.reset()
+        temps = single_zone_env.zone_temps_c
+        thermo = ThermostatController(
+            single_zone_env, setpoint_c=float(temps[0]), deadband_c=4.0
+        )
+        thermo.begin_episode(obs)
+        # Inside the deadband the initial (off) state persists.
+        assert thermo.select_action(obs)[0] == 0
+
+    def test_holds_comfort_band_on_hot_days(self, single_zone_env):
+        thermo = ThermostatController(single_zone_env)
+        metrics, _ = run_episode(single_zone_env, thermo)
+        assert metrics.violation_rate < 0.1
+
+    def test_begin_episode_resets_state(self, single_zone_env):
+        obs = single_zone_env.reset()
+        thermo = ThermostatController(single_zone_env, setpoint_c=18.0)
+        thermo.select_action(obs)  # switches ON
+        thermo.begin_episode(obs)
+        assert not thermo._state.any()
+
+    def test_multizone_independent_switching(self, four_zone_env):
+        obs = four_zone_env.reset()
+        thermo = ThermostatController(four_zone_env, setpoint_c=24.0, deadband_c=0.5)
+        action = thermo.select_action(obs)
+        assert action.shape == (4,)
+
+    def test_rejects_bad_levels(self, single_zone_env):
+        with pytest.raises(ValueError, match="off_level"):
+            ThermostatController(single_zone_env, on_level=0)
+
+    def test_rejects_bad_deadband(self, single_zone_env):
+        with pytest.raises(ValueError, match="deadband"):
+            ThermostatController(single_zone_env, deadband_c=0.0)

@@ -1,0 +1,119 @@
+"""Tests for the tabular Q-learning baseline and its discretizer."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ObsDiscretizer, TabularQAgent, TabularQConfig
+from repro.core import Trainer, TrainerConfig
+
+
+class TestDiscretizer:
+    def test_key_from_env_obs(self, single_zone_env):
+        obs = single_zone_env.reset()
+        disc = ObsDiscretizer(single_zone_env.obs_names)
+        key = disc.key(obs)
+        assert isinstance(key, tuple)
+        # hour + 1 zone temp + ambient + price flag
+        assert len(key) == 4
+
+    def test_same_obs_same_key(self, single_zone_env):
+        obs = single_zone_env.reset()
+        disc = ObsDiscretizer(single_zone_env.obs_names)
+        assert disc.key(obs) == disc.key(obs.copy())
+
+    def test_different_hours_differ(self, single_zone_env):
+        disc = ObsDiscretizer(single_zone_env.obs_names, hour_bins=24)
+        obs = single_zone_env.reset()
+        key0 = disc.key(obs)
+        for _ in range(20):  # 5 hours later
+            obs, *_ = single_zone_env.step([0])
+        assert disc.key(obs) != key0
+
+    def test_multizone_key_length(self, four_zone_env):
+        obs = four_zone_env.reset()
+        disc = ObsDiscretizer(four_zone_env.obs_names)
+        assert len(disc.key(obs)) == 7  # hour + 4 temps + ambient + price
+
+    def test_n_states_bound(self, single_zone_env):
+        disc = ObsDiscretizer(
+            single_zone_env.obs_names, hour_bins=4, temp_bins=4, out_bins=2
+        )
+        assert disc.n_states_bound() == 4 * 4 * 2 * 2
+
+    def test_missing_channels_rejected(self):
+        with pytest.raises(ValueError, match="missing channel"):
+            ObsDiscretizer(["temp_z0"])
+
+    def test_extreme_values_clamped_to_bins(self, single_zone_env):
+        disc = ObsDiscretizer(single_zone_env.obs_names, temp_bins=4)
+        obs = single_zone_env.reset().copy()
+        names = single_zone_env.obs_names
+        obs[names.index("temp_zone0")] = 100.0  # absurd scaled value
+        key = disc.key(obs)
+        assert 0 <= key[1] < 4
+
+
+class TestTabularQ:
+    def test_action_validity(self, single_zone_env):
+        obs = single_zone_env.reset()
+        agent = TabularQAgent(
+            single_zone_env.obs_names, single_zone_env.action_space, rng=0
+        )
+        assert single_zone_env.action_space.contains(agent.select_action(obs))
+
+    def test_learn_moves_q_toward_reward(self, single_zone_env):
+        obs = single_zone_env.reset()
+        agent = TabularQAgent(
+            single_zone_env.obs_names,
+            single_zone_env.action_space,
+            config=TabularQConfig(learning_rate=0.5, gamma=0.0),
+            rng=0,
+        )
+        action = np.array([1])
+        agent.store(obs, action, -2.0, obs, False)
+        agent.learn()
+        q = agent.q_values(obs)
+        assert q[agent.action_space.flatten(action)] == pytest.approx(-1.0)
+
+    def test_terminal_excludes_bootstrap(self, single_zone_env):
+        obs = single_zone_env.reset()
+        agent = TabularQAgent(
+            single_zone_env.obs_names,
+            single_zone_env.action_space,
+            config=TabularQConfig(learning_rate=0.5, gamma=0.99),
+            rng=0,
+        )
+        agent.store(obs, np.array([0]), -1.0, obs, True)
+        agent.learn()
+        # Terminal transition: target is the raw reward, no bootstrap term.
+        assert agent.q_values(obs)[0] == pytest.approx(-0.5)
+
+    def test_learn_without_store_is_noop(self, single_zone_env):
+        agent = TabularQAgent(
+            single_zone_env.obs_names, single_zone_env.action_space, rng=0
+        )
+        assert agent.learn() is None
+
+    def test_visited_state_count_grows(self, single_zone_env):
+        agent = TabularQAgent(
+            single_zone_env.obs_names, single_zone_env.action_space, rng=0
+        )
+        Trainer(
+            single_zone_env, agent, config=TrainerConfig(n_episodes=1)
+        ).train()
+        assert agent.n_visited_states > 3
+
+    def test_epsilon_decays(self, single_zone_env):
+        agent = TabularQAgent(
+            single_zone_env.obs_names,
+            single_zone_env.action_space,
+            config=TabularQConfig(epsilon_decay_steps=50),
+            rng=0,
+        )
+        e0 = agent.epsilon
+        Trainer(single_zone_env, agent, config=TrainerConfig(n_episodes=1)).train()
+        assert agent.epsilon < e0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="learning_rate"):
+            TabularQConfig(learning_rate=0.0)

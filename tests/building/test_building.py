@@ -1,0 +1,119 @@
+"""Tests for the Building composition layer."""
+
+import numpy as np
+import pytest
+
+from repro.building import (
+    Building,
+    ConstantSchedule,
+    OfficeSchedule,
+    ZoneConfig,
+    single_zone_building,
+)
+
+
+def make_two_zone():
+    zones = [
+        ZoneConfig("a", 2e6, 100.0, 2.0, 80.0),
+        ZoneConfig("b", 3e6, 120.0, 4.0, 120.0),
+    ]
+    ua = np.array([[0.0, 40.0], [40.0, 0.0]])
+    return Building(zones, ua, [OfficeSchedule(), ConstantSchedule(gains=5.0)])
+
+
+class TestConstruction:
+    def test_properties(self):
+        b = make_two_zone()
+        assert b.n_zones == 2
+        assert b.zone_names == ["a", "b"]
+        assert b.floor_area_m2 == 200.0
+
+    def test_rejects_no_zones(self):
+        with pytest.raises(ValueError, match="at least one zone"):
+            Building([], np.zeros((0, 0)), [])
+
+    def test_rejects_schedule_count_mismatch(self):
+        zones = [ZoneConfig("a", 2e6, 100.0, 2.0, 80.0)]
+        with pytest.raises(ValueError, match="one schedule per zone"):
+            Building(zones, np.zeros((1, 1)), [])
+
+    def test_rejects_duplicate_names(self):
+        zones = [
+            ZoneConfig("a", 2e6, 100.0, 2.0, 80.0),
+            ZoneConfig("a", 2e6, 100.0, 2.0, 80.0),
+        ]
+        with pytest.raises(ValueError, match="unique"):
+            Building(zones, np.zeros((2, 2)), [ConstantSchedule(), ConstantSchedule()])
+
+
+class TestGains:
+    def test_solar_distribution_by_aperture(self):
+        b = make_two_zone()
+        gains = b.solar_gains_w(500.0)
+        assert gains[0] == pytest.approx(2.0 * 500.0)
+        assert gains[1] == pytest.approx(4.0 * 500.0)
+
+    def test_solar_rejects_negative(self):
+        with pytest.raises(ValueError, match="ghi"):
+            make_two_zone().solar_gains_w(-1.0)
+
+    def test_internal_gains_scale_with_area(self):
+        b = make_two_zone()
+        gains = b.internal_gains_w(1, 12.0)  # Monday noon: office occupied
+        assert gains[0] == pytest.approx(20.0 * 80.0)
+        assert gains[1] == pytest.approx(5.0 * 120.0)
+
+    def test_occupancy_flags(self):
+        b = make_two_zone()
+        occ = b.occupancy(1, 12.0)
+        assert occ[0] and occ[1]
+        occ_night = b.occupancy(1, 2.0)
+        assert not occ_night[0] and occ_night[1]  # constant stays occupied
+
+
+class TestSimulation:
+    def test_step_shape_and_motion(self):
+        b = make_two_zone()
+        temps = np.array([24.0, 24.0])
+        out = b.step(
+            temps,
+            temp_out_c=35.0,
+            ghi_w_m2=600.0,
+            hvac_heat_w=np.zeros(2),
+            day_of_year=1,
+            hour_of_day=12.0,
+            dt_seconds=900.0,
+        )
+        assert out.shape == (2,)
+        assert np.all(out > temps)  # hot day, no cooling: must warm
+
+    def test_cooling_lowers_temperature(self):
+        b = make_two_zone()
+        temps = np.array([26.0, 26.0])
+        free = b.step(
+            temps, temp_out_c=30.0, ghi_w_m2=0.0, hvac_heat_w=np.zeros(2),
+            day_of_year=1, hour_of_day=12.0, dt_seconds=900.0,
+        )
+        cooled = b.step(
+            temps, temp_out_c=30.0, ghi_w_m2=0.0,
+            hvac_heat_w=np.array([-3000.0, -3000.0]),
+            day_of_year=1, hour_of_day=12.0, dt_seconds=900.0,
+        )
+        assert np.all(cooled < free)
+
+    def test_hvac_shape_check(self):
+        b = make_two_zone()
+        with pytest.raises(ValueError, match="hvac_heat_w"):
+            b.step(
+                np.zeros(2), temp_out_c=20.0, ghi_w_m2=0.0,
+                hvac_heat_w=np.zeros(3), day_of_year=1, hour_of_day=0.0,
+                dt_seconds=900.0,
+            )
+
+    def test_free_float_steady_state_above_ambient_with_gains(self):
+        b = single_zone_building()
+        ss = b.free_float_steady_state(25.0, 400.0, 1, 12.0)
+        assert ss[0] > 25.0
+
+    def test_repr(self):
+        assert "zones=" in repr(make_two_zone())

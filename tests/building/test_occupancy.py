@@ -1,0 +1,59 @@
+"""Tests for internal-gain schedules."""
+
+import pytest
+
+from repro.building import ConstantSchedule, OfficeSchedule
+
+
+class TestConstantSchedule:
+    def test_always_same(self):
+        s = ConstantSchedule(gains=7.0, is_occupied=True)
+        assert s.gains_w_per_m2(1, 0.0) == 7.0
+        assert s.gains_w_per_m2(300, 23.5) == 7.0
+        assert s.occupied(150, 3.0)
+
+    def test_unoccupied_variant(self):
+        s = ConstantSchedule(gains=1.0, is_occupied=False)
+        assert not s.occupied(10, 12.0)
+
+    def test_rejects_negative_gains(self):
+        with pytest.raises(ValueError):
+            ConstantSchedule(gains=-1.0)
+
+
+class TestOfficeSchedule:
+    def test_weekday_working_hours_occupied(self):
+        s = OfficeSchedule()
+        assert s.occupied(1, 10.0)  # day 1 = Monday
+        assert s.occupied(5, 17.9)  # Friday just before close
+
+    def test_weekday_night_unoccupied(self):
+        s = OfficeSchedule()
+        assert not s.occupied(1, 3.0)
+        assert not s.occupied(1, 18.0)  # end hour exclusive
+        assert not s.occupied(1, 7.9)
+
+    def test_weekend_never_occupied(self):
+        s = OfficeSchedule()
+        assert s.is_weekend(6) and s.is_weekend(7)  # Sat, Sun of week 1
+        assert not s.occupied(6, 12.0)
+        assert not s.occupied(7, 12.0)
+
+    def test_week_pattern_repeats(self):
+        s = OfficeSchedule()
+        assert s.is_weekend(6) == s.is_weekend(13)
+        assert s.occupied(1, 12.0) == s.occupied(8, 12.0)
+
+    def test_gains_levels(self):
+        s = OfficeSchedule(occupied_gains=20.0, base_gains=2.0)
+        assert s.gains_w_per_m2(1, 12.0) == 20.0
+        assert s.gains_w_per_m2(1, 2.0) == 2.0
+        assert s.gains_w_per_m2(6, 12.0) == 2.0  # weekend base load
+
+    def test_rejects_inverted_hours(self):
+        with pytest.raises(ValueError, match="work_end_hour"):
+            OfficeSchedule(work_start_hour=18.0, work_end_hour=8.0)
+
+    def test_rejects_bad_hours(self):
+        with pytest.raises(ValueError):
+            OfficeSchedule(work_start_hour=-1.0)

@@ -1,0 +1,183 @@
+"""Unit + property tests for the RC thermal network.
+
+The property tests encode the physical invariants: relaxation to ambient,
+steady-state consistency, monotone response to heat input, and stability
+of the sub-stepped integrator.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.building.thermal import RCNetwork
+
+
+def two_zone_network():
+    return RCNetwork(
+        capacitance=np.array([2.0e6, 4.0e6]),
+        ua_ambient=np.array([100.0, 150.0]),
+        ua_interzone=np.array([[0.0, 50.0], [50.0, 0.0]]),
+    )
+
+
+class TestConstruction:
+    def test_valid(self):
+        assert two_zone_network().n_zones == 2
+
+    def test_rejects_nonpositive_capacitance(self):
+        with pytest.raises(ValueError, match="capacitance"):
+            RCNetwork(np.array([0.0]), np.array([1.0]), np.zeros((1, 1)))
+
+    def test_rejects_negative_ua(self):
+        with pytest.raises(ValueError, match="ua_ambient"):
+            RCNetwork(np.array([1.0]), np.array([-1.0]), np.zeros((1, 1)))
+
+    def test_rejects_asymmetric_interzone(self):
+        with pytest.raises(ValueError, match="symmetric"):
+            RCNetwork(
+                np.array([1.0, 1.0]),
+                np.array([1.0, 1.0]),
+                np.array([[0.0, 1.0], [2.0, 0.0]]),
+            )
+
+    def test_rejects_nonzero_diagonal(self):
+        with pytest.raises(ValueError, match="diagonal"):
+            RCNetwork(
+                np.array([1.0, 1.0]),
+                np.array([1.0, 1.0]),
+                np.array([[1.0, 0.0], [0.0, 0.0]]),
+            )
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            RCNetwork(np.array([1.0, 1.0]), np.array([1.0, 1.0]), np.zeros((3, 3)))
+
+
+class TestDerivative:
+    def test_relaxes_toward_ambient(self):
+        net = two_zone_network()
+        deriv = net.derivative(np.array([30.0, 30.0]), 20.0, np.zeros(2))
+        assert np.all(deriv < 0)  # cooling toward ambient
+
+    def test_zero_at_ambient_no_heat(self):
+        net = two_zone_network()
+        deriv = net.derivative(np.array([20.0, 20.0]), 20.0, np.zeros(2))
+        assert np.allclose(deriv, 0.0)
+
+    def test_heat_raises_derivative(self):
+        net = two_zone_network()
+        base = net.derivative(np.array([20.0, 20.0]), 20.0, np.zeros(2))
+        heated = net.derivative(np.array([20.0, 20.0]), 20.0, np.array([1000.0, 0.0]))
+        assert heated[0] > base[0]
+        assert heated[1] == pytest.approx(base[1])
+
+    def test_interzone_coupling_direction(self):
+        net = two_zone_network()
+        deriv = net.derivative(np.array([30.0, 20.0]), 25.0, np.zeros(2))
+        # Zone 1 (cooler) is warmed by zone 0 through the partition, and
+        # also by ambient (25 > 20): derivative must be positive.
+        assert deriv[1] > 0
+
+    def test_shape_check(self):
+        net = two_zone_network()
+        with pytest.raises(ValueError, match="shape"):
+            net.derivative(np.zeros(3), 20.0, np.zeros(3))
+
+
+class TestStep:
+    def test_converges_to_ambient(self):
+        net = two_zone_network()
+        temps = np.array([35.0, 15.0])
+        for _ in range(200):
+            temps = net.step(temps, 22.0, np.zeros(2), dt_seconds=900.0)
+        assert np.allclose(temps, 22.0, atol=0.05)
+
+    def test_matches_analytic_single_zone(self):
+        """One zone with no coupling follows exact exponential decay."""
+        c, ua = 1.0e6, 100.0
+        net = RCNetwork(np.array([c]), np.array([ua]), np.zeros((1, 1)))
+        t0, t_out, dt = 30.0, 20.0, 900.0
+        temps = net.step(np.array([t0]), t_out, np.zeros(1), dt)
+        exact = t_out + (t0 - t_out) * np.exp(-ua / c * dt)
+        assert temps[0] == pytest.approx(exact, abs=0.01)
+
+    def test_stable_for_long_control_steps(self):
+        """Explicit Euler sub-stepping must not blow up at 1-hour steps."""
+        net = RCNetwork(
+            capacitance=np.array([5.0e4]),  # tiny capacitance => fast zone
+            ua_ambient=np.array([500.0]),
+            ua_interzone=np.zeros((1, 1)),
+        )
+        temps = np.array([40.0])
+        for _ in range(24):
+            temps = net.step(temps, 20.0, np.zeros(1), dt_seconds=3600.0)
+            assert np.isfinite(temps).all()
+        assert temps[0] == pytest.approx(20.0, abs=0.1)
+
+    def test_rejects_nonpositive_dt(self):
+        with pytest.raises(ValueError, match="dt_seconds"):
+            two_zone_network().step(np.zeros(2), 20.0, np.zeros(2), 0.0)
+
+
+class TestSteadyState:
+    def test_no_heat_equals_ambient(self):
+        net = two_zone_network()
+        ss = net.steady_state(18.0, np.zeros(2))
+        assert np.allclose(ss, 18.0)
+
+    def test_heat_raises_steady_state(self):
+        net = two_zone_network()
+        ss = net.steady_state(20.0, np.array([500.0, 0.0]))
+        assert ss[0] > 20.0
+        assert ss[1] > 20.0  # coupled zone also warms
+        assert ss[0] > ss[1]
+
+    def test_single_zone_analytic(self):
+        net = RCNetwork(np.array([1e6]), np.array([100.0]), np.zeros((1, 1)))
+        ss = net.steady_state(20.0, np.array([1000.0]))
+        assert ss[0] == pytest.approx(30.0)  # T_out + Q/UA
+
+    def test_isolated_zone_rejected(self):
+        net = RCNetwork(np.array([1e6]), np.array([0.0]), np.zeros((1, 1)))
+        with pytest.raises(ValueError, match="isolated"):
+            net.steady_state(20.0, np.array([100.0]))
+
+    def test_step_converges_to_steady_state(self):
+        net = two_zone_network()
+        heat = np.array([800.0, 300.0])
+        target = net.steady_state(25.0, heat)
+        temps = np.array([10.0, 40.0])
+        for _ in range(400):
+            temps = net.step(temps, 25.0, heat, 900.0)
+        assert np.allclose(temps, target, atol=0.05)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.floats(min_value=1e5, max_value=1e7),
+    st.floats(min_value=10.0, max_value=500.0),
+    st.floats(min_value=-10.0, max_value=40.0),
+    st.floats(min_value=-10.0, max_value=40.0),
+)
+def test_property_temperature_bounded_by_extremes(cap, ua, t_zone, t_out):
+    """Without heat input, the zone never overshoots past ambient."""
+    net = RCNetwork(np.array([cap]), np.array([ua]), np.zeros((1, 1)))
+    temps = net.step(np.array([t_zone]), t_out, np.zeros(1), 900.0)
+    lo, hi = min(t_zone, t_out), max(t_zone, t_out)
+    assert lo - 1e-9 <= temps[0] <= hi + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.floats(min_value=0.0, max_value=5000.0),
+    st.floats(min_value=0.0, max_value=5000.0),
+)
+def test_property_more_heat_never_cools(q_small, q_big):
+    """Monotonicity: adding heat can only raise the end-of-step temp."""
+    if q_small > q_big:
+        q_small, q_big = q_big, q_small
+    net = RCNetwork(np.array([2e6]), np.array([120.0]), np.zeros((1, 1)))
+    t_small = net.step(np.array([24.0]), 30.0, np.array([q_small]), 900.0)
+    t_big = net.step(np.array([24.0]), 30.0, np.array([q_big]), 900.0)
+    assert t_big[0] >= t_small[0] - 1e-9

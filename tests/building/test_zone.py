@@ -1,0 +1,56 @@
+"""Tests for zone configuration."""
+
+import pytest
+
+from repro.building import ZoneConfig
+
+
+def make_zone(**over):
+    base = dict(
+        name="z",
+        capacitance_j_per_k=3.6e6,
+        ua_ambient_w_per_k=130.0,
+        solar_aperture_m2=3.0,
+        floor_area_m2=100.0,
+    )
+    base.update(over)
+    return ZoneConfig(**base)
+
+
+class TestZoneConfig:
+    def test_valid(self):
+        z = make_zone()
+        assert z.name == "z"
+
+    def test_time_constant(self):
+        z = make_zone(capacitance_j_per_k=3.6e6, ua_ambient_w_per_k=100.0)
+        assert z.time_constant_hours == pytest.approx(10.0)
+
+    def test_time_constant_infinite_when_isolated(self):
+        z = make_zone(ua_ambient_w_per_k=0.0)
+        assert z.time_constant_hours == float("inf")
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="name"):
+            make_zone(name="")
+
+    def test_rejects_nonpositive_capacitance(self):
+        with pytest.raises(ValueError, match="capacitance"):
+            make_zone(capacitance_j_per_k=0.0)
+
+    def test_rejects_negative_ua(self):
+        with pytest.raises(ValueError, match="ua_ambient"):
+            make_zone(ua_ambient_w_per_k=-1.0)
+
+    def test_rejects_negative_aperture(self):
+        with pytest.raises(ValueError, match="solar_aperture"):
+            make_zone(solar_aperture_m2=-0.1)
+
+    def test_rejects_zero_area(self):
+        with pytest.raises(ValueError, match="floor_area"):
+            make_zone(floor_area_m2=0.0)
+
+    def test_frozen(self):
+        z = make_zone()
+        with pytest.raises(Exception):
+            z.name = "other"  # type: ignore[misc]

@@ -1,0 +1,58 @@
+"""Shared fixtures: canned weather, buildings, and environments.
+
+Session-scoped where construction is expensive (weather generation), so
+the unit suite stays fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.building import four_zone_office, single_zone_building
+from repro.env import HVACEnv, HVACEnvConfig
+from repro.weather import SyntheticWeatherConfig, generate_weather
+
+
+@pytest.fixture(scope="session")
+def summer_weather():
+    """Three August days at 15-minute resolution, deterministic."""
+    return generate_weather(
+        SyntheticWeatherConfig(), start_day_of_year=213, n_days=3, rng=42
+    )
+
+
+@pytest.fixture(scope="session")
+def week_weather():
+    """Eight days covering a weekday/weekend mix."""
+    return generate_weather(
+        SyntheticWeatherConfig(), start_day_of_year=211, n_days=8, rng=43
+    )
+
+
+@pytest.fixture()
+def single_zone_env(summer_weather):
+    """A fresh 1-day single-zone environment per test."""
+    return HVACEnv(
+        single_zone_building(),
+        summer_weather,
+        config=HVACEnvConfig(episode_days=1.0),
+        rng=0,
+    )
+
+
+@pytest.fixture()
+def four_zone_env(summer_weather):
+    """A fresh 1-day four-zone environment per test."""
+    return HVACEnv(
+        four_zone_office(),
+        summer_weather,
+        config=HVACEnvConfig(episode_days=1.0),
+        rng=0,
+    )
+
+
+@pytest.fixture()
+def rng():
+    """A deterministic generator for the test body."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,136 @@
+"""Tests for the DQN extensions: dueling, Polyak targets, prioritized replay."""
+
+import numpy as np
+import pytest
+
+from repro.core import DQNAgent, DQNConfig, PrioritizedReplayBuffer
+from repro.env.spaces import MultiDiscrete
+from repro.nn import DuelingMLP, MLP
+
+
+def make_agent(**over):
+    cfg = dict(
+        hidden=(16,),
+        batch_size=8,
+        learn_start=8,
+        buffer_capacity=256,
+        epsilon_decay_steps=100,
+        target_sync_every=10,
+    )
+    cfg.update(over)
+    return DQNAgent(5, MultiDiscrete([4]), config=DQNConfig(**cfg), rng=0)
+
+
+def feed(agent, n):
+    rng = np.random.default_rng(0)
+    obs = rng.normal(size=5)
+    for _ in range(n):
+        action = agent.select_action(obs, explore=True)
+        next_obs = rng.normal(size=5)
+        agent.store(obs, action, -float(np.sum(next_obs**2)), next_obs, False)
+        obs = next_obs
+
+
+class TestDuelingOption:
+    def test_network_class_swapped(self):
+        assert isinstance(make_agent(dueling=True).online, DuelingMLP)
+        assert isinstance(make_agent(dueling=False).online, MLP)
+
+    def test_learns_with_dueling(self):
+        agent = make_agent(dueling=True)
+        feed(agent, 30)
+        assert agent.learn() is not None
+
+    def test_target_sync_with_dueling(self):
+        agent = make_agent(dueling=True, target_sync_every=3)
+        feed(agent, 30)
+        for _ in range(3):
+            agent.learn()
+        x = np.ones((1, 5))
+        assert np.allclose(agent.online.forward(x), agent.target.forward(x))
+
+
+class TestPolyakTargets:
+    def test_soft_update_moves_target_partially(self):
+        agent = make_agent(target_tau=0.1)
+        feed(agent, 30)
+        x = np.ones((1, 5))
+        before_gap = np.abs(
+            agent.online.forward(x) - agent.target.forward(x)
+        ).max()
+        agent.learn()
+        after_gap = np.abs(agent.online.forward(x) - agent.target.forward(x)).max()
+        # Target tracks online but does not jump onto it.
+        assert after_gap > 0.0
+        assert not np.allclose(agent.online.forward(x), agent.target.forward(x))
+
+    def test_tau_validation(self):
+        with pytest.raises(ValueError, match="target_tau"):
+            DQNConfig(target_tau=0.0)
+        with pytest.raises(ValueError, match="target_tau"):
+            DQNConfig(target_tau=1.0)
+
+    def test_soft_updates_converge_target_to_online(self):
+        agent = make_agent(target_tau=0.5, learning_rate=1e-12)
+        feed(agent, 30)
+        x = np.ones((1, 5))
+        for _ in range(60):
+            agent.learn()
+        # With a frozen online net, repeated Polyak steps converge.
+        assert np.allclose(
+            agent.online.forward(x), agent.target.forward(x), atol=1e-3
+        )
+
+
+class TestPrioritizedOption:
+    def test_buffer_class_swapped(self):
+        agent = make_agent(prioritized_replay=True)
+        assert isinstance(agent.buffer, PrioritizedReplayBuffer)
+
+    def test_learn_updates_priorities(self):
+        agent = make_agent(prioritized_replay=True)
+        feed(agent, 40)
+        before = agent.buffer._priorities[:40].copy()
+        agent.learn()
+        after = agent.buffer._priorities[:40]
+        assert not np.allclose(before, after)
+
+    def test_requires_replay(self):
+        with pytest.raises(ValueError, match="prioritized_replay requires"):
+            DQNConfig(prioritized_replay=True, use_replay=False)
+
+    def test_learns_bandit_with_prioritization(self):
+        agent = DQNAgent(
+            2,
+            MultiDiscrete([2]),
+            config=DQNConfig(
+                hidden=(16,),
+                batch_size=16,
+                learn_start=16,
+                epsilon_decay_steps=200,
+                learning_rate=5e-3,
+                gamma=0.5,
+                prioritized_replay=True,
+                per_beta_decay_steps=500,
+            ),
+            rng=0,
+        )
+        rng = np.random.default_rng(0)
+        for _ in range(600):
+            state = rng.integers(2)
+            obs = np.eye(2)[state]
+            action = agent.select_action(obs, explore=True)
+            reward = 1.0 if action[0] == 1 else 0.0
+            agent.store(obs, action, reward, np.eye(2)[rng.integers(2)], False)
+            agent.learn()
+        for state in range(2):
+            assert agent.select_action(np.eye(2)[state], explore=False)[0] == 1
+
+
+class TestCombinedExtensions:
+    def test_all_extensions_together(self):
+        agent = make_agent(dueling=True, prioritized_replay=True, target_tau=0.05)
+        feed(agent, 40)
+        for _ in range(5):
+            loss = agent.learn()
+        assert loss is not None and np.isfinite(loss)

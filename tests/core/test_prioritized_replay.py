@@ -1,0 +1,102 @@
+"""Tests for prioritized experience replay."""
+
+import numpy as np
+import pytest
+
+from repro.core import PrioritizedReplayBuffer
+
+
+def fill(buf, n, obs_dim=3):
+    for i in range(n):
+        buf.add(np.full(obs_dim, float(i)), i % 4, float(i), np.full(obs_dim, i + 1.0), False)
+
+
+class TestAdd:
+    def test_new_transitions_get_max_priority(self):
+        buf = PrioritizedReplayBuffer(10, obs_dim=3)
+        fill(buf, 3)
+        assert buf.priority_of(0) == buf.priority_of(2) == 1.0
+
+    def test_max_priority_tracks_updates(self):
+        buf = PrioritizedReplayBuffer(10, obs_dim=3)
+        fill(buf, 3)
+        buf.update_priorities(np.array([1]), np.array([5.0]))
+        fill(buf, 1)  # lands in slot 3 with the new max priority
+        assert buf.priority_of(3) == pytest.approx(5.0 + buf.eps)
+
+
+class TestSample:
+    def test_returns_indices_and_weights(self):
+        buf = PrioritizedReplayBuffer(32, obs_dim=2)
+        fill(buf, 20, obs_dim=2)
+        batch = buf.sample(8, rng=0, beta=0.5)
+        assert batch["indices"].shape == (8,)
+        assert batch["weights"].shape == (8,)
+        assert np.all(batch["weights"] > 0) and np.all(batch["weights"] <= 1.0)
+
+    def test_high_priority_sampled_more(self):
+        buf = PrioritizedReplayBuffer(64, obs_dim=1, alpha=1.0)
+        fill(buf, 50, obs_dim=1)
+        # Make slot 7 dominate.
+        buf.update_priorities(np.arange(50), np.full(50, 1e-6))
+        buf.update_priorities(np.array([7]), np.array([100.0]))
+        batch = buf.sample(400, rng=0, beta=0.0)
+        frac = np.mean(batch["indices"] == 7)
+        assert frac > 0.9
+
+    def test_alpha_zero_is_uniform(self):
+        buf = PrioritizedReplayBuffer(64, obs_dim=1, alpha=0.0)
+        fill(buf, 50, obs_dim=1)
+        buf.update_priorities(np.array([3]), np.array([1000.0]))
+        batch = buf.sample(2000, rng=0, beta=0.0)
+        frac = np.mean(batch["indices"] == 3)
+        assert frac < 0.1  # ~1/50 expected, certainly not dominant
+
+    def test_beta_one_full_correction(self):
+        buf = PrioritizedReplayBuffer(32, obs_dim=1, alpha=1.0)
+        fill(buf, 10, obs_dim=1)
+        buf.update_priorities(np.arange(10), np.linspace(0.1, 5.0, 10))
+        batch = buf.sample(64, rng=0, beta=1.0)
+        # Weights are inversely related to sampling probability:
+        # the rarest (lowest-priority) sampled item has weight 1.
+        assert batch["weights"].max() == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            PrioritizedReplayBuffer(4, obs_dim=1).sample(1, rng=0)
+
+    def test_bad_beta_rejected(self):
+        buf = PrioritizedReplayBuffer(4, obs_dim=1)
+        fill(buf, 2, obs_dim=1)
+        with pytest.raises(ValueError, match="beta"):
+            buf.sample(1, rng=0, beta=2.0)
+
+
+class TestUpdatePriorities:
+    def test_shape_mismatch(self):
+        buf = PrioritizedReplayBuffer(8, obs_dim=1)
+        fill(buf, 4, obs_dim=1)
+        with pytest.raises(ValueError, match="must match"):
+            buf.update_priorities(np.array([0, 1]), np.array([1.0]))
+
+    def test_out_of_region_rejected(self):
+        buf = PrioritizedReplayBuffer(8, obs_dim=1)
+        fill(buf, 2, obs_dim=1)
+        with pytest.raises(ValueError, match="filled region"):
+            buf.update_priorities(np.array([5]), np.array([1.0]))
+
+    def test_negative_td_uses_magnitude(self):
+        buf = PrioritizedReplayBuffer(8, obs_dim=1)
+        fill(buf, 2, obs_dim=1)
+        buf.update_priorities(np.array([0]), np.array([-3.0]))
+        assert buf.priority_of(0) == pytest.approx(3.0 + buf.eps)
+
+
+class TestConstruction:
+    def test_bad_alpha(self):
+        with pytest.raises(ValueError, match="alpha"):
+            PrioritizedReplayBuffer(4, obs_dim=1, alpha=1.5)
+
+    def test_bad_eps(self):
+        with pytest.raises(ValueError, match="eps"):
+            PrioritizedReplayBuffer(4, obs_dim=1, eps=0.0)

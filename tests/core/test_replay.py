@@ -1,0 +1,112 @@
+"""Tests for the replay buffer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ReplayBuffer, Transition
+
+
+def fill(buffer, n, obs_dim=3, action_dim=1):
+    for i in range(n):
+        buffer.add(
+            np.full(obs_dim, float(i)),
+            np.full(action_dim, i % 4),
+            float(i),
+            np.full(obs_dim, float(i + 1)),
+            i % 10 == 9,
+        )
+
+
+class TestAdd:
+    def test_size_grows_to_capacity(self):
+        buf = ReplayBuffer(5, obs_dim=3)
+        fill(buf, 3)
+        assert len(buf) == 3
+        fill(buf, 5)
+        assert len(buf) == 5
+        assert buf.is_full
+
+    def test_overwrites_oldest(self):
+        buf = ReplayBuffer(2, obs_dim=1)
+        buf.add([1.0], 0, 1.0, [1.0], False)
+        buf.add([2.0], 0, 2.0, [2.0], False)
+        buf.add([3.0], 0, 3.0, [3.0], False)
+        batch = buf.sample(50, rng=0)
+        assert 1.0 not in batch["rewards"]
+        assert {2.0, 3.0} >= set(batch["rewards"])
+
+    def test_shape_validation(self):
+        buf = ReplayBuffer(4, obs_dim=3)
+        with pytest.raises(ValueError, match="obs"):
+            buf.add(np.zeros(2), 0, 0.0, np.zeros(3), False)
+        with pytest.raises(ValueError, match="action"):
+            buf.add(np.zeros(3), [0, 1], 0.0, np.zeros(3), False)
+
+    def test_transition_overload(self):
+        buf = ReplayBuffer(4, obs_dim=2)
+        t = Transition(np.zeros(2), np.array([1]), 0.5, np.ones(2), True)
+        buf.add_transition(t)
+        assert len(buf) == 1
+
+    def test_scalar_action_accepted(self):
+        buf = ReplayBuffer(4, obs_dim=2, action_dim=1)
+        buf.add(np.zeros(2), 3, 0.0, np.zeros(2), False)
+        assert buf.sample(1, rng=0)["actions"][0, 0] == 3
+
+
+class TestSample:
+    def test_batch_shapes(self):
+        buf = ReplayBuffer(100, obs_dim=4, action_dim=2)
+        fill(buf, 50, obs_dim=4, action_dim=2)
+        batch = buf.sample(16, rng=0)
+        assert batch["obs"].shape == (16, 4)
+        assert batch["next_obs"].shape == (16, 4)
+        assert batch["actions"].shape == (16, 2)
+        assert batch["rewards"].shape == (16,)
+        assert batch["dones"].shape == (16,)
+        assert batch["dones"].dtype == bool
+
+    def test_empty_buffer_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            ReplayBuffer(4, obs_dim=1).sample(1, rng=0)
+
+    def test_sample_deterministic_with_seed(self):
+        buf = ReplayBuffer(100, obs_dim=1)
+        fill(buf, 60, obs_dim=1)
+        a = buf.sample(8, rng=3)
+        b = buf.sample(8, rng=3)
+        assert np.array_equal(a["rewards"], b["rewards"])
+
+    def test_samples_only_filled_region(self):
+        buf = ReplayBuffer(100, obs_dim=1)
+        fill(buf, 5, obs_dim=1)
+        batch = buf.sample(200, rng=0)
+        assert set(batch["rewards"]) <= {0.0, 1.0, 2.0, 3.0, 4.0}
+
+    def test_rejects_bad_batch_size(self):
+        buf = ReplayBuffer(4, obs_dim=1)
+        fill(buf, 2, obs_dim=1)
+        with pytest.raises(ValueError, match="batch_size"):
+            buf.sample(0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=1, max_value=80),
+    )
+    def test_property_size_never_exceeds_capacity(self, capacity, n_adds):
+        buf = ReplayBuffer(capacity, obs_dim=1)
+        fill(buf, n_adds, obs_dim=1)
+        assert len(buf) == min(capacity, n_adds)
+
+
+class TestConstruction:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ReplayBuffer(0, obs_dim=1)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError, match="obs_dim"):
+            ReplayBuffer(4, obs_dim=0)

@@ -1,0 +1,73 @@
+"""Tests for exploration/learning-rate schedules."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConstantSchedule, ExponentialSchedule, LinearSchedule
+
+
+class TestConstant:
+    def test_always_same(self):
+        s = ConstantSchedule(0.3)
+        assert s.value(0) == 0.3
+        assert s.value(10**6) == 0.3
+
+
+class TestLinear:
+    def test_endpoints(self):
+        s = LinearSchedule(1.0, 0.1, decay_steps=100)
+        assert s.value(0) == pytest.approx(1.0)
+        assert s.value(100) == pytest.approx(0.1)
+
+    def test_midpoint(self):
+        s = LinearSchedule(1.0, 0.0, decay_steps=10)
+        assert s.value(5) == pytest.approx(0.5)
+
+    def test_clamps_after_decay(self):
+        s = LinearSchedule(1.0, 0.1, decay_steps=10)
+        assert s.value(1000) == pytest.approx(0.1)
+
+    def test_rejects_negative_step(self):
+        with pytest.raises(ValueError, match="step"):
+            LinearSchedule(1.0, 0.0, 10).value(-1)
+
+    def test_rejects_bad_decay_steps(self):
+        with pytest.raises(ValueError, match="decay_steps"):
+            LinearSchedule(1.0, 0.0, 0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.floats(min_value=0.01, max_value=1.0),
+        st.floats(min_value=0.0, max_value=0.01),
+        st.integers(min_value=1, max_value=10_000),
+        st.integers(min_value=0, max_value=20_000),
+    )
+    def test_property_monotone_decreasing(self, start, end, decay, step):
+        s = LinearSchedule(start, end, decay)
+        assert s.value(step + 1) <= s.value(step) + 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_property_bounded(self, step):
+        s = LinearSchedule(1.0, 0.05, 500)
+        assert 0.05 - 1e-12 <= s.value(step) <= 1.0 + 1e-12
+
+
+class TestExponential:
+    def test_decays_geometrically(self):
+        s = ExponentialSchedule(1.0, 0.01, rate=0.5)
+        assert s.value(1) == pytest.approx(0.5)
+        assert s.value(3) == pytest.approx(0.125)
+
+    def test_floors_at_end(self):
+        s = ExponentialSchedule(1.0, 0.1, rate=0.5)
+        assert s.value(100) == pytest.approx(0.1)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError, match="rate"):
+            ExponentialSchedule(1.0, 0.1, rate=1.0)
+
+    def test_rejects_end_above_start(self):
+        with pytest.raises(ValueError, match="end"):
+            ExponentialSchedule(0.1, 1.0, rate=0.5)

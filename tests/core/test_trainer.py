@@ -1,0 +1,78 @@
+"""Tests for the training loop."""
+
+import pytest
+
+from repro.baselines import RandomController
+from repro.core import DQNAgent, DQNConfig, Trainer, TrainerConfig
+
+
+def tiny_dqn(env):
+    return DQNAgent(
+        env.obs_dim,
+        env.action_space,
+        config=DQNConfig(
+            hidden=(16,),
+            batch_size=8,
+            learn_start=8,
+            epsilon_decay_steps=100,
+            buffer_capacity=512,
+        ),
+        rng=0,
+    )
+
+
+class TestTrainer:
+    def test_logs_expected_series(self, single_zone_env):
+        agent = tiny_dqn(single_zone_env)
+        trainer = Trainer(
+            single_zone_env, agent, config=TrainerConfig(n_episodes=2)
+        )
+        log = trainer.train()
+        assert len(log.series("episode_return")) == 2
+        assert len(log.series("episode_cost_usd")) == 2
+        assert len(log.series("loss")) > 0
+        assert len(log.series("epsilon")) == 2
+
+    def test_eval_every_logs_eval_returns(self, single_zone_env):
+        agent = tiny_dqn(single_zone_env)
+        trainer = Trainer(
+            single_zone_env, agent, config=TrainerConfig(n_episodes=4, eval_every=2)
+        )
+        log = trainer.train()
+        assert len(log.series("eval_return")) == 2
+
+    def test_run_episode_without_learning_leaves_agent(self, single_zone_env):
+        agent = tiny_dqn(single_zone_env)
+        trainer = Trainer(single_zone_env, agent)
+        trainer.run_episode(explore=False, learn=False)
+        assert agent.total_steps == 0
+
+    def test_non_learning_agent_supported(self, single_zone_env):
+        agent = RandomController(single_zone_env.action_space, rng=0)
+        trainer = Trainer(
+            single_zone_env, agent, config=TrainerConfig(n_episodes=1)
+        )
+        log = trainer.train()
+        assert len(log.series("episode_return")) == 1
+
+    def test_evaluate_averages(self, single_zone_env):
+        agent = RandomController(single_zone_env.action_space, rng=0)
+        trainer = Trainer(single_zone_env, agent)
+        result = trainer.evaluate(n_episodes=2)
+        assert set(result) == {"return", "cost_usd", "energy_kwh", "violation_deg_hours"}
+
+    def test_max_steps_safety_net(self, single_zone_env):
+        agent = RandomController(single_zone_env.action_space, rng=0)
+        trainer = Trainer(
+            single_zone_env,
+            agent,
+            config=TrainerConfig(n_episodes=1, max_steps_per_episode=5),
+        )
+        metrics = trainer.run_episode(explore=False, learn=False)
+        assert metrics["steps"] == 5
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="n_episodes"):
+            TrainerConfig(n_episodes=0)
+        with pytest.raises(ValueError, match="eval_every"):
+            TrainerConfig(eval_every=-1)

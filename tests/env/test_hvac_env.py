@@ -1,0 +1,187 @@
+"""Tests for the HVAC MDP environment."""
+
+import numpy as np
+import pytest
+
+from repro.building import single_zone_building
+from repro.env import HVACEnv, HVACEnvConfig
+from repro.hvac import FlatTariff
+
+
+class TestLifecycle:
+    def test_reset_returns_observation(self, single_zone_env):
+        obs = single_zone_env.reset()
+        assert obs.shape == (single_zone_env.obs_dim,)
+        assert np.all(np.isfinite(obs))
+
+    def test_step_before_reset_raises(self, single_zone_env):
+        with pytest.raises(RuntimeError, match="reset"):
+            single_zone_env.step([0])
+
+    def test_episode_terminates_after_one_day(self, single_zone_env):
+        single_zone_env.reset()
+        steps = 0
+        done = False
+        while not done:
+            _, _, done, _ = single_zone_env.step([0])
+            steps += 1
+        assert steps == 96  # 15-minute steps in a day
+
+    def test_step_after_done_requires_reset(self, single_zone_env):
+        single_zone_env.reset()
+        done = False
+        while not done:
+            _, _, done, _ = single_zone_env.step([0])
+        with pytest.raises(RuntimeError, match="reset"):
+            single_zone_env.step([0])
+
+    def test_reset_reproducible_with_seed(self, summer_weather):
+        def run():
+            env = HVACEnv(
+                single_zone_building(), summer_weather,
+                config=HVACEnvConfig(episode_days=1.0), rng=11,
+            )
+            obs = env.reset()
+            out = [obs]
+            for _ in range(5):
+                o, *_ = env.step([2])
+                out.append(o)
+            return np.concatenate(out)
+
+        assert np.allclose(run(), run())
+
+    def test_episode_must_fit_weather(self, summer_weather):
+        with pytest.raises(ValueError, match="does not fit"):
+            HVACEnv(
+                single_zone_building(), summer_weather,
+                config=HVACEnvConfig(episode_days=30.0),
+            )
+
+
+class TestObservation:
+    def test_obs_names_align_with_vector(self, single_zone_env):
+        obs = single_zone_env.reset()
+        assert len(single_zone_env.obs_names) == obs.shape[0]
+
+    def test_forecast_channels_present(self, summer_weather):
+        env = HVACEnv(
+            single_zone_building(), summer_weather,
+            config=HVACEnvConfig(forecast_horizon=4),
+        )
+        names = env.obs_names
+        assert "forecast_temp_out_4" in names
+        assert "forecast_ghi_1" in names
+
+    def test_zero_horizon_drops_forecast(self, summer_weather):
+        env = HVACEnv(
+            single_zone_building(), summer_weather,
+            config=HVACEnvConfig(forecast_horizon=0),
+        )
+        assert not any(n.startswith("forecast") for n in env.obs_names)
+
+    def test_time_encoding_on_unit_circle(self, single_zone_env):
+        obs = single_zone_env.reset()
+        names = single_zone_env.obs_names
+        s = obs[names.index("sin_hour")]
+        c = obs[names.index("cos_hour")]
+        assert s**2 + c**2 == pytest.approx(1.0)
+
+    def test_scaled_channels_are_order_one(self, single_zone_env):
+        single_zone_env.reset()
+        for _ in range(20):
+            obs, *_ = single_zone_env.step([1])
+        assert np.all(np.abs(obs) < 5.0)
+
+
+class TestActions:
+    def test_scalar_action_single_zone(self, single_zone_env):
+        single_zone_env.reset()
+        _, _, _, info = single_zone_env.step(2)
+        assert info["levels"][0] == 2
+
+    def test_rejects_out_of_range(self, single_zone_env):
+        single_zone_env.reset()
+        with pytest.raises(ValueError, match="not in"):
+            single_zone_env.step([9])
+
+    def test_multizone_vector_action(self, four_zone_env):
+        four_zone_env.reset()
+        _, _, _, info = four_zone_env.step([0, 1, 2, 3])
+        assert np.array_equal(info["levels"], [0, 1, 2, 3])
+
+    def test_multizone_rejects_scalar(self, four_zone_env):
+        four_zone_env.reset()
+        with pytest.raises(ValueError):
+            four_zone_env.step(2)
+
+
+class TestPhysicsCoupling:
+    def test_cooling_action_cools(self, single_zone_env):
+        single_zone_env.reset()
+        t0 = single_zone_env.zone_temps_c[0]
+        for _ in range(8):
+            single_zone_env.step([3])
+        assert single_zone_env.zone_temps_c[0] < t0
+
+    def test_off_on_hot_day_warms(self, summer_weather):
+        env = HVACEnv(
+            single_zone_building(), summer_weather,
+            config=HVACEnvConfig(episode_days=1.0), rng=0,
+        )
+        env.reset()
+        # Walk to mid-day so ambient and solar push the zone up.
+        for _ in range(40):
+            env.step([0])
+        t_mid = env.zone_temps_c[0]
+        for _ in range(8):
+            env.step([0])
+        assert env.zone_temps_c[0] > t_mid - 0.1
+
+    def test_energy_accounting_consistent(self, single_zone_env):
+        single_zone_env.reset()
+        _, _, _, info = single_zone_env.step([3])
+        dt_h = single_zone_env.weather.dt_seconds / 3600.0
+        assert info["energy_kwh"] == pytest.approx(
+            info["power_w"] * dt_h / 1000.0, rel=1e-9
+        )
+
+    def test_off_action_zero_cost(self, single_zone_env):
+        single_zone_env.reset()
+        _, _, _, info = single_zone_env.step([0])
+        assert info["cost_usd"] == 0.0
+        assert info["energy_kwh"] == 0.0
+
+    def test_reward_decomposition(self, summer_weather):
+        env = HVACEnv(
+            single_zone_building(), summer_weather,
+            tariff=FlatTariff(rate_per_kwh=0.2),
+            config=HVACEnvConfig(comfort_weight=2.0, episode_days=1.0),
+            rng=0,
+        )
+        env.reset()
+        _, reward, _, info = env.step([3])
+        expect = -info["cost_usd"] - 2.0 * info["violation_deg_hours"]
+        assert reward == pytest.approx(expect)
+
+
+class TestRandomizedStart:
+    def test_random_start_day_varies(self, week_weather):
+        env = HVACEnv(
+            single_zone_building(), week_weather,
+            config=HVACEnvConfig(episode_days=1.0, randomize_start_day=True),
+            rng=0,
+        )
+        days = set()
+        for _ in range(20):
+            env.reset()
+            days.add(env.time_index // env.steps_per_day)
+        assert len(days) > 1
+
+    def test_fixed_start_at_zero(self, week_weather):
+        env = HVACEnv(
+            single_zone_building(), week_weather,
+            config=HVACEnvConfig(episode_days=1.0, randomize_start_day=False),
+            rng=0,
+        )
+        env.reset()
+        assert env.time_index == 0

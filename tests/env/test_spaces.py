@@ -1,0 +1,113 @@
+"""Unit + property tests for action/observation spaces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.env import Box, Discrete, MultiDiscrete
+
+
+class TestDiscrete:
+    def test_contains(self):
+        d = Discrete(4)
+        assert d.contains(0) and d.contains(3)
+        assert not d.contains(4)
+        assert not d.contains(-1)
+        assert not d.contains(1.5)
+        assert not d.contains("a")
+
+    def test_sample_in_range(self):
+        d = Discrete(5)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            assert d.contains(d.sample(rng))
+
+    def test_equality(self):
+        assert Discrete(3) == Discrete(3)
+        assert Discrete(3) != Discrete(4)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            Discrete(0)
+
+
+class TestMultiDiscrete:
+    def test_n_joint(self):
+        assert MultiDiscrete([4, 4, 4]).n_joint == 64
+
+    def test_contains(self):
+        m = MultiDiscrete([3, 4])
+        assert m.contains([2, 3])
+        assert not m.contains([3, 0])
+        assert not m.contains([0])
+        assert not m.contains([0.5, 1])
+
+    def test_contains_accepts_integer_floats(self):
+        m = MultiDiscrete([3, 4])
+        assert m.contains(np.array([1.0, 2.0]))
+
+    def test_sample_valid(self):
+        m = MultiDiscrete([2, 3, 4])
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            assert m.contains(m.sample(rng))
+
+    def test_flatten_unflatten_known(self):
+        m = MultiDiscrete([2, 3])
+        assert m.flatten([0, 0]) == 0
+        assert m.flatten([0, 2]) == 2
+        assert m.flatten([1, 0]) == 3
+        assert np.array_equal(m.unflatten(5), [1, 2])
+
+    def test_flatten_rejects_invalid(self):
+        with pytest.raises(ValueError, match="not contained"):
+            MultiDiscrete([2, 2]).flatten([2, 0])
+
+    def test_unflatten_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            MultiDiscrete([2, 2]).unflatten(4)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=4),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_property_round_trip(self, nvec, seed):
+        m = MultiDiscrete(nvec)
+        rng = np.random.default_rng(seed)
+        levels = m.sample(rng)
+        assert np.array_equal(m.unflatten(m.flatten(levels)), levels)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=3))
+    def test_property_flatten_bijective(self, nvec):
+        m = MultiDiscrete(nvec)
+        seen = {m.flatten(m.unflatten(i)) for i in range(m.n_joint)}
+        assert seen == set(range(m.n_joint))
+
+    def test_equality(self):
+        assert MultiDiscrete([2, 3]) == MultiDiscrete([2, 3])
+        assert MultiDiscrete([2, 3]) != MultiDiscrete([3, 2])
+
+
+class TestBox:
+    def test_contains(self):
+        b = Box(-1.0, 1.0, (3,))
+        assert b.contains(np.zeros(3))
+        assert not b.contains(np.full(3, 2.0))
+        assert not b.contains(np.zeros(4))
+
+    def test_sample_within_bounds(self):
+        b = Box(0.0, 5.0, (2,))
+        s = b.sample(np.random.default_rng(0))
+        assert b.contains(s)
+
+    def test_infinite_bounds_sampling(self):
+        b = Box(-np.inf, np.inf, (2,))
+        s = b.sample(np.random.default_rng(0))
+        assert s.shape == (2,)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError, match="low"):
+            Box(1.0, -1.0, (2,))

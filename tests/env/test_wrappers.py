@@ -1,0 +1,76 @@
+"""Tests for TimeLimit and Monitor wrappers."""
+
+import pytest
+
+from repro.env import Monitor, TimeLimit
+
+
+class TestTimeLimit:
+    def test_truncates(self, single_zone_env):
+        env = TimeLimit(single_zone_env, max_steps=10)
+        env.reset()
+        done = False
+        steps = 0
+        info = {}
+        while not done:
+            _, _, done, info = env.step([0])
+            steps += 1
+        assert steps == 10
+        assert info.get("time_limit_truncated") is True
+
+    def test_no_flag_on_natural_end(self, single_zone_env):
+        env = TimeLimit(single_zone_env, max_steps=500)
+        env.reset()
+        done = False
+        info = {}
+        while not done:
+            _, _, done, info = env.step([0])
+        assert "time_limit_truncated" not in info
+
+    def test_reset_restarts_counter(self, single_zone_env):
+        env = TimeLimit(single_zone_env, max_steps=5)
+        env.reset()
+        for _ in range(5):
+            env.step([0])
+        env.reset()
+        _, _, done, _ = env.step([0])
+        assert not done
+
+    def test_rejects_bad_max_steps(self, single_zone_env):
+        with pytest.raises(ValueError):
+            TimeLimit(single_zone_env, max_steps=0)
+
+    def test_unwrapped_reaches_inner(self, single_zone_env):
+        env = TimeLimit(single_zone_env, max_steps=5)
+        assert env.unwrapped() is single_zone_env
+
+
+class TestMonitor:
+    def test_records_episode_aggregates(self, single_zone_env):
+        env = Monitor(single_zone_env)
+        env.reset()
+        done = False
+        while not done:
+            _, _, done, _ = env.step([3])
+        summary = env.episode_summary()
+        assert summary["episode_cost_usd"] > 0.0
+        assert env.logger.last("episode_steps") == 96
+
+    def test_multiple_episodes_accumulate(self, single_zone_env):
+        env = Monitor(single_zone_env)
+        for _ in range(2):
+            env.reset()
+            done = False
+            while not done:
+                _, _, done, _ = env.step([0])
+        assert len(env.logger.series("episode_return")) == 2
+
+    def test_return_matches_sum_of_rewards(self, single_zone_env):
+        env = Monitor(single_zone_env)
+        env.reset()
+        total = 0.0
+        done = False
+        while not done:
+            _, r, done, _ = env.step([1])
+            total += r
+        assert env.logger.last("episode_return") == pytest.approx(total)

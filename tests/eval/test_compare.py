@@ -1,0 +1,61 @@
+"""Tests for comparison tables."""
+
+import pytest
+
+from repro.eval import ComparisonRow, ComparisonTable, EpisodeMetrics
+
+
+def row(name, cost, viol=0.0):
+    return ComparisonRow(
+        name=name,
+        cost_usd=cost,
+        energy_kwh=cost * 8,
+        violation_deg_hours=viol,
+        violation_rate=0.01,
+        episode_return=-cost - viol,
+    )
+
+
+class TestComparisonTable:
+    def test_add_and_lookup(self):
+        table = ComparisonTable()
+        table.add(row("a", 10.0))
+        assert table.row("a").cost_usd == 10.0
+
+    def test_duplicate_rejected(self):
+        table = ComparisonTable()
+        table.add(row("a", 10.0))
+        with pytest.raises(ValueError, match="duplicate"):
+            table.add(row("a", 12.0))
+
+    def test_missing_lookup(self):
+        with pytest.raises(KeyError):
+            ComparisonTable().row("ghost")
+
+    def test_cost_saving_pct(self):
+        table = ComparisonTable(baseline_name="base")
+        table.add(row("base", 20.0))
+        table.add(row("drl", 15.0))
+        assert table.cost_saving_pct("drl") == pytest.approx(25.0)
+
+    def test_saving_requires_baseline(self):
+        table = ComparisonTable()
+        table.add(row("a", 10.0))
+        with pytest.raises(ValueError, match="baseline"):
+            table.cost_saving_pct("a")
+
+    def test_render_contains_rows_and_savings(self):
+        table = ComparisonTable(baseline_name="base")
+        table.add(row("base", 20.0))
+        table.add(row("drl", 15.0))
+        text = table.render()
+        assert "base" in text and "drl" in text
+        assert "baseline" in text
+        assert "+25.0" in text
+
+    def test_from_metrics(self):
+        m = EpisodeMetrics()
+        m.cost_usd = 5.0
+        r = ComparisonRow.from_metrics("x", m)
+        assert r.name == "x"
+        assert r.cost_usd == 5.0

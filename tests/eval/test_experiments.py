@@ -1,0 +1,88 @@
+"""Smoke tests of the experiment harness under the TINY profile.
+
+These check mechanics (experiments run end-to-end, produce well-formed
+results and renderings), not control performance — performance shape is
+asserted by the benchmarks under the FAST profile.
+"""
+
+import pytest
+
+from repro.eval.experiments import (
+    TINY,
+    e1_single_zone_table,
+    e3_convergence,
+    e5_tradeoff_sweep,
+    e7_action_scaling,
+    e9_pricing,
+    e10_extensions_and_mpc,
+    make_env,
+    make_weather,
+)
+from repro.building import single_zone_building
+
+
+class TestPlumbing:
+    def test_make_weather_splits_differ(self):
+        train = make_weather(TINY, "train")
+        evalw = make_weather(TINY, "eval")
+        assert len(train) != len(evalw) or not (
+            train.temp_out_c == evalw.temp_out_c
+        ).all()
+
+    def test_make_weather_rejects_bad_split(self):
+        with pytest.raises(ValueError, match="split"):
+            make_weather(TINY, "test")
+
+    def test_make_env_train_vs_eval_episode_length(self):
+        w = make_weather(TINY, "eval")
+        env = make_env(single_zone_building(), w, TINY, split="eval")
+        assert env.episode_steps == TINY.eval_days * 96
+        w2 = make_weather(TINY, "train")
+        env2 = make_env(single_zone_building(), w2, TINY, split="train")
+        assert env2.episode_steps == 96
+
+
+class TestExperimentSmoke:
+    def test_e1_runs_and_renders(self):
+        res = e1_single_zone_table(TINY)
+        names = {r.name for r in res.table.rows}
+        assert names == {"thermostat", "drl_dqn", "tabular_q", "pid", "random"}
+        text = res.render()
+        assert "E1" in text and "thermostat" in text
+
+    def test_e3_convergence_structure(self):
+        res = e3_convergence(TINY)
+        assert len(res.episode_returns) == TINY.train_episodes
+        assert len(res.moving_average) == TINY.train_episodes
+        assert "episode return" in res.render()
+
+    def test_e5_sweep_rows(self):
+        res = e5_tradeoff_sweep(TINY, lambdas=(0.5, 4.0))
+        assert res.column("lambda") == [0.5, 4.0]
+        assert all(c >= 0 for c in res.column("cost_usd"))
+        assert "lambda" in res.render()
+
+    def test_e7_scaling_counts(self):
+        res = e7_action_scaling(TINY, zone_counts=(1, 3))
+        joint = res.column("joint_actions")
+        factored = res.column("factored_outputs")
+        assert joint == [4.0, 64.0]
+        assert factored == [4.0, 12.0]
+
+    def test_e9_pricing_rows(self):
+        res = e9_pricing(TINY)
+        assert len(res.rows) == 3
+        assert all(row["thermostat_cost_usd"] > 0 for row in res.rows)
+        assert "tariff" in res.render()
+
+    def test_e10_extensions_table(self):
+        res = e10_extensions_and_mpc(TINY)
+        names = {r.name for r in res.table.rows}
+        assert names == {
+            "thermostat",
+            "drl_dqn",
+            "drl_dqn_extended",
+            "mpc_true_model",
+            "mpc_fitted_model",
+        }
+        assert "fitted_model" in res.extras

@@ -1,0 +1,81 @@
+"""Tests for episode metrics and traces."""
+
+import numpy as np
+import pytest
+
+from repro.eval import EpisodeMetrics, EpisodeTrace
+
+
+def step_info(cost=0.1, kwh=0.5, viol=0.0, occupied=(True,), viol_per_zone=(0.0,)):
+    return {
+        "cost_usd": cost,
+        "energy_kwh": kwh,
+        "violation_deg_hours": viol,
+        "occupied": np.array(occupied),
+        "violation_per_zone_deg": np.array(viol_per_zone),
+        "temps_c": np.array([24.0]),
+        "temp_out_c": 30.0,
+        "ghi_w_m2": 500.0,
+        "price_per_kwh": 0.1,
+        "power_w": 2000.0,
+        "levels": np.array([1]),
+        "hour_of_day": 12.0,
+        "day_of_year": 1,
+    }
+
+
+class TestEpisodeMetrics:
+    def test_accumulates(self):
+        m = EpisodeMetrics()
+        m.add_step(-0.5, step_info())
+        m.add_step(-0.5, step_info())
+        assert m.episode_return == pytest.approx(-1.0)
+        assert m.cost_usd == pytest.approx(0.2)
+        assert m.energy_kwh == pytest.approx(1.0)
+        assert m.steps == 2
+
+    def test_violation_rate_occupied_only(self):
+        m = EpisodeMetrics()
+        # Occupied with violation.
+        m.add_step(0.0, step_info(occupied=(True,), viol_per_zone=(1.0,)))
+        # Occupied without violation.
+        m.add_step(0.0, step_info(occupied=(True,), viol_per_zone=(0.0,)))
+        # Unoccupied violation does not count toward the rate.
+        m.add_step(0.0, step_info(occupied=(False,), viol_per_zone=(2.0,)))
+        assert m.violation_rate == pytest.approx(0.5)
+
+    def test_violation_rate_zero_when_never_occupied(self):
+        m = EpisodeMetrics()
+        m.add_step(0.0, step_info(occupied=(False,)))
+        assert m.violation_rate == 0.0
+
+    def test_multizone_counting(self):
+        m = EpisodeMetrics()
+        m.add_step(
+            0.0,
+            step_info(occupied=(True, True), viol_per_zone=(1.0, 0.0)),
+        )
+        assert m.occupied_steps == 2
+        assert m.occupied_violation_steps == 1
+
+    def test_as_dict_keys(self):
+        d = EpisodeMetrics().as_dict()
+        assert set(d) == {
+            "return",
+            "cost_usd",
+            "energy_kwh",
+            "violation_deg_hours",
+            "violation_rate",
+            "steps",
+        }
+
+
+class TestEpisodeTrace:
+    def test_records_series(self):
+        t = EpisodeTrace()
+        t.add_step(-0.1, step_info())
+        t.add_step(-0.2, step_info())
+        assert len(t) == 2
+        assert t.temps_array().shape == (2, 1)
+        assert t.reward == [-0.1, -0.2]
+        assert t.occupied_any == [True, True]

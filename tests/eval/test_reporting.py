@@ -1,0 +1,55 @@
+"""Tests for text rendering helpers."""
+
+import pytest
+
+from repro.eval import format_series, format_table, sparkline
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "v"], [["a", "1"], ["longer", "22"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        # All data lines padded to equal column starts.
+        assert lines[2].startswith("a      ")
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_non_string_cells_coerced(self):
+        text = format_table(["x"], [[1.5]])
+        assert "1.5" in text
+
+
+class TestSparkline:
+    def test_length_matches(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_constant_series(self):
+        s = sparkline([5.0, 5.0, 5.0])
+        assert s == s[0] * 3
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_ramp_uses_extremes(self):
+        s = sparkline(list(range(16)))
+        assert s[0] == "▁"
+        assert s[-1] == "█"
+
+
+class TestFormatSeries:
+    def test_contains_stats(self):
+        text = format_series("ret", [1.0, 2.0, 3.0])
+        assert "ret" in text
+        assert "mean=2" in text
+        assert "n=3" in text
+
+    def test_downsamples_long_series(self):
+        text = format_series("x", list(range(1000)), width=40)
+        spark_line = text.splitlines()[1].strip()
+        assert len(spark_line) <= 40
+
+    def test_empty_series(self):
+        assert "(empty)" in format_series("x", [])

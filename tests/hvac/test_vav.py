@@ -1,0 +1,152 @@
+"""Tests for the VAV plant model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hvac import VAVConfig, VAVSystem
+from repro.hvac.vav import AIR_CP_J_PER_KG_K
+
+
+class TestVAVConfig:
+    def test_defaults_valid(self):
+        cfg = VAVConfig()
+        assert cfg.n_levels == 4
+        assert cfg.max_flow_kg_s == 0.45
+
+    def test_rejects_nonzero_first_level(self):
+        with pytest.raises(ValueError, match="first flow level"):
+            VAVConfig(flow_levels_kg_s=(0.1, 0.2))
+
+    def test_rejects_non_increasing(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            VAVConfig(flow_levels_kg_s=(0.0, 0.3, 0.2))
+
+    def test_rejects_single_level(self):
+        with pytest.raises(ValueError, match="at least two"):
+            VAVConfig(flow_levels_kg_s=(0.0,))
+
+    def test_rejects_bad_oaf(self):
+        with pytest.raises(ValueError, match="outdoor_air_fraction"):
+            VAVConfig(outdoor_air_fraction=1.5)
+
+    def test_rejects_bad_cop(self):
+        with pytest.raises(ValueError, match="cop"):
+            VAVConfig(cop=0.0)
+
+
+class TestThermal:
+    def test_off_gives_zero_heat(self):
+        sys = VAVSystem(VAVConfig(), 2)
+        heat = sys.zone_heat_w([0, 0], np.array([25.0, 25.0]))
+        assert np.allclose(heat, 0.0)
+
+    def test_cooling_is_negative_heat(self):
+        sys = VAVSystem(VAVConfig(), 1)
+        heat = sys.zone_heat_w([3], np.array([25.0]))
+        assert heat[0] < 0  # supply at 12.8 C cools a 25 C zone
+
+    def test_heat_magnitude_formula(self):
+        cfg = VAVConfig()
+        sys = VAVSystem(cfg, 1)
+        heat = sys.zone_heat_w([3], np.array([25.0]))
+        expect = cfg.max_flow_kg_s * AIR_CP_J_PER_KG_K * (cfg.supply_temp_c - 25.0)
+        assert heat[0] == pytest.approx(expect)
+
+    def test_warms_cold_zone(self):
+        # Below supply temperature the same airflow heats the zone.
+        sys = VAVSystem(VAVConfig(), 1)
+        heat = sys.zone_heat_w([3], np.array([5.0]))
+        assert heat[0] > 0
+
+    def test_level_bounds_checked(self):
+        sys = VAVSystem(VAVConfig(), 1)
+        with pytest.raises(ValueError, match="levels must be in"):
+            sys.zone_heat_w([4], np.array([25.0]))
+
+    def test_shape_checked(self):
+        sys = VAVSystem(VAVConfig(), 2)
+        with pytest.raises(ValueError, match="shape"):
+            sys.zone_heat_w([1], np.array([25.0]))
+
+
+class TestFan:
+    def test_off_zero_power(self):
+        sys = VAVSystem(VAVConfig(), 3)
+        assert sys.fan_power_w([0, 0, 0]) == 0.0
+
+    def test_full_flow_max_power(self):
+        cfg = VAVConfig(fan_power_max_w=400.0)
+        sys = VAVSystem(cfg, 2)
+        assert sys.fan_power_w([3, 3]) == pytest.approx(800.0)
+
+    def test_cube_law_at_half_flow(self):
+        cfg = VAVConfig(flow_levels_kg_s=(0.0, 0.2, 0.4), fan_power_max_w=400.0)
+        sys = VAVSystem(cfg, 1)
+        assert sys.fan_power_w([1]) == pytest.approx(400.0 * 0.5**3)
+
+    def test_part_load_much_cheaper_than_linear(self):
+        sys = VAVSystem(VAVConfig(), 1)
+        third = sys.fan_power_w([1])
+        full = sys.fan_power_w([3])
+        assert third < full / 3.0  # cube law beats linear scaling
+
+
+class TestCoil:
+    def test_off_zero(self):
+        sys = VAVSystem(VAVConfig(), 1)
+        assert sys.coil_power_w([0], np.array([25.0]), 30.0) == 0.0
+
+    def test_hotter_outdoor_costs_more(self):
+        sys = VAVSystem(VAVConfig(), 1)
+        mild = sys.coil_power_w([3], np.array([25.0]), 25.0)
+        hot = sys.coil_power_w([3], np.array([25.0]), 38.0)
+        assert hot > mild
+
+    def test_free_cooling_when_mixed_air_cold(self):
+        cfg = VAVConfig(outdoor_air_fraction=1.0)  # all outdoor air
+        sys = VAVSystem(cfg, 1)
+        power = sys.coil_power_w([3], np.array([25.0]), 10.0)
+        assert power == 0.0  # 10 C outdoor air is below 12.8 C supply
+
+    def test_cop_divides_load(self):
+        low = VAVSystem(VAVConfig(cop=2.0), 1)
+        high = VAVSystem(VAVConfig(cop=4.0), 1)
+        temps = np.array([26.0])
+        assert low.coil_power_w([3], temps, 32.0) == pytest.approx(
+            2.0 * high.coil_power_w([3], temps, 32.0)
+        )
+
+    def test_return_temp_flow_weighted(self):
+        cfg = VAVConfig(outdoor_air_fraction=0.0)
+        sys = VAVSystem(cfg, 2)
+        # Zone 1 at level 3 dominates the return stream over zone 0 at 1.
+        hot_dominant = sys.coil_power_w([1, 3], np.array([20.0, 30.0]), 25.0)
+        cold_dominant = sys.coil_power_w([3, 1], np.array([20.0, 30.0]), 25.0)
+        assert hot_dominant > cold_dominant
+
+
+class TestElectricTotal:
+    def test_sum_of_parts(self):
+        sys = VAVSystem(VAVConfig(), 2)
+        temps = np.array([26.0, 27.0])
+        total = sys.electric_power_w([2, 3], temps, 33.0)
+        assert total == pytest.approx(
+            sys.fan_power_w([2, 3]) + sys.coil_power_w([2, 3], temps, 33.0)
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=3), min_size=2, max_size=2),
+        st.floats(min_value=15.0, max_value=35.0),
+        st.floats(min_value=-5.0, max_value=45.0),
+    )
+    def test_property_power_non_negative(self, levels, zone_t, out_t):
+        sys = VAVSystem(VAVConfig(), 2)
+        power = sys.electric_power_w(levels, np.array([zone_t, zone_t]), out_t)
+        assert power >= 0.0
+
+    def test_rejects_bad_zone_count(self):
+        with pytest.raises(ValueError, match="n_zones"):
+            VAVSystem(VAVConfig(), 0)

@@ -1,0 +1,138 @@
+"""Integration tests: full training loops on the real environment.
+
+Budgets are kept tiny; assertions target *learning direction* (the agent
+ends up clearly better than random) rather than paper-level performance,
+which the benchmark suite checks under a bigger budget.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RandomController, ThermostatController
+from repro.building import four_zone_office, single_zone_building
+from repro.core import (
+    DQNAgent,
+    DQNConfig,
+    FactoredDQNAgent,
+    Trainer,
+    TrainerConfig,
+)
+from repro.env import HVACEnv, HVACEnvConfig
+from repro.eval import evaluate_controller
+from repro.weather import SyntheticWeatherConfig, generate_weather
+
+
+@pytest.fixture(scope="module")
+def train_weather():
+    return generate_weather(
+        SyntheticWeatherConfig(), start_day_of_year=200, n_days=8, rng=10
+    )
+
+
+@pytest.fixture(scope="module")
+def eval_weather():
+    return generate_weather(
+        SyntheticWeatherConfig(), start_day_of_year=213, n_days=3, rng=11
+    )
+
+
+def small_dqn_config():
+    return DQNConfig(
+        hidden=(32, 32),
+        batch_size=32,
+        learn_start=100,
+        epsilon_decay_steps=1500,
+        buffer_capacity=5000,
+    )
+
+
+class TestSingleZoneTraining:
+    def test_dqn_beats_random_after_short_training(
+        self, train_weather, eval_weather
+    ):
+        train_env = HVACEnv(
+            single_zone_building(),
+            train_weather,
+            config=HVACEnvConfig(episode_days=1.0, randomize_start_day=True,
+                                 comfort_weight=4.0),
+            rng=0,
+        )
+        agent = DQNAgent(
+            train_env.obs_dim, train_env.action_space,
+            config=small_dqn_config(), rng=0,
+        )
+        Trainer(train_env, agent, config=TrainerConfig(n_episodes=25)).train()
+
+        eval_env = HVACEnv(
+            single_zone_building(),
+            eval_weather,
+            config=HVACEnvConfig(episode_days=2.0, initial_temp_noise_c=0.0,
+                                 comfort_weight=4.0),
+            rng=1,
+        )
+        dqn_metrics = evaluate_controller(eval_env, agent)
+        rand_metrics = evaluate_controller(
+            eval_env, RandomController(eval_env.action_space, rng=0)
+        )
+        assert dqn_metrics.episode_return > rand_metrics.episode_return
+        # Must be in the same league as the thermostat on comfort.
+        assert dqn_metrics.violation_deg_hours < 0.25 * rand_metrics.violation_deg_hours
+
+    def test_training_reduces_epsilon_and_fills_buffer(self, train_weather):
+        env = HVACEnv(
+            single_zone_building(), train_weather,
+            config=HVACEnvConfig(episode_days=1.0), rng=0,
+        )
+        agent = DQNAgent(
+            env.obs_dim, env.action_space, config=small_dqn_config(), rng=0
+        )
+        Trainer(env, agent, config=TrainerConfig(n_episodes=5)).train()
+        assert agent.total_steps == 5 * 96
+        assert len(agent.buffer) == 5 * 96
+        assert agent.epsilon < 1.0
+
+
+class TestMultiZoneTraining:
+    def test_factored_agent_trains_on_four_zones(
+        self, train_weather, eval_weather
+    ):
+        train_env = HVACEnv(
+            four_zone_office(), train_weather,
+            config=HVACEnvConfig(episode_days=1.0, randomize_start_day=True,
+                                 comfort_weight=4.0),
+            rng=0,
+        )
+        agent = FactoredDQNAgent(
+            train_env.obs_dim, train_env.action_space,
+            config=small_dqn_config(), rng=0,
+        )
+        Trainer(train_env, agent, config=TrainerConfig(n_episodes=15)).train()
+
+        eval_env = HVACEnv(
+            four_zone_office(), eval_weather,
+            config=HVACEnvConfig(episode_days=2.0, initial_temp_noise_c=0.0,
+                                 comfort_weight=4.0),
+            rng=1,
+        )
+        agent_metrics = evaluate_controller(eval_env, agent)
+        rand_metrics = evaluate_controller(
+            eval_env, RandomController(eval_env.action_space, rng=0)
+        )
+        assert agent_metrics.episode_return > rand_metrics.episode_return
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_training(self, train_weather):
+        def run():
+            env = HVACEnv(
+                single_zone_building(), train_weather,
+                config=HVACEnvConfig(episode_days=1.0, randomize_start_day=True),
+                rng=7,
+            )
+            agent = DQNAgent(
+                env.obs_dim, env.action_space, config=small_dqn_config(), rng=7
+            )
+            log = Trainer(env, agent, config=TrainerConfig(n_episodes=3)).train()
+            return log.series("episode_return")
+
+        assert np.allclose(run(), run())

@@ -1,0 +1,108 @@
+"""Tests for the dueling Q-network architecture."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Adam, DuelingMLP, mse_loss
+
+
+class TestForward:
+    def test_shapes(self):
+        net = DuelingMLP(4, (8,), 3, rng=0)
+        assert net.forward(np.ones((5, 4))).shape == (5, 3)
+        assert net.forward(np.ones(4)).shape == (3,)
+
+    def test_advantage_mean_centred(self):
+        """Q - V must have zero mean over actions by construction."""
+        net = DuelingMLP(3, (6,), 4, rng=0)
+        x = np.random.default_rng(0).normal(size=(7, 3))
+        q = net.forward(x)
+        features = net._trunk.forward(x)
+        v = net._value_head.forward(features)
+        centred = q - v
+        assert np.allclose(centred.mean(axis=1), 0.0, atol=1e-12)
+
+    def test_needs_hidden_layer(self):
+        with pytest.raises(ValueError, match="hidden"):
+            DuelingMLP(3, (), 2)
+
+    def test_unknown_activation(self):
+        with pytest.raises(ValueError, match="activation"):
+            DuelingMLP(3, (4,), 2, activation="softmax")
+
+    def test_repr(self):
+        assert "V(1) | A(3)" in repr(DuelingMLP(2, (4,), 3, rng=0))
+
+
+class TestBackward:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_gradients_match_finite_difference(self, in_dim, out_dim, batch, seed):
+        rng = np.random.default_rng(seed)
+        net = DuelingMLP(in_dim, (5,), out_dim, activation="tanh", rng=seed)
+        x = rng.normal(size=(batch, in_dim))
+        target = rng.normal(size=(batch, out_dim))
+
+        pred = net.forward(x)
+        _, dpred = mse_loss(pred, target, return_grad=True)
+        for p in net.parameters():
+            p.zero_grad()
+        net.backward(dpred)
+
+        eps = 1e-6
+        for p in net.parameters():
+            numeric = np.zeros_like(p.value)
+            flat, nflat = p.value.ravel(), numeric.ravel()
+            for i in range(flat.size):
+                orig = flat[i]
+                flat[i] = orig + eps
+                hi = mse_loss(net.forward(x), target)
+                flat[i] = orig - eps
+                lo = mse_loss(net.forward(x), target)
+                flat[i] = orig
+                nflat[i] = (hi - lo) / (2 * eps)
+            assert np.allclose(p.grad, numeric, rtol=1e-4, atol=1e-6), p.name
+
+
+class TestTargetSupport:
+    def test_clone_matches(self):
+        net = DuelingMLP(3, (6,), 2, rng=3)
+        twin = net.clone()
+        x = np.ones((4, 3))
+        assert np.allclose(net.forward(x), twin.forward(x))
+
+    def test_soft_update(self):
+        a = DuelingMLP(2, (4,), 2, rng=1)
+        b = DuelingMLP(2, (4,), 2, rng=2)
+        b.soft_update_from(a, tau=1.0)
+        x = np.ones((1, 2))
+        assert np.allclose(a.forward(x), b.forward(x))
+
+    def test_copy_rejects_mismatch(self):
+        a = DuelingMLP(2, (4,), 2, rng=1)
+        b = DuelingMLP(2, (4, 4), 2, rng=1)
+        with pytest.raises(ValueError, match="architectures differ"):
+            b.copy_weights_from(a)
+
+
+class TestTraining:
+    def test_fits_regression(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(256, 2))
+        y = np.stack([x[:, 0] + x[:, 1], x[:, 0] - x[:, 1]], axis=1)
+        net = DuelingMLP(2, (16,), 2, rng=0)
+        opt = Adam(net.parameters(), lr=1e-2)
+        for _ in range(400):
+            pred = net.forward(x)
+            _, grad = mse_loss(pred, y, return_grad=True)
+            opt.zero_grad()
+            net.backward(grad)
+            opt.step()
+        assert mse_loss(net.forward(x), y) < 5e-2

@@ -1,0 +1,92 @@
+"""Property-based gradient checks: backprop vs central finite differences.
+
+These are the load-bearing correctness tests of the NumPy substrate —
+if they hold, DQN's gradient steps are trustworthy.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import MLP, huber_loss, mse_loss
+
+_dims = st.tuples(
+    st.integers(min_value=1, max_value=4),  # in_dim
+    st.integers(min_value=1, max_value=6),  # hidden width
+    st.integers(min_value=1, max_value=3),  # out_dim
+    st.integers(min_value=1, max_value=4),  # batch
+    st.integers(min_value=0, max_value=10_000),  # seed
+)
+
+
+def numeric_param_grad(net, param, x, target, loss_fn, eps=1e-6):
+    """Central finite-difference gradient of the loss w.r.t. one parameter."""
+    grad = np.zeros_like(param.value)
+    flat = param.value.ravel()
+    gflat = grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = loss_fn(net.forward(x), target)
+        flat[i] = orig - eps
+        lo = loss_fn(net.forward(x), target)
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+@settings(max_examples=15, deadline=None)
+@given(_dims, st.sampled_from(["relu", "tanh"]))
+def test_backprop_matches_finite_difference_mse(dims, activation):
+    in_dim, width, out_dim, batch, seed = dims
+    rng = np.random.default_rng(seed)
+    net = MLP(in_dim, (width,), out_dim, activation=activation, rng=seed)
+    x = rng.normal(size=(batch, in_dim))
+    target = rng.normal(size=(batch, out_dim))
+
+    pred = net.forward(x)
+    _, dpred = mse_loss(pred, target, return_grad=True)
+    for p in net.parameters():
+        p.zero_grad()
+    net.backward(dpred)
+
+    for p in net.parameters():
+        numeric = numeric_param_grad(net, p, x, target, mse_loss)
+        # ReLU kinks can make a coordinate non-differentiable; tolerance
+        # is loose but catches any systematic backprop error.
+        assert np.allclose(p.grad, numeric, rtol=1e-4, atol=1e-6), p.name
+
+
+@settings(max_examples=10, deadline=None)
+@given(_dims)
+def test_backprop_matches_finite_difference_huber(dims):
+    in_dim, width, out_dim, batch, seed = dims
+    rng = np.random.default_rng(seed + 1)
+    net = MLP(in_dim, (width,), out_dim, activation="tanh", rng=seed)
+    x = rng.normal(size=(batch, in_dim))
+    target = rng.normal(scale=2.0, size=(batch, out_dim))
+
+    pred = net.forward(x)
+    _, dpred = huber_loss(pred, target, return_grad=True)
+    for p in net.parameters():
+        p.zero_grad()
+    net.backward(dpred)
+
+    def loss_fn(pred, tgt):
+        return huber_loss(pred, tgt)
+
+    for p in net.parameters():
+        numeric = numeric_param_grad(net, p, x, target, loss_fn)
+        assert np.allclose(p.grad, numeric, rtol=1e-4, atol=1e-6), p.name
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_forward_is_deterministic(in_dim, out_dim, seed):
+    net = MLP(in_dim, (4,), out_dim, rng=seed)
+    x = np.random.default_rng(seed).normal(size=(3, in_dim))
+    assert np.array_equal(net.forward(x), net.forward(x))

@@ -1,0 +1,127 @@
+"""Unit tests for layers: shapes, caching, and analytic gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Identity, Linear, ReLU, Sequential, Tanh
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(3, 4, rng=0)
+        out = layer.forward(np.ones((5, 3)))
+        assert out.shape == (5, 4)
+
+    def test_forward_rejects_wrong_width(self):
+        layer = Linear(3, 4, rng=0)
+        with pytest.raises(ValueError, match="expected input"):
+            layer.forward(np.ones((5, 2)))
+
+    def test_forward_rejects_1d(self):
+        layer = Linear(3, 4, rng=0)
+        with pytest.raises(ValueError):
+            layer.forward(np.ones(3))
+
+    def test_affine_math(self):
+        layer = Linear(2, 2, rng=0)
+        layer.weight.value[:] = [[1.0, 2.0], [3.0, 4.0]]
+        layer.bias.value[:] = [10.0, 20.0]
+        out = layer.forward(np.array([[1.0, 1.0]]))
+        assert np.allclose(out, [[14.0, 26.0]])
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError, match="before forward"):
+            Linear(2, 2, rng=0).backward(np.ones((1, 2)))
+
+    def test_backward_accumulates_weight_grad(self):
+        layer = Linear(2, 1, rng=0)
+        x = np.array([[1.0, 2.0]])
+        layer.forward(x)
+        layer.backward(np.array([[1.0]]))
+        assert np.allclose(layer.weight.grad, [[1.0], [2.0]])
+        assert np.allclose(layer.bias.grad, [1.0])
+
+    def test_backward_input_gradient(self):
+        layer = Linear(2, 3, rng=0)
+        x = np.array([[0.5, -0.5]])
+        layer.forward(x)
+        gin = layer.backward(np.ones((1, 3)))
+        assert np.allclose(gin, layer.weight.value.sum(axis=1)[None, :])
+
+    def test_grad_accumulates_across_calls(self):
+        layer = Linear(2, 1, rng=0)
+        x = np.array([[1.0, 1.0]])
+        layer.forward(x)
+        layer.backward(np.array([[1.0]]))
+        layer.forward(x)
+        layer.backward(np.array([[1.0]]))
+        assert np.allclose(layer.bias.grad, [2.0])
+
+    def test_zero_grad(self):
+        layer = Linear(2, 1, rng=0)
+        layer.forward(np.ones((1, 2)))
+        layer.backward(np.ones((1, 1)))
+        layer.zero_grad()
+        assert np.all(layer.weight.grad == 0)
+        assert np.all(layer.bias.grad == 0)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError, match="dims must be > 0"):
+            Linear(0, 3)
+
+
+class TestActivations:
+    def test_relu_forward(self):
+        out = ReLU().forward(np.array([[-1.0, 0.0, 2.0]]))
+        assert np.allclose(out, [[0.0, 0.0, 2.0]])
+
+    def test_relu_backward_masks(self):
+        relu = ReLU()
+        relu.forward(np.array([[-1.0, 3.0]]))
+        grad = relu.backward(np.array([[5.0, 5.0]]))
+        assert np.allclose(grad, [[0.0, 5.0]])
+
+    def test_relu_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            ReLU().backward(np.ones((1, 1)))
+
+    def test_tanh_forward_range(self):
+        out = Tanh().forward(np.array([[-100.0, 0.0, 100.0]]))
+        assert np.allclose(out, [[-1.0, 0.0, 1.0]])
+
+    def test_tanh_backward_derivative(self):
+        tanh = Tanh()
+        tanh.forward(np.array([[0.0]]))
+        grad = tanh.backward(np.array([[1.0]]))
+        assert np.allclose(grad, [[1.0]])  # 1 - tanh(0)^2 = 1
+
+    def test_identity_passthrough(self):
+        ident = Identity()
+        x = np.array([[1.0, -2.0]])
+        assert np.allclose(ident.forward(x), x)
+        assert np.allclose(ident.backward(x), x)
+
+
+class TestSequential:
+    def test_compose_forward(self):
+        lin = Linear(2, 2, rng=0)
+        lin.weight.value[:] = np.eye(2)
+        lin.bias.value[:] = 0.0
+        seq = Sequential([lin, ReLU()])
+        out = seq.forward(np.array([[-1.0, 2.0]]))
+        assert np.allclose(out, [[0.0, 2.0]])
+
+    def test_parameters_collected(self):
+        seq = Sequential([Linear(2, 3, rng=0), ReLU(), Linear(3, 1, rng=1)])
+        assert len(seq.parameters()) == 4  # 2 weights + 2 biases
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one layer"):
+            Sequential([])
+
+    def test_backward_reverses(self):
+        seq = Sequential([Linear(2, 2, rng=0), Tanh(), Linear(2, 1, rng=1)])
+        x = np.random.default_rng(0).normal(size=(4, 2))
+        seq.forward(x)
+        gin = seq.backward(np.ones((4, 1)))
+        assert gin.shape == (4, 2)

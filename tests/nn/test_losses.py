@@ -1,0 +1,69 @@
+"""Unit tests for MSE and Huber losses and their gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn import huber_loss, mse_loss
+
+
+class TestMSE:
+    def test_zero_at_match(self):
+        x = np.array([1.0, 2.0])
+        assert mse_loss(x, x) == 0.0
+
+    def test_value(self):
+        assert mse_loss(np.array([2.0]), np.array([0.0])) == pytest.approx(4.0)
+
+    def test_grad_matches_finite_difference(self):
+        rng = np.random.default_rng(0)
+        pred = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 3))
+        loss, grad = mse_loss(pred, target, return_grad=True)
+        eps = 1e-6
+        for idx in np.ndindex(pred.shape):
+            bumped = pred.copy()
+            bumped[idx] += eps
+            fd = (mse_loss(bumped, target) - loss) / eps
+            assert grad[idx] == pytest.approx(fd, rel=1e-3, abs=1e-6)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            mse_loss(np.zeros(2), np.zeros(3))
+
+
+class TestHuber:
+    def test_quadratic_inside_delta(self):
+        loss = huber_loss(np.array([0.5]), np.array([0.0]), delta=1.0)
+        assert loss == pytest.approx(0.125)
+
+    def test_linear_outside_delta(self):
+        loss = huber_loss(np.array([3.0]), np.array([0.0]), delta=1.0)
+        assert loss == pytest.approx(1.0 * (3.0 - 0.5))
+
+    def test_continuous_at_delta(self):
+        just_in = huber_loss(np.array([0.999999]), np.array([0.0]), delta=1.0)
+        just_out = huber_loss(np.array([1.000001]), np.array([0.0]), delta=1.0)
+        assert just_in == pytest.approx(just_out, abs=1e-4)
+
+    def test_grad_clipped(self):
+        _, grad = huber_loss(
+            np.array([10.0, -10.0]), np.array([0.0, 0.0]), delta=1.0, return_grad=True
+        )
+        # Gradient magnitude is delta / n for saturated errors.
+        assert np.allclose(np.abs(grad), 0.5)
+
+    def test_grad_matches_finite_difference(self):
+        rng = np.random.default_rng(1)
+        pred = rng.normal(scale=2.0, size=(5,))
+        target = rng.normal(size=(5,))
+        loss, grad = huber_loss(pred, target, return_grad=True)
+        eps = 1e-6
+        for i in range(5):
+            bumped = pred.copy()
+            bumped[i] += eps
+            fd = (huber_loss(bumped, target) - loss) / eps
+            assert grad[i] == pytest.approx(fd, rel=1e-3, abs=1e-6)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError, match="delta"):
+            huber_loss(np.zeros(1), np.zeros(1), delta=0.0)

@@ -1,0 +1,100 @@
+"""Unit tests for the MLP container and target-network support."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, Adam, mse_loss
+
+
+class TestMLPBasics:
+    def test_output_shape_batch(self):
+        net = MLP(4, (8, 8), 3, rng=0)
+        assert net.forward(np.ones((10, 4))).shape == (10, 3)
+
+    def test_output_shape_single(self):
+        net = MLP(4, (8,), 3, rng=0)
+        assert net.forward(np.ones(4)).shape == (3,)
+
+    def test_unknown_activation(self):
+        with pytest.raises(ValueError, match="unknown activation"):
+            MLP(2, (4,), 1, activation="gelu")
+
+    def test_deterministic_init(self):
+        a = MLP(3, (5,), 2, rng=7)
+        b = MLP(3, (5,), 2, rng=7)
+        x = np.ones((1, 3))
+        assert np.allclose(a.forward(x), b.forward(x))
+
+    def test_different_seeds_differ(self):
+        a = MLP(3, (5,), 2, rng=1)
+        b = MLP(3, (5,), 2, rng=2)
+        assert not np.allclose(a.forward(np.ones((1, 3))), b.forward(np.ones((1, 3))))
+
+    def test_num_parameters(self):
+        net = MLP(4, (8,), 3, rng=0)
+        assert net.num_parameters() == 4 * 8 + 8 + 8 * 3 + 3
+
+    def test_repr_shows_arch(self):
+        assert "4 -> 8 -> 3" in repr(MLP(4, (8,), 3, rng=0))
+
+
+class TestTargetNetworkSupport:
+    def test_clone_matches(self):
+        net = MLP(3, (6,), 2, rng=0)
+        twin = net.clone()
+        x = np.random.default_rng(0).normal(size=(4, 3))
+        assert np.allclose(net.forward(x), twin.forward(x))
+
+    def test_clone_is_independent(self):
+        net = MLP(3, (6,), 2, rng=0)
+        twin = net.clone()
+        net.parameters()[0].value += 1.0
+        x = np.ones((1, 3))
+        assert not np.allclose(net.forward(x), twin.forward(x))
+
+    def test_copy_weights_from(self):
+        a = MLP(3, (6,), 2, rng=1)
+        b = MLP(3, (6,), 2, rng=2)
+        b.copy_weights_from(a)
+        x = np.ones((2, 3))
+        assert np.allclose(a.forward(x), b.forward(x))
+
+    def test_copy_rejects_mismatched_arch(self):
+        a = MLP(3, (6,), 2, rng=0)
+        b = MLP(3, (6, 6), 2, rng=0)
+        with pytest.raises(ValueError, match="architectures differ"):
+            b.copy_weights_from(a)
+
+    def test_soft_update_interpolates(self):
+        a = MLP(2, (3,), 1, rng=1)
+        b = MLP(2, (3,), 1, rng=2)
+        pa = a.parameters()[0].value.copy()
+        pb = b.parameters()[0].value.copy()
+        b.soft_update_from(a, tau=0.25)
+        expect = 0.25 * pa + 0.75 * pb
+        assert np.allclose(b.parameters()[0].value, expect)
+
+    def test_soft_update_tau_one_copies(self):
+        a = MLP(2, (3,), 1, rng=1)
+        b = MLP(2, (3,), 1, rng=2)
+        b.soft_update_from(a, tau=1.0)
+        x = np.ones((1, 2))
+        assert np.allclose(a.forward(x), b.forward(x))
+
+
+class TestMLPTraining:
+    def test_learns_linear_map(self):
+        """The MLP must fit a simple regression — end-to-end sanity."""
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(256, 2))
+        y = (x @ np.array([[1.0], [-2.0]])) + 0.5
+        net = MLP(2, (16,), 1, rng=0)
+        opt = Adam(net.parameters(), lr=1e-2)
+        for _ in range(300):
+            pred = net.forward(x)
+            loss, grad = mse_loss(pred, y, return_grad=True)
+            opt.zero_grad()
+            net.backward(grad)
+            opt.step()
+        final = mse_loss(net.forward(x), y)
+        assert final < 1e-2

@@ -1,0 +1,127 @@
+"""Unit tests for optimizers and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, Momentum, RMSProp, clip_gradients
+from repro.nn.parameter import Parameter
+
+
+def quadratic_params():
+    """One parameter at x=5; minimizing f(x)=x^2 should drive it to 0."""
+    return [Parameter(np.array([5.0]), "x")]
+
+
+def set_quadratic_grad(params):
+    params[0].grad[:] = 2.0 * params[0].value
+
+
+class TestSGD:
+    def test_single_step(self):
+        p = Parameter(np.array([1.0]))
+        p.grad[:] = 0.5
+        SGD([p], lr=0.1).step()
+        assert np.allclose(p.value, 0.95)
+
+    def test_converges_on_quadratic(self):
+        params = quadratic_params()
+        opt = SGD(params, lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            set_quadratic_grad(params)
+            opt.step()
+        assert abs(params[0].value[0]) < 1e-4
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError, match="lr"):
+            SGD(quadratic_params(), lr=0.0)
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError, match="at least one"):
+            SGD([], lr=0.1)
+
+
+class TestMomentum:
+    def test_converges_on_quadratic(self):
+        params = quadratic_params()
+        opt = Momentum(params, lr=0.05, momentum=0.9)
+        for _ in range(200):
+            opt.zero_grad()
+            set_quadratic_grad(params)
+            opt.step()
+        assert abs(params[0].value[0]) < 1e-3
+
+    def test_momentum_accelerates_early(self):
+        plain = quadratic_params()
+        heavy = quadratic_params()
+        sgd = SGD(plain, lr=0.01)
+        mom = Momentum(heavy, lr=0.01, momentum=0.9)
+        for _ in range(20):
+            for params, opt in [(plain, sgd), (heavy, mom)]:
+                opt.zero_grad()
+                set_quadratic_grad(params)
+                opt.step()
+        assert abs(heavy[0].value[0]) < abs(plain[0].value[0])
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError, match="momentum"):
+            Momentum(quadratic_params(), lr=0.1, momentum=1.0)
+
+
+class TestRMSPropAdam:
+    @pytest.mark.parametrize("cls", [RMSProp, Adam])
+    def test_converges_on_quadratic(self, cls):
+        # Adaptive methods take ~lr-sized steps near the optimum, so they
+        # hover within an lr-sized ball rather than converging exactly.
+        params = quadratic_params()
+        opt = cls(params, lr=0.05)
+        for _ in range(800):
+            opt.zero_grad()
+            set_quadratic_grad(params)
+            opt.step()
+        assert abs(params[0].value[0]) < 0.1
+
+    def test_adam_bias_correction_first_step(self):
+        p = Parameter(np.array([0.0]))
+        opt = Adam([p], lr=0.1)
+        p.grad[:] = 1.0
+        opt.step()
+        # With bias correction the first step is ~lr regardless of betas.
+        assert p.value[0] == pytest.approx(-0.1, rel=1e-3)
+
+    def test_adam_invalid_betas(self):
+        with pytest.raises(ValueError, match="betas"):
+            Adam(quadratic_params(), lr=0.1, beta1=1.0)
+
+    def test_rmsprop_invalid_decay(self):
+        with pytest.raises(ValueError, match="decay"):
+            RMSProp(quadratic_params(), lr=0.1, decay=1.5)
+
+
+class TestClipGradients:
+    def test_no_clip_below_norm(self):
+        p = Parameter(np.array([3.0, 4.0]))
+        p.grad[:] = [0.3, 0.4]
+        norm = clip_gradients([p], max_norm=1.0)
+        assert norm == pytest.approx(0.5)
+        assert np.allclose(p.grad, [0.3, 0.4])
+
+    def test_clips_above_norm(self):
+        p = Parameter(np.array([0.0, 0.0]))
+        p.grad[:] = [3.0, 4.0]
+        norm = clip_gradients([p], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_global_norm_across_params(self):
+        a = Parameter(np.zeros(1))
+        b = Parameter(np.zeros(1))
+        a.grad[:] = 3.0
+        b.grad[:] = 4.0
+        clip_gradients([a, b], max_norm=1.0)
+        total = np.sqrt(a.grad[0] ** 2 + b.grad[0] ** 2)
+        assert total == pytest.approx(1.0)
+
+    def test_rejects_bad_norm(self):
+        with pytest.raises(ValueError, match="max_norm"):
+            clip_gradients([Parameter(np.zeros(1))], max_norm=0.0)

@@ -1,0 +1,54 @@
+"""Unit tests for network checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, load_state_dict, state_dict
+from repro.nn.serialization import load_checkpoint, save_checkpoint
+
+
+class TestStateDict:
+    def test_round_trip_preserves_outputs(self):
+        a = MLP(3, (5,), 2, rng=1)
+        b = MLP(3, (5,), 2, rng=2)
+        load_state_dict(b, state_dict(a))
+        x = np.random.default_rng(0).normal(size=(4, 3))
+        assert np.allclose(a.forward(x), b.forward(x))
+
+    def test_json_serializable(self):
+        import json
+
+        net = MLP(2, (3,), 1, rng=0)
+        text = json.dumps(state_dict(net))
+        assert "hidden0.weight" in text
+
+    def test_count_mismatch_rejected(self):
+        a = MLP(2, (3,), 1, rng=0)
+        b = MLP(2, (3, 3), 1, rng=0)
+        with pytest.raises(ValueError, match="parameter count"):
+            load_state_dict(b, state_dict(a))
+
+    def test_shape_mismatch_rejected(self):
+        a = MLP(2, (3,), 1, rng=0)
+        b = MLP(2, (4,), 1, rng=0)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            load_state_dict(b, state_dict(a))
+
+    def test_missing_key_rejected(self):
+        net = MLP(2, (3,), 1, rng=0)
+        state = state_dict(net)
+        key = next(iter(state))
+        bad = {("0:renamed" if k == key else k): v for k, v in state.items()}
+        with pytest.raises((KeyError, ValueError)):
+            load_state_dict(net, bad)
+
+
+class TestCheckpointFiles:
+    def test_file_round_trip(self, tmp_path):
+        a = MLP(3, (4,), 2, rng=5)
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(a, path)
+        b = MLP(3, (4,), 2, rng=9)
+        load_checkpoint(b, path)
+        x = np.ones((2, 3))
+        assert np.allclose(a.forward(x), b.forward(x))

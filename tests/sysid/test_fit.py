@@ -1,0 +1,130 @@
+"""Tests for RC-model identification: parameter recovery from traces."""
+
+import numpy as np
+import pytest
+
+from repro.building import single_zone_building
+from repro.env import HVACEnv, HVACEnvConfig
+from repro.sysid import collect_trace, fit_first_order_zone
+from repro.weather import SyntheticWeatherConfig, generate_weather
+
+
+@pytest.fixture(scope="module")
+def fitted_and_truth():
+    weather = generate_weather(
+        SyntheticWeatherConfig(), start_day_of_year=200, n_days=10, rng=3
+    )
+    building = single_zone_building()
+    env = HVACEnv(
+        building,
+        weather,
+        config=HVACEnvConfig(episode_days=1.0, randomize_start_day=True),
+        rng=0,
+    )
+    trace = collect_trace(env, n_steps=700, rng=1)
+    model = fit_first_order_zone(trace)
+    return model, building.zones[0], trace
+
+
+class TestParameterRecovery:
+    def test_capacitance_recovered(self, fitted_and_truth):
+        model, zone, _ = fitted_and_truth
+        assert model.capacitance_j_per_k == pytest.approx(
+            zone.capacitance_j_per_k, rel=0.15
+        )
+
+    def test_ua_recovered(self, fitted_and_truth):
+        model, zone, _ = fitted_and_truth
+        assert model.ua_w_per_k == pytest.approx(zone.ua_ambient_w_per_k, rel=0.15)
+
+    def test_solar_aperture_recovered(self, fitted_and_truth):
+        model, zone, _ = fitted_and_truth
+        assert model.solar_aperture_m2 == pytest.approx(
+            zone.solar_aperture_m2, rel=0.25
+        )
+
+    def test_gains_ordered(self, fitted_and_truth):
+        model, zone, _ = fitted_and_truth
+        # Office schedule: occupied gains (20 W/m2) >> base (2 W/m2).
+        assert model.gains_occupied_w > model.gains_base_w
+        assert model.gains_occupied_w == pytest.approx(
+            20.0 * zone.floor_area_m2, rel=0.3
+        )
+
+    def test_residual_small(self, fitted_and_truth):
+        model, _, _ = fitted_and_truth
+        # One-step prediction error well under the comfort deadband.
+        assert model.residual_rmse_c < 0.05
+
+
+class TestPrediction:
+    def test_one_step_prediction_accurate(self, fitted_and_truth):
+        model, _, trace = fitted_and_truth
+        preds = np.array(
+            [
+                model.step(
+                    trace.temp_before_c[k],
+                    trace.temp_out_c[k],
+                    trace.ghi_w_m2[k],
+                    trace.hvac_heat_w[k],
+                    bool(trace.occupied[k]),
+                )
+                for k in range(100)
+            ]
+        )
+        rmse = np.sqrt(np.mean((preds - trace.temp_after_c[:100]) ** 2))
+        assert rmse < 0.05
+
+    def test_rollout_shape_and_stability(self, fitted_and_truth):
+        model, _, trace = fitted_and_truth
+        horizon = 8
+        temps = model.rollout(
+            trace.temp_before_c[0],
+            trace.temp_out_c[:horizon],
+            trace.ghi_w_m2[:horizon],
+            trace.hvac_heat_w[:horizon],
+            trace.occupied[:horizon],
+        )
+        assert temps.shape == (horizon,)
+        assert np.all(np.isfinite(temps))
+        assert np.all(np.abs(temps - 25.0) < 25.0)  # physically plausible
+
+    def test_cooling_input_cools(self, fitted_and_truth):
+        model, _, _ = fitted_and_truth
+        warm = model.step(25.0, 30.0, 0.0, 0.0, False)
+        cooled = model.step(25.0, 30.0, 0.0, -4000.0, False)
+        assert cooled < warm
+
+
+class TestFitValidation:
+    def test_too_short_trace_rejected(self, fitted_and_truth):
+        _, _, trace = fitted_and_truth
+        from repro.sysid import OperationalTrace
+
+        short = OperationalTrace(
+            dt_seconds=trace.dt_seconds,
+            temp_before_c=trace.temp_before_c[:5],
+            temp_after_c=trace.temp_after_c[:5],
+            temp_out_c=trace.temp_out_c[:5],
+            ghi_w_m2=trace.ghi_w_m2[:5],
+            hvac_heat_w=trace.hvac_heat_w[:5],
+            occupied=trace.occupied[:5],
+        )
+        with pytest.raises(ValueError, match="at least 20"):
+            fit_first_order_zone(short)
+
+    def test_no_excitation_rejected(self, fitted_and_truth):
+        _, _, trace = fitted_and_truth
+        from repro.sysid import OperationalTrace
+
+        dead = OperationalTrace(
+            dt_seconds=trace.dt_seconds,
+            temp_before_c=trace.temp_before_c[:50],
+            temp_after_c=trace.temp_after_c[:50],
+            temp_out_c=trace.temp_out_c[:50],
+            ghi_w_m2=trace.ghi_w_m2[:50],
+            hvac_heat_w=np.zeros(50),
+            occupied=trace.occupied[:50],
+        )
+        with pytest.raises(ValueError, match="no HVAC activity"):
+            fit_first_order_zone(dead)

@@ -1,0 +1,77 @@
+"""Tests for operational-trace collection."""
+
+import numpy as np
+import pytest
+
+from repro.building import four_zone_office, single_zone_building
+from repro.env import HVACEnv, HVACEnvConfig
+from repro.sysid import OperationalTrace, collect_trace
+
+
+class TestOperationalTrace:
+    def test_valid_construction(self):
+        t = OperationalTrace(
+            dt_seconds=900.0,
+            temp_before_c=np.array([24.0, 24.5]),
+            temp_after_c=np.array([24.5, 25.0]),
+            temp_out_c=np.array([30.0, 31.0]),
+            ghi_w_m2=np.array([0.0, 100.0]),
+            hvac_heat_w=np.array([0.0, -2000.0]),
+            occupied=np.array([True, False]),
+        )
+        assert len(t) == 2
+        assert np.allclose(t.delta_t(), [0.5, 0.5])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="temp_out_c"):
+            OperationalTrace(
+                dt_seconds=900.0,
+                temp_before_c=np.zeros(3),
+                temp_after_c=np.zeros(3),
+                temp_out_c=np.zeros(2),
+                ghi_w_m2=np.zeros(3),
+                hvac_heat_w=np.zeros(3),
+                occupied=np.zeros(3, dtype=bool),
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            OperationalTrace(
+                dt_seconds=900.0,
+                temp_before_c=np.zeros(0),
+                temp_after_c=np.zeros(0),
+                temp_out_c=np.zeros(0),
+                ghi_w_m2=np.zeros(0),
+                hvac_heat_w=np.zeros(0),
+                occupied=np.zeros(0, dtype=bool),
+            )
+
+
+class TestCollectTrace:
+    def test_collects_requested_length(self, single_zone_env):
+        trace = collect_trace(single_zone_env, n_steps=50, rng=0)
+        assert len(trace) == 50
+
+    def test_spans_episode_restarts(self, single_zone_env):
+        # 1-day episodes are 96 steps; 200 forces two restarts.
+        trace = collect_trace(single_zone_env, n_steps=200, rng=0)
+        assert len(trace) == 200
+        assert np.all(np.isfinite(trace.temp_before_c))
+
+    def test_transitions_consistent_within_episode(self, single_zone_env):
+        trace = collect_trace(single_zone_env, n_steps=30, rng=0)
+        # Within one episode the after-temp of step k is the before-temp
+        # of step k+1.
+        assert np.allclose(trace.temp_after_c[:-1], trace.temp_before_c[1:])
+
+    def test_random_policy_excites_hvac(self, single_zone_env):
+        trace = collect_trace(single_zone_env, n_steps=60, rng=0)
+        assert np.any(trace.hvac_heat_w < 0)  # cooling happened
+
+    def test_zone_index_validated(self, single_zone_env):
+        with pytest.raises(ValueError, match="zone"):
+            collect_trace(single_zone_env, n_steps=10, zone=3)
+
+    def test_multizone_zone_selection(self, four_zone_env):
+        trace = collect_trace(four_zone_env, n_steps=20, zone=2, rng=0)
+        assert len(trace) == 20

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface (invoked in-process)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestWeatherCommand:
+    def test_writes_csv(self, tmp_path, capsys):
+        out = tmp_path / "w.csv"
+        code = main(["weather", "--days", "1", "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        assert "wrote 96 samples" in capsys.readouterr().out
+
+    def test_round_trips_through_reader(self, tmp_path):
+        from repro.weather import weather_from_csv
+
+        out = tmp_path / "w.csv"
+        main(["weather", "--days", "2", "--seed", "5", "--out", str(out)])
+        series = weather_from_csv(out)
+        assert len(series) == 192
+
+
+class TestTrainAndEvaluate:
+    def test_train_writes_checkpoint_and_evaluate_loads_it(self, tmp_path, capsys):
+        ckpt = tmp_path / "agent.json"
+        code = main(["train", "--episodes", "3", "--out", str(ckpt)])
+        assert code == 0
+        payload = json.loads(ckpt.read_text())
+        assert payload["obs_dim"] > 0
+        out = capsys.readouterr().out
+        assert "checkpoint written" in out
+
+        code = main(
+            ["evaluate", "--checkpoint", str(ckpt), "--days", "1"]
+        )
+        assert code == 0
+        assert "drl_dqn" in capsys.readouterr().out
+
+    def test_evaluate_baseline(self, capsys):
+        code = main(["evaluate", "--baseline", "thermostat", "--days", "1"])
+        assert code == 0
+        assert "thermostat" in capsys.readouterr().out
+
+    def test_evaluate_requires_exactly_one_target(self, capsys):
+        code = main(["evaluate"])
+        assert code == 2
+
+    def test_evaluate_rejects_both_targets(self, tmp_path):
+        code = main(
+            ["evaluate", "--checkpoint", "x.json", "--baseline", "pid"]
+        )
+        assert code == 2
+
+
+class TestExperimentCommand:
+    def test_runs_tiny_e3(self, capsys):
+        code = main(["experiment", "e3", "--profile", "tiny"])
+        assert code == 0
+        assert "episode return" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "e99"])
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,44 @@
+"""Smoke tests: every example script runs end-to-end.
+
+Training budgets are overridden to keep the suite fast; the point is
+that the public API surface the examples exercise stays runnable.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(monkeypatch, script: str, argv: list) -> None:
+    monkeypatch.setattr(sys, "argv", [script] + argv)
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+
+
+class TestExamples:
+    def test_quickstart(self, monkeypatch, capsys):
+        run_example(monkeypatch, "quickstart.py", ["--episodes", "3"])
+        out = capsys.readouterr().out
+        assert "DRL energy-cost saving" in out
+        assert "thermostat" in out
+
+    def test_multizone_office(self, monkeypatch, capsys):
+        run_example(monkeypatch, "multizone_office.py", ["--episodes", "2"])
+        out = capsys.readouterr().out
+        assert "joint action space: 256" in out
+        assert "mean airflow level by zone" in out
+
+    def test_demand_response(self, monkeypatch, capsys):
+        run_example(monkeypatch, "demand_response.py", ["--episodes", "2"])
+        out = capsys.readouterr().out
+        assert "3-day bill" in out
+        assert "price$/kWh" in out
+
+    def test_custom_building(self, monkeypatch, capsys):
+        run_example(monkeypatch, "custom_building.py", [])
+        out = capsys.readouterr().out
+        assert "server_room" in out
+        assert "lookahead_oracle" in out

@@ -1,0 +1,77 @@
+"""Tests for the run logger."""
+
+import pytest
+
+from repro.utils.logging import RunLogger
+
+
+class TestRunLogger:
+    def test_log_and_series(self):
+        log = RunLogger()
+        log.log("loss", 1.0)
+        log.log("loss", 0.5)
+        assert log.series("loss") == [1.0, 0.5]
+
+    def test_series_returns_copy(self):
+        log = RunLogger()
+        log.log("a", 1.0)
+        log.series("a").append(99.0)
+        assert log.series("a") == [1.0]
+
+    def test_missing_series_empty(self):
+        assert RunLogger().series("nope") == []
+
+    def test_log_many(self):
+        log = RunLogger()
+        log.log_many(a=1.0, b=2.0)
+        assert log.last("a") == 1.0
+        assert log.last("b") == 2.0
+
+    def test_last_default(self):
+        import math
+
+        assert math.isnan(RunLogger().last("x"))
+        assert RunLogger().last("x", default=-1.0) == -1.0
+
+    def test_names_sorted(self):
+        log = RunLogger()
+        log.log("z", 1)
+        log.log("a", 1)
+        assert log.names() == ["a", "z"]
+
+    def test_moving_average_full_length(self):
+        log = RunLogger()
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            log.log("r", v)
+        ma = log.moving_average("r", 2)
+        assert ma == [1.0, 1.5, 2.5, 3.5]
+
+    def test_moving_average_window_larger_than_series(self):
+        log = RunLogger()
+        log.log("r", 2.0)
+        log.log("r", 4.0)
+        assert log.moving_average("r", 10) == [2.0, 3.0]
+
+    def test_moving_average_rejects_bad_window(self):
+        with pytest.raises(ValueError, match="window"):
+            RunLogger().moving_average("r", 0)
+
+    def test_csv_round_shape(self):
+        log = RunLogger()
+        log.log("a", 1.0)
+        log.log("a", 2.0)
+        log.log("b", 3.0)
+        csv = log.to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert len(lines) == 3  # header + 2 rows
+        assert lines[2].startswith("2,") or lines[2].startswith("2.0")
+
+    def test_csv_empty(self):
+        assert RunLogger().to_csv() == ""
+
+    def test_summary_mentions_series(self):
+        log = RunLogger()
+        log.log("ret", 5.0)
+        assert "ret" in log.summary()
+        assert "n=1" in log.summary()

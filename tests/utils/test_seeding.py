@@ -1,0 +1,54 @@
+"""Tests for deterministic RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.utils.seeding import derive_rng, ensure_rng
+
+
+class TestEnsureRng:
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(7).random(5)
+        b = ensure_rng(7).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(ensure_rng(1).random(5), ensure_rng(2).random(5))
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_numpy_integer_accepted(self):
+        seed = np.int64(5)
+        a = ensure_rng(seed).random(3)
+        b = ensure_rng(5).random(3)
+        assert np.array_equal(a, b)
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError, match="expected int"):
+            ensure_rng("seed")  # type: ignore[arg-type]
+
+
+class TestDeriveRng:
+    def test_streams_are_independent(self):
+        parent = ensure_rng(0)
+        child_a = derive_rng(parent, "weather")
+        parent2 = ensure_rng(0)
+        child_b = derive_rng(parent2, "explore")
+        assert not np.array_equal(child_a.random(10), child_b.random(10))
+
+    def test_same_stream_same_parent_reproduces(self):
+        a = derive_rng(ensure_rng(3), "x").random(10)
+        b = derive_rng(ensure_rng(3), "x").random(10)
+        assert np.array_equal(a, b)
+
+    def test_derivation_advances_parent(self):
+        parent = ensure_rng(0)
+        before = parent.bit_generator.state["state"]["state"]
+        derive_rng(parent, "s")
+        after = parent.bit_generator.state["state"]["state"]
+        assert before != after

@@ -1,0 +1,79 @@
+"""Tests for the argument-validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_positive,
+    check_shape,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", 0.0)
+
+    def test_accepts_zero_when_not_strict(self):
+        assert check_positive("x", 0.0, strict=False) == 0.0
+
+    def test_rejects_negative_always(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1.0, strict=False)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_positive("x", float("nan"))
+
+
+class TestCheckInRange:
+    def test_accepts_inside(self):
+        assert check_in_range("y", 0.5, 0.0, 1.0) == 0.5
+
+    def test_inclusive_endpoints(self):
+        assert check_in_range("y", 0.0, 0.0, 1.0) == 0.0
+        assert check_in_range("y", 1.0, 0.0, 1.0) == 1.0
+
+    def test_exclusive_endpoints_reject(self):
+        with pytest.raises(ValueError, match=r"\(0.0, 1.0\)"):
+            check_in_range("y", 0.0, 0.0, 1.0, inclusive=False)
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError, match="y must be in"):
+            check_in_range("y", 2.0, 0.0, 1.0)
+
+
+class TestCheckShape:
+    def test_exact_shape(self):
+        arr = np.zeros((2, 3))
+        assert check_shape("a", arr, (2, 3)) is not None
+
+    def test_wildcard_dim(self):
+        check_shape("a", np.zeros((5, 3)), (-1, 3))
+
+    def test_wrong_ndim(self):
+        with pytest.raises(ValueError, match="must have 2 dims"):
+            check_shape("a", np.zeros(4), (2, 2))
+
+    def test_wrong_size(self):
+        with pytest.raises(ValueError, match="must have shape"):
+            check_shape("a", np.zeros((2, 4)), (2, 3))
+
+
+class TestCheckFinite:
+    def test_accepts_finite(self):
+        out = check_finite("b", [1.0, 2.0])
+        assert np.array_equal(out, [1.0, 2.0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            check_finite("b", [1.0, float("nan")])
+
+    def test_rejects_inf_and_counts(self):
+        with pytest.raises(ValueError, match="2 non-finite"):
+            check_finite("b", [np.inf, -np.inf, 0.0])

@@ -1,0 +1,59 @@
+"""Tests for extreme-weather event injection."""
+
+import numpy as np
+import pytest
+
+from repro.weather import SyntheticWeatherConfig, generate_weather
+from repro.weather.events import inject_heat_wave
+
+
+@pytest.fixture(scope="module")
+def base():
+    return generate_weather(
+        SyntheticWeatherConfig(), start_day_of_year=213, n_days=6, rng=0
+    )
+
+
+class TestHeatWave:
+    def test_peak_anomaly_applied(self, base):
+        wave = inject_heat_wave(base, start_day=1, n_days=2, peak_amplitude_c=8.0)
+        diff = wave.temp_out_c - base.temp_out_c
+        assert diff.max() == pytest.approx(8.0, abs=0.1)
+
+    def test_outside_window_unchanged(self, base):
+        wave = inject_heat_wave(base, start_day=2, n_days=1, peak_amplitude_c=5.0)
+        steps = 96
+        assert np.array_equal(wave.temp_out_c[: 2 * steps], base.temp_out_c[: 2 * steps])
+        assert np.array_equal(wave.temp_out_c[3 * steps :], base.temp_out_c[3 * steps :])
+
+    def test_anomaly_ramps_smoothly(self, base):
+        wave = inject_heat_wave(base, start_day=0, n_days=4, peak_amplitude_c=6.0)
+        diff = wave.temp_out_c - base.temp_out_c
+        # Starts and ends near zero, peaks mid-wave.
+        assert abs(diff[0]) < 0.2
+        assert diff[2 * 96] > 5.0
+
+    def test_ghi_boost_during_wave(self, base):
+        wave = inject_heat_wave(
+            base, start_day=0, n_days=2, peak_amplitude_c=0.0, ghi_boost=1.2
+        )
+        mid = 96  # middle of the 2-day wave
+        daytime = slice(mid + 40, mid + 60)
+        assert np.all(wave.ghi_w_m2[daytime] >= base.ghi_w_m2[daytime])
+
+    def test_original_untouched(self, base):
+        before = base.temp_out_c.copy()
+        inject_heat_wave(base, start_day=0, n_days=1)
+        assert np.array_equal(base.temp_out_c, before)
+
+    def test_wave_clipped_at_trace_end(self, base):
+        wave = inject_heat_wave(base, start_day=5, n_days=10, peak_amplitude_c=4.0)
+        assert len(wave) == len(base)
+
+    def test_start_beyond_trace_rejected(self, base):
+        with pytest.raises(ValueError, match="beyond trace"):
+            inject_heat_wave(base, start_day=100, n_days=1)
+
+    def test_negative_start_rejected(self, base):
+        with pytest.raises(ValueError, match="start_day"):
+            inject_heat_wave(base, start_day=-1, n_days=1)

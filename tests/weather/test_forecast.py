@@ -1,0 +1,76 @@
+"""Tests for forecast providers."""
+
+import numpy as np
+import pytest
+
+from repro.weather import (
+    ForecastProvider,
+    PerfectForecastProvider,
+    SyntheticWeatherConfig,
+    generate_weather,
+)
+
+
+@pytest.fixture(scope="module")
+def weather():
+    return generate_weather(
+        SyntheticWeatherConfig(), start_day_of_year=200, n_days=2, rng=0
+    )
+
+
+class TestPerfectForecast:
+    def test_matches_truth(self, weather):
+        fp = PerfectForecastProvider(weather, horizon=4)
+        temps, ghis = fp.forecast(10)
+        assert np.allclose(temps, weather.temp_out_c[11:15])
+        assert np.allclose(ghis, weather.ghi_w_m2[11:15])
+
+    def test_horizon_zero_empty(self, weather):
+        fp = PerfectForecastProvider(weather, horizon=0)
+        temps, ghis = fp.forecast(0)
+        assert temps.shape == (0,)
+        assert ghis.shape == (0,)
+
+    def test_persists_at_series_end(self, weather):
+        fp = PerfectForecastProvider(weather, horizon=3)
+        last = len(weather) - 1
+        temps, _ = fp.forecast(last)
+        assert np.allclose(temps, weather.temp_out_c[last])
+
+
+class TestNoisyForecast:
+    def test_noise_grows_with_lead(self, weather):
+        fp = ForecastProvider(
+            weather, horizon=6, temp_noise_std_per_step=0.5, rng=0
+        )
+        errs_by_lead = np.zeros(6)
+        n_trials = 300
+        for i in range(n_trials):
+            temps, _ = fp.forecast(i % (len(weather) - 10))
+            truth = weather.temp_out_c[(i % (len(weather) - 10)) + 1 : (i % (len(weather) - 10)) + 7]
+            errs_by_lead += (temps - truth) ** 2
+        rmse = np.sqrt(errs_by_lead / n_trials)
+        assert rmse[5] > rmse[0]
+
+    def test_ghi_forecast_never_negative(self, weather):
+        fp = ForecastProvider(
+            weather, horizon=4, ghi_relative_noise_per_step=0.5, rng=1
+        )
+        for i in range(0, len(weather) - 5, 7):
+            _, ghis = fp.forecast(i)
+            assert np.all(ghis >= 0.0)
+
+    def test_index_out_of_range(self, weather):
+        fp = ForecastProvider(weather, horizon=2, rng=0)
+        with pytest.raises(IndexError):
+            fp.forecast(len(weather))
+
+    def test_negative_horizon_rejected(self, weather):
+        with pytest.raises(ValueError, match="horizon"):
+            ForecastProvider(weather, horizon=-1)
+
+    def test_deterministic_with_seed(self, weather):
+        a = ForecastProvider(weather, horizon=3, rng=7).forecast(5)
+        b = ForecastProvider(weather, horizon=3, rng=7).forecast(5)
+        assert np.allclose(a[0], b[0])
+        assert np.allclose(a[1], b[1])

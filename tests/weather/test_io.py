@@ -1,0 +1,62 @@
+"""Tests for weather CSV persistence."""
+
+import numpy as np
+import pytest
+
+from repro.weather import (
+    SyntheticWeatherConfig,
+    generate_weather,
+    weather_from_csv,
+    weather_to_csv,
+)
+
+
+class TestRoundTrip:
+    def test_values_preserved(self, tmp_path):
+        w = generate_weather(
+            SyntheticWeatherConfig(), start_day_of_year=100, n_days=1, rng=0
+        )
+        path = tmp_path / "w.csv"
+        weather_to_csv(w, path)
+        back = weather_from_csv(path)
+        assert back.dt_seconds == w.dt_seconds
+        assert back.start_day_of_year == w.start_day_of_year
+        assert np.allclose(back.temp_out_c, w.temp_out_c, atol=1e-3)
+        assert np.allclose(back.ghi_w_m2, w.ghi_w_m2, atol=1e-3)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("temp,ghi\n1,2\n3,4\n")
+        with pytest.raises(ValueError, match="header"):
+            weather_from_csv(path)
+
+    def test_wrong_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "# repro-weather dt_seconds=900 start_day_of_year=1\nfoo,bar\n1,2\n"
+        )
+        with pytest.raises(ValueError, match="column header"):
+            weather_from_csv(path)
+
+    def test_bad_cell_count_reports_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "# repro-weather dt_seconds=900 start_day_of_year=1\n"
+            "temp_out_c,ghi_w_m2\n1,2\n3\n"
+        )
+        with pytest.raises(ValueError, match=":4"):
+            weather_from_csv(path)
+
+    def test_too_short_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("# repro-weather dt_seconds=900 start_day_of_year=1\n")
+        with pytest.raises(ValueError, match="too short"):
+            weather_from_csv(path)
+
+    def test_missing_meta_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "# repro-weather dt_seconds=900\ntemp_out_c,ghi_w_m2\n1,2\n"
+        )
+        with pytest.raises(ValueError, match="header missing"):
+            weather_from_csv(path)

@@ -1,0 +1,92 @@
+"""Unit tests for the WeatherSeries container."""
+
+import numpy as np
+import pytest
+
+from repro.weather import WeatherSeries
+
+
+def make_series(n=96, dt=900.0, start_day=10):
+    return WeatherSeries(
+        dt_seconds=dt,
+        start_day_of_year=start_day,
+        temp_out_c=np.linspace(20, 30, n),
+        ghi_w_m2=np.abs(np.sin(np.linspace(0, np.pi, n))) * 800,
+    )
+
+
+class TestConstruction:
+    def test_length(self):
+        assert len(make_series(50)) == 50
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            WeatherSeries(900.0, 1, np.zeros(5), np.zeros(4))
+
+    def test_rejects_negative_ghi(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            WeatherSeries(900.0, 1, np.zeros(3), np.array([0.0, -1.0, 0.0]))
+
+    def test_rejects_nan_temp(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            WeatherSeries(900.0, 1, np.array([np.nan]), np.array([0.0]))
+
+    def test_rejects_bad_start_day(self):
+        with pytest.raises(ValueError, match="start_day_of_year"):
+            make_series(start_day=0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            WeatherSeries(900.0, 1, np.zeros((2, 2)), np.zeros((2, 2)))
+
+
+class TestClock:
+    def test_hour_of_day_wraps(self):
+        s = make_series(n=200, dt=900.0)
+        assert s.hour_of_day(0) == 0.0
+        assert s.hour_of_day(4) == 1.0
+        assert s.hour_of_day(96) == 0.0  # next midnight
+
+    def test_day_of_year_advances(self):
+        s = make_series(n=200, dt=900.0, start_day=364)
+        assert s.day_of_year(0) == 364
+        assert s.day_of_year(96) == 365
+        assert s.day_of_year(192) == 1  # wraps the year
+
+    def test_fractional_hours(self):
+        s = make_series(dt=900.0)
+        assert s.hour_of_day(1) == pytest.approx(0.25)
+
+
+class TestSlice:
+    def test_day_slice(self):
+        s = make_series(n=96 * 2)
+        sub = s.slice(96, 192)
+        assert len(sub) == 96
+        assert sub.start_day_of_year == s.start_day_of_year + 1
+        assert np.array_equal(sub.temp_out_c, s.temp_out_c[96:192])
+
+    def test_rejects_misaligned_start(self):
+        s = make_series(n=200)
+        with pytest.raises(ValueError, match="day boundary"):
+            s.slice(1, 97)
+
+    def test_rejects_bad_range(self):
+        s = make_series(n=96)
+        with pytest.raises(ValueError, match="invalid slice"):
+            s.slice(0, 200)
+
+    def test_slice_is_copy(self):
+        s = make_series(n=192)
+        sub = s.slice(0, 96)
+        sub.temp_out_c[0] = 99.0
+        assert s.temp_out_c[0] != 99.0
+
+
+class TestStats:
+    def test_keys_and_consistency(self):
+        s = make_series()
+        stats = s.stats()
+        assert stats["n_samples"] == len(s)
+        assert stats["temp_min_c"] <= stats["temp_mean_c"] <= stats["temp_max_c"]
+        assert stats["ghi_peak_w_m2"] >= 0

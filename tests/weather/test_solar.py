@@ -1,0 +1,85 @@
+"""Unit + property tests for solar geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.weather.solar import (
+    clear_sky_ghi,
+    solar_declination_deg,
+    solar_elevation_deg,
+)
+
+
+class TestDeclination:
+    def test_bounded_by_tilt(self):
+        for day in range(1, 366):
+            assert abs(solar_declination_deg(day)) <= 23.45 + 1e-9
+
+    def test_summer_solstice_near_max(self):
+        # Around June 21 (day ~172) the declination peaks.
+        assert solar_declination_deg(172) > 23.0
+
+    def test_winter_solstice_near_min(self):
+        assert solar_declination_deg(355) < -23.0
+
+    def test_equinox_near_zero(self):
+        assert abs(solar_declination_deg(81)) < 1.5
+
+    def test_rejects_bad_day(self):
+        with pytest.raises(ValueError, match="day_of_year"):
+            solar_declination_deg(0)
+
+
+class TestElevation:
+    def test_noon_higher_than_morning(self):
+        noon = solar_elevation_deg(40.0, 200, 12.0)
+        morning = solar_elevation_deg(40.0, 200, 8.0)
+        assert noon > morning
+
+    def test_night_is_negative(self):
+        assert solar_elevation_deg(40.0, 200, 0.0) < 0.0
+
+    def test_summer_noon_above_winter_noon(self):
+        assert solar_elevation_deg(40.0, 172, 12.0) > solar_elevation_deg(40.0, 355, 12.0)
+
+    def test_equator_equinox_noon_overhead(self):
+        elev = solar_elevation_deg(0.0, 81, 12.0)
+        assert elev > 85.0
+
+    def test_rejects_bad_latitude(self):
+        with pytest.raises(ValueError, match="latitude"):
+            solar_elevation_deg(91.0, 100, 12.0)
+
+    def test_rejects_bad_hour(self):
+        with pytest.raises(ValueError, match="hour_of_day"):
+            solar_elevation_deg(40.0, 100, 24.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.floats(min_value=-66.0, max_value=66.0),
+        st.integers(min_value=1, max_value=365),
+        st.floats(min_value=0.0, max_value=23.99),
+    )
+    def test_elevation_always_in_physical_range(self, lat, day, hour):
+        elev = solar_elevation_deg(lat, day, hour)
+        assert -90.0 <= elev <= 90.0
+
+
+class TestClearSkyGHI:
+    def test_zero_below_horizon(self):
+        assert clear_sky_ghi(-5.0) == 0.0
+        assert clear_sky_ghi(0.0) == 0.0
+
+    def test_monotone_in_elevation(self):
+        values = [clear_sky_ghi(e) for e in (5.0, 20.0, 45.0, 70.0, 90.0)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_peak_below_solar_constant(self):
+        assert 700.0 < clear_sky_ghi(90.0) < 1200.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(min_value=-90.0, max_value=90.0))
+    def test_never_negative(self, elev):
+        assert clear_sky_ghi(elev) >= 0.0

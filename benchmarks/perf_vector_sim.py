@@ -1,0 +1,150 @@
+"""Micro-benchmark: vectorized fleet stepping vs. sequential scalar envs.
+
+Steps a fleet of N identical single-zone environments (default N=64,
+the paper's 15-minute control step, forecast augmentation on) for one
+simulated day through:
+
+1. :class:`~repro.sim.VectorHVACEnv` — one batched step per control step;
+2. the same N scalar :class:`~repro.env.HVACEnv` instances stepped
+   sequentially in Python (the pre-``repro.sim`` execution model).
+
+It reports aggregate env-steps/sec for both, records the result in
+``benchmarks/results/BENCH_vector_sim.json``, and exits non-zero when
+the speedup falls below ``--min-speedup`` (default 5x, the acceptance
+floor for the vectorized engine).
+
+Run::
+
+    PYTHONPATH=src python benchmarks/perf_vector_sim.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.building import single_zone_building
+from repro.env import HVACEnv, HVACEnvConfig
+from repro.sim import VectorHVACEnv
+from repro.weather import SyntheticWeatherConfig, generate_weather
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _make_env(weather, seed: int) -> HVACEnv:
+    return HVACEnv(
+        single_zone_building(),
+        weather,
+        config=HVACEnvConfig(episode_days=1.0),
+        rng=seed,
+    )
+
+
+def _time_vector(weather, n_envs: int, n_steps: int) -> tuple:
+    """Returns ``(stepping_seconds, construction_seconds)``.
+
+    Construction (the one-time precompute of the fleet's time tables) is
+    timed separately: the speedup claim is about steady-state stepping,
+    and the setup cost — amortized over every subsequent episode — is
+    reported alongside so one-shot uses can account for it.
+    """
+    start = time.perf_counter()
+    vec = VectorHVACEnv([_make_env(weather, seed) for seed in range(n_envs)])
+    construction_s = time.perf_counter() - start
+    vec.reset()
+    action = np.ones((n_envs, 1), dtype=int)
+    start = time.perf_counter()
+    for _ in range(n_steps):
+        vec.step(action)
+    return time.perf_counter() - start, construction_s
+
+
+def _time_scalar(weather, n_envs: int, n_steps: int) -> float:
+    envs = [_make_env(weather, seed) for seed in range(n_envs)]
+    for env in envs:
+        env.reset()
+    action = np.ones(1, dtype=int)
+    start = time.perf_counter()
+    for _ in range(n_steps):
+        for env in envs:
+            _, _, done, _ = env.step(action)
+            if done:
+                env.reset()
+    return time.perf_counter() - start
+
+
+def run_benchmark(n_envs: int = 64, n_steps: int = 96, repeats: int = 3) -> dict:
+    """Best-of-``repeats`` timing for both execution models."""
+    weather = generate_weather(
+        SyntheticWeatherConfig(), start_day_of_year=213, n_days=3, rng=42
+    )
+    vector_runs = [_time_vector(weather, n_envs, n_steps) for _ in range(repeats)]
+    vector_s = min(run[0] for run in vector_runs)
+    construction_s = min(run[1] for run in vector_runs)
+    scalar_s = min(_time_scalar(weather, n_envs, n_steps) for _ in range(repeats))
+    total_env_steps = n_envs * n_steps
+    return {
+        "benchmark": "vector_sim",
+        "n_envs": n_envs,
+        "n_steps": n_steps,
+        "repeats": repeats,
+        "vector_env_steps_per_s": total_env_steps / vector_s,
+        "scalar_env_steps_per_s": total_env_steps / scalar_s,
+        "vector_seconds": vector_s,
+        "vector_construction_seconds": construction_s,
+        "scalar_seconds": scalar_s,
+        "speedup": scalar_s / vector_s,
+        "speedup_including_construction": scalar_s / (vector_s + construction_s),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n-envs", type=int, default=64)
+    parser.add_argument("--n-steps", type=int, default=96)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="fail (exit 1) below this vector/scalar speedup; 0 disables",
+    )
+    args = parser.parse_args(argv)
+
+    record = run_benchmark(args.n_envs, args.n_steps, args.repeats)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out_path = RESULTS_DIR / "BENCH_vector_sim.json"
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+
+    print(
+        f"N={record['n_envs']} x {record['n_steps']} steps "
+        f"(best of {record['repeats']})"
+    )
+    print(f"  vector: {record['vector_env_steps_per_s']:>12,.0f} env-steps/s")
+    print(f"  scalar: {record['scalar_env_steps_per_s']:>12,.0f} env-steps/s")
+    print(
+        f"  speedup: {record['speedup']:.1f}x stepping, "
+        f"{record['speedup_including_construction']:.1f}x including the "
+        f"{record['vector_construction_seconds']:.3f}s one-time fleet setup"
+    )
+    print(f"  recorded in {out_path}")
+    if args.min_speedup and record["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: speedup {record['speedup']:.1f}x below the "
+            f"{args.min_speedup:.1f}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,8 @@ depends on, all implemented from scratch:
 * :mod:`repro.env` — the gym-like MDP formulation.
 * :mod:`repro.baselines` — thermostat, PID, tabular Q-learning, random,
   and a model-based lookahead reference.
+* :mod:`repro.sim` — vectorized fleet simulation: batched RC dynamics,
+  :class:`~repro.sim.VectorHVACEnv`, scenario registry, campaign runner.
 * :mod:`repro.eval` — metrics, runners, comparison tables, reporting.
 * :mod:`repro.nn` — the NumPy deep-learning substrate.
 
@@ -40,6 +42,7 @@ __all__ = [
     "eval",
     "hvac",
     "nn",
+    "sim",
     "utils",
     "weather",
 ]

@@ -8,6 +8,10 @@ Exposes the library's main workflows without writing Python:
 * ``repro-hvac experiment`` — run one of the paper experiments E1–E10
   and print its rendered table/series.
 * ``repro-hvac weather``    — generate a synthetic weather CSV.
+* ``repro-hvac campaign``   — sweep registered scenarios × controllers ×
+  seeds through the vectorized fleet simulator and print the campaign
+  table (``--list-scenarios`` shows the registry; ``--executor process``
+  fans the cells out over a process pool; ``--out`` writes JSON rows).
 
 Usage::
 
@@ -15,6 +19,8 @@ Usage::
     python -m repro.cli train --episodes 150 --out agent.json
     python -m repro.cli evaluate --checkpoint agent.json
     python -m repro.cli weather --days 30 --out weather.csv
+    python -m repro.cli campaign --scenarios heat-wave,mild-winter \
+        --controllers thermostat,pid --seeds 3 --out campaign.json
 """
 
 from __future__ import annotations
@@ -85,6 +91,34 @@ def _build_parser() -> argparse.ArgumentParser:
     weather.add_argument("--start-day", type=int, default=200)
     weather.add_argument("--seed", type=int, default=0)
     weather.add_argument("--out", type=str, required=True)
+
+    campaign = sub.add_parser(
+        "campaign", help="run a scenario x controller x seed campaign"
+    )
+    campaign.add_argument(
+        "--scenarios",
+        type=str,
+        default="all",
+        help="comma-separated registered scenario names, or 'all'",
+    )
+    campaign.add_argument(
+        "--controllers",
+        type=str,
+        default="thermostat",
+        help="comma-separated controllers (thermostat, pid, random)",
+    )
+    campaign.add_argument(
+        "--seeds", type=int, default=1, help="number of seeds (0..N-1) per cell"
+    )
+    campaign.add_argument("--episodes", type=int, default=1)
+    campaign.add_argument("--executor", choices=["serial", "process"], default="serial")
+    campaign.add_argument("--workers", type=int, default=None)
+    campaign.add_argument("--out", type=str, default=None, help="JSON output path")
+    campaign.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="list registered scenarios and exit",
+    )
     return parser
 
 
@@ -211,6 +245,39 @@ def _cmd_weather(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.sim import CampaignSpec, get_scenario, list_scenarios, run_campaign
+
+    if args.list_scenarios:
+        for name in list_scenarios():
+            print(f"{name:20s} {get_scenario(name).description}")
+        return 0
+    if args.scenarios == "all":
+        scenario_names = tuple(list_scenarios())
+    else:
+        scenario_names = tuple(s for s in args.scenarios.split(",") if s)
+    controllers = tuple(c for c in args.controllers.split(",") if c)
+    try:
+        for name in scenario_names:
+            get_scenario(name)
+        spec = CampaignSpec(
+            scenarios=scenario_names,
+            controllers=controllers,
+            seeds=tuple(range(args.seeds)),
+            n_episodes=args.episodes,
+        )
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"campaign: {message}", file=sys.stderr)
+        return 2
+    result = run_campaign(spec, executor=args.executor, max_workers=args.workers)
+    print(result.render())
+    if args.out:
+        result.save(args.out)
+        print(f"campaign rows written to {args.out}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -219,6 +286,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "evaluate": _cmd_evaluate,
         "experiment": _cmd_experiment,
         "weather": _cmd_weather,
+        "campaign": _cmd_campaign,
     }
     return handlers[args.command](args)
 

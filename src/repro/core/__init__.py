@@ -19,7 +19,7 @@ from repro.core.schedules import ConstantSchedule, ExponentialSchedule, LinearSc
 from repro.core.agent import AgentBase
 from repro.core.dqn import DQNAgent, DQNConfig
 from repro.core.multizone import FactoredDQNAgent
-from repro.core.trainer import Trainer, TrainerConfig
+from repro.core.trainer import Trainer, TrainerConfig, VectorTrainer
 
 __all__ = [
     "Transition",
@@ -34,4 +34,5 @@ __all__ = [
     "FactoredDQNAgent",
     "Trainer",
     "TrainerConfig",
+    "VectorTrainer",
 ]

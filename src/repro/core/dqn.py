@@ -168,6 +168,39 @@ class DQNAgent(AgentBase):
             joint = int(np.argmax(self.q_values(obs)))
         return self.action_space.unflatten(joint)
 
+    def select_actions(
+        self, obs_batch: np.ndarray, *, explore: bool = False
+    ) -> np.ndarray:
+        """Batched policy: one forward pass serves N observations.
+
+        Returns an ``(n, zones)`` array of per-zone levels.  With
+        ``explore=True`` each row independently takes a uniform random
+        joint action with probability ε (the batched analogue of the
+        scalar ε-greedy rule).
+        """
+        obs_batch = np.asarray(obs_batch, dtype=np.float64)
+        if obs_batch.ndim != 2:
+            raise ValueError(
+                f"obs_batch must be 2-D (n, obs_dim), got shape {obs_batch.shape}"
+            )
+        n = obs_batch.shape[0]
+        if explore:
+            random_rows = self._explore_rng.random(n) < self.epsilon
+        else:
+            random_rows = np.zeros(n, dtype=bool)
+        joint = np.zeros(n, dtype=int)
+        greedy_rows = ~random_rows
+        # Only the greedy rows need Q-values; exploring rows' argmax would
+        # be discarded, which matters when ε is near 1 early in training.
+        if np.any(greedy_rows):
+            q = self.online.forward(obs_batch[greedy_rows])
+            joint[greedy_rows] = np.argmax(q, axis=1)
+        if np.any(random_rows):
+            joint[random_rows] = self._explore_rng.integers(
+                self.n_actions, size=int(random_rows.sum())
+            )
+        return self.action_space.unflatten_batch(joint)
+
     # ------------------------------------------------------------- learning
     def store(
         self,

@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 from repro.core.agent import AgentBase
 from repro.env.core import Env
 from repro.utils.logging import RunLogger
@@ -112,3 +114,143 @@ class Trainer:
             for key in totals:
                 totals[key] += metrics[key]
         return {key: value / n_episodes for key, value in totals.items()}
+
+
+class VectorTrainer:
+    """Training loop that collects transitions from a vectorized fleet.
+
+    Every control step performs **one** batched action selection (a
+    single Q-network forward pass when the agent exposes
+    ``select_actions``) and **one** batched environment step, then feeds
+    the N resulting transitions to the agent's replay/learning hooks.
+    Episode series land in the logger under the same keys as
+    :class:`Trainer`, one entry per *completed env-episode* (fleet order
+    interleaved); ``config.n_episodes`` counts those completions.
+
+    Parameters
+    ----------
+    vec_env:
+        A :class:`~repro.sim.vector_env.VectorHVACEnv` with
+        ``autoreset=True`` and a homogeneous fleet (one observation
+        layout and action set, so a single network serves every env).
+    agent:
+        The learning agent; per-row ``select_action`` is used as a
+        fallback when no batched ``select_actions`` is available.
+    """
+
+    def __init__(
+        self,
+        vec_env,
+        agent: AgentBase,
+        *,
+        config: Optional[TrainerConfig] = None,
+        logger: Optional[RunLogger] = None,
+    ) -> None:
+        if not getattr(vec_env, "autoreset", False):
+            raise ValueError("VectorTrainer requires a vector env with autoreset=True")
+        if not vec_env.homogeneous:
+            raise ValueError(
+                "VectorTrainer requires a homogeneous fleet (shared observation "
+                "layout and action set)"
+            )
+        if config is not None and config.eval_every:
+            raise ValueError(
+                "VectorTrainer does not run periodic greedy evaluation; "
+                "set eval_every=0 and evaluate with eval.VectorRunner instead"
+            )
+        self.vec_env = vec_env
+        self.agent = agent
+        self.config = config if config is not None else TrainerConfig()
+        self.logger = logger if logger is not None else RunLogger()
+        # Vectorized collection cannot truncate one env's episode mid-fleet,
+        # so a cap below the natural episode length would silently diverge
+        # from the scalar Trainer's behaviour — reject it instead.
+        max_episode_steps = max(int(env.episode_steps) for env in vec_env.envs)
+        if self.config.max_steps_per_episode < max_episode_steps:
+            raise ValueError(
+                f"max_steps_per_episode ({self.config.max_steps_per_episode}) is "
+                f"below the fleet's natural episode length ({max_episode_steps}); "
+                "per-episode truncation is not supported in vectorized collection"
+            )
+        if hasattr(self.agent, "select_actions"):
+            self._fallback_policy = None
+        else:
+            # Reuse the one batched-protocol adapter instead of re-rolling it.
+            from repro.eval.vector_runner import PerEnvPolicy
+
+            self._fallback_policy = PerEnvPolicy(
+                [self.agent] * vec_env.n_envs, vec_env.obs_dims
+            )
+
+    def _select_actions(self, obs, *, explore: bool):
+        if self._fallback_policy is None:
+            return np.asarray(self.agent.select_actions(obs, explore=explore))
+        return np.stack(self._fallback_policy.select_actions(obs, explore=explore))
+
+    def train(self) -> RunLogger:
+        """Run until ``config.n_episodes`` env-episodes complete."""
+        env = self.vec_env
+        n = env.n_envs
+        n_zones = int(env.n_zones[0])
+        obs = env.reset()
+        # The shared agent's begin_episode hook fires at every env-episode
+        # boundary (here and on each autoreset below).  An agent whose
+        # begin_episode carries per-episode state should not be shared
+        # across a fleet; learning agents like DQN treat it as a no-op.
+        for k in range(n):
+            self.agent.begin_episode(obs[k])
+        ep_return = np.zeros(n)
+        ep_cost = np.zeros(n)
+        ep_energy = np.zeros(n)
+        ep_violation = np.zeros(n)
+        episodes_done = 0
+        fleet_steps = 0
+        max_fleet_steps = self.config.n_episodes * self.config.max_steps_per_episode
+        while episodes_done < self.config.n_episodes and fleet_steps < max_fleet_steps:
+            actions = self._select_actions(obs, explore=True)
+            next_obs, rewards, dones, info = env.step(actions)
+            for k in range(n):
+                # Bootstrap from the terminal observation, not the
+                # autoreset successor episode's first observation.
+                if dones[k] and info.terminal_obs is not None:
+                    next_k = info.terminal_obs[k]
+                else:
+                    next_k = next_obs[k]
+                self.agent.store(
+                    obs[k],
+                    actions[k],
+                    float(rewards[k]),
+                    next_k,
+                    bool(dones[k]),
+                    info={"reward_per_zone": info.reward_per_zone[k, :n_zones]},
+                )
+                loss = self.agent.learn()
+                if loss is not None:
+                    self.logger.log("loss", loss)
+            ep_return += rewards
+            ep_cost += info.cost_usd
+            ep_energy += info.energy_kwh
+            ep_violation += info.violation_deg_hours
+            for k in np.flatnonzero(dones):
+                # A synchronized fleet completes n_envs episodes at once;
+                # stop logging at exactly the configured count so the
+                # episode series matches the scalar Trainer's contract
+                # (the final fleet pass may still have collected a few
+                # extra transitions for the replay buffer).
+                if episodes_done >= self.config.n_episodes:
+                    break
+                self.logger.log_many(
+                    episode_return=float(ep_return[k]),
+                    episode_cost_usd=float(ep_cost[k]),
+                    episode_energy_kwh=float(ep_energy[k]),
+                    episode_violation_deg_hours=float(ep_violation[k]),
+                    epsilon=getattr(self.agent, "epsilon", 0.0),
+                )
+                ep_return[k] = ep_cost[k] = ep_energy[k] = ep_violation[k] = 0.0
+                episodes_done += 1
+                # next_obs[k] is the autoreset successor episode's first
+                # observation — the new episode starts now.
+                self.agent.begin_episode(next_obs[k])
+            obs = next_obs
+            fleet_steps += 1
+        return self.logger

@@ -189,8 +189,14 @@ class HVACEnv(Env):
         return np.asarray(parts, dtype=np.float64)
 
     # ------------------------------------------------------------ lifecycle
-    def reset(self) -> np.ndarray:
-        """Start a new episode; returns the initial observation."""
+    def reset_state(self) -> None:
+        """Reset episode state (start index, temperatures) without building
+        the observation.
+
+        Split out from :meth:`reset` so batched simulators
+        (:class:`repro.sim.VectorHVACEnv`) can reuse the exact same RNG
+        consumption while assembling observations themselves.
+        """
         max_start_day = int(len(self.weather) / self.steps_per_day - self.config.episode_days)
         if self.config.randomize_start_day and max_start_day > 0:
             start_day = int(self._rng.integers(0, max_start_day + 1))
@@ -203,6 +209,10 @@ class HVACEnv(Env):
         self._temps = mid + self._rng.uniform(-noise, noise, size=self.building.n_zones)
         self._steps_taken = 0
         self._needs_reset = False
+
+    def reset(self) -> np.ndarray:
+        """Start a new episode; returns the initial observation."""
+        self.reset_state()
         return self._observation()
 
     def _coerce_action(self, action) -> np.ndarray:

@@ -104,6 +104,24 @@ class MultiDiscrete(Space):
             index //= n
         return out
 
+    def unflatten_batch(self, indices: Sequence[int]) -> np.ndarray:
+        """Vectorized :meth:`unflatten`: ``(n,)`` joint indices to an
+        ``(n, dims)`` level array (the same mixed-radix encoding)."""
+        indices = np.asarray(indices, dtype=int)
+        if indices.ndim != 1:
+            raise ValueError(f"indices must be 1-D, got shape {indices.shape}")
+        if np.any(indices < 0) or np.any(indices >= self.n_joint):
+            raise ValueError(
+                f"joint indices out of range [0, {self.n_joint}): {indices}"
+            )
+        out = np.zeros((indices.size, len(self.nvec)), dtype=int)
+        remainder = indices.copy()
+        for i in range(len(self.nvec) - 1, -1, -1):
+            n = int(self.nvec[i])
+            out[:, i] = remainder % n
+            remainder //= n
+        return out
+
     def __eq__(self, other) -> bool:
         return isinstance(other, MultiDiscrete) and np.array_equal(other.nvec, self.nvec)
 

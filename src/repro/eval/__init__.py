@@ -6,17 +6,28 @@ table/figure (E1–E9).  Everything renders to plain text tables and ASCII
 series so results can be diffed and recorded in EXPERIMENTS.md.
 """
 
-from repro.eval.metrics import EpisodeMetrics, EpisodeTrace, comfort_violation_rate
+from repro.eval.metrics import (
+    EpisodeMetrics,
+    EpisodeTrace,
+    EvaluationSummary,
+    comfort_violation_rate,
+    summarize_episodes,
+)
 from repro.eval.runner import evaluate_controller, run_episode
+from repro.eval.vector_runner import PerEnvPolicy, VectorRunner
 from repro.eval.compare import ComparisonRow, ComparisonTable
 from repro.eval.reporting import format_series, format_table, sparkline
 
 __all__ = [
     "EpisodeMetrics",
     "EpisodeTrace",
+    "EvaluationSummary",
+    "summarize_episodes",
     "comfort_violation_rate",
     "run_episode",
     "evaluate_controller",
+    "PerEnvPolicy",
+    "VectorRunner",
     "ComparisonRow",
     "ComparisonTable",
     "format_table",

@@ -56,6 +56,86 @@ class EpisodeMetrics:
 
 
 @dataclass
+class EvaluationSummary(EpisodeMetrics):
+    """Per-episode-mean metrics plus the underlying episode spread.
+
+    The inherited fields hold per-episode **means** (violation-rate
+    counters stay summed so the rate is exact), matching what
+    :func:`~repro.eval.runner.evaluate_controller` has always returned;
+    ``episodes`` preserves each episode's own metrics so callers can
+    report variability instead of silently discarding it.
+    """
+
+    episodes: List[EpisodeMetrics] = field(default_factory=list)
+
+    @property
+    def n_episodes(self) -> int:
+        """Number of episodes aggregated."""
+        return len(self.episodes)
+
+    def std(self, field_name: str) -> float:
+        """Population standard deviation of a metric across episodes.
+
+        ``field_name`` is any scalar :class:`EpisodeMetrics` attribute
+        (e.g. ``"cost_usd"``); returns 0.0 with fewer than two episodes.
+        """
+        if len(self.episodes) < 2:
+            return 0.0
+        values = [float(getattr(m, field_name)) for m in self.episodes]
+        return float(np.std(values))
+
+    @property
+    def episode_return_std(self) -> float:
+        """Across-episode std of the return."""
+        return self.std("episode_return")
+
+    @property
+    def cost_usd_std(self) -> float:
+        """Across-episode std of the energy cost."""
+        return self.std("cost_usd")
+
+    @property
+    def energy_kwh_std(self) -> float:
+        """Across-episode std of the energy use."""
+        return self.std("energy_kwh")
+
+    @property
+    def violation_deg_hours_std(self) -> float:
+        """Across-episode std of the comfort violation."""
+        return self.std("violation_deg_hours")
+
+
+def summarize_episodes(episodes: List[EpisodeMetrics]) -> EvaluationSummary:
+    """Fold per-episode metrics into an :class:`EvaluationSummary`.
+
+    Continuous totals become per-episode means; the violation-rate
+    counters are summed (so the aggregate rate stays exact); ``steps`` is
+    the mean episode length rounded to the nearest integer (episodes may
+    legitimately differ in length when one hits the end of its weather
+    trace).
+    """
+    if not episodes:
+        raise ValueError("need at least one episode to summarize")
+    summary = EvaluationSummary(episodes=list(episodes))
+    n = len(episodes)
+    total_steps = 0
+    for m in episodes:
+        summary.episode_return += m.episode_return
+        summary.cost_usd += m.cost_usd
+        summary.energy_kwh += m.energy_kwh
+        summary.violation_deg_hours += m.violation_deg_hours
+        summary.occupied_steps += m.occupied_steps
+        summary.occupied_violation_steps += m.occupied_violation_steps
+        total_steps += m.steps
+    summary.episode_return /= n
+    summary.cost_usd /= n
+    summary.energy_kwh /= n
+    summary.violation_deg_hours /= n
+    summary.steps = int(round(total_steps / n))
+    return summary
+
+
+@dataclass
 class EpisodeTrace:
     """Step-by-step series of one episode, for figure-style outputs."""
 

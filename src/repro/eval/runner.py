@@ -6,7 +6,12 @@ from typing import Optional, Tuple
 
 from repro.core.agent import AgentBase
 from repro.env.core import Env
-from repro.eval.metrics import EpisodeMetrics, EpisodeTrace
+from repro.eval.metrics import (
+    EpisodeMetrics,
+    EpisodeTrace,
+    EvaluationSummary,
+    summarize_episodes,
+)
 from repro.utils.validation import check_positive
 
 
@@ -44,26 +49,19 @@ def evaluate_controller(
     agent: AgentBase,
     *,
     n_episodes: int = 1,
-) -> EpisodeMetrics:
+) -> EvaluationSummary:
     """Average greedy-episode metrics over ``n_episodes``.
 
-    Returns an :class:`EpisodeMetrics` whose totals are per-episode means
-    (violation-rate counters are summed so the rate stays exact).
+    Returns an :class:`EvaluationSummary`: its inherited
+    :class:`EpisodeMetrics` fields are per-episode means (violation-rate
+    counters are summed so the rate stays exact; ``steps`` is the mean
+    episode length rounded to the nearest integer), and its ``episodes``
+    list keeps every episode's own metrics so the across-episode spread
+    (``cost_usd_std`` etc.) is available instead of being discarded.
     """
     check_positive("n_episodes", n_episodes)
-    combined = EpisodeMetrics()
-    for _ in range(n_episodes):
-        metrics, _ = run_episode(env, agent, explore=False, learn=False)
-        combined.episode_return += metrics.episode_return
-        combined.cost_usd += metrics.cost_usd
-        combined.energy_kwh += metrics.energy_kwh
-        combined.violation_deg_hours += metrics.violation_deg_hours
-        combined.occupied_steps += metrics.occupied_steps
-        combined.occupied_violation_steps += metrics.occupied_violation_steps
-        combined.steps += metrics.steps
-    combined.episode_return /= n_episodes
-    combined.cost_usd /= n_episodes
-    combined.energy_kwh /= n_episodes
-    combined.violation_deg_hours /= n_episodes
-    combined.steps //= n_episodes
-    return combined
+    episodes = [
+        run_episode(env, agent, explore=False, learn=False)[0]
+        for _ in range(n_episodes)
+    ]
+    return summarize_episodes(episodes)

@@ -1,0 +1,55 @@
+"""Fleet-scale simulation: batched dynamics, vector envs, campaigns.
+
+The scalar stack simulates one building at a time through Python loops;
+this package is the population-scale counterpart:
+
+* :class:`~repro.sim.batch_thermal.BatchRCNetwork` — N buildings' RC
+  dynamics advanced in one batched matrix program.
+* :class:`~repro.sim.vector_env.VectorHVACEnv` — batched ``reset``/
+  ``step`` over heterogeneous fleets (climates, tariffs, comfort bands,
+  zone counts via padding/masking), with exact scalar parity.
+* :mod:`~repro.sim.scenarios` — declarative :class:`Scenario` configs and
+  a registry of named presets (heat wave, mild winter, DR event, …).
+* :mod:`~repro.sim.campaign` — cartesian scenario × controller × seed
+  sweeps with serial or multiprocessing execution.
+
+See ``benchmarks/perf_vector_sim.py`` for the throughput comparison
+against sequential scalar stepping.
+"""
+
+from repro.sim.batch_thermal import BatchRCNetwork
+from repro.sim.vector_env import BatchStepInfo, VectorHVACEnv
+from repro.sim.scenarios import (
+    Scenario,
+    build_fleet,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+)
+from repro.sim.campaign import (
+    CampaignJob,
+    CampaignResult,
+    CampaignRow,
+    CampaignSpec,
+    expand_campaign,
+    run_campaign,
+    run_campaign_job,
+)
+
+__all__ = [
+    "BatchRCNetwork",
+    "BatchStepInfo",
+    "VectorHVACEnv",
+    "Scenario",
+    "register_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "build_fleet",
+    "CampaignSpec",
+    "CampaignJob",
+    "CampaignRow",
+    "CampaignResult",
+    "expand_campaign",
+    "run_campaign",
+    "run_campaign_job",
+]

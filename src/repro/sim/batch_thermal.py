@@ -1,0 +1,129 @@
+"""Batched RC thermal dynamics: N buildings advanced in one array program.
+
+The scalar :class:`~repro.building.thermal.RCNetwork` advances one
+building's zone temperatures with a cached matrix-exponential propagator.
+:class:`BatchRCNetwork` stacks N such networks — padded to the widest
+zone count — so a whole fleet advances in a single batched ``matmul``:
+
+    T'[n] = decay[n] @ T[n] + gain[n] @ forcing[n]        for all n at once
+
+The per-network propagators are taken **from the scalar networks' own
+caches**, so a batched step reproduces the scalar update to floating-point
+round-off (the parity guarantee the vector environment tests rely on).
+Zones beyond a network's true width are masked: their capacitance is 1,
+all conductances and heat inputs are 0, and their propagator rows are 0,
+so padded temperatures stay identically 0 forever.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.building.thermal import RCNetwork
+from repro.utils.validation import check_positive
+
+
+class BatchRCNetwork:
+    """N independent RC networks stepped as stacked arrays.
+
+    Parameters
+    ----------
+    networks:
+        The scalar per-building networks.  Each must have a non-singular
+        dynamics matrix (every zone coupled to ambient through some path)
+        — the same condition under which the scalar step uses its exact
+        propagator rather than the Euler fallback.
+    """
+
+    def __init__(self, networks: Sequence[RCNetwork]) -> None:
+        if not networks:
+            raise ValueError("need at least one network")
+        for k, net in enumerate(networks):
+            if net._m_inverse is None:
+                raise ValueError(
+                    f"network {k} has a singular dynamics matrix (a zone is "
+                    "isolated from ambient); batched stepping requires the "
+                    "exact-propagator path"
+                )
+        self.networks: List[RCNetwork] = list(networks)
+        self.n_envs = len(networks)
+        self.max_zones = max(net.n_zones for net in networks)
+
+        n, z = self.n_envs, self.max_zones
+        self.n_zones = np.array([net.n_zones for net in networks], dtype=int)
+        self.zone_mask = np.zeros((n, z), dtype=bool)
+        self.capacitance = np.ones((n, z))
+        self.ua_ambient = np.zeros((n, z))
+        for k, net in enumerate(networks):
+            m = net.n_zones
+            self.zone_mask[k, :m] = True
+            self.capacitance[k, :m] = net.capacitance
+            self.ua_ambient[k, :m] = net.ua_ambient
+        self._propagator_cache: Dict[float, Tuple[np.ndarray, np.ndarray]] = {}
+
+    # ------------------------------------------------------------ propagators
+    def _propagators(self, dt_seconds: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Stacked, zero-padded ``(decay, gain)`` for a step length."""
+        key = float(dt_seconds)
+        if key not in self._propagator_cache:
+            n, z = self.n_envs, self.max_zones
+            decay = np.zeros((n, z, z))
+            gain = np.zeros((n, z, z))
+            for k, net in enumerate(self.networks):
+                m = net.n_zones
+                d, g = net._propagator(key)
+                decay[k, :m, :m] = d
+                gain[k, :m, :m] = g
+            self._propagator_cache[key] = (decay, gain)
+        return self._propagator_cache[key]
+
+    # ---------------------------------------------------------------- stepping
+    def step(
+        self,
+        temps: np.ndarray,
+        temp_out: np.ndarray,
+        heat_w: np.ndarray,
+        dt_seconds: float,
+    ) -> np.ndarray:
+        """Advance all N networks one control step.
+
+        Parameters
+        ----------
+        temps:
+            Zone temperatures, shape ``(n_envs, max_zones)`` (padded
+            entries are ignored and returned as 0).
+        temp_out:
+            Per-network ambient temperature, shape ``(n_envs,)``.
+        heat_w:
+            Per-zone heat input (solar + internal + HVAC), shape
+            ``(n_envs, max_zones)``; padded entries must be 0.
+        dt_seconds:
+            Step length (inputs zero-order held, as in the scalar step).
+        """
+        check_positive("dt_seconds", dt_seconds)
+        temps = np.asarray(temps, dtype=np.float64)
+        temp_out = np.asarray(temp_out, dtype=np.float64)
+        heat_w = np.asarray(heat_w, dtype=np.float64)
+        shape = (self.n_envs, self.max_zones)
+        if temps.shape != shape or heat_w.shape != shape:
+            raise ValueError(
+                f"temps and heat_w must have shape {shape}, "
+                f"got {temps.shape} and {heat_w.shape}"
+            )
+        if temp_out.shape != (self.n_envs,):
+            raise ValueError(
+                f"temp_out must have shape ({self.n_envs},), got {temp_out.shape}"
+            )
+        decay, gain = self._propagators(dt_seconds)
+        forcing = (self.ua_ambient * temp_out[:, None] + heat_w) / self.capacitance
+        return (
+            np.matmul(decay, temps[..., None])[..., 0]
+            + np.matmul(gain, forcing[..., None])[..., 0]
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchRCNetwork(n_envs={self.n_envs}, max_zones={self.max_zones})"
+        )

@@ -1,0 +1,233 @@
+"""Campaign runner: scenario × controller × seed sweeps over the fleet sim.
+
+A campaign is the cartesian product of registered scenarios, named
+controllers, and seeds.  Each (scenario, controller) cell batches its
+seeds into one :class:`~repro.sim.vector_env.VectorHVACEnv`, so a
+campaign of S scenarios × C controllers × K seeds costs S·C vectorized
+episode runs rather than S·C·K scalar ones.  Cells are independent, so
+they can optionally fan out over a process pool.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.baselines.pid import PIDController
+from repro.baselines.random_policy import RandomController
+from repro.baselines.rule_based import ThermostatController
+from repro.eval.metrics import EvaluationSummary
+from repro.eval.reporting import format_table
+from repro.eval.vector_runner import PerEnvPolicy, VectorRunner
+from repro.sim.scenarios import Scenario, build_fleet, get_scenario
+from repro.sim.vector_env import VectorHVACEnv
+
+CONTROLLERS = ("thermostat", "pid", "random")
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """What to sweep: scenarios × controllers × seeds.
+
+    ``scenarios`` entries are registered names or :class:`Scenario`
+    instances; ``n_episodes`` evaluation episodes run per (scenario,
+    controller, seed) triple.
+    """
+
+    scenarios: Tuple[Union[str, Scenario], ...]
+    controllers: Tuple[str, ...] = ("thermostat",)
+    seeds: Tuple[int, ...] = (0,)
+    n_episodes: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.scenarios:
+            raise ValueError("campaign needs at least one scenario")
+        if not self.controllers:
+            raise ValueError("campaign needs at least one controller")
+        if not self.seeds:
+            raise ValueError("campaign needs at least one seed")
+        for name in self.controllers:
+            if name not in CONTROLLERS:
+                raise ValueError(
+                    f"unknown controller {name!r}; choose from {CONTROLLERS}"
+                )
+        if self.n_episodes < 1:
+            raise ValueError(f"n_episodes must be >= 1, got {self.n_episodes}")
+        object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
+        object.__setattr__(self, "controllers", tuple(self.controllers))
+        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+
+
+@dataclass(frozen=True)
+class CampaignJob:
+    """One executable cell: a scenario, a controller, all seeds."""
+
+    scenario: Scenario
+    controller: str
+    seeds: Tuple[int, ...]
+    n_episodes: int = 1
+
+
+@dataclass
+class CampaignRow:
+    """Aggregated result of one cell (mean ± std across seeds)."""
+
+    scenario: str
+    controller: str
+    n_seeds: int
+    mean: Dict[str, float]
+    std: Dict[str, float]
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation."""
+        return asdict(self)
+
+
+_METRIC_FIELDS = ("episode_return", "cost_usd", "energy_kwh", "violation_deg_hours")
+
+
+def expand_campaign(spec: CampaignSpec) -> List[CampaignJob]:
+    """Cartesian-expand a spec into independent (scenario, controller) jobs."""
+    jobs = []
+    for entry in spec.scenarios:
+        scenario = get_scenario(entry) if isinstance(entry, str) else entry
+        for controller in spec.controllers:
+            jobs.append(
+                CampaignJob(
+                    scenario=scenario,
+                    controller=controller,
+                    seeds=spec.seeds,
+                    n_episodes=spec.n_episodes,
+                )
+            )
+    return jobs
+
+
+def _make_policy(name: str, vec_env: VectorHVACEnv, seeds: Sequence[int]) -> PerEnvPolicy:
+    if name == "thermostat":
+        agents = [ThermostatController(vec_env.env_view(k)) for k in range(vec_env.n_envs)]
+    elif name == "pid":
+        agents = [PIDController(vec_env.env_view(k)) for k in range(vec_env.n_envs)]
+    elif name == "random":
+        agents = [
+            RandomController(env.action_space, rng=int(seed))
+            for env, seed in zip(vec_env.envs, seeds)
+        ]
+    else:
+        raise ValueError(f"unknown controller {name!r}; choose from {CONTROLLERS}")
+    return PerEnvPolicy(agents, vec_env.obs_dims)
+
+
+def run_campaign_job(job: CampaignJob) -> CampaignRow:
+    """Run one cell: batch its seeds into a vector env and evaluate.
+
+    Module-level (not a closure) so process-pool executors can pickle it.
+
+    Each cell deliberately builds its fleet from scratch rather than
+    sharing one per scenario: seeded env RNGs advance as episodes run, so
+    a shared fleet would hand the second controller different weather
+    noise and initial temperatures than the first.  Rebuilding gives
+    every controller a byte-identical world per seed — the property that
+    makes campaign columns comparable.
+    """
+    vec_env = VectorHVACEnv(build_fleet(job.scenario, job.seeds), autoreset=False)
+    policy = _make_policy(job.controller, vec_env, job.seeds)
+    runner = VectorRunner(vec_env, policy)
+    per_seed: List[EvaluationSummary] = runner.evaluate(n_episodes=job.n_episodes)
+    mean = {
+        f: float(np.mean([getattr(s, f) for s in per_seed])) for f in _METRIC_FIELDS
+    }
+    std = {
+        f: float(np.std([getattr(s, f) for s in per_seed])) for f in _METRIC_FIELDS
+    }
+    mean["violation_rate"] = float(np.mean([s.violation_rate for s in per_seed]))
+    std["violation_rate"] = float(np.std([s.violation_rate for s in per_seed]))
+    return CampaignRow(
+        scenario=job.scenario.name,
+        controller=job.controller,
+        n_seeds=len(job.seeds),
+        mean=mean,
+        std=std,
+    )
+
+
+class CampaignResult:
+    """Ordered campaign rows with rendering and JSON export."""
+
+    def __init__(self, rows: List[CampaignRow]) -> None:
+        self.rows = list(rows)
+
+    def row(self, scenario: str, controller: str) -> CampaignRow:
+        """Look up one cell's row."""
+        for r in self.rows:
+            if r.scenario == scenario and r.controller == controller:
+                return r
+        raise KeyError(f"no row for ({scenario!r}, {controller!r})")
+
+    def render(self) -> str:
+        """Aligned-text table: one line per (scenario, controller) cell."""
+        header = [
+            "scenario",
+            "controller",
+            "seeds",
+            "cost_usd",
+            "energy_kwh",
+            "viol_degh",
+            "viol_rate",
+            "return",
+        ]
+        body = []
+        for r in self.rows:
+            body.append(
+                [
+                    r.scenario,
+                    r.controller,
+                    str(r.n_seeds),
+                    f"{r.mean['cost_usd']:.3f}±{r.std['cost_usd']:.3f}",
+                    f"{r.mean['energy_kwh']:.2f}±{r.std['energy_kwh']:.2f}",
+                    f"{r.mean['violation_deg_hours']:.2f}±{r.std['violation_deg_hours']:.2f}",
+                    f"{r.mean['violation_rate']:.3f}",
+                    f"{r.mean['episode_return']:.3f}",
+                ]
+            )
+        return format_table(header, body)
+
+    def to_json(self) -> str:
+        """Serialize all rows as a JSON array."""
+        return json.dumps([r.as_dict() for r in self.rows], indent=2)
+
+    def save(self, path: str) -> None:
+        """Write :meth:`to_json` to ``path``."""
+        with open(path, "w") as fh:
+            fh.write(self.to_json() + "\n")
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    *,
+    executor: str = "serial",
+    max_workers: Optional[int] = None,
+) -> CampaignResult:
+    """Execute a campaign; returns rows in expansion order.
+
+    ``executor="process"`` fans the independent (scenario, controller)
+    cells out over a :class:`concurrent.futures.ProcessPoolExecutor`;
+    ``"serial"`` (default) runs them inline, which is usually fast enough
+    because each cell is already vectorized across its seeds.
+    """
+    jobs = expand_campaign(spec)
+    if executor == "serial":
+        rows = [run_campaign_job(job) for job in jobs]
+    elif executor == "process":
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            rows = list(pool.map(run_campaign_job, jobs))
+    else:
+        raise ValueError(
+            f"unknown executor {executor!r}; choose 'serial' or 'process'"
+        )
+    return CampaignResult(rows)

@@ -1,0 +1,262 @@
+"""Declarative scenario registry for fleet simulation campaigns.
+
+A :class:`Scenario` is a frozen, picklable description of one simulated
+world — building, climate, tariff, comfort band, episode shape — that can
+``build()`` a fully wired :class:`~repro.env.hvac_env.HVACEnv` from a
+seed.  Named presets (heat wave, mild winter, demand-response event,
+flat-vs-TOU tariffs, 1–5 zone buildings) live in a registry so campaigns
+can be specified as plain strings on the command line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.building.building import Building
+from repro.building.presets import (
+    four_zone_office,
+    five_zone_perimeter_core,
+    single_zone_building,
+)
+from repro.env.comfort import ComfortBand
+from repro.env.hvac_env import HVACEnv, HVACEnvConfig
+from repro.hvac.tariffs import (
+    DemandResponseTariff,
+    FlatTariff,
+    Tariff,
+    TimeOfUseTariff,
+)
+from repro.utils.validation import check_positive
+from repro.weather.events import inject_heat_wave
+from repro.weather.synthetic import (
+    SyntheticWeatherConfig,
+    generate_weather,
+    mild_config,
+    summer_config,
+)
+
+_BUILDINGS: Dict[str, Callable[[], Building]] = {
+    "single_zone": single_zone_building,
+    "four_zone": four_zone_office,
+    "five_zone": five_zone_perimeter_core,
+}
+
+_CLIMATES: Dict[str, Callable[[], SyntheticWeatherConfig]] = {
+    "summer": summer_config,
+    "mild": mild_config,
+}
+
+_TARIFFS = ("flat", "tou", "dr")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named simulated world, buildable into an env from a seed.
+
+    Attributes
+    ----------
+    building / climate / tariff:
+        Registry keys: buildings ``single_zone | four_zone | five_zone``,
+        climates ``summer | mild``, tariffs ``flat | tou | dr``.
+    start_day_of_year / weather_days:
+        The weather trace window (day 213 ≈ August 1st).
+    episode_days / comfort_weight / forecast_horizon / randomize_start_day:
+        Passed through to :class:`HVACEnvConfig`.
+    comfort_low_c / comfort_high_c:
+        The occupied comfort band.
+    heat_wave:
+        When True a multi-day anomaly is superimposed on the trace
+        (amplitude/start/duration via the ``heat_wave_*`` fields).
+    dr_event_days:
+        Absolute days-of-year of demand-response events (``tariff="dr"``);
+        empty selects two weekdays early in the trace.
+    """
+
+    name: str
+    description: str = ""
+    building: str = "single_zone"
+    climate: str = "summer"
+    tariff: str = "tou"
+    start_day_of_year: int = 213
+    weather_days: float = 8.0
+    episode_days: float = 1.0
+    comfort_weight: float = 4.0
+    forecast_horizon: int = 3
+    randomize_start_day: bool = False
+    comfort_low_c: float = 22.0
+    comfort_high_c: float = 26.0
+    heat_wave: bool = False
+    heat_wave_start_day: int = 0
+    heat_wave_days: float = 3.0
+    heat_wave_amplitude_c: float = 6.0
+    dr_event_days: Tuple[int, ...] = ()
+    dr_event_multiplier: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.building not in _BUILDINGS:
+            raise ValueError(
+                f"unknown building {self.building!r}; choose from {sorted(_BUILDINGS)}"
+            )
+        if self.climate not in _CLIMATES:
+            raise ValueError(
+                f"unknown climate {self.climate!r}; choose from {sorted(_CLIMATES)}"
+            )
+        if self.tariff not in _TARIFFS:
+            raise ValueError(
+                f"unknown tariff {self.tariff!r}; choose from {sorted(_TARIFFS)}"
+            )
+        check_positive("weather_days", self.weather_days)
+        check_positive("episode_days", self.episode_days)
+        if self.comfort_high_c <= self.comfort_low_c:
+            raise ValueError("comfort_high_c must exceed comfort_low_c")
+        object.__setattr__(
+            self, "dr_event_days", tuple(int(d) for d in self.dr_event_days)
+        )
+
+    # ------------------------------------------------------------- building
+    def _make_tariff(self) -> Tariff:
+        if self.tariff == "flat":
+            return FlatTariff()
+        if self.tariff == "tou":
+            return TimeOfUseTariff()
+        event_days = self.dr_event_days
+        if not event_days:
+            # Default: the first two weekdays of the trace — starting at
+            # day 0 so the event intersects even a single-day episode —
+            # wrapping the day-of-year like the weather clock does so
+            # scenarios starting near day 365 still see their events.
+            candidates = (
+                (self.start_day_of_year - 1 + offset) % 365 + 1
+                for offset in range(0, 7)
+            )
+            event_days = tuple(d for d in candidates if (d - 1) % 7 < 5)[:2]
+        return DemandResponseTariff(
+            event_days=frozenset(event_days),
+            event_multiplier=self.dr_event_multiplier,
+        )
+
+    def build(self, seed: int = 0) -> HVACEnv:
+        """Instantiate the scenario as a scalar env, deterministic in ``seed``."""
+        weather = generate_weather(
+            _CLIMATES[self.climate](),
+            start_day_of_year=self.start_day_of_year,
+            n_days=self.weather_days,
+            rng=seed + 1,
+        )
+        if self.heat_wave:
+            weather = inject_heat_wave(
+                weather,
+                start_day=self.heat_wave_start_day,
+                n_days=self.heat_wave_days,
+                peak_amplitude_c=self.heat_wave_amplitude_c,
+            )
+        return HVACEnv(
+            _BUILDINGS[self.building](),
+            weather,
+            tariff=self._make_tariff(),
+            comfort=ComfortBand(
+                occupied_low_c=self.comfort_low_c,
+                occupied_high_c=self.comfort_high_c,
+            ),
+            config=HVACEnvConfig(
+                episode_days=self.episode_days,
+                comfort_weight=self.comfort_weight,
+                forecast_horizon=self.forecast_horizon,
+                randomize_start_day=self.randomize_start_day,
+            ),
+            rng=seed,
+        )
+
+    def with_overrides(self, **changes) -> "Scenario":
+        """A copy of the scenario with fields replaced."""
+        return replace(self, **changes)
+
+
+# ---------------------------------------------------------------- registry
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario, *, overwrite: bool = False) -> None:
+    """Add a scenario to the global registry (error on duplicates unless
+    ``overwrite``)."""
+    if scenario.name in _REGISTRY and not overwrite:
+        raise ValueError(f"scenario {scenario.name!r} already registered")
+    _REGISTRY[scenario.name] = scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a registered scenario by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {', '.join(list_scenarios())}"
+        ) from None
+
+
+def list_scenarios() -> List[str]:
+    """Registered scenario names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def _register_presets() -> None:
+    presets = [
+        Scenario(
+            name="baseline-tou",
+            description="single-zone office, hot summer, time-of-use tariff",
+        ),
+        Scenario(
+            name="flat-tariff",
+            description="baseline building under a flat tariff (no price signal)",
+            tariff="flat",
+        ),
+        Scenario(
+            name="heat-wave",
+            description="baseline building through a 3-day +6C heat wave",
+            heat_wave=True,
+        ),
+        Scenario(
+            name="mild-winter",
+            description="mild climate in mid-January (low cooling load)",
+            climate="mild",
+            start_day_of_year=10,
+        ),
+        Scenario(
+            name="dr-event",
+            description="TOU tariff with 4x demand-response event pricing",
+            tariff="dr",
+        ),
+        Scenario(
+            name="four-zone-office",
+            description="four perimeter quadrants with interzone coupling",
+            building="four_zone",
+        ),
+        Scenario(
+            name="five-zone-office",
+            description="perimeter-plus-core office (hardest coordination)",
+            building="five_zone",
+        ),
+        Scenario(
+            name="relaxed-comfort",
+            description="baseline with a wide 21-27C occupied band",
+            comfort_low_c=21.0,
+            comfort_high_c=27.0,
+        ),
+    ]
+    for scenario in presets:
+        register_scenario(scenario, overwrite=True)
+
+
+_register_presets()
+
+
+def build_fleet(
+    scenario: Scenario | str, seeds: Sequence[int]
+) -> List[HVACEnv]:
+    """Build one env per seed for a scenario (or registered name)."""
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    if not seeds:
+        raise ValueError("need at least one seed")
+    return [scenario.build(int(seed)) for seed in seeds]

@@ -1,0 +1,585 @@
+"""Vectorized fleet simulation: N HVAC environments stepped as one batch.
+
+:class:`VectorHVACEnv` advances N independent buildings — possibly with
+different climates, tariffs, schedules, comfort bands, and zone counts —
+in a single array program per control step.  The per-env work that the
+scalar :class:`~repro.env.hvac_env.HVACEnv` does in Python (occupancy
+lookups, tariff pricing, plant arithmetic, RC integration, comfort
+accounting) is either precomputed into time-indexed tables at
+construction or batched across the fleet with numpy, so aggregate
+throughput scales far better than stepping N scalar envs sequentially
+(see ``benchmarks/perf_vector_sim.py``).
+
+Heterogeneity is handled by padding: zone-indexed arrays are padded to
+the widest building and masked, observation rows are padded to the
+longest observation vector.  Environments are grouped by observation
+signature ``(n_zones, forecast_horizon)`` so row assembly stays
+vectorized per group.
+
+Parity: a fleet of N identical configs reproduces N independent scalar
+envs' trajectories to floating-point round-off, including RNG
+consumption — the vector env drives each scalar env's own generators for
+resets and forecast noise, and its arithmetic mirrors the scalar step
+operation for operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.env.hvac_env import (
+    _GHI_SCALE,
+    _OUT_CENTER_C,
+    _OUT_SCALE_C,
+    _PRICE_SCALE,
+    _TEMP_CENTER_C,
+    _TEMP_SCALE_C,
+    HVACEnv,
+)
+from repro.hvac.vav import AIR_CP_J_PER_KG_K
+from repro.sim.batch_thermal import BatchRCNetwork
+from repro.weather.series import SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+
+@dataclass
+class BatchStepInfo:
+    """Step diagnostics for the whole fleet, as stacked arrays.
+
+    Zone-indexed arrays have shape ``(n_envs, max_zones)`` with padded
+    entries zeroed; use :meth:`per_env` to recover a scalar-env-shaped
+    info dict for one environment.
+    """
+
+    energy_kwh: np.ndarray
+    cost_usd: np.ndarray
+    power_w: np.ndarray
+    violation_deg_hours: np.ndarray
+    violation_per_zone_deg: np.ndarray
+    reward_per_zone: np.ndarray
+    temps_c: np.ndarray
+    temp_out_c: np.ndarray
+    ghi_w_m2: np.ndarray
+    price_per_kwh: np.ndarray
+    levels: np.ndarray
+    occupied: np.ndarray
+    day_of_year: np.ndarray
+    hour_of_day: np.ndarray
+    active: np.ndarray
+    terminal_obs: Optional[np.ndarray] = None
+
+    def per_env(self, k: int, n_zones: int) -> Dict[str, object]:
+        """One environment's info dict (zone arrays trimmed to its width)."""
+        m = int(n_zones)
+        return {
+            "energy_kwh": float(self.energy_kwh[k]),
+            "cost_usd": float(self.cost_usd[k]),
+            "power_w": float(self.power_w[k]),
+            "violation_deg_hours": float(self.violation_deg_hours[k]),
+            "violation_per_zone_deg": self.violation_per_zone_deg[k, :m].copy(),
+            "reward_per_zone": self.reward_per_zone[k, :m].copy(),
+            "temps_c": self.temps_c[k, :m].copy(),
+            "temp_out_c": float(self.temp_out_c[k]),
+            "ghi_w_m2": float(self.ghi_w_m2[k]),
+            "price_per_kwh": float(self.price_per_kwh[k]),
+            "levels": self.levels[k, :m].copy(),
+            "occupied": self.occupied[k, :m].copy(),
+            "day_of_year": int(self.day_of_year[k]),
+            "hour_of_day": float(self.hour_of_day[k]),
+        }
+
+
+@dataclass(frozen=True)
+class _ObsGroup:
+    """Envs sharing one observation layout ``(n_zones, horizon)``."""
+
+    indices: np.ndarray
+    n_zones: int
+    horizon: int
+
+
+class _EnvView:
+    """A live single-env window into the fleet.
+
+    Presents the scalar-env surface that state-reading controllers
+    (thermostat, PID) need — ``zone_temps_c`` and ``time_index`` track the
+    **batch** state, everything else delegates to the underlying scalar
+    env's static attributes.
+    """
+
+    def __init__(self, vec_env: "VectorHVACEnv", index: int) -> None:
+        self._vec = vec_env
+        self._k = int(index)
+        self._env = vec_env.envs[index]
+
+    def unwrapped(self) -> "_EnvView":
+        return self
+
+    @property
+    def zone_temps_c(self) -> np.ndarray:
+        m = self._env.building.n_zones
+        return self._vec._temps[self._k, :m].copy()
+
+    @property
+    def time_index(self) -> int:
+        return int(self._vec._idx[self._k])
+
+    def __getattr__(self, name: str):
+        return getattr(self._env, name)
+
+
+class VectorHVACEnv:
+    """Batched ``reset``/``step`` over a fleet of scalar HVAC environments.
+
+    Parameters
+    ----------
+    envs:
+        The scalar environments to batch.  They remain the owners of all
+        configuration and randomness; the vector env precomputes their
+        time-varying inputs into tables and advances their dynamics as
+        stacked arrays.  All envs must share one control-step length.
+    autoreset:
+        When True (default), an environment that terminates is reset
+        immediately and the returned observation row is the fresh
+        episode's first observation; the terminal observation is kept in
+        ``info.terminal_obs``.  When False, finished environments freeze
+        (zero reward, ``done`` stays True) until :meth:`reset`.
+    """
+
+    def __init__(self, envs: Sequence[HVACEnv], *, autoreset: bool = True) -> None:
+        if not envs:
+            raise ValueError("need at least one environment")
+        for env in envs:
+            if not isinstance(env, HVACEnv):
+                raise TypeError(
+                    f"VectorHVACEnv batches HVACEnv instances, got {type(env).__name__}"
+                )
+        dts = {float(env.weather.dt_seconds) for env in envs}
+        if len(dts) != 1:
+            raise ValueError(f"all envs must share one dt_seconds, got {sorted(dts)}")
+
+        self.envs: List[HVACEnv] = list(envs)
+        self.autoreset = bool(autoreset)
+        n = self.n_envs = len(self.envs)
+        self.dt_seconds = dts.pop()
+        self._dt_hours = self.dt_seconds / 3600.0
+
+        self.batch_net = BatchRCNetwork([env.building.network for env in self.envs])
+        z = self.max_zones = self.batch_net.max_zones
+        self.n_zones = self.batch_net.n_zones
+        self.zone_mask = self.batch_net.zone_mask
+
+        # ----------------------------------------------- static per-env arrays
+        self._aperture = np.zeros((n, z))
+        self._occ_low = np.empty((n, 1))
+        self._occ_high = np.empty((n, 1))
+        self._set_low = np.empty((n, 1))
+        self._set_high = np.empty((n, 1))
+        self._comfort_weight = np.empty(n)
+        self._cost_weight = np.empty(n)
+        self._episode_steps = np.empty(n, dtype=int)
+        self._trace_len = np.empty(n, dtype=int)
+        max_levels = max(env.vav.n_levels for env in self.envs)
+        self._flow_table = np.zeros((n, max_levels))
+        self._n_levels = np.empty(n, dtype=int)
+        self._supply_temp = np.empty(n)
+        self._oaf = np.empty(n)
+        self._cop = np.empty(n)
+        self._fan_scale = np.empty(n)  # fan_power_max_w * n_zones
+        self._plant_max_flow = np.empty(n)  # max_flow_kg_s * n_zones
+        for k, env in enumerate(self.envs):
+            m = env.building.n_zones
+            self._aperture[k, :m] = [zn.solar_aperture_m2 for zn in env.building.zones]
+            self._occ_low[k] = env.comfort.occupied_low_c
+            self._occ_high[k] = env.comfort.occupied_high_c
+            self._set_low[k] = env.comfort.setback_low_c
+            self._set_high[k] = env.comfort.setback_high_c
+            self._comfort_weight[k] = env.config.comfort_weight
+            self._cost_weight[k] = env.config.cost_weight
+            self._episode_steps[k] = env.episode_steps
+            self._trace_len[k] = len(env.weather)
+            cfg = env.vav.config
+            self._flow_table[k, : cfg.n_levels] = cfg.flow_levels_kg_s
+            self._n_levels[k] = cfg.n_levels
+            self._supply_temp[k] = cfg.supply_temp_c
+            self._oaf[k] = cfg.outdoor_air_fraction
+            self._cop[k] = cfg.cop
+            self._fan_scale[k] = cfg.fan_power_max_w * m
+            self._plant_max_flow[k] = cfg.max_flow_kg_s * m
+
+        self._build_time_tables()
+        self._build_obs_groups()
+
+        # ------------------------------------------------------ dynamic state
+        self._temps = np.zeros((n, z))
+        self._idx = np.zeros(n, dtype=int)
+        self._steps_taken = np.zeros(n, dtype=int)
+        self._done = np.zeros(n, dtype=bool)
+        self._last_obs = np.zeros((n, self.max_obs_dim))
+        self._needs_reset = True
+
+    # --------------------------------------------------------------- tables
+    def _build_time_tables(self) -> None:
+        """Precompute every time-indexed input as ``(n_envs, T)`` tables.
+
+        Schedule and tariff lookups are memoized on their (frozen,
+        value-hashable) config objects, so fleets of similar buildings pay
+        the Python cost once per unique (component, time) pair.
+        """
+        n = self.n_envs
+        t_max = int(self._trace_len.max())
+        z = self.max_zones
+        self._temp_out = np.zeros((n, t_max))
+        self._ghi = np.zeros((n, t_max))
+        self._price = np.zeros((n, t_max))
+        self._occupied = np.zeros((n, t_max, z), dtype=bool)
+        self._gains = np.zeros((n, t_max, z))
+        self._sin_hour = np.zeros((n, t_max))
+        self._cos_hour = np.zeros((n, t_max))
+        self._workday = np.zeros((n, t_max))
+        self._day = np.zeros((n, t_max), dtype=int)
+        self._hour = np.zeros((n, t_max))
+
+        sched_cache: Dict[tuple, Tuple[bool, float]] = {}
+        price_cache: Dict[tuple, float] = {}
+        for k, env in enumerate(self.envs):
+            t = len(env.weather)
+            dt = env.weather.dt_seconds
+            seconds = np.arange(t) * dt
+            hours = (seconds % SECONDS_PER_DAY) / SECONDS_PER_HOUR
+            days = (
+                (env.weather.start_day_of_year - 1 + (seconds // SECONDS_PER_DAY).astype(int))
+                % 365
+            ) + 1
+            self._hour[k, :t] = hours
+            self._day[k, :t] = days
+            self._sin_hour[k, :t] = np.sin(2.0 * np.pi * hours / 24.0)
+            self._cos_hour[k, :t] = np.cos(2.0 * np.pi * hours / 24.0)
+            self._workday[k, :t] = np.where((days - 1) % 7 >= 5, 0.0, 1.0)
+            self._temp_out[k, :t] = env.weather.temp_out_c
+            self._ghi[k, :t] = env.weather.ghi_w_m2
+            # Pad past the trace end with the last sample so gathers at a
+            # frozen terminal index stay in range; `done` fires before any
+            # padded value can influence an active env.
+            if t < t_max:
+                self._temp_out[k, t:] = env.weather.temp_out_c[-1]
+                self._ghi[k, t:] = env.weather.ghi_w_m2[-1]
+                self._hour[k, t:] = hours[-1]
+                self._day[k, t:] = days[-1]
+
+            tariff = env.tariff
+            for i in range(t):
+                try:
+                    key = (tariff, int(days[i]), float(hours[i]))
+                    price = price_cache[key]
+                except KeyError:
+                    price = tariff.price_per_kwh(int(days[i]), float(hours[i]))
+                    price_cache[key] = price
+                except TypeError:  # unhashable custom tariff: no memoization
+                    price = tariff.price_per_kwh(int(days[i]), float(hours[i]))
+                self._price[k, i] = price
+
+            for j, (zone, sched) in enumerate(
+                zip(env.building.zones, env.building.schedules)
+            ):
+                area = zone.floor_area_m2
+                for i in range(t):
+                    try:
+                        key = (sched, int(days[i]), float(hours[i]))
+                        entry = sched_cache[key]
+                    except KeyError:
+                        entry = (
+                            sched.occupied(int(days[i]), float(hours[i])),
+                            sched.gains_w_per_m2(int(days[i]), float(hours[i])),
+                        )
+                        sched_cache[key] = entry
+                    except TypeError:  # unhashable custom schedule
+                        entry = (
+                            sched.occupied(int(days[i]), float(hours[i])),
+                            sched.gains_w_per_m2(int(days[i]), float(hours[i])),
+                        )
+                    self._occupied[k, i, j] = entry[0]
+                    self._gains[k, i, j] = entry[1] * area
+
+    def _build_obs_groups(self) -> None:
+        signatures: Dict[Tuple[int, int], List[int]] = {}
+        for k, env in enumerate(self.envs):
+            sig = (env.building.n_zones, env.config.forecast_horizon)
+            signatures.setdefault(sig, []).append(k)
+        self._groups = [
+            _ObsGroup(indices=np.asarray(idx, dtype=int), n_zones=zones, horizon=horizon)
+            for (zones, horizon), idx in sorted(signatures.items())
+        ]
+        self.obs_dims = np.array(
+            [env.obs_dim for env in self.envs], dtype=int
+        )
+        self.max_obs_dim = int(self.obs_dims.max())
+        self.max_horizon = max(env.config.forecast_horizon for env in self.envs)
+
+    # ----------------------------------------------------------- properties
+    @property
+    def homogeneous(self) -> bool:
+        """True when every env shares one observation layout and action set."""
+        first = self.envs[0]
+        return all(
+            env.obs_dim == first.obs_dim
+            and np.array_equal(env.action_space.nvec, first.action_space.nvec)
+            for env in self.envs[1:]
+        )
+
+    @property
+    def single_action_space(self):
+        """The shared per-env action space (requires a homogeneous fleet)."""
+        if not self.homogeneous:
+            raise ValueError("fleet is heterogeneous: no single action space")
+        return self.envs[0].action_space
+
+    @property
+    def single_observation_space(self):
+        """The shared per-env observation space (requires homogeneity)."""
+        if not self.homogeneous:
+            raise ValueError("fleet is heterogeneous: no single observation space")
+        return self.envs[0].observation_space
+
+    @property
+    def zone_temps_c(self) -> np.ndarray:
+        """Current zone temperatures, ``(n_envs, max_zones)`` (copy)."""
+        return self._temps.copy()
+
+    @property
+    def time_indices(self) -> np.ndarray:
+        """Current per-env weather-trace indices (copy)."""
+        return self._idx.copy()
+
+    @property
+    def dones(self) -> np.ndarray:
+        """Which envs are finished (meaningful with ``autoreset=False``)."""
+        return self._done.copy()
+
+    def env_view(self, index: int) -> _EnvView:
+        """A scalar-env-shaped live view of one fleet member (for
+        state-reading controllers like the thermostat and PID baselines)."""
+        return _EnvView(self, index)
+
+    # ------------------------------------------------------------ lifecycle
+    def reset(self) -> np.ndarray:
+        """Reset every env; returns the stacked initial observations."""
+        for k, env in enumerate(self.envs):
+            self._reset_env(k)
+        self._done[:] = False
+        self._needs_reset = False
+        self._assemble_obs(np.arange(self.n_envs))
+        return self._last_obs.copy()
+
+    def _reset_env(self, k: int) -> None:
+        env = self.envs[k]
+        env.reset_state()  # consumes env._rng exactly as a scalar reset
+        m = env.building.n_zones
+        self._temps[k, :] = 0.0
+        self._temps[k, :m] = env._temps
+        self._idx[k] = env._index
+        self._steps_taken[k] = 0
+
+    def _assemble_obs(self, indices: np.ndarray) -> None:
+        """Recompute observation rows for ``indices`` into ``_last_obs``."""
+        if indices.size == 0:
+            return
+        i = self._idx[indices]
+        sin_h = self._sin_hour[indices, i]
+        cos_h = self._cos_hour[indices, i]
+        workday = self._workday[indices, i]
+        occupied = self._occupied[indices, i].astype(np.float64)
+        temps_scaled = (self._temps[indices] - _TEMP_CENTER_C) / _TEMP_SCALE_C
+        tout_scaled = (self._temp_out[indices, i] - _OUT_CENTER_C) / _OUT_SCALE_C
+        ghi_scaled = self._ghi[indices, i] / _GHI_SCALE
+        price_scaled = self._price[indices, i] / _PRICE_SCALE
+
+        f_temp = f_ghi = None
+        if self.max_horizon > 0:
+            f_temp = np.zeros((self.n_envs, self.max_horizon))
+            f_ghi = np.zeros((self.n_envs, self.max_horizon))
+            for k in indices:
+                h = self.envs[k].config.forecast_horizon
+                if h > 0:
+                    ft, fg = self.envs[k]._forecast.forecast(int(self._idx[k]))
+                    f_temp[k, :h] = ft
+                    f_ghi[k, :h] = fg
+
+        member = np.zeros(self.n_envs, dtype=bool)
+        member[indices] = True
+        pos = np.full(self.n_envs, -1, dtype=int)
+        pos[indices] = np.arange(indices.size)
+        obs = self._last_obs
+        for group in self._groups:
+            sel = group.indices[member[group.indices]]
+            if sel.size == 0:
+                continue
+            p = pos[sel]
+            zc, h = group.n_zones, group.horizon
+            obs[sel, 0] = sin_h[p]
+            obs[sel, 1] = cos_h[p]
+            obs[sel, 2] = workday[p]
+            obs[sel, 3 : 3 + zc] = occupied[np.ix_(p, range(zc))]
+            obs[sel, 3 + zc : 3 + 2 * zc] = temps_scaled[np.ix_(p, range(zc))]
+            col = 3 + 2 * zc
+            obs[sel, col] = tout_scaled[p]
+            obs[sel, col + 1] = ghi_scaled[p]
+            obs[sel, col + 2] = price_scaled[p]
+            if h > 0:
+                obs[sel, col + 3 : col + 3 + h] = (
+                    f_temp[np.ix_(sel, range(h))] - _OUT_CENTER_C
+                ) / _OUT_SCALE_C
+                obs[sel, col + 3 + h : col + 3 + 2 * h] = (
+                    f_ghi[np.ix_(sel, range(h))] / _GHI_SCALE
+                )
+
+    # -------------------------------------------------------------- stepping
+    def _coerce_actions(self, actions) -> np.ndarray:
+        if isinstance(actions, (list, tuple)) and actions and np.ndim(actions[0]) > 0:
+            levels = np.zeros((self.n_envs, self.max_zones), dtype=int)
+            if len(actions) != self.n_envs:
+                raise ValueError(
+                    f"need {self.n_envs} per-env actions, got {len(actions)}"
+                )
+            for k, a in enumerate(actions):
+                a = np.asarray(a, dtype=int)
+                m = int(self.n_zones[k])
+                if a.shape != (m,):
+                    raise ValueError(
+                        f"env {k} expects {m} zone levels, got shape {a.shape}"
+                    )
+                levels[k, :m] = a
+        else:
+            levels = np.asarray(actions, dtype=int)
+            if levels.ndim == 1 and self.max_zones == 1:
+                levels = levels[:, None]
+            if levels.shape != (self.n_envs, self.max_zones):
+                raise ValueError(
+                    f"actions must have shape ({self.n_envs}, {self.max_zones}), "
+                    f"got {levels.shape}"
+                )
+            levels = np.where(self.zone_mask, levels, 0)
+        if np.any(levels < 0) or np.any(levels >= self._n_levels[:, None]):
+            raise ValueError("an action level is outside its env's valid range")
+        return levels
+
+    def step(self, actions) -> Tuple[np.ndarray, np.ndarray, np.ndarray, BatchStepInfo]:
+        """Apply per-env, per-zone airflow levels for one control step.
+
+        Returns ``(obs, rewards, dones, info)`` where ``obs`` is
+        ``(n_envs, max_obs_dim)`` (rows right-padded with zeros for
+        shorter layouts), ``rewards``/``dones`` are ``(n_envs,)``, and
+        ``info`` is a :class:`BatchStepInfo` of stacked diagnostics.
+        """
+        if self._needs_reset:
+            raise RuntimeError("call reset() before step()")
+        levels = self._coerce_actions(actions)
+        n = self.n_envs
+        rows = np.arange(n)
+        active = ~self._done
+        i = self._idx
+        temp_out = self._temp_out[rows, i]
+        ghi = self._ghi[rows, i]
+        price = self._price[rows, i]
+        occupied = self._occupied[rows, i]
+        gains = self._gains[rows, i]
+        day = self._day[rows, i]
+        hour = self._hour[rows, i]
+        dt = self.dt_seconds
+
+        # Plant response (mirrors VAVSystem.zone_heat_w / electric_power_w).
+        flows = self._flow_table[rows[:, None], levels]
+        hvac_heat = flows * AIR_CP_J_PER_KG_K * (self._supply_temp[:, None] - self._temps)
+        total_flow = flows.sum(axis=1)
+        frac = total_flow / self._plant_max_flow
+        fan_power = self._fan_scale * frac**3
+        safe_total = np.where(total_flow > 0.0, total_flow, 1.0)
+        return_temp = (flows * self._temps).sum(axis=1) / safe_total
+        mixed = (1.0 - self._oaf) * return_temp + self._oaf * temp_out
+        delta = np.maximum(mixed - self._supply_temp, 0.0)
+        coil_power = np.where(
+            total_flow > 0.0, total_flow * AIR_CP_J_PER_KG_K * delta / self._cop, 0.0
+        )
+        power_w = fan_power + coil_power
+        energy_kwh = power_w * dt / 3.6e6
+        cost_usd = energy_kwh * price
+
+        # Thermal advance (solar + internal + HVAC heat, zero-order held).
+        heat = self._aperture * ghi[:, None] + gains + hvac_heat
+        new_temps = self.batch_net.step(self._temps, temp_out, heat, dt)
+        new_temps = np.where(active[:, None], new_temps, self._temps)
+
+        # Comfort accounting on end-of-step temperatures.
+        low = np.where(occupied, self._occ_low, self._set_low)
+        high = np.where(occupied, self._occ_high, self._set_high)
+        violations = np.maximum(0.0, np.maximum(new_temps - high, low - new_temps))
+        violations = np.where(self.zone_mask, violations, 0.0)
+        violation_deg_hours = violations.sum(axis=1) * self._dt_hours
+
+        reward = (
+            -self._cost_weight * cost_usd
+            - self._comfort_weight * violation_deg_hours
+        )
+        cost_share = np.where(
+            total_flow[:, None] > 0.0,
+            flows / safe_total[:, None],
+            self.zone_mask / self.n_zones[:, None],
+        )
+        reward_per_zone = (
+            -self._cost_weight[:, None] * cost_usd[:, None] * cost_share
+            - self._comfort_weight[:, None] * violations * self._dt_hours
+        )
+
+        # Freeze finished envs (autoreset=False) and advance the rest.
+        reward = np.where(active, reward, 0.0)
+        self._temps = new_temps
+        self._idx = i + active.astype(int)
+        self._steps_taken += active.astype(int)
+        newly_done = active & (
+            (self._steps_taken >= self._episode_steps)
+            | (self._idx >= self._trace_len - 1)
+        )
+        self._assemble_obs(rows[active])
+
+        info = BatchStepInfo(
+            energy_kwh=np.where(active, energy_kwh, 0.0),
+            cost_usd=np.where(active, cost_usd, 0.0),
+            power_w=np.where(active, power_w, 0.0),
+            violation_deg_hours=np.where(active, violation_deg_hours, 0.0),
+            violation_per_zone_deg=violations * active[:, None],
+            reward_per_zone=reward_per_zone * active[:, None],
+            temps_c=new_temps.copy(),
+            temp_out_c=temp_out,
+            ghi_w_m2=ghi,
+            price_per_kwh=price,
+            levels=levels.copy(),
+            occupied=occupied & active[:, None],
+            day_of_year=day,
+            hour_of_day=hour,
+            active=active.copy(),
+        )
+
+        if self.autoreset:
+            if np.any(newly_done):
+                info.terminal_obs = self._last_obs.copy()
+                for k in rows[newly_done]:
+                    self._reset_env(k)
+                self._assemble_obs(rows[newly_done])
+        else:
+            self._done |= newly_done
+        dones = newly_done | (~active)
+        return self._last_obs.copy(), reward, dones, info
+
+    def close(self) -> None:
+        """Release resources (no-op; mirrors the scalar env surface)."""
+
+    def __len__(self) -> int:
+        return self.n_envs
+
+    def __repr__(self) -> str:
+        return (
+            f"VectorHVACEnv(n_envs={self.n_envs}, max_zones={self.max_zones}, "
+            f"autoreset={self.autoreset})"
+        )

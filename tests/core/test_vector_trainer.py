@@ -1,0 +1,126 @@
+"""Tests for training against the vectorized fleet."""
+
+import numpy as np
+import pytest
+
+from repro.building import single_zone_building
+from repro.core import DQNAgent, DQNConfig, Trainer, TrainerConfig, VectorTrainer
+from repro.env import HVACEnv, HVACEnvConfig
+from repro.sim import VectorHVACEnv
+
+
+def _make_env(weather, seed):
+    return HVACEnv(
+        single_zone_building(),
+        weather,
+        config=HVACEnvConfig(episode_days=1.0),
+        rng=seed,
+    )
+
+
+def _tiny_agent(env, rng=0):
+    return DQNAgent(
+        env.obs_dim,
+        env.action_space,
+        config=DQNConfig(
+            hidden=(8,), batch_size=8, learn_start=8, epsilon_decay_steps=200
+        ),
+        rng=rng,
+    )
+
+
+class TestVectorTrainer:
+    def test_collects_transitions_from_fleet(self, summer_weather):
+        n = 4
+        vec = VectorHVACEnv([_make_env(summer_weather, s) for s in range(n)])
+        agent = _tiny_agent(vec.envs[0])
+        log = VectorTrainer(
+            vec, agent, config=TrainerConfig(n_episodes=n)
+        ).train()
+        # One fleet pass: n episodes of 96 steps, every transition stored.
+        assert agent.total_steps == n * 96
+        assert len(log.series("episode_return")) == n
+        assert len(log.series("loss")) > 0
+
+    def test_counts_env_episodes_not_fleet_passes(self, summer_weather):
+        vec = VectorHVACEnv([_make_env(summer_weather, s) for s in range(3)])
+        agent = _tiny_agent(vec.envs[0])
+        log = VectorTrainer(
+            vec, agent, config=TrainerConfig(n_episodes=5)
+        ).train()
+        # 3 envs x 2 fleet passes = 6 completions, but logging stops at
+        # exactly the configured count (matching the scalar Trainer).
+        assert len(log.series("episode_return")) == 5
+
+    def test_rejects_truncating_step_cap(self, summer_weather):
+        vec = VectorHVACEnv([_make_env(summer_weather, 0)])
+        with pytest.raises(ValueError, match="max_steps_per_episode"):
+            VectorTrainer(
+                vec,
+                _tiny_agent(vec.envs[0]),
+                config=TrainerConfig(n_episodes=1, max_steps_per_episode=50),
+            )
+
+    def test_per_env_fallback_for_unbatched_agents(self, summer_weather):
+        from repro.baselines import RandomController
+
+        vec = VectorHVACEnv([_make_env(summer_weather, s) for s in range(2)])
+        agent = RandomController(vec.envs[0].action_space, rng=0)
+        log = VectorTrainer(
+            vec, agent, config=TrainerConfig(n_episodes=2)
+        ).train()
+        assert len(log.series("episode_return")) == 2
+
+    def test_rejects_eval_every(self, summer_weather):
+        vec = VectorHVACEnv([_make_env(summer_weather, 0)])
+        with pytest.raises(ValueError, match="eval_every"):
+            VectorTrainer(
+                vec,
+                _tiny_agent(vec.envs[0]),
+                config=TrainerConfig(n_episodes=2, eval_every=1),
+            )
+
+    def test_requires_autoreset(self, summer_weather):
+        vec = VectorHVACEnv([_make_env(summer_weather, 0)], autoreset=False)
+        with pytest.raises(ValueError, match="autoreset"):
+            VectorTrainer(vec, _tiny_agent(vec.envs[0]))
+
+    def test_requires_homogeneous_fleet(self, summer_weather):
+        from repro.building import four_zone_office
+
+        hetero = VectorHVACEnv(
+            [
+                _make_env(summer_weather, 0),
+                HVACEnv(
+                    four_zone_office(),
+                    summer_weather,
+                    config=HVACEnvConfig(episode_days=1.0),
+                    rng=1,
+                ),
+            ]
+        )
+        with pytest.raises(ValueError, match="homogeneous"):
+            VectorTrainer(hetero, _tiny_agent(hetero.envs[0]))
+
+    def test_learns_comparably_to_scalar_trainer(self, summer_weather):
+        """Fleet-collected training reaches returns in the same range as
+        the scalar loop given the same transition budget."""
+        n_episodes = 6
+        vec = VectorHVACEnv([_make_env(summer_weather, s) for s in range(2)])
+        vec_agent = _tiny_agent(vec.envs[0])
+        vec_log = VectorTrainer(
+            vec, vec_agent, config=TrainerConfig(n_episodes=n_episodes)
+        ).train()
+
+        scalar_env = _make_env(summer_weather, 0)
+        scalar_agent = _tiny_agent(scalar_env)
+        scalar_log = Trainer(
+            scalar_env, scalar_agent, config=TrainerConfig(n_episodes=n_episodes)
+        ).train()
+
+        vec_returns = vec_log.series("episode_return")
+        scalar_returns = scalar_log.series("episode_return")
+        assert len(vec_returns) == len(scalar_returns)
+        # Both should produce finite, same-order-of-magnitude returns.
+        assert np.isfinite(vec_returns).all()
+        assert abs(np.mean(vec_returns) - np.mean(scalar_returns)) < 50.0

@@ -36,6 +36,20 @@ class TestMultiDiscrete:
     def test_n_joint(self):
         assert MultiDiscrete([4, 4, 4]).n_joint == 64
 
+    def test_unflatten_batch_matches_scalar(self):
+        m = MultiDiscrete([4, 3, 2])
+        indices = np.arange(m.n_joint)
+        batch = m.unflatten_batch(indices)
+        for idx in indices:
+            np.testing.assert_array_equal(batch[idx], m.unflatten(int(idx)))
+
+    def test_unflatten_batch_rejects_out_of_range(self):
+        m = MultiDiscrete([4, 4])
+        with pytest.raises(ValueError):
+            m.unflatten_batch([0, 16])
+        with pytest.raises(ValueError):
+            m.unflatten_batch([[0, 1]])
+
     def test_contains(self):
         m = MultiDiscrete([3, 4])
         assert m.contains([2, 3])

@@ -51,3 +51,31 @@ class TestEvaluateController:
         agent = ThermostatController(single_zone_env)
         with pytest.raises(ValueError):
             evaluate_controller(single_zone_env, agent, n_episodes=0)
+
+    def test_preserves_per_episode_spread(self, single_zone_env):
+        agent = ThermostatController(single_zone_env)
+        summary = evaluate_controller(single_zone_env, agent, n_episodes=3)
+        assert summary.n_episodes == 3
+        assert len(summary.episodes) == 3
+        # The mean fields stay backward-compatible with the episode list.
+        returns = [m.episode_return for m in summary.episodes]
+        assert summary.episode_return == pytest.approx(sum(returns) / 3)
+        assert summary.cost_usd_std >= 0.0
+        assert summary.std("energy_kwh") >= 0.0
+
+    def test_steps_rounds_instead_of_flooring(self):
+        from repro.eval import EpisodeMetrics, summarize_episodes
+
+        # Unequal lengths averaging to 95.67: floor would report 95.
+        episodes = [
+            EpisodeMetrics(steps=96),
+            EpisodeMetrics(steps=96),
+            EpisodeMetrics(steps=95),
+        ]
+        assert summarize_episodes(episodes).steps == 96
+
+    def test_single_episode_std_is_zero(self, single_zone_env):
+        agent = ThermostatController(single_zone_env)
+        summary = evaluate_controller(single_zone_env, agent, n_episodes=1)
+        assert summary.episode_return_std == 0.0
+        assert summary.violation_deg_hours_std == 0.0

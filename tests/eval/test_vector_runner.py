@@ -1,0 +1,116 @@
+"""Tests for the batched episode runner."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ThermostatController
+from repro.building import single_zone_building
+from repro.core import DQNAgent, DQNConfig
+from repro.env import HVACEnv, HVACEnvConfig
+from repro.eval import PerEnvPolicy, VectorRunner, run_episode
+from repro.sim import VectorHVACEnv
+
+
+def _make_env(weather, seed):
+    return HVACEnv(
+        single_zone_building(),
+        weather,
+        config=HVACEnvConfig(episode_days=1.0),
+        rng=seed,
+    )
+
+
+def _thermostat_policy(vec_env):
+    agents = [
+        ThermostatController(vec_env.env_view(k)) for k in range(vec_env.n_envs)
+    ]
+    return PerEnvPolicy(agents, vec_env.obs_dims)
+
+
+class TestVectorRunner:
+    def test_matches_scalar_run_episode(self, summer_weather):
+        n = 3
+        vec = VectorHVACEnv(
+            [_make_env(summer_weather, s) for s in range(n)], autoreset=False
+        )
+        runner = VectorRunner(vec, _thermostat_policy(vec))
+        batched = runner.run()
+
+        for k in range(n):
+            env = _make_env(summer_weather, k)
+            scalar, _ = run_episode(env, ThermostatController(env))
+            assert batched[k].steps == scalar.steps
+            assert batched[k].episode_return == pytest.approx(
+                scalar.episode_return, abs=1e-9
+            )
+            assert batched[k].cost_usd == pytest.approx(scalar.cost_usd, abs=1e-9)
+            assert batched[k].occupied_steps == scalar.occupied_steps
+            assert (
+                batched[k].occupied_violation_steps == scalar.occupied_violation_steps
+            )
+
+    def test_batched_dqn_policy(self, summer_weather):
+        """A DQN's select_actions drives the whole fleet in one forward."""
+        n = 4
+        vec = VectorHVACEnv(
+            [_make_env(summer_weather, s) for s in range(n)], autoreset=False
+        )
+        agent = DQNAgent(
+            vec.envs[0].obs_dim,
+            vec.single_action_space,
+            config=DQNConfig(hidden=(8,), batch_size=8, learn_start=8),
+            rng=0,
+        )
+        metrics = VectorRunner(vec, agent).run()
+        assert len(metrics) == n
+        assert all(m.steps == 96 for m in metrics)
+
+    def test_evaluate_summarizes_per_env(self, summer_weather):
+        vec = VectorHVACEnv(
+            [_make_env(summer_weather, s) for s in range(2)], autoreset=False
+        )
+        runner = VectorRunner(vec, _thermostat_policy(vec))
+        summaries = runner.evaluate(n_episodes=2)
+        assert len(summaries) == 2
+        assert all(s.n_episodes == 2 for s in summaries)
+        assert all(s.steps == 96 for s in summaries)
+
+    def test_requires_autoreset_off(self, summer_weather):
+        vec = VectorHVACEnv([_make_env(summer_weather, 0)], autoreset=True)
+        with pytest.raises(ValueError, match="autoreset"):
+            VectorRunner(vec, None)
+
+    def test_uneven_episode_lengths(self, summer_weather):
+        short = HVACEnv(
+            single_zone_building(),
+            summer_weather,
+            config=HVACEnvConfig(episode_days=0.5),
+            rng=0,
+        )
+        vec = VectorHVACEnv(
+            [short, _make_env(summer_weather, 1)], autoreset=False
+        )
+        metrics = VectorRunner(vec, _thermostat_policy(vec)).run()
+        assert metrics[0].steps == 48
+        assert metrics[1].steps == 96
+
+
+class TestPerEnvPolicy:
+    def test_trims_padded_observations(self, summer_weather):
+        vec = VectorHVACEnv([_make_env(summer_weather, 0)], autoreset=False)
+
+        seen = []
+
+        class Probe:
+            def select_action(self, obs, *, explore=False):
+                seen.append(obs.shape)
+                return np.array([0])
+
+        policy = PerEnvPolicy([Probe()], vec.obs_dims)
+        obs = vec.reset()
+        policy.select_actions(obs)
+        assert seen == [(vec.envs[0].obs_dim,)]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            PerEnvPolicy([object()], [10, 11])

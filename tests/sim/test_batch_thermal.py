@@ -1,0 +1,70 @@
+"""Tests for the batched RC network."""
+
+import numpy as np
+import pytest
+
+from repro.building.thermal import RCNetwork
+from repro.sim import BatchRCNetwork
+
+
+def _random_network(rng, n_zones):
+    cap = rng.uniform(1e6, 5e6, size=n_zones)
+    ua = rng.uniform(50.0, 200.0, size=n_zones)
+    inter = np.zeros((n_zones, n_zones))
+    for i in range(n_zones):
+        for j in range(i + 1, n_zones):
+            inter[i, j] = inter[j, i] = rng.uniform(0.0, 80.0)
+    return RCNetwork(capacitance=cap, ua_ambient=ua, ua_interzone=inter)
+
+
+class TestBatchRCNetwork:
+    def test_matches_scalar_step(self, rng):
+        nets = [_random_network(rng, z) for z in (1, 2, 4, 4)]
+        batch = BatchRCNetwork(nets)
+        temps = np.zeros((4, 4))
+        heat = np.zeros((4, 4))
+        temp_out = np.array([30.0, 25.0, 35.0, 28.0])
+        for k, net in enumerate(nets):
+            temps[k, : net.n_zones] = rng.uniform(20.0, 26.0, size=net.n_zones)
+            heat[k, : net.n_zones] = rng.uniform(-2000.0, 2000.0, size=net.n_zones)
+        out = batch.step(temps, temp_out, heat, 900.0)
+        for k, net in enumerate(nets):
+            m = net.n_zones
+            expected = net.step(temps[k, :m], temp_out[k], heat[k, :m], 900.0)
+            np.testing.assert_allclose(out[k, :m], expected, atol=1e-10)
+            # Padded zones stay identically zero.
+            assert np.all(out[k, m:] == 0.0)
+
+    def test_masks_and_shapes(self, rng):
+        nets = [_random_network(rng, z) for z in (1, 3)]
+        batch = BatchRCNetwork(nets)
+        assert batch.n_envs == 2
+        assert batch.max_zones == 3
+        assert batch.zone_mask.tolist() == [[True, False, False], [True, True, True]]
+
+    def test_propagator_cache_reused(self, rng):
+        batch = BatchRCNetwork([_random_network(rng, 2)])
+        first = batch._propagators(900.0)
+        assert batch._propagators(900.0) is first
+        assert batch._propagators(450.0) is not first
+
+    def test_rejects_singular_network(self):
+        # A zone fully isolated from ambient makes M singular.
+        isolated = RCNetwork(
+            capacitance=np.array([1e6]),
+            ua_ambient=np.array([0.0]),
+            ua_interzone=np.zeros((1, 1)),
+        )
+        with pytest.raises(ValueError, match="singular"):
+            BatchRCNetwork([isolated])
+
+    def test_rejects_bad_shapes(self, rng):
+        batch = BatchRCNetwork([_random_network(rng, 2)])
+        with pytest.raises(ValueError):
+            batch.step(np.zeros((1, 3)), np.zeros(1), np.zeros((1, 2)), 900.0)
+        with pytest.raises(ValueError):
+            batch.step(np.zeros((1, 2)), np.zeros(2), np.zeros((1, 2)), 900.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            BatchRCNetwork([])

@@ -1,0 +1,197 @@
+"""Scalar-vs-vector parity and vector-env semantics.
+
+The load-bearing guarantee: a fleet of N identical configs under the
+same seeds reproduces N independent scalar envs' trajectories to
+``atol <= 1e-10`` — observations, rewards, dones, temperatures, and
+info diagnostics alike.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ThermostatController
+from repro.building import four_zone_office, single_zone_building
+from repro.env import HVACEnv, HVACEnvConfig
+from repro.sim import VectorHVACEnv
+
+ATOL = 1e-10
+
+
+def _make_env(weather, seed, builder=single_zone_building, **cfg):
+    cfg.setdefault("episode_days", 1.0)
+    return HVACEnv(builder(), weather, config=HVACEnvConfig(**cfg), rng=seed)
+
+
+def _run_parity(vec, scalars, n_steps, action_rng):
+    obs_v = vec.reset()
+    obs_s = np.stack([env.reset() for env in scalars])
+    np.testing.assert_allclose(obs_v, obs_s, atol=ATOL)
+    for _ in range(n_steps):
+        actions = np.stack([env.action_space.sample(action_rng) for env in scalars])
+        obs_v, rew_v, done_v, info = vec.step(actions)
+        for k, env in enumerate(scalars):
+            obs_k, rew_k, done_k, info_k = env.step(actions[k])
+            np.testing.assert_allclose(obs_v[k], obs_k, atol=ATOL)
+            assert rew_v[k] == pytest.approx(rew_k, abs=ATOL)
+            assert bool(done_v[k]) == done_k
+            vec_info = info.per_env(k, env.building.n_zones)
+            for field in ("cost_usd", "energy_kwh", "violation_deg_hours", "power_w"):
+                assert vec_info[field] == pytest.approx(info_k[field], abs=ATOL)
+            np.testing.assert_allclose(
+                vec_info["temps_c"], info_k["temps_c"], atol=ATOL
+            )
+            np.testing.assert_allclose(
+                vec_info["reward_per_zone"], info_k["reward_per_zone"], atol=ATOL
+            )
+            np.testing.assert_array_equal(vec_info["occupied"], info_k["occupied"])
+            assert vec_info["day_of_year"] == info_k["day_of_year"]
+            assert vec_info["hour_of_day"] == pytest.approx(info_k["hour_of_day"])
+
+
+class TestScalarVectorParity:
+    def test_single_zone_full_episode(self, summer_weather):
+        n = 4
+        vec = VectorHVACEnv(
+            [_make_env(summer_weather, s) for s in range(n)], autoreset=False
+        )
+        scalars = [_make_env(summer_weather, s) for s in range(n)]
+        _run_parity(vec, scalars, 96, np.random.default_rng(7))
+
+    def test_four_zone_full_episode(self, summer_weather):
+        n = 3
+        vec = VectorHVACEnv(
+            [_make_env(summer_weather, s, four_zone_office) for s in range(n)],
+            autoreset=False,
+        )
+        scalars = [_make_env(summer_weather, s, four_zone_office) for s in range(n)]
+        _run_parity(vec, scalars, 96, np.random.default_rng(11))
+
+    def test_parity_without_forecast(self, summer_weather):
+        vec = VectorHVACEnv(
+            [_make_env(summer_weather, s, forecast_horizon=0) for s in range(2)],
+            autoreset=False,
+        )
+        scalars = [_make_env(summer_weather, s, forecast_horizon=0) for s in range(2)]
+        _run_parity(vec, scalars, 30, np.random.default_rng(3))
+
+    def test_parity_with_randomized_start(self, week_weather):
+        n = 3
+        vec = VectorHVACEnv(
+            [_make_env(week_weather, s, randomize_start_day=True) for s in range(n)],
+            autoreset=False,
+        )
+        scalars = [
+            _make_env(week_weather, s, randomize_start_day=True) for s in range(n)
+        ]
+        _run_parity(vec, scalars, 40, np.random.default_rng(5))
+
+    def test_autoreset_matches_scalar_reset_cycle(self, summer_weather):
+        """Across an episode boundary, autoreset rows equal a scalar
+        reset's first observation (same RNG consumption)."""
+        vec = VectorHVACEnv([_make_env(summer_weather, 0)], autoreset=True)
+        scalar = _make_env(summer_weather, 0)
+        obs_v = vec.reset()
+        obs_s = scalar.reset()
+        action = np.ones((1, 1), dtype=int)
+        for _ in range(96):
+            obs_v, _, done_v, info = vec.step(action)
+            obs_s, _, done_s, _ = scalar.step(action[0])
+            if done_s:
+                np.testing.assert_allclose(info.terminal_obs[0], obs_s, atol=ATOL)
+                obs_s = scalar.reset()
+            np.testing.assert_allclose(obs_v[0], obs_s, atol=ATOL)
+        assert bool(done_v[0]) or vec.time_indices[0] > 0
+
+
+class TestVectorEnvSemantics:
+    def test_heterogeneous_fleet_padding(self, summer_weather):
+        envs = [
+            _make_env(summer_weather, 0),
+            _make_env(summer_weather, 1, four_zone_office),
+        ]
+        vec = VectorHVACEnv(envs, autoreset=False)
+        assert vec.max_zones == 4
+        assert not vec.homogeneous
+        assert vec.obs_dims.tolist() == [envs[0].obs_dim, envs[1].obs_dim]
+        obs = vec.reset()
+        assert obs.shape == (2, envs[1].obs_dim)
+        # The single-zone row is right-padded with zeros.
+        assert np.all(obs[0, envs[0].obs_dim :] == 0.0)
+        actions = [np.array([1]), np.array([1, 0, 2, 1])]
+        obs, rewards, dones, info = vec.step(actions)
+        assert rewards.shape == (2,)
+        # Padded zones never report violations or occupancy.
+        assert np.all(info.violation_per_zone_deg[0, 1:] == 0.0)
+        assert not np.any(info.occupied[0, 1:])
+
+    def test_single_space_accessors_require_homogeneity(self, summer_weather):
+        hetero = VectorHVACEnv(
+            [
+                _make_env(summer_weather, 0),
+                _make_env(summer_weather, 1, four_zone_office),
+            ]
+        )
+        with pytest.raises(ValueError):
+            hetero.single_action_space
+        homo = VectorHVACEnv([_make_env(summer_weather, s) for s in range(2)])
+        assert homo.homogeneous
+        assert homo.single_action_space == homo.envs[0].action_space
+
+    def test_frozen_envs_without_autoreset(self, summer_weather):
+        # One env's episode is half the other's: it must freeze when done.
+        short = _make_env(summer_weather, 0, episode_days=0.5)
+        long = _make_env(summer_weather, 1)
+        vec = VectorHVACEnv([short, long], autoreset=False)
+        vec.reset()
+        action = np.ones((2, 1), dtype=int)
+        rewards_after_done = []
+        for t in range(96):
+            _, rewards, dones, info = vec.step(action)
+            if t >= 48:
+                assert dones[0]
+                rewards_after_done.append(rewards[0])
+                assert not info.active[0]
+        assert np.all(np.asarray(rewards_after_done) == 0.0)
+        assert vec.dones.tolist() == [True, True]
+
+    def test_step_before_reset_raises(self, summer_weather):
+        vec = VectorHVACEnv([_make_env(summer_weather, 0)])
+        with pytest.raises(RuntimeError):
+            vec.step(np.ones((1, 1), dtype=int))
+
+    def test_rejects_invalid_actions(self, summer_weather):
+        vec = VectorHVACEnv([_make_env(summer_weather, 0)])
+        vec.reset()
+        with pytest.raises(ValueError):
+            vec.step(np.full((1, 1), 99, dtype=int))
+        with pytest.raises(ValueError):
+            vec.step(np.ones((3, 1), dtype=int))
+
+    def test_rejects_mixed_dt(self, summer_weather):
+        from repro.weather import SyntheticWeatherConfig, generate_weather
+
+        coarse = generate_weather(
+            SyntheticWeatherConfig(),
+            start_day_of_year=213,
+            n_days=3,
+            dt_seconds=1800.0,
+            rng=0,
+        )
+        with pytest.raises(ValueError, match="dt_seconds"):
+            VectorHVACEnv(
+                [_make_env(summer_weather, 0), _make_env(coarse, 1)]
+            )
+
+    def test_env_view_serves_thermostat(self, summer_weather):
+        """A thermostat bound to an env_view tracks the batch state."""
+        vec = VectorHVACEnv([_make_env(summer_weather, s) for s in range(2)])
+        scalar = _make_env(summer_weather, 0)
+        view = vec.env_view(0)
+        vec.reset()
+        scalar.reset()
+        assert view.zone_temps_c == pytest.approx(scalar.zone_temps_c, abs=ATOL)
+        thermostat = ThermostatController(view)
+        action = thermostat.select_action(None)
+        assert action.shape == (1,)
+        vec.step(np.stack([action, action]))
+        assert view.time_index == 1

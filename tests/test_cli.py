@@ -67,6 +67,46 @@ class TestExperimentCommand:
             main(["experiment", "e99"])
 
 
+class TestCampaignCommand:
+    def test_list_scenarios(self, capsys):
+        code = main(["campaign", "--list-scenarios"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "heat-wave" in out and "mild-winter" in out
+
+    def test_runs_named_scenarios_and_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "campaign.json"
+        code = main(
+            [
+                "campaign",
+                "--scenarios",
+                "heat-wave,flat-tariff",
+                "--controllers",
+                "thermostat",
+                "--seeds",
+                "2",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "heat-wave" in printed and "flat-tariff" in printed
+        rows = json.loads(out.read_text())
+        assert len(rows) == 2
+        assert rows[0]["n_seeds"] == 2
+
+    def test_unknown_scenario_exits_with_message(self, capsys):
+        code = main(["campaign", "--scenarios", "no-such-scenario"])
+        assert code == 2
+        assert "no-such-scenario" in capsys.readouterr().err
+
+    def test_unknown_controller_exits_with_message(self, capsys):
+        code = main(["campaign", "--controllers", "quantum"])
+        assert code == 2
+        assert "quantum" in capsys.readouterr().err
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -1,10 +1,24 @@
-"""Setuptools shim for offline editable installs.
+"""Setuptools metadata for source and editable installs.
 
-The execution environment has no ``wheel`` package, so PEP 517 editable
-installs fail; this file enables the legacy ``pip install -e . --no-use-pep517``
-path.  All metadata lives in pyproject.toml.
+The execution environment is fully offline and has no ``wheel``/PEP 517
+toolchain, so all metadata lives here (no pyproject.toml) and the legacy
+``setup.py``-driven paths — ``pip install -e .`` where supported, or
+plain ``PYTHONPATH=src`` — are the supported ways to use the library.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-hvac",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Deep Reinforcement Learning for Building HVAC "
+        "Control' (DAC 2017): simulator, DQN stack, fleet engine, "
+        "experiment store"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy"],
+    entry_points={"console_scripts": ["repro-hvac=repro.cli:main"]},
+)

@@ -15,6 +15,8 @@ depends on, all implemented from scratch:
 * :mod:`repro.sim` — vectorized fleet simulation: batched RC dynamics,
   :class:`~repro.sim.VectorHVACEnv`, scenario registry, campaign runner.
 * :mod:`repro.eval` — metrics, runners, comparison tables, reporting.
+* :mod:`repro.store` — durable run directories: checkpoints, resumable
+  campaign artifacts, provenance manifests, Markdown run reports.
 * :mod:`repro.nn` — the NumPy deep-learning substrate.
 
 Quickstart::
@@ -43,6 +45,7 @@ __all__ = [
     "hvac",
     "nn",
     "sim",
+    "store",
     "utils",
     "weather",
 ]

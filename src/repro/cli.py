@@ -2,16 +2,21 @@
 
 Exposes the library's main workflows without writing Python:
 
-* ``repro-hvac train``      — train a DQN and save its checkpoint.
+* ``repro-hvac train``      — train a DQN and save its checkpoint; with
+  ``--store RUN_DIR`` the full trainer state (agent, replay buffer, RNG
+  streams, log) is persisted so an interrupted run resumes exactly.
 * ``repro-hvac evaluate``   — evaluate a checkpoint (or a baseline) on
   held-out weather and print the comparison row.
-* ``repro-hvac experiment`` — run one of the paper experiments E1–E10
+* ``repro-hvac experiment`` — run one of the paper experiments E1–E11
   and print its rendered table/series.
 * ``repro-hvac weather``    — generate a synthetic weather CSV.
 * ``repro-hvac campaign``   — sweep registered scenarios × controllers ×
   seeds through the vectorized fleet simulator and print the campaign
   table (``--list-scenarios`` shows the registry; ``--executor process``
-  fans the cells out over a process pool; ``--out`` writes JSON rows).
+  fans the cells out over a process pool; ``--out`` writes JSON rows;
+  ``--resume RUN_DIR`` makes the sweep durable and restartable).
+* ``repro-hvac report``     — render a Markdown report (summary tables,
+  provenance, timing) from a campaign run directory.
 
 Usage::
 
@@ -20,7 +25,8 @@ Usage::
     python -m repro.cli evaluate --checkpoint agent.json
     python -m repro.cli weather --days 30 --out weather.csv
     python -m repro.cli campaign --scenarios heat-wave,mild-winter \
-        --controllers thermostat,pid --seeds 3 --out campaign.json
+        --controllers thermostat,pid --seeds 3 --resume runs/sweep1
+    python -m repro.cli report runs/sweep1
 """
 
 from __future__ import annotations
@@ -36,7 +42,7 @@ from repro.core import DQNAgent, DQNConfig, Trainer, TrainerConfig
 from repro.env import HVACEnv, HVACEnvConfig
 from repro.eval import ComparisonRow, ComparisonTable, evaluate_controller
 from repro.eval import experiments as exp
-from repro.nn.serialization import load_state_dict, state_dict
+from repro.nn.serialization import load_state_dict
 from repro.weather import SyntheticWeatherConfig, generate_weather, weather_to_csv
 
 _EXPERIMENTS = {
@@ -50,6 +56,7 @@ _EXPERIMENTS = {
     "e8": exp.e8_dqn_ablation,
     "e9": exp.e9_pricing,
     "e10": exp.e10_extensions_and_mpc,
+    "e11": exp.e11_heat_wave_robustness,
 }
 
 _PROFILES = {"tiny": exp.TINY, "fast": exp.FAST, "full": exp.FULL}
@@ -62,13 +69,57 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    train = sub.add_parser("train", help="train a single-zone DQN controller")
+    train = sub.add_parser(
+        "train",
+        help="train a single-zone DQN controller",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "By default nothing is written: pass --out agent.json for an\n"
+            "inference checkpoint (load with `evaluate --checkpoint`), or\n"
+            "--store RUN_DIR for a durable run directory holding the full\n"
+            "trainer state (agent + replay buffer + RNG streams + log),\n"
+            "checkpointed every --checkpoint-every episodes.  Rerunning\n"
+            "with the same --store resumes the stored run from its last\n"
+            "checkpoint; inspect artifacts with `repro-hvac report`\n"
+            "(campaign runs) or plain cat."
+        ),
+    )
     train.add_argument("--episodes", type=int, default=120)
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--comfort-weight", type=float, default=4.0)
     train.add_argument("--out", type=str, default=None, help="checkpoint JSON path")
+    train.add_argument(
+        "--store",
+        type=str,
+        default=None,
+        metavar="RUN_DIR",
+        help=(
+            "durable run directory: saves the full trainer checkpoint and "
+            "training log; reruns resume from it"
+        ),
+    )
+    train.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=25,
+        metavar="N",
+        help=(
+            "with --store, persist the trainer checkpoint every N episodes "
+            "(a killed run loses at most N episodes of work)"
+        ),
+    )
 
-    evaluate = sub.add_parser("evaluate", help="evaluate a controller")
+    evaluate = sub.add_parser(
+        "evaluate",
+        help="evaluate a controller",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "Prints the comparison row to stdout (no files are written).\n"
+            "--checkpoint accepts both checkpoint formats `train` emits:\n"
+            "the full agent state dict (train --out) and the legacy\n"
+            "weights-only payload from earlier releases."
+        ),
+    )
     evaluate.add_argument("--checkpoint", type=str, default=None)
     evaluate.add_argument(
         "--baseline",
@@ -93,7 +144,17 @@ def _build_parser() -> argparse.ArgumentParser:
     weather.add_argument("--out", type=str, required=True)
 
     campaign = sub.add_parser(
-        "campaign", help="run a scenario x controller x seed campaign"
+        "campaign",
+        help="run a scenario x controller x seed campaign",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "By default results are only printed; --out campaign.json\n"
+            "writes the rows as JSON.  With --resume RUN_DIR every cell is\n"
+            "persisted to the run directory as it completes (created on\n"
+            "first use), and rerunning executes only the cells that are\n"
+            "not stored yet — a killed sweep restarts where it died.\n"
+            "Render the stored results with `repro-hvac report RUN_DIR`."
+        ),
     )
     campaign.add_argument(
         "--scenarios",
@@ -115,9 +176,37 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--workers", type=int, default=None)
     campaign.add_argument("--out", type=str, default=None, help="JSON output path")
     campaign.add_argument(
+        "--resume",
+        type=str,
+        default=None,
+        metavar="RUN_DIR",
+        help=(
+            "durable run directory (created if missing); completed cells "
+            "are stored there and skipped on rerun"
+        ),
+    )
+    campaign.add_argument(
         "--list-scenarios",
         action="store_true",
         help="list registered scenarios and exit",
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="render a Markdown report from a run directory",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "Reads a campaign run directory produced by\n"
+            "`repro-hvac campaign --resume RUN_DIR` and prints a Markdown\n"
+            "report: provenance (git SHA, command, config), one summary\n"
+            "row per (scenario, controller) with mean±std cost and\n"
+            "comfort violations, and per-cell timing.  --out FILE writes\n"
+            "the report to a file instead of stdout."
+        ),
+    )
+    report.add_argument("run_dir", type=str, help="campaign run directory")
+    report.add_argument(
+        "--out", type=str, default=None, help="write the report to this file"
     )
     return parser
 
@@ -154,6 +243,41 @@ def _make_envs(seed: int, comfort_weight: float, eval_days: int):
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
+    store = None
+    resuming = False
+    config = {
+        "episodes": args.episodes,
+        "seed": args.seed,
+        "comfort_weight": args.comfort_weight,
+    }
+    if args.store:
+        from repro.store import ExperimentStore
+
+        store = ExperimentStore.open_or_create(
+            args.store, kind="train", config=config, command=args.argv
+        )
+        if store.has_checkpoint("trainer"):
+            resuming = True
+            stored = store.manifest.config
+            # The env (weather traces, reward weights) must be rebuilt
+            # identically or the restored RNG/episode state is garbage.
+            for key, value in (
+                ("seed", args.seed),
+                ("comfort_weight", args.comfort_weight),
+            ):
+                if key in stored and stored[key] != value:
+                    print(
+                        f"train: --store {args.store} was created with "
+                        f"{key}={stored[key]}, but this run requests "
+                        f"{key}={value}; use a fresh run directory",
+                        file=sys.stderr,
+                    )
+                    return 2
+        elif store.manifest.config != config:
+            # A reused directory whose first attempt died before saving a
+            # checkpoint: record *this* invocation so future resumes
+            # validate against the run that actually produced artifacts.
+            store.update_config(config)
     train_env, eval_env = _make_envs(args.seed, args.comfort_weight, eval_days=7)
     agent = DQNAgent(
         train_env.obs_dim,
@@ -161,44 +285,75 @@ def _cmd_train(args: argparse.Namespace) -> int:
         config=DQNConfig(epsilon_decay_steps=50 * args.episodes, learn_start=200),
         rng=args.seed,
     )
-    log = Trainer(
+    trainer = Trainer(
         train_env, agent, config=TrainerConfig(n_episodes=args.episodes)
-    ).train()
+    )
+    if resuming:
+        # load_state_dict restores the stored run's exploration schedule
+        # and counters, overriding the config built above — resuming
+        # continues that run rather than starting a different one.
+        trainer.load_state_dict(store.load_checkpoint("trainer"))
+        print(
+            f"resuming from {args.store} at episode "
+            f"{trainer.episodes_completed} (hyperparameters pinned to the "
+            f"stored run)"
+        )
+    if store is None:
+        log = trainer.train()
+    else:
+        # Checkpoint between chunks so a killed run loses at most
+        # --checkpoint-every episodes of work.
+        chunk = max(int(args.checkpoint_every), 1)
+        while trainer.episodes_completed < args.episodes:
+            trainer.train(until=trainer.episodes_completed + chunk)
+            store.save_checkpoint("trainer", trainer.state_dict())
+        log = trainer.logger
     returns = log.series("episode_return")
-    print(f"trained {args.episodes} episodes; final return {returns[-1]:.2f}")
+    print(
+        f"trained {trainer.episodes_completed} episodes; "
+        f"final return {returns[-1]:.2f}"
+    )
     metrics = evaluate_controller(eval_env, agent)
     print(
         f"eval: cost=${metrics.cost_usd:.2f} "
         f"violations={metrics.violation_deg_hours:.2f} deg-h "
         f"rate={metrics.violation_rate:.3f}"
     )
+    if store is not None:
+        store.put_artifact("training_log", log.state_dict())
+        print(f"trainer checkpoint stored in {args.store}")
     if args.out:
-        payload = {
-            "obs_dim": train_env.obs_dim,
-            "nvec": train_env.action_space.nvec.tolist(),
-            "hidden": list(agent.config.hidden),
-            "state": state_dict(agent.online),
-        }
         with open(args.out, "w") as fh:
-            json.dump(payload, fh)
+            json.dump(agent.state_dict(include_buffer=False), fh)
         print(f"checkpoint written to {args.out}")
     return 0
 
 
 def _load_agent(path: str) -> DQNAgent:
-    from repro.env.spaces import MultiDiscrete
-
     with open(path) as fh:
         payload = json.load(fh)
-    agent = DQNAgent(
-        payload["obs_dim"],
-        MultiDiscrete(payload["nvec"]),
-        config=DQNConfig(hidden=tuple(payload["hidden"])),
-        rng=0,
-    )
-    load_state_dict(agent.online, payload["state"])
-    agent.target.copy_weights_from(agent.online)
-    return agent
+    if payload.get("kind") in ("trainer", "vector_trainer") and isinstance(
+        payload.get("agent"), dict
+    ):
+        # A full trainer checkpoint (train --store): the agent state is
+        # nested inside it.
+        payload = payload["agent"]
+    if payload.get("kind") == "dqn":
+        return DQNAgent.from_state_dict(payload)
+    if {"obs_dim", "nvec", "hidden", "state"} <= payload.keys():
+        # Legacy weights-only checkpoint from pre-store releases.
+        from repro.env.spaces import MultiDiscrete
+
+        agent = DQNAgent(
+            payload["obs_dim"],
+            MultiDiscrete(payload["nvec"]),
+            config=DQNConfig(hidden=tuple(payload["hidden"])),
+            rng=0,
+        )
+        load_state_dict(agent.online, payload["state"])
+        agent.target.copy_weights_from(agent.online)
+        return agent
+    raise ValueError(f"unrecognized checkpoint format in {path}")
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
@@ -209,7 +364,11 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     _, eval_env = _make_envs(args.seed, args.comfort_weight, eval_days=args.days)
     if args.checkpoint:
         name = "drl_dqn"
-        controller = _load_agent(args.checkpoint)
+        try:
+            controller = _load_agent(args.checkpoint)
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+            print(f"evaluate: cannot load {args.checkpoint}: {exc}", file=sys.stderr)
+            return 2
     elif args.baseline == "thermostat":
         name = "thermostat"
         controller = ThermostatController(eval_env)
@@ -270,23 +429,75 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         message = exc.args[0] if exc.args else exc
         print(f"campaign: {message}", file=sys.stderr)
         return 2
-    result = run_campaign(spec, executor=args.executor, max_workers=args.workers)
+    store = None
+    if args.resume:
+        from repro.store import ExperimentStore
+
+        store = ExperimentStore.open_or_create(
+            args.resume, kind="campaign", config=spec.as_config(), command=args.argv
+        )
+        # Cells are keyed by (scenario, controller) only, so a stored
+        # cell is only a valid answer when seeds/episodes match the
+        # stored run; widening scenarios/controllers is the intended
+        # resume path, changing the per-cell workload is not.
+        stored_config = store.manifest.config
+        current_config = spec.as_config()
+        for key in ("seeds", "n_episodes"):
+            if key in stored_config and stored_config[key] != current_config[key]:
+                print(
+                    f"campaign: --resume {args.resume} was created with "
+                    f"{key}={stored_config[key]}, but this run requests "
+                    f"{key}={current_config[key]}; use a fresh run directory",
+                    file=sys.stderr,
+                )
+                return 2
+        planned = {(s, c) for s in scenario_names for c in controllers}
+        reused = len(store.completed_cells() & planned)
+        if reused:
+            print(f"resuming {args.resume}: {reused} of {len(planned)} cells stored")
+    result = run_campaign(
+        spec, executor=args.executor, max_workers=args.workers, store=store
+    )
     print(result.render())
+    if store is not None:
+        print(f"campaign artifacts stored in {args.resume}")
     if args.out:
         result.save(args.out)
         print(f"campaign rows written to {args.out}")
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.store import ExperimentStore, render_campaign_report
+
+    try:
+        store = ExperimentStore.open(args.run_dir)
+        text = render_campaign_report(store)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"report: {exc}", file=sys.stderr)
+        return 2
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    # The invocation as given (run-manifest provenance) — argv when
+    # called programmatically, the process command line otherwise.
+    args.argv = ["repro-hvac"] + list(argv) if argv is not None else sys.argv
     handlers = {
         "train": _cmd_train,
         "evaluate": _cmd_evaluate,
         "experiment": _cmd_experiment,
         "weather": _cmd_weather,
         "campaign": _cmd_campaign,
+        "report": _cmd_report,
     }
     return handlers[args.command](args)
 

@@ -14,7 +14,7 @@ paper's scaling heuristic is implemented separately in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass
 from typing import Optional, Tuple
 
 import numpy as np
@@ -23,9 +23,15 @@ from repro import nn
 from repro.core.agent import AgentBase
 from repro.core.prioritized_replay import PrioritizedReplayBuffer
 from repro.core.replay import ReplayBuffer
-from repro.core.schedules import LinearSchedule, Schedule
+from repro.core.schedules import LinearSchedule, Schedule, schedule_from_state
 from repro.env.spaces import MultiDiscrete
-from repro.utils.seeding import RandomState, derive_rng, ensure_rng
+from repro.utils.seeding import (
+    RandomState,
+    derive_rng,
+    ensure_rng,
+    rng_state,
+    set_rng_state,
+)
 from repro.utils.validation import check_in_range, check_positive
 
 
@@ -279,3 +285,84 @@ class DQNAgent(AgentBase):
             elif self.total_updates % cfg.target_sync_every == 0:
                 self.target.copy_weights_from(self.online)
         return float(loss)
+
+    # -------------------------------------------------------- checkpointing
+    def state_dict(
+        self,
+        *,
+        include_buffer: bool = True,
+        buffer_max_transitions: Optional[int] = None,
+    ) -> dict:
+        """Serialize the full learning state to a JSON-safe dict.
+
+        Covers network weights (online + target), optimizer moments, the
+        replay buffer (optionally truncated via ``buffer_max_transitions``,
+        or dropped with ``include_buffer=False`` for inference-only
+        checkpoints), step counters, the ε-schedule, and both RNG streams —
+        everything needed for :meth:`load_state_dict` to continue an
+        interrupted run bit-for-bit.
+        """
+        buffer_state = None
+        if include_buffer:
+            buffer_state = self.buffer.state_dict(
+                max_transitions=buffer_max_transitions
+            )
+        return {
+            "kind": "dqn",
+            "obs_dim": self.obs_dim,
+            "nvec": self.action_space.nvec.tolist(),
+            "config": asdict(self.config),
+            "online": nn.state_dict(self.online),
+            "target": nn.state_dict(self.target),
+            "optimizer": nn.optimizer_state_dict(self.optimizer),
+            "epsilon_schedule": self.epsilon_schedule.state_dict(),
+            "total_steps": self.total_steps,
+            "total_updates": self.total_updates,
+            "explore_rng": rng_state(self._explore_rng),
+            "sample_rng": rng_state(self._sample_rng),
+            "buffer": buffer_state,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into this agent.
+
+        The agent must have been constructed with the same observation
+        dimensionality, action space, and architecture.  A snapshot saved
+        without its buffer leaves the current buffer contents untouched.
+        """
+        if state.get("kind") != "dqn":
+            raise ValueError(f"not a DQN agent state (kind={state.get('kind')!r})")
+        if int(state["obs_dim"]) != self.obs_dim:
+            raise ValueError(
+                f"obs_dim mismatch: agent has {self.obs_dim}, "
+                f"state has {state['obs_dim']}"
+            )
+        if list(state["nvec"]) != self.action_space.nvec.tolist():
+            raise ValueError(
+                f"action-space mismatch: agent has {self.action_space.nvec.tolist()}, "
+                f"state has {list(state['nvec'])}"
+            )
+        nn.load_state_dict(self.online, state["online"])
+        nn.load_state_dict(self.target, state["target"])
+        nn.load_optimizer_state_dict(self.optimizer, state["optimizer"])
+        self.epsilon_schedule = schedule_from_state(state["epsilon_schedule"])
+        self.total_steps = int(state["total_steps"])
+        self.total_updates = int(state["total_updates"])
+        set_rng_state(self._explore_rng, state["explore_rng"])
+        set_rng_state(self._sample_rng, state["sample_rng"])
+        if state.get("buffer") is not None:
+            self.buffer.load_state_dict(state["buffer"])
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "DQNAgent":
+        """Reconstruct an agent purely from a :meth:`state_dict` payload."""
+        config = dict(state["config"])
+        config["hidden"] = tuple(config["hidden"])
+        agent = cls(
+            int(state["obs_dim"]),
+            MultiDiscrete(state["nvec"]),
+            config=DQNConfig(**config),
+            rng=0,
+        )
+        agent.load_state_dict(state)
+        return agent

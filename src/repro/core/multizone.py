@@ -29,9 +29,15 @@ from repro import nn
 from repro.core.agent import AgentBase
 from repro.core.dqn import DQNConfig
 from repro.core.replay import ReplayBuffer
-from repro.core.schedules import LinearSchedule
+from repro.core.schedules import LinearSchedule, schedule_from_state
 from repro.env.spaces import MultiDiscrete
-from repro.utils.seeding import RandomState, derive_rng, ensure_rng
+from repro.utils.seeding import (
+    RandomState,
+    derive_rng,
+    ensure_rng,
+    rng_state,
+    set_rng_state,
+)
 
 
 class FactoredDQNAgent(AgentBase):
@@ -173,6 +179,60 @@ class FactoredDQNAgent(AgentBase):
             for online, target in zip(self.online, self.target):
                 target.copy_weights_from(online)
         return total_loss / self.n_zones
+
+    # -------------------------------------------------------- checkpointing
+    def state_dict(
+        self,
+        *,
+        include_buffer: bool = True,
+        buffer_max_transitions: Optional[int] = None,
+    ) -> dict:
+        """Serialize all per-zone heads, optimizers, buffer, and RNG streams
+        (same contract as :meth:`repro.core.dqn.DQNAgent.state_dict`)."""
+        buffer_state = None
+        if include_buffer:
+            buffer_state = self.buffer.state_dict(
+                max_transitions=buffer_max_transitions
+            )
+        return {
+            "kind": "factored_dqn",
+            "obs_dim": self.obs_dim,
+            "nvec": self.action_space.nvec.tolist(),
+            "online": [nn.state_dict(net) for net in self.online],
+            "target": [nn.state_dict(net) for net in self.target],
+            "optimizers": [nn.optimizer_state_dict(opt) for opt in self.optimizers],
+            "epsilon_schedule": self.epsilon_schedule.state_dict(),
+            "total_steps": self.total_steps,
+            "total_updates": self.total_updates,
+            "explore_rng": rng_state(self._explore_rng),
+            "sample_rng": rng_state(self._sample_rng),
+            "buffer": buffer_state,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into this agent."""
+        if state.get("kind") != "factored_dqn":
+            raise ValueError(
+                f"not a factored DQN state (kind={state.get('kind')!r})"
+            )
+        if list(state["nvec"]) != self.action_space.nvec.tolist():
+            raise ValueError(
+                f"action-space mismatch: agent has {self.action_space.nvec.tolist()}, "
+                f"state has {list(state['nvec'])}"
+            )
+        for net, net_state in zip(self.online, state["online"]):
+            nn.load_state_dict(net, net_state)
+        for net, net_state in zip(self.target, state["target"]):
+            nn.load_state_dict(net, net_state)
+        for opt, opt_state in zip(self.optimizers, state["optimizers"]):
+            nn.load_optimizer_state_dict(opt, opt_state)
+        self.epsilon_schedule = schedule_from_state(state["epsilon_schedule"])
+        self.total_steps = int(state["total_steps"])
+        self.total_updates = int(state["total_updates"])
+        set_rng_state(self._explore_rng, state["explore_rng"])
+        set_rng_state(self._sample_rng, state["sample_rng"])
+        if state.get("buffer") is not None:
+            self.buffer.load_state_dict(state["buffer"])
 
     # ------------------------------------------------------------- scaling
     def num_q_outputs(self) -> int:

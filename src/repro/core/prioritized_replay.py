@@ -111,6 +111,37 @@ class PrioritizedReplayBuffer(ReplayBuffer):
         self._priorities[indices] = new
         self._max_priority = max(self._max_priority, float(new.max()))
 
+    def state_dict(self, *, max_transitions=None) -> dict:  # type: ignore[override]
+        """Parent payload plus per-slot priorities and the running max."""
+        from repro.nn.serialization import encode_array
+
+        state = super().state_dict(max_transitions=max_transitions)
+        order, _, _ = self._slot_order(max_transitions)
+        state["priorities"] = encode_array(self._priorities[order])
+        state["max_priority"] = float(self._max_priority)
+        return state
+
+    def load_state_dict(self, state: dict) -> None:  # type: ignore[override]
+        from repro.nn.serialization import decode_array
+
+        # Validate the prioritized payload *before* the parent mutates the
+        # buffer, so a bad state never leaves transitions and priorities
+        # describing different contents.
+        if "priorities" not in state or "max_priority" not in state:
+            raise ValueError(
+                "not a prioritized replay state (missing priorities)"
+            )
+        priorities = decode_array(state["priorities"])
+        if priorities.shape[0] != int(state["size"]):
+            raise ValueError(
+                f"priority state holds {priorities.shape[0]} rows for "
+                f"size {state['size']}"
+            )
+        super().load_state_dict(state)
+        self._priorities[: self._size] = priorities
+        self._priorities[self._size :] = 0.0
+        self._max_priority = float(state["max_priority"])
+
     def priority_of(self, index: int) -> float:
         """Current priority of slot ``index`` (for tests/diagnostics)."""
         if not 0 <= index < self._size:

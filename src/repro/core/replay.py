@@ -10,10 +10,11 @@ joint index) and the factored agent (one level per zone).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
+from repro.nn.serialization import decode_array, encode_array
 from repro.utils.seeding import RandomState, ensure_rng
 
 
@@ -135,3 +136,86 @@ class ReplayBuffer:
             "next_obs": self._next_obs[idx].copy(),
             "dones": self._dones[idx].copy(),
         }
+
+    # --------------------------------------------------------- checkpointing
+    def _slot_order(self, max_transitions: Optional[int]) -> tuple:
+        """Slots to persist and the cursor to restore, as ``(order, cursor,
+        exact)``.
+
+        ``max_transitions=None`` keeps the filled region slot-for-slot
+        (byte-exact resume: uniform sampling draws slot indices, so layout
+        is part of the RNG contract).  A truncation keeps only the most
+        recent transitions, re-linearized oldest-first — a smaller
+        checkpoint that is still a valid buffer but no longer bit-identical
+        under continued sampling.
+        """
+        if max_transitions is None or max_transitions >= self._size:
+            return np.arange(self._size), self._cursor, True
+        if max_transitions < 0:
+            raise ValueError(
+                f"max_transitions must be >= 0, got {max_transitions}"
+            )
+        chronological = (
+            self._cursor - self._size + np.arange(self._size)
+        ) % self.capacity
+        kept = chronological[self._size - max_transitions :]
+        return kept, max_transitions % self.capacity, False
+
+    def state_dict(self, *, max_transitions: Optional[int] = None) -> dict:
+        """Serialize the buffer contents to a JSON-safe dict.
+
+        ``max_transitions`` truncates to the most recent transitions (see
+        :meth:`_slot_order` for the exactness trade-off).
+        """
+        order, cursor, exact = self._slot_order(max_transitions)
+        return {
+            "capacity": self.capacity,
+            "obs_dim": self.obs_dim,
+            "action_dim": self.action_dim,
+            "reward_dim": self.reward_dim,
+            "size": int(len(order)),
+            "cursor": int(cursor),
+            "exact": bool(exact),
+            "obs": encode_array(self._obs[order]),
+            "next_obs": encode_array(self._next_obs[order]),
+            "actions": encode_array(self._actions[order]),
+            "rewards": encode_array(self._rewards[order]),
+            "dones": encode_array(self._dones[order]),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore contents captured by :meth:`state_dict`.
+
+        The buffer must have been constructed with the same capacity and
+        dimensions as the one the state was extracted from.
+        """
+        for attr in ("capacity", "obs_dim", "action_dim", "reward_dim"):
+            if int(state[attr]) != getattr(self, attr):
+                raise ValueError(
+                    f"replay buffer {attr} mismatch: have {getattr(self, attr)}, "
+                    f"state has {state[attr]}"
+                )
+        size = int(state["size"])
+        if not 0 <= size <= self.capacity:
+            raise ValueError(f"state size {size} outside [0, {self.capacity}]")
+        cursor = int(state["cursor"])
+        if not 0 <= cursor < self.capacity:
+            raise ValueError(
+                f"state cursor {cursor} outside [0, {self.capacity})"
+            )
+        for name, target in (
+            ("obs", self._obs),
+            ("next_obs", self._next_obs),
+            ("actions", self._actions),
+            ("rewards", self._rewards),
+            ("dones", self._dones),
+        ):
+            value = decode_array(state[name])
+            if value.shape[0] != size:
+                raise ValueError(
+                    f"replay state {name} holds {value.shape[0]} rows for size {size}"
+                )
+            target[:size] = value
+            target[size:] = 0
+        self._size = size
+        self._cursor = cursor

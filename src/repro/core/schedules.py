@@ -12,6 +12,16 @@ class Schedule:
         """Value of the schedule at ``step`` (>= 0)."""
         raise NotImplementedError
 
+    def state_dict(self) -> dict:
+        """JSON-safe description; rebuild with :func:`schedule_from_state`.
+
+        Schedules are pure functions of the step counter, so the state is
+        just their construction parameters — the *position* along the
+        schedule lives with whoever owns the step counter (e.g.
+        ``DQNAgent.total_steps``).
+        """
+        raise NotImplementedError
+
 
 class ConstantSchedule(Schedule):
     """Always the same value."""
@@ -21,6 +31,9 @@ class ConstantSchedule(Schedule):
 
     def value(self, step: int) -> float:
         return self._value
+
+    def state_dict(self) -> dict:
+        return {"type": "constant", "value": self._value}
 
 
 class LinearSchedule(Schedule):
@@ -43,6 +56,14 @@ class LinearSchedule(Schedule):
         frac = min(step / self.decay_steps, 1.0)
         return self.start + frac * (self.end - self.start)
 
+    def state_dict(self) -> dict:
+        return {
+            "type": "linear",
+            "start": self.start,
+            "end": self.end,
+            "decay_steps": self.decay_steps,
+        }
+
 
 class ExponentialSchedule(Schedule):
     """Geometric decay ``start * rate**step`` floored at ``end``."""
@@ -62,3 +83,23 @@ class ExponentialSchedule(Schedule):
         if step < 0:
             raise ValueError(f"step must be >= 0, got {step}")
         return max(self.start * self.rate**step, self.end)
+
+    def state_dict(self) -> dict:
+        return {
+            "type": "exponential",
+            "start": self.start,
+            "end": self.end,
+            "rate": self.rate,
+        }
+
+
+def schedule_from_state(state: dict) -> Schedule:
+    """Rebuild a schedule from a :meth:`Schedule.state_dict` payload."""
+    kind = state.get("type")
+    if kind == "constant":
+        return ConstantSchedule(state["value"])
+    if kind == "linear":
+        return LinearSchedule(state["start"], state["end"], state["decay_steps"])
+    if kind == "exponential":
+        return ExponentialSchedule(state["start"], state["end"], state["rate"])
+    raise ValueError(f"unknown schedule type {kind!r}")

@@ -55,6 +55,7 @@ class Trainer:
         self.agent = agent
         self.config = config if config is not None else TrainerConfig()
         self.logger = logger if logger is not None else RunLogger()
+        self.episodes_completed = 0
 
     # ------------------------------------------------------------- episodes
     def run_episode(self, *, explore: bool, learn: bool) -> dict:
@@ -86,9 +87,20 @@ class Trainer:
             "steps": steps,
         }
 
-    def train(self) -> RunLogger:
-        """Run the configured number of training episodes; returns the log."""
-        for episode in range(self.config.n_episodes):
+    def train(self, *, until: Optional[int] = None) -> RunLogger:
+        """Run training episodes until ``config.n_episodes`` have completed.
+
+        ``episodes_completed`` counts across calls (and across
+        :meth:`load_state_dict` restores), so a trainer resumed from a
+        checkpoint continues where the interrupted run stopped.  ``until``
+        stops early at that episode count (capped by ``config.n_episodes``)
+        so callers can checkpoint between chunks.
+        """
+        target = self.config.n_episodes
+        if until is not None:
+            target = min(int(until), target)
+        while self.episodes_completed < target:
+            episode = self.episodes_completed
             metrics = self.run_episode(explore=True, learn=True)
             self.logger.log_many(
                 episode_return=metrics["return"],
@@ -97,6 +109,7 @@ class Trainer:
                 episode_violation_deg_hours=metrics["violation_deg_hours"],
                 epsilon=getattr(self.agent, "epsilon", 0.0),
             )
+            self.episodes_completed += 1
             if (
                 self.config.eval_every
                 and (episode + 1) % self.config.eval_every == 0
@@ -104,6 +117,36 @@ class Trainer:
                 eval_metrics = self.run_episode(explore=False, learn=False)
                 self.logger.log("eval_return", eval_metrics["return"])
         return self.logger
+
+    # -------------------------------------------------------- checkpointing
+    def state_dict(self, *, buffer_max_transitions: Optional[int] = None) -> dict:
+        """Serialize trainer progress, agent, env, and log to a JSON-safe
+        dict (checkpoint at an episode boundary, i.e. between ``train()``
+        calls)."""
+        env_state = None
+        if hasattr(self.env, "state_dict"):
+            env_state = self.env.state_dict()
+        return {
+            "kind": "trainer",
+            "episodes_completed": self.episodes_completed,
+            "agent": self.agent.state_dict(
+                buffer_max_transitions=buffer_max_transitions
+            ),
+            "env": env_state,
+            "logger": self.logger.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot; ``train()`` then continues
+        the interrupted run (bit-for-bit when the buffer was saved
+        untruncated)."""
+        if state.get("kind") != "trainer":
+            raise ValueError(f"not a trainer state (kind={state.get('kind')!r})")
+        self.episodes_completed = int(state["episodes_completed"])
+        self.agent.load_state_dict(state["agent"])
+        if state.get("env") is not None and hasattr(self.env, "load_state_dict"):
+            self.env.load_state_dict(state["env"])
+        self.logger.load_state_dict(state["logger"])
 
     def evaluate(self, n_episodes: int = 1) -> dict:
         """Average greedy-episode metrics over ``n_episodes``."""
@@ -181,32 +224,54 @@ class VectorTrainer:
             self._fallback_policy = PerEnvPolicy(
                 [self.agent] * vec_env.n_envs, vec_env.obs_dims
             )
+        # Collection-loop state lives on the instance so training can stop
+        # at a fleet-pass boundary, checkpoint, and continue (train() picks
+        # up exactly where the counters point).
+        n = vec_env.n_envs
+        self.episodes_done = 0
+        self._fleet_steps = 0
+        self._obs: Optional[np.ndarray] = None  # None until the first reset
+        self._ep_return = np.zeros(n)
+        self._ep_cost = np.zeros(n)
+        self._ep_energy = np.zeros(n)
+        self._ep_violation = np.zeros(n)
 
     def _select_actions(self, obs, *, explore: bool):
         if self._fallback_policy is None:
             return np.asarray(self.agent.select_actions(obs, explore=explore))
         return np.stack(self._fallback_policy.select_actions(obs, explore=explore))
 
-    def train(self) -> RunLogger:
-        """Run until ``config.n_episodes`` env-episodes complete."""
+    def train(self, *, until: Optional[int] = None) -> RunLogger:
+        """Run until ``config.n_episodes`` env-episodes complete.
+
+        ``episodes_done`` persists across calls (and across
+        :meth:`load_state_dict`), so training a restored trainer continues
+        the interrupted collection loop rather than starting over.
+        ``until`` stops early at that env-episode count (capped by
+        ``config.n_episodes``) so callers can checkpoint between chunks.
+        """
+        target = self.config.n_episodes
+        if until is not None:
+            target = min(int(until), target)
         env = self.vec_env
         n = env.n_envs
         n_zones = int(env.n_zones[0])
-        obs = env.reset()
-        # The shared agent's begin_episode hook fires at every env-episode
-        # boundary (here and on each autoreset below).  An agent whose
-        # begin_episode carries per-episode state should not be shared
-        # across a fleet; learning agents like DQN treat it as a no-op.
-        for k in range(n):
-            self.agent.begin_episode(obs[k])
-        ep_return = np.zeros(n)
-        ep_cost = np.zeros(n)
-        ep_energy = np.zeros(n)
-        ep_violation = np.zeros(n)
-        episodes_done = 0
-        fleet_steps = 0
+        if self._obs is None:
+            obs = env.reset()
+            # The shared agent's begin_episode hook fires at every
+            # env-episode boundary (here and on each autoreset below).  An
+            # agent whose begin_episode carries per-episode state should
+            # not be shared across a fleet; learning agents like DQN treat
+            # it as a no-op.
+            for k in range(n):
+                self.agent.begin_episode(obs[k])
+            self._obs = obs
+        obs = self._obs
         max_fleet_steps = self.config.n_episodes * self.config.max_steps_per_episode
-        while episodes_done < self.config.n_episodes and fleet_steps < max_fleet_steps:
+        while (
+            self.episodes_done < target
+            and self._fleet_steps < max_fleet_steps
+        ):
             actions = self._select_actions(obs, explore=True)
             next_obs, rewards, dones, info = env.step(actions)
             for k in range(n):
@@ -227,30 +292,86 @@ class VectorTrainer:
                 loss = self.agent.learn()
                 if loss is not None:
                     self.logger.log("loss", loss)
-            ep_return += rewards
-            ep_cost += info.cost_usd
-            ep_energy += info.energy_kwh
-            ep_violation += info.violation_deg_hours
+            self._ep_return += rewards
+            self._ep_cost += info.cost_usd
+            self._ep_energy += info.energy_kwh
+            self._ep_violation += info.violation_deg_hours
             for k in np.flatnonzero(dones):
                 # A synchronized fleet completes n_envs episodes at once;
                 # stop logging at exactly the configured count so the
                 # episode series matches the scalar Trainer's contract
                 # (the final fleet pass may still have collected a few
                 # extra transitions for the replay buffer).
-                if episodes_done >= self.config.n_episodes:
+                if self.episodes_done >= self.config.n_episodes:
                     break
                 self.logger.log_many(
-                    episode_return=float(ep_return[k]),
-                    episode_cost_usd=float(ep_cost[k]),
-                    episode_energy_kwh=float(ep_energy[k]),
-                    episode_violation_deg_hours=float(ep_violation[k]),
+                    episode_return=float(self._ep_return[k]),
+                    episode_cost_usd=float(self._ep_cost[k]),
+                    episode_energy_kwh=float(self._ep_energy[k]),
+                    episode_violation_deg_hours=float(self._ep_violation[k]),
                     epsilon=getattr(self.agent, "epsilon", 0.0),
                 )
-                ep_return[k] = ep_cost[k] = ep_energy[k] = ep_violation[k] = 0.0
-                episodes_done += 1
+                self._ep_return[k] = self._ep_cost[k] = 0.0
+                self._ep_energy[k] = self._ep_violation[k] = 0.0
+                self.episodes_done += 1
                 # next_obs[k] is the autoreset successor episode's first
                 # observation — the new episode starts now.
                 self.agent.begin_episode(next_obs[k])
             obs = next_obs
-            fleet_steps += 1
+            self._obs = obs
+            self._fleet_steps += 1
         return self.logger
+
+    # -------------------------------------------------------- checkpointing
+    def state_dict(self, *, buffer_max_transitions: Optional[int] = None) -> dict:
+        """Serialize the collection loop, agent, fleet, and log.
+
+        Capture between ``train()`` calls (a fleet-pass boundary).  For a
+        bit-for-bit resume, checkpoint with ``config.n_episodes`` a
+        multiple of the fleet size so every completed episode has been
+        accounted before the loop exits, and leave the buffer untruncated.
+        """
+        from repro.nn.serialization import encode_array
+
+        return {
+            "kind": "vector_trainer",
+            "episodes_done": self.episodes_done,
+            "fleet_steps": self._fleet_steps,
+            "obs": None if self._obs is None else encode_array(self._obs),
+            "ep_return": self._ep_return.tolist(),
+            "ep_cost": self._ep_cost.tolist(),
+            "ep_energy": self._ep_energy.tolist(),
+            "ep_violation": self._ep_violation.tolist(),
+            "agent": self.agent.state_dict(
+                buffer_max_transitions=buffer_max_transitions
+            ),
+            "env": self.vec_env.state_dict(),
+            "logger": self.logger.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot; ``train()`` then continues
+        the interrupted run."""
+        if state.get("kind") != "vector_trainer":
+            raise ValueError(
+                f"not a vector-trainer state (kind={state.get('kind')!r})"
+            )
+        from repro.nn.serialization import decode_array
+
+        n = self.vec_env.n_envs
+        for name in ("ep_return", "ep_cost", "ep_energy", "ep_violation"):
+            if len(state[name]) != n:
+                raise ValueError(
+                    f"state {name} has {len(state[name])} entries for "
+                    f"{n} envs"
+                )
+        self.episodes_done = int(state["episodes_done"])
+        self._fleet_steps = int(state["fleet_steps"])
+        self._obs = None if state["obs"] is None else decode_array(state["obs"])
+        self._ep_return = np.asarray(state["ep_return"], dtype=np.float64)
+        self._ep_cost = np.asarray(state["ep_cost"], dtype=np.float64)
+        self._ep_energy = np.asarray(state["ep_energy"], dtype=np.float64)
+        self._ep_violation = np.asarray(state["ep_violation"], dtype=np.float64)
+        self.agent.load_state_dict(state["agent"])
+        self.vec_env.load_state_dict(state["env"])
+        self.logger.load_state_dict(state["logger"])

@@ -28,7 +28,13 @@ from repro.env.core import Env, StepResult
 from repro.env.spaces import Box, MultiDiscrete
 from repro.hvac.tariffs import Tariff, TimeOfUseTariff
 from repro.hvac.vav import VAVConfig, VAVSystem
-from repro.utils.seeding import RandomState, derive_rng, ensure_rng
+from repro.utils.seeding import (
+    RandomState,
+    derive_rng,
+    ensure_rng,
+    rng_state,
+    set_rng_state,
+)
 from repro.utils.validation import check_positive
 from repro.weather.forecast import ForecastProvider
 from repro.weather.series import SECONDS_PER_DAY, WeatherSeries
@@ -306,6 +312,42 @@ class HVACEnv(Env):
             "hour_of_day": hour,
         }
         return self._observation(), float(reward), bool(done), info
+
+    # -------------------------------------------------------- checkpointing
+    def state_dict(self) -> dict:
+        """Serialize episode state and RNG streams to a JSON-safe dict.
+
+        Static configuration (building, weather, tariff) is *not* stored —
+        a checkpoint is restored into an identically constructed env.
+        Restoring positions both generators (reset randomization and
+        forecast noise) exactly, so a resumed run consumes the same random
+        stream an uninterrupted one would.
+        """
+        return {
+            "index": int(self._index),
+            "start_index": int(self._start_index),
+            "steps_taken": int(self._steps_taken),
+            "needs_reset": bool(self._needs_reset),
+            "temps": self._temps.tolist(),
+            "rng": rng_state(self._rng),
+            "forecast_rng": rng_state(self._forecast._rng),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into this env."""
+        temps = np.asarray(state["temps"], dtype=np.float64)
+        if temps.shape != (self.building.n_zones,):
+            raise ValueError(
+                f"state has {temps.shape[0] if temps.ndim else 0} zone "
+                f"temperatures for a {self.building.n_zones}-zone building"
+            )
+        self._index = int(state["index"])
+        self._start_index = int(state["start_index"])
+        self._steps_taken = int(state["steps_taken"])
+        self._needs_reset = bool(state["needs_reset"])
+        self._temps = temps
+        set_rng_state(self._rng, state["rng"])
+        set_rng_state(self._forecast._rng, state["forecast_rng"])
 
     # ------------------------------------------------------------- helpers
     @property

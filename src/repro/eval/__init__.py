@@ -16,7 +16,13 @@ from repro.eval.metrics import (
 from repro.eval.runner import evaluate_controller, run_episode
 from repro.eval.vector_runner import PerEnvPolicy, VectorRunner
 from repro.eval.compare import ComparisonRow, ComparisonTable
-from repro.eval.reporting import format_series, format_table, sparkline
+from repro.eval.reporting import (
+    format_markdown_table,
+    format_mean_std,
+    format_series,
+    format_table,
+    sparkline,
+)
 
 __all__ = [
     "EpisodeMetrics",
@@ -31,6 +37,8 @@ __all__ = [
     "ComparisonRow",
     "ComparisonTable",
     "format_table",
+    "format_markdown_table",
+    "format_mean_std",
     "format_series",
     "sparkline",
 ]

@@ -1,7 +1,9 @@
-"""Plain-text rendering: aligned tables, ASCII series, sparklines.
+"""Plain-text rendering: aligned tables, Markdown tables, ASCII series.
 
 The benchmark harness prints the same rows/series the paper's tables and
-figures report; these helpers keep that output aligned and diffable.
+figures report; these helpers keep that output aligned and diffable.  The
+Markdown variants feed the experiment store's self-documenting run
+reports (``repro-hvac report``).
 """
 
 from __future__ import annotations
@@ -31,6 +33,39 @@ def format_table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
     lines = [fmt(header), fmt(["-" * w for w in widths])]
     lines.extend(fmt(row) for row in rows)
     return "\n".join(lines)
+
+
+def format_markdown_table(
+    header: Sequence[str], rows: Sequence[Sequence[str]]
+) -> str:
+    """Render rows as a GitHub-flavoured Markdown table.
+
+    Cells are padded so the raw text stays column-aligned (diffable) and
+    pipe characters inside cells are escaped.
+    """
+    header = [str(h).replace("|", r"\|") for h in header]
+    rows = [[str(c).replace("|", r"\|") for c in row] for row in rows]
+    for i, row in enumerate(rows):
+        if len(row) != len(header):
+            raise ValueError(
+                f"row {i} has {len(row)} cells for {len(header)} columns"
+            )
+    widths = [len(h) for h in header]
+    for row in rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    lines = [fmt(header), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_mean_std(mean: float, std: float, *, digits: int = 3) -> str:
+    """Format a ``mean ± std`` cell with a fixed number of decimals."""
+    return f"{mean:.{digits}f} ± {std:.{digits}f}"
 
 
 def sparkline(values: Sequence[float]) -> str:

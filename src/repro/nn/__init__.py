@@ -23,7 +23,14 @@ from repro.nn.network import MLP
 from repro.nn.dueling import DuelingMLP
 from repro.nn.optim import SGD, Adam, Momentum, Optimizer, RMSProp, clip_gradients
 from repro.nn.parameter import Parameter
-from repro.nn.serialization import load_state_dict, state_dict
+from repro.nn.serialization import (
+    decode_array,
+    encode_array,
+    load_optimizer_state_dict,
+    load_state_dict,
+    optimizer_state_dict,
+    state_dict,
+)
 
 __all__ = [
     "Layer",
@@ -48,4 +55,8 @@ __all__ = [
     "clip_gradients",
     "state_dict",
     "load_state_dict",
+    "encode_array",
+    "decode_array",
+    "optimizer_state_dict",
+    "load_optimizer_state_dict",
 ]

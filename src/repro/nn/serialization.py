@@ -1,18 +1,23 @@
-"""Checkpointing helpers: flatten a network to plain dicts and back.
+"""Checkpointing helpers: flatten networks and optimizers to plain dicts.
 
 State dicts map parameter names to ``list``-of-floats payloads so they can
 be round-tripped through JSON; shapes are stored alongside for validation.
+:func:`encode_array`/:func:`decode_array` are the shared array codec used
+by every checkpointable component (replay buffers, trainers, envs), and
+:func:`optimizer_state_dict` captures optimizer moments so a resumed run
+continues the exact same update trajectory.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict
+from typing import Dict, List
 
 import numpy as np
 
 from repro.nn.layers import Layer
+from repro.nn.optim import SGD, Adam, Momentum, Optimizer, RMSProp
 
 
 def state_dict(net: Layer) -> Dict[str, dict]:
@@ -56,3 +61,103 @@ def save_checkpoint(net: Layer, path: str | Path) -> None:
 def load_checkpoint(net: Layer, path: str | Path) -> None:
     """Load a JSON checkpoint produced by :func:`save_checkpoint`."""
     load_state_dict(net, json.loads(Path(path).read_text()))
+
+
+# --------------------------------------------------------------- array codec
+def encode_array(array: np.ndarray) -> dict:
+    """Flatten an array into a JSON-safe ``{shape, dtype, data}`` payload."""
+    array = np.asarray(array)
+    return {
+        "shape": list(array.shape),
+        "dtype": str(array.dtype),
+        "data": array.ravel().tolist(),
+    }
+
+
+def decode_array(payload: dict) -> np.ndarray:
+    """Rebuild an array from an :func:`encode_array` payload."""
+    return np.asarray(payload["data"], dtype=payload["dtype"]).reshape(
+        payload["shape"]
+    )
+
+
+def _encode_buffers(buffers: List[np.ndarray]) -> List[dict]:
+    return [encode_array(b) for b in buffers]
+
+
+def _load_buffers(dst: List[np.ndarray], payloads: List[dict], label: str) -> None:
+    if len(dst) != len(payloads):
+        raise ValueError(
+            f"{label}: buffer count mismatch ({len(dst)} vs {len(payloads)})"
+        )
+    for i, (buf, payload) in enumerate(zip(dst, payloads)):
+        value = decode_array(payload)
+        if value.shape != buf.shape:
+            raise ValueError(
+                f"{label}[{i}]: shape mismatch ({value.shape} vs {buf.shape})"
+            )
+        np.copyto(buf, value)
+
+
+# ---------------------------------------------------------- optimizer state
+def optimizer_state_dict(optimizer: Optimizer) -> dict:
+    """Extract an optimizer's hyperparameters and internal moments.
+
+    Supports the library's optimizers (SGD, Momentum, RMSProp, Adam); the
+    parameter list itself is not stored — it is re-bound when the owning
+    network is reconstructed.
+    """
+    state: dict = {"type": type(optimizer).__name__, "lr": optimizer.lr}
+    if isinstance(optimizer, Adam):
+        state.update(
+            beta1=optimizer.beta1,
+            beta2=optimizer.beta2,
+            eps=optimizer.eps,
+            t=optimizer._t,
+            m=_encode_buffers(optimizer._m),
+            v=_encode_buffers(optimizer._v),
+        )
+    elif isinstance(optimizer, RMSProp):
+        state.update(
+            decay=optimizer.decay,
+            eps=optimizer.eps,
+            mean_sq=_encode_buffers(optimizer._mean_sq),
+        )
+    elif isinstance(optimizer, Momentum):
+        state.update(
+            momentum=optimizer.momentum,
+            velocity=_encode_buffers(optimizer._velocity),
+        )
+    elif not isinstance(optimizer, SGD):
+        raise TypeError(
+            f"cannot serialize optimizer of type {type(optimizer).__name__}"
+        )
+    return state
+
+
+def load_optimizer_state_dict(optimizer: Optimizer, state: dict) -> None:
+    """Restore :func:`optimizer_state_dict` output into ``optimizer``.
+
+    The optimizer must be the same class (and manage parameters of the
+    same shapes) as the one the state was extracted from.
+    """
+    expected = type(optimizer).__name__
+    if state.get("type") != expected:
+        raise ValueError(
+            f"optimizer type mismatch: have {expected}, state is {state.get('type')!r}"
+        )
+    optimizer.lr = float(state["lr"])
+    if isinstance(optimizer, Adam):
+        optimizer.beta1 = float(state["beta1"])
+        optimizer.beta2 = float(state["beta2"])
+        optimizer.eps = float(state["eps"])
+        optimizer._t = int(state["t"])
+        _load_buffers(optimizer._m, state["m"], "adam.m")
+        _load_buffers(optimizer._v, state["v"], "adam.v")
+    elif isinstance(optimizer, RMSProp):
+        optimizer.decay = float(state["decay"])
+        optimizer.eps = float(state["eps"])
+        _load_buffers(optimizer._mean_sq, state["mean_sq"], "rmsprop.mean_sq")
+    elif isinstance(optimizer, Momentum):
+        optimizer.momentum = float(state["momentum"])
+        _load_buffers(optimizer._velocity, state["velocity"], "momentum.velocity")

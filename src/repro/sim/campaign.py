@@ -5,14 +5,18 @@ controllers, and seeds.  Each (scenario, controller) cell batches its
 seeds into one :class:`~repro.sim.vector_env.VectorHVACEnv`, so a
 campaign of S scenarios × C controllers × K seeds costs S·C vectorized
 episode runs rather than S·C·K scalar ones.  Cells are independent, so
-they can optionally fan out over a process pool.
+they can optionally fan out over a process pool, and — when an
+:class:`~repro.store.ExperimentStore` is attached — each cell's result is
+persisted as it completes, making interrupted sweeps resumable
+(``repro-hvac campaign --resume RUN_DIR``).
 """
 
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import asdict, dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -24,6 +28,9 @@ from repro.eval.reporting import format_table
 from repro.eval.vector_runner import PerEnvPolicy, VectorRunner
 from repro.sim.scenarios import Scenario, build_fleet, get_scenario
 from repro.sim.vector_env import VectorHVACEnv
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store uses eval)
+    from repro.store import ExperimentStore
 
 CONTROLLERS = ("thermostat", "pid", "random")
 
@@ -60,6 +67,17 @@ class CampaignSpec:
         object.__setattr__(self, "controllers", tuple(self.controllers))
         object.__setattr__(self, "scenarios", tuple(self.scenarios))
 
+    def as_config(self) -> dict:
+        """JSON-ready description (scenario names only) for run manifests."""
+        return {
+            "scenarios": [
+                s if isinstance(s, str) else s.name for s in self.scenarios
+            ],
+            "controllers": list(self.controllers),
+            "seeds": list(self.seeds),
+            "n_episodes": self.n_episodes,
+        }
+
 
 @dataclass(frozen=True)
 class CampaignJob:
@@ -84,6 +102,17 @@ class CampaignRow:
     def as_dict(self) -> dict:
         """JSON-ready representation."""
         return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CampaignRow":
+        """Rebuild a row from :meth:`as_dict` output (store round-trip)."""
+        return cls(
+            scenario=str(payload["scenario"]),
+            controller=str(payload["controller"]),
+            n_seeds=int(payload["n_seeds"]),
+            mean={k: float(v) for k, v in payload["mean"].items()},
+            std={k: float(v) for k, v in payload["std"].items()},
+        )
 
 
 _METRIC_FIELDS = ("episode_return", "cost_usd", "energy_kwh", "violation_deg_hours")
@@ -205,11 +234,19 @@ class CampaignResult:
             fh.write(self.to_json() + "\n")
 
 
+def _timed_job(job: CampaignJob) -> Tuple[CampaignRow, float]:
+    """Run one cell and measure its wall-clock (module-level: picklable)."""
+    started = time.perf_counter()
+    row = run_campaign_job(job)
+    return row, time.perf_counter() - started
+
+
 def run_campaign(
     spec: CampaignSpec,
     *,
     executor: str = "serial",
     max_workers: Optional[int] = None,
+    store: Optional["ExperimentStore"] = None,
 ) -> CampaignResult:
     """Execute a campaign; returns rows in expansion order.
 
@@ -217,17 +254,48 @@ def run_campaign(
     cells out over a :class:`concurrent.futures.ProcessPoolExecutor`;
     ``"serial"`` (default) runs them inline, which is usually fast enough
     because each cell is already vectorized across its seeds.
+
+    With a ``store`` (an :class:`~repro.store.ExperimentStore`), each
+    cell's row is persisted as it completes and cells already present in
+    the store are **not executed again** — their stored rows are loaded
+    instead.  A killed sweep therefore resumes from its survivors on
+    rerun.  The store does not validate that the rerun spec matches the
+    stored one beyond cell identity (scenario name, controller); the run
+    manifest records the original spec for auditing.
     """
     jobs = expand_campaign(spec)
-    if executor == "serial":
-        rows = [run_campaign_job(job) for job in jobs]
-    elif executor == "process":
-        from concurrent.futures import ProcessPoolExecutor
-
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            rows = list(pool.map(run_campaign_job, jobs))
-    else:
+    if executor not in ("serial", "process"):
         raise ValueError(
             f"unknown executor {executor!r}; choose 'serial' or 'process'"
         )
-    return CampaignResult(rows)
+
+    rows: Dict[int, CampaignRow] = {}
+    pending: List[int] = []
+    if store is not None:
+        for j, job in enumerate(jobs):
+            cell = store.get_cell(job.scenario.name, job.controller)
+            if cell is not None:
+                rows[j] = CampaignRow.from_dict(cell["row"])
+            else:
+                pending.append(j)
+    else:
+        pending = list(range(len(jobs)))
+
+    def record(j: int, row: CampaignRow, elapsed: float) -> None:
+        rows[j] = row
+        if store is not None:
+            store.put_cell(row.as_dict(), elapsed_seconds=elapsed)
+
+    if executor == "serial":
+        for j in pending:
+            row, elapsed = _timed_job(jobs[j])
+            record(j, row, elapsed)
+    elif pending:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            for j, (row, elapsed) in zip(
+                pending, pool.map(_timed_job, [jobs[j] for j in pending])
+            ):
+                record(j, row, elapsed)
+    return CampaignResult([rows[j] for j in range(len(jobs))])

@@ -572,6 +572,55 @@ class VectorHVACEnv:
         dones = newly_done | (~active)
         return self._last_obs.copy(), reward, dones, info
 
+    # -------------------------------------------------------- checkpointing
+    def state_dict(self) -> dict:
+        """Serialize fleet dynamic state (and every member env's RNG
+        streams) to a JSON-safe dict.
+
+        Like the scalar env, configuration is not stored: restore into a
+        ``VectorHVACEnv`` built over an identically constructed fleet.
+        """
+        from repro.nn.serialization import encode_array
+
+        return {
+            "n_envs": self.n_envs,
+            "temps": encode_array(self._temps),
+            "idx": encode_array(self._idx),
+            "steps_taken": encode_array(self._steps_taken),
+            "done": encode_array(self._done),
+            "last_obs": encode_array(self._last_obs),
+            "needs_reset": bool(self._needs_reset),
+            "envs": [env.state_dict() for env in self.envs],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into this fleet."""
+        from repro.nn.serialization import decode_array
+
+        if int(state["n_envs"]) != self.n_envs:
+            raise ValueError(
+                f"fleet size mismatch: have {self.n_envs} envs, "
+                f"state has {state['n_envs']}"
+            )
+        for name, attr in (
+            ("temps", "_temps"),
+            ("idx", "_idx"),
+            ("steps_taken", "_steps_taken"),
+            ("done", "_done"),
+            ("last_obs", "_last_obs"),
+        ):
+            value = decode_array(state[name])
+            current = getattr(self, attr)
+            if value.shape != current.shape:
+                raise ValueError(
+                    f"vector-env state {name} has shape {value.shape}, "
+                    f"expected {current.shape}"
+                )
+            np.copyto(current, value)
+        self._needs_reset = bool(state["needs_reset"])
+        for env, env_state in zip(self.envs, state["envs"]):
+            env.load_state_dict(env_state)
+
     def close(self) -> None:
         """Release resources (no-op; mirrors the scalar env surface)."""
 

@@ -1,0 +1,33 @@
+"""Durable experiment artifacts: run directories, checkpoints, reports.
+
+Everything at scale in this library is resumable and comparable through
+this package:
+
+* :class:`~repro.store.store.ExperimentStore` — a file-backed run
+  directory (provenance manifest + atomic JSON artifacts) holding
+  campaign cell results, trainer/agent checkpoints, and metric logs.
+* :class:`~repro.store.store.RunManifest` — who/when/what provenance:
+  run id, git SHA, library version, launching command, and config.
+* :func:`~repro.store.report.render_campaign_report` — a Markdown report
+  (summary tables, mean ± std metrics, timing) rendered purely from
+  stored artifacts; exposed as ``repro-hvac report RUN_DIR``.
+
+The campaign runner (:func:`repro.sim.run_campaign`) writes each cell to
+the store as it completes and skips already-stored cells on rerun, so an
+interrupted sweep restarts where it died (``repro-hvac campaign
+--resume RUN_DIR``).
+"""
+
+from repro.store.store import (
+    ExperimentStore,
+    RunManifest,
+    discover_git_sha,
+)
+from repro.store.report import render_campaign_report
+
+__all__ = [
+    "ExperimentStore",
+    "RunManifest",
+    "discover_git_sha",
+    "render_campaign_report",
+]

@@ -1,0 +1,111 @@
+"""Self-documenting run reports rendered from stored artifacts.
+
+``render_campaign_report`` turns a finished (or partially finished)
+campaign run directory into a Markdown document: provenance from the
+manifest, one summary row per (scenario, controller) cell with
+mean ± std energy cost and comfort violations across seeds, and
+per-cell wall-clock timing.  Everything is read back from the store —
+nothing is recomputed — so the report always describes exactly what was
+measured.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.eval.reporting import format_markdown_table, format_mean_std
+
+from repro.store.store import ExperimentStore
+
+
+def _provenance_lines(store: ExperimentStore) -> List[str]:
+    manifest = store.manifest
+    lines = [
+        f"- **run id:** `{manifest.run_id}`",
+        f"- **created:** {manifest.created_at}",
+        f"- **git SHA:** `{manifest.git_sha}`",
+    ]
+    if manifest.version:
+        lines.append(f"- **repro version:** {manifest.version}")
+    if manifest.command:
+        command = " ".join(manifest.command)
+        lines.append(f"- **command:** `{command}`")
+    for key in sorted(manifest.config):
+        value = manifest.config[key]
+        if isinstance(value, (list, tuple)):
+            value = ", ".join(str(v) for v in value)
+        lines.append(f"- **{key}:** {value}")
+    return lines
+
+
+def render_campaign_report(store: ExperimentStore) -> str:
+    """Render a campaign run directory as a Markdown report."""
+    if store.manifest.kind != "campaign":
+        raise ValueError(
+            f"expected a campaign run, got kind={store.manifest.kind!r}"
+        )
+    cells = store.iter_cells()
+
+    lines: List[str] = [f"# Campaign report — {store.manifest.run_id}", ""]
+    lines.extend(_provenance_lines(store))
+    lines.append("")
+
+    lines.append("## Summary")
+    lines.append("")
+    if not cells:
+        lines.append("_No completed cells yet._")
+        lines.append("")
+        return "\n".join(lines)
+
+    header = [
+        "scenario",
+        "controller",
+        "seeds",
+        "cost (USD)",
+        "energy (kWh)",
+        "violations (deg-h)",
+        "violation rate",
+        "return",
+    ]
+    body = []
+    for cell in cells:
+        row = cell["row"]
+        mean, std = row["mean"], row["std"]
+        body.append(
+            [
+                row["scenario"],
+                row["controller"],
+                str(row["n_seeds"]),
+                format_mean_std(mean["cost_usd"], std["cost_usd"]),
+                format_mean_std(mean["energy_kwh"], std["energy_kwh"], digits=2),
+                format_mean_std(
+                    mean["violation_deg_hours"],
+                    std["violation_deg_hours"],
+                    digits=2,
+                ),
+                f"{mean['violation_rate']:.3f}",
+                f"{mean['episode_return']:.3f}",
+            ]
+        )
+    lines.append(format_markdown_table(header, body))
+    lines.append("")
+    lines.append(
+        "Values are mean ± population std across seeds; the violation rate "
+        "is the fraction of occupied zone-steps outside the comfort band."
+    )
+    lines.append("")
+
+    timed = [c for c in cells if c.get("elapsed_seconds") is not None]
+    lines.append("## Timing")
+    lines.append("")
+    lines.append(f"- **completed cells:** {len(cells)}")
+    if timed:
+        total = sum(float(c["elapsed_seconds"]) for c in timed)
+        lines.append(f"- **total cell wall-clock:** {total:.2f} s")
+        slowest = max(timed, key=lambda c: float(c["elapsed_seconds"]))
+        lines.append(
+            f"- **slowest cell:** {slowest['scenario']} / "
+            f"{slowest['controller']} ({float(slowest['elapsed_seconds']):.2f} s)"
+        )
+    lines.append("")
+    return "\n".join(lines)

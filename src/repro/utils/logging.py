@@ -62,6 +62,16 @@ class RunLogger:
             out.append(running / min(i + 1, window))
         return out
 
+    def state_dict(self) -> dict:
+        """All series as a plain ``{name: [values]}`` dict (JSON-safe)."""
+        return {name: list(values) for name, values in self._series.items()}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Replace all series with a :meth:`state_dict` snapshot."""
+        self._series = defaultdict(list)
+        for name, values in state.items():
+            self._series[str(name)] = [float(v) for v in values]
+
     def to_csv(self) -> str:
         """Render all series as CSV (columns padded with empty cells)."""
         names = self.names()

@@ -8,6 +8,8 @@ helpers here create, normalize, and derive generators.
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 
 # Public alias so callers can type-annotate without importing numpy.random.
@@ -43,3 +45,39 @@ def derive_rng(rng: RandomState, stream: str) -> RandomState:
     salt = int(name_digest.sum()) + 31 * len(stream)
     seed = rng.integers(0, 2**63 - 1, dtype=np.int64)
     return np.random.default_rng([int(seed), salt])
+
+
+def rng_state(rng: RandomState) -> dict:
+    """Snapshot a generator's bit-generator state as a JSON-safe dict.
+
+    The returned dict (generator family name plus its integer state words)
+    round-trips through JSON unchanged, so checkpoints can persist exact
+    positions in every RNG stream.
+    """
+    return copy.deepcopy(rng.bit_generator.state)
+
+
+def set_rng_state(rng: RandomState, state: dict) -> None:
+    """Restore a snapshot from :func:`rng_state` into an existing generator.
+
+    The generator must be backed by the same bit-generator family the
+    snapshot was taken from (all library streams use the PCG64 default).
+    """
+    expected = rng.bit_generator.state.get("bit_generator")
+    got = state.get("bit_generator")
+    if expected != got:
+        raise ValueError(
+            f"bit-generator mismatch: generator uses {expected!r}, state is {got!r}"
+        )
+    rng.bit_generator.state = copy.deepcopy(state)
+
+
+def rng_from_state(state: dict) -> RandomState:
+    """Build a fresh generator positioned at a :func:`rng_state` snapshot."""
+    name = state.get("bit_generator", "PCG64")
+    bit_generator_cls = getattr(np.random, name, None)
+    if bit_generator_cls is None:
+        raise ValueError(f"unknown bit generator {name!r}")
+    bit_generator = bit_generator_cls()
+    bit_generator.state = copy.deepcopy(state)
+    return np.random.Generator(bit_generator)

@@ -1,0 +1,281 @@
+"""Tests for checkpoint state dicts across the learning stack.
+
+Everything asserts the round-trip guarantee: save -> (JSON) -> load ->
+continue must reproduce an uninterrupted run bit-for-bit, for each
+component in isolation and for the composed agent.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import DQNAgent, DQNConfig, PrioritizedReplayBuffer, ReplayBuffer
+from repro.core.schedules import (
+    ConstantSchedule,
+    ExponentialSchedule,
+    LinearSchedule,
+    schedule_from_state,
+)
+from repro.env.spaces import MultiDiscrete
+from repro.utils.seeding import ensure_rng, rng_from_state, rng_state, set_rng_state
+
+
+def json_round_trip(state):
+    """Assert JSON-serializability and return the decoded copy."""
+    return json.loads(json.dumps(state))
+
+
+class TestRngState:
+    def test_snapshot_restores_exact_stream(self):
+        rng = ensure_rng(42)
+        rng.random(10)
+        snap = json_round_trip(rng_state(rng))
+        ahead = rng.random(5).tolist()
+        restored = ensure_rng(0)
+        set_rng_state(restored, snap)
+        assert restored.random(5).tolist() == ahead
+
+    def test_rng_from_state(self):
+        rng = ensure_rng(7)
+        snap = rng_state(rng)
+        twin = rng_from_state(json_round_trip(snap))
+        assert twin.random(3).tolist() == rng.random(3).tolist()
+
+    def test_mismatched_bit_generator_rejected(self):
+        rng = ensure_rng(0)
+        with pytest.raises(ValueError, match="bit-generator"):
+            set_rng_state(rng, {"bit_generator": "MT19937", "state": {}})
+
+
+class TestArrayCodec:
+    @pytest.mark.parametrize("dtype", ["float64", "int64", "bool"])
+    def test_round_trip_preserves_dtype_and_shape(self, dtype):
+        array = np.arange(6).reshape(2, 3).astype(dtype)
+        decoded = nn.decode_array(json_round_trip(nn.encode_array(array)))
+        assert decoded.dtype == array.dtype
+        assert np.array_equal(decoded, array)
+
+
+class TestOptimizerState:
+    def _train_some(self, opt, params, steps=5):
+        rng = ensure_rng(0)
+        for _ in range(steps):
+            for p in params:
+                p.grad[...] = rng.normal(size=p.value.shape)
+            opt.step()
+            opt.zero_grad()
+
+    def test_adam_resume_matches_uninterrupted(self):
+        net_a = nn.MLP(3, (4,), 2, rng=0)
+        net_b = nn.MLP(3, (4,), 2, rng=0)
+        opt_a = nn.Adam(net_a.parameters(), lr=1e-2)
+        opt_b = nn.Adam(net_b.parameters(), lr=1e-2)
+        self._train_some(opt_a, net_a.parameters())
+        self._train_some(opt_b, net_b.parameters())
+
+        state = json_round_trip(nn.optimizer_state_dict(opt_b))
+        net_c = nn.MLP(3, (4,), 2, rng=1)
+        net_c.copy_weights_from(net_b)
+        opt_c = nn.Adam(net_c.parameters(), lr=0.5)  # overwritten by load
+        nn.load_optimizer_state_dict(opt_c, state)
+        assert opt_c.lr == opt_a.lr and opt_c._t == opt_a._t
+
+        # Continue both with identical gradients: trajectories must match.
+        self._train_some(opt_a, net_a.parameters())
+        self._train_some(opt_c, net_c.parameters())
+        for pa, pc in zip(net_a.parameters(), net_c.parameters()):
+            assert np.array_equal(pa.value, pc.value)
+
+    def test_type_mismatch_rejected(self):
+        net = nn.MLP(2, (3,), 1, rng=0)
+        state = nn.optimizer_state_dict(nn.Adam(net.parameters(), lr=1e-3))
+        sgd = nn.SGD(net.parameters(), lr=1e-3)
+        with pytest.raises(ValueError, match="type mismatch"):
+            nn.load_optimizer_state_dict(sgd, state)
+
+
+def _fill_buffer(buffer, n, obs_dim=3, rng=None):
+    rng = ensure_rng(rng if rng is not None else 0)
+    for i in range(n):
+        buffer.add(
+            rng.normal(size=obs_dim),
+            i % 4,
+            float(i),
+            rng.normal(size=obs_dim),
+            i % 5 == 0,
+        )
+
+
+class TestReplayBufferState:
+    def test_exact_round_trip_preserves_sampling_stream(self):
+        src = ReplayBuffer(8, 3)
+        _fill_buffer(src, 13)  # wrapped: slot layout matters
+        state = json_round_trip(src.state_dict())
+        dst = ReplayBuffer(8, 3)
+        dst.load_state_dict(state)
+        assert len(dst) == len(src) and dst._cursor == src._cursor
+        batch_a = src.sample(6, ensure_rng(3))
+        batch_b = dst.sample(6, ensure_rng(3))
+        for key in batch_a:
+            assert np.array_equal(batch_a[key], batch_b[key])
+
+    def test_truncated_keeps_most_recent(self):
+        src = ReplayBuffer(8, 3)
+        _fill_buffer(src, 13)
+        state = src.state_dict(max_transitions=4)
+        assert state["size"] == 4 and not state["exact"]
+        dst = ReplayBuffer(8, 3)
+        dst.load_state_dict(state)
+        # rewards were 0..12; the last four are 9..12 in order.
+        assert dst._rewards[:4, 0].tolist() == [9.0, 10.0, 11.0, 12.0]
+
+    def test_dimension_mismatch_rejected(self):
+        src = ReplayBuffer(8, 3)
+        _fill_buffer(src, 2)
+        with pytest.raises(ValueError, match="obs_dim"):
+            ReplayBuffer(8, 4).load_state_dict(src.state_dict())
+
+    def test_corrupt_cursor_rejected_at_load_time(self):
+        src = ReplayBuffer(8, 3)
+        _fill_buffer(src, 2)
+        state = src.state_dict()
+        state["cursor"] = 99999
+        with pytest.raises(ValueError, match="cursor"):
+            ReplayBuffer(8, 3).load_state_dict(state)
+
+    def test_continued_adds_after_load(self):
+        src = ReplayBuffer(4, 3)
+        _fill_buffer(src, 6)
+        dst = ReplayBuffer(4, 3)
+        dst.load_state_dict(src.state_dict())
+        _fill_buffer(src, 3, rng=9)
+        _fill_buffer(dst, 3, rng=9)
+        assert np.array_equal(src._obs, dst._obs)
+        assert src._cursor == dst._cursor
+
+
+class TestPrioritizedReplayState:
+    def test_rejects_uniform_state_before_mutating(self):
+        src = ReplayBuffer(8, 3)
+        _fill_buffer(src, 5)
+        dst = PrioritizedReplayBuffer(8, 3)
+        _fill_buffer(dst, 2)
+        before = dst._obs.copy()
+        with pytest.raises(ValueError, match="prioritized"):
+            dst.load_state_dict(src.state_dict())
+        # The failed load must not have touched the buffer contents.
+        assert np.array_equal(dst._obs, before)
+        assert len(dst) == 2
+
+    def test_round_trip_preserves_priorities(self):
+        src = PrioritizedReplayBuffer(8, 3, alpha=0.7)
+        _fill_buffer(src, 10)
+        src.update_priorities(np.array([0, 3]), np.array([2.0, 5.0]))
+        state = json_round_trip(src.state_dict())
+        dst = PrioritizedReplayBuffer(8, 3, alpha=0.7)
+        dst.load_state_dict(state)
+        assert dst._max_priority == src._max_priority
+        assert np.array_equal(dst._priorities, src._priorities)
+        batch_a = src.sample(6, ensure_rng(1), beta=0.5)
+        batch_b = dst.sample(6, ensure_rng(1), beta=0.5)
+        assert np.array_equal(batch_a["indices"], batch_b["indices"])
+        assert np.array_equal(batch_a["weights"], batch_b["weights"])
+
+
+class TestScheduleState:
+    @pytest.mark.parametrize(
+        "schedule",
+        [
+            ConstantSchedule(0.3),
+            LinearSchedule(1.0, 0.05, 100),
+            ExponentialSchedule(1.0, 0.01, 0.9),
+        ],
+    )
+    def test_round_trip(self, schedule):
+        twin = schedule_from_state(json_round_trip(schedule.state_dict()))
+        for step in (0, 7, 50, 1000):
+            assert twin.value(step) == schedule.value(step)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown schedule"):
+            schedule_from_state({"type": "cosine"})
+
+
+def _make_agent(rng=0, **overrides):
+    config = DQNConfig(
+        hidden=(8,),
+        batch_size=4,
+        learn_start=8,
+        buffer_capacity=64,
+        epsilon_decay_steps=50,
+        target_sync_every=5,
+        **overrides,
+    )
+    return DQNAgent(3, MultiDiscrete([3, 2]), config=config, rng=rng)
+
+
+def _drive(agent, steps, seed=0):
+    """Feed synthetic transitions and learning updates; returns actions."""
+    rng = ensure_rng(seed)
+    actions = []
+    for _ in range(steps):
+        obs = rng.normal(size=3)
+        action = agent.select_action(obs, explore=True)
+        agent.store(obs, action, float(rng.normal()), rng.normal(size=3), False)
+        loss = agent.learn()
+        actions.append((action.tolist(), loss))
+    return actions
+
+
+class TestDQNAgentState:
+    def test_save_load_continue_is_bit_for_bit(self):
+        agent_a = _make_agent(rng=5)
+        agent_b = _make_agent(rng=5)
+        _drive(agent_a, 30)
+        _drive(agent_b, 30)
+
+        state = json_round_trip(agent_b.state_dict())
+        agent_c = _make_agent(rng=99)  # different init, fully overwritten
+        agent_c.load_state_dict(state)
+
+        tail_a = _drive(agent_a, 20, seed=1)
+        tail_c = _drive(agent_c, 20, seed=1)
+        assert tail_a == tail_c
+        for pa, pc in zip(agent_a.online.parameters(), agent_c.online.parameters()):
+            assert np.array_equal(pa.value, pc.value)
+        for pa, pc in zip(agent_a.target.parameters(), agent_c.target.parameters()):
+            assert np.array_equal(pa.value, pc.value)
+
+    def test_from_state_dict_reconstructs_config(self):
+        agent = _make_agent(rng=2, double_dqn=False)
+        _drive(agent, 12)
+        twin = DQNAgent.from_state_dict(json_round_trip(agent.state_dict()))
+        assert twin.config == agent.config
+        assert twin.total_steps == agent.total_steps
+        obs = np.ones(3)
+        assert np.array_equal(twin.q_values(obs), agent.q_values(obs))
+
+    def test_inference_checkpoint_skips_buffer(self):
+        agent = _make_agent()
+        _drive(agent, 12)
+        state = agent.state_dict(include_buffer=False)
+        assert state["buffer"] is None
+        twin = DQNAgent.from_state_dict(json_round_trip(state))
+        assert len(twin.buffer) == 0
+
+    def test_mismatched_action_space_rejected(self):
+        agent = _make_agent()
+        state = agent.state_dict(include_buffer=False)
+        other = DQNAgent(3, MultiDiscrete([2, 2]), config=agent.config, rng=0)
+        with pytest.raises(ValueError, match="action-space"):
+            other.load_state_dict(state)
+
+    def test_prioritized_buffer_round_trips_through_agent(self):
+        agent_a = _make_agent(rng=3, prioritized_replay=True)
+        _drive(agent_a, 25)
+        state = json_round_trip(agent_a.state_dict())
+        agent_b = _make_agent(rng=11, prioritized_replay=True)
+        agent_b.load_state_dict(state)
+        assert _drive(agent_a, 10, seed=4) == _drive(agent_b, 10, seed=4)

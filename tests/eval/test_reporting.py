@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.eval import format_series, format_table, sparkline
+from repro.eval import (
+    format_markdown_table,
+    format_mean_std,
+    format_series,
+    format_table,
+    sparkline,
+)
 
 
 class TestFormatTable:
@@ -20,6 +26,45 @@ class TestFormatTable:
     def test_non_string_cells_coerced(self):
         text = format_table(["x"], [[1.5]])
         assert "1.5" in text
+
+
+class TestFormatMarkdownTable:
+    def test_structure(self):
+        text = format_markdown_table(["name", "v"], [["a", "1"], ["bb", "22"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("| name")
+        assert set(lines[1]) <= {"|", "-", " "}
+        assert all(line.startswith("|") and line.endswith("|") for line in lines)
+
+    def test_empty_rows_render_header_only(self):
+        text = format_markdown_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_markdown_table(["a", "b"], [["only-one"]])
+
+    def test_escapes_pipes_in_cells(self):
+        text = format_markdown_table(["x"], [["a|b"]])
+        assert r"a\|b" in text
+
+    def test_escapes_pipes_in_header(self):
+        text = format_markdown_table(["cost|energy"], [["1"]])
+        assert r"cost\|energy" in text
+
+    def test_columns_are_aligned(self):
+        text = format_markdown_table(["h"], [["x"], ["longer"]])
+        widths = {len(line) for line in text.splitlines()}
+        assert len(widths) == 1
+
+
+class TestFormatMeanStd:
+    def test_default_digits(self):
+        assert format_mean_std(1.23456, 0.5) == "1.235 ± 0.500"
+
+    def test_custom_digits(self):
+        assert format_mean_std(2.0, 0.25, digits=2) == "2.00 ± 0.25"
 
 
 class TestSparkline:

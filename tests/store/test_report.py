@@ -1,0 +1,73 @@
+"""Tests for the Markdown campaign report renderer."""
+
+import pytest
+
+from repro.store import ExperimentStore, render_campaign_report
+
+
+def _cell_row(scenario, controller, cost=2.0, viol=0.5):
+    metrics = {
+        "episode_return": -cost,
+        "cost_usd": cost,
+        "energy_kwh": 10.0 * cost,
+        "violation_deg_hours": viol,
+        "violation_rate": 0.01,
+    }
+    return {
+        "scenario": scenario,
+        "controller": controller,
+        "n_seeds": 3,
+        "mean": dict(metrics),
+        "std": {k: 0.25 for k in metrics},
+    }
+
+
+@pytest.fixture
+def campaign_store(tmp_path):
+    return ExperimentStore.create(
+        tmp_path / "run",
+        kind="campaign",
+        config={"scenarios": ["heat-wave"], "controllers": ["pid", "random"]},
+        command=["repro-hvac", "campaign", "--resume", "run"],
+    )
+
+
+class TestRenderCampaignReport:
+    def test_one_summary_row_per_cell_with_mean_std(self, campaign_store):
+        campaign_store.put_cell(_cell_row("heat-wave", "pid", cost=2.5))
+        campaign_store.put_cell(_cell_row("heat-wave", "random", cost=9.0))
+        text = render_campaign_report(campaign_store)
+        lines = text.splitlines()
+        pid_rows = [l for l in lines if "| pid" in l]
+        random_rows = [l for l in lines if "| random" in l]
+        assert len(pid_rows) == 1 and len(random_rows) == 1
+        # mean±std energy cost and comfort violations in the cell row
+        assert "2.500 ± 0.250" in pid_rows[0]
+        assert "0.50 ± 0.25" in pid_rows[0]
+
+    def test_provenance_section(self, campaign_store):
+        campaign_store.put_cell(_cell_row("heat-wave", "pid"))
+        text = render_campaign_report(campaign_store)
+        assert campaign_store.manifest.run_id in text
+        assert campaign_store.manifest.git_sha in text
+        assert "repro-hvac campaign --resume run" in text
+        assert "heat-wave" in text
+
+    def test_timing_section(self, campaign_store):
+        campaign_store.put_cell(_cell_row("heat-wave", "pid"), elapsed_seconds=2.0)
+        campaign_store.put_cell(
+            _cell_row("heat-wave", "random"), elapsed_seconds=5.0
+        )
+        text = render_campaign_report(campaign_store)
+        assert "completed cells:** 2" in text
+        assert "7.00 s" in text
+        assert "slowest cell:** heat-wave / random" in text
+
+    def test_empty_run_renders_placeholder(self, campaign_store):
+        text = render_campaign_report(campaign_store)
+        assert "No completed cells yet" in text
+
+    def test_rejects_non_campaign_runs(self, tmp_path):
+        store = ExperimentStore.create(tmp_path / "t", kind="train")
+        with pytest.raises(ValueError, match="campaign"):
+            render_campaign_report(store)

@@ -1,0 +1,142 @@
+"""Tests for the file-backed experiment store."""
+
+import json
+
+import pytest
+
+from repro.store import ExperimentStore, RunManifest, discover_git_sha
+
+
+class TestLifecycle:
+    def test_create_writes_manifest(self, tmp_path):
+        store = ExperimentStore.create(
+            tmp_path / "run", kind="campaign", config={"seeds": [0, 1]}
+        )
+        manifest = json.loads((tmp_path / "run" / "manifest.json").read_text())
+        assert manifest["kind"] == "campaign"
+        assert manifest["config"] == {"seeds": [0, 1]}
+        assert store.manifest.run_id.startswith("campaign-")
+        assert store.manifest.created_at.endswith("Z")
+
+    def test_create_refuses_existing_run(self, tmp_path):
+        ExperimentStore.create(tmp_path / "run", kind="campaign")
+        with pytest.raises(FileExistsError):
+            ExperimentStore.create(tmp_path / "run", kind="campaign")
+
+    def test_open_round_trips_manifest(self, tmp_path):
+        created = ExperimentStore.create(
+            tmp_path / "run", kind="train", config={"seed": 3}
+        )
+        opened = ExperimentStore.open(tmp_path / "run")
+        assert opened.manifest == created.manifest
+
+    def test_open_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ExperimentStore.open(tmp_path / "nope")
+
+    def test_open_or_create_reuses_and_checks_kind(self, tmp_path):
+        first = ExperimentStore.open_or_create(tmp_path / "run", kind="campaign")
+        again = ExperimentStore.open_or_create(tmp_path / "run", kind="campaign")
+        assert again.manifest.run_id == first.manifest.run_id
+        with pytest.raises(ValueError, match="cannot resume"):
+            ExperimentStore.open_or_create(tmp_path / "run", kind="train")
+
+
+class TestArtifactsAndCheckpoints:
+    def test_artifact_round_trip(self, tmp_path):
+        store = ExperimentStore.create(tmp_path / "run", kind="train")
+        store.put_artifact("log", {"loss": [1.0, 0.5]})
+        assert store.has_artifact("log")
+        assert store.get_artifact("log") == {"loss": [1.0, 0.5]}
+        assert store.list_artifacts() == ["log"]
+
+    def test_checkpoint_round_trip(self, tmp_path):
+        store = ExperimentStore.create(tmp_path / "run", kind="train")
+        assert not store.has_checkpoint("trainer")
+        store.save_checkpoint("trainer", {"kind": "trainer", "episodes": 5})
+        assert store.has_checkpoint("trainer")
+        assert store.load_checkpoint("trainer")["episodes"] == 5
+        assert store.list_checkpoints() == ["trainer"]
+
+    def test_writes_are_atomic_no_tmp_left_behind(self, tmp_path):
+        store = ExperimentStore.create(tmp_path / "run", kind="train")
+        store.put_artifact("a", {"x": 1})
+        leftovers = list((tmp_path / "run").rglob("*.tmp"))
+        assert leftovers == []
+
+
+class TestCells:
+    def _row(self, scenario, controller):
+        return {
+            "scenario": scenario,
+            "controller": controller,
+            "n_seeds": 2,
+            "mean": {"cost_usd": 1.0},
+            "std": {"cost_usd": 0.1},
+        }
+
+    def test_cell_round_trip(self, tmp_path):
+        store = ExperimentStore.create(tmp_path / "run", kind="campaign")
+        store.put_cell(self._row("heat-wave", "pid"), elapsed_seconds=1.5)
+        cell = store.get_cell("heat-wave", "pid")
+        assert cell["row"]["mean"]["cost_usd"] == 1.0
+        assert cell["elapsed_seconds"] == 1.5
+        assert store.get_cell("heat-wave", "random") is None
+
+    def test_completed_cells(self, tmp_path):
+        store = ExperimentStore.create(tmp_path / "run", kind="campaign")
+        store.put_cell(self._row("a", "pid"))
+        store.put_cell(self._row("b", "random"))
+        assert store.completed_cells() == {("a", "pid"), ("b", "random")}
+        assert len(store.iter_cells()) == 2
+
+    def test_cell_key_sanitizes_names(self, tmp_path):
+        key = ExperimentStore.cell_key("heat wave/2", "pid")
+        assert "/" not in key and " " not in key
+
+    def test_slug_colliding_names_do_not_answer_for_each_other(self, tmp_path):
+        store = ExperimentStore.create(tmp_path / "run", kind="campaign")
+        store.put_cell(self._row("heat-wave", "pid"))
+        # "heat wave" slugs to the same file token but is a different name.
+        assert store.get_cell("heat wave", "pid") is None
+        assert store.get_cell("heat-wave", "pid") is not None
+
+    def test_put_cell_refuses_slug_collision_overwrite(self, tmp_path):
+        store = ExperimentStore.create(tmp_path / "run", kind="campaign")
+        store.put_cell(self._row("heat-wave", "pid"))
+        with pytest.raises(ValueError, match="slug-colliding"):
+            store.put_cell(self._row("heat wave", "pid"))
+        # Re-writing the same cell stays allowed (campaign reruns).
+        store.put_cell(self._row("heat-wave", "pid"))
+
+    def test_update_config_rewrites_manifest(self, tmp_path):
+        store = ExperimentStore.create(
+            tmp_path / "run", kind="train", config={"seed": 0}
+        )
+        store.update_config({"seed": 5})
+        assert ExperimentStore.open(tmp_path / "run").manifest.config == {
+            "seed": 5
+        }
+
+
+class TestGitSha:
+    def test_discovers_sha_in_this_repo(self):
+        sha = discover_git_sha()
+        assert sha == "unknown" or len(sha) == 40
+
+    def test_unknown_outside_a_repo(self, tmp_path):
+        assert discover_git_sha(tmp_path) == "unknown"
+
+
+class TestRunManifest:
+    def test_dict_round_trip(self):
+        manifest = RunManifest(
+            run_id="r1",
+            kind="campaign",
+            created_at="2026-01-01T00:00:00Z",
+            git_sha="abc",
+            version="1.0.0",
+            command=("repro-hvac", "campaign"),
+            config={"seeds": [0]},
+        )
+        assert RunManifest.from_dict(manifest.as_dict()) == manifest

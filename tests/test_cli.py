@@ -107,7 +107,172 @@ class TestCampaignCommand:
         assert "quantum" in capsys.readouterr().err
 
 
+class TestCampaignResumeAndReport:
+    _ARGS = [
+        "campaign",
+        "--scenarios",
+        "flat-tariff",
+        "--controllers",
+        "thermostat",
+        "--seeds",
+        "2",
+    ]
+
+    def test_resume_stores_cells_and_skips_on_rerun(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert main(self._ARGS + ["--resume", str(run_dir)]) == 0
+        assert (run_dir / "manifest.json").exists()
+        cells = list((run_dir / "cells").glob("*.json"))
+        assert len(cells) == 1
+
+        assert main(self._ARGS + ["--resume", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "resuming" in out and "1 of 1 cells stored" in out
+
+    def test_report_renders_markdown_summary(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        main(self._ARGS + ["--resume", str(run_dir)])
+        capsys.readouterr()
+        assert main(["report", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "# Campaign report" in out
+        assert "flat-tariff" in out and "thermostat" in out
+        assert "±" in out  # mean±std summary cells
+
+    def test_report_out_writes_file(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        main(self._ARGS + ["--resume", str(run_dir)])
+        report_path = tmp_path / "report.md"
+        assert main(["report", str(run_dir), "--out", str(report_path)]) == 0
+        assert "# Campaign report" in report_path.read_text()
+
+    def test_report_on_non_run_directory_fails(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope")]) == 2
+        assert "report:" in capsys.readouterr().err
+
+    def test_manifest_records_programmatic_argv(self, tmp_path):
+        import json as json_module
+
+        run_dir = tmp_path / "run"
+        main(self._ARGS + ["--resume", str(run_dir)])
+        manifest = json_module.loads((run_dir / "manifest.json").read_text())
+        # The in-process argv, not the host process's sys.argv.
+        assert manifest["command"][:2] == ["repro-hvac", "campaign"]
+        assert str(run_dir) in manifest["command"]
+
+    def test_resume_rejects_changed_seeds(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert main(self._ARGS + ["--resume", str(run_dir)]) == 0
+        capsys.readouterr()
+        changed = self._ARGS[:-1] + ["5"]  # --seeds 5 instead of 2
+        assert main(changed + ["--resume", str(run_dir)]) == 2
+        err = capsys.readouterr().err
+        assert "seeds" in err and "fresh run directory" in err
+
+
+class TestTrainStore:
+    def test_store_checkpoint_enables_resume(self, tmp_path, capsys):
+        run_dir = tmp_path / "trainrun"
+        assert main(["train", "--episodes", "2", "--store", str(run_dir)]) == 0
+        assert (run_dir / "checkpoints" / "trainer.json").exists()
+        assert (run_dir / "artifacts" / "training_log.json").exists()
+
+        assert main(["train", "--episodes", "3", "--store", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "resuming" in out and "at episode 2" in out
+        assert "trained 3 episodes" in out
+
+    def test_evaluate_accepts_trainer_checkpoint(self, tmp_path, capsys):
+        run_dir = tmp_path / "trainrun"
+        main(["train", "--episodes", "2", "--store", str(run_dir)])
+        capsys.readouterr()
+        ckpt = run_dir / "checkpoints" / "trainer.json"
+        assert main(["evaluate", "--checkpoint", str(ckpt), "--days", "1"]) == 0
+        assert "drl_dqn" in capsys.readouterr().out
+
+    def test_evaluate_rejects_unrecognized_checkpoint(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"not": "a checkpoint"}')
+        assert main(["evaluate", "--checkpoint", str(bogus), "--days", "1"]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_resume_rejects_changed_seed(self, tmp_path, capsys):
+        run_dir = tmp_path / "trainrun"
+        main(["train", "--episodes", "2", "--store", str(run_dir)])
+        capsys.readouterr()
+        code = main(
+            ["train", "--episodes", "3", "--seed", "9", "--store", str(run_dir)]
+        )
+        assert code == 2
+        assert "seed" in capsys.readouterr().err
+
+    def test_killed_run_keeps_a_periodic_checkpoint(self, tmp_path, monkeypatch):
+        import json as json_module
+
+        from repro.core import Trainer
+
+        run_dir = tmp_path / "trainrun"
+        original = Trainer.run_episode
+        calls = {"n": 0}
+
+        def dying_run_episode(self, **kwargs):
+            calls["n"] += 1
+            if calls["n"] > 2:  # die inside episode 3
+                raise KeyboardInterrupt
+            return original(self, **kwargs)
+
+        monkeypatch.setattr(Trainer, "run_episode", dying_run_episode)
+        with pytest.raises(KeyboardInterrupt):
+            main(
+                ["train", "--episodes", "5", "--store", str(run_dir),
+                 "--checkpoint-every", "1"]
+            )
+        state = json_module.loads(
+            (run_dir / "checkpoints" / "trainer.json").read_text()
+        )
+        assert state["episodes_completed"] == 2  # work up to the kill survives
+
+    def test_stale_manifest_config_rewritten_when_no_checkpoint(
+        self, tmp_path, capsys
+    ):
+        from repro.store import ExperimentStore
+
+        run_dir = tmp_path / "trainrun"
+        # A run directory whose first attempt died before any checkpoint.
+        ExperimentStore.create(
+            run_dir, kind="train", config={"episodes": 9, "seed": 9}
+        )
+        assert main(
+            ["train", "--episodes", "2", "--seed", "1", "--store", str(run_dir)]
+        ) == 0
+        manifest = ExperimentStore.open(run_dir).manifest
+        assert manifest.config["seed"] == 1  # records the producing run
+
+    def test_resume_pins_schedule_to_stored_run(self, tmp_path, capsys):
+        import json as json_module
+
+        run_dir = tmp_path / "trainrun"
+        main(["train", "--episodes", "2", "--store", str(run_dir)])
+        main(["train", "--episodes", "4", "--store", str(run_dir)])
+        capsys.readouterr()
+        state = json_module.loads(
+            (run_dir / "checkpoints" / "trainer.json").read_text()
+        )
+        # 50 * the original --episodes, not the resumed --episodes.
+        assert state["agent"]["epsilon_schedule"]["decay_steps"] == 100
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_epilogs_document_output_and_resume_flows(self):
+        from repro.cli import _build_parser
+
+        parser = _build_parser()
+        sub = parser._subparsers._group_actions[0].choices
+        assert "--resume RUN_DIR" in sub["campaign"].format_help()
+        assert "repro-hvac report" in sub["campaign"].format_help()
+        assert "--out agent.json" in sub["train"].format_help()
+        assert "checkpoint formats" in sub["evaluate"].format_help()

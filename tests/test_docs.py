@@ -1,0 +1,47 @@
+"""The docs checker runs clean against the repo's own documentation.
+
+Keeps README/docs code samples and links honest in tier-1, mirroring the
+CI docs job (``python tools/check_docs.py``).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "tools"))
+
+import check_docs  # noqa: E402
+
+
+class TestRepoDocs:
+    def test_docs_exist(self):
+        files = {p.name for p in check_docs.markdown_files()}
+        assert {"README.md", "api.md", "experiments.md"} <= files
+
+    def test_no_problems_in_repo_docs(self):
+        assert check_docs.run_checks() == []
+
+
+class TestCheckerCatchesRot:
+    def test_flags_broken_python_block(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(check_docs, "REPO_ROOT", tmp_path)
+        bad = tmp_path / "bad.md"
+        bad.write_text("```python\ndef broken(:\n```\n")
+        problems = check_docs.check_file(
+            bad, commands={"train"}, experiments={"e1"}
+        )
+        assert any("fails to parse" in p for p in problems)
+
+    def test_flags_unknown_subcommand_and_link(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(check_docs, "REPO_ROOT", tmp_path)
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "see [missing](gone.md)\n\n"
+            "```bash\npython -m repro.cli frobnicate\n"
+            "python -m repro.cli experiment e99\n```\n"
+        )
+        problems = check_docs.check_file(
+            doc, commands={"train"}, experiments={"e1"}
+        )
+        assert any("frobnicate" in p for p in problems)
+        assert any("e99" in p for p in problems)
+        assert any("gone.md" in p for p in problems)

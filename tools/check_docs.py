@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Docs checker: keep README/docs code samples and links from rotting.
+
+Validates, for README.md and every file under docs/:
+
+* fenced ``python`` blocks parse (``compile()`` syntax check);
+* every ``python -m repro.cli <cmd>`` / ``repro-hvac <cmd>`` invocation
+  names a real subcommand, and every ``experiment e<N>`` a registered
+  experiment;
+* relative Markdown links point at files that exist.
+
+Run as ``PYTHONPATH=src python tools/check_docs.py`` (CI runs it in the
+docs job); exits non-zero with one line per problem found.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_FENCE_RE = re.compile(r"^```(\w*)\s*$")
+_LINK_RE = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+_CLI_RE = re.compile(r"(?:python -m repro\.cli|repro-hvac)\s+([a-z][a-z-]*)")
+_EXPERIMENT_RE = re.compile(r"experiment\s+(e\d+)")
+
+
+def markdown_files() -> List[Path]:
+    """README plus everything under docs/."""
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def fenced_blocks(text: str) -> List[Tuple[str, int, str]]:
+    """All fenced code blocks as ``(language, start_line, source)``."""
+    blocks = []
+    language = None
+    start = 0
+    lines: List[str] = []
+    for i, line in enumerate(text.splitlines(), start=1):
+        fence = _FENCE_RE.match(line.strip())
+        if fence and language is None:
+            language, start, lines = fence.group(1), i, []
+        elif line.strip() == "```" and language is not None:
+            blocks.append((language, start, "\n".join(lines)))
+            language = None
+        elif language is not None:
+            lines.append(line)
+    return blocks
+
+
+def _cli_surface() -> Tuple[set, set]:
+    """Real (subcommands, experiment ids) from the CLI parser."""
+    from repro.cli import _EXPERIMENTS, _build_parser
+
+    parser = _build_parser()
+    subactions = parser._subparsers._group_actions[0]
+    return set(subactions.choices), set(_EXPERIMENTS)
+
+
+def check_file(path: Path, commands: set, experiments: set) -> List[str]:
+    problems = []
+    text = path.read_text()
+    rel = path.relative_to(REPO_ROOT)
+
+    for language, line, source in fenced_blocks(text):
+        if language in ("python", "py"):
+            try:
+                compile(source, f"{rel}:{line}", "exec")
+            except SyntaxError as exc:
+                problems.append(f"{rel}:{line}: python block fails to parse: {exc}")
+        if language in ("bash", "sh", "console", ""):
+            for match in _CLI_RE.finditer(source):
+                if match.group(1) not in commands:
+                    problems.append(
+                        f"{rel}:{line}: unknown CLI subcommand {match.group(1)!r}"
+                    )
+            for match in _EXPERIMENT_RE.finditer(source):
+                if match.group(1) not in experiments:
+                    problems.append(
+                        f"{rel}:{line}: unknown experiment id {match.group(1)!r}"
+                    )
+
+    for i, line_text in enumerate(text.splitlines(), start=1):
+        for match in _LINK_RE.finditer(line_text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "#", "mailto:")):
+                continue
+            target_path = (path.parent / target.split("#", 1)[0]).resolve()
+            if not target_path.exists():
+                problems.append(f"{rel}:{i}: broken link {target!r}")
+    return problems
+
+
+def run_checks() -> List[str]:
+    """All problems across all doc files (empty means healthy docs)."""
+    commands, experiments = _cli_surface()
+    problems: List[str] = []
+    for path in markdown_files():
+        problems.extend(check_file(path, commands, experiments))
+    return problems
+
+
+def main() -> int:
+    problems = run_checks()
+    files = markdown_files()
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print(f"docs check: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"docs check: {len(files)} file(s) OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

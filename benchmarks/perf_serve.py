@@ -1,0 +1,189 @@
+"""Micro-benchmark: micro-batched serving vs. one-request-one-forward.
+
+Replays a recorded stream of fleet observations (default: a 256-building
+``baseline-tou`` fleet, one simulated day of 15-minute control ticks)
+through the :class:`~repro.serve.MicroBatcher` twice:
+
+1. **micro-batched** — every tick's requests coalesce into one batched
+   ``select_actions`` forward pass;
+2. **per-request** — ``max_batch_size=1``, so every request pays its own
+   forward pass (the execution model a naive serving loop would use).
+
+The simulation is kept *out* of the timed region — both modes would pay
+it identically, and the claim under test is about the inference gateway
+hot path.  Both modes must return bit-identical actions (deterministic
+greedy serving), which the benchmark asserts before reporting.
+
+It records the result in ``benchmarks/results/BENCH_serve.json`` **and
+the repo root** (where perf tracking picks it up), and exits non-zero
+when the speedup falls below ``--min-speedup`` (default 5x, the
+acceptance floor for the serving gateway).
+
+Run::
+
+    PYTHONPATH=src python benchmarks/perf_serve.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import List
+
+import numpy as np
+
+from repro.core import DQNAgent
+from repro.serve import MicroBatcher, MicroBatcherConfig, PolicyRegistry
+from repro.sim import VectorHVACEnv, build_fleet, get_scenario
+
+RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_NAME = "BENCH_serve.json"
+
+
+def record_observation_stream(
+    scenario_name: str, n_envs: int, n_steps: int
+) -> List[List[np.ndarray]]:
+    """Per-tick, per-client observation rows from a real fleet rollout.
+
+    The fleet is stepped with a fixed mid-range action — the serving
+    benchmark replays the same observation sequence into both execution
+    models, so what generated it does not matter, only that the rows are
+    realistic.
+    """
+    vec = VectorHVACEnv(
+        build_fleet(scenario_name, seeds=range(n_envs)), autoreset=True
+    )
+    obs = vec.reset()
+    action = np.ones((vec.n_envs, vec.max_zones), dtype=int)
+    stream = []
+    for _ in range(n_steps):
+        stream.append(vec.split_obs(obs))
+        obs, _, _, _ = vec.step(action)
+    return stream
+
+
+def _serve_stream(
+    stream: List[List[np.ndarray]], policy: DQNAgent, max_batch_size: int
+) -> tuple:
+    """Serve the whole stream; returns ``(seconds, actions)``."""
+    registry = PolicyRegistry()
+    registry.publish("bench", policy)
+    batcher = MicroBatcher(
+        registry,
+        config=MicroBatcherConfig(
+            max_batch_size=max_batch_size, deterministic=True
+        ),
+    )
+    actions = []
+    start = time.perf_counter()
+    for tick in stream:
+        tickets = [
+            batcher.submit("bench", obs, client_id=k)
+            for k, obs in enumerate(tick)
+        ]
+        batcher.flush()
+        actions.append([t.result() for t in tickets])
+    elapsed = time.perf_counter() - start
+    return elapsed, actions
+
+
+def run_benchmark(
+    scenario: str = "baseline-tou",
+    n_envs: int = 256,
+    n_steps: int = 16,
+    repeats: int = 3,
+) -> dict:
+    """Best-of-``repeats`` timing for both serving modes."""
+    stream = record_observation_stream(scenario, n_envs, n_steps)
+    obs_dim = stream[0][0].shape[0]
+    probe = get_scenario(scenario).build(0)
+    policy = DQNAgent(probe.obs_dim, probe.action_space, rng=0)
+
+    # Deterministic greedy serving: every repeat returns identical
+    # actions, so the parity check reuses the timed runs' outputs.
+    batched_runs = [
+        _serve_stream(stream, policy, max_batch_size=n_envs)
+        for _ in range(repeats)
+    ]
+    per_request_runs = [
+        _serve_stream(stream, policy, max_batch_size=1) for _ in range(repeats)
+    ]
+    batched_s = min(run[0] for run in batched_runs)
+    per_request_s = min(run[0] for run in per_request_runs)
+    batched_actions = batched_runs[0][1]
+    scalar_actions = per_request_runs[0][1]
+    identical = all(
+        np.array_equal(a, b)
+        for tick_a, tick_b in zip(batched_actions, scalar_actions)
+        for a, b in zip(tick_a, tick_b)
+    )
+
+    total_requests = n_envs * n_steps
+    return {
+        "benchmark": "serve",
+        "scenario": scenario,
+        "fleet": n_envs,
+        "n_steps": n_steps,
+        "repeats": repeats,
+        "obs_dim": obs_dim,
+        "batched_requests_per_s": total_requests / batched_s,
+        "per_request_requests_per_s": total_requests / per_request_s,
+        "batched_seconds": batched_s,
+        "per_request_seconds": per_request_s,
+        "speedup": per_request_s / batched_s,
+        "actions_identical": identical,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scenario", type=str, default="baseline-tou")
+    parser.add_argument("--fleet", type=int, default=256)
+    parser.add_argument("--n-steps", type=int, default=16)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="fail (exit 1) below this batched/per-request speedup; 0 disables",
+    )
+    args = parser.parse_args(argv)
+
+    record = run_benchmark(args.scenario, args.fleet, args.n_steps, args.repeats)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = json.dumps(record, indent=2) + "\n"
+    out_paths = [RESULTS_DIR / BENCH_NAME, REPO_ROOT / BENCH_NAME]
+    for path in out_paths:
+        path.write_text(payload)
+
+    print(
+        f"fleet={record['fleet']} x {record['n_steps']} ticks "
+        f"(best of {record['repeats']})"
+    )
+    print(f"  micro-batched: {record['batched_requests_per_s']:>12,.0f} req/s")
+    print(f"  per-request:   {record['per_request_requests_per_s']:>12,.0f} req/s")
+    print(f"  speedup: {record['speedup']:.1f}x")
+    print(f"  actions identical across modes: {record['actions_identical']}")
+    print(f"  recorded in {out_paths[0]} and {out_paths[1]}")
+    if not record["actions_identical"]:
+        print("FAIL: batched and per-request actions differ", file=sys.stderr)
+        return 1
+    if args.min_speedup and record["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: speedup {record['speedup']:.1f}x below the "
+            f"{args.min_speedup:.1f}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

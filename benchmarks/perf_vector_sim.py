@@ -9,9 +9,10 @@ simulated day through:
    sequentially in Python (the pre-``repro.sim`` execution model).
 
 It reports aggregate env-steps/sec for both, records the result in
-``benchmarks/results/BENCH_vector_sim.json``, and exits non-zero when
-the speedup falls below ``--min-speedup`` (default 5x, the acceptance
-floor for the vectorized engine).
+``benchmarks/results/BENCH_vector_sim.json`` **and the repo root**
+(where perf tracking picks it up), and exits non-zero when the speedup
+falls below ``--min-speedup`` (default 5x, the acceptance floor for the
+vectorized engine).
 
 Run::
 
@@ -35,6 +36,8 @@ from repro.sim import VectorHVACEnv
 from repro.weather import SyntheticWeatherConfig, generate_weather
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_NAME = "BENCH_vector_sim.json"
 
 
 def _make_env(weather, seed: int) -> HVACEnv:
@@ -121,8 +124,10 @@ def main(argv=None) -> int:
 
     record = run_benchmark(args.n_envs, args.n_steps, args.repeats)
     RESULTS_DIR.mkdir(exist_ok=True)
-    out_path = RESULTS_DIR / "BENCH_vector_sim.json"
-    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    payload = json.dumps(record, indent=2) + "\n"
+    out_path = RESULTS_DIR / BENCH_NAME
+    out_path.write_text(payload)
+    (REPO_ROOT / BENCH_NAME).write_text(payload)
 
     print(
         f"N={record['n_envs']} x {record['n_steps']} steps "
@@ -135,7 +140,7 @@ def main(argv=None) -> int:
         f"{record['speedup_including_construction']:.1f}x including the "
         f"{record['vector_construction_seconds']:.3f}s one-time fleet setup"
     )
-    print(f"  recorded in {out_path}")
+    print(f"  recorded in {out_path} and {REPO_ROOT / BENCH_NAME}")
     if args.min_speedup and record["speedup"] < args.min_speedup:
         print(
             f"FAIL: speedup {record['speedup']:.1f}x below the "

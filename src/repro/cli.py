@@ -15,8 +15,14 @@ Exposes the library's main workflows without writing Python:
   table (``--list-scenarios`` shows the registry; ``--executor process``
   fans the cells out over a process pool; ``--out`` writes JSON rows;
   ``--resume RUN_DIR`` makes the sweep durable and restartable).
+* ``repro-hvac serve``      — serve a policy to a simulated building
+  fleet through the micro-batching gateway and print the serving
+  telemetry (latency quantiles, throughput, request mix).
+* ``repro-hvac loadtest``   — fleet load harness: drive a large fleet
+  through the gateway in micro-batched and per-request modes and report
+  the throughput comparison (``--out`` writes the JSON record).
 * ``repro-hvac report``     — render a Markdown report (summary tables,
-  provenance, timing) from a campaign run directory.
+  provenance, timing) from a campaign or serve run directory.
 
 Usage::
 
@@ -26,6 +32,8 @@ Usage::
     python -m repro.cli weather --days 30 --out weather.csv
     python -m repro.cli campaign --scenarios heat-wave,mild-winter \
         --controllers thermostat,pid --seeds 3 --resume runs/sweep1
+    python -m repro.cli serve --checkpoint agent.json --fleet 16 --steps 96
+    python -m repro.cli loadtest --fleet 256 --steps 16 --out BENCH_serve.json
     python -m repro.cli report runs/sweep1
 """
 
@@ -42,7 +50,6 @@ from repro.core import DQNAgent, DQNConfig, Trainer, TrainerConfig
 from repro.env import HVACEnv, HVACEnvConfig
 from repro.eval import ComparisonRow, ComparisonTable, evaluate_controller
 from repro.eval import experiments as exp
-from repro.nn.serialization import load_state_dict
 from repro.weather import SyntheticWeatherConfig, generate_weather, weather_to_csv
 
 _EXPERIMENTS = {
@@ -191,24 +198,152 @@ def _build_parser() -> argparse.ArgumentParser:
         help="list registered scenarios and exit",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="serve a policy to a simulated fleet through the gateway",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "Builds a fleet of --fleet buildings from --scenario, routes\n"
+            "every client to one policy (--checkpoint FILE, --run RUN_DIR\n"
+            "holding a train --store checkpoint, or --policy\n"
+            "baseline:<name>), and serves --steps control ticks through\n"
+            "the micro-batching gateway.  Prints the serving telemetry\n"
+            "(p50/p95/p99 latency, throughput, request mix); --store\n"
+            "RUN_DIR persists it as a `serve` run directory readable by\n"
+            "`repro-hvac report`."
+        ),
+    )
+    _add_serving_args(serve)
+    serve.add_argument(
+        "--policy",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help=(
+            "serve a baseline instead of a checkpoint: baseline:thermostat, "
+            "baseline:pid, or baseline:random"
+        ),
+    )
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="drive a large fleet through the serving gateway",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "The fleet load harness: serves --steps ticks to a --fleet\n"
+            "sized fleet twice — micro-batched, then per-request\n"
+            "(max batch 1, the one-request-one-forward execution model) —\n"
+            "and reports both telemetry blocks plus the end-to-end\n"
+            "speedup.  --baseline-share routes a fraction of clients to a\n"
+            "per-building baseline controller so the load is\n"
+            "heterogeneous like a real fleet.  Without --checkpoint/--run\n"
+            "a randomly initialized DQN of the scenario's dimensions\n"
+            "serves (inference cost is architecture-, not\n"
+            "training-dependent).  --deterministic makes the session\n"
+            "replayable: timing never influences batch composition, and\n"
+            "served actions are bit-identical to scalar select_action.\n"
+            "--out writes the JSON record (BENCH_serve.json in CI)."
+        ),
+    )
+    _add_serving_args(loadtest)
+    loadtest.add_argument(
+        "--baseline-share",
+        type=float,
+        default=0.0,
+        metavar="FRAC",
+        help="fraction of clients routed to baseline:thermostat (default 0)",
+    )
+    loadtest.add_argument(
+        "--skip-per-request",
+        action="store_true",
+        help="measure only the micro-batched mode (skip the comparison run)",
+    )
+    loadtest.add_argument(
+        "--out", type=str, default=None, help="write the JSON record here"
+    )
+
     report = sub.add_parser(
         "report",
         help="render a Markdown report from a run directory",
         formatter_class=argparse.RawDescriptionHelpFormatter,
         epilog=(
-            "Reads a campaign run directory produced by\n"
-            "`repro-hvac campaign --resume RUN_DIR` and prints a Markdown\n"
-            "report: provenance (git SHA, command, config), one summary\n"
-            "row per (scenario, controller) with mean±std cost and\n"
-            "comfort violations, and per-cell timing.  --out FILE writes\n"
-            "the report to a file instead of stdout."
+            "Reads a run directory produced by `repro-hvac campaign\n"
+            "--resume RUN_DIR` or `repro-hvac serve/loadtest --store\n"
+            "RUN_DIR` and prints a Markdown report: provenance (git SHA,\n"
+            "command, config) plus, for campaigns, one summary row per\n"
+            "(scenario, controller) with mean±std cost and comfort\n"
+            "violations and per-cell timing, or, for serving sessions,\n"
+            "throughput, latency quantiles, and the request mix.\n"
+            "--out FILE writes the report to a file instead of stdout."
         ),
     )
-    report.add_argument("run_dir", type=str, help="campaign run directory")
+    report.add_argument("run_dir", type=str, help="campaign or serve run directory")
     report.add_argument(
         "--out", type=str, default=None, help="write the report to this file"
     )
     return parser
+
+
+def _add_serving_args(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by the ``serve`` and ``loadtest`` subcommands."""
+    parser.add_argument(
+        "--scenario",
+        type=str,
+        default="baseline-tou",
+        help="registered scenario the fleet is built from",
+    )
+    parser.add_argument(
+        "--fleet", type=int, default=16, help="number of building clients"
+    )
+    parser.add_argument(
+        "--steps", type=int, default=96, help="control ticks to serve"
+    )
+    parser.add_argument(
+        "--checkpoint", type=str, default=None, help="policy checkpoint JSON"
+    )
+    parser.add_argument(
+        "--run",
+        type=str,
+        default=None,
+        metavar="RUN_DIR",
+        help="load the policy from a train --store run directory",
+    )
+    parser.add_argument(
+        "--checkpoint-name",
+        type=str,
+        default="trainer",
+        metavar="NAME",
+        help="checkpoint name inside --run (default: trainer)",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=256,
+        help="micro-batcher flush size (requests per forward pass)",
+    )
+    parser.add_argument(
+        "--max-delay-ms",
+        type=float,
+        default=5.0,
+        help="oldest-request deadline before a partial batch flushes",
+    )
+    parser.add_argument(
+        "--deterministic",
+        action="store_true",
+        help=(
+            "replayable serving: ignore wall-clock deadlines so batch "
+            "composition (and every served action) is a pure function of "
+            "the request sequence"
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0, help="fleet build seed base")
+    parser.add_argument(
+        "--store",
+        type=str,
+        default=None,
+        metavar="RUN_DIR",
+        help="persist the serving telemetry as a run directory",
+    )
 
 
 def _make_envs(seed: int, comfort_weight: float, eval_days: int):
@@ -329,31 +464,14 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_agent(path: str) -> DQNAgent:
-    with open(path) as fh:
-        payload = json.load(fh)
-    if payload.get("kind") in ("trainer", "vector_trainer") and isinstance(
-        payload.get("agent"), dict
-    ):
-        # A full trainer checkpoint (train --store): the agent state is
-        # nested inside it.
-        payload = payload["agent"]
-    if payload.get("kind") == "dqn":
-        return DQNAgent.from_state_dict(payload)
-    if {"obs_dim", "nvec", "hidden", "state"} <= payload.keys():
-        # Legacy weights-only checkpoint from pre-store releases.
-        from repro.env.spaces import MultiDiscrete
+def _load_agent(path: str):
+    # One loader for every checkpoint format the library has ever
+    # emitted: full agent state dicts, trainer checkpoints with the agent
+    # nested inside, and the legacy weights-only payload.  The serving
+    # registry owns it so the CLI and the serving tier cannot drift.
+    from repro.serve import load_checkpoint_file
 
-        agent = DQNAgent(
-            payload["obs_dim"],
-            MultiDiscrete(payload["nvec"]),
-            config=DQNConfig(hidden=tuple(payload["hidden"])),
-            rng=0,
-        )
-        load_state_dict(agent.online, payload["state"])
-        agent.target.copy_weights_from(agent.online)
-        return agent
-    raise ValueError(f"unrecognized checkpoint format in {path}")
+    return load_checkpoint_file(path)
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
@@ -467,12 +585,232 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serving_session(args: argparse.Namespace, *, policy_spec: Optional[str] = None):
+    """Build (fleet, registry, routes, config) shared by serve/loadtest.
+
+    Returns ``(make_gateway, policy_label)`` where ``make_gateway(cfg)``
+    constructs a fresh fleet + gateway — loadtest needs two identical
+    sessions, and env RNGs advance as episodes run, so each measured mode
+    must get its own byte-identical world.
+    """
+    from repro.serve import (
+        FleetGateway,
+        MicroBatcherConfig,
+        default_registry,
+        load_checkpoint_file,
+    )
+    from repro.sim import VectorHVACEnv, build_fleet, get_scenario
+
+    scenario = get_scenario(args.scenario)
+    if args.fleet < 1:
+        raise ValueError(f"--fleet must be >= 1, got {args.fleet}")
+    seeds = range(args.seed, args.seed + args.fleet)
+
+    policy = None
+    if args.checkpoint and args.run:
+        raise ValueError("pass at most one of --checkpoint and --run")
+    if policy_spec is not None and (args.checkpoint or args.run):
+        raise ValueError(
+            "pass either --policy or a checkpoint source "
+            "(--checkpoint/--run), not both"
+        )
+    if args.checkpoint:
+        policy = load_checkpoint_file(args.checkpoint)
+        label = "checkpoint"
+    elif args.run:
+        from repro.store import ExperimentStore
+
+        store = ExperimentStore.open(args.run)
+        registry_probe = default_registry()
+        policy = registry_probe.load_from_store(
+            store, checkpoint=args.checkpoint_name
+        ).policy
+        label = args.checkpoint_name
+    elif policy_spec is not None:
+        label = policy_spec
+    else:
+        # Load harness default: a randomly initialized DQN of the
+        # scenario's dimensions — inference cost does not depend on how
+        # trained the weights are.
+        probe_env = scenario.build(args.seed)
+        policy = DQNAgent(probe_env.obs_dim, probe_env.action_space, rng=args.seed)
+        label = "dqn"
+
+    if policy is not None:
+        probe_env = scenario.build(args.seed)
+        if getattr(policy, "obs_dim", probe_env.obs_dim) != probe_env.obs_dim:
+            raise ValueError(
+                f"policy expects obs_dim={policy.obs_dim} but scenario "
+                f"{scenario.name!r} produces obs_dim={probe_env.obs_dim}; "
+                "serve it on the scenario it was trained for"
+            )
+
+    def make_gateway(
+        config: MicroBatcherConfig, routes: Optional[List[str]] = None
+    ) -> FleetGateway:
+        registry = default_registry()
+        if policy is not None:
+            default_route = registry.publish("dqn", policy, source=label).name
+        else:
+            default_route = policy_spec
+            if not registry.is_baseline_spec(default_route):
+                raise ValueError(
+                    f"--policy {default_route!r} is not a baseline:<name> spec; "
+                    "pass --checkpoint/--run for learned policies"
+                )
+            registry.baseline_factory(default_route)  # validate the name now
+        vec_env = VectorHVACEnv(
+            build_fleet(scenario, seeds=seeds), autoreset=True
+        )
+        return FleetGateway(
+            vec_env,
+            registry,
+            routes if routes is not None else default_route,
+            config=config,
+        )
+
+    return make_gateway, label
+
+
+def _error_message(exc: BaseException) -> str:
+    """Human-readable text for a caught serving-setup exception.
+
+    ``OSError.args[0]`` is the bare errno (``str(exc)`` carries the
+    path); ``KeyError.args[0]`` is the clean message (``str(exc)`` adds
+    quoting).
+    """
+    if isinstance(exc, OSError):
+        return str(exc)
+    return str(exc.args[0]) if exc.args else str(exc)
+
+
+def _batcher_config(args: argparse.Namespace, *, max_batch: Optional[int] = None):
+    from repro.serve import MicroBatcherConfig
+
+    return MicroBatcherConfig(
+        max_batch_size=max_batch if max_batch is not None else args.max_batch,
+        max_delay_s=args.max_delay_ms / 1e3,
+        deterministic=args.deterministic,
+    )
+
+
+def _store_serve_stats(args: argparse.Namespace, payload: dict) -> None:
+    """Persist serving telemetry as a ``serve`` run directory."""
+    from repro.store import ExperimentStore
+
+    store = ExperimentStore.open_or_create(
+        args.store,
+        kind="serve",
+        config={
+            "scenario": args.scenario,
+            "fleet": args.fleet,
+            "steps": args.steps,
+            "max_batch": args.max_batch,
+            "max_delay_ms": args.max_delay_ms,
+            "deterministic": bool(args.deterministic),
+        },
+        command=args.argv,
+    )
+    store.put_artifact("serve_stats", payload)
+    print(f"serving telemetry stored in {args.store}")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    try:
+        make_gateway, label = _serving_session(args, policy_spec=args.policy)
+        gateway = make_gateway(_batcher_config(args))
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"serve: {_error_message(exc)}", file=sys.stderr)
+        return 2
+    print(
+        f"serving {label} to {args.fleet} x {args.scenario} for "
+        f"{args.steps} ticks (max batch {args.max_batch})"
+    )
+    stats = gateway.run(args.steps)
+    print(stats.render())
+    if args.store:
+        _store_serve_stats(args, stats.as_dict())
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    try:
+        make_gateway, label = _serving_session(args)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"loadtest: {_error_message(exc)}", file=sys.stderr)
+        return 2
+    if not 0.0 <= args.baseline_share <= 1.0:
+        print(
+            f"loadtest: --baseline-share must be in [0, 1], got "
+            f"{args.baseline_share}",
+            file=sys.stderr,
+        )
+        return 2
+
+    # The tail of the fleet runs per-building thermostats, the rest the
+    # learned policy — a heterogeneous load like a real deployment's.
+    n_local = int(round(args.baseline_share * args.fleet))
+    routes = None
+    if n_local:
+        routes = ["dqn"] * (args.fleet - n_local) + [
+            "baseline:thermostat"
+        ] * n_local
+
+    def run_mode(max_batch: int):
+        gateway = make_gateway(
+            _batcher_config(args, max_batch=max_batch), routes
+        )
+        return gateway.run(args.steps)
+
+    print(
+        f"loadtest: {args.fleet} x {args.scenario}, {args.steps} ticks, "
+        f"policy={label}, baseline share {args.baseline_share:.0%}"
+    )
+    batched = run_mode(args.max_batch)
+    print("\n== micro-batched ==")
+    print(batched.render())
+    record = {
+        "benchmark": "serve_loadtest",
+        "scenario": args.scenario,
+        "fleet": args.fleet,
+        "steps": args.steps,
+        "policy": label,
+        "baseline_share": args.baseline_share,
+        "deterministic": bool(args.deterministic),
+        "max_batch": args.max_batch,
+        "batched": batched.as_dict(),
+    }
+    if not args.skip_per_request:
+        per_request = run_mode(1)
+        print("\n== per-request (one-request-one-forward) ==")
+        print(per_request.render())
+        record["per_request"] = per_request.as_dict()
+        speedup = batched.throughput_rps / max(per_request.throughput_rps, 1e-12)
+        record["end_to_end_speedup"] = speedup
+        print(f"\nend-to-end speedup (incl. simulation): {speedup:.1f}x")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(record, fh, indent=2)
+            fh.write("\n")
+        print(f"loadtest record written to {args.out}")
+    if args.store:
+        _store_serve_stats(args, record["batched"])
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.store import ExperimentStore, render_campaign_report
+    from repro.store import (
+        ExperimentStore,
+        render_campaign_report,
+        render_serve_report,
+    )
 
     try:
         store = ExperimentStore.open(args.run_dir)
-        text = render_campaign_report(store)
+        if store.manifest.kind == "serve":
+            text = render_serve_report(store)
+        else:
+            text = render_campaign_report(store)
     except (FileNotFoundError, ValueError) as exc:
         print(f"report: {exc}", file=sys.stderr)
         return 2
@@ -497,6 +835,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "weather": _cmd_weather,
         "campaign": _cmd_campaign,
+        "serve": _cmd_serve,
+        "loadtest": _cmd_loadtest,
         "report": _cmd_report,
     }
     return handlers[args.command](args)

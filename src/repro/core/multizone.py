@@ -21,6 +21,7 @@ joint-action agent.
 
 from __future__ import annotations
 
+from dataclasses import asdict
 from typing import List, Optional
 
 import numpy as np
@@ -38,6 +39,21 @@ from repro.utils.seeding import (
     rng_state,
     set_rng_state,
 )
+
+
+def _hidden_from_net_state(net_state: dict) -> tuple:
+    """Hidden-layer widths recovered from an ``nn.state_dict`` payload.
+
+    Parameters are stored in order as (weight, bias) pairs per Linear;
+    every weight but the output layer's contributes its column count.
+    """
+    entries = sorted(net_state.items(), key=lambda kv: int(kv[0].split(":", 1)[0]))
+    widths = [
+        entry["shape"][1] for _, entry in entries if len(entry["shape"]) == 2
+    ]
+    if len(widths) < 2:
+        raise ValueError("network state has no hidden layers to infer")
+    return tuple(int(w) for w in widths[:-1])
 
 
 class FactoredDQNAgent(AgentBase):
@@ -112,6 +128,39 @@ class FactoredDQNAgent(AgentBase):
                 if per_zone_q is None:
                     per_zone_q = self.q_values(obs)
                 levels[z] = int(np.argmax(per_zone_q[z]))
+        return levels
+
+    def select_actions(
+        self, obs_batch: np.ndarray, *, explore: bool = False
+    ) -> np.ndarray:
+        """Batched policy: one forward pass per zone head serves N rows.
+
+        Returns an ``(n, zones)`` array of per-zone levels.  With
+        ``explore=True`` each (row, zone) pair independently takes a
+        uniform random level with probability ε — the batched analogue of
+        the scalar per-zone ε-greedy rule.
+        """
+        obs_batch = np.asarray(obs_batch, dtype=np.float64)
+        if obs_batch.ndim != 2:
+            raise ValueError(
+                f"obs_batch must be 2-D (n, obs_dim), got shape {obs_batch.shape}"
+            )
+        n = obs_batch.shape[0]
+        levels = np.zeros((n, self.n_zones), dtype=int)
+        eps = self.epsilon
+        for z, net in enumerate(self.online):
+            if explore:
+                random_rows = self._explore_rng.random(n) < eps
+            else:
+                random_rows = np.zeros(n, dtype=bool)
+            greedy_rows = ~random_rows
+            if np.any(greedy_rows):
+                q = net.forward(obs_batch[greedy_rows])
+                levels[greedy_rows, z] = np.argmax(q, axis=1)
+            if np.any(random_rows):
+                levels[random_rows, z] = self._explore_rng.integers(
+                    self.levels_per_zone[z], size=int(random_rows.sum())
+                )
         return levels
 
     # ------------------------------------------------------------- learning
@@ -198,6 +247,7 @@ class FactoredDQNAgent(AgentBase):
             "kind": "factored_dqn",
             "obs_dim": self.obs_dim,
             "nvec": self.action_space.nvec.tolist(),
+            "config": asdict(self.config),
             "online": [nn.state_dict(net) for net in self.online],
             "target": [nn.state_dict(net) for net in self.target],
             "optimizers": [nn.optimizer_state_dict(opt) for opt in self.optimizers],
@@ -233,6 +283,29 @@ class FactoredDQNAgent(AgentBase):
         set_rng_state(self._sample_rng, state["sample_rng"])
         if state.get("buffer") is not None:
             self.buffer.load_state_dict(state["buffer"])
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "FactoredDQNAgent":
+        """Reconstruct an agent purely from a :meth:`state_dict` payload.
+
+        Snapshots written before the config was recorded (early store
+        releases) are still loadable: the hidden-layer widths are
+        inferred from the first zone head's parameter shapes.
+        """
+        if state.get("config") is not None:
+            config = dict(state["config"])
+            config["hidden"] = tuple(config["hidden"])
+            config = DQNConfig(**config)
+        else:
+            config = DQNConfig(hidden=_hidden_from_net_state(state["online"][0]))
+        agent = cls(
+            int(state["obs_dim"]),
+            MultiDiscrete(state["nvec"]),
+            config=config,
+            rng=0,
+        )
+        agent.load_state_dict(state)
+        return agent
 
     # ------------------------------------------------------------- scaling
     def num_q_outputs(self) -> int:

@@ -11,6 +11,7 @@ from repro.eval.metrics import (
     EpisodeTrace,
     EvaluationSummary,
     comfort_violation_rate,
+    percentiles,
     summarize_episodes,
 )
 from repro.eval.runner import evaluate_controller, run_episode
@@ -30,6 +31,7 @@ __all__ = [
     "EvaluationSummary",
     "summarize_episodes",
     "comfort_violation_rate",
+    "percentiles",
     "run_episode",
     "evaluate_controller",
     "PerEnvPolicy",

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Sequence
 
 import numpy as np
 
@@ -174,3 +174,18 @@ class EpisodeTrace:
 def comfort_violation_rate(metrics: EpisodeMetrics) -> float:
     """Convenience alias for the occupied-step violation rate."""
     return metrics.violation_rate
+
+
+def percentiles(values: Sequence[float], qs: Sequence[float]) -> List[float]:
+    """Linear-interpolated percentiles of ``values`` at each ``q`` in [0, 100].
+
+    An empty sample returns 0.0 for every quantile rather than NaN, so
+    telemetry for a session that served nothing still serializes cleanly.
+    """
+    for q in qs:
+        if not 0.0 <= float(q) <= 100.0:
+            raise ValueError(f"percentile {q} outside [0, 100]")
+    if len(values) == 0:
+        return [0.0 for _ in qs]
+    result = np.percentile(np.asarray(values, dtype=np.float64), list(qs))
+    return [float(v) for v in np.atleast_1d(result)]

@@ -1,0 +1,56 @@
+"""Real-time policy serving: registry, micro-batching gateway, telemetry.
+
+The training/eval stack runs policies *inside* its own loops; this
+package is the production-serving counterpart — a long-lived tier that
+mediates between versioned control policies and a fleet of building
+clients:
+
+* :class:`~repro.serve.registry.PolicyRegistry` — versioned policies by
+  ``name@rev``, loadable from every checkpoint format the experiment
+  store emits, hot-swappable without dropping in-flight requests.
+* :class:`~repro.serve.batcher.MicroBatcher` — the inference hot path:
+  concurrent per-building requests coalesce into single batched
+  ``select_actions`` forward passes (flush on batch size or deadline;
+  bit-reproducible in deterministic mode).
+* :class:`~repro.serve.gateway.FleetGateway` — the event loop
+  multiplexing a :class:`~repro.sim.VectorHVACEnv` fleet through the
+  batcher with per-client policy routing (mixed DQN / pinned-revision /
+  baseline fleets).
+* :class:`~repro.serve.telemetry.ServeStats` — p50/p95/p99 latency,
+  throughput, per-policy request counters; JSON-ready for the store.
+
+``repro-hvac serve`` and ``repro-hvac loadtest`` expose the tier on the
+command line; ``benchmarks/perf_serve.py`` measures the micro-batching
+speedup over one-request-one-forward serving.
+"""
+
+from repro.serve.registry import (
+    BASELINE_PREFIX,
+    CheckpointFormatError,
+    PolicyRegistry,
+    PolicyVersion,
+    agent_from_checkpoint,
+    default_registry,
+    load_checkpoint_file,
+    split_spec,
+)
+from repro.serve.batcher import MicroBatcher, MicroBatcherConfig, Ticket
+from repro.serve.gateway import FleetGateway
+from repro.serve.telemetry import LATENCY_QUANTILES, ServeStats
+
+__all__ = [
+    "BASELINE_PREFIX",
+    "CheckpointFormatError",
+    "PolicyRegistry",
+    "PolicyVersion",
+    "agent_from_checkpoint",
+    "default_registry",
+    "load_checkpoint_file",
+    "split_spec",
+    "MicroBatcher",
+    "MicroBatcherConfig",
+    "Ticket",
+    "FleetGateway",
+    "LATENCY_QUANTILES",
+    "ServeStats",
+]

@@ -1,0 +1,223 @@
+"""Micro-batching inference gateway: coalesce requests, forward once.
+
+Per-request inference pays the full Python/numpy dispatch overhead of a
+network forward pass for every single observation; at fleet scale that
+overhead *is* the serving cost (the matmuls themselves are tiny).  The
+:class:`MicroBatcher` amortizes it: concurrent requests for the same
+policy revision accumulate in a queue and one batched
+``select_actions`` forward pass answers all of them.
+
+A queue flushes when any of these fire:
+
+* it reaches ``max_batch_size`` requests (flushed inside ``submit``);
+* its oldest request has waited ``max_delay_s`` (checked by
+  :meth:`MicroBatcher.poll`, the caller's event-loop tick);
+* the caller forces an end-of-tick barrier with :meth:`flush`.
+
+Queues are keyed by **resolved policy revision** (``name@rev``), pinned
+at submit time: a hot swap republishes the name, so later submits land
+in a fresh queue while the in-flight queue still flushes through the
+revision its requests resolved — nothing is dropped or silently rerouted
+mid-batch.
+
+Determinism: with ``deterministic=True`` the wall-clock deadline is
+ignored entirely (queues flush only on size or explicit :meth:`flush`),
+so the sequence of forward passes — and therefore every action and every
+RNG draw — is a pure function of the submit sequence.  Greedy serving is
+additionally bit-identical to calling the scalar ``select_action`` per
+observation (the regression test in ``tests/serve/test_parity.py`` holds
+this line).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.serve.registry import PolicyRegistry, PolicyVersion
+from repro.serve.telemetry import ServeStats
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class MicroBatcherConfig:
+    """Latency/throughput knobs of the gateway hot path.
+
+    ``max_batch_size`` bounds per-flush work (and with it tail latency);
+    ``max_delay_s`` bounds how long a lone request may age in queue
+    before :meth:`MicroBatcher.poll` force-flushes it; ``deterministic``
+    disables the wall-clock deadline so serving becomes replayable;
+    ``explore`` passes ε-greedy exploration through to the policy (off
+    for production serving).
+    """
+
+    max_batch_size: int = 64
+    max_delay_s: float = 0.005
+    deterministic: bool = False
+    explore: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive("max_batch_size", self.max_batch_size)
+        check_positive("max_delay_s", self.max_delay_s, strict=False)
+
+
+class Ticket:
+    """One in-flight request: resolves to an action after its flush."""
+
+    __slots__ = ("client_id", "policy_key", "submitted_at", "_action")
+
+    def __init__(self, client_id: int, policy_key: str, submitted_at: float) -> None:
+        self.client_id = client_id
+        self.policy_key = policy_key
+        self.submitted_at = submitted_at
+        self._action: Optional[np.ndarray] = None
+
+    @property
+    def done(self) -> bool:
+        return self._action is not None
+
+    def result(self) -> np.ndarray:
+        """The action vector; raises if the batch has not flushed yet."""
+        if self._action is None:
+            raise RuntimeError(
+                f"request for client {self.client_id} (policy "
+                f"{self.policy_key}) has not been flushed yet"
+            )
+        return self._action
+
+
+@dataclass
+class _Queue:
+    """Pending requests pinned to one resolved policy revision."""
+
+    version: PolicyVersion
+    tickets: List[Ticket] = field(default_factory=list)
+    observations: List[np.ndarray] = field(default_factory=list)
+    oldest_at: float = 0.0
+
+
+class MicroBatcher:
+    """Coalesces per-building inference requests into batched forwards.
+
+    Parameters
+    ----------
+    registry:
+        Resolves route specs (``"name"`` / ``"name@rev"``) to policy
+        revisions at submit time.
+    config:
+        Flush policy; see :class:`MicroBatcherConfig`.
+    stats:
+        Telemetry sink; a fresh :class:`ServeStats` when omitted.
+    clock:
+        Monotonic time source, injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        registry: PolicyRegistry,
+        *,
+        config: Optional[MicroBatcherConfig] = None,
+        stats: Optional[ServeStats] = None,
+        clock=time.perf_counter,
+    ) -> None:
+        self.registry = registry
+        self.config = config if config is not None else MicroBatcherConfig()
+        self.stats = stats if stats is not None else ServeStats()
+        self._clock = clock
+        self._queues: Dict[str, _Queue] = {}
+
+    # -------------------------------------------------------------- serving
+    def submit(self, policy_spec: str, obs: np.ndarray, *, client_id: int = -1) -> Ticket:
+        """Enqueue one observation for ``policy_spec``; returns its ticket.
+
+        The spec is resolved *now* — the returned ticket is pinned to the
+        resolved revision even if the name is republished before the
+        flush.  A queue that reaches ``max_batch_size`` flushes
+        immediately, so the ticket may already be done on return.
+        """
+        version = self.registry.resolve(policy_spec)
+        now = self._clock()
+        queue = self._queues.get(version.key)
+        if queue is None:
+            queue = self._queues[version.key] = _Queue(
+                version=version, oldest_at=now
+            )
+        elif not queue.tickets:
+            queue.oldest_at = now
+        ticket = Ticket(int(client_id), version.key, now)
+        queue.tickets.append(ticket)
+        queue.observations.append(np.asarray(obs, dtype=np.float64))
+        if len(queue.tickets) >= self.config.max_batch_size:
+            self._flush_queue(queue)
+        return ticket
+
+    def poll(self, now: Optional[float] = None) -> int:
+        """Flush queues whose oldest request exceeded ``max_delay_s``.
+
+        The caller's event-loop tick.  Returns the number of requests
+        flushed.  A no-op in deterministic mode, where timing must not
+        influence batch composition.
+        """
+        if self.config.deterministic:
+            return 0
+        if now is None:
+            now = self._clock()
+        flushed = 0
+        for queue in list(self._queues.values()):
+            if queue.tickets and now - queue.oldest_at >= self.config.max_delay_s:
+                flushed += self._flush_queue(queue)
+        return flushed
+
+    def flush(self) -> int:
+        """Force-flush every pending queue (end-of-tick barrier).
+
+        Returns the number of requests flushed.  Queues flush in policy
+        key order so the forward-pass sequence is reproducible no matter
+        what order the requests arrived across policies.
+        """
+        flushed = 0
+        for key in sorted(self._queues):
+            flushed += self._flush_queue(self._queues[key])
+        return flushed
+
+    @property
+    def pending(self) -> int:
+        """Requests currently waiting in queues."""
+        return sum(len(q.tickets) for q in self._queues.values())
+
+    # ------------------------------------------------------------- internals
+    def _flush_queue(self, queue: _Queue) -> int:
+        if not queue.tickets:
+            return 0
+        tickets, observations = queue.tickets, queue.observations
+        queue.tickets, queue.observations = [], []
+        obs_batch = np.stack(observations)
+        policy = queue.version.policy
+        if hasattr(policy, "select_actions"):
+            actions = policy.select_actions(obs_batch, explore=self.config.explore)
+        else:
+            # Policies without a batched surface (custom agents) degrade
+            # to per-row inference; they still benefit from shared queue
+            # accounting and the flush barrier.
+            actions = [
+                np.atleast_1d(policy.select_action(row, explore=self.config.explore))
+                for row in obs_batch
+            ]
+        actions = np.asarray(actions)
+        done_at = self._clock()
+        latencies = []
+        for ticket, action in zip(tickets, actions):
+            ticket._action = np.asarray(action, dtype=int)
+            latencies.append(done_at - ticket.submitted_at)
+        self.stats.record_batch(queue.version.key, latencies)
+        return len(tickets)
+
+    def __repr__(self) -> str:
+        return (
+            f"MicroBatcher(queues={len(self._queues)}, pending={self.pending}, "
+            f"max_batch={self.config.max_batch_size}, "
+            f"deterministic={self.config.deterministic})"
+        )

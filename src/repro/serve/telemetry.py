@@ -1,0 +1,156 @@
+"""Serving telemetry: latency distributions, throughput, per-policy counters.
+
+:class:`ServeStats` is the single sink every serving component reports
+into — the :class:`~repro.serve.batcher.MicroBatcher` records one latency
+sample and one per-policy count per request plus one batch-size sample
+per flush, and the :class:`~repro.serve.gateway.FleetGateway` stamps the
+session window so throughput is requests over *wall-clock served*, not
+over whatever the caller measured around it.
+
+Everything aggregates to a JSON-safe dict (:meth:`ServeStats.as_dict`)
+that drops straight into an :class:`~repro.store.ExperimentStore`
+artifact, and renders as an aligned text report for the CLI.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.eval.metrics import percentiles
+from repro.eval.reporting import format_table
+
+#: The latency quantiles every serving report carries, in percent.
+LATENCY_QUANTILES = (50.0, 95.0, 99.0)
+
+
+class ServeStats:
+    """Mutable aggregation of one serving session's request stream.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic time source (seconds).  Injectable so tests can drive
+        deterministic timelines; defaults to :func:`time.perf_counter`.
+    """
+
+    def __init__(self, *, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self.latencies_s: List[float] = []
+        self.batch_sizes: List[int] = []
+        self.requests_per_policy: Dict[str, int] = {}
+        self.env_steps = 0
+        self.swaps = 0
+        self._started_at: Optional[float] = None
+        self._stopped_at: Optional[float] = None
+
+    # ------------------------------------------------------------ recording
+    def start(self) -> None:
+        """Open the session window (idempotent: first call wins)."""
+        if self._started_at is None:
+            self._started_at = self._clock()
+
+    def stop(self) -> None:
+        """Close the session window (last call wins)."""
+        self._stopped_at = self._clock()
+
+    def record_batch(self, policy_key: str, latencies_s: Sequence[float]) -> None:
+        """Fold one flushed batch: its policy, size, per-request latencies."""
+        n = len(latencies_s)
+        if n == 0:
+            return
+        self.batch_sizes.append(n)
+        self.latencies_s.extend(float(v) for v in latencies_s)
+        self.requests_per_policy[policy_key] = (
+            self.requests_per_policy.get(policy_key, 0) + n
+        )
+
+    def record_env_step(self, n: int = 1) -> None:
+        """Count fleet control steps served (gateway sessions only)."""
+        self.env_steps += int(n)
+
+    def record_swap(self) -> None:
+        """Count one hot-swap (a policy republished mid-session)."""
+        self.swaps += 1
+
+    # ----------------------------------------------------------- aggregates
+    @property
+    def total_requests(self) -> int:
+        return len(self.latencies_s)
+
+    @property
+    def total_batches(self) -> int:
+        return len(self.batch_sizes)
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.batch_sizes:
+            return 0.0
+        return sum(self.batch_sizes) / len(self.batch_sizes)
+
+    @property
+    def elapsed_s(self) -> float:
+        """The session window; falls back to "now" while still open."""
+        if self._started_at is None:
+            return 0.0
+        end = self._stopped_at if self._stopped_at is not None else self._clock()
+        return max(end - self._started_at, 0.0)
+
+    @property
+    def throughput_rps(self) -> float:
+        elapsed = self.elapsed_s
+        if elapsed <= 0.0:
+            return 0.0
+        return self.total_requests / elapsed
+
+    def latency_quantiles_ms(self) -> Dict[str, float]:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` in milliseconds."""
+        values = percentiles(self.latencies_s, LATENCY_QUANTILES)
+        return {
+            f"p{q:g}": v * 1e3 for q, v in zip(LATENCY_QUANTILES, values)
+        }
+
+    # -------------------------------------------------------- serialization
+    def as_dict(self) -> dict:
+        """JSON-safe summary (store this, not the raw sample lists)."""
+        return {
+            "total_requests": self.total_requests,
+            "total_batches": self.total_batches,
+            "mean_batch_size": self.mean_batch_size,
+            "env_steps": self.env_steps,
+            "swaps": self.swaps,
+            "elapsed_s": self.elapsed_s,
+            "throughput_rps": self.throughput_rps,
+            "latency_ms": self.latency_quantiles_ms(),
+            "requests_per_policy": dict(sorted(self.requests_per_policy.items())),
+        }
+
+    def render(self) -> str:
+        """Aligned text report of the session."""
+        summary = self.as_dict()
+        lat = summary["latency_ms"]
+        lines = [
+            f"requests: {summary['total_requests']} in "
+            f"{summary['total_batches']} batches "
+            f"(mean batch {summary['mean_batch_size']:.1f})",
+            f"throughput: {summary['throughput_rps']:,.0f} req/s over "
+            f"{summary['elapsed_s']:.3f} s",
+            f"latency: p50={lat['p50']:.3f} ms  p95={lat['p95']:.3f} ms  "
+            f"p99={lat['p99']:.3f} ms",
+        ]
+        if summary["swaps"]:
+            lines.append(f"hot swaps: {summary['swaps']}")
+        if summary["requests_per_policy"]:
+            body = [
+                [key, str(count)]
+                for key, count in summary["requests_per_policy"].items()
+            ]
+            lines.append(format_table(["policy", "requests"], body))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"ServeStats(requests={self.total_requests}, "
+            f"batches={self.total_batches}, "
+            f"throughput={self.throughput_rps:.0f} req/s)"
+        )

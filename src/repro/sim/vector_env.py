@@ -363,6 +363,24 @@ class VectorHVACEnv:
         state-reading controllers like the thermostat and PID baselines)."""
         return _EnvView(self, index)
 
+    def split_obs(self, obs_batch: np.ndarray) -> List[np.ndarray]:
+        """Per-env observation rows with the padding trimmed off.
+
+        ``obs_batch`` is a stacked ``(n_envs, max_obs_dim)`` array as
+        returned by :meth:`reset`/:meth:`step`; row ``k`` of the result
+        has exactly ``obs_dims[k]`` entries — the view a scalar consumer
+        of env ``k`` (a serving client, a per-env controller) expects.
+        """
+        obs_batch = np.asarray(obs_batch)
+        if obs_batch.shape != (self.n_envs, self.max_obs_dim):
+            raise ValueError(
+                f"obs_batch must have shape ({self.n_envs}, {self.max_obs_dim}), "
+                f"got {obs_batch.shape}"
+            )
+        return [
+            obs_batch[k, : self.obs_dims[k]].copy() for k in range(self.n_envs)
+        ]
+
     # ------------------------------------------------------------ lifecycle
     def reset(self) -> np.ndarray:
         """Reset every env; returns the stacked initial observations."""

@@ -4,7 +4,10 @@
 campaign run directory into a Markdown document: provenance from the
 manifest, one summary row per (scenario, controller) cell with
 mean ± std energy cost and comfort violations across seeds, and
-per-cell wall-clock timing.  Everything is read back from the store —
+per-cell wall-clock timing.  ``render_serve_report`` does the same for
+serving sessions (``repro-hvac serve/loadtest --store``): throughput,
+latency quantiles, and the per-policy request mix from the stored
+``serve_stats`` artifact.  Everything is read back from the store —
 nothing is recomputed — so the report always describes exactly what was
 measured.
 """
@@ -108,4 +111,55 @@ def render_campaign_report(store: ExperimentStore) -> str:
             f"{slowest['controller']} ({float(slowest['elapsed_seconds']):.2f} s)"
         )
     lines.append("")
+    return "\n".join(lines)
+
+
+def render_serve_report(store: ExperimentStore) -> str:
+    """Render a serving run directory as a Markdown report.
+
+    Reads the ``serve_stats`` artifact written by ``repro-hvac serve`` /
+    ``loadtest`` ``--store`` (a :meth:`repro.serve.ServeStats.as_dict`
+    payload).
+    """
+    if store.manifest.kind != "serve":
+        raise ValueError(
+            f"expected a serve run, got kind={store.manifest.kind!r}"
+        )
+    lines: List[str] = [f"# Serving report — {store.manifest.run_id}", ""]
+    lines.extend(_provenance_lines(store))
+    lines.append("")
+    if not store.has_artifact("serve_stats"):
+        lines.append("_No serve_stats artifact yet._")
+        lines.append("")
+        return "\n".join(lines)
+    stats = store.get_artifact("serve_stats")
+    latency = stats.get("latency_ms", {})
+    lines.extend(
+        [
+            "## Session",
+            "",
+            f"- **requests served:** {stats.get('total_requests', 0)} in "
+            f"{stats.get('total_batches', 0)} batches "
+            f"(mean batch {stats.get('mean_batch_size', 0.0):.1f})",
+            f"- **fleet env-steps:** {stats.get('env_steps', 0)}",
+            f"- **throughput:** {stats.get('throughput_rps', 0.0):,.0f} req/s "
+            f"over {stats.get('elapsed_s', 0.0):.3f} s",
+            f"- **latency (ms):** p50={latency.get('p50', 0.0):.3f}, "
+            f"p95={latency.get('p95', 0.0):.3f}, "
+            f"p99={latency.get('p99', 0.0):.3f}",
+            f"- **hot swaps:** {stats.get('swaps', 0)}",
+            "",
+        ]
+    )
+    per_policy = stats.get("requests_per_policy", {})
+    if per_policy:
+        lines.append("## Request mix")
+        lines.append("")
+        lines.append(
+            format_markdown_table(
+                ["policy", "requests"],
+                [[key, str(count)] for key, count in sorted(per_policy.items())],
+            )
+        )
+        lines.append("")
     return "\n".join(lines)

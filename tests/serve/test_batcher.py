@@ -1,0 +1,224 @@
+"""MicroBatcher: coalescing, flush triggers, hot-swap pinning, telemetry."""
+
+import numpy as np
+import pytest
+
+from repro.core import DQNAgent
+from repro.env.spaces import MultiDiscrete
+from repro.serve import (
+    MicroBatcher,
+    MicroBatcherConfig,
+    PolicyRegistry,
+    ServeStats,
+)
+
+OBS_DIM = 6
+
+
+class CountingPolicy:
+    """Records every batch it is asked to serve; returns the row index."""
+
+    def __init__(self, tag=0):
+        self.tag = tag
+        self.batches = []
+
+    def select_actions(self, obs_batch, *, explore=False):
+        self.batches.append(np.asarray(obs_batch).copy())
+        n = obs_batch.shape[0]
+        return np.full((n, 1), self.tag, dtype=int)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def make_batcher(policy=None, **config_kwargs):
+    registry = PolicyRegistry()
+    policy = policy if policy is not None else CountingPolicy()
+    registry.publish("p", policy)
+    clock = FakeClock()
+    batcher = MicroBatcher(
+        registry,
+        config=MicroBatcherConfig(**config_kwargs),
+        clock=clock,
+    )
+    return batcher, registry, policy, clock
+
+
+class TestCoalescing:
+    def test_requests_coalesce_into_one_forward(self):
+        batcher, _, policy, _ = make_batcher(max_batch_size=8)
+        tickets = [
+            batcher.submit("p", np.full(OBS_DIM, float(i)), client_id=i)
+            for i in range(5)
+        ]
+        assert batcher.pending == 5
+        assert batcher.flush() == 5
+        assert len(policy.batches) == 1
+        assert policy.batches[0].shape == (5, OBS_DIM)
+        # Row order matches submit order, so each ticket gets its own row.
+        np.testing.assert_array_equal(
+            policy.batches[0][:, 0], np.arange(5, dtype=float)
+        )
+        assert all(t.done for t in tickets)
+
+    def test_max_batch_size_flushes_inside_submit(self):
+        batcher, _, policy, _ = make_batcher(max_batch_size=3)
+        tickets = [
+            batcher.submit("p", np.zeros(OBS_DIM)) for _ in range(3)
+        ]
+        assert all(t.done for t in tickets)  # flushed without explicit flush()
+        assert len(policy.batches) == 1
+        assert batcher.pending == 0
+
+    def test_result_before_flush_raises(self):
+        batcher, _, _, _ = make_batcher(max_batch_size=8)
+        ticket = batcher.submit("p", np.zeros(OBS_DIM))
+        with pytest.raises(RuntimeError, match="not been flushed"):
+            ticket.result()
+
+    def test_separate_policies_batch_separately(self):
+        registry = PolicyRegistry()
+        a, b = CountingPolicy(tag=1), CountingPolicy(tag=2)
+        registry.publish("a", a)
+        registry.publish("b", b)
+        batcher = MicroBatcher(registry, config=MicroBatcherConfig(max_batch_size=8))
+        ta = batcher.submit("a", np.zeros(OBS_DIM))
+        tb = batcher.submit("b", np.zeros(OBS_DIM))
+        batcher.flush()
+        assert ta.result()[0] == 1 and tb.result()[0] == 2
+        assert len(a.batches) == len(b.batches) == 1
+
+
+class TestDeadline:
+    def test_poll_flushes_aged_queue(self):
+        batcher, _, policy, clock = make_batcher(
+            max_batch_size=64, max_delay_s=0.010
+        )
+        ticket = batcher.submit("p", np.zeros(OBS_DIM))
+        assert batcher.poll() == 0  # too fresh
+        clock.now += 0.011
+        assert batcher.poll() == 1
+        assert ticket.done
+        assert len(policy.batches) == 1
+
+    def test_deadline_measured_from_oldest_request(self):
+        batcher, _, _, clock = make_batcher(max_batch_size=64, max_delay_s=0.010)
+        batcher.submit("p", np.zeros(OBS_DIM))
+        clock.now += 0.008
+        batcher.submit("p", np.ones(OBS_DIM))
+        clock.now += 0.003  # oldest is now 11ms old, newest only 3ms
+        assert batcher.poll() == 2
+
+    def test_deterministic_mode_ignores_wall_clock(self):
+        batcher, _, _, clock = make_batcher(
+            max_batch_size=64, max_delay_s=0.010, deterministic=True
+        )
+        ticket = batcher.submit("p", np.zeros(OBS_DIM))
+        clock.now += 999.0
+        assert batcher.poll() == 0
+        assert not ticket.done
+        assert batcher.flush() == 1  # explicit barrier still flushes
+
+
+class TestHotSwap:
+    def test_in_flight_requests_keep_resolved_revision(self):
+        """A swap between submit and flush must not reroute queued work."""
+        registry = PolicyRegistry()
+        old, new = CountingPolicy(tag=1), CountingPolicy(tag=2)
+        registry.publish("p", old)
+        batcher = MicroBatcher(registry, config=MicroBatcherConfig(max_batch_size=64))
+        in_flight = batcher.submit("p", np.zeros(OBS_DIM))
+        registry.publish("p", new)  # hot swap
+        after_swap = batcher.submit("p", np.zeros(OBS_DIM))
+        batcher.flush()
+        assert in_flight.result()[0] == 1  # served by the old revision
+        assert after_swap.result()[0] == 2  # new requests route to the new one
+        assert in_flight.policy_key == "p@1"
+        assert after_swap.policy_key == "p@2"
+
+    def test_no_request_dropped_across_swap(self):
+        registry = PolicyRegistry()
+        registry.publish("p", CountingPolicy(tag=1))
+        batcher = MicroBatcher(registry, config=MicroBatcherConfig(max_batch_size=64))
+        tickets = [batcher.submit("p", np.zeros(OBS_DIM)) for _ in range(4)]
+        registry.publish("p", CountingPolicy(tag=2))
+        tickets += [batcher.submit("p", np.zeros(OBS_DIM)) for _ in range(4)]
+        assert batcher.flush() == 8
+        assert [int(t.result()[0]) for t in tickets] == [1] * 4 + [2] * 4
+
+
+class TestScalarFallbackAndStats:
+    def test_policy_without_batched_surface_degrades_per_row(self):
+        class ScalarOnly:
+            def __init__(self):
+                self.calls = 0
+
+            def select_action(self, obs, *, explore=False):
+                self.calls += 1
+                return np.array([int(obs[0])])
+
+        registry = PolicyRegistry()
+        policy = ScalarOnly()
+        registry.publish("s", policy)
+        batcher = MicroBatcher(registry, config=MicroBatcherConfig(max_batch_size=8))
+        tickets = [
+            batcher.submit("s", np.full(OBS_DIM, float(i))) for i in range(3)
+        ]
+        batcher.flush()
+        assert policy.calls == 3
+        assert [int(t.result()[0]) for t in tickets] == [0, 1, 2]
+
+    def test_stats_record_batches_and_per_policy_counts(self):
+        batcher, _, _, clock = make_batcher(max_batch_size=4)
+        for _ in range(6):
+            batcher.submit("p", np.zeros(OBS_DIM))
+        batcher.flush()
+        stats = batcher.stats
+        assert stats.total_requests == 6
+        assert stats.total_batches == 2
+        assert stats.batch_sizes == [4, 2]
+        assert stats.requests_per_policy == {"p@1": 6}
+
+    def test_latency_counts_queue_wait(self):
+        batcher, _, _, clock = make_batcher(max_batch_size=64)
+        batcher.submit("p", np.zeros(OBS_DIM))
+        clock.now += 0.5
+        batcher.flush()
+        assert batcher.stats.latencies_s == [0.5]
+
+    def test_real_dqn_policy_end_to_end(self):
+        registry = PolicyRegistry()
+        agent = DQNAgent(OBS_DIM, MultiDiscrete([4]), rng=0)
+        registry.publish("dqn", agent)
+        batcher = MicroBatcher(registry, config=MicroBatcherConfig(max_batch_size=8))
+        rng = np.random.default_rng(0)
+        obs = rng.normal(size=(8, OBS_DIM))
+        tickets = [batcher.submit("dqn", row) for row in obs]
+        assert all(t.done for t in tickets)  # hit max_batch_size
+        for t, row in zip(tickets, obs):
+            assert np.array_equal(t.result(), agent.select_action(row))
+
+
+class TestServeStatsUnits:
+    def test_quantiles_and_throughput(self):
+        clock = FakeClock()
+        stats = ServeStats(clock=clock)
+        stats.start()
+        stats.record_batch("p@1", [0.001] * 98 + [0.010, 0.100])
+        clock.now = 2.0
+        stats.stop()
+        summary = stats.as_dict()
+        assert summary["throughput_rps"] == pytest.approx(50.0)
+        assert summary["latency_ms"]["p50"] == pytest.approx(1.0)
+        assert summary["latency_ms"]["p99"] > 1.0
+
+    def test_empty_session_serializes_cleanly(self):
+        summary = ServeStats().as_dict()
+        assert summary["total_requests"] == 0
+        assert summary["latency_ms"] == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+        assert summary["throughput_rps"] == 0.0

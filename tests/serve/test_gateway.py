@@ -1,0 +1,159 @@
+"""FleetGateway: routing, mixed fleets, hot swap, telemetry integrity."""
+
+import numpy as np
+import pytest
+
+from repro.core import DQNAgent
+from repro.serve import FleetGateway, MicroBatcherConfig, default_registry
+from repro.sim import VectorHVACEnv, build_fleet
+
+
+def make_fleet(n=6, scenario="baseline-tou"):
+    return VectorHVACEnv(build_fleet(scenario, seeds=range(n)), autoreset=True)
+
+
+def make_registry(vec):
+    registry = default_registry()
+    env = vec.envs[0]
+    registry.publish("dqn", DQNAgent(env.obs_dim, env.action_space, rng=0))
+    return registry
+
+
+DETERMINISTIC = MicroBatcherConfig(max_batch_size=64, deterministic=True)
+
+
+class TestRouting:
+    def test_single_spec_routes_whole_fleet(self):
+        vec = make_fleet(4)
+        gateway = FleetGateway(vec, make_registry(vec), "dqn", config=DETERMINISTIC)
+        gateway.run(3)
+        assert gateway.stats.requests_per_policy == {"dqn@1": 12}
+
+    def test_mixed_fleet_runs_heterogeneous_controllers(self):
+        vec = make_fleet(6)
+        routes = ["dqn", "dqn", "baseline:thermostat", "baseline:pid", "dqn", "baseline:thermostat"]
+        gateway = FleetGateway(vec, make_registry(vec), routes, config=DETERMINISTIC)
+        stats = gateway.run(4)
+        assert stats.requests_per_policy == {
+            "dqn@1": 12,
+            "baseline:thermostat": 8,
+            "baseline:pid": 4,
+        }
+        # Every client was served every tick.
+        assert stats.total_requests == 6 * 4
+        assert stats.env_steps == 24
+
+    def test_route_count_must_match_fleet(self):
+        vec = make_fleet(4)
+        with pytest.raises(ValueError, match="one route per client"):
+            FleetGateway(vec, make_registry(vec), ["dqn"] * 3)
+
+    def test_unknown_route_fails_at_construction(self):
+        vec = make_fleet(2)
+        with pytest.raises(KeyError, match="unknown policy"):
+            FleetGateway(vec, make_registry(vec), ["dqn", "nope"])
+        with pytest.raises(KeyError, match="unknown baseline"):
+            FleetGateway(vec, make_registry(vec), ["dqn", "baseline:mpc"])
+
+    def test_pinned_revision_route(self):
+        vec = make_fleet(2)
+        registry = make_registry(vec)
+        env = vec.envs[0]
+        registry.publish("dqn", DQNAgent(env.obs_dim, env.action_space, rng=1))
+        gateway = FleetGateway(
+            vec, registry, ["dqn@1", "dqn"], config=DETERMINISTIC
+        )
+        gateway.run(2)
+        assert gateway.stats.requests_per_policy == {"dqn@1": 2, "dqn@2": 2}
+
+
+class TestSession:
+    def test_tick_returns_fleet_rewards(self):
+        vec = make_fleet(5)
+        gateway = FleetGateway(vec, make_registry(vec), "dqn", config=DETERMINISTIC)
+        gateway.reset()
+        rewards = gateway.tick()
+        assert rewards.shape == (5,)
+        assert np.all(np.isfinite(rewards))
+
+    def test_run_serves_across_episode_boundaries(self):
+        """Autoreset keeps a serving session alive past episode ends."""
+        vec = make_fleet(3)
+        episode_steps = int(vec.envs[0].episode_steps)
+        gateway = FleetGateway(vec, make_registry(vec), "dqn", config=DETERMINISTIC)
+        stats = gateway.run(episode_steps + 5)
+        assert stats.env_steps == 3 * (episode_steps + 5)
+
+    def test_stats_window_measures_throughput(self):
+        vec = make_fleet(2)
+        gateway = FleetGateway(vec, make_registry(vec), "dqn", config=DETERMINISTIC)
+        stats = gateway.run(3)
+        assert stats.throughput_rps > 0
+        assert stats.elapsed_s > 0
+
+
+class TestEpisodeBoundaries:
+    def test_local_controllers_restart_on_autoreset(self):
+        """Stateful baselines must begin_episode when their env auto-resets,
+        matching the scalar evaluation loop's per-episode reset."""
+
+        class EpisodeProbe:
+            def __init__(self, env):
+                self.n_zones = len(env.unwrapped().action_space.nvec)
+                self.begins = 0
+
+            def begin_episode(self, obs):
+                self.begins += 1
+
+            def select_action(self, obs, *, explore=False):
+                return np.zeros(self.n_zones, dtype=int)
+
+        vec = make_fleet(2)
+        registry = make_registry(vec)
+        registry.register_baseline("probe", EpisodeProbe)
+        gateway = FleetGateway(
+            vec, registry, "baseline:probe", config=DETERMINISTIC
+        )
+        episode_steps = int(vec.envs[0].episode_steps)
+        gateway.run(episode_steps + 1)  # crosses one episode boundary
+        probes = list(gateway._local_controllers.values())
+        # One begin at reset() plus one per autoreset boundary.
+        assert all(p.begins == 2 for p in probes)
+
+
+class TestHotSwap:
+    def test_swap_changes_serving_revision_without_dropping_requests(self):
+        vec = make_fleet(4)
+        registry = make_registry(vec)
+        gateway = FleetGateway(vec, registry, "dqn", config=DETERMINISTIC)
+        gateway.run(2)  # 8 requests on dqn@1
+        env = vec.envs[0]
+        new_key = gateway.swap("dqn", DQNAgent(env.obs_dim, env.action_space, rng=3))
+        assert new_key == "dqn@2"
+        gateway.run(2)  # 8 requests on dqn@2
+        stats = gateway.stats
+        assert stats.requests_per_policy == {"dqn@1": 8, "dqn@2": 8}
+        assert stats.total_requests == 16  # nothing dropped
+        assert stats.swaps == 1
+
+    def test_swap_mid_tick_pins_in_flight_batch(self):
+        """Requests queued before the swap flush through the old revision."""
+        vec = make_fleet(3)
+        registry = make_registry(vec)
+        gateway = FleetGateway(
+            vec,
+            registry,
+            "dqn",
+            config=MicroBatcherConfig(max_batch_size=64, deterministic=True),
+        )
+        gateway.reset()
+        per_env_obs = vec.split_obs(gateway._obs)
+        tickets = [
+            gateway.batcher.submit("dqn", per_env_obs[k], client_id=k)
+            for k in range(3)
+        ]
+        env = vec.envs[0]
+        gateway.swap("dqn", DQNAgent(env.obs_dim, env.action_space, rng=4))
+        gateway.batcher.flush()
+        assert all(t.done for t in tickets)
+        assert {t.policy_key for t in tickets} == {"dqn@1"}

@@ -170,6 +170,123 @@ class TestCampaignResumeAndReport:
         assert "seeds" in err and "fresh run directory" in err
 
 
+class TestServeCommand:
+    def test_serves_baseline_and_prints_telemetry(self, capsys):
+        code = main(
+            ["serve", "--policy", "baseline:thermostat", "--fleet", "4",
+             "--steps", "5", "--deterministic"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out and "latency" in out
+        assert "baseline:thermostat" in out
+
+    def test_serves_checkpoint_through_gateway(self, tmp_path, capsys):
+        ckpt = tmp_path / "agent.json"
+        main(["train", "--episodes", "2", "--out", str(ckpt)])
+        capsys.readouterr()
+        code = main(
+            ["serve", "--checkpoint", str(ckpt), "--fleet", "4",
+             "--steps", "5", "--deterministic"]
+        )
+        assert code == 0
+        assert "dqn@1" in capsys.readouterr().out
+
+    def test_serves_train_store_run_directory(self, tmp_path, capsys):
+        run_dir = tmp_path / "trainrun"
+        main(["train", "--episodes", "2", "--store", str(run_dir)])
+        capsys.readouterr()
+        code = main(
+            ["serve", "--run", str(run_dir), "--fleet", "3",
+             "--steps", "4", "--deterministic"]
+        )
+        assert code == 0
+        assert "dqn@1" in capsys.readouterr().out
+
+    def test_store_persists_serve_run_and_report_renders_it(self, tmp_path, capsys):
+        store_dir = tmp_path / "serverun"
+        code = main(
+            ["serve", "--policy", "baseline:pid", "--fleet", "3",
+             "--steps", "4", "--deterministic", "--store", str(store_dir)]
+        )
+        assert code == 0
+        assert (store_dir / "artifacts" / "serve_stats.json").exists()
+        capsys.readouterr()
+        assert main(["report", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "# Serving report" in out
+        assert "throughput" in out and "baseline:pid" in out
+
+    def test_corrupt_checkpoint_rejected_with_message(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"kind": "dqn", "obs_')
+        code = main(["serve", "--checkpoint", str(bad), "--fleet", "2", "--steps", "2"])
+        assert code == 2
+        assert "corrupt or truncated" in capsys.readouterr().err
+
+    def test_rejects_both_checkpoint_and_run(self, tmp_path, capsys):
+        code = main(
+            ["serve", "--checkpoint", "a.json", "--run", "b", "--fleet", "2",
+             "--steps", "2"]
+        )
+        assert code == 2
+        assert "at most one" in capsys.readouterr().err
+
+    def test_unknown_scenario_rejected(self, capsys):
+        code = main(["serve", "--policy", "baseline:pid", "--scenario", "nope"])
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestLoadtestCommand:
+    def test_compares_modes_and_writes_record(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_serve.json"
+        code = main(
+            ["loadtest", "--fleet", "8", "--steps", "3", "--deterministic",
+             "--baseline-share", "0.25", "--out", str(out)]
+        )
+        assert code == 0
+        record = json.loads(out.read_text())
+        assert record["benchmark"] == "serve_loadtest"
+        assert record["batched"]["total_requests"] == 8 * 3
+        assert record["per_request"]["total_requests"] == 8 * 3
+        assert record["end_to_end_speedup"] > 0
+        # A quarter of the fleet runs local thermostats.
+        assert record["batched"]["requests_per_policy"]["baseline:thermostat"] == 6
+        text = capsys.readouterr().out
+        assert "micro-batched" in text and "per-request" in text
+
+    def test_skip_per_request_runs_one_mode(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        code = main(
+            ["loadtest", "--fleet", "4", "--steps", "2", "--deterministic",
+             "--skip-per-request", "--out", str(out)]
+        )
+        assert code == 0
+        record = json.loads(out.read_text())
+        assert "per_request" not in record
+
+    def test_bad_baseline_share_rejected(self, capsys):
+        code = main(
+            ["loadtest", "--fleet", "4", "--steps", "2", "--baseline-share", "1.5"]
+        )
+        assert code == 2
+        assert "baseline-share" in capsys.readouterr().err
+
+    def test_deterministic_loadtests_are_replayable(self, tmp_path):
+        records = []
+        for name in ("a.json", "b.json"):
+            out = tmp_path / name
+            assert main(
+                ["loadtest", "--fleet", "4", "--steps", "3", "--deterministic",
+                 "--skip-per-request", "--out", str(out)]
+            ) == 0
+            records.append(json.loads(out.read_text()))
+        a, b = records
+        assert a["batched"]["requests_per_policy"] == b["batched"]["requests_per_policy"]
+        assert a["batched"]["total_batches"] == b["batched"]["total_batches"]
+
+
 class TestTrainStore:
     def test_store_checkpoint_enables_resume(self, tmp_path, capsys):
         run_dir = tmp_path / "trainrun"

@@ -1,0 +1,36 @@
+"""Shared helpers for the ``benchmarks/perf_*.py`` micro-benchmarks.
+
+Every benchmark records its JSON result twice — under
+``benchmarks/results/`` (the CI artifact) and at the repo root (the
+committed baseline that ``tools/perf_compare.py`` gates regressions
+against) — so the write logic lives here once.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+from typing import List
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def machine_info() -> dict:
+    """Interpreter/host fields every benchmark record carries."""
+    return {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+
+
+def write_bench_record(name: str, record: dict) -> List[Path]:
+    """Write ``record`` as ``name`` (e.g. ``BENCH_train.json``) to
+    ``benchmarks/results/`` and the repo root; returns both paths."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = json.dumps(record, indent=2) + "\n"
+    paths = [RESULTS_DIR / name, REPO_ROOT / name]
+    for path in paths:
+        path.write_text(payload)
+    return paths

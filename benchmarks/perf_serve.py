@@ -27,21 +27,21 @@ Run::
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import sys
 import time
-from pathlib import Path
 from typing import List
 
 import numpy as np
+
+try:
+    from benchmarks._util import machine_info, write_bench_record
+except ImportError:  # executed as a script: benchmarks/ itself is sys.path[0]
+    from _util import machine_info, write_bench_record
 
 from repro.core import DQNAgent
 from repro.serve import MicroBatcher, MicroBatcherConfig, PolicyRegistry
 from repro.sim import VectorHVACEnv, build_fleet, get_scenario
 
-RESULTS_DIR = Path(__file__).parent / "results"
-REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_NAME = "BENCH_serve.json"
 
 
@@ -137,8 +137,7 @@ def run_benchmark(
         "per_request_seconds": per_request_s,
         "speedup": per_request_s / batched_s,
         "actions_identical": identical,
-        "python": platform.python_version(),
-        "machine": platform.machine(),
+        **machine_info(),
     }
 
 
@@ -157,11 +156,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     record = run_benchmark(args.scenario, args.fleet, args.n_steps, args.repeats)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    payload = json.dumps(record, indent=2) + "\n"
-    out_paths = [RESULTS_DIR / BENCH_NAME, REPO_ROOT / BENCH_NAME]
-    for path in out_paths:
-        path.write_text(payload)
+    out_paths = write_bench_record(BENCH_NAME, record)
 
     print(
         f"fleet={record['fleet']} x {record['n_steps']} ticks "

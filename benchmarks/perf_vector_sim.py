@@ -22,21 +22,21 @@ Run::
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import sys
 import time
-from pathlib import Path
 
 import numpy as np
+
+try:
+    from benchmarks._util import machine_info, write_bench_record
+except ImportError:  # executed as a script: benchmarks/ itself is sys.path[0]
+    from _util import machine_info, write_bench_record
 
 from repro.building import single_zone_building
 from repro.env import HVACEnv, HVACEnvConfig
 from repro.sim import VectorHVACEnv
 from repro.weather import SyntheticWeatherConfig, generate_weather
 
-RESULTS_DIR = Path(__file__).parent / "results"
-REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_NAME = "BENCH_vector_sim.json"
 
 
@@ -104,8 +104,7 @@ def run_benchmark(n_envs: int = 64, n_steps: int = 96, repeats: int = 3) -> dict
         "scalar_seconds": scalar_s,
         "speedup": scalar_s / vector_s,
         "speedup_including_construction": scalar_s / (vector_s + construction_s),
-        "python": platform.python_version(),
-        "machine": platform.machine(),
+        **machine_info(),
     }
 
 
@@ -123,11 +122,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     record = run_benchmark(args.n_envs, args.n_steps, args.repeats)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    payload = json.dumps(record, indent=2) + "\n"
-    out_path = RESULTS_DIR / BENCH_NAME
-    out_path.write_text(payload)
-    (REPO_ROOT / BENCH_NAME).write_text(payload)
+    out_path, root_path = write_bench_record(BENCH_NAME, record)
 
     print(
         f"N={record['n_envs']} x {record['n_steps']} steps "
@@ -140,7 +135,7 @@ def main(argv=None) -> int:
         f"{record['speedup_including_construction']:.1f}x including the "
         f"{record['vector_construction_seconds']:.3f}s one-time fleet setup"
     )
-    print(f"  recorded in {out_path} and {REPO_ROOT / BENCH_NAME}")
+    print(f"  recorded in {out_path} and {root_path}")
     if args.min_speedup and record["speedup"] < args.min_speedup:
         print(
             f"FAIL: speedup {record['speedup']:.1f}x below the "

@@ -115,6 +115,15 @@ def _build_parser() -> argparse.ArgumentParser:
             "(a killed run loses at most N episodes of work)"
         ),
     )
+    train.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "print a per-phase wall-clock breakdown of the training loop "
+            "(env step / action select / replay ingest / learn) after "
+            "training finishes"
+        ),
+    )
 
     evaluate = sub.add_parser(
         "evaluate",
@@ -420,8 +429,16 @@ def _cmd_train(args: argparse.Namespace) -> int:
         config=DQNConfig(epsilon_decay_steps=50 * args.episodes, learn_start=200),
         rng=args.seed,
     )
+    profiler = None
+    if args.profile:
+        from repro.utils.profiling import PhaseTimer
+
+        profiler = PhaseTimer()
     trainer = Trainer(
-        train_env, agent, config=TrainerConfig(n_episodes=args.episodes)
+        train_env,
+        agent,
+        config=TrainerConfig(n_episodes=args.episodes),
+        profiler=profiler,
     )
     if resuming:
         # load_state_dict restores the stored run's exploration schedule
@@ -448,6 +465,10 @@ def _cmd_train(args: argparse.Namespace) -> int:
         f"trained {trainer.episodes_completed} episodes; "
         f"final return {returns[-1]:.2f}"
     )
+    if profiler is not None:
+        print("\ntraining-loop phase breakdown:")
+        print(profiler.render())
+        print()
     metrics = evaluate_controller(eval_env, agent)
     print(
         f"eval: cost=${metrics.cost_usd:.2f} "

@@ -14,6 +14,7 @@ This package implements the DAC'17 control stack:
 """
 
 from repro.core.replay import ReplayBuffer, Transition
+from repro.core.sumtree import SumTree
 from repro.core.prioritized_replay import PrioritizedReplayBuffer
 from repro.core.schedules import ConstantSchedule, ExponentialSchedule, LinearSchedule
 from repro.core.agent import AgentBase
@@ -24,6 +25,7 @@ from repro.core.trainer import Trainer, TrainerConfig, VectorTrainer
 __all__ = [
     "Transition",
     "ReplayBuffer",
+    "SumTree",
     "PrioritizedReplayBuffer",
     "ConstantSchedule",
     "LinearSchedule",

@@ -47,3 +47,21 @@ class AgentBase:
     def learn(self) -> Optional[float]:
         """Run one learning update; returns the loss or None if skipped."""
         return None
+
+
+def owed_learn_steps(
+    total_steps: int, n_new_steps: int, learn_start: int, train_every: int
+) -> range:
+    """The agent-steps in ``(total_steps - n, total_steps]`` that owe a
+    gradient update.
+
+    Shared by the learning agents' ``learn_batch`` implementations so
+    batched ingest reproduces the per-row store-then-learn cadence:
+    one update per ``train_every`` boundary crossed at or past
+    ``learn_start``.
+    """
+    first = total_steps - n_new_steps + 1
+    # First multiple of train_every at or after max(first, learn_start).
+    start = max(first, learn_start)
+    start += (-start) % train_every
+    return range(start, total_steps + 1, train_every)

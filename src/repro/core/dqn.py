@@ -20,7 +20,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro import nn
-from repro.core.agent import AgentBase
+from repro.core.agent import AgentBase, owed_learn_steps
 from repro.core.prioritized_replay import PrioritizedReplayBuffer
 from repro.core.replay import ReplayBuffer
 from repro.core.schedules import LinearSchedule, Schedule, schedule_from_state
@@ -67,6 +67,10 @@ class DQNConfig:
     per_beta_start: float = 0.4
     per_beta_end: float = 1.0
     per_beta_decay_steps: int = 20_000
+    # Sampling backend for prioritized replay: "tree" (O(log n) sum-tree)
+    # or "scan" (the legacy O(n) draw; pin it to resume pre-tree runs
+    # bit-exactly).  Ignored without prioritized_replay.
+    per_method: str = "tree"
 
     def __post_init__(self) -> None:
         if not self.hidden:
@@ -92,6 +96,10 @@ class DQNConfig:
         check_in_range("per_beta_start", self.per_beta_start, 0.0, 1.0)
         check_in_range("per_beta_end", self.per_beta_end, 0.0, 1.0)
         check_positive("per_beta_decay_steps", self.per_beta_decay_steps)
+        if self.per_method not in ("scan", "tree"):
+            raise ValueError(
+                f"per_method must be 'scan' or 'tree', got {self.per_method!r}"
+            )
         if self.prioritized_replay and not self.use_replay:
             raise ValueError("prioritized_replay requires use_replay=True")
 
@@ -139,7 +147,11 @@ class DQNAgent(AgentBase):
         capacity = self.config.buffer_capacity if self.config.use_replay else self.config.batch_size
         if self.config.prioritized_replay:
             self.buffer: ReplayBuffer = PrioritizedReplayBuffer(
-                capacity, self.obs_dim, action_dim=1, alpha=self.config.per_alpha
+                capacity,
+                self.obs_dim,
+                action_dim=1,
+                alpha=self.config.per_alpha,
+                method=self.config.per_method,
             )
         else:
             self.buffer = ReplayBuffer(capacity, self.obs_dim, action_dim=1)
@@ -155,6 +167,15 @@ class DQNAgent(AgentBase):
         )
         self.total_steps = 0
         self.total_updates = 0
+        # Per-step scratch reused across learn() calls: the row-index
+        # vector, the uniform-replay weight vector (all ones, never
+        # written), and the dense gradient buffer whose touched entries
+        # are re-zeroed after each backward pass — so the hot loop
+        # allocates no O(batch x actions) arrays.
+        batch = self.config.batch_size
+        self._batch_rows = np.arange(batch)
+        self._uniform_weights = np.ones(batch)
+        self._grad_scratch = np.zeros((batch, self.n_actions))
 
     # ------------------------------------------------------------- policies
     @property
@@ -221,15 +242,63 @@ class DQNAgent(AgentBase):
         self.buffer.add(obs, joint, reward, next_obs, done)
         self.total_steps += 1
 
-    def _td_targets(self, batch: dict) -> np.ndarray:
-        """Bootstrapped TD(0) targets for a sampled batch."""
+    def store_batch(
+        self,
+        obs: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        next_obs: np.ndarray,
+        dones: np.ndarray,
+        infos: Optional[dict] = None,
+    ) -> int:
+        """Bulk :meth:`store`: ``n`` transitions land in the replay buffer
+        via one sliced write instead of ``n`` Python-level adds.
+
+        ``infos`` (batched step-info arrays) is accepted for interface
+        symmetry with :meth:`store`; the joint-action agent ignores it.
+        Returns the number of transitions ingested.  Call
+        :meth:`learn_batch` afterwards to run the gradient steps those
+        transitions are owed.
+        """
+        joint = self.action_space.flatten_batch(actions)
+        self.buffer.add_batch(obs, joint, rewards, next_obs, dones)
+        n = int(joint.shape[0])
+        self.total_steps += n
+        return n
+
+    def learn_batch(self, n_new_steps: int) -> list:
+        """Gradient steps owed after a :meth:`store_batch` of ``n`` rows.
+
+        Runs one update per ``train_every`` boundary the batch crossed
+        past ``learn_start`` — the same cadence the per-row
+        store-then-learn loop produces — each sampling from the fully
+        ingested buffer.  Returns the losses (possibly empty).
+        """
+        cfg = self.config
+        return [
+            self._learn_step(step)
+            for step in owed_learn_steps(
+                self.total_steps, n_new_steps, cfg.learn_start, cfg.train_every
+            )
+        ]
+
+    def _td_targets(
+        self, batch: dict, rows: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Bootstrapped TD(0) targets for a sampled batch, in one pass.
+
+        The target-network forward feeds the (double-)DQN gather/max
+        directly; ``rows`` lets the hot loop pass its preallocated
+        row-index vector instead of re-building an ``arange`` per step.
+        """
         cfg = self.config
         bootstrap_net = self.target if cfg.use_target_network else self.online
         q_next = bootstrap_net.forward(batch["next_obs"])
         if cfg.double_dqn and cfg.use_target_network:
-            online_next = self.online.forward(batch["next_obs"])
-            best = np.argmax(online_next, axis=1)
-            next_value = q_next[np.arange(len(best)), best]
+            best = np.argmax(self.online.forward(batch["next_obs"]), axis=1)
+            if rows is None:
+                rows = np.arange(len(best))
+            next_value = q_next[rows, best]
         else:
             next_value = q_next.max(axis=1)
         not_done = ~batch["dones"]
@@ -247,19 +316,30 @@ class DQNAgent(AgentBase):
             return None
         if self.total_steps % cfg.train_every != 0:
             return None
+        return self._learn_step(self.total_steps)
+
+    def _learn_step(self, step: int) -> float:
+        """The gradient step itself (gating already passed).
+
+        ``step`` is the agent-step the update is attributed to — it
+        drives the prioritized-replay β anneal.  One fused pass: sample,
+        bootstrap targets, weighted-Huber gradient through the reused
+        scratch buffer, optimizer step, priority refresh.
+        """
+        cfg = self.config
         prioritized = isinstance(self.buffer, PrioritizedReplayBuffer)
         if prioritized:
-            beta = self._beta_schedule.value(self.total_steps)
+            beta = self._beta_schedule.value(step)
             batch = self.buffer.sample(cfg.batch_size, self._sample_rng, beta=beta)
             weights = batch["weights"]
         else:
             batch = self.buffer.sample(cfg.batch_size, self._sample_rng)
-            weights = np.ones(cfg.batch_size)
+            weights = self._uniform_weights
         actions = batch["actions"][:, 0]
-        targets = self._td_targets(batch)
+        rows = self._batch_rows
+        targets = self._td_targets(batch, rows)
 
         q_all = self.online.forward(batch["obs"])
-        rows = np.arange(len(actions))
         pred = q_all[rows, actions]
         td_error = pred - targets
         # Weighted Huber: quadratic within 1 of the target, linear outside.
@@ -268,12 +348,15 @@ class DQNAgent(AgentBase):
         loss = float(np.mean(weights * per_sample))
         dpred = weights * np.clip(td_error, -1.0, 1.0) / len(actions)
 
-        grad = np.zeros_like(q_all)
+        grad = self._grad_scratch
         grad[rows, actions] = dpred
         self.optimizer.zero_grad()
         self.online.backward(grad)
         nn.clip_gradients(self.online.parameters(), cfg.grad_clip_norm)
         self.optimizer.step()
+        # Re-zero only the touched entries — O(batch), not O(batch x
+        # actions) — so the scratch is clean for the next step.
+        grad[rows, actions] = 0.0
 
         if prioritized:
             self.buffer.update_priorities(batch["indices"], td_error)
@@ -358,6 +441,10 @@ class DQNAgent(AgentBase):
         """Reconstruct an agent purely from a :meth:`state_dict` payload."""
         config = dict(state["config"])
         config["hidden"] = tuple(config["hidden"])
+        # Checkpoints that predate the sum-tree carry no per_method key;
+        # their RNG history was produced by the scan sampler, so resume
+        # under it rather than the newer default.
+        config.setdefault("per_method", "scan")
         agent = cls(
             int(state["obs_dim"]),
             MultiDiscrete(state["nvec"]),

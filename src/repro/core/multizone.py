@@ -27,7 +27,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro import nn
-from repro.core.agent import AgentBase
+from repro.core.agent import AgentBase, owed_learn_steps
 from repro.core.dqn import DQNConfig
 from repro.core.replay import ReplayBuffer
 from repro.core.schedules import LinearSchedule, schedule_from_state
@@ -186,6 +186,50 @@ class FactoredDQNAgent(AgentBase):
         self.buffer.add(obs, action, per_zone, next_obs, done)
         self.total_steps += 1
 
+    def store_batch(
+        self,
+        obs: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        next_obs: np.ndarray,
+        dones: np.ndarray,
+        infos: Optional[dict] = None,
+    ) -> int:
+        """Bulk :meth:`store`: ``n`` transitions in one sliced write.
+
+        ``infos["reward_per_zone"]`` (an ``(n, zones)`` array) routes the
+        environment's per-zone reward decomposition to the heads; without
+        it every head falls back to the shared global reward.  Returns
+        the number of transitions ingested; call :meth:`learn_batch`
+        afterwards for the gradient steps they are owed.
+        """
+        rewards = np.asarray(rewards, dtype=np.float64)
+        n = rewards.shape[0]
+        if infos is not None and "reward_per_zone" in infos:
+            per_zone = np.asarray(infos["reward_per_zone"], dtype=np.float64)
+            if per_zone.shape != (n, self.n_zones):
+                raise ValueError(
+                    f"reward_per_zone must have shape ({n}, {self.n_zones}), "
+                    f"got {per_zone.shape}"
+                )
+        else:
+            per_zone = np.broadcast_to(rewards[:, None], (n, self.n_zones))
+        self.buffer.add_batch(obs, actions, per_zone, next_obs, dones)
+        self.total_steps += n
+        return n
+
+    def learn_batch(self, n_new_steps: int) -> List[float]:
+        """Gradient steps owed after a :meth:`store_batch` of ``n`` rows
+        (one per ``train_every`` boundary crossed past ``learn_start``,
+        matching the per-row store-then-learn cadence)."""
+        cfg = self.config
+        return [
+            self._learn_step()
+            for _ in owed_learn_steps(
+                self.total_steps, n_new_steps, cfg.learn_start, cfg.train_every
+            )
+        ]
+
     def learn(self) -> Optional[float]:
         """One gradient step per zone head on a shared sampled batch."""
         cfg = self.config
@@ -193,6 +237,11 @@ class FactoredDQNAgent(AgentBase):
             return None
         if self.total_steps % cfg.train_every != 0:
             return None
+        return self._learn_step()
+
+    def _learn_step(self) -> float:
+        """The per-head gradient steps themselves (gating already passed)."""
+        cfg = self.config
         batch = self.buffer.sample(cfg.batch_size, self._sample_rng)
         not_done = ~batch["dones"]
         rows = np.arange(cfg.batch_size)
@@ -227,7 +276,7 @@ class FactoredDQNAgent(AgentBase):
         if self.total_updates % cfg.target_sync_every == 0:
             for online, target in zip(self.online, self.target):
                 target.copy_weights_from(online)
-        return total_loss / self.n_zones
+        return float(total_loss / self.n_zones)
 
     # -------------------------------------------------------- checkpointing
     def state_dict(
@@ -295,6 +344,9 @@ class FactoredDQNAgent(AgentBase):
         if state.get("config") is not None:
             config = dict(state["config"])
             config["hidden"] = tuple(config["hidden"])
+            # Pre-sum-tree checkpoints carry no per_method key; restore
+            # under the sampler that produced their RNG history.
+            config.setdefault("per_method", "scan")
             config = DQNConfig(**config)
         else:
             config = DQNConfig(hidden=_hidden_from_net_state(state["online"][0]))

@@ -2,9 +2,21 @@
 
 Transitions are sampled with probability proportional to
 ``(|td_error| + eps)**alpha`` and corrected with importance-sampling
-weights annealed by ``beta``.  At this library's buffer sizes (tens of
-thousands) a vectorized O(n) categorical draw is faster and simpler than
-a sum-tree, so that is what we use.
+weights annealed by ``beta``.  Two sampling backends share that
+contract:
+
+* ``method="tree"`` (default) — a :class:`~repro.core.sumtree.SumTree`
+  over the ``alpha``-scaled priorities: O(log n) proportional draws and
+  O(log n) priority updates, the fast path that keeps per-gradient-step
+  cost flat as the buffer grows to 100k+ transitions.
+* ``method="scan"`` — the original vectorized O(n) categorical draw
+  (``priorities ** alpha`` recomputed over the filled region on every
+  sample).  Kept because its RNG consumption pattern is part of older
+  runs' bit-exact resume contract; pin it where that matters.
+
+Both methods serialize identically — :meth:`state_dict` stores the raw
+priorities array, and the tree is rebuilt on load — so checkpoints are
+interchangeable across methods and releases.
 
 This is an extension of the DAC'17 controller (the paper uses uniform
 replay); its effect is measured by the E10 ablation benchmark.
@@ -17,8 +29,11 @@ from typing import Dict
 import numpy as np
 
 from repro.core.replay import ReplayBuffer
+from repro.core.sumtree import SumTree
 from repro.utils.seeding import RandomState, ensure_rng
 from repro.utils.validation import check_in_range, check_positive
+
+_METHODS = ("scan", "tree")
 
 
 class PrioritizedReplayBuffer(ReplayBuffer):
@@ -30,6 +45,12 @@ class PrioritizedReplayBuffer(ReplayBuffer):
         Prioritization strength; 0 recovers uniform sampling.
     eps:
         Floor added to |TD error| so no transition starves.
+    method:
+        Sampling backend: ``"tree"`` (O(log n) sum-tree, default) or
+        ``"scan"`` (the legacy O(n) full-array draw).  Both sample the
+        same proportional distribution; they consume the RNG
+        differently, so resuming an old run bit-exactly requires the
+        method it was trained with.
 
     New transitions enter with the current maximum priority so they are
     sampled at least once before being down-weighted.
@@ -44,19 +65,45 @@ class PrioritizedReplayBuffer(ReplayBuffer):
         *,
         alpha: float = 0.6,
         eps: float = 1e-3,
+        method: str = "tree",
     ) -> None:
         super().__init__(capacity, obs_dim, action_dim, reward_dim)
         check_in_range("alpha", alpha, 0.0, 1.0)
         check_positive("eps", eps)
+        if method not in _METHODS:
+            raise ValueError(
+                f"unknown sampling method {method!r}; choose from {_METHODS}"
+            )
         self.alpha = float(alpha)
         self.eps = float(eps)
+        self.method = method
         self._priorities = np.zeros(capacity)
         self._max_priority = 1.0
+        # The tree mirrors priorities**alpha; only maintained when the
+        # tree backend is active (the scan path never reads it).
+        self._tree = SumTree(capacity) if method == "tree" else None
 
     def add(self, obs, action, reward, next_obs, done) -> None:  # type: ignore[override]
         index = self._cursor  # the slot the parent will fill
         super().add(obs, action, reward, next_obs, done)
         self._priorities[index] = self._max_priority
+        if self._tree is not None:
+            self._tree.set(
+                np.array([index]), np.array([self._max_priority**self.alpha])
+            )
+
+    def add_batch(self, obs, actions, rewards, next_obs, dones) -> np.ndarray:  # type: ignore[override]
+        """Bulk :meth:`add`: every written slot is stamped with the
+        current max priority in one vectorized pass."""
+        indices = super().add_batch(obs, actions, rewards, next_obs, dones)
+        if indices.size:
+            self._priorities[indices] = self._max_priority
+            if self._tree is not None:
+                self._tree.set(
+                    indices,
+                    np.full(indices.size, self._max_priority**self.alpha),
+                )
+        return indices
 
     def sample(  # type: ignore[override]
         self,
@@ -77,22 +124,33 @@ class PrioritizedReplayBuffer(ReplayBuffer):
         check_in_range("beta", beta, 0.0, 1.0)
         rng = ensure_rng(rng)
 
-        scaled = self._priorities[: self._size] ** self.alpha
-        probs = scaled / scaled.sum()
-        idx = rng.choice(self._size, size=batch_size, p=probs)
+        if self._tree is None:
+            scaled = self._priorities[: self._size] ** self.alpha
+            probs = scaled / scaled.sum()
+            idx = rng.choice(self._size, size=batch_size, p=probs)
+            sampled_probs = probs[idx]
+        else:
+            total = self._tree.total
+            idx = self._tree.find(rng.random(batch_size) * total)
+            # Float rounding in the partial sums can land a query one
+            # slot past the filled region; clamp back onto it.
+            np.minimum(idx, self._size - 1, out=idx)
+            sampled_probs = self._tree.leaf_values(idx) / total
 
-        weights = (self._size * probs[idx]) ** (-beta)
+        weights = (self._size * sampled_probs) ** (-beta)
         weights /= weights.max()
 
-        rewards = self._rewards[idx].copy()
+        # Fancy indexing already materializes fresh arrays detached from
+        # the ring storage, so no defensive copies on top.
+        rewards = self._rewards[idx]
         if self.reward_dim == 1:
             rewards = rewards[:, 0]
         return {
-            "obs": self._obs[idx].copy(),
-            "actions": self._actions[idx].copy(),
+            "obs": self._obs[idx],
+            "actions": self._actions[idx],
             "rewards": rewards,
-            "next_obs": self._next_obs[idx].copy(),
-            "dones": self._dones[idx].copy(),
+            "next_obs": self._next_obs[idx],
+            "dones": self._dones[idx],
             "indices": idx,
             "weights": weights,
         }
@@ -109,10 +167,20 @@ class PrioritizedReplayBuffer(ReplayBuffer):
             raise ValueError("priority index out of the filled region")
         new = np.abs(td_errors) + self.eps
         self._priorities[indices] = new
+        if self._tree is not None:
+            # Sampling draws with replacement so `indices` may repeat;
+            # SumTree.set applies the same last-wins fancy-assignment
+            # rule the priorities array just did, so no dedup needed.
+            self._tree.set(indices, new**self.alpha)
         self._max_priority = max(self._max_priority, float(new.max()))
 
     def state_dict(self, *, max_transitions=None) -> dict:  # type: ignore[override]
-        """Parent payload plus per-slot priorities and the running max."""
+        """Parent payload plus per-slot priorities and the running max.
+
+        The priorities-array format predates the sum-tree and is kept as
+        the one serialization for both methods: the tree is derived
+        state, rebuilt on :meth:`load_state_dict`.
+        """
         from repro.nn.serialization import encode_array
 
         state = super().state_dict(max_transitions=max_transitions)
@@ -141,6 +209,8 @@ class PrioritizedReplayBuffer(ReplayBuffer):
         self._priorities[: self._size] = priorities
         self._priorities[self._size :] = 0.0
         self._max_priority = float(state["max_priority"])
+        if self._tree is not None:
+            self._tree.rebuild(self._priorities[: self._size] ** self.alpha)
 
     def priority_of(self, index: int) -> float:
         """Current priority of slot ``index`` (for tests/diagnostics)."""

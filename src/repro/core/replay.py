@@ -106,6 +106,70 @@ class ReplayBuffer:
         self._cursor = (self._cursor + 1) % self.capacity
         self._size = min(self._size + 1, self.capacity)
 
+    def add_batch(
+        self,
+        obs: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        next_obs: np.ndarray,
+        dones: np.ndarray,
+    ) -> np.ndarray:
+        """Store ``n`` transitions in bulk; returns the written slot indices.
+
+        Equivalent to ``n`` sequential :meth:`add` calls (same final
+        contents, cursor, and size — including wrap-around, and batches
+        larger than the capacity, where only the most recent
+        ``capacity`` rows survive), but the rows land via at most two
+        sliced assignments per array instead of ``n`` Python-level
+        copies.  ``actions`` may be ``(n,)`` when ``action_dim == 1``;
+        ``rewards`` may be ``(n,)`` when ``reward_dim == 1``.
+        """
+        obs = np.asarray(obs, dtype=np.float64)
+        next_obs = np.asarray(next_obs, dtype=np.float64)
+        actions = np.asarray(actions, dtype=np.int64)
+        rewards = np.asarray(rewards, dtype=np.float64)
+        dones = np.asarray(dones, dtype=bool)
+        if obs.ndim != 2 or obs.shape[1] != self.obs_dim:
+            raise ValueError(
+                f"obs must have shape (n, {self.obs_dim}), got {obs.shape}"
+            )
+        n = obs.shape[0]
+        if actions.ndim == 1 and self.action_dim == 1:
+            actions = actions[:, None]
+        if rewards.ndim == 1 and self.reward_dim == 1:
+            rewards = rewards[:, None]
+        for name, array, shape in (
+            ("next_obs", next_obs, (n, self.obs_dim)),
+            ("actions", actions, (n, self.action_dim)),
+            ("rewards", rewards, (n, self.reward_dim)),
+            ("dones", dones, (n,)),
+        ):
+            if array.shape != shape:
+                raise ValueError(
+                    f"{name} must have shape {shape}, got {array.shape}"
+                )
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        # Only the last `capacity` rows of an oversized batch survive the
+        # sequential-add semantics; earlier rows would be overwritten.
+        kept = min(n, self.capacity)
+        start = (self._cursor + (n - kept)) % self.capacity
+        first = min(kept, self.capacity - start)
+        for target, data in (
+            (self._obs, obs),
+            (self._next_obs, next_obs),
+            (self._actions, actions),
+            (self._rewards, rewards),
+            (self._dones, dones),
+        ):
+            tail = data[n - kept :]
+            target[start : start + first] = tail[:first]
+            if kept > first:
+                target[: kept - first] = tail[first:]
+        self._cursor = (self._cursor + n) % self.capacity
+        self._size = min(self._size + n, self.capacity)
+        return (start + np.arange(kept)) % self.capacity
+
     def add_transition(self, transition: Transition) -> None:
         """Store a :class:`Transition` (convenience overload of :meth:`add`)."""
         self.add(
@@ -126,15 +190,17 @@ class ReplayBuffer:
             raise ValueError("cannot sample from an empty buffer")
         rng = ensure_rng(rng)
         idx = rng.integers(0, self._size, size=batch_size)
-        rewards = self._rewards[idx].copy()
+        # Fancy indexing already materializes fresh arrays detached from
+        # the ring storage, so no defensive copies on top.
+        rewards = self._rewards[idx]
         if self.reward_dim == 1:
             rewards = rewards[:, 0]
         return {
-            "obs": self._obs[idx].copy(),
-            "actions": self._actions[idx].copy(),
+            "obs": self._obs[idx],
+            "actions": self._actions[idx],
             "rewards": rewards,
-            "next_obs": self._next_obs[idx].copy(),
-            "dones": self._dones[idx].copy(),
+            "next_obs": self._next_obs[idx],
+            "dones": self._dones[idx],
         }
 
     # --------------------------------------------------------- checkpointing

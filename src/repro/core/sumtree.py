@@ -1,0 +1,192 @@
+"""Segment tree over per-slot priorities (the sum-tree of Schaul et al.).
+
+Backing store for :class:`~repro.core.prioritized_replay.
+PrioritizedReplayBuffer`'s ``method="tree"`` sampling path: proportional
+sampling and priority updates both cost O(log n) instead of the O(n)
+full-array scan, which is what makes prioritized replay viable at
+capacities of 100k+ transitions.
+
+The tree is a complete ``BRANCHING``-ary heap stored flat, level by
+level from the root down; each level is padded only to a multiple of
+the fan-out (padding slots stay zero, so they are never selected), and
+per-level offsets replace the closed-form child arithmetic of a full
+binary heap.  The wide fan-out is a constant-factor trade: NumPy
+dispatch overhead, not flops, dominates at replay batch sizes, so a
+100k-slot tree wants ~3 vectorized ``(batch, B)`` gathers per operation
+rather than ~17 scalar-ish binary levels — while the level-wise padding
+keeps memory at ``~B/(B-1) * capacity`` for *any* capacity (a full
+``B``-ary heap would pad the leaf count to a power of ``B``, up to
+``B``-fold waste).  Every operation is batched: leaf writes refresh
+each affected level in one pass, and :meth:`find` descends all query
+prefixes in lock-step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Fan-out of the flat heap: 64 gives depth 3 at capacity 100k.  The
+# public behaviour is independent of this constant.
+BRANCHING = 64
+
+
+class SumTree:
+    """Flat-array segment tree maintaining prefix sums over leaf values.
+
+    Parameters
+    ----------
+    capacity:
+        Number of addressable leaves (replay slots).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        b = BRANCHING
+        # Level widths from the leaves up, each padded to a multiple of
+        # the fan-out so children of one node are always contiguous.
+        widths = []
+        width = self.capacity
+        while width > 1:
+            parents = -(-width // b)  # ceil
+            widths.append(parents * b)
+            width = parents
+        widths.append(1)  # root
+        widths.reverse()  # root first
+        self._widths = widths
+        self._depth = len(widths) - 1
+        self._offsets = np.concatenate([[0], np.cumsum(widths)])[:-1]
+        self._leaf_offset = int(self._offsets[-1])
+        self._tree = np.zeros(int(self._offsets[-1]) + widths[-1])
+        self._child_offsets = np.arange(b)
+
+    @property
+    def total(self) -> float:
+        """Sum of all leaf values (the root)."""
+        return float(self._tree[0])
+
+    def get(self, indices: np.ndarray) -> np.ndarray:
+        """Leaf values at ``indices``."""
+        indices = self._check_indices(indices)
+        return self._tree[self._leaf_offset + indices]
+
+    @property
+    def leaves(self) -> np.ndarray:
+        """Read-only view of the active leaf values (no copy)."""
+        view = self._tree[self._leaf_offset : self._leaf_offset + self.capacity]
+        view.flags.writeable = False
+        return view
+
+    def leaf_values(self, indices: np.ndarray) -> np.ndarray:
+        """Leaf values at already-validated ``indices`` (hot-path
+        :meth:`get` without the bounds re-check — :meth:`find` output is
+        in range by construction)."""
+        return self._tree[self._leaf_offset + indices]
+
+    # ------------------------------------------------------------- updates
+    def set(self, indices: np.ndarray, values: np.ndarray) -> None:
+        """Assign ``values`` to the leaves at ``indices`` and refresh sums.
+
+        Batched bottom-up refresh: each affected ancestor is recomputed
+        *from its children* (never by delta accumulation, so sums stay
+        exact), one vectorized ``(batch, B)`` gather per level.
+        Duplicate indices are safe — the leaf assignment is last-wins
+        like NumPy fancy assignment, and a node recomputed twice gets
+        the same value.
+        """
+        indices = self._check_indices(indices)
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != indices.shape:
+            raise ValueError(
+                f"indices {indices.shape} and values {values.shape} must match"
+            )
+        if np.any(values < 0):
+            raise ValueError("sum-tree leaf values must be >= 0")
+        if indices.size == 0:
+            return
+        tree = self._tree
+        b = BRANCHING
+        offsets = self._offsets
+        tree[self._leaf_offset + indices] = values
+        pos = indices
+        for level in range(self._depth, 0, -1):
+            pos = pos // b
+            child_base = offsets[level] + b * pos
+            children = tree[child_base[:, None] + self._child_offsets]
+            tree[offsets[level - 1] + pos] = children.sum(axis=1)
+
+    def rebuild(self, values: np.ndarray) -> None:
+        """Reset every leaf at once (slots beyond ``len(values)`` zeroed).
+
+        One vectorized bottom-up pass — O(n), but paid only on bulk
+        loads (checkpoint restore), never on the sampling hot path.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 1 or values.size > self.capacity:
+            raise ValueError(
+                f"values must be 1-D with at most {self.capacity} entries, "
+                f"got shape {values.shape}"
+            )
+        if np.any(values < 0):
+            raise ValueError("sum-tree leaf values must be >= 0")
+        tree = self._tree
+        b = BRANCHING
+        offsets = self._offsets
+        widths = self._widths
+        leaves = tree[self._leaf_offset : self._leaf_offset + widths[-1]]
+        leaves[: values.size] = values
+        leaves[values.size :] = 0.0
+        for level in range(self._depth, 0, -1):
+            block = tree[offsets[level] : offsets[level] + widths[level]]
+            sums = block.reshape(-1, b).sum(axis=1)
+            parent_block = tree[
+                offsets[level - 1] : offsets[level - 1] + widths[level - 1]
+            ]
+            parent_block[: sums.size] = sums
+            parent_block[sums.size :] = 0.0
+
+    # ------------------------------------------------------------ sampling
+    def find(self, prefix_sums: np.ndarray) -> np.ndarray:
+        """Leaf indices whose cumulative-sum interval contains each query.
+
+        ``prefix_sums`` must lie in ``[0, total)``; all queries descend
+        the tree together, one vectorized level per iteration.  With
+        leaves ``v_i``, query ``u`` lands on the leaf ``j`` satisfying
+        ``sum(v_0..v_{j-1}) <= u < sum(v_0..v_j)`` — i.e. leaf ``j`` is
+        selected with probability ``v_j / total``.
+        """
+        u = np.asarray(prefix_sums, dtype=np.float64).copy()
+        idx = np.zeros(u.shape, dtype=np.int64)
+        tree = self._tree
+        b = BRANCHING
+        offsets = self._offsets
+        rows = np.arange(u.shape[0]) * b
+        for level in range(self._depth):
+            child_base = offsets[level + 1] + b * idx
+            children = tree[child_base[:, None] + self._child_offsets]
+            prefix = np.cumsum(children, axis=1)
+            # Child j owns [prefix[j-1], prefix[j]); count the prefixes
+            # each query has already passed (fp drift can overshoot the
+            # last child, hence the minimum).
+            child = (u[:, None] >= prefix).sum(axis=1)
+            np.minimum(child, b - 1, out=child)
+            # Exclusive prefix before the chosen child, in one gather.
+            prefix -= children
+            u -= np.take(prefix.ravel(), rows + child)
+            idx = b * idx + child
+        return idx
+
+    # ------------------------------------------------------------- helpers
+    def _check_indices(self, indices: np.ndarray) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (
+            np.any(indices < 0) or np.any(indices >= self.capacity)
+        ):
+            raise ValueError(
+                f"leaf indices outside [0, {self.capacity}): {indices}"
+            )
+        return indices
+
+    def __repr__(self) -> str:
+        return f"SumTree(capacity={self.capacity}, total={self.total:.6g})"

@@ -22,6 +22,7 @@ import numpy as np
 from repro.core.agent import AgentBase
 from repro.env.core import Env
 from repro.utils.logging import RunLogger
+from repro.utils.profiling import PhaseTimer
 from repro.utils.validation import check_positive
 
 
@@ -50,11 +51,15 @@ class Trainer:
         *,
         config: Optional[TrainerConfig] = None,
         logger: Optional[RunLogger] = None,
+        profiler: Optional[PhaseTimer] = None,
     ) -> None:
         self.env = env
         self.agent = agent
         self.config = config if config is not None else TrainerConfig()
         self.logger = logger if logger is not None else RunLogger()
+        # Optional per-phase wall-clock accounting (action_select /
+        # env_step / replay_ingest / learn); None keeps the loop untimed.
+        self.profiler = profiler
         self.episodes_completed = 0
 
     # ------------------------------------------------------------- episodes
@@ -65,12 +70,25 @@ class Trainer:
         ep_return = ep_cost = ep_violation = ep_energy = 0.0
         steps = 0
         done = False
+        timer = self.profiler
         while not done and steps < self.config.max_steps_per_episode:
+            t0 = timer.start() if timer else 0.0
             action = self.agent.select_action(obs, explore=explore)
+            if timer:
+                timer.stop("action_select", t0)
+                t0 = timer.start()
             next_obs, reward, done, info = self.env.step(action)
+            if timer:
+                timer.stop("env_step", t0)
             if learn:
+                t0 = timer.start() if timer else 0.0
                 self.agent.store(obs, action, reward, next_obs, done, info=info)
+                if timer:
+                    timer.stop("replay_ingest", t0)
+                    t0 = timer.start()
                 loss = self.agent.learn()
+                if timer:
+                    timer.stop("learn", t0)
                 if loss is not None:
                     self.logger.log("loss", loss)
             obs = next_obs
@@ -165,7 +183,10 @@ class VectorTrainer:
     Every control step performs **one** batched action selection (a
     single Q-network forward pass when the agent exposes
     ``select_actions``) and **one** batched environment step, then feeds
-    the N resulting transitions to the agent's replay/learning hooks.
+    the N resulting transitions to the agent's replay/learning hooks —
+    as one bulk ``store_batch`` write plus the owed ``learn_batch``
+    updates when the agent implements the batched ingest protocol, or
+    row by row otherwise.
     Episode series land in the logger under the same keys as
     :class:`Trainer`, one entry per *completed env-episode* (fleet order
     interleaved); ``config.n_episodes`` counts those completions.
@@ -188,6 +209,8 @@ class VectorTrainer:
         *,
         config: Optional[TrainerConfig] = None,
         logger: Optional[RunLogger] = None,
+        profiler: Optional[PhaseTimer] = None,
+        batched_ingest: Optional[bool] = None,
     ) -> None:
         if not getattr(vec_env, "autoreset", False):
             raise ValueError("VectorTrainer requires a vector env with autoreset=True")
@@ -205,6 +228,7 @@ class VectorTrainer:
         self.agent = agent
         self.config = config if config is not None else TrainerConfig()
         self.logger = logger if logger is not None else RunLogger()
+        self.profiler = profiler
         # Vectorized collection cannot truncate one env's episode mid-fleet,
         # so a cap below the natural episode length would silently diverge
         # from the scalar Trainer's behaviour — reject it instead.
@@ -224,6 +248,28 @@ class VectorTrainer:
             self._fallback_policy = PerEnvPolicy(
                 [self.agent] * vec_env.n_envs, vec_env.obs_dims
             )
+        # Agents exposing the batched ingest protocol (store_batch +
+        # learn_batch) get the fast path: the whole fleet's transitions
+        # land in the replay buffer as one sliced write per pass, and the
+        # owed gradient steps run afterwards at the per-row cadence.
+        # Everyone else keeps the row-by-row store/learn interleave.
+        # ``batched_ingest=False`` pins the per-row path explicitly —
+        # the ingest order changes which buffer states each gradient
+        # step samples from, so a run checkpointed under the per-row
+        # loop must keep it to continue bit-exactly.
+        self._supports_batch_ingest = hasattr(
+            self.agent, "store_batch"
+        ) and hasattr(self.agent, "learn_batch")
+        self._ingest_pinned = batched_ingest is not None
+        if batched_ingest is None:
+            self._batched_ingest = self._supports_batch_ingest
+        elif batched_ingest and not self._supports_batch_ingest:
+            raise ValueError(
+                "batched_ingest=True requires an agent exposing "
+                "store_batch and learn_batch"
+            )
+        else:
+            self._batched_ingest = bool(batched_ingest)
         # Collection-loop state lives on the instance so training can stop
         # at a fleet-pass boundary, checkpoint, and continue (train() picks
         # up exactly where the counters point).
@@ -268,30 +314,68 @@ class VectorTrainer:
             self._obs = obs
         obs = self._obs
         max_fleet_steps = self.config.n_episodes * self.config.max_steps_per_episode
+        timer = self.profiler
         while (
             self.episodes_done < target
             and self._fleet_steps < max_fleet_steps
         ):
+            t0 = timer.start() if timer else 0.0
             actions = self._select_actions(obs, explore=True)
+            if timer:
+                timer.stop("action_select", t0, calls=n)
+                t0 = timer.start()
             next_obs, rewards, dones, info = env.step(actions)
-            for k in range(n):
+            if timer:
+                timer.stop("env_step", t0, calls=n)
+            if self._batched_ingest:
                 # Bootstrap from the terminal observation, not the
                 # autoreset successor episode's first observation.
-                if dones[k] and info.terminal_obs is not None:
-                    next_k = info.terminal_obs[k]
+                if info.terminal_obs is not None:
+                    boot_next = np.where(
+                        dones[:, None], info.terminal_obs, next_obs
+                    )
                 else:
-                    next_k = next_obs[k]
-                self.agent.store(
-                    obs[k],
-                    actions[k],
-                    float(rewards[k]),
-                    next_k,
-                    bool(dones[k]),
-                    info={"reward_per_zone": info.reward_per_zone[k, :n_zones]},
+                    boot_next = next_obs
+                t0 = timer.start() if timer else 0.0
+                stored = self.agent.store_batch(
+                    obs,
+                    actions,
+                    rewards,
+                    boot_next,
+                    dones,
+                    infos={"reward_per_zone": info.reward_per_zone[:, :n_zones]},
                 )
-                loss = self.agent.learn()
-                if loss is not None:
+                if timer:
+                    timer.stop("replay_ingest", t0, calls=n)
+                    t0 = timer.start()
+                losses = self.agent.learn_batch(stored)
+                if timer:
+                    timer.stop("learn", t0, calls=n)
+                for loss in losses:
                     self.logger.log("loss", loss)
+            else:
+                for k in range(n):
+                    if dones[k] and info.terminal_obs is not None:
+                        next_k = info.terminal_obs[k]
+                    else:
+                        next_k = next_obs[k]
+                    t0 = timer.start() if timer else 0.0
+                    self.agent.store(
+                        obs[k],
+                        actions[k],
+                        float(rewards[k]),
+                        next_k,
+                        bool(dones[k]),
+                        info={"reward_per_zone": info.reward_per_zone[k, :n_zones]},
+                    )
+                    if timer:
+                        timer.stop("replay_ingest", t0)
+                        t0 = timer.start()
+                    loss = self.agent.learn()
+                    if timer:
+                        timer.stop("learn", t0)
+                    if loss is not None:
+                        self.logger.log("loss", loss)
             self._ep_return += rewards
             self._ep_cost += info.cost_usd
             self._ep_energy += info.energy_kwh
@@ -336,6 +420,9 @@ class VectorTrainer:
         return {
             "kind": "vector_trainer",
             "episodes_done": self.episodes_done,
+            # The ingest mode shapes which buffer states each gradient
+            # step samples, so it is part of the resume contract.
+            "batched_ingest": self._batched_ingest,
             "fleet_steps": self._fleet_steps,
             "obs": None if self._obs is None else encode_array(self._obs),
             "ep_return": self._ep_return.tolist(),
@@ -365,6 +452,25 @@ class VectorTrainer:
                     f"state {name} has {len(state[name])} entries for "
                     f"{n} envs"
                 )
+        # Continue the run under the ingest mode that produced it: a
+        # checkpoint predating batched ingest (no key) came from the
+        # per-row loop.  An explicit constructor pin that disagrees is
+        # an error rather than a silent trajectory change.
+        recorded_ingest = bool(state.get("batched_ingest", False))
+        if recorded_ingest and not self._supports_batch_ingest:
+            raise ValueError(
+                "checkpoint was collected with batched ingest, but this "
+                "agent exposes no store_batch/learn_batch"
+            )
+        if self._ingest_pinned and self._batched_ingest != recorded_ingest:
+            raise ValueError(
+                f"checkpoint was collected with batched_ingest="
+                f"{recorded_ingest}, but this trainer pins "
+                f"batched_ingest={self._batched_ingest}; construct with "
+                f"batched_ingest={recorded_ingest} (or leave it unset) "
+                f"to continue the run"
+            )
+        self._batched_ingest = recorded_ingest
         self.episodes_done = int(state["episodes_done"])
         self._fleet_steps = int(state["fleet_steps"])
         self._obs = None if state["obs"] is None else decode_array(state["obs"])

@@ -104,6 +104,22 @@ class MultiDiscrete(Space):
             index //= n
         return out
 
+    def flatten_batch(self, levels: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`flatten`: an ``(n, dims)`` level array to
+        ``(n,)`` joint indices (the same mixed-radix encoding)."""
+        levels = np.asarray(levels, dtype=int)
+        if levels.ndim != 2 or levels.shape[1] != len(self.nvec):
+            raise ValueError(
+                f"levels must have shape (n, {len(self.nvec)}), "
+                f"got {levels.shape}"
+            )
+        if np.any(levels < 0) or np.any(levels >= self.nvec):
+            raise ValueError(f"levels not contained in {self}")
+        indices = np.zeros(levels.shape[0], dtype=np.int64)
+        for i, n in enumerate(self.nvec):
+            indices = indices * int(n) + levels[:, i]
+        return indices
+
     def unflatten_batch(self, indices: Sequence[int]) -> np.ndarray:
         """Vectorized :meth:`unflatten`: ``(n,)`` joint indices to an
         ``(n, dims)`` level array (the same mixed-radix encoding)."""

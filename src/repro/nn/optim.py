@@ -104,7 +104,16 @@ class RMSProp(Optimizer):
 
 
 class Adam(Optimizer):
-    """Adam with bias-corrected first and second moments."""
+    """Adam with bias-corrected first and second moments.
+
+    The moments live in one flat buffer per kind, with the per-parameter
+    arrays exposed as reshaped views (``_m`` / ``_v``, the layout the
+    checkpoint format serializes).  :meth:`step` then runs the update as
+    a handful of whole-buffer elementwise ops — bit-identical to the
+    per-parameter formulation (no cross-element reductions are involved)
+    but paying NumPy dispatch once per optimizer rather than once per
+    parameter, which dominates at this library's network sizes.
+    """
 
     def __init__(
         self,
@@ -120,17 +129,46 @@ class Adam(Optimizer):
         self.beta1 = float(beta1)
         self.beta2 = float(beta2)
         self.eps = float(eps)
-        self._m = [np.zeros_like(p.value) for p in self.params]
-        self._v = [np.zeros_like(p.value) for p in self.params]
+        total = sum(p.size for p in self.params)
+        self._m_flat = np.zeros(total)
+        self._v_flat = np.zeros(total)
+        self._grad_flat = np.zeros(total)  # per-step gather scratch
+        self._denom_flat = np.zeros(total)  # per-step update scratch
+        self._m = []
+        self._v = []
+        self._grad_views = []
+        offset = 0
+        for p in self.params:
+            sl = slice(offset, offset + p.size)
+            self._m.append(self._m_flat[sl].reshape(p.shape))
+            self._v.append(self._v_flat[sl].reshape(p.shape))
+            self._grad_views.append(self._grad_flat[sl].reshape(p.shape))
+            offset += p.size
         self._t = 0
 
     def step(self) -> None:
         self._t += 1
         bc1 = 1.0 - self.beta1**self._t
         bc2 = 1.0 - self.beta2**self._t
-        for p, m, v in zip(self.params, self._m, self._v):
-            m *= self.beta1
-            m += (1.0 - self.beta1) * p.grad
-            v *= self.beta2
-            v += (1.0 - self.beta2) * p.grad**2
-            p.value -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+        g, m, v = self._grad_flat, self._m_flat, self._v_flat
+        scratch = self._denom_flat
+        for p, gv in zip(self.params, self._grad_views):
+            np.copyto(gv, p.grad)
+        # m <- beta1*m + (1-beta1)*g ; v <- beta2*v + (1-beta2)*g^2
+        m *= self.beta1
+        np.multiply(g, 1.0 - self.beta1, out=scratch)
+        m += scratch
+        v *= self.beta2
+        np.multiply(g, g, out=scratch)
+        scratch *= 1.0 - self.beta2
+        v += scratch
+        # update <- lr * (m/bc1) / (sqrt(v/bc2) + eps), left-to-right as
+        # written (g is consumed, so it doubles as the numerator buffer).
+        np.divide(v, bc2, out=scratch)
+        np.sqrt(scratch, out=scratch)
+        scratch += self.eps
+        np.divide(m, bc1, out=g)
+        g *= self.lr
+        g /= scratch
+        for p, upd in zip(self.params, self._grad_views):
+            p.value -= upd

@@ -1,0 +1,90 @@
+"""Lightweight per-phase wall-clock accounting for the training loops.
+
+A :class:`PhaseTimer` accumulates elapsed seconds under named phases
+(``env_step``, ``action_select``, ``replay_ingest``, ``learn``) so a
+training run can report where its time went without an external
+profiler.  The instrumentation sites pay two ``perf_counter`` calls per
+phase — cheap enough to leave compiled in, but the trainers only invoke
+them when a timer is attached, keeping the un-profiled hot loop
+untouched.
+
+Used by ``repro-hvac train --profile`` and ``benchmarks/perf_train.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+
+class PhaseTimer:
+    """Accumulates wall-clock seconds and call counts per named phase."""
+
+    def __init__(self) -> None:
+        self._seconds: Dict[str, float] = {}
+        self._calls: Dict[str, int] = {}
+
+    def start(self) -> float:
+        """Timestamp the start of a phase (pair with :meth:`stop`)."""
+        return time.perf_counter()
+
+    def stop(self, phase: str, started: float, calls: int = 1) -> None:
+        """Charge the time since ``started`` to ``phase``.
+
+        ``calls`` is how many logical operations the span covered (a
+        batched step over N environments counts N), so per-call times
+        stay comparable between scalar and vectorized loops.
+        """
+        self.add(phase, time.perf_counter() - started, calls)
+
+    def add(self, phase: str, seconds: float, calls: int = 1) -> None:
+        """Directly accumulate ``seconds`` (and ``calls``) under ``phase``."""
+        self._seconds[phase] = self._seconds.get(phase, 0.0) + float(seconds)
+        self._calls[phase] = self._calls.get(phase, 0) + int(calls)
+
+    @property
+    def phases(self) -> tuple:
+        """Phase names in first-recorded order."""
+        return tuple(self._seconds)
+
+    def seconds(self, phase: str) -> float:
+        """Total seconds accumulated under ``phase`` (0 if never hit)."""
+        return self._seconds.get(phase, 0.0)
+
+    def calls(self, phase: str) -> int:
+        """Total calls accumulated under ``phase`` (0 if never hit)."""
+        return self._calls.get(phase, 0)
+
+    def total_seconds(self) -> float:
+        """Sum over all phases."""
+        return sum(self._seconds.values())
+
+    def as_dict(self) -> dict:
+        """JSON-safe summary: per-phase seconds, calls, and share."""
+        total = self.total_seconds()
+        return {
+            phase: {
+                "seconds": self._seconds[phase],
+                "calls": self._calls[phase],
+                "share": self._seconds[phase] / total if total > 0 else 0.0,
+            }
+            for phase in self._seconds
+        }
+
+    def render(self) -> str:
+        """Aligned text table of the per-phase breakdown."""
+        if not self._seconds:
+            return "no phases recorded"
+        total = self.total_seconds()
+        width = max(len(p) for p in self._seconds)
+        lines = [f"{'phase':<{width}}  {'seconds':>9}  {'share':>6}  {'per-call':>10}"]
+        for phase in self._seconds:
+            seconds = self._seconds[phase]
+            calls = max(self._calls[phase], 1)
+            share = seconds / total if total > 0 else 0.0
+            lines.append(
+                f"{phase:<{width}}  {seconds:>9.3f}  {share:>5.1%}  "
+                f"{seconds / calls * 1e6:>8.1f}us"
+            )
+        lines.append(f"{'total':<{width}}  {total:>9.3f}")
+        return "\n".join(lines)

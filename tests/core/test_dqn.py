@@ -197,3 +197,84 @@ class TestGridworldConvergence:
         for state in range(2):
             a = agent.select_action(np.eye(2)[state], explore=False)
             assert a[0] == 1
+
+
+class TestBatchedIngest:
+    """store_batch + learn_batch: the VectorTrainer fast-path protocol."""
+
+    def _rows(self, n, seed=0):
+        rng = np.random.default_rng(seed)
+        return (
+            rng.normal(size=(n, 5)),
+            rng.integers(0, 4, size=(n, 1)),
+            rng.normal(size=n),
+            rng.normal(size=(n, 5)),
+            rng.random(n) < 0.1,
+        )
+
+    def test_store_batch_matches_sequential_stores(self):
+        rows = self._rows(12)
+        batched, sequential = make_agent(), make_agent()
+        stored = batched.store_batch(*rows)
+        for i in range(12):
+            sequential.store(rows[0][i], rows[1][i], float(rows[2][i]),
+                             rows[3][i], bool(rows[4][i]))
+        assert stored == 12
+        assert batched.total_steps == sequential.total_steps == 12
+        assert np.array_equal(batched.buffer._obs, sequential.buffer._obs)
+        assert np.array_equal(batched.buffer._actions, sequential.buffer._actions)
+        assert batched.buffer._cursor == sequential.buffer._cursor
+
+    def test_learn_batch_matches_per_row_cadence(self):
+        # train_every=3: after a batch of n steps, exactly the steps
+        # landing on multiples of 3 past learn_start owe an update.
+        agent = make_agent(train_every=3, learn_start=8)
+        agent.store_batch(*self._rows(8))
+        losses = agent.learn_batch(8)
+        # steps 1..8, eligible past learn_start(8): step 8 is not a
+        # multiple of 3 -> no updates yet... except 8 < learn_start is
+        # false at 8; 8 % 3 != 0 -> none.
+        assert losses == []
+        agent.store_batch(*self._rows(6, seed=1))
+        losses = agent.learn_batch(6)
+        # steps 9..14 -> multiples of 3 are 9 and 12.
+        assert len(losses) == 2
+        assert agent.total_updates == 2
+
+    def test_learn_batch_respects_learn_start(self):
+        agent = make_agent(learn_start=10)
+        agent.store_batch(*self._rows(9))
+        assert agent.learn_batch(9) == []
+        agent.store_batch(*self._rows(4, seed=2))
+        # steps 10..13 are all past learn_start with train_every=1.
+        assert len(agent.learn_batch(4)) == 4
+
+    def test_learn_batch_prioritized_updates_priorities(self):
+        agent = make_agent(prioritized_replay=True, learn_start=8)
+        agent.store_batch(*self._rows(16))
+        losses = agent.learn_batch(16)
+        assert len(losses) == 9  # steps 8..16
+        tree = agent.buffer._tree
+        assert tree is not None
+        # Sampled slots were re-prioritized away from the initial max.
+        assert len({round(agent.buffer.priority_of(i), 9) for i in range(16)}) > 1
+
+    def test_per_method_scan_pins_legacy_buffer(self):
+        agent = make_agent(prioritized_replay=True, per_method="scan")
+        assert agent.buffer._tree is None
+        assert agent.buffer.method == "scan"
+
+    def test_bad_per_method_rejected(self):
+        with pytest.raises(ValueError, match="per_method"):
+            make_agent(per_method="hash")
+
+    def test_legacy_checkpoint_without_per_method_restores_scan(self):
+        # Pre-sum-tree checkpoints have no per_method key; their RNG
+        # history came from the scan sampler, so restore must pin it.
+        agent = make_agent(prioritized_replay=True, per_method="scan")
+        feed_transitions(agent, 20)
+        state = agent.state_dict()
+        assert state["config"].pop("per_method") == "scan"
+        twin = DQNAgent.from_state_dict(state)
+        assert twin.buffer.method == "scan"
+        assert twin.buffer._tree is None

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import PrioritizedReplayBuffer
+from repro.utils.seeding import ensure_rng
 
 
 def fill(buf, n, obs_dim=3):
@@ -100,3 +101,149 @@ class TestConstruction:
     def test_bad_eps(self):
         with pytest.raises(ValueError, match="eps"):
             PrioritizedReplayBuffer(4, obs_dim=1, eps=0.0)
+
+    def test_bad_method(self):
+        with pytest.raises(ValueError, match="method"):
+            PrioritizedReplayBuffer(4, obs_dim=1, method="linear")
+
+    def test_scan_method_has_no_tree(self):
+        assert PrioritizedReplayBuffer(4, obs_dim=1, method="scan")._tree is None
+
+
+def _twin_buffers(n=50, alpha=0.7, capacity=64):
+    """A scan and a tree buffer with identical contents and priorities."""
+    scan = PrioritizedReplayBuffer(capacity, obs_dim=1, alpha=alpha, method="scan")
+    tree = PrioritizedReplayBuffer(capacity, obs_dim=1, alpha=alpha, method="tree")
+    rng = np.random.default_rng(11)
+    priorities = rng.exponential(1.0, size=n)
+    for buf in (scan, tree):
+        fill(buf, n, obs_dim=1)
+        buf.update_priorities(np.arange(n), priorities)
+    return scan, tree
+
+
+class TestTreeMethod:
+    """The sum-tree backend must be a drop-in for the scan backend."""
+
+    def test_proportional_distribution_matches_scan(self):
+        scan, tree = _twin_buffers()
+        n_draws = 40_000
+        scan_batch = scan.sample(n_draws, rng=ensure_rng(5), beta=0.5)
+        tree_batch = tree.sample(n_draws, rng=ensure_rng(17), beta=0.5)
+        scan_freq = np.bincount(scan_batch["indices"], minlength=50) / n_draws
+        tree_freq = np.bincount(tree_batch["indices"], minlength=50) / n_draws
+        # Independent seeds on purpose: the two samplers must agree in
+        # *distribution*, within Monte-Carlo tolerance at 40k draws.
+        assert np.abs(scan_freq - tree_freq).max() < 0.015
+
+    def test_weights_match_scan_for_identical_indices(self):
+        # Both backends compute IS weights from p_i/total; sampling the
+        # same slots must produce (numerically) the same weights.
+        scan, tree = _twin_buffers()
+        scan_batch = scan.sample(256, rng=ensure_rng(5), beta=0.7)
+        tree_batch = tree.sample(256, rng=ensure_rng(5), beta=0.7)
+        both = set(scan_batch["indices"].tolist()) & set(
+            tree_batch["indices"].tolist()
+        )
+        assert both, "seeded draws share no slots; widen the batch"
+        for slot in both:
+            w_scan = scan_batch["weights"][scan_batch["indices"] == slot][0]
+            w_tree = tree_batch["weights"][tree_batch["indices"] == slot][0]
+            assert w_scan == pytest.approx(w_tree, rel=1e-9)
+
+    def test_high_priority_dominates_tree_sampling(self):
+        buf = PrioritizedReplayBuffer(64, obs_dim=1, alpha=1.0, method="tree")
+        fill(buf, 50, obs_dim=1)
+        buf.update_priorities(np.arange(50), np.full(50, 1e-6))
+        buf.update_priorities(np.array([7]), np.array([100.0]))
+        batch = buf.sample(400, rng=0, beta=0.0)
+        assert np.mean(batch["indices"] == 7) > 0.9
+
+    def test_update_priorities_propagates_to_root(self):
+        buf = PrioritizedReplayBuffer(64, obs_dim=1, alpha=1.0, method="tree")
+        fill(buf, 10, obs_dim=1)
+        buf.update_priorities(np.arange(10), np.zeros(10))  # all floors
+        buf.update_priorities(np.array([4]), np.array([10.0]))
+        expected = 9 * buf.eps + (10.0 + buf.eps)
+        assert buf._tree.total == pytest.approx(expected)
+
+    def test_duplicate_update_indices_last_wins_in_tree(self):
+        buf = PrioritizedReplayBuffer(8, obs_dim=1, alpha=1.0, method="tree")
+        fill(buf, 4, obs_dim=1)
+        buf.update_priorities(np.array([2, 2]), np.array([9.0, 3.0]))
+        # The tree leaf must agree with the priorities array.
+        assert buf._tree.get(np.array([2]))[0] == pytest.approx(
+            buf.priority_of(2) ** buf.alpha
+        )
+        assert buf.priority_of(2) == pytest.approx(3.0 + buf.eps)
+
+    def test_add_batch_stamps_max_priority(self):
+        buf = PrioritizedReplayBuffer(16, obs_dim=2, method="tree")
+        fill(buf, 3, obs_dim=2)
+        buf.update_priorities(np.array([1]), np.array([7.0]))  # max now 7+eps
+        rng = np.random.default_rng(0)
+        idx = buf.add_batch(
+            rng.normal(size=(4, 2)), rng.integers(0, 3, 4), rng.normal(size=4),
+            rng.normal(size=(4, 2)), np.zeros(4, dtype=bool),
+        )
+        for i in idx:
+            assert buf.priority_of(int(i)) == pytest.approx(7.0 + buf.eps)
+        # Tree leaves mirror the alpha-scaled stamp.
+        assert np.allclose(
+            buf._tree.get(idx), (7.0 + buf.eps) ** buf.alpha
+        )
+
+    def test_add_batch_matches_sequential_adds(self):
+        rng = np.random.default_rng(4)
+        rows = (
+            rng.normal(size=(13, 2)), rng.integers(0, 3, 13),
+            rng.normal(size=13), rng.normal(size=(13, 2)),
+            rng.random(13) < 0.2,
+        )
+        batched = PrioritizedReplayBuffer(8, obs_dim=2, method="tree")
+        sequential = PrioritizedReplayBuffer(8, obs_dim=2, method="tree")
+        batched.add_batch(*rows)
+        for i in range(13):
+            sequential.add(rows[0][i], rows[1][i], rows[2][i], rows[3][i], rows[4][i])
+        assert np.array_equal(batched._priorities, sequential._priorities)
+        assert np.array_equal(batched._obs, sequential._obs)
+        assert batched._cursor == sequential._cursor
+        assert batched._tree.total == pytest.approx(sequential._tree.total)
+
+
+class TestCheckpointAcrossMethods:
+    """state_dict keeps the legacy priorities-array format for both
+    methods; the tree is derived state, rebuilt on load."""
+
+    def test_tree_state_loads_into_scan_and_back(self):
+        scan, tree = _twin_buffers(n=20, capacity=32)
+        state = tree.state_dict()
+        assert "priorities" in state  # the legacy array format, no tree blob
+
+        into_scan = PrioritizedReplayBuffer(32, obs_dim=1, alpha=0.7, method="scan")
+        into_scan.load_state_dict(state)
+        assert np.array_equal(into_scan._priorities, tree._priorities)
+
+        back_to_tree = PrioritizedReplayBuffer(32, obs_dim=1, alpha=0.7, method="tree")
+        back_to_tree.load_state_dict(into_scan.state_dict())
+        assert np.array_equal(back_to_tree._priorities, tree._priorities)
+        assert back_to_tree._tree.total == pytest.approx(tree._tree.total)
+
+    def test_tree_rebuilt_on_load_supports_sampling(self):
+        _, tree = _twin_buffers(n=30, capacity=32)
+        twin = PrioritizedReplayBuffer(32, obs_dim=1, alpha=0.7, method="tree")
+        twin.load_state_dict(tree.state_dict())
+        a = tree.sample(16, rng=ensure_rng(3), beta=0.5)
+        b = twin.sample(16, rng=ensure_rng(3), beta=0.5)
+        assert np.array_equal(a["indices"], b["indices"])
+        assert np.array_equal(a["weights"], b["weights"])
+
+    def test_truncated_checkpoint_rebuilds_consistent_tree(self):
+        _, tree = _twin_buffers(n=30, capacity=32)
+        state = tree.state_dict(max_transitions=10)
+        twin = PrioritizedReplayBuffer(32, obs_dim=1, alpha=0.7, method="tree")
+        twin.load_state_dict(state)
+        assert len(twin) == 10
+        assert twin._tree.total == pytest.approx(
+            np.sum(twin._priorities[:10] ** twin.alpha)
+        )

@@ -102,6 +102,126 @@ class TestSample:
         assert len(buf) == min(capacity, n_adds)
 
 
+def _random_rows(n, obs_dim=3, action_dim=2, reward_dim=2, seed=0):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.normal(size=(n, obs_dim)),
+        rng.integers(0, 4, size=(n, action_dim)),
+        rng.normal(size=(n, reward_dim)),
+        rng.normal(size=(n, obs_dim)),
+        rng.random(n) < 0.3,
+    )
+
+
+def _buffers_identical(a, b):
+    return (
+        np.array_equal(a._obs, b._obs)
+        and np.array_equal(a._next_obs, b._next_obs)
+        and np.array_equal(a._actions, b._actions)
+        and np.array_equal(a._rewards, b._rewards)
+        and np.array_equal(a._dones, b._dones)
+        and a._cursor == b._cursor
+        and a._size == b._size
+    )
+
+
+class TestAddBatch:
+    """add_batch must be indistinguishable from N sequential add() calls."""
+
+    @pytest.mark.parametrize(
+        "capacity,n",
+        [
+            (8, 3),  # partial fill
+            (8, 8),  # exact fill
+            (8, 13),  # wrap-around
+            (8, 20),  # batch larger than capacity
+            (8, 16),  # wrap landing exactly on the cursor
+        ],
+    )
+    def test_matches_sequential_adds(self, capacity, n):
+        rows = _random_rows(n)
+        batched = ReplayBuffer(capacity, obs_dim=3, action_dim=2, reward_dim=2)
+        sequential = ReplayBuffer(capacity, obs_dim=3, action_dim=2, reward_dim=2)
+        batched.add_batch(*rows)
+        for i in range(n):
+            sequential.add(rows[0][i], rows[1][i], rows[2][i], rows[3][i], rows[4][i])
+        assert _buffers_identical(batched, sequential)
+
+    def test_matches_from_a_wrapped_start(self):
+        # The cursor mid-ring when the batch arrives, forcing the
+        # two-slice write path.
+        rows = _random_rows(6, reward_dim=1, seed=1)
+        batched = ReplayBuffer(8, obs_dim=3, action_dim=2)
+        sequential = ReplayBuffer(8, obs_dim=3, action_dim=2)
+        fill(batched, 5, action_dim=2)
+        fill(sequential, 5, action_dim=2)
+        batched.add_batch(*rows)
+        for i in range(6):
+            sequential.add(rows[0][i], rows[1][i], rows[2][i], rows[3][i], rows[4][i])
+        assert _buffers_identical(batched, sequential)
+
+    def test_returns_written_slots(self):
+        buf = ReplayBuffer(8, obs_dim=3, action_dim=2, reward_dim=2)
+        idx = buf.add_batch(*_random_rows(3))
+        assert idx.tolist() == [0, 1, 2]
+        idx = buf.add_batch(*_random_rows(7, seed=2))
+        assert idx.tolist() == [3, 4, 5, 6, 7, 0, 1]
+
+    def test_oversized_batch_keeps_only_the_tail(self):
+        rows = _random_rows(11, seed=3)
+        buf = ReplayBuffer(4, obs_dim=3, action_dim=2, reward_dim=2)
+        idx = buf.add_batch(*rows)
+        assert len(idx) == 4
+        assert buf.is_full
+        assert buf._cursor == 11 % 4
+        # The surviving contents are the last 4 rows, in ring order.
+        chronological = (buf._cursor - 4 + np.arange(4)) % 4
+        assert np.array_equal(buf._obs[chronological], rows[0][-4:])
+
+    def test_scalar_action_and_reward_columns(self):
+        buf = ReplayBuffer(8, obs_dim=2)
+        obs = np.zeros((3, 2))
+        buf.add_batch(obs, np.array([1, 2, 3]), np.array([0.5, 1.5, 2.5]), obs, np.zeros(3, dtype=bool))
+        assert len(buf) == 3
+        assert buf._actions[:3, 0].tolist() == [1, 2, 3]
+        assert buf._rewards[:3, 0].tolist() == [0.5, 1.5, 2.5]
+
+    def test_empty_batch_is_noop(self):
+        buf = ReplayBuffer(4, obs_dim=2)
+        idx = buf.add_batch(
+            np.empty((0, 2)), np.empty(0, dtype=int), np.empty(0),
+            np.empty((0, 2)), np.empty(0, dtype=bool),
+        )
+        assert idx.size == 0
+        assert len(buf) == 0
+
+    def test_shape_validation(self):
+        buf = ReplayBuffer(4, obs_dim=2)
+        with pytest.raises(ValueError, match="obs"):
+            buf.add_batch(np.zeros((2, 3)), np.zeros(2, dtype=int),
+                          np.zeros(2), np.zeros((2, 3)), np.zeros(2, dtype=bool))
+        with pytest.raises(ValueError, match="dones"):
+            buf.add_batch(np.zeros((2, 2)), np.zeros(2, dtype=int),
+                          np.zeros(2), np.zeros((2, 2)), np.zeros(3, dtype=bool))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        capacity=st.integers(min_value=1, max_value=12),
+        chunks=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=4),
+    )
+    def test_property_chunked_batches_equal_sequential(self, capacity, chunks):
+        batched = ReplayBuffer(capacity, obs_dim=3, action_dim=2, reward_dim=2)
+        sequential = ReplayBuffer(capacity, obs_dim=3, action_dim=2, reward_dim=2)
+        for seed, n in enumerate(chunks):
+            rows = _random_rows(n, seed=seed)
+            batched.add_batch(*rows)
+            for i in range(n):
+                sequential.add(
+                    rows[0][i], rows[1][i], rows[2][i], rows[3][i], rows[4][i]
+                )
+        assert _buffers_identical(batched, sequential)
+
+
 class TestConstruction:
     def test_rejects_bad_capacity(self):
         with pytest.raises(ValueError, match="capacity"):

@@ -98,6 +98,47 @@ class TestVectorTrainerResumeParity:
             big.load_state_dict(state)
 
 
+class TestPrioritizedResumeParity:
+    """The sum-tree path must checkpoint/resume bit-exactly too: the
+    tree is rebuilt from the stored priorities array on load."""
+
+    def _make(self, n_episodes):
+        envs = build_fleet(_SCENARIO, seeds=(0, 1))
+        vec = VectorHVACEnv(envs, autoreset=True)
+        config = DQNConfig(
+            hidden=(8,),
+            batch_size=8,
+            learn_start=32,
+            buffer_capacity=512,
+            epsilon_decay_steps=200,
+            target_sync_every=20,
+            prioritized_replay=True,
+            per_method="tree",
+        )
+        agent = DQNAgent(envs[0].obs_dim, envs[0].action_space, config=config, rng=7)
+        return VectorTrainer(vec, agent, config=TrainerConfig(n_episodes=n_episodes))
+
+    def test_checkpoint_resume_matches_uninterrupted_exactly(self):
+        straight = self._make(6)
+        log_straight = straight.train()
+
+        interrupted = self._make(4)
+        interrupted.train()
+        state = json.loads(json.dumps(interrupted.state_dict()))
+
+        resumed = self._make(6)
+        resumed.load_state_dict(state)
+        log_resumed = resumed.train()
+
+        for key in _SERIES:
+            assert log_resumed.series(key) == log_straight.series(key), key
+        for w_s, w_r in zip(_weights(straight.agent), _weights(resumed.agent)):
+            assert np.array_equal(w_s, w_r)
+        assert np.array_equal(
+            straight.agent.buffer._priorities, resumed.agent.buffer._priorities
+        )
+
+
 class TestScalarTrainerResumeParity:
     def test_checkpoint_resume_matches_uninterrupted_exactly(self):
         straight = _make_scalar_trainer(4)

@@ -1,0 +1,138 @@
+"""Tests for the sum-tree backing prioritized replay's fast path."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SumTree
+
+
+def reference_find(values, queries):
+    """Inverse-CDF the slow, obviously-correct way."""
+    cum = np.concatenate([[0.0], np.cumsum(values)])
+    return np.searchsorted(cum, queries, side="right") - 1
+
+
+class TestSetAndTotal:
+    def test_root_tracks_leaf_sum(self):
+        tree = SumTree(10)
+        tree.set(np.arange(10), np.arange(1.0, 11.0))
+        assert tree.total == pytest.approx(55.0)
+        tree.set(np.array([3]), np.array([0.0]))
+        assert tree.total == pytest.approx(51.0)
+
+    def test_updates_propagate_to_the_root(self):
+        # Capacity forces several levels; a single leaf write must
+        # refresh every ancestor, not just the parent.
+        tree = SumTree(10_000)
+        tree.rebuild(np.ones(10_000))
+        tree.set(np.array([7777]), np.array([501.0]))
+        assert tree.total == pytest.approx(10_000 - 1 + 501)
+        assert tree.get(np.array([7777]))[0] == pytest.approx(501.0)
+
+    def test_duplicate_indices_last_wins(self):
+        tree = SumTree(8)
+        tree.set(np.array([2, 2, 2]), np.array([5.0, 7.0, 1.0]))
+        assert tree.get(np.array([2]))[0] == pytest.approx(1.0)
+        assert tree.total == pytest.approx(1.0)
+
+    def test_rejects_negative_values(self):
+        tree = SumTree(4)
+        with pytest.raises(ValueError, match=">= 0"):
+            tree.set(np.array([0]), np.array([-1.0]))
+
+    def test_rejects_out_of_range_indices(self):
+        tree = SumTree(4)
+        with pytest.raises(ValueError, match="outside"):
+            tree.set(np.array([4]), np.array([1.0]))
+
+    def test_rejects_shape_mismatch(self):
+        tree = SumTree(4)
+        with pytest.raises(ValueError, match="must match"):
+            tree.set(np.array([0, 1]), np.array([1.0]))
+
+    def test_empty_update_is_noop(self):
+        tree = SumTree(4)
+        tree.rebuild(np.ones(4))
+        tree.set(np.empty(0, dtype=np.int64), np.empty(0))
+        assert tree.total == pytest.approx(4.0)
+
+
+class TestRebuild:
+    def test_matches_incremental_sets(self):
+        rng = np.random.default_rng(0)
+        values = rng.exponential(1.0, size=500)
+        bulk = SumTree(500)
+        bulk.rebuild(values)
+        incremental = SumTree(500)
+        incremental.set(np.arange(500), values)
+        assert bulk.total == pytest.approx(incremental.total)
+        assert np.allclose(bulk.leaves, incremental.leaves)
+
+    def test_shorter_payload_zeroes_the_tail(self):
+        tree = SumTree(10)
+        tree.rebuild(np.ones(10))
+        tree.rebuild(np.ones(4))
+        assert tree.total == pytest.approx(4.0)
+        assert np.all(tree.leaves[4:] == 0.0)
+
+    def test_rejects_oversized_payload(self):
+        with pytest.raises(ValueError, match="at most"):
+            SumTree(4).rebuild(np.ones(5))
+
+
+class TestFind:
+    @pytest.mark.parametrize("capacity", [1, 2, 63, 64, 65, 1000, 100_000])
+    def test_matches_reference_inverse_cdf(self, capacity):
+        rng = np.random.default_rng(capacity)
+        values = rng.exponential(1.0, size=capacity)
+        tree = SumTree(capacity)
+        tree.rebuild(values)
+        queries = rng.random(512) * values.sum() * 0.999999
+        assert np.array_equal(tree.find(queries), reference_find(values, queries))
+
+    def test_zero_priority_leaves_never_selected(self):
+        values = np.array([0.0, 3.0, 0.0, 2.0, 0.0])
+        tree = SumTree(5)
+        tree.rebuild(values)
+        queries = np.linspace(0.0, 4.999, 200)
+        found = set(tree.find(queries).tolist())
+        assert found == {1, 3}
+
+    def test_selection_is_proportional(self):
+        rng = np.random.default_rng(3)
+        values = np.array([1.0, 9.0, 90.0])
+        tree = SumTree(3)
+        tree.rebuild(values)
+        hits = tree.find(rng.random(20_000) * tree.total)
+        freq = np.bincount(hits, minlength=3) / 20_000
+        assert np.allclose(freq, values / values.sum(), atol=0.01)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        capacity=st.integers(min_value=1, max_value=300),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_property_find_matches_reference(self, capacity, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.exponential(1.0, size=capacity)
+        # Sprinkle exact zeros: empty replay slots must be unreachable.
+        values[rng.random(capacity) < 0.3] = 0.0
+        if values.sum() == 0.0:
+            values[0] = 1.0
+        tree = SumTree(capacity)
+        tree.rebuild(values)
+        queries = rng.random(64) * values.sum() * 0.999999
+        assert np.array_equal(tree.find(queries), reference_find(values, queries))
+
+
+class TestConstruction:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            SumTree(0)
+
+    def test_leaves_view_is_read_only(self):
+        tree = SumTree(4)
+        with pytest.raises(ValueError):
+            tree.leaves[0] = 1.0

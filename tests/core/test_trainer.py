@@ -76,3 +76,50 @@ class TestTrainer:
             TrainerConfig(n_episodes=0)
         with pytest.raises(ValueError, match="eval_every"):
             TrainerConfig(eval_every=-1)
+
+
+class TestProfiler:
+    def test_records_all_four_phases(self, single_zone_env):
+        from repro.utils.profiling import PhaseTimer
+
+        timer = PhaseTimer()
+        agent = tiny_dqn(single_zone_env)
+        Trainer(
+            single_zone_env,
+            agent,
+            config=TrainerConfig(n_episodes=1),
+            profiler=timer,
+        ).train()
+        assert set(timer.phases) == {
+            "action_select", "env_step", "replay_ingest", "learn",
+        }
+        for phase in timer.phases:
+            assert timer.seconds(phase) >= 0.0
+            assert timer.calls(phase) == 96  # one episode of 15-min steps
+        summary = timer.as_dict()
+        assert sum(entry["share"] for entry in summary.values()) == pytest.approx(1.0)
+        assert "env_step" in timer.render()
+
+    def test_profiling_does_not_change_training(self, single_zone_env, summer_weather):
+        from repro.building import single_zone_building
+        from repro.env import HVACEnv, HVACEnvConfig
+        from repro.utils.profiling import PhaseTimer
+        import numpy as np
+
+        def run(profiler):
+            env = HVACEnv(
+                single_zone_building(),
+                summer_weather,
+                config=HVACEnvConfig(episode_days=1.0),
+                rng=0,
+            )
+            agent = tiny_dqn(env)
+            Trainer(
+                env, agent, config=TrainerConfig(n_episodes=2), profiler=profiler
+            ).train()
+            return [p.value.copy() for p in agent.online.parameters()]
+
+        plain = run(None)
+        profiled = run(PhaseTimer())
+        for a, b in zip(plain, profiled):
+            assert np.array_equal(a, b)

@@ -40,6 +40,19 @@ class TestTrainAndEvaluate:
         assert code == 0
         assert "drl_dqn" in capsys.readouterr().out
 
+    def test_train_profile_prints_phase_breakdown(self, capsys):
+        code = main(["train", "--episodes", "2", "--profile"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "training-loop phase breakdown" in out
+        for phase in ("action_select", "env_step", "replay_ingest", "learn"):
+            assert phase in out
+
+    def test_train_without_profile_stays_quiet(self, capsys):
+        code = main(["train", "--episodes", "2"])
+        assert code == 0
+        assert "phase breakdown" not in capsys.readouterr().out
+
     def test_evaluate_baseline(self, capsys):
         code = main(["evaluate", "--baseline", "thermostat", "--days", "1"])
         assert code == 0

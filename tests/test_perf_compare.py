@@ -1,0 +1,115 @@
+"""Tests for the CI perf regression gate (tools/perf_compare.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "perf_compare",
+    Path(__file__).resolve().parent.parent / "tools" / "perf_compare.py",
+)
+perf_compare = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(perf_compare)
+
+
+def _write(directory: Path, name: str, record: dict) -> None:
+    (directory / name).write_text(json.dumps(record) + "\n")
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    baseline = tmp_path / "baseline"
+    current = tmp_path / "current"
+    baseline.mkdir()
+    current.mkdir()
+    return baseline, current
+
+
+def _train_record(prioritized=3.0, ingest=25.0):
+    return {"prioritized_speedup": prioritized, "ingest_speedup": ingest}
+
+
+class TestRunCompare:
+    def test_identical_records_pass(self, dirs):
+        baseline, current = dirs
+        _write(baseline, "BENCH_train.json", _train_record())
+        _write(current, "BENCH_train.json", _train_record())
+        ok, regressions, _ = perf_compare.run_compare(baseline, current, 0.30)
+        assert len(ok) == 2 and not regressions
+
+    def test_synthetic_50_percent_regression_fails(self, dirs):
+        baseline, current = dirs
+        _write(baseline, "BENCH_vector_sim.json", {"speedup": 9.0})
+        _write(current, "BENCH_vector_sim.json", {"speedup": 4.5})
+        ok, regressions, _ = perf_compare.run_compare(baseline, current, 0.30)
+        assert not ok
+        assert len(regressions) == 1 and "speedup" in regressions[0]
+
+    def test_drop_within_tolerance_passes(self, dirs):
+        baseline, current = dirs
+        _write(baseline, "BENCH_serve.json", {"speedup": 10.0})
+        _write(current, "BENCH_serve.json", {"speedup": 7.5})  # -25% < 30%
+        ok, regressions, _ = perf_compare.run_compare(baseline, current, 0.30)
+        assert len(ok) == 1 and not regressions
+
+    def test_improvement_passes(self, dirs):
+        baseline, current = dirs
+        _write(baseline, "BENCH_serve.json", {"speedup": 10.0})
+        _write(current, "BENCH_serve.json", {"speedup": 20.0})
+        ok, regressions, _ = perf_compare.run_compare(baseline, current, 0.30)
+        assert len(ok) == 1 and not regressions
+
+    def test_one_sided_records_are_skipped_not_failed(self, dirs):
+        baseline, current = dirs
+        _write(baseline, "BENCH_train.json", _train_record())
+        # No current record at all: the train CI job did not run here.
+        ok, regressions, skipped = perf_compare.run_compare(baseline, current, 0.30)
+        assert not ok and not regressions
+        assert any("BENCH_train.json" in s for s in skipped)
+
+    def test_one_regressed_metric_fails_among_passing_ones(self, dirs):
+        baseline, current = dirs
+        _write(baseline, "BENCH_train.json", _train_record(3.0, 25.0))
+        _write(current, "BENCH_train.json", _train_record(2.9, 5.0))
+        ok, regressions, _ = perf_compare.run_compare(baseline, current, 0.30)
+        assert len(ok) == 1
+        assert len(regressions) == 1 and "ingest_speedup" in regressions[0]
+
+    def test_missing_metric_is_malformed(self, dirs):
+        baseline, current = dirs
+        _write(baseline, "BENCH_train.json", {"prioritized_speedup": 3.0})
+        _write(current, "BENCH_train.json", _train_record())
+        with pytest.raises(KeyError):
+            perf_compare.run_compare(baseline, current, 0.30)
+
+
+class TestMain:
+    def test_exit_codes(self, dirs):
+        baseline, current = dirs
+        args = [
+            "--baseline-dir", str(baseline), "--current-dir", str(current),
+        ]
+        _write(baseline, "BENCH_serve.json", {"speedup": 10.0})
+        _write(current, "BENCH_serve.json", {"speedup": 10.0})
+        assert perf_compare.main(args) == 0
+        _write(current, "BENCH_serve.json", {"speedup": 5.0})
+        assert perf_compare.main(args) == 1
+        _write(current, "BENCH_serve.json", {"wrong_key": 1.0})
+        assert perf_compare.main(args) == 2
+
+    def test_bad_tolerance_rejected(self, dirs):
+        baseline, current = dirs
+        code = perf_compare.main(
+            ["--baseline-dir", str(baseline), "--current-dir", str(current),
+             "--tolerance", "1.5"]
+        )
+        assert code == 2
+
+    def test_gates_cover_every_committed_baseline(self):
+        # Every BENCH_*.json the benchmarks write at the repo root must
+        # have a gate entry, or CI would silently stop watching it.
+        repo_root = Path(perf_compare.__file__).resolve().parent.parent
+        committed = {p.name for p in repo_root.glob("BENCH_*.json")}
+        assert committed <= set(perf_compare.GATED_METRICS)

@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""Perf regression gate: compare current ``BENCH_*.json`` to baselines.
+
+The repo commits one baseline record per benchmark at the repo root
+(``BENCH_vector_sim.json``, ``BENCH_serve.json``, ``BENCH_train.json``
+— written by the ``benchmarks/perf_*.py`` scripts); CI re-runs the
+benchmarks into ``benchmarks/results/`` and this tool fails the build
+when a gated metric regresses beyond its tolerance.
+
+Gated metrics are the *speedup ratios* (batched vs. per-request,
+vector vs. scalar, sum-tree vs. scan): ratios measure how much the
+optimized path beats its own unoptimized twin **on the same machine
+and run**, so they transfer between a laptop-committed baseline and a
+CI runner, unlike absolute steps/s, which the records carry for human
+trend-reading but which would gate on hardware, not code.
+
+Usage::
+
+    PYTHONPATH=src python tools/perf_compare.py \
+        [--baseline-dir .] [--current-dir benchmarks/results] \
+        [--tolerance 0.30]
+
+Exits 0 when every gated metric of every benchmark present in *both*
+directories is within tolerance, 1 on any regression, 2 on malformed
+records.  A benchmark present only on one side is reported and skipped
+(CI jobs run one benchmark each; the others' current records are
+absent by design).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# metric -> higher_is_better, per benchmark file.  Dotted paths reach
+# into nested objects.
+GATED_METRICS = {
+    "BENCH_vector_sim.json": ["speedup"],
+    "BENCH_serve.json": ["speedup"],
+    "BENCH_train.json": ["prioritized_speedup", "ingest_speedup"],
+}
+
+
+def _lookup(record: dict, path: str) -> float:
+    """Resolve a dotted metric path in a record."""
+    node = record
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            raise KeyError(path)
+        node = node[part]
+    return float(node)
+
+
+def compare_record(
+    name: str, baseline: dict, current: dict, tolerance: float
+) -> Iterator[Tuple[str, str]]:
+    """Yield ``(status, message)`` per gated metric of one benchmark.
+
+    ``status`` is ``ok`` or ``regression``; a missing metric raises
+    ``KeyError`` (malformed record — the caller maps it to exit 2).
+    """
+    for metric in GATED_METRICS[name]:
+        base = _lookup(baseline, metric)
+        cur = _lookup(current, metric)
+        if base <= 0:
+            raise ValueError(f"{name}: baseline {metric} must be > 0, got {base}")
+        floor = base * (1.0 - tolerance)
+        ratio = cur / base
+        message = (
+            f"{name}: {metric} baseline={base:.2f} current={cur:.2f} "
+            f"({ratio:.0%} of baseline, floor {floor:.2f})"
+        )
+        yield ("regression" if cur < floor else "ok", message)
+
+
+def run_compare(
+    baseline_dir: Path, current_dir: Path, tolerance: float
+) -> Tuple[List[str], List[str], List[str]]:
+    """Compare every known benchmark; returns (ok, regressions, skipped)."""
+    ok: List[str] = []
+    regressions: List[str] = []
+    skipped: List[str] = []
+    for name in sorted(GATED_METRICS):
+        base_path = baseline_dir / name
+        cur_path = current_dir / name
+        if not base_path.exists() or not cur_path.exists():
+            missing = "baseline" if not base_path.exists() else "current"
+            skipped.append(f"{name}: no {missing} record, skipped")
+            continue
+        baseline = json.loads(base_path.read_text())
+        current = json.loads(cur_path.read_text())
+        for status, message in compare_record(name, baseline, current, tolerance):
+            (regressions if status == "regression" else ok).append(message)
+    return ok, regressions, skipped
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline-dir",
+        type=Path,
+        default=REPO_ROOT,
+        help="directory holding the committed BENCH_*.json baselines",
+    )
+    parser.add_argument(
+        "--current-dir",
+        type=Path,
+        default=REPO_ROOT / "benchmarks" / "results",
+        help="directory holding the freshly measured BENCH_*.json records",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help=(
+            "allowed fractional drop below the baseline before failing "
+            "(default 0.30 = fail under 70%% of baseline)"
+        ),
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        print(f"perf_compare: --tolerance must be in [0, 1), got {args.tolerance}",
+              file=sys.stderr)
+        return 2
+
+    try:
+        ok, regressions, skipped = run_compare(
+            args.baseline_dir, args.current_dir, args.tolerance
+        )
+    except (KeyError, ValueError, json.JSONDecodeError) as exc:
+        print(f"perf_compare: malformed benchmark record: {exc}", file=sys.stderr)
+        return 2
+
+    for message in skipped:
+        print(f"SKIP {message}")
+    for message in ok:
+        print(f"OK   {message}")
+    for message in regressions:
+        print(f"FAIL {message}", file=sys.stderr)
+    if regressions:
+        print(
+            f"perf_compare: {len(regressions)} metric(s) regressed more than "
+            f"{args.tolerance:.0%} below baseline",
+            file=sys.stderr,
+        )
+        return 1
+    if not ok:
+        print("perf_compare: nothing compared (no record present on both sides)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

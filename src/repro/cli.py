@@ -10,11 +10,16 @@ Exposes the library's main workflows without writing Python:
 * ``repro-hvac experiment`` — run one of the paper experiments E1–E11
   and print its rendered table/series.
 * ``repro-hvac weather``    — generate a synthetic weather CSV.
-* ``repro-hvac campaign``   — sweep registered scenarios × controllers ×
-  seeds through the vectorized fleet simulator and print the campaign
-  table (``--list-scenarios`` shows the registry; ``--executor process``
-  fans the cells out over a process pool; ``--out`` writes JSON rows;
-  ``--resume RUN_DIR`` makes the sweep durable and restartable).
+* ``repro-hvac campaign``   — sweep registered scenarios × faults ×
+  controllers × seeds through the vectorized fleet simulator and print
+  the campaign table (``--list-scenarios`` shows the registry;
+  ``--executor process`` fans the cells out over a process pool;
+  ``--out`` writes JSON rows; ``--resume RUN_DIR`` makes the sweep
+  durable and restartable).
+* ``repro-hvac robustness`` — fault-injection campaign: every requested
+  fault profile runs next to its clean baseline and the clean-vs-faulted
+  comfort/energy degradation table is printed (``--list-faults`` shows
+  the fault registry; ``--resume RUN_DIR`` persists and resumes).
 * ``repro-hvac serve``      — serve a policy to a simulated building
   fleet through the micro-batching gateway and print the serving
   telemetry (latency quantiles, throughput, request mix).
@@ -32,6 +37,8 @@ Usage::
     python -m repro.cli weather --days 30 --out weather.csv
     python -m repro.cli campaign --scenarios heat-wave,mild-winter \
         --controllers thermostat,pid --seeds 3 --resume runs/sweep1
+    python -m repro.cli robustness --scenarios baseline-tou \
+        --faults noisy-sensors,stuck-damper --seeds 2 --resume runs/rob1
     python -m repro.cli serve --checkpoint agent.json --fleet 16 --steps 96
     python -m repro.cli loadtest --fleet 256 --steps 16 --out BENCH_serve.json
     python -m repro.cli report runs/sweep1
@@ -188,6 +195,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--seeds", type=int, default=1, help="number of seeds (0..N-1) per cell"
     )
     campaign.add_argument("--episodes", type=int, default=1)
+    campaign.add_argument(
+        "--faults",
+        type=str,
+        default="none",
+        help=(
+            "comma-separated fault profiles to add as a grid axis "
+            "(default: none; see `robustness --list-faults`)"
+        ),
+    )
     campaign.add_argument("--executor", choices=["serial", "process"], default="serial")
     campaign.add_argument("--workers", type=int, default=None)
     campaign.add_argument("--out", type=str, default=None, help="JSON output path")
@@ -205,6 +221,67 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list-scenarios",
         action="store_true",
         help="list registered scenarios and exit",
+    )
+
+    robustness = sub.add_parser(
+        "robustness",
+        help="run a fault-injection robustness campaign",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "Sweeps scenario x fault x controller x seed through the\n"
+            "vectorized fleet simulator.  The clean baseline (fault\n"
+            "'none') is always included, so every faulted cell is\n"
+            "reported next to its clean twin plus a degradation table\n"
+            "(cost/energy/comfort deltas).  With --resume RUN_DIR every\n"
+            "cell persists as it completes and a killed sweep restarts\n"
+            "where it died; render the stored run with `repro-hvac\n"
+            "report RUN_DIR` (Markdown, including the degradation\n"
+            "table).  --out writes rows + degradation summary as JSON."
+        ),
+    )
+    robustness.add_argument(
+        "--scenarios",
+        type=str,
+        default="baseline-tou",
+        help="comma-separated registered scenario names, or 'all'",
+    )
+    robustness.add_argument(
+        "--faults",
+        type=str,
+        default="all",
+        help="comma-separated fault profile names, or 'all' (default)",
+    )
+    robustness.add_argument(
+        "--controllers",
+        type=str,
+        default="thermostat",
+        help="comma-separated controllers (thermostat, pid, random)",
+    )
+    robustness.add_argument(
+        "--seeds", type=int, default=1, help="number of seeds (0..N-1) per cell"
+    )
+    robustness.add_argument("--episodes", type=int, default=1)
+    robustness.add_argument(
+        "--executor", choices=["serial", "process"], default="serial"
+    )
+    robustness.add_argument("--workers", type=int, default=None)
+    robustness.add_argument(
+        "--out", type=str, default=None, help="JSON output path"
+    )
+    robustness.add_argument(
+        "--resume",
+        type=str,
+        default=None,
+        metavar="RUN_DIR",
+        help=(
+            "durable run directory (created if missing); completed cells "
+            "are stored there and skipped on rerun"
+        ),
+    )
+    robustness.add_argument(
+        "--list-faults",
+        action="store_true",
+        help="list registered fault profiles and exit",
     )
 
     serve = sub.add_parser(
@@ -277,11 +354,13 @@ def _build_parser() -> argparse.ArgumentParser:
         formatter_class=argparse.RawDescriptionHelpFormatter,
         epilog=(
             "Reads a run directory produced by `repro-hvac campaign\n"
-            "--resume RUN_DIR` or `repro-hvac serve/loadtest --store\n"
-            "RUN_DIR` and prints a Markdown report: provenance (git SHA,\n"
-            "command, config) plus, for campaigns, one summary row per\n"
-            "(scenario, controller) with mean±std cost and comfort\n"
-            "violations and per-cell timing, or, for serving sessions,\n"
+            "--resume RUN_DIR`, `repro-hvac robustness --resume RUN_DIR`,\n"
+            "or `repro-hvac serve/loadtest --store RUN_DIR` and prints a\n"
+            "Markdown report: provenance (git SHA, command, config) plus,\n"
+            "for campaigns, one summary row per (scenario[, fault],\n"
+            "controller) with mean±std cost and comfort violations and\n"
+            "per-cell timing; for robustness runs, additionally the\n"
+            "clean-vs-faulted degradation table; for serving sessions,\n"
             "throughput, latency quantiles, and the request mix.\n"
             "--out FILE writes the report to a file instead of stdout."
         ),
@@ -543,6 +622,49 @@ def _cmd_weather(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_campaign_store(
+    args: argparse.Namespace, spec, *, kind: str, label: str
+):
+    """Open/create a resumable run directory for a campaign-shaped sweep.
+
+    Returns ``(store, error_code)``: cells are keyed by (scenario,
+    controller, fault), so a stored cell is only a valid answer when
+    seeds/episodes match the stored run; widening scenarios,
+    controllers, or faults is the intended resume path, changing the
+    per-cell workload is not.
+    """
+    from repro.store import ExperimentStore
+
+    try:
+        store = ExperimentStore.open_or_create(
+            args.resume, kind=kind, config=spec.as_config(), command=args.argv
+        )
+    except (OSError, ValueError) as exc:  # e.g. resuming a different run kind
+        print(f"{label}: {exc}", file=sys.stderr)
+        return None, 2
+    stored_config = store.manifest.config
+    current_config = spec.as_config()
+    for key in ("seeds", "n_episodes"):
+        if key in stored_config and stored_config[key] != current_config[key]:
+            print(
+                f"{label}: --resume {args.resume} was created with "
+                f"{key}={stored_config[key]}, but this run requests "
+                f"{key}={current_config[key]}; use a fresh run directory",
+                file=sys.stderr,
+            )
+            return None, 2
+    planned = {
+        (s, c, f)
+        for s in current_config["scenarios"]
+        for c in current_config["controllers"]
+        for f in current_config["faults"]
+    }
+    reused = len(store.completed_cells() & planned)
+    if reused:
+        print(f"resuming {args.resume}: {reused} of {len(planned)} cells stored")
+    return store, 0
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.sim import CampaignSpec, get_scenario, list_scenarios, run_campaign
 
@@ -555,6 +677,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     else:
         scenario_names = tuple(s for s in args.scenarios.split(",") if s)
     controllers = tuple(c for c in args.controllers.split(",") if c)
+    faults = tuple(f for f in args.faults.split(",") if f)
     try:
         for name in scenario_names:
             get_scenario(name)
@@ -563,6 +686,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             controllers=controllers,
             seeds=tuple(range(args.seeds)),
             n_episodes=args.episodes,
+            faults=faults,
         )
     except (KeyError, ValueError) as exc:
         message = exc.args[0] if exc.args else exc
@@ -570,30 +694,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         return 2
     store = None
     if args.resume:
-        from repro.store import ExperimentStore
-
-        store = ExperimentStore.open_or_create(
-            args.resume, kind="campaign", config=spec.as_config(), command=args.argv
+        store, code = _open_campaign_store(
+            args, spec, kind="campaign", label="campaign"
         )
-        # Cells are keyed by (scenario, controller) only, so a stored
-        # cell is only a valid answer when seeds/episodes match the
-        # stored run; widening scenarios/controllers is the intended
-        # resume path, changing the per-cell workload is not.
-        stored_config = store.manifest.config
-        current_config = spec.as_config()
-        for key in ("seeds", "n_episodes"):
-            if key in stored_config and stored_config[key] != current_config[key]:
-                print(
-                    f"campaign: --resume {args.resume} was created with "
-                    f"{key}={stored_config[key]}, but this run requests "
-                    f"{key}={current_config[key]}; use a fresh run directory",
-                    file=sys.stderr,
-                )
-                return 2
-        planned = {(s, c) for s in scenario_names for c in controllers}
-        reused = len(store.completed_cells() & planned)
-        if reused:
-            print(f"resuming {args.resume}: {reused} of {len(planned)} cells stored")
+        if store is None:
+            return code
     result = run_campaign(
         spec, executor=args.executor, max_workers=args.workers, store=store
     )
@@ -603,6 +708,84 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.out:
         result.save(args.out)
         print(f"campaign rows written to {args.out}")
+    return 0
+
+
+def _cmd_robustness(args: argparse.Namespace) -> int:
+    from repro.sim import (
+        CampaignSpec,
+        get_fault_profile,
+        get_scenario,
+        list_fault_profiles,
+        list_scenarios,
+        render_robustness_table,
+        run_campaign,
+        summarize_robustness,
+    )
+
+    if args.list_faults:
+        for name in list_fault_profiles():
+            print(f"{name:20s} {get_fault_profile(name).description}")
+        return 0
+    if args.scenarios == "all":
+        scenario_names = tuple(list_scenarios())
+    else:
+        scenario_names = tuple(s for s in args.scenarios.split(",") if s)
+    if args.faults == "all":
+        fault_names = tuple(f for f in list_fault_profiles() if f != "none")
+    else:
+        fault_names = tuple(f for f in args.faults.split(",") if f and f != "none")
+    controllers = tuple(c for c in args.controllers.split(",") if c)
+    try:
+        for name in scenario_names:
+            get_scenario(name)
+        # The clean baseline always runs: degradation is measured, not assumed.
+        spec = CampaignSpec(
+            scenarios=scenario_names,
+            controllers=controllers,
+            seeds=tuple(range(args.seeds)),
+            n_episodes=args.episodes,
+            faults=("none",) + fault_names,
+        )
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"robustness: {message}", file=sys.stderr)
+        return 2
+    if not fault_names:
+        print("robustness: need at least one non-clean fault profile",
+              file=sys.stderr)
+        return 2
+    store = None
+    if args.resume:
+        store, code = _open_campaign_store(
+            args, spec, kind="robustness", label="robustness"
+        )
+        if store is None:
+            return code
+    result = run_campaign(
+        spec, executor=args.executor, max_workers=args.workers, store=store
+    )
+    print(result.render())
+    summary = summarize_robustness(result.rows)
+    print("\nclean-vs-faulted degradation (faulted minus clean):")
+    print(render_robustness_table(summary))
+    if store is not None:
+        store.put_artifact(
+            "robustness_summary", [row.as_dict() for row in summary]
+        )
+        print(
+            f"\nrobustness artifacts stored in {args.resume} "
+            f"(render with `repro-hvac report {args.resume}`)"
+        )
+    if args.out:
+        payload = {
+            "rows": [r.as_dict() for r in result.rows],
+            "summary": [row.as_dict() for row in summary],
+        }
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"robustness rows written to {args.out}")
     return 0
 
 
@@ -823,6 +1006,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.store import (
         ExperimentStore,
         render_campaign_report,
+        render_robustness_report,
         render_serve_report,
     )
 
@@ -830,6 +1014,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
         store = ExperimentStore.open(args.run_dir)
         if store.manifest.kind == "serve":
             text = render_serve_report(store)
+        elif store.manifest.kind == "robustness":
+            text = render_robustness_report(store)
         else:
             text = render_campaign_report(store)
     except (FileNotFoundError, ValueError) as exc:
@@ -856,6 +1042,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "weather": _cmd_weather,
         "campaign": _cmd_campaign,
+        "robustness": _cmd_robustness,
         "serve": _cmd_serve,
         "loadtest": _cmd_loadtest,
         "report": _cmd_report,

@@ -1,9 +1,9 @@
-"""Episode-level metrics and trace containers."""
+"""Episode-level metrics, trace containers, and robustness deltas."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Dict, List, Mapping, Sequence
 
 import numpy as np
 
@@ -174,6 +174,45 @@ class EpisodeTrace:
 def comfort_violation_rate(metrics: EpisodeMetrics) -> float:
     """Convenience alias for the occupied-step violation rate."""
     return metrics.violation_rate
+
+
+ROBUSTNESS_METRICS = (
+    "cost_usd",
+    "energy_kwh",
+    "violation_deg_hours",
+    "violation_rate",
+    "episode_return",
+)
+
+# Below this magnitude a clean metric is treated as effectively zero and
+# no relative delta is reported — dividing by a near-zero baseline
+# manufactures million-percent headlines out of noise.
+_REL_DELTA_FLOOR = 5e-2
+
+
+def robustness_deltas(
+    clean: Mapping[str, float],
+    faulted: Mapping[str, float],
+    metrics: Sequence[str] = ROBUSTNESS_METRICS,
+) -> Dict[str, float]:
+    """Clean-vs-faulted metric degradation, absolute and relative.
+
+    ``clean`` and ``faulted`` are metric dicts (e.g. a campaign row's
+    per-seed means).  For each metric present in both, the result holds
+    ``<metric>_delta = faulted - clean`` (positive cost/violation deltas
+    mean the fault made things worse) and, when the clean value is
+    meaningfully nonzero, ``<metric>_rel = delta / |clean|``.
+    """
+    deltas: Dict[str, float] = {}
+    for key in metrics:
+        if key not in clean or key not in faulted:
+            continue
+        base = float(clean[key])
+        delta = float(faulted[key]) - base
+        deltas[f"{key}_delta"] = delta
+        if abs(base) > _REL_DELTA_FLOOR:
+            deltas[f"{key}_rel"] = delta / abs(base)
+    return deltas
 
 
 def percentiles(values: Sequence[float], qs: Sequence[float]) -> List[float]:

@@ -1,0 +1,338 @@
+"""Fault-injecting env wrappers: scalar and batched.
+
+:class:`FaultyHVACEnv` wraps one :class:`~repro.env.hvac_env.HVACEnv`;
+:class:`FaultyVectorHVACEnv` wraps a whole
+:class:`~repro.sim.vector_env.VectorHVACEnv` fleet.  Both apply the same
+injector hooks at the same points (action before the plant, observation
+after the step, reset observation after a reset), so a batched faulted
+fleet reproduces the corresponding scalar faulted envs bit for bit —
+including RNG consumption — and a clean profile (``"none"``) leaves the
+wrapped env's trajectories untouched.
+
+The wrappers *are* the sensing boundary: ``unwrapped()`` returns the
+wrapper itself and ``zone_temps_c`` reports what the (possibly faulted)
+sensors read, so state-reading baselines (thermostat, PID) bound to a
+faulted env react to faulted measurements like a real local controller
+would.  True temperatures remain available from the inner env and in
+``info["temps_c"]`` — comfort/energy accounting always describes
+physical reality.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.env.core import StepResult
+from repro.env.hvac_env import HVACEnv
+from repro.faults.base import FaultInjector, ObsLayout
+from repro.faults.profiles import FaultProfile, get_fault_profile
+
+if TYPE_CHECKING:  # import cycle guard: repro.sim wires faults into campaigns
+    from repro.sim.vector_env import BatchStepInfo, VectorHVACEnv
+
+ProfileLike = Union[str, FaultProfile]
+
+
+def _resolve(profile: ProfileLike) -> FaultProfile:
+    return get_fault_profile(profile) if isinstance(profile, str) else profile
+
+
+class FaultyHVACEnv:
+    """One HVAC env behind a composable fault injector.
+
+    Parameters
+    ----------
+    env:
+        The clean environment (owns all dynamics and its own RNGs).
+    profile:
+        A :class:`~repro.faults.profiles.FaultProfile` or registered
+        profile name; ``"none"`` makes this wrapper a bit-exact pass-
+        through.
+    seed:
+        Seed of the env's dedicated fault stream — pass the env's build
+        seed so scalar and vector runs line up.
+    """
+
+    def __init__(self, env: HVACEnv, profile: ProfileLike, *, seed: int = 0) -> None:
+        self.env = env
+        self.profile = _resolve(profile)
+        self.observation_space = env.observation_space
+        self.action_space = env.action_space
+        self.layout = ObsLayout.from_env(env)
+        self.injector: Optional[FaultInjector] = self.profile.build(
+            [self.layout], [seed]
+        )
+        self._last_obs: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------ lifecycle
+    def reset(self) -> np.ndarray:
+        obs = self.env.reset()
+        if self.injector is not None:
+            self.injector.on_reset(0)
+            self.injector.apply_reset_obs(0, obs)
+            # Retain a private copy: callers own the returned array and
+            # may mutate it, but sensed temps / checkpoints must keep
+            # reading the faulted observation as emitted.
+            self._last_obs = obs.copy()
+        return obs
+
+    def step(self, action) -> StepResult:
+        if self.injector is not None:
+            levels = np.atleast_1d(np.asarray(action, dtype=int))
+            applied = self.injector.apply_action(0, levels)
+        else:
+            applied = action
+        obs, reward, done, info = self.env.step(applied)
+        if self.injector is not None:
+            self.injector.apply_step_obs(0, obs)
+            info = dict(info)
+            info["commanded_levels"] = np.atleast_1d(
+                np.asarray(action, dtype=int)
+            ).copy()
+            info["sensed_temps_c"] = self.layout.sensed_temps_c(obs)
+            self._last_obs = obs.copy()
+        return obs, reward, done, info
+
+    def close(self) -> None:
+        self.env.close()
+
+    def unwrapped(self) -> "FaultyHVACEnv":
+        # The wrapper is the sensing boundary: controllers that read
+        # zone_temps_c through unwrapped() must see faulted sensors.
+        return self
+
+    # ------------------------------------------------------------- sensing
+    @property
+    def zone_temps_c(self) -> np.ndarray:
+        """Zone temperatures as the (faulted) sensors read them."""
+        if self.injector is None or self._last_obs is None:
+            return self.env.zone_temps_c
+        return self.layout.sensed_temps_c(self._last_obs)
+
+    @property
+    def true_zone_temps_c(self) -> np.ndarray:
+        """Physical zone temperatures (unfaulted ground truth)."""
+        return self.env.zone_temps_c
+
+    def __getattr__(self, name: str):
+        # Static surface (building, comfort, config, obs_dim, ...) comes
+        # from the inner env; dynamic sensing is overridden above.
+        return getattr(self.env, name)
+
+    # -------------------------------------------------------- checkpointing
+    def state_dict(self) -> dict:
+        """Env state plus injector state (counters, fault RNGs, latches)."""
+        state = {"env": self.env.state_dict()}
+        if self.injector is not None:
+            state["faults"] = self.injector.state_dict()
+            state["last_obs"] = (
+                None if self._last_obs is None else self._last_obs.tolist()
+            )
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        self.env.load_state_dict(state["env"])
+        if self.injector is not None:
+            self.injector.load_state_dict(state["faults"])
+            last = state.get("last_obs")
+            self._last_obs = (
+                None if last is None else np.asarray(last, dtype=np.float64)
+            )
+
+    def __repr__(self) -> str:
+        return f"FaultyHVACEnv(profile={self.profile.name!r})"
+
+
+class FaultyVectorHVACEnv:
+    """A vector fleet behind per-env fault injection.
+
+    Presents the :class:`~repro.sim.vector_env.VectorHVACEnv` surface
+    (``reset``/``step``/``env_view``/``state_dict``); injection is
+    mask-aware — frozen (done, ``autoreset=False``) rows neither draw
+    fault randomness nor advance their fault windows, exactly like a
+    scalar env that is no longer stepped.
+
+    Parameters
+    ----------
+    vec_env:
+        The clean fleet.
+    profile:
+        Fault profile (or registered name) applied to every member.
+    seeds:
+        One fault-stream seed per env — pass the fleet's build seeds.
+    """
+
+    def __init__(
+        self,
+        vec_env: VectorHVACEnv,
+        profile: ProfileLike,
+        *,
+        seeds: Sequence[int],
+    ) -> None:
+        self.vec_env = vec_env
+        self.profile = _resolve(profile)
+        if len(seeds) != vec_env.n_envs:
+            raise ValueError(
+                f"need one fault seed per env: fleet has {vec_env.n_envs}, "
+                f"got {len(seeds)}"
+            )
+        self.layouts = [ObsLayout.from_env(env) for env in vec_env.envs]
+        self.injector: Optional[FaultInjector] = self.profile.build(
+            self.layouts, [int(s) for s in seeds]
+        )
+        self._last_obs: Optional[np.ndarray] = None
+
+    # ----------------------------------------------------------- delegation
+    def __getattr__(self, name: str):
+        return getattr(self.vec_env, name)
+
+    def __len__(self) -> int:
+        return self.vec_env.n_envs
+
+    # ------------------------------------------------------------ lifecycle
+    def reset(self) -> np.ndarray:
+        obs = self.vec_env.reset()
+        if self.injector is not None:
+            for k in range(self.vec_env.n_envs):
+                self.injector.on_reset(k)
+                self.injector.apply_reset_obs(k, obs[k, : self.layouts[k].obs_dim])
+            # Private copy: the caller owns the returned batch (the inner
+            # fleet's return-a-copy contract), and may mutate it.
+            self._last_obs = obs.copy()
+        return obs
+
+    def _per_env_actions(self, actions) -> List[np.ndarray]:
+        """Split stacked/listed actions into unpadded per-env vectors."""
+        n = self.vec_env.n_envs
+        if isinstance(actions, (list, tuple)):
+            if len(actions) != n:
+                raise ValueError(f"need {n} per-env actions, got {len(actions)}")
+            return [np.atleast_1d(np.asarray(a, dtype=int)) for a in actions]
+        stacked = np.asarray(actions, dtype=int)
+        if stacked.ndim == 1 and self.vec_env.max_zones == 1:
+            stacked = stacked[:, None]
+        if stacked.shape != (n, self.vec_env.max_zones):
+            raise ValueError(
+                f"actions must have shape ({n}, {self.vec_env.max_zones}), "
+                f"got {stacked.shape}"
+            )
+        return [stacked[k, : self.layouts[k].n_zones] for k in range(n)]
+
+    def step(
+        self, actions
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, BatchStepInfo]:
+        if self.injector is None:
+            return self.vec_env.step(actions)
+
+        per_env = self._per_env_actions(actions)
+        active = ~self.vec_env.dones  # all True under autoreset
+        commanded = [levels.copy() for levels in per_env]
+        for k in np.flatnonzero(active):
+            per_env[k] = self.injector.apply_action(int(k), per_env[k])
+        obs, rewards, dones, info = self.vec_env.step(list(per_env))
+
+        # Frozen rows (done, autoreset=False) are rebuilt clean by the
+        # inner fleet each step; a scalar faulted env that is no longer
+        # stepped keeps its last faulted observation, so restore ours.
+        if self._last_obs is not None and not np.all(info.active):
+            frozen = ~info.active
+            obs[frozen] = self._last_obs[frozen]
+
+        # Post-step observations: autoreset rows fault their terminal
+        # observation, roll the episode clock, then fault the fresh row —
+        # the exact scalar wrapper sequence (step → reset).
+        for k in np.flatnonzero(info.active):
+            row = obs[k, : self.layouts[k].obs_dim]
+            if self.vec_env.autoreset and dones[k]:
+                if info.terminal_obs is not None:
+                    self.injector.apply_step_obs(
+                        int(k), info.terminal_obs[k, : self.layouts[k].obs_dim]
+                    )
+                self.injector.on_reset(int(k))
+                self.injector.apply_reset_obs(int(k), row)
+            else:
+                self.injector.apply_step_obs(int(k), row)
+        info.commanded_levels = commanded  # type: ignore[attr-defined]
+        self._last_obs = obs.copy()
+        return obs, rewards, dones, info
+
+    # ------------------------------------------------------------- sensing
+    @property
+    def sensed_zone_temps_c(self) -> np.ndarray:
+        """Per-env sensed temperatures, ``(n_envs, max_zones)`` padded
+        with the physical values where no observation exists yet."""
+        temps = self.vec_env.zone_temps_c
+        if self.injector is None or self._last_obs is None:
+            return temps
+        for k, lay in enumerate(self.layouts):
+            temps[k, : lay.n_zones] = lay.sensed_temps_c(
+                self._last_obs[k, : lay.obs_dim]
+            )
+        return temps
+
+    def env_view(self, index: int) -> "_FaultedEnvView":
+        """Scalar-shaped live view whose ``zone_temps_c`` is the faulted
+        sensor reading (what a local thermostat/PID would act on)."""
+        return _FaultedEnvView(self, index)
+
+    # -------------------------------------------------------- checkpointing
+    def state_dict(self) -> dict:
+        """Fleet state plus injector state (and the faulted last
+        observation, which the clean fleet snapshot cannot reproduce)."""
+        from repro.nn.serialization import encode_array
+
+        state = {"vec_env": self.vec_env.state_dict()}
+        if self.injector is not None:
+            state["faults"] = self.injector.state_dict()
+            state["last_obs"] = (
+                None if self._last_obs is None else encode_array(self._last_obs)
+            )
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        from repro.nn.serialization import decode_array
+
+        self.vec_env.load_state_dict(state["vec_env"])
+        if self.injector is not None:
+            self.injector.load_state_dict(state["faults"])
+            last = state.get("last_obs")
+            self._last_obs = None if last is None else decode_array(last)
+        else:
+            self._last_obs = self.vec_env._last_obs.copy()
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultyVectorHVACEnv(n_envs={self.vec_env.n_envs}, "
+            f"profile={self.profile.name!r})"
+        )
+
+
+class _FaultedEnvView:
+    """Scalar-env window into a faulted fleet (see ``env_view``)."""
+
+    def __init__(self, wrapper: FaultyVectorHVACEnv, index: int) -> None:
+        self._wrapper = wrapper
+        self._k = int(index)
+        self._inner_view = wrapper.vec_env.env_view(index)
+
+    def unwrapped(self) -> "_FaultedEnvView":
+        return self
+
+    @property
+    def zone_temps_c(self) -> np.ndarray:
+        wrapper, k = self._wrapper, self._k
+        lay = wrapper.layouts[k]
+        if wrapper.injector is None or wrapper._last_obs is None:
+            return self._inner_view.zone_temps_c
+        return lay.sensed_temps_c(wrapper._last_obs[k, : lay.obs_dim])
+
+    @property
+    def time_index(self) -> int:
+        return self._inner_view.time_index
+
+    def __getattr__(self, name: str):
+        return getattr(self._inner_view, name)

@@ -21,9 +21,13 @@ from repro.sim.batch_thermal import BatchRCNetwork
 from repro.sim.vector_env import BatchStepInfo, VectorHVACEnv
 from repro.sim.scenarios import (
     Scenario,
+    build_faulted_env,
     build_fleet,
+    get_fault_profile,
     get_scenario,
+    list_fault_profiles,
     list_scenarios,
+    register_fault_profile,
     register_scenario,
 )
 from repro.sim.campaign import (
@@ -31,9 +35,12 @@ from repro.sim.campaign import (
     CampaignResult,
     CampaignRow,
     CampaignSpec,
+    RobustnessRow,
     expand_campaign,
+    render_robustness_table,
     run_campaign,
     run_campaign_job,
+    summarize_robustness,
 )
 
 __all__ = [
@@ -45,11 +52,18 @@ __all__ = [
     "get_scenario",
     "list_scenarios",
     "build_fleet",
+    "build_faulted_env",
+    "register_fault_profile",
+    "get_fault_profile",
+    "list_fault_profiles",
     "CampaignSpec",
     "CampaignJob",
     "CampaignRow",
     "CampaignResult",
+    "RobustnessRow",
     "expand_campaign",
     "run_campaign",
     "run_campaign_job",
+    "summarize_robustness",
+    "render_robustness_table",
 ]

@@ -1,21 +1,28 @@
-"""Campaign runner: scenario × controller × seed sweeps over the fleet sim.
+"""Campaign runner: scenario × fault × controller × seed sweeps.
 
-A campaign is the cartesian product of registered scenarios, named
-controllers, and seeds.  Each (scenario, controller) cell batches its
-seeds into one :class:`~repro.sim.vector_env.VectorHVACEnv`, so a
-campaign of S scenarios × C controllers × K seeds costs S·C vectorized
-episode runs rather than S·C·K scalar ones.  Cells are independent, so
-they can optionally fan out over a process pool, and — when an
-:class:`~repro.store.ExperimentStore` is attached — each cell's result is
-persisted as it completes, making interrupted sweeps resumable
-(``repro-hvac campaign --resume RUN_DIR``).
+A campaign is the cartesian product of registered scenarios, fault
+profiles, named controllers, and seeds.  Each (scenario, fault,
+controller) cell batches its seeds into one
+:class:`~repro.sim.vector_env.VectorHVACEnv` (wrapped in a
+:class:`~repro.faults.FaultyVectorHVACEnv` when the cell injects
+faults), so a campaign of S scenarios × F faults × C controllers × K
+seeds costs S·F·C vectorized episode runs rather than S·F·C·K scalar
+ones.  Cells are independent, so they can optionally fan out over a
+process pool, and — when an :class:`~repro.store.ExperimentStore` is
+attached — each cell's result is persisted as it completes, making
+interrupted sweeps resumable (``repro-hvac campaign --resume RUN_DIR``).
+
+Robustness campaigns sweep the fault axis and compare every faulted
+cell against its clean (``fault="none"``) twin —
+:func:`summarize_robustness` computes the comfort/energy degradation
+deltas that ``repro-hvac robustness`` reports.
 """
 
 from __future__ import annotations
 
 import json
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -23,9 +30,11 @@ import numpy as np
 from repro.baselines.pid import PIDController
 from repro.baselines.random_policy import RandomController
 from repro.baselines.rule_based import ThermostatController
-from repro.eval.metrics import EvaluationSummary
+from repro.eval.metrics import EvaluationSummary, robustness_deltas
 from repro.eval.reporting import format_table
 from repro.eval.vector_runner import PerEnvPolicy, VectorRunner
+from repro.faults.profiles import NO_FAULT, FaultProfile, get_fault_profile
+from repro.faults.wrappers import FaultyVectorHVACEnv
 from repro.sim.scenarios import Scenario, build_fleet, get_scenario
 from repro.sim.vector_env import VectorHVACEnv
 
@@ -37,17 +46,19 @@ CONTROLLERS = ("thermostat", "pid", "random")
 
 @dataclass(frozen=True)
 class CampaignSpec:
-    """What to sweep: scenarios × controllers × seeds.
+    """What to sweep: scenarios × faults × controllers × seeds.
 
     ``scenarios`` entries are registered names or :class:`Scenario`
-    instances; ``n_episodes`` evaluation episodes run per (scenario,
-    controller, seed) triple.
+    instances; ``faults`` registered fault-profile names (``"none"`` is
+    the clean baseline); ``n_episodes`` evaluation episodes run per
+    (scenario, fault, controller, seed) tuple.
     """
 
     scenarios: Tuple[Union[str, Scenario], ...]
     controllers: Tuple[str, ...] = ("thermostat",)
     seeds: Tuple[int, ...] = (0,)
     n_episodes: int = 1
+    faults: Tuple[str, ...] = (NO_FAULT,)
 
     def __post_init__(self) -> None:
         if not self.scenarios:
@@ -56,16 +67,21 @@ class CampaignSpec:
             raise ValueError("campaign needs at least one controller")
         if not self.seeds:
             raise ValueError("campaign needs at least one seed")
+        if not self.faults:
+            raise ValueError("campaign needs at least one fault profile")
         for name in self.controllers:
             if name not in CONTROLLERS:
                 raise ValueError(
                     f"unknown controller {name!r}; choose from {CONTROLLERS}"
                 )
+        for name in self.faults:
+            get_fault_profile(name)  # raises KeyError for unknown profiles
         if self.n_episodes < 1:
             raise ValueError(f"n_episodes must be >= 1, got {self.n_episodes}")
         object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
         object.__setattr__(self, "controllers", tuple(self.controllers))
         object.__setattr__(self, "scenarios", tuple(self.scenarios))
+        object.__setattr__(self, "faults", tuple(self.faults))
 
     def as_config(self) -> dict:
         """JSON-ready description (scenario names only) for run manifests."""
@@ -76,17 +92,30 @@ class CampaignSpec:
             "controllers": list(self.controllers),
             "seeds": list(self.seeds),
             "n_episodes": self.n_episodes,
+            "faults": list(self.faults),
         }
 
 
 @dataclass(frozen=True)
 class CampaignJob:
-    """One executable cell: a scenario, a controller, all seeds."""
+    """One executable cell: a scenario, a fault profile, a controller,
+    all seeds.
+
+    ``fault`` accepts a registry name but is normalized to the resolved
+    :class:`~repro.faults.FaultProfile` object — like scenarios, jobs
+    must be self-contained so process-pool workers (which only know the
+    import-time presets) can run custom-registered profiles.
+    """
 
     scenario: Scenario
     controller: str
     seeds: Tuple[int, ...]
     n_episodes: int = 1
+    fault: Union[str, FaultProfile] = NO_FAULT
+
+    def __post_init__(self) -> None:
+        if isinstance(self.fault, str):
+            object.__setattr__(self, "fault", get_fault_profile(self.fault))
 
 
 @dataclass
@@ -98,6 +127,7 @@ class CampaignRow:
     n_seeds: int
     mean: Dict[str, float]
     std: Dict[str, float]
+    fault: str = NO_FAULT
 
     def as_dict(self) -> dict:
         """JSON-ready representation."""
@@ -105,13 +135,18 @@ class CampaignRow:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "CampaignRow":
-        """Rebuild a row from :meth:`as_dict` output (store round-trip)."""
+        """Rebuild a row from :meth:`as_dict` output (store round-trip).
+
+        Rows stored before the fault axis existed carry no ``fault``
+        key; they were clean runs, so they load as ``fault="none"``.
+        """
         return cls(
             scenario=str(payload["scenario"]),
             controller=str(payload["controller"]),
             n_seeds=int(payload["n_seeds"]),
             mean={k: float(v) for k, v in payload["mean"].items()},
             std={k: float(v) for k, v in payload["std"].items()},
+            fault=str(payload.get("fault", NO_FAULT)),
         )
 
 
@@ -119,19 +154,22 @@ _METRIC_FIELDS = ("episode_return", "cost_usd", "energy_kwh", "violation_deg_hou
 
 
 def expand_campaign(spec: CampaignSpec) -> List[CampaignJob]:
-    """Cartesian-expand a spec into independent (scenario, controller) jobs."""
+    """Cartesian-expand a spec into independent (scenario, fault,
+    controller) jobs."""
     jobs = []
     for entry in spec.scenarios:
         scenario = get_scenario(entry) if isinstance(entry, str) else entry
-        for controller in spec.controllers:
-            jobs.append(
-                CampaignJob(
-                    scenario=scenario,
-                    controller=controller,
-                    seeds=spec.seeds,
-                    n_episodes=spec.n_episodes,
+        for fault in spec.faults:
+            for controller in spec.controllers:
+                jobs.append(
+                    CampaignJob(
+                        scenario=scenario,
+                        controller=controller,
+                        seeds=spec.seeds,
+                        n_episodes=spec.n_episodes,
+                        fault=fault,
+                    )
                 )
-            )
     return jobs
 
 
@@ -160,9 +198,13 @@ def run_campaign_job(job: CampaignJob) -> CampaignRow:
     a shared fleet would hand the second controller different weather
     noise and initial temperatures than the first.  Rebuilding gives
     every controller a byte-identical world per seed — the property that
-    makes campaign columns comparable.
+    makes campaign columns comparable.  Faulted cells wrap the fleet in
+    a :class:`~repro.faults.FaultyVectorHVACEnv` seeded by the same env
+    seeds, so each fault column perturbs that identical world.
     """
     vec_env = VectorHVACEnv(build_fleet(job.scenario, job.seeds), autoreset=False)
+    if not job.fault.is_clean:
+        vec_env = FaultyVectorHVACEnv(vec_env, job.fault, seeds=job.seeds)
     policy = _make_policy(job.controller, vec_env, job.seeds)
     runner = VectorRunner(vec_env, policy)
     per_seed: List[EvaluationSummary] = runner.evaluate(n_episodes=job.n_episodes)
@@ -180,6 +222,7 @@ def run_campaign_job(job: CampaignJob) -> CampaignRow:
         n_seeds=len(job.seeds),
         mean=mean,
         std=std,
+        fault=job.fault.name,
     )
 
 
@@ -189,17 +232,32 @@ class CampaignResult:
     def __init__(self, rows: List[CampaignRow]) -> None:
         self.rows = list(rows)
 
-    def row(self, scenario: str, controller: str) -> CampaignRow:
+    def row(
+        self, scenario: str, controller: str, fault: str = NO_FAULT
+    ) -> CampaignRow:
         """Look up one cell's row."""
         for r in self.rows:
-            if r.scenario == scenario and r.controller == controller:
+            if (
+                r.scenario == scenario
+                and r.controller == controller
+                and r.fault == fault
+            ):
                 return r
-        raise KeyError(f"no row for ({scenario!r}, {controller!r})")
+        raise KeyError(f"no row for ({scenario!r}, {controller!r}, {fault!r})")
+
+    @property
+    def has_faults(self) -> bool:
+        """Whether any cell ran under a non-clean fault profile."""
+        return any(r.fault != NO_FAULT for r in self.rows)
 
     def render(self) -> str:
-        """Aligned-text table: one line per (scenario, controller) cell."""
-        header = [
-            "scenario",
+        """Aligned-text table: one line per (scenario, fault, controller)
+        cell (the fault column is omitted for all-clean campaigns)."""
+        with_faults = self.has_faults
+        header = ["scenario"]
+        if with_faults:
+            header.append("fault")
+        header += [
             "controller",
             "seeds",
             "cost_usd",
@@ -210,18 +268,19 @@ class CampaignResult:
         ]
         body = []
         for r in self.rows:
-            body.append(
-                [
-                    r.scenario,
-                    r.controller,
-                    str(r.n_seeds),
-                    f"{r.mean['cost_usd']:.3f}±{r.std['cost_usd']:.3f}",
-                    f"{r.mean['energy_kwh']:.2f}±{r.std['energy_kwh']:.2f}",
-                    f"{r.mean['violation_deg_hours']:.2f}±{r.std['violation_deg_hours']:.2f}",
-                    f"{r.mean['violation_rate']:.3f}",
-                    f"{r.mean['episode_return']:.3f}",
-                ]
-            )
+            cells = [r.scenario]
+            if with_faults:
+                cells.append(r.fault)
+            cells += [
+                r.controller,
+                str(r.n_seeds),
+                f"{r.mean['cost_usd']:.3f}±{r.std['cost_usd']:.3f}",
+                f"{r.mean['energy_kwh']:.2f}±{r.std['energy_kwh']:.2f}",
+                f"{r.mean['violation_deg_hours']:.2f}±{r.std['violation_deg_hours']:.2f}",
+                f"{r.mean['violation_rate']:.3f}",
+                f"{r.mean['episode_return']:.3f}",
+            ]
+            body.append(cells)
         return format_table(header, body)
 
     def to_json(self) -> str:
@@ -273,7 +332,9 @@ def run_campaign(
     pending: List[int] = []
     if store is not None:
         for j, job in enumerate(jobs):
-            cell = store.get_cell(job.scenario.name, job.controller)
+            cell = store.get_cell(
+                job.scenario.name, job.controller, fault=job.fault.name
+            )
             if cell is not None:
                 rows[j] = CampaignRow.from_dict(cell["row"])
             else:
@@ -299,3 +360,88 @@ def run_campaign(
             ):
                 record(j, row, elapsed)
     return CampaignResult([rows[j] for j in range(len(jobs))])
+
+
+# ------------------------------------------------------------- robustness
+@dataclass
+class RobustnessRow:
+    """Clean-vs-faulted degradation of one (scenario, controller, fault).
+
+    ``deltas`` holds absolute (``<metric>_delta``) and, where the clean
+    value is nonzero, relative (``<metric>_rel``) differences computed by
+    :func:`repro.eval.metrics.robustness_deltas` — positive cost/
+    violation deltas mean the fault made things worse.
+    """
+
+    scenario: str
+    controller: str
+    fault: str
+    n_seeds: int
+    clean_mean: Dict[str, float]
+    faulted_mean: Dict[str, float]
+    deltas: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation."""
+        return asdict(self)
+
+
+def summarize_robustness(rows: Sequence[CampaignRow]) -> List[RobustnessRow]:
+    """Pair every faulted row with its clean twin and compute deltas.
+
+    Faulted rows without a matching ``fault="none"`` cell (e.g. a
+    partially resumed sweep) are skipped — a delta against nothing would
+    be noise presented as signal.
+    """
+    clean: Dict[Tuple[str, str], CampaignRow] = {
+        (r.scenario, r.controller): r for r in rows if r.fault == NO_FAULT
+    }
+    summary: List[RobustnessRow] = []
+    for r in rows:
+        if r.fault == NO_FAULT:
+            continue
+        base = clean.get((r.scenario, r.controller))
+        if base is None:
+            continue
+        summary.append(
+            RobustnessRow(
+                scenario=r.scenario,
+                controller=r.controller,
+                fault=r.fault,
+                n_seeds=r.n_seeds,
+                clean_mean=dict(base.mean),
+                faulted_mean=dict(r.mean),
+                deltas=robustness_deltas(base.mean, r.mean),
+            )
+        )
+    return summary
+
+
+def render_robustness_table(summary: Sequence[RobustnessRow]) -> str:
+    """Aligned-text degradation table (one line per faulted cell)."""
+    header = [
+        "scenario",
+        "fault",
+        "controller",
+        "d_cost_usd",
+        "d_energy_kwh",
+        "d_viol_degh",
+        "d_viol_rate",
+        "d_return",
+    ]
+    body = []
+    for row in summary:
+        d = row.deltas
+        body.append(
+            [
+                row.scenario,
+                row.fault,
+                row.controller,
+                f"{d['cost_usd_delta']:+.3f}",
+                f"{d['energy_kwh_delta']:+.2f}",
+                f"{d['violation_deg_hours_delta']:+.2f}",
+                f"{d['violation_rate_delta']:+.3f}",
+                f"{d['episode_return_delta']:+.3f}",
+            ]
+        )
+    return format_table(header, body)

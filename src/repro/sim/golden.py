@@ -1,0 +1,151 @@
+"""Golden-trajectory digests: hashed rollouts that pin the dynamics.
+
+A golden record is a SHA-256 digest over the byte-exact trajectory a
+scenario produces under a fixed seed and a fixed action sequence —
+observations, rewards, done flags, zone temperatures, and per-step cost,
+for both the scalar :class:`~repro.env.hvac_env.HVACEnv` and the batched
+:class:`~repro.sim.vector_env.VectorHVACEnv`.  The committed fixtures
+(``tests/golden/trajectories.json``) are checked in tier-1, so *any*
+silent drift in the dynamics, the observation pipeline, the tariffs, or
+the RNG plumbing fails loudly with the scenario name attached.
+
+Regenerate fixtures (only when a behavior change is intended) with::
+
+    PYTHONPATH=src python tools/make_golden.py
+
+The record carries per-env probe values (final temperatures, total
+reward) alongside the digest so a mismatch points at *what* moved, not
+just that something did.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.scenarios import build_fleet, get_scenario, list_scenarios
+from repro.sim.vector_env import VectorHVACEnv
+
+# Seeds are part of the golden contract: changing either invalidates
+# every committed fixture.
+GOLDEN_ENV_SEED = 7000
+GOLDEN_ACTION_SEED = 9001
+GOLDEN_N_ENVS = 2
+GOLDEN_N_STEPS = 24
+
+
+def golden_actions(
+    scenario_name: str, n_envs: int = GOLDEN_N_ENVS, n_steps: int = GOLDEN_N_STEPS
+) -> List[np.ndarray]:
+    """The fixed per-env action sequences, ``(n_steps, n_zones)`` each.
+
+    Each env draws from its own generator (seeded by scenario name and
+    env index), so the scalar and vector rollouts can replay identical
+    action streams env for env.  One probe env supplies the action space
+    (it is seed-independent within a scenario).
+    """
+    space = get_scenario(scenario_name).build(GOLDEN_ENV_SEED).action_space
+    salt = sum(scenario_name.encode()) % 997
+    actions = []
+    for k in range(n_envs):
+        rng = np.random.default_rng([GOLDEN_ACTION_SEED, salt, k])
+        actions.append(np.stack([space.sample(rng) for _ in range(n_steps)]))
+    return actions
+
+
+def _update(digest: "hashlib._Hash", *arrays: np.ndarray) -> None:
+    for array in arrays:
+        digest.update(np.ascontiguousarray(array).tobytes())
+
+
+def golden_scalar_record(
+    scenario_name: str,
+    n_envs: int = GOLDEN_N_ENVS,
+    n_steps: int = GOLDEN_N_STEPS,
+    actions: Optional[List[np.ndarray]] = None,
+) -> Dict[str, object]:
+    """Digest + probes of ``n_envs`` scalar rollouts of a scenario."""
+    scenario = get_scenario(scenario_name)
+    if actions is None:
+        actions = golden_actions(scenario_name, n_envs, n_steps)
+    digest = hashlib.sha256()
+    final_temps: List[List[float]] = []
+    total_rewards: List[float] = []
+    for k in range(n_envs):
+        env = scenario.build(GOLDEN_ENV_SEED + k)
+        obs = env.reset()
+        _update(digest, obs.astype(np.float64))
+        total = 0.0
+        for t in range(n_steps):
+            obs, reward, done, info = env.step(actions[k][t])
+            _update(
+                digest,
+                obs.astype(np.float64),
+                np.float64(reward),
+                np.uint8(done),
+                np.asarray(info["temps_c"], dtype=np.float64),
+                np.float64(info["cost_usd"]),
+            )
+            total += reward
+            if done:
+                break
+        final_temps.append([float(v) for v in env.zone_temps_c])
+        total_rewards.append(float(total))
+    return {
+        "sha256": digest.hexdigest(),
+        "final_temps_c": final_temps,
+        "total_reward": total_rewards,
+    }
+
+
+def golden_vector_record(
+    scenario_name: str,
+    n_envs: int = GOLDEN_N_ENVS,
+    n_steps: int = GOLDEN_N_STEPS,
+    actions: Optional[List[np.ndarray]] = None,
+) -> Dict[str, object]:
+    """Digest + probes of one batched fleet rollout of a scenario."""
+    scenario = get_scenario(scenario_name)
+    if actions is None:
+        actions = golden_actions(scenario_name, n_envs, n_steps)
+    seeds = [GOLDEN_ENV_SEED + k for k in range(n_envs)]
+    vec = VectorHVACEnv(build_fleet(scenario, seeds), autoreset=False)
+    digest = hashlib.sha256()
+    obs = vec.reset()
+    _update(digest, obs.astype(np.float64))
+    totals = np.zeros(n_envs)
+    for t in range(n_steps):
+        step_actions = [actions[k][t] for k in range(n_envs)]
+        obs, rewards, dones, info = vec.step(step_actions)
+        _update(
+            digest,
+            obs.astype(np.float64),
+            rewards.astype(np.float64),
+            dones.astype(np.uint8),
+            info.temps_c.astype(np.float64),
+            info.cost_usd.astype(np.float64),
+        )
+        totals += rewards
+        if np.all(vec.dones):
+            break
+    return {
+        "sha256": digest.hexdigest(),
+        "final_temps_c": [[float(v) for v in row] for row in vec.zone_temps_c],
+        "total_reward": [float(v) for v in totals],
+    }
+
+
+def compute_golden_records(
+    names: Optional[Sequence[str]] = None,
+) -> Dict[str, Dict[str, object]]:
+    """Records for every (or the given) registered scenario preset."""
+    records: Dict[str, Dict[str, object]] = {}
+    for name in names if names is not None else list_scenarios():
+        actions = golden_actions(name)  # once per scenario, shared by both
+        records[name] = {
+            "scalar": golden_scalar_record(name, actions=actions),
+            "vector": golden_vector_record(name, actions=actions),
+        }
+    return records

@@ -260,3 +260,32 @@ def build_fleet(
     if not seeds:
         raise ValueError("need at least one seed")
     return [scenario.build(int(seed)) for seed in seeds]
+
+
+# --------------------------------------------------------- fault presets
+# Importing the faults package registers its preset profiles; re-export
+# the registry here so campaigns resolve scenarios and faults through
+# one module.  (The import sits at the bottom because the fault wrappers
+# import repro.sim.vector_env.)
+from repro.faults.profiles import (  # noqa: E402
+    NO_FAULT,
+    FaultProfile,
+    get_fault_profile,
+    list_fault_profiles,
+    register_fault_profile,
+)
+
+
+def build_faulted_env(
+    scenario: Scenario | str, fault: str | FaultProfile, seed: int = 0
+):
+    """One scalar env for a scenario with a fault profile applied.
+
+    The fault stream is seeded by the env's build seed, so this env is
+    bit-identical to the corresponding member of a faulted fleet.
+    """
+    from repro.faults.wrappers import FaultyHVACEnv
+
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    return FaultyHVACEnv(scenario.build(int(seed)), fault, seed=int(seed))

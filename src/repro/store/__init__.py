@@ -23,12 +23,17 @@ from repro.store.store import (
     RunManifest,
     discover_git_sha,
 )
-from repro.store.report import render_campaign_report, render_serve_report
+from repro.store.report import (
+    render_campaign_report,
+    render_robustness_report,
+    render_serve_report,
+)
 
 __all__ = [
     "ExperimentStore",
     "RunManifest",
     "discover_git_sha",
     "render_campaign_report",
+    "render_robustness_report",
     "render_serve_report",
 ]

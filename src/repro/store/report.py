@@ -41,6 +41,48 @@ def _provenance_lines(store: ExperimentStore) -> List[str]:
     return lines
 
 
+def _campaign_summary_table(cells: List[dict]) -> str:
+    """The shared (scenario[, fault], controller) Markdown summary table."""
+    with_faults = any(
+        cell.get("fault", ExperimentStore.NO_FAULT) != ExperimentStore.NO_FAULT
+        for cell in cells
+    )
+    header = ["scenario"]
+    if with_faults:
+        header.append("fault")
+    header += [
+        "controller",
+        "seeds",
+        "cost (USD)",
+        "energy (kWh)",
+        "violations (deg-h)",
+        "violation rate",
+        "return",
+    ]
+    body = []
+    for cell in cells:
+        row = cell["row"]
+        mean, std = row["mean"], row["std"]
+        entry = [row["scenario"]]
+        if with_faults:
+            entry.append(row.get("fault", ExperimentStore.NO_FAULT))
+        entry += [
+            row["controller"],
+            str(row["n_seeds"]),
+            format_mean_std(mean["cost_usd"], std["cost_usd"]),
+            format_mean_std(mean["energy_kwh"], std["energy_kwh"], digits=2),
+            format_mean_std(
+                mean["violation_deg_hours"],
+                std["violation_deg_hours"],
+                digits=2,
+            ),
+            f"{mean['violation_rate']:.3f}",
+            f"{mean['episode_return']:.3f}",
+        ]
+        body.append(entry)
+    return format_markdown_table(header, body)
+
+
 def render_campaign_report(store: ExperimentStore) -> str:
     """Render a campaign run directory as a Markdown report."""
     if store.manifest.kind != "campaign":
@@ -60,37 +102,7 @@ def render_campaign_report(store: ExperimentStore) -> str:
         lines.append("")
         return "\n".join(lines)
 
-    header = [
-        "scenario",
-        "controller",
-        "seeds",
-        "cost (USD)",
-        "energy (kWh)",
-        "violations (deg-h)",
-        "violation rate",
-        "return",
-    ]
-    body = []
-    for cell in cells:
-        row = cell["row"]
-        mean, std = row["mean"], row["std"]
-        body.append(
-            [
-                row["scenario"],
-                row["controller"],
-                str(row["n_seeds"]),
-                format_mean_std(mean["cost_usd"], std["cost_usd"]),
-                format_mean_std(mean["energy_kwh"], std["energy_kwh"], digits=2),
-                format_mean_std(
-                    mean["violation_deg_hours"],
-                    std["violation_deg_hours"],
-                    digits=2,
-                ),
-                f"{mean['violation_rate']:.3f}",
-                f"{mean['episode_return']:.3f}",
-            ]
-        )
-    lines.append(format_markdown_table(header, body))
+    lines.append(_campaign_summary_table(cells))
     lines.append("")
     lines.append(
         "Values are mean ± population std across seeds; the violation rate "
@@ -162,4 +174,88 @@ def render_serve_report(store: ExperimentStore) -> str:
             )
         )
         lines.append("")
+    return "\n".join(lines)
+
+
+def render_robustness_report(store: ExperimentStore) -> str:
+    """Render a robustness run directory as a Markdown report.
+
+    A robustness run is a campaign over the fault axis: the report shows
+    the absolute metrics per (scenario, fault, controller) cell plus a
+    degradation table — each faulted cell against its clean
+    (``fault="none"``) twin, recomputed from the stored rows so the
+    report always matches the artifacts.
+    """
+    if store.manifest.kind != "robustness":
+        raise ValueError(
+            f"expected a robustness run, got kind={store.manifest.kind!r}"
+        )
+    from repro.sim.campaign import CampaignRow, summarize_robustness
+
+    cells = store.iter_cells()
+    lines: List[str] = [f"# Robustness report — {store.manifest.run_id}", ""]
+    lines.extend(_provenance_lines(store))
+    lines.append("")
+
+    lines.append("## Absolute metrics")
+    lines.append("")
+    if not cells:
+        lines.append("_No completed cells yet._")
+        lines.append("")
+        return "\n".join(lines)
+    lines.append(_campaign_summary_table(cells))
+    lines.append("")
+
+    rows = [CampaignRow.from_dict(cell["row"]) for cell in cells]
+    summary = summarize_robustness(rows)
+    lines.append("## Degradation vs clean baseline")
+    lines.append("")
+    if not summary:
+        lines.append(
+            "_No faulted cell has a completed clean twin yet; resume the "
+            "run to fill the baseline column._"
+        )
+        lines.append("")
+        return "\n".join(lines)
+    header = [
+        "scenario",
+        "fault",
+        "controller",
+        "Δ cost (USD)",
+        "Δ energy (kWh)",
+        "Δ violations (deg-h)",
+        "Δ violation rate",
+        "Δ return",
+    ]
+    body = []
+    for row in summary:
+        d = row.deltas
+
+        def _cell(key: str, digits: int = 3) -> str:
+            text = f"{d[f'{key}_delta']:+.{digits}f}"
+            rel = d.get(f"{key}_rel")
+            if rel is not None:
+                text += f" ({rel:+.0%})"
+            return text
+
+        body.append(
+            [
+                row.scenario,
+                row.fault,
+                row.controller,
+                _cell("cost_usd"),
+                _cell("energy_kwh", 2),
+                _cell("violation_deg_hours", 2),
+                _cell("violation_rate"),
+                _cell("episode_return"),
+            ]
+        )
+    lines.append(format_markdown_table(header, body))
+    lines.append("")
+    lines.append(
+        "Positive cost/violation deltas mean the fault degraded the "
+        "controller; relative changes are against the clean baseline's "
+        "magnitude."
+    )
+    lines.append("")
     return "\n".join(lines)

@@ -260,13 +260,28 @@ class ExperimentStore:
         return self._list_dir(_CHECKPOINT_DIR)
 
     # ------------------------------------------------------ campaign cells
-    @staticmethod
-    def cell_key(scenario: str, controller: str) -> str:
-        """Stable file token for one (scenario, controller) cell."""
-        return f"{_slug(scenario)}__{_slug(controller)}"
+    # The clean (fault-free) axis value; kept as a local literal so the
+    # store stays importable without the faults package.
+    NO_FAULT = "none"
 
-    def _cell_path(self, scenario: str, controller: str) -> Path:
-        return self.root / _CELL_DIR / f"{self.cell_key(scenario, controller)}.json"
+    @classmethod
+    def cell_key(cls, scenario: str, controller: str, fault: str = NO_FAULT) -> str:
+        """Stable file token for one (scenario, controller, fault) cell.
+
+        Clean cells keep the historical two-part token, so run
+        directories written before the fault axis existed resume
+        unchanged.
+        """
+        if fault == cls.NO_FAULT:
+            return f"{_slug(scenario)}__{_slug(controller)}"
+        return f"{_slug(scenario)}__{_slug(controller)}__{_slug(fault)}"
+
+    def _cell_path(self, scenario: str, controller: str, fault: str = NO_FAULT) -> Path:
+        return (
+            self.root
+            / _CELL_DIR
+            / f"{self.cell_key(scenario, controller, fault)}.json"
+        )
 
     def put_cell(
         self,
@@ -277,56 +292,70 @@ class ExperimentStore:
         """Persist one completed campaign cell (a ``CampaignRow.as_dict()``).
 
         Written as the cell finishes, so a killed campaign keeps every
-        completed cell and a rerun resumes from the survivors.
+        completed cell and a rerun resumes from the survivors.  The
+        fault axis comes from ``row_dict["fault"]`` (absent = clean).
         """
         scenario = str(row_dict["scenario"])
         controller = str(row_dict["controller"])
+        fault = str(row_dict.get("fault", self.NO_FAULT))
         payload = {
             "scenario": scenario,
             "controller": controller,
+            "fault": fault,
             "row": row_dict,
             "elapsed_seconds": elapsed_seconds,
             "completed_at": _utc_now(),
         }
-        path = self._cell_path(scenario, controller)
+        path = self._cell_path(scenario, controller, fault)
         if path.exists():
             existing = json.loads(path.read_text())
             if (
                 existing.get("scenario") != scenario
                 or existing.get("controller") != controller
+                or existing.get("fault", self.NO_FAULT) != fault
             ):
                 raise ValueError(
                     f"cell file {path.name} already holds "
                     f"({existing.get('scenario')!r}, "
-                    f"{existing.get('controller')!r}); rename one of the "
-                    f"slug-colliding scenarios/controllers"
+                    f"{existing.get('controller')!r}, "
+                    f"{existing.get('fault', self.NO_FAULT)!r}); rename one "
+                    f"of the slug-colliding scenarios/controllers/faults"
                 )
         path.parent.mkdir(parents=True, exist_ok=True)
         _atomic_write_json(path, payload)
         return path
 
-    def get_cell(self, scenario: str, controller: str) -> Optional[dict]:
+    def get_cell(
+        self, scenario: str, controller: str, fault: str = NO_FAULT
+    ) -> Optional[dict]:
         """One cell's stored payload, or None when not yet completed.
 
         The payload's own names must match the request exactly — two
         names that slug to the same file token (``"heat wave"`` vs
         ``"heat-wave"``) must not answer for each other.
         """
-        path = self._cell_path(scenario, controller)
+        path = self._cell_path(scenario, controller, fault)
         if not path.exists():
             return None
         payload = json.loads(path.read_text())
         if (
             payload.get("scenario") != scenario
             or payload.get("controller") != controller
+            or payload.get("fault", self.NO_FAULT) != fault
         ):
             return None
         return payload
 
-    def completed_cells(self) -> Set[Tuple[str, str]]:
-        """The (scenario, controller) pairs with stored results."""
+    def completed_cells(self) -> Set[Tuple[str, str, str]]:
+        """The (scenario, controller, fault) triples with stored results
+        (clean cells report fault ``"none"``)."""
         return {
-            (cell["scenario"], cell["controller"]) for cell in self.iter_cells()
+            (
+                cell["scenario"],
+                cell["controller"],
+                cell.get("fault", self.NO_FAULT),
+            )
+            for cell in self.iter_cells()
         }
 
     def iter_cells(self) -> List[dict]:

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.utils.validation import check_positive
 from repro.weather.series import SECONDS_PER_DAY, WeatherSeries
+from repro.weather.solar import clear_sky_ghi, solar_elevation_deg
 
 
 def inject_heat_wave(
@@ -23,6 +24,7 @@ def inject_heat_wave(
     n_days: float,
     peak_amplitude_c: float = 6.0,
     ghi_boost: float = 1.1,
+    latitude_deg: float = 40.0,
 ) -> WeatherSeries:
     """Return a copy of ``series`` with a heat wave superimposed.
 
@@ -37,12 +39,19 @@ def inject_heat_wave(
         Temperature anomaly at the peak of the wave.
     ghi_boost:
         Multiplier on irradiance during the wave (heat waves are usually
-        cloudless); capped at clear-sky-plausible values by the caller's
-        choice of boost.
+        cloudless).  Boosted samples are capped at the clear-sky GHI for
+        the sun's position at ``latitude_deg`` — the physically plausible
+        ceiling — and the cap never pushes a sample below its unboosted
+        value.
+    latitude_deg:
+        Site latitude used for the clear-sky cap (matches the synthetic
+        generator's default site).
     """
     check_positive("n_days", n_days)
     check_positive("peak_amplitude_c", peak_amplitude_c, strict=False)
     check_positive("ghi_boost", ghi_boost)
+    if not -90.0 <= latitude_deg <= 90.0:
+        raise ValueError(f"latitude_deg must be in [-90, 90], got {latitude_deg}")
     if start_day < 0:
         raise ValueError(f"start_day must be >= 0, got {start_day}")
     steps_per_day = SECONDS_PER_DAY / series.dt_seconds
@@ -59,7 +68,21 @@ def inject_heat_wave(
     phase = np.linspace(0.0, np.pi, stop - start)
     anomaly = peak_amplitude_c * np.sin(phase)
     temp[start:stop] += anomaly
-    ghi[start:stop] *= 1.0 + (ghi_boost - 1.0) * np.sin(phase)
+    boosted = ghi[start:stop] * (1.0 + (ghi_boost - 1.0) * np.sin(phase))
+    ceiling = np.array(
+        [
+            clear_sky_ghi(
+                solar_elevation_deg(
+                    latitude_deg, series.day_of_year(i), series.hour_of_day(i)
+                )
+            )
+            for i in range(start, stop)
+        ]
+    )
+    # The cap binds the *boost*, not the underlying trace: a sample that
+    # already exceeded the model ceiling is never pushed below its
+    # original value (and a sub-unity boost still dims freely).
+    ghi[start:stop] = np.minimum(boosted, np.maximum(ceiling, ghi[start:stop]))
 
     return WeatherSeries(
         dt_seconds=series.dt_seconds,

@@ -221,6 +221,32 @@ class TestAddBatch:
                 )
         assert _buffers_identical(batched, sequential)
 
+    @settings(max_examples=40, deadline=None)
+    @given(
+        capacity=st.integers(min_value=1, max_value=10),
+        prefill=st.integers(min_value=0, max_value=25),
+        n=st.integers(min_value=1, max_value=25),
+    )
+    def test_property_wraparound_from_any_cursor(self, capacity, prefill, n):
+        """From every reachable cursor position (including post-wrap), a
+        batch write must land in the same slots, in the same order, as
+        sequential adds — and report those slots."""
+        batched = ReplayBuffer(capacity, obs_dim=3, action_dim=2)
+        sequential = ReplayBuffer(capacity, obs_dim=3, action_dim=2)
+        fill(batched, prefill, action_dim=2)
+        fill(sequential, prefill, action_dim=2)
+        rows = _random_rows(n, reward_dim=1, seed=prefill * 31 + n)
+        slots = batched.add_batch(*rows)
+        for i in range(n):
+            sequential.add(rows[0][i], rows[1][i], rows[2][i], rows[3][i], rows[4][i])
+        assert _buffers_identical(batched, sequential)
+        # The reported slots hold exactly the surviving tail of the batch.
+        kept = min(n, capacity)
+        assert len(slots) == kept
+        expected_slots = (prefill + (n - kept) + np.arange(kept)) % capacity
+        assert np.array_equal(slots, expected_slots)
+        assert np.array_equal(batched._obs[slots], rows[0][n - kept:])
+
 
 class TestConstruction:
     def test_rejects_bad_capacity(self):

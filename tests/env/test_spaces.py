@@ -100,6 +100,34 @@ class TestMultiDiscrete:
         seen = {m.flatten(m.unflatten(i)) for i in range(m.n_joint)}
         assert seen == set(range(m.n_joint))
 
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=4),
+        st.integers(min_value=0, max_value=32),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_property_flatten_batch_matches_scalar_and_round_trips(
+        self, nvec, n_rows, seed
+    ):
+        """flatten_batch must agree with per-row flatten and invert
+        through unflatten_batch, for any batch (including empty)."""
+        m = MultiDiscrete(nvec)
+        rng = np.random.default_rng(seed)
+        levels = np.stack([m.sample(rng) for _ in range(n_rows)]) if n_rows else (
+            np.empty((0, len(nvec)), dtype=int)
+        )
+        joint = m.flatten_batch(levels)
+        assert joint.tolist() == [m.flatten(row) for row in levels]
+        assert np.array_equal(m.unflatten_batch(joint), levels)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=3))
+    def test_property_unflatten_batch_covers_the_joint_space(self, nvec):
+        """Round-tripping every joint index at once is the identity."""
+        m = MultiDiscrete(nvec)
+        indices = np.arange(m.n_joint)
+        assert np.array_equal(m.flatten_batch(m.unflatten_batch(indices)), indices)
+
     def test_equality(self):
         assert MultiDiscrete([2, 3]) == MultiDiscrete([2, 3])
         assert MultiDiscrete([2, 3]) != MultiDiscrete([3, 2])

@@ -1,0 +1,113 @@
+"""Interrupt/resume parity for faulted runs.
+
+The acceptance property: a faulted run checkpointed mid-episode (through
+a JSON round-trip, into freshly constructed envs and injectors) must
+reproduce the uninterrupted run's trajectory exactly — fault RNG
+streams, window clocks, and latched sensor values included.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultyHVACEnv, FaultyVectorHVACEnv, list_fault_profiles
+from repro.sim import VectorHVACEnv, build_fleet, get_scenario
+
+_SCENARIO = get_scenario("baseline-tou").with_overrides(
+    name="fault-ckpt", weather_days=2.0
+)
+
+_PRESETS = [n for n in list_fault_profiles() if n != "none"]
+
+
+def _roundtrip(state):
+    return json.loads(json.dumps(state))
+
+
+def _scalar_env(profile, seed=0):
+    return FaultyHVACEnv(_SCENARIO.build(seed), profile, seed=seed)
+
+
+def _vector_env(profile, seeds=(0, 1)):
+    return FaultyVectorHVACEnv(
+        VectorHVACEnv(build_fleet(_SCENARIO, seeds), autoreset=False),
+        profile,
+        seeds=seeds,
+    )
+
+
+class TestScalarFaultResume:
+    @pytest.mark.parametrize("profile", _PRESETS)
+    def test_mid_episode_resume_is_bit_exact(self, profile, sweep_seed):
+        straight = _scalar_env(profile, seed=sweep_seed)
+        straight.reset()
+        rng = np.random.default_rng(11)
+        actions = [straight.action_space.sample(rng) for _ in range(40)]
+        reference = [straight.step(a)[:3] for a in actions]
+
+        interrupted = _scalar_env(profile, seed=sweep_seed)
+        interrupted.reset()
+        for a in actions[:20]:
+            interrupted.step(a)
+        state = _roundtrip(interrupted.state_dict())
+
+        resumed = _scalar_env(profile, seed=sweep_seed)
+        resumed.load_state_dict(state)
+        for t, a in enumerate(actions[20:], start=20):
+            obs, reward, done, _ = resumed.step(a)
+            ref_obs, ref_reward, ref_done = reference[t]
+            np.testing.assert_array_equal(obs, ref_obs, err_msg=f"step {t}")
+            assert reward == ref_reward
+            assert done == ref_done
+
+    def test_resume_restores_sensed_temps(self):
+        env = _scalar_env("biased-thermistor")
+        env.reset()
+        env.step([1])
+        state = _roundtrip(env.state_dict())
+        fresh = _scalar_env("biased-thermistor")
+        fresh.load_state_dict(state)
+        np.testing.assert_array_equal(fresh.zone_temps_c, env.zone_temps_c)
+
+
+class TestVectorFaultResume:
+    @pytest.mark.parametrize("profile", ("noisy-sensors", "stuck-thermistor",
+                                         "compound-degraded"))
+    def test_mid_run_resume_is_bit_exact(self, profile):
+        seeds = (0, 1)
+        straight = _vector_env(profile, seeds)
+        straight.reset()
+        action = np.ones((2, 1), dtype=int)
+        reference = [straight.step(action)[:3] for _ in range(40)]
+
+        interrupted = _vector_env(profile, seeds)
+        interrupted.reset()
+        for _ in range(17):  # deliberately not a round number
+            interrupted.step(action)
+        state = _roundtrip(interrupted.state_dict())
+
+        resumed = _vector_env(profile, seeds)
+        resumed.load_state_dict(state)
+        for t in range(17, 40):
+            obs, rewards, dones, _ = resumed.step(action)
+            ref_obs, ref_rewards, ref_dones = reference[t]
+            np.testing.assert_array_equal(obs, ref_obs, err_msg=f"step {t}")
+            np.testing.assert_array_equal(rewards, ref_rewards)
+            np.testing.assert_array_equal(dones, ref_dones)
+
+    def test_state_shape_mismatch_rejected(self):
+        state = _vector_env("noisy-sensors", (0, 1)).state_dict()
+        three = FaultyVectorHVACEnv(
+            VectorHVACEnv(build_fleet(_SCENARIO, (0, 1, 2)), autoreset=False),
+            "noisy-sensors",
+            seeds=(0, 1, 2),
+        )
+        with pytest.raises(ValueError):
+            three.load_state_dict(state)
+
+    def test_model_kind_mismatch_rejected(self):
+        state = _vector_env("noisy-sensors").state_dict()
+        other = _vector_env("stuck-thermistor")
+        with pytest.raises(ValueError, match="kind"):
+            other.load_state_dict(state)

@@ -43,10 +43,10 @@ class TestCampaignResume:
         result = run_campaign(spec, store=store)
         assert len(result.rows) == 4
         assert store.completed_cells() == {
-            ("resume-a", "thermostat"),
-            ("resume-a", "random"),
-            ("resume-b", "thermostat"),
-            ("resume-b", "random"),
+            ("resume-a", "thermostat", "none"),
+            ("resume-a", "random", "none"),
+            ("resume-b", "thermostat", "none"),
+            ("resume-b", "random", "none"),
         }
         cell = store.get_cell("resume-a", "thermostat")
         assert cell["elapsed_seconds"] > 0.0

@@ -87,12 +87,43 @@ class TestCells:
         store = ExperimentStore.create(tmp_path / "run", kind="campaign")
         store.put_cell(self._row("a", "pid"))
         store.put_cell(self._row("b", "random"))
-        assert store.completed_cells() == {("a", "pid"), ("b", "random")}
+        assert store.completed_cells() == {
+            ("a", "pid", "none"),
+            ("b", "random", "none"),
+        }
         assert len(store.iter_cells()) == 2
 
     def test_cell_key_sanitizes_names(self, tmp_path):
         key = ExperimentStore.cell_key("heat wave/2", "pid")
         assert "/" not in key and " " not in key
+
+    def test_faulted_cells_are_distinct_from_clean(self, tmp_path):
+        store = ExperimentStore.create(tmp_path / "run", kind="robustness")
+        clean = self._row("heat-wave", "pid")
+        faulted = dict(self._row("heat-wave", "pid"), fault="stuck-damper")
+        faulted["mean"] = {"cost_usd": 9.0}
+        store.put_cell(clean)
+        store.put_cell(faulted)
+        assert store.get_cell("heat-wave", "pid")["row"]["mean"]["cost_usd"] == 1.0
+        assert (
+            store.get_cell("heat-wave", "pid", fault="stuck-damper")["row"]["mean"][
+                "cost_usd"
+            ]
+            == 9.0
+        )
+        # A faulted cell never answers for the clean one or vice versa.
+        assert store.get_cell("heat-wave", "pid", fault="noisy-sensors") is None
+        assert store.completed_cells() == {
+            ("heat-wave", "pid", "none"),
+            ("heat-wave", "pid", "stuck-damper"),
+        }
+
+    def test_clean_cell_key_keeps_legacy_two_part_token(self):
+        # Pre-fault run directories must keep resuming: clean cells use
+        # the historical token, faulted ones append the fault slug.
+        assert ExperimentStore.cell_key("a", "b") == "a__b"
+        assert ExperimentStore.cell_key("a", "b", "none") == "a__b"
+        assert ExperimentStore.cell_key("a", "b", "stuck damper") == "a__b__stuck-damper"
 
     def test_slug_colliding_names_do_not_answer_for_each_other(self, tmp_path):
         store = ExperimentStore.create(tmp_path / "run", kind="campaign")

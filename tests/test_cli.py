@@ -119,6 +119,123 @@ class TestCampaignCommand:
         assert code == 2
         assert "quantum" in capsys.readouterr().err
 
+    def test_faults_axis_on_campaign(self, capsys):
+        code = main(
+            [
+                "campaign",
+                "--scenarios",
+                "flat-tariff",
+                "--controllers",
+                "thermostat",
+                "--faults",
+                "none,degraded-capacity",
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "degraded-capacity" in printed
+        assert "fault" in printed.splitlines()[0]
+
+    def test_unknown_fault_exits_with_message(self, capsys):
+        code = main(["campaign", "--faults", "gremlins"])
+        assert code == 2
+        assert "gremlins" in capsys.readouterr().err
+
+
+class TestRobustnessCommand:
+    def test_list_faults(self, capsys):
+        code = main(["robustness", "--list-faults"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "noisy-sensors" in out and "stuck-damper" in out
+        assert "clean baseline" in out
+
+    def test_runs_and_prints_degradation_table(self, tmp_path, capsys):
+        out = tmp_path / "rob.json"
+        code = main(
+            [
+                "robustness",
+                "--scenarios",
+                "flat-tariff",
+                "--faults",
+                "degraded-capacity",
+                "--controllers",
+                "thermostat",
+                "--seeds",
+                "1",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "degradation" in printed
+        assert "d_viol_degh" in printed
+        payload = json.loads(out.read_text())
+        # Clean baseline is always included next to the requested fault.
+        assert {r["fault"] for r in payload["rows"]} == {
+            "none",
+            "degraded-capacity",
+        }
+        assert payload["summary"][0]["fault"] == "degraded-capacity"
+
+    def test_store_resume_and_report_round_trip(self, tmp_path, capsys):
+        run_dir = tmp_path / "rob_run"
+        args = [
+            "robustness",
+            "--scenarios",
+            "flat-tariff",
+            "--faults",
+            "degraded-capacity",
+            "--seeds",
+            "1",
+            "--resume",
+            str(run_dir),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        # Rerun: everything stored, still exits cleanly and reports reuse.
+        assert main(args) == 0
+        assert "resuming" in capsys.readouterr().out
+        code = main(["report", str(run_dir)])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "# Robustness report" in text
+        assert "Degradation vs clean baseline" in text
+
+    def test_unknown_fault_exits_with_message(self, capsys):
+        code = main(["robustness", "--faults", "gremlins"])
+        assert code == 2
+        assert "gremlins" in capsys.readouterr().err
+
+    def test_resuming_a_different_run_kind_exits_with_message(
+        self, tmp_path, capsys
+    ):
+        run_dir = str(tmp_path / "run")
+        assert main(
+            ["campaign", "--scenarios", "flat-tariff", "--resume", run_dir]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "robustness",
+                "--scenarios",
+                "flat-tariff",
+                "--faults",
+                "degraded-capacity",
+                "--resume",
+                run_dir,
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "campaign" in err and "robustness" in err
+
+    def test_requires_a_non_clean_fault(self, capsys):
+        code = main(["robustness", "--faults", "none"])
+        assert code == 2
+        assert "non-clean" in capsys.readouterr().err
+
 
 class TestCampaignResumeAndReport:
     _ARGS = [

@@ -57,3 +57,57 @@ class TestHeatWave:
     def test_negative_start_rejected(self, base):
         with pytest.raises(ValueError, match="start_day"):
             inject_heat_wave(base, start_day=-1, n_days=1)
+
+
+class TestGhiClearSkyCap:
+    """The docstring's promise: the GHI boost is capped at clear-sky-
+    plausible irradiance for the sun's actual position."""
+
+    def _ceiling(self, series, i, latitude_deg=40.0):
+        from repro.weather.solar import clear_sky_ghi, solar_elevation_deg
+
+        return clear_sky_ghi(
+            solar_elevation_deg(
+                latitude_deg, series.day_of_year(i), series.hour_of_day(i)
+            )
+        )
+
+    def test_boost_never_exceeds_clear_sky(self, base):
+        wave = inject_heat_wave(base, start_day=0, n_days=6, ghi_boost=3.0)
+        for i in range(len(wave)):
+            ceiling = max(self._ceiling(base, i), base.ghi_w_m2[i])
+            assert wave.ghi_w_m2[i] <= ceiling + 1e-9
+
+    def test_large_boost_actually_capped(self, base):
+        """With a 3x boost the cap must bind somewhere near midday."""
+        wave = inject_heat_wave(base, start_day=1, n_days=2, ghi_boost=3.0)
+        uncapped = inject_heat_wave(base, start_day=1, n_days=2, ghi_boost=1.0001)
+        assert np.any(wave.ghi_w_m2 < 3.0 * base.ghi_w_m2 - 1.0)
+        assert np.all(wave.ghi_w_m2 >= uncapped.ghi_w_m2 - 1e-9)
+
+    def test_cap_never_reduces_below_unboosted(self, base):
+        wave = inject_heat_wave(base, start_day=0, n_days=6, ghi_boost=5.0)
+        assert np.all(wave.ghi_w_m2 >= base.ghi_w_m2 - 1e-12)
+
+    def test_modest_boost_below_ceiling_untouched(self, base):
+        """Samples whose boosted value stays under the ceiling keep the
+        plain multiplicative boost (the cap is inactive there)."""
+        wave = inject_heat_wave(base, start_day=1, n_days=2, ghi_boost=1.05)
+        from repro.weather.series import SECONDS_PER_DAY
+
+        steps_per_day = int(SECONDS_PER_DAY / base.dt_seconds)
+        start, stop = steps_per_day, 3 * steps_per_day
+        phase = np.linspace(0.0, np.pi, stop - start)
+        expected = base.ghi_w_m2[start:stop] * (1.0 + 0.05 * np.sin(phase))
+        inside = expected <= [self._ceiling(base, i) for i in range(start, stop)]
+        np.testing.assert_allclose(
+            wave.ghi_w_m2[start:stop][inside], expected[inside], rtol=1e-12
+        )
+
+    def test_sub_unity_boost_still_dims(self, base):
+        wave = inject_heat_wave(base, start_day=1, n_days=1, ghi_boost=0.5)
+        assert np.any(wave.ghi_w_m2 < base.ghi_w_m2 - 1.0)
+
+    def test_bad_latitude_rejected(self, base):
+        with pytest.raises(ValueError, match="latitude"):
+            inject_heat_wave(base, start_day=0, n_days=1, latitude_deg=120.0)

@@ -1,0 +1,246 @@
+"""Micro-benchmark: telemetry overhead on the serving hot path.
+
+The telemetry subsystem (:mod:`repro.obs`) promises that the default
+null backend is free apart from one ``enabled`` branch per site, and
+that the enabled in-memory backend stays cheap enough to leave on in
+experiments.  This benchmark measures both claims:
+
+1. **serve loop, null vs. enabled** — replays the same observation
+   stream through the :class:`~repro.serve.MicroBatcher` with the
+   default :data:`~repro.obs.NULL_TELEMETRY` and again inside an
+   enabled in-memory :class:`~repro.obs.Telemetry` (no sinks), and
+   reports the throughput ratio.  This is the gated number: the
+   enabled/null ratio transfers between machines the way the other
+   ``BENCH_*`` speedup ratios do.
+2. **raw instrument costs** — nanoseconds per counter ``inc``,
+   histogram ``observe``, batched ``observe_many`` row, and span
+   enter/exit, for both backends, for the docs' overhead table.
+
+It records the result in ``benchmarks/results/BENCH_obs.json`` **and
+the repo root** (the committed baseline ``tools/perf_compare.py``
+gates against), and exits non-zero when the enabled-mode serve
+throughput drops below ``--min-ratio`` of the null-mode throughput.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/perf_obs.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+import numpy as np
+
+try:
+    from benchmarks._util import machine_info, write_bench_record
+except ImportError:  # executed as a script: benchmarks/ itself is sys.path[0]
+    from _util import machine_info, write_bench_record
+
+from repro.core import DQNAgent
+from repro.obs import (
+    LATENCY_BUCKETS_S,
+    MetricsRegistry,
+    Telemetry,
+    Tracer,
+    set_telemetry,
+)
+from repro.serve import MicroBatcher, MicroBatcherConfig, PolicyRegistry
+from repro.sim import VectorHVACEnv, build_fleet, get_scenario
+
+BENCH_NAME = "BENCH_obs.json"
+
+
+def record_observation_stream(
+    scenario_name: str, n_envs: int, n_steps: int
+) -> List[List[np.ndarray]]:
+    """Per-tick, per-client observation rows from a real fleet rollout."""
+    vec = VectorHVACEnv(
+        build_fleet(scenario_name, seeds=range(n_envs)), autoreset=True
+    )
+    obs = vec.reset()
+    action = np.ones((vec.n_envs, vec.max_zones), dtype=int)
+    stream = []
+    for _ in range(n_steps):
+        stream.append(vec.split_obs(obs))
+        obs, _, _, _ = vec.step(action)
+    return stream
+
+
+def _serve_stream(stream: List[List[np.ndarray]], policy: DQNAgent) -> float:
+    """Serve the whole stream batched; returns elapsed seconds.
+
+    The batcher is built *inside* the telemetry context the caller
+    installed — components capture their telemetry handles at
+    construction, which is exactly what a real instrumented session does.
+    """
+    registry = PolicyRegistry()
+    registry.publish("bench", policy)
+    batcher = MicroBatcher(
+        registry,
+        config=MicroBatcherConfig(
+            max_batch_size=len(stream[0]), deterministic=True
+        ),
+    )
+    start = time.perf_counter()
+    for tick in stream:
+        tickets = [
+            batcher.submit("bench", obs, client_id=k)
+            for k, obs in enumerate(tick)
+        ]
+        batcher.flush()
+        for t in tickets:
+            t.result()
+    return time.perf_counter() - start
+
+
+def _timed(fn, n: int) -> float:
+    """Nanoseconds per iteration of ``fn`` over ``n`` calls."""
+    start = time.perf_counter()
+    fn(n)
+    return (time.perf_counter() - start) / n * 1e9
+
+
+def measure_raw_ops(telemetry, n: int) -> dict:
+    """ns/op for the individual instruments under ``telemetry``."""
+    counter = telemetry.metric("train.env_steps_total")
+    hist = telemetry.metric("serve.request_latency_seconds")
+    values = np.full(64, 1e-3)
+
+    def bump(k: int) -> None:
+        inc = counter.inc
+        for _ in range(k):
+            inc()
+
+    def observe(k: int) -> None:
+        obs = hist.observe
+        for _ in range(k):
+            obs(1e-3)
+
+    def observe_many(k: int) -> None:
+        for _ in range(k // len(values)):
+            hist.observe_many(values)
+
+    def span(k: int) -> None:
+        s = telemetry.span
+        for _ in range(k):
+            with s("bench.op", cat="bench"):
+                pass
+
+    return {
+        "counter_inc_ns": _timed(bump, n),
+        "histogram_observe_ns": _timed(observe, n),
+        "histogram_observe_many_ns_per_row": _timed(observe_many, n),
+        "span_ns": _timed(span, n // 10),
+    }
+
+
+def run_benchmark(
+    scenario: str = "baseline-tou",
+    n_envs: int = 256,
+    n_steps: int = 16,
+    repeats: int = 3,
+    raw_ops: int = 200_000,
+) -> dict:
+    """Best-of-``repeats`` serve timings under both backends."""
+    stream = record_observation_stream(scenario, n_envs, n_steps)
+    probe = get_scenario(scenario).build(0)
+    policy = DQNAgent(probe.obs_dim, probe.action_space, rng=0)
+
+    enabled = Telemetry(
+        registry=MetricsRegistry(), tracer=Tracer(sink=None)
+    )
+
+    # Interleave the modes so drift (cache warmup, frequency scaling)
+    # hits both equally; the ratio is what gets gated.
+    null_runs, enabled_runs = [], []
+    for _ in range(repeats):
+        null_runs.append(_serve_stream(stream, policy))
+        previous = set_telemetry(enabled)
+        try:
+            enabled_runs.append(_serve_stream(stream, policy))
+        finally:
+            set_telemetry(previous)
+    null_s = min(null_runs)
+    enabled_s = min(enabled_runs)
+
+    from repro.obs import NULL_TELEMETRY
+
+    raw_null = measure_raw_ops(NULL_TELEMETRY, raw_ops)
+    raw_enabled = measure_raw_ops(enabled, raw_ops)
+
+    total_requests = n_envs * n_steps
+    return {
+        "benchmark": "obs",
+        "scenario": scenario,
+        "fleet": n_envs,
+        "n_steps": n_steps,
+        "repeats": repeats,
+        "latency_buckets": len(LATENCY_BUCKETS_S),
+        "null_requests_per_s": total_requests / null_s,
+        "enabled_requests_per_s": total_requests / enabled_s,
+        "null_seconds": null_s,
+        "enabled_seconds": enabled_s,
+        "serve_enabled_throughput_ratio": null_s / enabled_s,
+        "enabled_overhead_pct": (enabled_s / null_s - 1.0) * 100.0,
+        "raw_ops": {"null": raw_null, "enabled": raw_enabled},
+        **machine_info(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scenario", type=str, default="baseline-tou")
+    parser.add_argument("--fleet", type=int, default=256)
+    parser.add_argument("--n-steps", type=int, default=16)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=0.80,
+        help=(
+            "fail (exit 1) when enabled-mode serve throughput falls below "
+            "this fraction of null-mode throughput; 0 disables"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    record = run_benchmark(args.scenario, args.fleet, args.n_steps, args.repeats)
+    out_paths = write_bench_record(BENCH_NAME, record)
+
+    print(
+        f"fleet={record['fleet']} x {record['n_steps']} ticks "
+        f"(best of {record['repeats']})"
+    )
+    print(f"  null backend:    {record['null_requests_per_s']:>12,.0f} req/s")
+    print(f"  enabled backend: {record['enabled_requests_per_s']:>12,.0f} req/s")
+    print(
+        f"  enabled/null throughput ratio: "
+        f"{record['serve_enabled_throughput_ratio']:.3f} "
+        f"({record['enabled_overhead_pct']:+.1f}% wall time)"
+    )
+    for mode in ("null", "enabled"):
+        ops = record["raw_ops"][mode]
+        print(
+            f"  {mode:>7}: counter.inc {ops['counter_inc_ns']:.0f}ns  "
+            f"hist.observe {ops['histogram_observe_ns']:.0f}ns  "
+            f"observe_many {ops['histogram_observe_many_ns_per_row']:.1f}ns/row  "
+            f"span {ops['span_ns']:.0f}ns"
+        )
+    print(f"  recorded in {out_paths[0]} and {out_paths[1]}")
+    if args.min_ratio and record["serve_enabled_throughput_ratio"] < args.min_ratio:
+        print(
+            f"FAIL: enabled-mode throughput ratio "
+            f"{record['serve_enabled_throughput_ratio']:.3f} below the "
+            f"{args.min_ratio:.2f} floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

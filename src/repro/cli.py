@@ -28,6 +28,11 @@ Exposes the library's main workflows without writing Python:
   the throughput comparison (``--out`` writes the JSON record).
 * ``repro-hvac report``     — render a Markdown report (summary tables,
   provenance, timing) from a campaign or serve run directory.
+* ``repro-hvac obs``        — inspect telemetry produced by the
+  ``--trace PATH`` / ``--metrics PATH`` flags (available on ``train``,
+  ``serve``, ``loadtest``, ``campaign``, ``robustness``): dump a
+  metrics snapshot, tail a trace, export Prometheus text or a Chrome
+  trace, or validate exported files against the metric catalog.
 
 Usage::
 
@@ -42,6 +47,9 @@ Usage::
     python -m repro.cli serve --checkpoint agent.json --fleet 16 --steps 96
     python -m repro.cli loadtest --fleet 256 --steps 16 --out BENCH_serve.json
     python -m repro.cli report runs/sweep1
+    python -m repro.cli serve --fleet 8 --steps 16 --trace serve.jsonl \
+        --metrics serve_metrics.json
+    python -m repro.cli obs export --trace serve.jsonl --out serve_chrome.json
 """
 
 from __future__ import annotations
@@ -369,7 +377,94 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--out", type=str, default=None, help="write the report to this file"
     )
+
+    obs = sub.add_parser(
+        "obs",
+        help="inspect telemetry traces and metrics snapshots",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "Actions:\n"
+            "  dump    print a --metrics snapshot (--format json|prometheus)\n"
+            "  tail    print the last -n span events of a --trace JSONL\n"
+            "  export  convert telemetry to --out: a --trace JSONL to a\n"
+            "          Chrome trace-event file (load in chrome://tracing or\n"
+            "          Perfetto), or a --metrics snapshot to Prometheus\n"
+            "          text exposition\n"
+            "  check   validate exported files: --chrome-trace parses and\n"
+            "          has well-formed events, --prometheus exposition\n"
+            "          lines match the metric catalog, --trace events\n"
+            "          carry the span schema\n"
+            "\n"
+            "Produce inputs with the --trace PATH / --metrics PATH flags\n"
+            "of train, serve, loadtest, campaign, and robustness."
+        ),
+    )
+    obs.add_argument(
+        "action", choices=["dump", "tail", "export", "check"],
+        help="what to do (see below)",
+    )
+    obs.add_argument(
+        "--metrics", type=str, default=None, metavar="FILE",
+        help="metrics snapshot JSON (from --metrics PATH)",
+    )
+    obs.add_argument(
+        "--trace", type=str, default=None, metavar="FILE",
+        help="span-event JSONL (from --trace PATH)",
+    )
+    obs.add_argument(
+        "--out", type=str, default=None, metavar="FILE",
+        help="output path for export",
+    )
+    obs.add_argument(
+        "--format", type=str, default=None,
+        choices=["json", "prometheus", "chrome"],
+        help="dump/export format (defaults: dump=json, export by input: "
+             "trace=chrome, metrics=prometheus)",
+    )
+    obs.add_argument(
+        "-n", "--last", type=int, default=20, metavar="N",
+        help="tail: how many most-recent events to print (default 20)",
+    )
+    obs.add_argument(
+        "--chrome-trace", type=str, default=None, metavar="FILE",
+        help="check: Chrome trace-event JSON to validate",
+    )
+    obs.add_argument(
+        "--prometheus", type=str, default=None, metavar="FILE",
+        help="check: Prometheus text exposition to validate",
+    )
+
+    for instrumented in (train, serve, loadtest, campaign, robustness):
+        _add_telemetry_args(instrumented)
     return parser
+
+
+#: Subcommands carrying the --trace/--metrics telemetry flags.
+_TELEMETRY_COMMANDS = ("train", "serve", "loadtest", "campaign", "robustness")
+
+
+def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    """The ``--trace``/``--metrics`` flags shared by instrumented commands."""
+    parser.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "enable telemetry and stream span events to PATH as JSONL "
+            "(inspect with `repro-hvac obs tail/export`)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "enable telemetry and write the final metrics snapshot to "
+            "PATH as JSON (inspect with `repro-hvac obs dump/export`)"
+        ),
+    )
 
 
 def _add_serving_args(parser: argparse.ArgumentParser) -> None:
@@ -556,6 +651,11 @@ def _cmd_train(args: argparse.Namespace) -> int:
     )
     if store is not None:
         store.put_artifact("training_log", log.state_dict())
+        from repro.obs import get_telemetry
+
+        tel = get_telemetry()
+        if tel.enabled:
+            store.put_artifact("metrics", tel.registry.snapshot())
         print(f"trainer checkpoint stored in {args.store}")
     if args.out:
         with open(args.out, "w") as fh:
@@ -850,9 +950,25 @@ def _serving_session(args: argparse.Namespace, *, policy_spec: Optional[str] = N
             )
 
     def make_gateway(
-        config: MicroBatcherConfig, routes: Optional[List[str]] = None
+        config: MicroBatcherConfig,
+        routes: Optional[List[str]] = None,
+        *,
+        fold_telemetry: bool = False,
     ) -> FleetGateway:
         registry = default_registry()
+        # With telemetry enabled, a single serving session can fold its
+        # ServeStats series into the process-wide registry so --metrics
+        # captures them.  Loadtest runs two sessions back to back and
+        # keeps per-session private registries instead (shared series
+        # would double-count).
+        stats = None
+        if fold_telemetry:
+            from repro.obs import get_telemetry
+            from repro.serve import ServeStats
+
+            tel = get_telemetry()
+            if tel.enabled:
+                stats = ServeStats(registry=tel.registry)
         if policy is not None:
             default_route = registry.publish("dqn", policy, source=label).name
         else:
@@ -871,6 +987,7 @@ def _serving_session(args: argparse.Namespace, *, policy_spec: Optional[str] = N
             registry,
             routes if routes is not None else default_route,
             config=config,
+            stats=stats,
         )
 
     return make_gateway, label
@@ -922,7 +1039,7 @@ def _store_serve_stats(args: argparse.Namespace, payload: dict) -> None:
 def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         make_gateway, label = _serving_session(args, policy_spec=args.policy)
-        gateway = make_gateway(_batcher_config(args))
+        gateway = make_gateway(_batcher_config(args), fold_telemetry=True)
     except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
         print(f"serve: {_error_message(exc)}", file=sys.stderr)
         return 2
@@ -1030,6 +1147,152 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import load_jsonl_events, snapshot_to_prometheus, write_chrome_trace
+
+    def load_snapshot(path: str) -> dict:
+        with open(path) as fh:
+            snapshot = json.load(fh)
+        if not isinstance(snapshot.get("metrics"), dict):
+            raise ValueError(f"{path} is not a metrics snapshot (no 'metrics' key)")
+        return snapshot
+
+    try:
+        if args.action == "dump":
+            if not args.metrics:
+                raise ValueError("obs dump requires --metrics FILE")
+            snapshot = load_snapshot(args.metrics)
+            if args.format == "prometheus":
+                print(snapshot_to_prometheus(snapshot), end="")
+            else:
+                print(json.dumps(snapshot, indent=2, sort_keys=True))
+        elif args.action == "tail":
+            if not args.trace:
+                raise ValueError("obs tail requires --trace FILE")
+            events = load_jsonl_events(args.trace)
+            for e in events[-max(int(args.last), 0):]:
+                attrs = ""
+                if e.get("attrs"):
+                    attrs = "  " + " ".join(
+                        f"{k}={v}" for k, v in sorted(e["attrs"].items())
+                    )
+                print(
+                    f"[{e['ts']:>12.6f}s +{e['dur'] * 1e3:>10.3f}ms] "
+                    f"{e.get('cat', 'span')}:{e['name']}"
+                    f" id={e['id']}"
+                    + (f" parent={e['parent']}" if e.get("parent") else "")
+                    + attrs
+                )
+            print(f"{len(events)} event(s) in {args.trace}")
+        elif args.action == "export":
+            if not args.out:
+                raise ValueError("obs export requires --out FILE")
+            if bool(args.trace) == bool(args.metrics):
+                raise ValueError(
+                    "obs export takes exactly one input: --trace or --metrics"
+                )
+            if args.trace:
+                if args.format not in (None, "chrome"):
+                    raise ValueError("a --trace input exports to --format chrome")
+                write_chrome_trace(load_jsonl_events(args.trace), args.out)
+                print(f"chrome trace written to {args.out}")
+            else:
+                snapshot = load_snapshot(args.metrics)
+                if args.format in (None, "prometheus"):
+                    from repro.obs import write_prometheus
+
+                    write_prometheus(snapshot, args.out)
+                    print(f"prometheus exposition written to {args.out}")
+                else:
+                    raise ValueError(
+                        "a --metrics input exports to --format prometheus"
+                    )
+        else:  # check
+            problems = _obs_check(args)
+            for problem in problems:
+                print(problem, file=sys.stderr)
+            if problems:
+                print(f"obs check: {len(problems)} problem(s)", file=sys.stderr)
+                return 1
+            print("obs check: OK")
+    except BrokenPipeError:
+        # Reader closed early (e.g. ``obs dump | head``); redirect stdout
+        # to devnull so the interpreter's exit-time flush stays quiet.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"obs: {_error_message(exc)}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _obs_check(args: argparse.Namespace) -> List[str]:
+    """Validate exported telemetry files; returns problem messages."""
+    from repro.obs import CATALOG, load_jsonl_events, prometheus_name
+
+    problems: List[str] = []
+    checked = False
+    if args.chrome_trace:
+        checked = True
+        try:
+            with open(args.chrome_trace) as fh:
+                doc = json.load(fh)
+            events = doc.get("traceEvents")
+            if not isinstance(events, list):
+                problems.append(f"{args.chrome_trace}: no traceEvents array")
+            else:
+                for i, e in enumerate(events):
+                    missing = [k for k in ("name", "ph", "ts", "dur") if k not in e]
+                    if missing:
+                        problems.append(
+                            f"{args.chrome_trace}: event {i} missing {missing}"
+                        )
+        except (OSError, json.JSONDecodeError) as exc:
+            problems.append(f"{args.chrome_trace}: {exc}")
+    if args.trace:
+        checked = True
+        try:
+            for i, e in enumerate(load_jsonl_events(args.trace)):
+                missing = [
+                    k for k in ("name", "id", "ts", "dur") if k not in e
+                ]
+                if missing:
+                    problems.append(f"{args.trace}: event {i} missing {missing}")
+        except (OSError, json.JSONDecodeError) as exc:
+            problems.append(f"{args.trace}: {exc}")
+    if args.prometheus:
+        checked = True
+        known = set()
+        for name, spec in CATALOG.items():
+            prom = prometheus_name(name)
+            if spec.type == "histogram":
+                known.update({f"{prom}_bucket", f"{prom}_sum", f"{prom}_count"})
+            else:
+                known.add(prom)
+        try:
+            with open(args.prometheus) as fh:
+                for lineno, line in enumerate(fh, start=1):
+                    line = line.strip()
+                    if not line or line.startswith("#"):
+                        continue
+                    sample = line.split("{", 1)[0].split(" ", 1)[0]
+                    if sample not in known:
+                        problems.append(
+                            f"{args.prometheus}:{lineno}: sample {sample!r} "
+                            "is not in the metric catalog"
+                        )
+        except OSError as exc:
+            problems.append(f"{args.prometheus}: {exc}")
+    if not checked:
+        problems.append(
+            "obs check needs at least one of --chrome-trace, --prometheus, "
+            "--trace"
+        )
+    return problems
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -1046,8 +1309,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _cmd_serve,
         "loadtest": _cmd_loadtest,
         "report": _cmd_report,
+        "obs": _cmd_obs,
     }
-    return handlers[args.command](args)
+    handler = handlers[args.command]
+    if args.command in _TELEMETRY_COMMANDS and (args.trace or args.metrics):
+        # Enable telemetry for the whole invocation: spans stream to
+        # --trace as the run progresses, and the final metrics snapshot
+        # lands at --metrics even if the handler fails.
+        from repro.obs import telemetry_session
+
+        with telemetry_session(trace_path=args.trace, metrics_path=args.metrics):
+            return handler(args)
+    return handler(args)
 
 
 if __name__ == "__main__":

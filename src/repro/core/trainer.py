@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.core.agent import AgentBase
 from repro.env.core import Env
+from repro.obs import get_telemetry
 from repro.utils.logging import RunLogger
 from repro.utils.profiling import PhaseTimer
 from repro.utils.validation import check_positive
@@ -61,10 +62,23 @@ class Trainer:
         # env_step / replay_ingest / learn); None keeps the loop untimed.
         self.profiler = profiler
         self.episodes_completed = 0
+        tel = get_telemetry()
+        self._tel = tel
+        self._tel_enabled = tel.enabled
+        self._c_episodes = tel.metric("train.episodes_total")
+        self._c_env_steps = tel.metric("train.env_steps_total")
+        self._c_learn_steps = tel.metric("train.learn_steps_total")
+        self._g_epsilon = tel.metric("train.epsilon")
 
     # ------------------------------------------------------------- episodes
     def run_episode(self, *, explore: bool, learn: bool) -> dict:
         """Run one episode; returns its aggregate metrics."""
+        with self._tel.span(
+            "train.episode", cat="train", explore=explore, learn=learn
+        ):
+            return self._run_episode(explore=explore, learn=learn)
+
+    def _run_episode(self, *, explore: bool, learn: bool) -> dict:
         obs = self.env.reset()
         self.agent.begin_episode(obs)
         ep_return = ep_cost = ep_violation = ep_energy = 0.0
@@ -91,6 +105,10 @@ class Trainer:
                     timer.stop("learn", t0)
                 if loss is not None:
                     self.logger.log("loss", loss)
+                    if self._tel_enabled:
+                        self._c_learn_steps.inc()
+            if self._tel_enabled:
+                self._c_env_steps.inc()
             obs = next_obs
             ep_return += reward
             ep_cost += float(info.get("cost_usd", 0.0))
@@ -117,6 +135,12 @@ class Trainer:
         target = self.config.n_episodes
         if until is not None:
             target = min(int(until), target)
+        with self._tel.span(
+            "train.run", cat="train", fleet=1, target_episodes=int(target)
+        ):
+            return self._train(target)
+
+    def _train(self, target: int) -> RunLogger:
         while self.episodes_completed < target:
             episode = self.episodes_completed
             metrics = self.run_episode(explore=True, learn=True)
@@ -128,6 +152,9 @@ class Trainer:
                 epsilon=getattr(self.agent, "epsilon", 0.0),
             )
             self.episodes_completed += 1
+            if self._tel_enabled:
+                self._c_episodes.inc()
+                self._g_epsilon.set(getattr(self.agent, "epsilon", 0.0))
             if (
                 self.config.eval_every
                 and (episode + 1) % self.config.eval_every == 0
@@ -274,6 +301,13 @@ class VectorTrainer:
         # at a fleet-pass boundary, checkpoint, and continue (train() picks
         # up exactly where the counters point).
         n = vec_env.n_envs
+        tel = get_telemetry()
+        self._tel = tel
+        self._tel_enabled = tel.enabled
+        self._c_episodes = tel.metric("train.episodes_total")
+        self._c_env_steps = tel.metric("train.env_steps_total")
+        self._c_learn_steps = tel.metric("train.learn_steps_total")
+        self._g_epsilon = tel.metric("train.epsilon")
         self.episodes_done = 0
         self._fleet_steps = 0
         self._obs: Optional[np.ndarray] = None  # None until the first reset
@@ -315,6 +349,17 @@ class VectorTrainer:
         obs = self._obs
         max_fleet_steps = self.config.n_episodes * self.config.max_steps_per_episode
         timer = self.profiler
+        session_span = self._tel.span(
+            "train.run", cat="train", fleet=n, target_episodes=int(target)
+        )
+        with session_span:
+            self._collect(obs, target, max_fleet_steps, timer)
+        return self.logger
+
+    def _collect(self, obs, target, max_fleet_steps, timer) -> None:
+        env = self.vec_env
+        n = env.n_envs
+        n_zones = int(env.n_zones[0])
         while (
             self.episodes_done < target
             and self._fleet_steps < max_fleet_steps
@@ -351,6 +396,8 @@ class VectorTrainer:
                 losses = self.agent.learn_batch(stored)
                 if timer:
                     timer.stop("learn", t0, calls=n)
+                if self._tel_enabled and losses:
+                    self._c_learn_steps.inc(len(losses))
                 for loss in losses:
                     self.logger.log("loss", loss)
             else:
@@ -376,6 +423,10 @@ class VectorTrainer:
                         timer.stop("learn", t0)
                     if loss is not None:
                         self.logger.log("loss", loss)
+                        if self._tel_enabled:
+                            self._c_learn_steps.inc()
+            if self._tel_enabled:
+                self._c_env_steps.inc(n)
             self._ep_return += rewards
             self._ep_cost += info.cost_usd
             self._ep_energy += info.energy_kwh
@@ -398,13 +449,15 @@ class VectorTrainer:
                 self._ep_return[k] = self._ep_cost[k] = 0.0
                 self._ep_energy[k] = self._ep_violation[k] = 0.0
                 self.episodes_done += 1
+                if self._tel_enabled:
+                    self._c_episodes.inc()
+                    self._g_epsilon.set(getattr(self.agent, "epsilon", 0.0))
                 # next_obs[k] is the autoreset successor episode's first
                 # observation — the new episode starts now.
                 self.agent.begin_episode(next_obs[k])
             obs = next_obs
             self._obs = obs
             self._fleet_steps += 1
-        return self.logger
 
     # -------------------------------------------------------- checkpointing
     def state_dict(self, *, buffer_max_transitions: Optional[int] = None) -> dict:

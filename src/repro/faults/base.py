@@ -205,12 +205,27 @@ class FaultInjector:
             model.bind(self.layouts, self.rngs)
         self.n_envs = len(self.layouts)
         self._steps = np.zeros(self.n_envs, dtype=int)
+        # Telemetry counters only — they never touch the fault RNG
+        # streams or perturbation math, so faulted trajectories stay
+        # bit-identical with telemetry on or off.
+        from repro.obs import get_telemetry
+
+        tel = get_telemetry()
+        self._tel_enabled = tel.enabled
+        activations = tel.metric("faults.activations_total")
+        self._c_activations = {
+            id(model): activations.labels(model=model.kind)
+            for model in self.models
+        }
+        self._c_episodes = tel.metric("faults.episodes_total")
 
     def on_reset(self, k: int) -> None:
         """Start a new episode for env ``k`` (resets window clocks)."""
         self._steps[k] = 0
         for model in self.models:
             model.on_reset(k)
+        if self._tel_enabled:
+            self._c_episodes.inc()
 
     def apply_action(self, k: int, levels: np.ndarray) -> np.ndarray:
         """Faulted per-zone levels for env ``k`` (input not mutated)."""
@@ -218,12 +233,16 @@ class FaultInjector:
         step = int(self._steps[k])
         for model in self.models:
             levels = model.apply_action(k, levels, step)
+            if self._tel_enabled:
+                self._c_activations[id(model)].inc()
         return np.clip(levels, 0, self.layouts[k].n_levels - 1)
 
     def apply_reset_obs(self, k: int, obs_row: np.ndarray) -> None:
         """Fault env ``k``'s fresh-episode observation (in place)."""
         for model in self.models:
             model.apply_obs(k, obs_row, 0)
+            if self._tel_enabled:
+                self._c_activations[id(model)].inc()
 
     def apply_step_obs(self, k: int, obs_row: np.ndarray) -> None:
         """Advance env ``k``'s episode clock and fault its new
@@ -232,6 +251,8 @@ class FaultInjector:
         step = int(self._steps[k])
         for model in self.models:
             model.apply_obs(k, obs_row, step)
+            if self._tel_enabled:
+                self._c_activations[id(model)].inc()
 
     # ---------------------------------------------------- checkpointing
     def state_dict(self) -> dict:

@@ -1,0 +1,90 @@
+"""repro.obs — unified telemetry: metrics, tracing, exporters.
+
+One observability layer for the whole process:
+
+* :class:`MetricsRegistry` — counters, gauges, fixed-bucket histograms
+  with labeled series, snapshot-able to JSON-safe dicts and renderable
+  as Prometheus text exposition.
+* :class:`Tracer` — nestable spans with ids/parents/attributes,
+  buffered in a bounded ring, streamable to JSONL, exportable to the
+  Chrome trace-event format.
+* :func:`get_telemetry` / :func:`set_telemetry` /
+  :func:`telemetry_session` — the process-wide handle.  The default is
+  a no-op null backend, so uninstrumented runs pay (almost) nothing and
+  never change numerics, RNG draws, trajectories, or checkpoints.
+
+Typical use::
+
+    from repro.obs import telemetry_session
+
+    with telemetry_session(trace_path="run.jsonl",
+                           metrics_path="metrics.json") as tel:
+        trainer = Trainer(...)        # constructed inside the session
+        trainer.train(until=...)
+
+The CLI wires this up for you: pass ``--trace PATH`` / ``--metrics
+PATH`` to ``train``, ``serve``, ``loadtest``, ``campaign``, or
+``robustness``, then inspect the outputs with ``repro-hvac obs``.
+"""
+
+from repro.obs.catalog import CATALOG, FLUSH_REASONS, MetricSpec, metric, prometheus_name
+from repro.obs.exporters import (
+    snapshot_to_prometheus,
+    write_chrome_trace,
+    write_prometheus,
+)
+from repro.obs.metrics import (
+    DEFAULT_RESERVOIR_SIZE,
+    DURATION_BUCKETS_S,
+    LATENCY_BUCKETS_S,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+)
+from repro.obs.runtime import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    get_telemetry,
+    set_telemetry,
+    telemetry_session,
+)
+from repro.obs.tracing import (
+    JsonlSink,
+    Tracer,
+    chrome_trace_from_events,
+    load_jsonl_events,
+)
+
+__all__ = [
+    "CATALOG",
+    "FLUSH_REASONS",
+    "MetricSpec",
+    "metric",
+    "prometheus_name",
+    "snapshot_to_prometheus",
+    "write_chrome_trace",
+    "write_prometheus",
+    "DEFAULT_RESERVOIR_SIZE",
+    "DURATION_BUCKETS_S",
+    "LATENCY_BUCKETS_S",
+    "SIZE_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "Telemetry",
+    "get_telemetry",
+    "set_telemetry",
+    "telemetry_session",
+    "JsonlSink",
+    "Tracer",
+    "chrome_trace_from_events",
+    "load_jsonl_events",
+]

@@ -1,0 +1,103 @@
+"""The metric catalog: every telemetry series the repo emits.
+
+Instrumentation sites create their handles through
+:func:`metric` so the name, type, label names, help text, and buckets
+of every series live in exactly one place — the same table
+``docs/observability.md`` documents, the docs test cross-checks, and
+``repro-hvac obs check`` validates Prometheus exposition against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.obs.metrics import (
+    DURATION_BUCKETS_S,
+    LATENCY_BUCKETS_S,
+    SIZE_BUCKETS,
+    MetricFamily,
+    MetricsRegistry,
+)
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """Declarative description of one metric family."""
+
+    name: str
+    type: str  # "counter" | "gauge" | "histogram"
+    help: str
+    labelnames: Tuple[str, ...] = ()
+    buckets: Optional[Tuple[float, ...]] = field(default=None)
+
+
+_SPECS = (
+    # --- training -----------------------------------------------------
+    MetricSpec("train.episodes_total", "counter",
+               "Training episodes completed."),
+    MetricSpec("train.env_steps_total", "counter",
+               "Environment steps taken during training (fleet steps for "
+               "the vector trainer)."),
+    MetricSpec("train.learn_steps_total", "counter",
+               "Gradient/learn steps applied to the agent."),
+    MetricSpec("train.epsilon", "gauge",
+               "Current epsilon of the exploration schedule."),
+    # --- serving ------------------------------------------------------
+    MetricSpec("serve.requests_total", "counter",
+               "Per-policy action requests served.", ("policy",)),
+    MetricSpec("serve.request_latency_seconds", "histogram",
+               "End-to-end request latency (queue wait + inference).",
+               (), LATENCY_BUCKETS_S),
+    MetricSpec("serve.batch_size", "histogram",
+               "Requests coalesced per inference batch.", (), SIZE_BUCKETS),
+    MetricSpec("serve.env_steps_total", "counter",
+               "Fleet environment steps advanced by the gateway."),
+    MetricSpec("serve.swaps_total", "counter",
+               "Policy hot-swaps published through the gateway."),
+    MetricSpec("serve.ticks_total", "counter",
+               "Gateway ticks (one submit/flush/step round per tick)."),
+    MetricSpec("serve.flush_total", "counter",
+               "Micro-batch flushes by trigger.", ("reason",)),
+    MetricSpec("serve.queue_depth", "gauge",
+               "Tickets waiting in a policy's micro-batch queue.",
+               ("policy",)),
+    # --- campaigns ----------------------------------------------------
+    MetricSpec("campaign.cells_total", "counter",
+               "Campaign cells finished, by how the result was obtained.",
+               ("status",)),
+    MetricSpec("campaign.cell_seconds", "histogram",
+               "Wall-clock seconds per campaign cell.", (),
+               DURATION_BUCKETS_S),
+    # --- fault injection ----------------------------------------------
+    MetricSpec("faults.activations_total", "counter",
+               "Fault-model hook invocations (action or observation "
+               "perturbation applications), by model kind.", ("model",)),
+    MetricSpec("faults.episodes_total", "counter",
+               "Episodes started under the fault injector."),
+)
+
+#: name -> spec for every known series.
+CATALOG: Dict[str, MetricSpec] = {spec.name: spec for spec in _SPECS}
+
+#: Label values ``serve.flush_total`` is emitted with.
+FLUSH_REASONS = ("max_batch", "deadline", "barrier")
+
+
+def metric(registry: MetricsRegistry, name: str) -> MetricFamily:
+    """Register (idempotently) and return the cataloged family ``name``."""
+    spec = CATALOG.get(name)
+    if spec is None:
+        raise KeyError(f"metric {name!r} is not in the telemetry catalog")
+    if spec.type == "counter":
+        return registry.counter(spec.name, spec.help, spec.labelnames)
+    if spec.type == "gauge":
+        return registry.gauge(spec.name, spec.help, spec.labelnames)
+    return registry.histogram(
+        spec.name, spec.help, spec.labelnames, buckets=spec.buckets
+    )
+
+
+def prometheus_name(name: str) -> str:
+    """The Prometheus-safe sample name for a cataloged series."""
+    return name.replace(".", "_").replace("-", "_")

@@ -1,0 +1,87 @@
+"""Exporters: Prometheus text exposition and export-file helpers.
+
+These operate on the JSON-safe *snapshot* shape produced by
+:meth:`MetricsRegistry.snapshot` (not on live registries), so a
+``--metrics`` file written yesterday exports exactly like a registry in
+memory today — the same code path backs ``repro-hvac obs export``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List
+
+from repro.obs.catalog import prometheus_name
+
+
+def _fmt_value(v: float) -> str:
+    """Prometheus sample values: integers without a trailing ``.0``."""
+    f = float(v)
+    return str(int(f)) if f.is_integer() else repr(f)
+
+
+def _label_str(labels: dict, extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def snapshot_to_prometheus(snapshot: dict) -> str:
+    """Render a registry snapshot in Prometheus text exposition format.
+
+    Dots in metric names become underscores; histograms expand into the
+    conventional ``_bucket{le=...}``/``_sum``/``_count`` samples with
+    cumulative bucket counts.
+    """
+    lines: List[str] = []
+    for name in sorted(snapshot.get("metrics", {})):
+        meta = snapshot["metrics"][name]
+        prom = prometheus_name(name)
+        if meta.get("help"):
+            lines.append(f"# HELP {prom} {meta['help']}")
+        lines.append(f"# TYPE {prom} {meta['type']}")
+        for series in meta.get("series", []):
+            labels = series.get("labels", {})
+            if meta["type"] == "histogram":
+                cumulative = 0
+                for le, count in zip(series["bucket_le"],
+                                     series["bucket_counts"]):
+                    cumulative += int(count)
+                    le_str = "+Inf" if le == "+Inf" else _fmt_value(le)
+                    le_label = 'le="%s"' % le_str
+                    lines.append(
+                        f"{prom}_bucket{_label_str(labels, le_label)} {cumulative}"
+                    )
+                lines.append(
+                    f"{prom}_sum{_label_str(labels)} {_fmt_value(series['sum'])}"
+                )
+                lines.append(
+                    f"{prom}_count{_label_str(labels)} {int(series['count'])}"
+                )
+            else:
+                lines.append(
+                    f"{prom}{_label_str(labels)} {_fmt_value(series['value'])}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(snapshot: dict, path) -> Path:
+    """Write a snapshot as Prometheus text; returns the path."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(snapshot_to_prometheus(snapshot), encoding="utf-8")
+    return out
+
+
+def write_chrome_trace(events, path) -> Path:
+    """Write span events as a Chrome trace-event JSON file."""
+    from repro.obs.tracing import chrome_trace_from_events
+
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(
+        json.dumps(chrome_trace_from_events(events)) + "\n", encoding="utf-8"
+    )
+    return out

@@ -1,0 +1,383 @@
+"""Process-wide metrics: counters, gauges, and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` owns named metric *families*; a family with
+label names fans out into one child series per label combination
+(``serve.flush_total{reason="deadline"}``), a family without labels acts
+as its own single series.  Everything aggregates in O(1) memory:
+counters and gauges are single floats, histograms hold fixed bucket
+counts plus a bounded reservoir of early samples for exact small-N
+percentiles — no instrument ever grows with the length of a run.
+
+Snapshots (:meth:`MetricsRegistry.snapshot`) are JSON-safe dicts that
+drop straight into an :class:`~repro.store.ExperimentStore` artifact or
+a ``--metrics`` file; :meth:`MetricsRegistry.to_prometheus_text`
+renders the standard text exposition format.
+
+Determinism contract: metrics never touch any RNG (the histogram
+reservoir keeps the *first* samples rather than sampling randomly), so
+instrumented runs produce bit-identical trajectories and checkpoints.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Default histogram bucket upper bounds for latency-style series (seconds).
+LATENCY_BUCKETS_S = (
+    1e-6, 2.5e-6, 5e-6,
+    1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2,
+    1e-1, 2.5e-1, 5e-1,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+#: Default bucket upper bounds for size/count-style series.
+SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+
+#: Default bucket upper bounds for wall-clock durations of coarse units
+#: (campaign cells, sessions) in seconds.
+DURATION_BUCKETS_S = (0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 300.0)
+
+#: How many exact samples a histogram retains for small-N percentiles.
+DEFAULT_RESERVOIR_SIZE = 4096
+
+
+class Counter:
+    """A monotonically increasing count (one labeled series)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A value that can go up and down (one labeled series)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = float(v)
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+    def dec(self, n: float = 1.0) -> None:
+        self.value -= n
+
+
+class Histogram:
+    """Fixed-bucket histogram with a bounded exact-sample reservoir.
+
+    ``buckets`` are sorted upper bounds; an implicit ``+Inf`` bucket
+    catches everything above the last edge.  The reservoir keeps the
+    first ``reservoir_size`` observations verbatim (deterministic — no
+    RNG), so percentiles are *exact* while the series is small and
+    bucket-interpolated afterwards.
+    """
+
+    __slots__ = (
+        "edges", "_edges_arr", "counts", "sum", "count",
+        "min", "max", "reservoir", "reservoir_size",
+    )
+
+    def __init__(
+        self,
+        buckets: Sequence[float] = LATENCY_BUCKETS_S,
+        *,
+        reservoir_size: int = DEFAULT_RESERVOIR_SIZE,
+    ) -> None:
+        edges = tuple(float(b) for b in buckets)
+        if not edges or any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValueError(f"buckets must be strictly increasing, got {buckets}")
+        self.edges = edges
+        self._edges_arr = np.asarray(edges, dtype=np.float64)
+        self.counts = np.zeros(len(edges) + 1, dtype=np.int64)
+        self.sum = 0.0
+        self.count = 0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.reservoir: List[float] = []
+        self.reservoir_size = int(reservoir_size)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        v = float(value)
+        self.counts[bisect.bisect_left(self.edges, v)] += 1
+        self.sum += v
+        self.count += 1
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+        if len(self.reservoir) < self.reservoir_size:
+            self.reservoir.append(v)
+
+    def observe_many(self, values: Sequence[float]) -> None:
+        """Record a batch of observations (one vectorized pass)."""
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.size == 0:
+            return
+        idx = np.searchsorted(self._edges_arr, arr, side="left")
+        np.add.at(self.counts, idx, 1)
+        self.sum += float(arr.sum())
+        self.count += arr.size
+        lo = float(arr.min())
+        hi = float(arr.max())
+        if lo < self.min:
+            self.min = lo
+        if hi > self.max:
+            self.max = hi
+        room = self.reservoir_size - len(self.reservoir)
+        if room > 0:
+            self.reservoir.extend(arr[:room].tolist())
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (``q`` in [0, 100]).
+
+        Exact (linear-interpolated over the reservoir) while every
+        observation is still in the reservoir; estimated by linear
+        interpolation within the owning bucket afterwards.  An empty
+        histogram returns 0.0 so telemetry always serializes cleanly.
+        """
+        if not 0.0 <= float(q) <= 100.0:
+            raise ValueError(f"percentile {q} outside [0, 100]")
+        if self.count == 0:
+            return 0.0
+        if self.count <= len(self.reservoir):
+            return float(np.percentile(np.asarray(self.reservoir), q))
+        rank = (q / 100.0) * self.count
+        cum = 0
+        for i, n in enumerate(self.counts):
+            if cum + n >= rank and n > 0:
+                lower = self.edges[i - 1] if i > 0 else min(self.min, self.edges[0])
+                upper = self.edges[i] if i < len(self.edges) else self.max
+                lower = max(lower, self.min)
+                upper = min(upper, self.max)
+                if upper <= lower:
+                    return float(upper)
+                frac = (rank - cum) / n
+                return float(lower + frac * (upper - lower))
+            cum += int(n)
+        return float(self.max)
+
+    def percentiles(self, qs: Iterable[float]) -> List[float]:
+        """:meth:`percentile` for each ``q`` in ``qs``."""
+        return [self.percentile(q) for q in qs]
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+_METRIC_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """One named metric plus its labeled children.
+
+    ``labels(**labelvalues)`` returns (creating on first use) the child
+    series for one label combination; families declared without label
+    names proxy the single-series API (``inc``/``set``/``observe``)
+    directly, so unlabeled call sites stay one attribute lookup cheap.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        type_: str,
+        *,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+        reservoir_size: int = DEFAULT_RESERVOIR_SIZE,
+    ) -> None:
+        if type_ not in _METRIC_TYPES:
+            raise ValueError(
+                f"unknown metric type {type_!r}; choose from {sorted(_METRIC_TYPES)}"
+            )
+        if buckets is not None and type_ != "histogram":
+            raise ValueError(f"{name}: buckets only apply to histograms")
+        self.name = name
+        self.type = type_
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._buckets = tuple(buckets) if buckets is not None else None
+        self._reservoir_size = reservoir_size
+        self._children: Dict[Tuple[str, ...], object] = {}
+        if not self.labelnames:
+            self._default = self._make_child()
+            self._children[()] = self._default
+        else:
+            self._default = None
+
+    def _make_child(self):
+        if self.type == "histogram":
+            return Histogram(
+                self._buckets if self._buckets is not None else LATENCY_BUCKETS_S,
+                reservoir_size=self._reservoir_size,
+            )
+        return _METRIC_TYPES[self.type]()
+
+    def labels(self, **labelvalues: str):
+        """The child series for one label-value combination."""
+        if tuple(sorted(labelvalues)) != tuple(sorted(self.labelnames)):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(sorted(labelvalues))}"
+            )
+        key = tuple(str(labelvalues[n]) for n in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = self._make_child()
+        return child
+
+    def series(self) -> List[Tuple[Dict[str, str], object]]:
+        """All children as ``(labels_dict, child)`` pairs, sorted."""
+        return [
+            (dict(zip(self.labelnames, key)), child)
+            for key, child in sorted(self._children.items())
+        ]
+
+    # Unlabeled families proxy the child API directly.
+    def inc(self, n: float = 1.0) -> None:
+        self._default.inc(n)
+
+    def set(self, v: float) -> None:
+        self._default.set(v)
+
+    def dec(self, n: float = 1.0) -> None:
+        self._default.dec(n)
+
+    def observe(self, v: float) -> None:
+        self._default.observe(v)
+
+    def observe_many(self, values: Sequence[float]) -> None:
+        self._default.observe_many(values)
+
+    @property
+    def value(self) -> float:
+        return self._default.value
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricFamily({self.name!r}, {self.type}, "
+            f"labels={self.labelnames}, series={len(self._children)})"
+        )
+
+
+class MetricsRegistry:
+    """Named metric families; the one sink a process reports into.
+
+    Registration is idempotent: asking again for an existing name
+    returns the same family (and raises if the declared type or label
+    names disagree), so independent components can share series without
+    coordinating construction order.
+    """
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+
+    def _register(self, name: str, type_: str, **kwargs) -> MetricFamily:
+        existing = self._families.get(name)
+        if existing is not None:
+            if existing.type != type_:
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.type}, "
+                    f"cannot re-register as {type_}"
+                )
+            labelnames = tuple(kwargs.get("labelnames", ()))
+            if existing.labelnames != labelnames:
+                raise ValueError(
+                    f"metric {name!r} already registered with labels "
+                    f"{existing.labelnames}, cannot re-register with {labelnames}"
+                )
+            return existing
+        family = MetricFamily(name, type_, **kwargs)
+        self._families[name] = family
+        return family
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._register(name, "counter", help=help, labelnames=labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._register(name, "gauge", help=help, labelnames=labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+        reservoir_size: int = DEFAULT_RESERVOIR_SIZE,
+    ) -> MetricFamily:
+        return self._register(
+            name,
+            "histogram",
+            help=help,
+            labelnames=labelnames,
+            buckets=buckets,
+            reservoir_size=reservoir_size,
+        )
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        """The family registered under ``name``, or None."""
+        return self._families.get(name)
+
+    def names(self) -> List[str]:
+        """Sorted names of all registered families."""
+        return sorted(self._families)
+
+    # -------------------------------------------------------------- export
+    def snapshot(self) -> dict:
+        """Every series as one JSON-safe dict (store this)."""
+        metrics = {}
+        for name in sorted(self._families):
+            family = self._families[name]
+            series = []
+            for labels, child in family.series():
+                if family.type == "histogram":
+                    series.append(
+                        {
+                            "labels": labels,
+                            "count": int(child.count),
+                            "sum": float(child.sum),
+                            "min": float(child.min) if child.count else 0.0,
+                            "max": float(child.max) if child.count else 0.0,
+                            "bucket_le": [float(e) for e in child.edges] + ["+Inf"],
+                            "bucket_counts": [int(c) for c in child.counts],
+                        }
+                    )
+                else:
+                    series.append({"labels": labels, "value": float(child.value)})
+            metrics[name] = {
+                "type": family.type,
+                "help": family.help,
+                "labelnames": list(family.labelnames),
+                "series": series,
+            }
+        return {"metrics": metrics}
+
+    def to_prometheus_text(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        from repro.obs.exporters import snapshot_to_prometheus
+
+        return snapshot_to_prometheus(self.snapshot())
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry(families={len(self._families)})"

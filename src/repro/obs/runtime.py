@@ -1,0 +1,214 @@
+"""The process-wide telemetry handle and its no-op null backend.
+
+By default the process runs with :data:`NULL_TELEMETRY`: every metric
+handle is a shared no-op singleton and ``enabled`` is False, so
+instrumented hot paths pay one attribute check and nothing else — no
+allocation, no dict lookups, no RNG, no numerics.  Enabling telemetry
+(``set_telemetry(Telemetry(...))`` or the :func:`telemetry_session`
+context manager used by the CLI ``--trace``/``--metrics`` flags) swaps
+in a real :class:`~repro.obs.metrics.MetricsRegistry` and
+:class:`~repro.obs.tracing.Tracer` for everything constructed after the
+swap.
+
+Components capture their handles at construction time via
+:func:`get_telemetry`, so enable telemetry *before* building trainers,
+batchers, or gateways.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Optional
+
+from repro.obs.catalog import CATALOG, metric as _catalog_metric
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import JsonlSink, Tracer
+
+
+class _NullInstrument:
+    """Absorbs the full Counter/Gauge/Histogram/family API as no-ops."""
+
+    __slots__ = ()
+
+    def inc(self, n: float = 1.0) -> None:
+        pass
+
+    def dec(self, n: float = 1.0) -> None:
+        pass
+
+    def set(self, v: float) -> None:
+        pass
+
+    def observe(self, v: float) -> None:
+        pass
+
+    def observe_many(self, values) -> None:
+        pass
+
+    def labels(self, **labelvalues) -> "_NullInstrument":
+        return self
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+
+class _NullSpan:
+    """A context manager that times nothing."""
+
+    __slots__ = ()
+
+    def set_attr(self, **attrs) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+class NullTracer:
+    """Tracer API with every operation a no-op."""
+
+    events = ()
+
+    def span(self, name: str, *, cat: str = "span", **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def record(self, name: str, *, start: float, duration: float,
+               cat: str = "span", **attrs) -> None:
+        pass
+
+    def to_chrome_trace(self) -> dict:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+
+
+class NullRegistry:
+    """Registry API returning shared no-op instruments."""
+
+    def counter(self, name, help="", labelnames=()):
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name, help="", labelnames=()):
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name, help="", labelnames=(), buckets=None,
+                  reservoir_size=0):
+        return _NULL_INSTRUMENT
+
+    def get(self, name):
+        return None
+
+    def names(self):
+        return []
+
+    def snapshot(self) -> dict:
+        return {"metrics": {}}
+
+    def to_prometheus_text(self) -> str:
+        return ""
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+_NULL_SPAN = _NullSpan()
+
+
+class Telemetry:
+    """An enabled telemetry backend: one registry plus one tracer."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+
+    def metric(self, name: str):
+        """The cataloged metric family ``name`` on this backend."""
+        return _catalog_metric(self.registry, name)
+
+    def span(self, name: str, *, cat: str = "span", **attrs):
+        return self.tracer.span(name, cat=cat, **attrs)
+
+    def snapshot(self) -> dict:
+        return self.registry.snapshot()
+
+
+class NullTelemetry:
+    """The default, disabled backend — everything is a shared no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.registry = NullRegistry()
+        self.tracer = NullTracer()
+
+    def metric(self, name: str):
+        if name not in CATALOG:
+            raise KeyError(f"metric {name!r} is not in the telemetry catalog")
+        return _NULL_INSTRUMENT
+
+    def span(self, name: str, *, cat: str = "span", **attrs):
+        return _NULL_SPAN
+
+    def snapshot(self) -> dict:
+        return {"metrics": {}}
+
+
+NULL_TELEMETRY = NullTelemetry()
+_current = NULL_TELEMETRY
+
+
+def get_telemetry():
+    """The process-wide telemetry backend (null unless enabled)."""
+    return _current
+
+
+def set_telemetry(telemetry) -> object:
+    """Install ``telemetry`` process-wide; returns the previous backend."""
+    global _current
+    previous = _current
+    _current = telemetry if telemetry is not None else NULL_TELEMETRY
+    return previous
+
+
+@contextmanager
+def telemetry_session(
+    *,
+    trace_path=None,
+    metrics_path=None,
+    registry: Optional[MetricsRegistry] = None,
+):
+    """Enable telemetry for a block; export on exit.
+
+    Installs a fresh :class:`Telemetry` (streaming span events to
+    ``trace_path`` as JSONL when given), yields it, and on exit restores
+    the previous backend, closes the trace sink, and — when
+    ``metrics_path`` is given — writes the final registry snapshot as
+    JSON.  Exports happen even if the block raises, so a failed run
+    still leaves its telemetry behind for diagnosis.
+    """
+    sink = JsonlSink(trace_path) if trace_path else None
+    telemetry = Telemetry(registry=registry, tracer=Tracer(sink=sink))
+    previous = set_telemetry(telemetry)
+    try:
+        yield telemetry
+    finally:
+        set_telemetry(previous)
+        if sink is not None:
+            sink.close()
+        if metrics_path:
+            path = Path(metrics_path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(
+                json.dumps(telemetry.registry.snapshot(), indent=2,
+                           sort_keys=True) + "\n",
+                encoding="utf-8",
+            )

@@ -1,0 +1,210 @@
+"""Structured tracing: nestable spans recorded as JSONL events.
+
+A :class:`Tracer` hands out spans — named, timed units of work with a
+unique id, the id of the enclosing span as parent, and free-form
+attributes.  Completed spans become plain dict events held in a bounded
+ring buffer and, optionally, streamed line-by-line to a JSONL sink so a
+crash loses at most the event being written.
+
+Event schema (one JSON object per line)::
+
+    {"name": "train.episode", "cat": "train", "id": 3, "parent": 1,
+     "ts": 0.0123, "dur": 0.4567, "attrs": {"episode": 7}}
+
+``ts``/``dur`` are seconds on the tracer's clock (``time.perf_counter``
+by default).  :func:`chrome_trace_from_events` converts a list of such
+events into the Chrome trace-event JSON that ``chrome://tracing`` and
+Perfetto load directly.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional
+
+#: Default ring-buffer capacity: enough for long sessions, bounded memory.
+DEFAULT_MAX_EVENTS = 65536
+
+
+class JsonlSink:
+    """Appends one JSON object per line to a file, creating parents."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("w", encoding="utf-8")
+
+    def __call__(self, event: dict) -> None:
+        self._fh.write(json.dumps(event, sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+
+class _SpanContext:
+    """Context manager for one open span (returned by :meth:`Tracer.span`)."""
+
+    __slots__ = ("_tracer", "name", "cat", "attrs", "span_id", "parent", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, attrs: Dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.attrs = attrs
+        self.span_id = 0
+        self.parent: Optional[int] = None
+        self._start = 0.0
+
+    def set_attr(self, **attrs) -> None:
+        """Attach or override attributes on the open span."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_SpanContext":
+        self.span_id, self.parent = self._tracer._open()
+        self._start = self._tracer._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end = self._tracer._clock()
+        self._tracer._close(
+            name=self.name,
+            cat=self.cat,
+            span_id=self.span_id,
+            parent=self.parent,
+            start=self._start,
+            duration=end - self._start,
+            attrs=self.attrs,
+        )
+
+
+class Tracer:
+    """Produces span events into a ring buffer and optional sink.
+
+    ``clock`` is injectable for deterministic tests; it must be a
+    monotonic ``() -> float`` in seconds.  Spans nest via an explicit
+    stack, so ``with tracer.span("outer"): with tracer.span("inner")``
+    records ``inner.parent == outer.id``.
+    """
+
+    def __init__(
+        self,
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+        max_events: int = DEFAULT_MAX_EVENTS,
+        sink: Optional[Callable[[dict], None]] = None,
+    ) -> None:
+        self._clock = clock
+        self._sink = sink
+        self._next_id = 1
+        self._stack: List[int] = []
+        self.events: deque = deque(maxlen=max_events)
+        self.dropped = 0
+
+    # ------------------------------------------------------------ recording
+    def span(self, name: str, *, cat: str = "span", **attrs) -> _SpanContext:
+        """A context manager timing one nested unit of work."""
+        return _SpanContext(self, name, cat, attrs)
+
+    def record(
+        self,
+        name: str,
+        *,
+        start: float,
+        duration: float,
+        cat: str = "span",
+        **attrs,
+    ) -> None:
+        """Record an already-measured span (no nesting push/pop).
+
+        The parent is whatever span is currently open, which keeps
+        externally timed phases (e.g. ``PhaseTimer``) attached to the
+        enclosing episode/session span.
+        """
+        span_id = self._next_id
+        self._next_id += 1
+        parent = self._stack[-1] if self._stack else None
+        self._close(
+            name=name,
+            cat=cat,
+            span_id=span_id,
+            parent=parent,
+            start=start,
+            duration=duration,
+            attrs=attrs,
+        )
+
+    def _open(self):
+        span_id = self._next_id
+        self._next_id += 1
+        parent = self._stack[-1] if self._stack else None
+        self._stack.append(span_id)
+        return span_id, parent
+
+    def _close(self, *, name, cat, span_id, parent, start, duration, attrs) -> None:
+        if self._stack and self._stack[-1] == span_id:
+            self._stack.pop()
+        event = {
+            "name": name,
+            "cat": cat,
+            "id": span_id,
+            "parent": parent,
+            "ts": float(start),
+            "dur": float(duration),
+            "attrs": dict(attrs),
+        }
+        if len(self.events) == self.events.maxlen:
+            self.dropped += 1
+        self.events.append(event)
+        if self._sink is not None:
+            self._sink(event)
+
+    # -------------------------------------------------------------- export
+    def to_chrome_trace(self) -> dict:
+        """The buffered events as a Chrome trace-event document."""
+        return chrome_trace_from_events(self.events)
+
+    def __repr__(self) -> str:
+        return f"Tracer(events={len(self.events)}, dropped={self.dropped})"
+
+
+def chrome_trace_from_events(events: Iterable[dict]) -> dict:
+    """Convert span events to Chrome trace-event format.
+
+    Complete-phase (``"ph": "X"``) events with microsecond timestamps —
+    the shape ``chrome://tracing`` and Perfetto ingest without plugins.
+    """
+    trace_events = []
+    for e in events:
+        args = dict(e.get("attrs", {}))
+        args["span_id"] = e["id"]
+        if e.get("parent") is not None:
+            args["parent_id"] = e["parent"]
+        trace_events.append(
+            {
+                "name": e["name"],
+                "cat": e.get("cat", "span"),
+                "ph": "X",
+                "ts": e["ts"] * 1e6,
+                "dur": e["dur"] * 1e6,
+                "pid": 0,
+                "tid": 0,
+                "args": args,
+            }
+        )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def load_jsonl_events(path) -> List[dict]:
+    """Read a JSONL trace file back into a list of event dicts."""
+    events = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

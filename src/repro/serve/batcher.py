@@ -37,6 +37,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.obs import get_telemetry
 from repro.serve.registry import PolicyRegistry, PolicyVersion
 from repro.serve.telemetry import ServeStats
 from repro.utils.validation import check_positive
@@ -97,6 +98,7 @@ class _Queue:
     tickets: List[Ticket] = field(default_factory=list)
     observations: List[np.ndarray] = field(default_factory=list)
     oldest_at: float = 0.0
+    depth_gauge: object = None  # per-queue telemetry child, None when disabled
 
 
 class MicroBatcher:
@@ -128,6 +130,17 @@ class MicroBatcher:
         self.stats = stats if stats is not None else ServeStats()
         self._clock = clock
         self._queues: Dict[str, _Queue] = {}
+        # Telemetry handles are captured once at construction; when the
+        # process runs the null backend every hot-path site reduces to a
+        # single `if self._tel_enabled` check.
+        tel = get_telemetry()
+        self._tel_enabled = tel.enabled
+        flush_total = tel.metric("serve.flush_total")
+        self._flush_reason = {
+            reason: flush_total.labels(reason=reason)
+            for reason in ("max_batch", "deadline", "barrier")
+        }
+        self._queue_depth = tel.metric("serve.queue_depth")
 
     # -------------------------------------------------------------- serving
     def submit(self, policy_spec: str, obs: np.ndarray, *, client_id: int = -1) -> Ticket:
@@ -145,13 +158,17 @@ class MicroBatcher:
             queue = self._queues[version.key] = _Queue(
                 version=version, oldest_at=now
             )
+            if self._tel_enabled:
+                queue.depth_gauge = self._queue_depth.labels(policy=version.key)
         elif not queue.tickets:
             queue.oldest_at = now
         ticket = Ticket(int(client_id), version.key, now)
         queue.tickets.append(ticket)
         queue.observations.append(np.asarray(obs, dtype=np.float64))
         if len(queue.tickets) >= self.config.max_batch_size:
-            self._flush_queue(queue)
+            self._flush_queue(queue, "max_batch")
+        elif self._tel_enabled:
+            queue.depth_gauge.set(len(queue.tickets))
         return ticket
 
     def poll(self, now: Optional[float] = None) -> int:
@@ -168,7 +185,7 @@ class MicroBatcher:
         flushed = 0
         for queue in list(self._queues.values()):
             if queue.tickets and now - queue.oldest_at >= self.config.max_delay_s:
-                flushed += self._flush_queue(queue)
+                flushed += self._flush_queue(queue, "deadline")
         return flushed
 
     def flush(self) -> int:
@@ -180,7 +197,7 @@ class MicroBatcher:
         """
         flushed = 0
         for key in sorted(self._queues):
-            flushed += self._flush_queue(self._queues[key])
+            flushed += self._flush_queue(self._queues[key], "barrier")
         return flushed
 
     @property
@@ -189,7 +206,7 @@ class MicroBatcher:
         return sum(len(q.tickets) for q in self._queues.values())
 
     # ------------------------------------------------------------- internals
-    def _flush_queue(self, queue: _Queue) -> int:
+    def _flush_queue(self, queue: _Queue, reason: str = "barrier") -> int:
         if not queue.tickets:
             return 0
         tickets, observations = queue.tickets, queue.observations
@@ -213,6 +230,9 @@ class MicroBatcher:
             ticket._action = np.asarray(action, dtype=int)
             latencies.append(done_at - ticket.submitted_at)
         self.stats.record_batch(queue.version.key, latencies)
+        if self._tel_enabled:
+            self._flush_reason[reason].inc()
+            queue.depth_gauge.set(0)
         return len(tickets)
 
     def __repr__(self) -> str:

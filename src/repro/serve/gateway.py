@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.agent import AgentBase
+from repro.obs import get_telemetry
 from repro.serve.batcher import MicroBatcher, MicroBatcherConfig, Ticket
 from repro.serve.registry import PolicyRegistry
 from repro.serve.telemetry import ServeStats
@@ -94,6 +95,10 @@ class FleetGateway:
             k for k in range(n) if k not in self._local_controllers
         ]
         self._obs: Optional[np.ndarray] = None
+        tel = get_telemetry()
+        self._tel = tel
+        self._tel_enabled = tel.enabled
+        self._ticks_total = tel.metric("serve.ticks_total")
 
     # ------------------------------------------------------------ lifecycle
     @property
@@ -154,14 +159,20 @@ class FleetGateway:
                 if dones[k]:
                     controller.begin_episode(fresh_obs[k])
         self.stats.record_env_step(self.n_clients)
+        if self._tel_enabled:
+            self._ticks_total.inc()
         return rewards
 
     def run(self, n_steps: int) -> ServeStats:
         """Serve ``n_steps`` fleet ticks; returns the session telemetry."""
         check_positive("n_steps", n_steps)
         self.stats.start()
-        for _ in range(int(n_steps)):
-            self.tick()
+        with self._tel.span(
+            "serve.session", cat="serve",
+            clients=self.n_clients, steps=int(n_steps),
+        ):
+            for _ in range(int(n_steps)):
+                self.tick()
         self.stats.stop()
         return self.stats
 

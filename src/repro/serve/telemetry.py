@@ -7,6 +7,19 @@ per flush, and the :class:`~repro.serve.gateway.FleetGateway` stamps the
 session window so throughput is requests over *wall-clock served*, not
 over whatever the caller measured around it.
 
+Since the telemetry unification, ServeStats no longer owns private
+unbounded sample lists: it folds into :mod:`repro.obs` registry series
+(``serve.request_latency_seconds``, ``serve.batch_size``,
+``serve.requests_total{policy}``, ``serve.env_steps_total``,
+``serve.swaps_total``).  Histograms aggregate in fixed buckets plus a
+bounded first-N reservoir, so a serve session's memory footprint is
+constant no matter how long it runs, while small sessions (everything
+still in the reservoir) report *exact* percentiles.  Pass ``registry=``
+to fold into a shared :class:`~repro.obs.MetricsRegistry` (the CLI
+passes the active telemetry registry when ``--metrics`` is on);
+otherwise each ServeStats owns a private registry so concurrent
+sessions never cross-count.
+
 Everything aggregates to a JSON-safe dict (:meth:`ServeStats.as_dict`)
 that drops straight into an :class:`~repro.store.ExperimentStore`
 artifact, and renders as an aligned text report for the CLI.
@@ -19,6 +32,8 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.eval.metrics import percentiles
 from repro.eval.reporting import format_table
+from repro.obs.catalog import metric as catalog_metric
+from repro.obs.metrics import MetricsRegistry
 
 #: The latency quantiles every serving report carries, in percent.
 LATENCY_QUANTILES = (50.0, 95.0, 99.0)
@@ -32,15 +47,27 @@ class ServeStats:
     clock:
         Monotonic time source (seconds).  Injectable so tests can drive
         deterministic timelines; defaults to :func:`time.perf_counter`.
+    registry:
+        The :class:`~repro.obs.MetricsRegistry` to fold the session's
+        series into.  Defaults to a fresh private registry; pass a
+        shared one to surface serve series in a process-wide snapshot.
+        Two sessions folding into the *same* registry share (and
+        double-count) series — give each session its own.
     """
 
-    def __init__(self, *, clock=time.perf_counter) -> None:
+    def __init__(
+        self,
+        *,
+        clock=time.perf_counter,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self._clock = clock
-        self.latencies_s: List[float] = []
-        self.batch_sizes: List[int] = []
-        self.requests_per_policy: Dict[str, int] = {}
-        self.env_steps = 0
-        self.swaps = 0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._latency = catalog_metric(self.registry, "serve.request_latency_seconds")
+        self._batch = catalog_metric(self.registry, "serve.batch_size")
+        self._requests = catalog_metric(self.registry, "serve.requests_total")
+        self._env_steps = catalog_metric(self.registry, "serve.env_steps_total")
+        self._swaps = catalog_metric(self.registry, "serve.swaps_total")
         self._started_at: Optional[float] = None
         self._stopped_at: Optional[float] = None
 
@@ -59,34 +86,59 @@ class ServeStats:
         n = len(latencies_s)
         if n == 0:
             return
-        self.batch_sizes.append(n)
-        self.latencies_s.extend(float(v) for v in latencies_s)
-        self.requests_per_policy[policy_key] = (
-            self.requests_per_policy.get(policy_key, 0) + n
-        )
+        self._batch.observe(n)
+        self._latency.observe_many(latencies_s)
+        self._requests.labels(policy=policy_key).inc(n)
 
     def record_env_step(self, n: int = 1) -> None:
         """Count fleet control steps served (gateway sessions only)."""
-        self.env_steps += int(n)
+        self._env_steps.inc(int(n))
 
     def record_swap(self) -> None:
         """Count one hot-swap (a policy republished mid-session)."""
-        self.swaps += 1
+        self._swaps.inc()
 
     # ----------------------------------------------------------- aggregates
     @property
+    def latencies_s(self) -> List[float]:
+        """Exact per-request latencies while the reservoir holds them all.
+
+        Bounded: once a session outgrows the histogram reservoir this
+        returns only the first-N samples (aggregates stay complete).
+        """
+        return list(self._latency._default.reservoir)
+
+    @property
+    def batch_sizes(self) -> List[int]:
+        """Exact batch sizes while the reservoir holds them all (bounded)."""
+        return [int(v) for v in self._batch._default.reservoir]
+
+    @property
+    def requests_per_policy(self) -> Dict[str, int]:
+        return {
+            labels["policy"]: int(child.value)
+            for labels, child in self._requests.series()
+        }
+
+    @property
+    def env_steps(self) -> int:
+        return int(self._env_steps.value)
+
+    @property
+    def swaps(self) -> int:
+        return int(self._swaps.value)
+
+    @property
     def total_requests(self) -> int:
-        return len(self.latencies_s)
+        return int(self._latency._default.count)
 
     @property
     def total_batches(self) -> int:
-        return len(self.batch_sizes)
+        return int(self._batch._default.count)
 
     @property
     def mean_batch_size(self) -> float:
-        if not self.batch_sizes:
-            return 0.0
-        return sum(self.batch_sizes) / len(self.batch_sizes)
+        return self._batch._default.mean
 
     @property
     def elapsed_s(self) -> float:
@@ -104,8 +156,16 @@ class ServeStats:
         return self.total_requests / elapsed
 
     def latency_quantiles_ms(self) -> Dict[str, float]:
-        """``{"p50": ..., "p95": ..., "p99": ...}`` in milliseconds."""
-        values = percentiles(self.latencies_s, LATENCY_QUANTILES)
+        """``{"p50": ..., "p95": ..., "p99": ...}`` in milliseconds.
+
+        Exact (identical to the pre-histogram implementation) while all
+        samples fit the reservoir; bucket-interpolated estimates beyond.
+        """
+        hist = self._latency._default
+        if hist.count <= len(hist.reservoir):
+            values = percentiles(hist.reservoir, LATENCY_QUANTILES)
+        else:
+            values = hist.percentiles(LATENCY_QUANTILES)
         return {
             f"p{q:g}": v * 1e3 for q, v in zip(LATENCY_QUANTILES, values)
         }

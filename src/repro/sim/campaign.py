@@ -328,6 +328,12 @@ def run_campaign(
             f"unknown executor {executor!r}; choose 'serial' or 'process'"
         )
 
+    from repro.obs import get_telemetry
+
+    tel = get_telemetry()
+    c_cells = tel.metric("campaign.cells_total")
+    h_cell_s = tel.metric("campaign.cell_seconds")
+
     rows: Dict[int, CampaignRow] = {}
     pending: List[int] = []
     if store is not None:
@@ -337,6 +343,8 @@ def run_campaign(
             )
             if cell is not None:
                 rows[j] = CampaignRow.from_dict(cell["row"])
+                if tel.enabled:
+                    c_cells.labels(status="cached").inc()
             else:
                 pending.append(j)
     else:
@@ -346,19 +354,42 @@ def run_campaign(
         rows[j] = row
         if store is not None:
             store.put_cell(row.as_dict(), elapsed_seconds=elapsed)
+        if tel.enabled:
+            job = jobs[j]
+            c_cells.labels(status="completed").inc()
+            h_cell_s.observe(elapsed)
+            # Process-pool cells are timed in the worker, so the span is
+            # reconstructed here from the measured elapsed wall-clock.
+            now = time.perf_counter()
+            tel.tracer.record(
+                "campaign.cell",
+                start=now - elapsed,
+                duration=elapsed,
+                cat="campaign",
+                scenario=job.scenario.name,
+                controller=job.controller,
+                fault=job.fault.name,
+            )
 
-    if executor == "serial":
-        for j in pending:
-            row, elapsed = _timed_job(jobs[j])
-            record(j, row, elapsed)
-    elif pending:
-        from concurrent.futures import ProcessPoolExecutor
-
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            for j, (row, elapsed) in zip(
-                pending, pool.map(_timed_job, [jobs[j] for j in pending])
-            ):
+    with tel.span(
+        "campaign.run", cat="campaign", cells=len(jobs), pending=len(pending)
+    ):
+        if executor == "serial":
+            for j in pending:
+                row, elapsed = _timed_job(jobs[j])
                 record(j, row, elapsed)
+        elif pending:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                for j, (row, elapsed) in zip(
+                    pending, pool.map(_timed_job, [jobs[j] for j in pending])
+                ):
+                    record(j, row, elapsed)
+    if store is not None and tel.enabled:
+        # Join telemetry with results: the run directory carries the
+        # final metrics snapshot as artifacts/metrics.json.
+        store.put_artifact("metrics", tel.registry.snapshot())
     return CampaignResult([rows[j] for j in range(len(jobs))])
 
 

@@ -3,10 +3,17 @@
 A :class:`PhaseTimer` accumulates elapsed seconds under named phases
 (``env_step``, ``action_select``, ``replay_ingest``, ``learn``) so a
 training run can report where its time went without an external
-profiler.  The instrumentation sites pay two ``perf_counter`` calls per
-phase — cheap enough to leave compiled in, but the trainers only invoke
-them when a timer is attached, keeping the un-profiled hot loop
-untouched.
+profiler.  The instrumentation sites pay two clock calls per phase —
+cheap enough to leave compiled in, but the trainers only invoke them
+when a timer is attached, keeping the un-profiled hot loop untouched.
+
+Since the telemetry unification the timer is a thin adapter over
+:mod:`repro.obs` spans: each ``stop``/``add`` builds one complete-span
+event (``cat="phase"``) and folds its aggregates from that event, so
+the ``--profile`` table is unchanged while the same phases appear in a
+``--trace`` JSONL/Chrome export when telemetry is enabled.  With the
+default null backend the events go nowhere and only the local
+aggregation remains.
 
 Used by ``repro-hvac train --profile`` and ``benchmarks/perf_train.py``.
 """
@@ -14,19 +21,35 @@ Used by ``repro-hvac train --profile`` and ``benchmarks/perf_train.py``.
 from __future__ import annotations
 
 import time
-from typing import Dict
+from typing import Dict, Optional
+
+from repro.obs import get_telemetry
 
 
 class PhaseTimer:
-    """Accumulates wall-clock seconds and call counts per named phase."""
+    """Accumulates wall-clock seconds and call counts per named phase.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    tracer:
+        Span sink for per-phase events.  Defaults to the process
+        telemetry tracer when telemetry is enabled, else no tracing.
+    clock:
+        Monotonic time source; injectable for deterministic tests.
+    """
+
+    def __init__(self, *, tracer=None, clock=time.perf_counter) -> None:
         self._seconds: Dict[str, float] = {}
         self._calls: Dict[str, int] = {}
+        self._clock = clock
+        if tracer is None:
+            tel = get_telemetry()
+            tracer = tel.tracer if tel.enabled else None
+        self._tracer = tracer
 
     def start(self) -> float:
         """Timestamp the start of a phase (pair with :meth:`stop`)."""
-        return time.perf_counter()
+        return self._clock()
 
     def stop(self, phase: str, started: float, calls: int = 1) -> None:
         """Charge the time since ``started`` to ``phase``.
@@ -35,12 +58,25 @@ class PhaseTimer:
         batched step over N environments counts N), so per-call times
         stay comparable between scalar and vectorized loops.
         """
-        self.add(phase, time.perf_counter() - started, calls)
+        self._record(phase, started, self._clock() - started, calls)
 
     def add(self, phase: str, seconds: float, calls: int = 1) -> None:
         """Directly accumulate ``seconds`` (and ``calls``) under ``phase``."""
-        self._seconds[phase] = self._seconds.get(phase, 0.0) + float(seconds)
-        self._calls[phase] = self._calls.get(phase, 0) + int(calls)
+        self._record(phase, None, seconds, calls)
+
+    def _record(
+        self, phase: str, started: Optional[float], seconds: float, calls: int
+    ) -> None:
+        """Fold one phase span into the aggregates (and the tracer)."""
+        seconds = float(seconds)
+        calls = int(calls)
+        if self._tracer is not None:
+            start = started if started is not None else self._clock() - seconds
+            self._tracer.record(
+                phase, start=start, duration=seconds, cat="phase", calls=calls
+            )
+        self._seconds[phase] = self._seconds.get(phase, 0.0) + seconds
+        self._calls[phase] = self._calls.get(phase, 0) + calls
 
     @property
     def phases(self) -> tuple:

@@ -1,0 +1,79 @@
+"""Tests for the Prometheus/Chrome exporters (repro/obs/exporters.py)."""
+
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    snapshot_to_prometheus,
+    write_chrome_trace,
+    write_prometheus,
+)
+
+
+def _sample_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("serve.requests_total", help="requests", labelnames=("policy",))
+    reg.get("serve.requests_total").labels(policy="dqn").inc(7)
+    reg.gauge("serve.queue_depth", labelnames=("policy",)).labels(
+        policy="dqn"
+    ).set(2)
+    h = reg.histogram("serve.latency_seconds", help="latency", buckets=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(5.0)
+    return reg
+
+
+class TestPrometheusText:
+    def test_counter_and_gauge_lines(self):
+        text = _sample_registry().to_prometheus_text()
+        assert '# TYPE serve_requests_total counter' in text
+        assert '# HELP serve_requests_total requests' in text
+        assert 'serve_requests_total{policy="dqn"} 7' in text
+        assert 'serve_queue_depth{policy="dqn"} 2' in text
+
+    def test_histogram_expands_to_cumulative_buckets(self):
+        text = _sample_registry().to_prometheus_text()
+        assert 'serve_latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'serve_latency_seconds_bucket{le="1"} 2' in text
+        assert 'serve_latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "serve_latency_seconds_sum 5.55" in text
+        assert "serve_latency_seconds_count 3" in text
+
+    def test_integer_values_render_without_decimal(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        assert "c 3\n" in snapshot_to_prometheus(reg.snapshot())
+
+    def test_empty_snapshot_renders_empty(self):
+        assert snapshot_to_prometheus({"metrics": {}}) == ""
+
+    def test_exposition_parses_line_by_line(self):
+        # Every non-comment line is "<name>[{labels}] <float>" — the
+        # shape a Prometheus scraper expects.
+        for line in _sample_registry().to_prometheus_text().splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            float(value)
+            assert name_part[0].isalpha()
+
+
+class TestFileWriters:
+    def test_write_prometheus_creates_parents(self, tmp_path):
+        out = write_prometheus(
+            _sample_registry().snapshot(), tmp_path / "a" / "prom.txt"
+        )
+        assert out.exists()
+        assert "serve_requests_total" in out.read_text()
+
+    def test_write_chrome_trace_round_trips(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        out = write_chrome_trace(tracer.events, tmp_path / "trace.json")
+        doc = json.loads(out.read_text())
+        assert {e["name"] for e in doc["traceEvents"]} == {"outer", "inner"}
+        assert all(e["ph"] == "X" for e in doc["traceEvents"])

@@ -1,0 +1,205 @@
+"""Tests for the metrics layer (repro/obs/metrics.py)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    DEFAULT_RESERVOIR_SIZE,
+    LATENCY_BUCKETS_S,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter()
+        assert c.value == 0.0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge()
+        g.set(3.5)
+        g.inc()
+        g.dec(0.5)
+        assert g.value == 4.0
+
+
+class TestHistogram:
+    def test_rejects_non_increasing_buckets(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram([1.0, 1.0, 2.0])
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram([])
+
+    def test_accepts_standard_bucket_sets(self):
+        # The three shipped bucket ladders must all construct.
+        for buckets in (LATENCY_BUCKETS_S, SIZE_BUCKETS, (0.1, 1.0)):
+            Histogram(buckets)
+
+    def test_bucket_assignment_is_le_semantics(self):
+        # Prometheus convention: a bucket's count covers values <= its
+        # upper bound, so an observation exactly on an edge lands in
+        # that edge's bucket.
+        h = Histogram([1.0, 2.0, 4.0])
+        h.observe(1.0)   # <= 1.0
+        h.observe(1.5)   # <= 2.0
+        h.observe(2.0)   # <= 2.0
+        h.observe(100.0)  # +Inf overflow
+        assert h.counts.tolist() == [1, 2, 0, 1]
+
+    def test_aggregates_track_sum_count_min_max(self):
+        h = Histogram([1.0, 10.0])
+        for v in (0.5, 2.0, 7.5):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(10.0)
+        assert h.min == 0.5 and h.max == 7.5
+        assert h.mean == pytest.approx(10.0 / 3)
+
+    def test_observe_many_matches_observe_loop(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0.0, 5.0, size=500)
+        one = Histogram([0.5, 1.0, 2.0, 4.0])
+        many = Histogram([0.5, 1.0, 2.0, 4.0])
+        for v in values:
+            one.observe(v)
+        many.observe_many(values)
+        assert one.counts.tolist() == many.counts.tolist()
+        assert one.count == many.count
+        assert one.sum == pytest.approx(many.sum)
+        assert (one.min, one.max) == (many.min, many.max)
+        assert one.reservoir == pytest.approx(many.reservoir)
+
+    def test_observe_many_empty_is_noop(self):
+        h = Histogram([1.0])
+        h.observe_many([])
+        assert h.count == 0
+
+    def test_reservoir_keeps_first_n_deterministically(self):
+        h = Histogram([10.0], reservoir_size=5)
+        h.observe_many(range(8))
+        assert h.reservoir == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert h.count == 8  # aggregates still see everything
+
+    def test_percentiles_exact_while_in_reservoir(self):
+        h = Histogram([100.0], reservoir_size=100)
+        h.observe_many(range(1, 12))  # 1..11
+        assert h.percentile(50) == pytest.approx(6.0)
+        assert h.percentile(0) == pytest.approx(1.0)
+        assert h.percentile(100) == pytest.approx(11.0)
+
+    def test_percentiles_interpolated_beyond_reservoir(self):
+        h = Histogram([1.0, 2.0, 4.0, 8.0], reservoir_size=4)
+        h.observe_many(np.linspace(0.1, 7.9, 1000))
+        # Estimates come from bucket interpolation but must stay inside
+        # the observed range and be monotone in q.
+        p50, p95, p99 = h.percentiles([50, 95, 99])
+        assert h.min <= p50 <= p95 <= p99 <= h.max
+        assert p50 == pytest.approx(4.0, rel=0.2)
+
+    def test_empty_histogram_percentile_is_zero(self):
+        assert Histogram([1.0]).percentile(99) == 0.0
+
+    def test_percentile_rejects_out_of_range_q(self):
+        with pytest.raises(ValueError, match="outside"):
+            Histogram([1.0]).percentile(101)
+
+    def test_default_reservoir_size(self):
+        assert Histogram([1.0]).reservoir_size == DEFAULT_RESERVOIR_SIZE
+
+
+class TestMetricFamily:
+    def test_unlabeled_family_proxies_single_series(self):
+        reg = MetricsRegistry()
+        c = reg.counter("train.steps", help="steps")
+        c.inc(3)
+        assert c.value == 3.0
+
+    def test_labeled_family_fans_out_children(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("serve.flush", labelnames=("reason",))
+        fam.labels(reason="deadline").inc()
+        fam.labels(reason="deadline").inc()
+        fam.labels(reason="barrier").inc()
+        series = {labels["reason"]: child.value for labels, child in fam.series()}
+        assert series == {"deadline": 2.0, "barrier": 1.0}
+
+    def test_labels_returns_same_child_instance(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("c", labelnames=("k",))
+        assert fam.labels(k="x") is fam.labels(k="x")
+
+    def test_wrong_labelnames_rejected(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("c", labelnames=("policy",))
+        with pytest.raises(ValueError, match="expected labels"):
+            fam.labels(reason="x")
+
+    def test_buckets_only_for_histograms(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="buckets"):
+            from repro.obs.metrics import MetricFamily
+
+            MetricFamily("c", "counter", buckets=(1.0,))
+
+
+class TestMetricsRegistry:
+    def test_registration_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x.total")
+        b = reg.counter("x.total")
+        assert a is b
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x.total")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            reg.gauge("x.total")
+
+    def test_labelnames_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x.total", labelnames=("a",))
+        with pytest.raises(ValueError, match="labels"):
+            reg.counter("x.total", labelnames=("b",))
+
+    def test_names_sorted_and_get(self):
+        reg = MetricsRegistry()
+        reg.gauge("b")
+        reg.counter("a")
+        assert reg.names() == ["a", "b"]
+        assert reg.get("a").type == "counter"
+        assert reg.get("missing") is None
+
+    def test_snapshot_is_json_safe_and_complete(self):
+        reg = MetricsRegistry()
+        reg.counter("c.total", help="a counter").inc(2)
+        reg.gauge("g").set(1.5)
+        h = reg.histogram("h.seconds", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(3.0)
+        snap = reg.snapshot()
+        json.dumps(snap)  # must not raise
+        c = snap["metrics"]["c.total"]
+        assert c["type"] == "counter" and c["help"] == "a counter"
+        assert c["series"][0]["value"] == 2.0
+        hs = snap["metrics"]["h.seconds"]["series"][0]
+        assert hs["count"] == 2
+        assert hs["bucket_le"] == [1.0, 2.0, "+Inf"]
+        assert hs["bucket_counts"] == [1, 0, 1]
+        assert hs["min"] == 0.5 and hs["max"] == 3.0
+
+    def test_empty_histogram_snapshot_min_max_zero(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0,))
+        series = reg.snapshot()["metrics"]["h"]["series"][0]
+        assert series["min"] == 0.0 and series["max"] == 0.0

@@ -1,0 +1,153 @@
+"""Tests for the telemetry runtime: null backend, catalog, sessions."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    CATALOG,
+    FLUSH_REASONS,
+    MetricsRegistry,
+    NULL_TELEMETRY,
+    Telemetry,
+    get_telemetry,
+    load_jsonl_events,
+    metric,
+    prometheus_name,
+    set_telemetry,
+    snapshot_to_prometheus,
+    telemetry_session,
+)
+
+
+class TestNullBackend:
+    def test_default_backend_is_null(self):
+        tel = get_telemetry()
+        assert tel is NULL_TELEMETRY
+        assert tel.enabled is False
+
+    def test_null_metric_absorbs_full_instrument_api(self):
+        c = NULL_TELEMETRY.metric("train.env_steps_total")
+        c.inc()
+        c.inc(5)
+        c.dec()
+        c.set(3)
+        c.observe(0.5)
+        c.observe_many([1, 2])
+        assert c.labels(policy="x") is c
+        assert c.value == 0.0
+
+    def test_null_metric_still_validates_catalog_names(self):
+        # Typos fail fast even with telemetry off, so an instrumented
+        # site can't silently record to a name nobody exports.
+        with pytest.raises(KeyError, match="not in the telemetry catalog"):
+            NULL_TELEMETRY.metric("train.no_such_metric")
+
+    def test_null_span_is_a_noop_context(self):
+        with NULL_TELEMETRY.span("anything", cat="x", k=1) as span:
+            span.set_attr(more="attrs")
+        assert NULL_TELEMETRY.tracer.to_chrome_trace()["traceEvents"] == []
+
+    def test_null_snapshot_and_prometheus_are_empty(self):
+        assert NULL_TELEMETRY.snapshot() == {"metrics": {}}
+        assert NULL_TELEMETRY.registry.to_prometheus_text() == ""
+
+
+class TestCatalog:
+    def test_every_spec_builds_on_a_real_registry(self):
+        reg = MetricsRegistry()
+        for name, spec in CATALOG.items():
+            fam = metric(reg, name)
+            assert fam.type == spec.type
+            assert fam.labelnames == tuple(spec.labelnames)
+            assert fam.help  # every catalog entry documents itself
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="catalog"):
+            metric(MetricsRegistry(), "nope")
+
+    def test_metric_is_idempotent_per_registry(self):
+        reg = MetricsRegistry()
+        assert metric(reg, "serve.ticks_total") is metric(reg, "serve.ticks_total")
+
+    def test_prometheus_name_mangling(self):
+        assert prometheus_name("serve.request_latency_seconds") == (
+            "serve_request_latency_seconds"
+        )
+
+    def test_flush_reasons_cover_batcher_paths(self):
+        assert set(FLUSH_REASONS) == {"max_batch", "deadline", "barrier"}
+
+    def test_catalog_exports_to_prometheus(self):
+        reg = MetricsRegistry()
+        for name in CATALOG:
+            fam = metric(reg, name)
+            if fam.labelnames:
+                child = fam.labels(**{n: "x" for n in fam.labelnames})
+            else:
+                child = fam
+            if fam.type == "histogram":
+                child.observe(1.0)
+            else:
+                child.inc()
+        text = snapshot_to_prometheus(reg.snapshot())
+        for name in CATALOG:
+            assert prometheus_name(name) in text
+
+
+class TestSetGetTelemetry:
+    def test_set_returns_previous_and_none_restores_null(self):
+        tel = Telemetry()
+        previous = set_telemetry(tel)
+        try:
+            assert get_telemetry() is tel
+        finally:
+            assert set_telemetry(previous) is tel
+        assert get_telemetry() is previous
+
+    def test_set_none_falls_back_to_null(self):
+        previous = set_telemetry(None)
+        try:
+            assert get_telemetry() is NULL_TELEMETRY
+        finally:
+            set_telemetry(previous)
+
+
+class TestTelemetrySession:
+    def test_installs_and_restores(self):
+        before = get_telemetry()
+        with telemetry_session() as tel:
+            assert get_telemetry() is tel
+            assert tel.enabled
+        assert get_telemetry() is before
+
+    def test_writes_trace_and_metrics_files(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        metrics = tmp_path / "m.json"
+        with telemetry_session(trace_path=trace, metrics_path=metrics) as tel:
+            tel.metric("train.episodes_total").inc(3)
+            with tel.span("session", cat="test"):
+                pass
+        events = load_jsonl_events(trace)
+        assert [e["name"] for e in events] == ["session"]
+        snap = json.loads(metrics.read_text())
+        series = snap["metrics"]["train.episodes_total"]["series"]
+        assert series[0]["value"] == 3.0
+
+    def test_exports_survive_exceptions(self, tmp_path):
+        metrics = tmp_path / "m.json"
+        before = get_telemetry()
+        with pytest.raises(RuntimeError):
+            with telemetry_session(metrics_path=metrics) as tel:
+                tel.metric("train.episodes_total").inc()
+                raise RuntimeError("boom")
+        assert get_telemetry() is before
+        snap = json.loads(metrics.read_text())
+        assert "train.episodes_total" in snap["metrics"]
+
+    def test_shared_registry_folds_in(self, tmp_path):
+        reg = MetricsRegistry()
+        with telemetry_session(registry=reg) as tel:
+            assert tel.registry is reg
+            tel.metric("serve.swaps_total").inc()
+        assert reg.get("serve.swaps_total").value == 1.0

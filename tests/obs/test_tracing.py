@@ -1,0 +1,143 @@
+"""Tests for the tracing layer (repro/obs/tracing.py)."""
+
+import json
+
+from repro.obs import (
+    JsonlSink,
+    Tracer,
+    chrome_trace_from_events,
+    load_jsonl_events,
+)
+
+
+class ScriptedClock:
+    """A deterministic clock that advances a fixed step per call."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        t = self.now
+        self.now += self.step
+        return t
+
+
+class TestSpans:
+    def test_single_span_records_one_event(self):
+        tracer = Tracer(clock=ScriptedClock())
+        with tracer.span("work", cat="test", k=1):
+            pass
+        (event,) = tracer.events
+        assert event["name"] == "work"
+        assert event["cat"] == "test"
+        assert event["parent"] is None
+        assert event["attrs"] == {"k": 1}
+        assert event["dur"] == 1.0  # one clock tick between enter and exit
+
+    def test_nested_spans_link_parent_ids(self):
+        tracer = Tracer(clock=ScriptedClock())
+        with tracer.span("outer") as outer:
+            with tracer.span("inner"):
+                pass
+        inner_event, outer_event = tracer.events
+        assert inner_event["name"] == "inner"
+        assert inner_event["parent"] == outer.span_id
+        assert outer_event["parent"] is None
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer(clock=ScriptedClock())
+        with tracer.span("outer") as outer:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        a, b, _ = tracer.events
+        assert a["parent"] == outer.span_id
+        assert b["parent"] == outer.span_id
+        assert a["id"] != b["id"]
+
+    def test_set_attr_on_open_span(self):
+        tracer = Tracer(clock=ScriptedClock())
+        with tracer.span("work") as span:
+            span.set_attr(result="ok")
+        assert tracer.events[0]["attrs"]["result"] == "ok"
+
+    def test_span_closes_on_exception(self):
+        tracer = Tracer(clock=ScriptedClock())
+        try:
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert len(tracer.events) == 1
+        # Stack fully unwound: the next span is a root again.
+        with tracer.span("after"):
+            pass
+        assert tracer.events[-1]["parent"] is None
+
+    def test_record_attaches_to_open_span(self):
+        # Externally-timed phases (PhaseTimer) land under the enclosing
+        # episode span without pushing onto the nesting stack.
+        tracer = Tracer(clock=ScriptedClock())
+        with tracer.span("episode") as episode:
+            tracer.record("learn", start=0.5, duration=0.25, cat="phase", calls=3)
+        phase, _ = tracer.events
+        assert phase["parent"] == episode.span_id
+        assert phase["ts"] == 0.5 and phase["dur"] == 0.25
+        assert phase["attrs"] == {"calls": 3}
+
+    def test_record_without_open_span_is_root(self):
+        tracer = Tracer(clock=ScriptedClock())
+        tracer.record("solo", start=0.0, duration=1.0)
+        assert tracer.events[0]["parent"] is None
+
+    def test_ring_buffer_bounds_memory_and_counts_drops(self):
+        tracer = Tracer(clock=ScriptedClock(), max_events=3)
+        for i in range(5):
+            tracer.record(f"e{i}", start=0.0, duration=0.1)
+        assert len(tracer.events) == 3
+        assert tracer.dropped == 2
+        assert [e["name"] for e in tracer.events] == ["e2", "e3", "e4"]
+
+
+class TestJsonlSink:
+    def test_round_trips_through_file(self, tmp_path):
+        path = tmp_path / "sub" / "trace.jsonl"  # parent dir auto-created
+        sink = JsonlSink(path)
+        tracer = Tracer(clock=ScriptedClock(), sink=sink)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        sink.close()
+        events = load_jsonl_events(path)
+        assert [e["name"] for e in events] == ["inner", "outer"]
+        assert events == list(tracer.events)
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        sink.close()
+
+
+class TestChromeTrace:
+    def test_events_convert_to_complete_phases(self):
+        tracer = Tracer(clock=ScriptedClock())
+        with tracer.span("outer", cat="test"):
+            with tracer.span("inner"):
+                pass
+        doc = tracer.to_chrome_trace()
+        assert doc["displayTimeUnit"] == "ms"
+        inner, outer = doc["traceEvents"]
+        assert outer["ph"] == "X"
+        assert outer["name"] == "outer" and outer["cat"] == "test"
+        # Seconds scaled to microseconds.
+        assert inner["ts"] == 1.0 * 1e6 and inner["dur"] == 1.0 * 1e6
+        assert inner["args"]["parent_id"] == outer["args"]["span_id"]
+        json.dumps(doc)  # loadable by chrome://tracing
+
+    def test_empty_event_list(self):
+        assert chrome_trace_from_events([]) == {
+            "traceEvents": [],
+            "displayTimeUnit": "ms",
+        }

@@ -1,0 +1,86 @@
+"""Tests for ServeStats' bounded-memory aggregation and registry folding."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.serve.telemetry import LATENCY_QUANTILES, ServeStats
+
+
+class ManualClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestBoundedMemory:
+    def test_memory_stays_constant_past_reservoir(self):
+        stats = ServeStats()
+        reservoir_cap = stats._latency._default.reservoir_size
+        rng = np.random.default_rng(0)
+        total = reservoir_cap + 5000
+        for _ in range(total // 100):
+            stats.record_batch("dqn", rng.uniform(1e-4, 1e-2, size=100))
+        # Aggregates see every request; the sample list does not grow
+        # past the reservoir no matter how long the session runs.
+        assert stats.total_requests == (total // 100) * 100
+        assert len(stats.latencies_s) == reservoir_cap
+        assert len(stats.batch_sizes) <= stats._batch._default.reservoir_size
+
+    def test_quantiles_exact_while_in_reservoir(self):
+        stats = ServeStats()
+        stats.record_batch("dqn", [0.001 * (i + 1) for i in range(100)])
+        q = stats.latency_quantiles_ms()
+        # 100 evenly spaced 1..100ms samples: p50 is ~50.5ms exactly.
+        assert q["p50"] == pytest.approx(50.5, rel=1e-6)
+        assert set(q) == {f"p{v:g}" for v in LATENCY_QUANTILES}
+
+    def test_quantiles_estimated_beyond_reservoir(self):
+        stats = ServeStats()
+        cap = stats._latency._default.reservoir_size
+        rng = np.random.default_rng(1)
+        stats.record_batch("dqn", rng.uniform(1e-3, 1e-1, size=cap + 2000))
+        q = stats.latency_quantiles_ms()
+        assert 1.0 <= q["p50"] <= q["p95"] <= q["p99"] <= 100.0
+
+    def test_as_dict_json_safe_after_overflow(self):
+        stats = ServeStats(clock=ManualClock())
+        cap = stats._latency._default.reservoir_size
+        stats.start()
+        stats.record_batch("dqn", np.full(cap + 100, 1e-3))
+        stats._clock.now = 2.0
+        stats.stop()
+        summary = stats.as_dict()
+        json.dumps(summary)
+        assert summary["total_requests"] == cap + 100
+        assert summary["throughput_rps"] == pytest.approx((cap + 100) / 2.0)
+
+
+class TestRegistryFolding:
+    def test_private_registry_by_default(self):
+        a, b = ServeStats(), ServeStats()
+        a.record_batch("dqn", [1e-3])
+        assert b.total_requests == 0  # no cross-session counting
+
+    def test_folds_into_shared_registry(self):
+        reg = MetricsRegistry()
+        stats = ServeStats(registry=reg)
+        stats.record_batch("dqn", [1e-3, 2e-3])
+        stats.record_env_step(4)
+        stats.record_swap()
+        snap = reg.snapshot()["metrics"]
+        latency = snap["serve.request_latency_seconds"]["series"][0]
+        assert latency["count"] == 2
+        requests = snap["serve.requests_total"]["series"][0]
+        assert requests["labels"] == {"policy": "dqn"} and requests["value"] == 2.0
+        assert snap["serve.env_steps_total"]["series"][0]["value"] == 4.0
+        assert snap["serve.swaps_total"]["series"][0]["value"] == 1.0
+
+    def test_empty_batch_records_nothing(self):
+        stats = ServeStats()
+        stats.record_batch("dqn", [])
+        assert stats.total_requests == 0 and stats.total_batches == 0

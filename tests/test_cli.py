@@ -509,6 +509,215 @@ class TestTrainStore:
         assert state["agent"]["epsilon_schedule"]["decay_steps"] == 100
 
 
+class TestTelemetryFlags:
+    def test_train_writes_trace_and_metrics(self, tmp_path, capsys):
+        trace = tmp_path / "train.jsonl"
+        metrics = tmp_path / "train_metrics.json"
+        code = main(
+            ["train", "--episodes", "2",
+             "--trace", str(trace), "--metrics", str(metrics)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        snap = json.loads(metrics.read_text())
+        series = snap["metrics"]["train.episodes_total"]["series"]
+        assert series[0]["value"] == 2.0
+        assert snap["metrics"]["train.env_steps_total"]["series"][0]["value"] > 0
+        names = [
+            json.loads(line)["name"]
+            for line in trace.read_text().splitlines()
+        ]
+        assert "train.episode" in names and "train.run" in names
+
+    def test_train_profile_phases_appear_in_trace(self, tmp_path, capsys):
+        trace = tmp_path / "train.jsonl"
+        code = main(
+            ["train", "--episodes", "1", "--profile", "--trace", str(trace)]
+        )
+        assert code == 0
+        assert "phase" in capsys.readouterr().out  # --profile table intact
+        cats = {
+            json.loads(line)["cat"]
+            for line in trace.read_text().splitlines()
+        }
+        assert "phase" in cats  # env_step/learn spans under the episode
+
+    def test_train_store_persists_metrics_artifact(self, tmp_path, capsys):
+        run_dir = tmp_path / "trainrun"
+        code = main(
+            ["train", "--episodes", "2", "--store", str(run_dir),
+             "--metrics", str(tmp_path / "m.json")]
+        )
+        assert code == 0
+        capsys.readouterr()
+        artifact = json.loads(
+            (run_dir / "artifacts" / "metrics.json").read_text()
+        )
+        assert "train.episodes_total" in artifact["metrics"]
+
+    def test_serve_folds_session_into_metrics(self, tmp_path, capsys):
+        trace = tmp_path / "serve.jsonl"
+        metrics = tmp_path / "serve_metrics.json"
+        code = main(
+            ["serve", "--policy", "baseline:thermostat", "--fleet", "4",
+             "--steps", "5", "--deterministic",
+             "--trace", str(trace), "--metrics", str(metrics)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        snap = json.loads(metrics.read_text())["metrics"]
+        latency = snap["serve.request_latency_seconds"]["series"][0]
+        assert latency["count"] == 4 * 5
+        flush_reasons = {
+            s["labels"]["reason"] for s in snap["serve.flush_total"]["series"]
+        }
+        assert flush_reasons  # at least one flush path exercised
+        assert snap["serve.ticks_total"]["series"][0]["value"] == 5.0
+        names = [
+            json.loads(line)["name"]
+            for line in trace.read_text().splitlines()
+        ]
+        assert "serve.session" in names
+
+    def test_campaign_store_persists_metrics_artifact(self, tmp_path, capsys):
+        run_dir = tmp_path / "camp"
+        metrics = tmp_path / "camp_metrics.json"
+        code = main(
+            ["campaign", "--scenarios", "baseline-tou",
+             "--controllers", "thermostat", "--seeds", "1",
+             "--resume", str(run_dir), "--metrics", str(metrics)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        snap = json.loads(metrics.read_text())["metrics"]
+        cells = {
+            s["labels"]["status"]: s["value"]
+            for s in snap["campaign.cells_total"]["series"]
+        }
+        assert cells.get("completed") == 1.0
+        assert snap["campaign.cell_seconds"]["series"][0]["count"] == 1
+        artifact = json.loads(
+            (run_dir / "artifacts" / "metrics.json").read_text()
+        )
+        assert "campaign.cells_total" in artifact["metrics"]
+
+    def test_flags_restore_null_backend_after_run(self, tmp_path, capsys):
+        from repro.obs import NULL_TELEMETRY, get_telemetry
+
+        main(
+            ["train", "--episodes", "1",
+             "--metrics", str(tmp_path / "m.json")]
+        )
+        capsys.readouterr()
+        assert get_telemetry() is NULL_TELEMETRY
+
+
+class TestObsCommand:
+    @pytest.fixture()
+    def telemetry_files(self, tmp_path, capsys):
+        trace = tmp_path / "serve.jsonl"
+        metrics = tmp_path / "serve_metrics.json"
+        main(
+            ["serve", "--policy", "baseline:thermostat", "--fleet", "4",
+             "--steps", "4", "--deterministic",
+             "--trace", str(trace), "--metrics", str(metrics)]
+        )
+        capsys.readouterr()
+        return trace, metrics
+
+    def test_dump_json(self, telemetry_files, capsys):
+        _, metrics = telemetry_files
+        code = main(["obs", "dump", "--metrics", str(metrics)])
+        assert code == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert "serve.request_latency_seconds" in snap["metrics"]
+
+    def test_dump_prometheus(self, telemetry_files, capsys):
+        _, metrics = telemetry_files
+        code = main(
+            ["obs", "dump", "--metrics", str(metrics),
+             "--format", "prometheus"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serve_request_latency_seconds_bucket" in out
+        assert 'le="+Inf"' in out
+
+    def test_tail_prints_recent_spans(self, telemetry_files, capsys):
+        trace, _ = telemetry_files
+        code = main(["obs", "tail", "--trace", str(trace), "-n", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serve.session" in out
+
+    def test_export_trace_to_chrome(self, telemetry_files, tmp_path, capsys):
+        trace, _ = telemetry_files
+        out_path = tmp_path / "chrome.json"
+        code = main(
+            ["obs", "export", "--trace", str(trace), "--out", str(out_path)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        doc = json.loads(out_path.read_text())
+        assert doc["traceEvents"]
+        assert all(e["ph"] == "X" for e in doc["traceEvents"])
+
+    def test_export_metrics_to_prometheus(
+        self, telemetry_files, tmp_path, capsys
+    ):
+        _, metrics = telemetry_files
+        out_path = tmp_path / "prom.txt"
+        code = main(
+            ["obs", "export", "--metrics", str(metrics),
+             "--out", str(out_path)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert "serve_requests_total" in out_path.read_text()
+
+    def test_check_validates_all_artifact_kinds(
+        self, telemetry_files, tmp_path, capsys
+    ):
+        trace, metrics = telemetry_files
+        chrome = tmp_path / "chrome.json"
+        prom = tmp_path / "prom.txt"
+        main(["obs", "export", "--trace", str(trace), "--out", str(chrome)])
+        main(["obs", "export", "--metrics", str(metrics), "--out", str(prom)])
+        capsys.readouterr()
+        code = main(
+            ["obs", "check", "--trace", str(trace),
+             "--chrome-trace", str(chrome), "--prometheus", str(prom)]
+        )
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_check_rejects_malformed_chrome_trace(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"traceEvents": [{"name": "x"}]}))
+        code = main(["obs", "check", "--chrome-trace", str(bad)])
+        assert code == 1
+        assert capsys.readouterr().err
+
+    def test_export_requires_exactly_one_input(self, tmp_path, capsys):
+        code = main(
+            ["obs", "export", "--out", str(tmp_path / "o.json")]
+        )
+        assert code == 2
+        assert capsys.readouterr().err
+
+    def test_obs_inputs_do_not_open_a_telemetry_session(
+        self, telemetry_files, capsys
+    ):
+        # `obs` takes --trace/--metrics as *inputs*; reading them must
+        # not install a live telemetry backend.
+        from repro.obs import NULL_TELEMETRY, get_telemetry
+
+        trace, _ = telemetry_files
+        main(["obs", "tail", "--trace", str(trace)])
+        capsys.readouterr()
+        assert get_telemetry() is NULL_TELEMETRY
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -85,7 +85,53 @@ class TestRunCompare:
             perf_compare.run_compare(baseline, current, 0.30)
 
 
+class TestCheckSync:
+    def test_identical_copies_pass(self, dirs):
+        root, results = dirs
+        _write(root, "BENCH_train.json", _train_record())
+        _write(results, "BENCH_train.json", _train_record())
+        assert perf_compare.check_sync(root, results) == []
+
+    def test_diverged_copies_reported(self, dirs):
+        root, results = dirs
+        _write(root, "BENCH_train.json", _train_record(3.0))
+        _write(results, "BENCH_train.json", _train_record(4.0))
+        problems = perf_compare.check_sync(root, results)
+        assert len(problems) == 1 and "BENCH_train.json" in problems[0]
+
+    def test_one_sided_records_are_not_sync_problems(self, dirs):
+        root, results = dirs
+        _write(root, "BENCH_train.json", _train_record())
+        assert perf_compare.check_sync(root, results) == []
+
+    def test_byte_level_comparison(self, dirs):
+        # Same JSON value but different formatting still counts as
+        # divergence: the two copies come from one write call, so any
+        # difference means something else touched a copy.
+        root, results = dirs
+        _write(root, "BENCH_serve.json", {"speedup": 10.0})
+        (results / "BENCH_serve.json").write_text(
+            json.dumps({"speedup": 10.0}, indent=2)
+        )
+        assert len(perf_compare.check_sync(root, results)) == 1
+
+
 class TestMain:
+    def test_assert_sync_flag_gates_divergence(self, dirs):
+        baseline, current = dirs
+        args = [
+            "--baseline-dir", str(baseline), "--current-dir", str(current),
+            "--assert-sync",
+        ]
+        _write(baseline, "BENCH_serve.json", {"speedup": 10.0})
+        _write(current, "BENCH_serve.json", {"speedup": 10.0})
+        assert perf_compare.main(args) == 0
+        # Within tolerance for the metric gate, but the copies diverged.
+        _write(current, "BENCH_serve.json", {"speedup": 9.9})
+        assert perf_compare.main(args) == 1
+        # Without the flag the same divergence passes.
+        assert perf_compare.main(args[:-1]) == 0
+
     def test_exit_codes(self, dirs):
         baseline, current = dirs
         args = [

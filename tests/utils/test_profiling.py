@@ -1,0 +1,129 @@
+"""Tests for PhaseTimer (repro/utils/profiling.py) and its span adapter."""
+
+import pytest
+
+from repro.obs import Telemetry, Tracer, set_telemetry
+from repro.utils.profiling import PhaseTimer
+
+
+class ScriptedClock:
+    """Returns pre-programmed timestamps, then keeps advancing by 1."""
+
+    def __init__(self, *times):
+        self.times = list(times)
+
+    def __call__(self):
+        if self.times:
+            return self.times.pop(0)
+        return 1e9
+
+
+class TestAggregation:
+    def test_start_stop_accumulates_elapsed(self):
+        timer = PhaseTimer(tracer=None, clock=ScriptedClock(1.0, 3.5))
+        started = timer.start()
+        timer.stop("env_step", started)
+        assert timer.seconds("env_step") == pytest.approx(2.5)
+        assert timer.calls("env_step") == 1
+
+    def test_add_accumulates_directly(self):
+        timer = PhaseTimer(tracer=None, clock=ScriptedClock())
+        timer.add("learn", 0.25, calls=4)
+        timer.add("learn", 0.75)
+        assert timer.seconds("learn") == pytest.approx(1.0)
+        assert timer.calls("learn") == 5
+
+    def test_phases_keep_first_recorded_order(self):
+        timer = PhaseTimer(tracer=None, clock=ScriptedClock())
+        timer.add("b", 1.0)
+        timer.add("a", 1.0)
+        timer.add("b", 1.0)
+        assert timer.phases == ("b", "a")
+
+    def test_unknown_phase_reads_zero(self):
+        timer = PhaseTimer(tracer=None)
+        assert timer.seconds("nope") == 0.0
+        assert timer.calls("nope") == 0
+
+    def test_as_dict_shares_sum_to_one(self):
+        timer = PhaseTimer(tracer=None)
+        timer.add("a", 3.0, calls=2)
+        timer.add("b", 1.0)
+        summary = timer.as_dict()
+        assert summary["a"]["share"] == pytest.approx(0.75)
+        assert summary["b"]["share"] == pytest.approx(0.25)
+        assert summary["a"]["calls"] == 2
+        assert timer.total_seconds() == pytest.approx(4.0)
+
+    def test_render_lists_every_phase_and_total(self):
+        timer = PhaseTimer(tracer=None)
+        timer.add("env_step", 2.0, calls=100)
+        timer.add("learn", 1.0, calls=10)
+        table = timer.render()
+        assert "env_step" in table and "learn" in table
+        assert "total" in table
+
+    def test_render_empty(self):
+        assert PhaseTimer(tracer=None).render() == "no phases recorded"
+
+
+class TestSpanAdapter:
+    def test_aggregates_identical_with_and_without_tracer(self):
+        # The adapter must be a pure tee: attaching a tracer changes
+        # nothing about the --profile numbers.
+        plain = PhaseTimer(tracer=None, clock=ScriptedClock(0.0, 1.5))
+        traced = PhaseTimer(
+            tracer=Tracer(clock=ScriptedClock()),
+            clock=ScriptedClock(0.0, 1.5),
+        )
+        for timer in (plain, traced):
+            started = timer.start()
+            timer.stop("env_step", started, calls=8)
+            timer.add("learn", 0.5)
+        assert plain.as_dict() == traced.as_dict()
+        assert plain.render() == traced.render()
+
+    def test_stop_records_span_with_phase_cat_and_calls(self):
+        tracer = Tracer(clock=ScriptedClock())
+        timer = PhaseTimer(tracer=tracer, clock=ScriptedClock(2.0, 3.0))
+        timer.stop("learn", timer.start(), calls=3)
+        (event,) = tracer.events
+        assert event["name"] == "learn"
+        assert event["cat"] == "phase"
+        assert event["ts"] == 2.0 and event["dur"] == pytest.approx(1.0)
+        assert event["attrs"] == {"calls": 3}
+
+    def test_phase_spans_nest_under_open_span(self):
+        tracer = Tracer(clock=ScriptedClock())
+        timer = PhaseTimer(tracer=tracer, clock=ScriptedClock(0.0, 1.0))
+        with tracer.span("episode") as episode:
+            timer.stop("env_step", timer.start())
+        phase_event = tracer.events[0]
+        assert phase_event["parent"] == episode.span_id
+
+    def test_add_synthesizes_start_timestamp(self):
+        tracer = Tracer(clock=ScriptedClock())
+        # add() has no measured start; the adapter back-dates one so the
+        # span still has a sensible position on the timeline.
+        timer = PhaseTimer(tracer=tracer, clock=ScriptedClock(10.0))
+        timer.add("learn", 2.5)
+        (event,) = tracer.events
+        assert event["ts"] == pytest.approx(7.5)
+        assert event["dur"] == pytest.approx(2.5)
+
+
+class TestDefaultTracer:
+    def test_null_telemetry_means_no_tracer(self):
+        timer = PhaseTimer()
+        assert timer._tracer is None
+
+    def test_enabled_telemetry_supplies_its_tracer(self):
+        tel = Telemetry()
+        previous = set_telemetry(tel)
+        try:
+            timer = PhaseTimer()
+            assert timer._tracer is tel.tracer
+            timer.add("learn", 0.1)
+        finally:
+            set_telemetry(previous)
+        assert [e["name"] for e in tel.tracer.events] == ["learn"]

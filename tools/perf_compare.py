@@ -43,7 +43,33 @@ GATED_METRICS = {
     "BENCH_vector_sim.json": ["speedup"],
     "BENCH_serve.json": ["speedup"],
     "BENCH_train.json": ["prioritized_speedup", "ingest_speedup"],
+    "BENCH_obs.json": ["serve_enabled_throughput_ratio"],
 }
+
+
+def check_sync(root_dir: Path, results_dir: Path) -> List[str]:
+    """Detect diverged committed copies of the benchmark records.
+
+    ``benchmarks/_util.write_bench_record`` writes every record twice —
+    ``benchmarks/results/<name>`` (the CI artifact) and the repo-root
+    copy (the committed baseline this tool gates against).  The root
+    copy is the single committed record; if a results-dir copy is also
+    tracked it must be byte-identical, otherwise "which number is the
+    baseline" becomes ambiguous.  Returns one message per divergence.
+    """
+    problems: List[str] = []
+    for name in sorted(GATED_METRICS):
+        root_path = root_dir / name
+        results_path = results_dir / name
+        if not root_path.exists() or not results_path.exists():
+            continue
+        if root_path.read_bytes() != results_path.read_bytes():
+            problems.append(
+                f"{name}: {root_path} and {results_path} differ — "
+                f"re-run the benchmark (it writes both) or copy the root "
+                f"baseline over the stale record"
+            )
+    return problems
 
 
 def _lookup(record: dict, path: str) -> float:
@@ -122,6 +148,16 @@ def main(argv=None) -> int:
             "(default 0.30 = fail under 70%% of baseline)"
         ),
     )
+    parser.add_argument(
+        "--assert-sync",
+        action="store_true",
+        help=(
+            "also fail when a benchmark record exists in both the baseline "
+            "and current directories but the copies are not byte-identical "
+            "(guards the committed root baseline against a stale "
+            "benchmarks/results/ copy)"
+        ),
+    )
     args = parser.parse_args(argv)
     if not 0.0 <= args.tolerance < 1.0:
         print(f"perf_compare: --tolerance must be in [0, 1), got {args.tolerance}",
@@ -136,12 +172,25 @@ def main(argv=None) -> int:
         print(f"perf_compare: malformed benchmark record: {exc}", file=sys.stderr)
         return 2
 
+    sync_problems: List[str] = []
+    if args.assert_sync:
+        sync_problems = check_sync(args.baseline_dir, args.current_dir)
+
     for message in skipped:
         print(f"SKIP {message}")
     for message in ok:
         print(f"OK   {message}")
     for message in regressions:
         print(f"FAIL {message}", file=sys.stderr)
+    for message in sync_problems:
+        print(f"FAIL {message}", file=sys.stderr)
+    if sync_problems:
+        print(
+            f"perf_compare: {len(sync_problems)} benchmark record(s) out of "
+            f"sync between baseline and current directories",
+            file=sys.stderr,
+        )
+        return 1
     if regressions:
         print(
             f"perf_compare: {len(regressions)} metric(s) regressed more than "

@@ -26,8 +26,14 @@ Exposes the library's main workflows without writing Python:
 * ``repro-hvac loadtest``   — fleet load harness: drive a large fleet
   through the gateway in micro-batched and per-request modes and report
   the throughput comparison (``--out`` writes the JSON record).
+* ``repro-hvac workload``   — deterministic workload traces: list and
+  describe the preset request patterns, generate seeded traces (stored
+  with provenance), and replay them through the serving gateway over
+  the scenario × fault × controller × workload grid with bit-
+  reproducible replay fingerprints (``--resume`` persists cells).
 * ``repro-hvac report``     — render a Markdown report (summary tables,
-  provenance, timing) from a campaign or serve run directory.
+  provenance, timing) from a campaign, serve, or workload-suite run
+  directory.
 * ``repro-hvac obs``        — inspect telemetry produced by the
   ``--trace PATH`` / ``--metrics PATH`` flags (available on ``train``,
   ``serve``, ``loadtest``, ``campaign``, ``robustness``): dump a
@@ -356,6 +362,106 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out", type=str, default=None, help="write the JSON record here"
     )
 
+    workload = sub.add_parser(
+        "workload",
+        help="generate and replay deterministic workload traces",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "Actions:\n"
+            "  list      registered workload presets\n"
+            "  describe  one preset's full spec and expected event count\n"
+            "  generate  deterministic trace(s) from --workloads for a\n"
+            "            --fleet sized fleet and --seed; --out FILE writes\n"
+            "            a standalone trace JSON (single workload),\n"
+            "            --store RUN_DIR records traces as run artifacts\n"
+            "  replay    replay traces through the serving gateway over\n"
+            "            the scenario x fault x controller x workload\n"
+            "            grid; every cell gets a deterministic replay\n"
+            "            fingerprint.  --resume RUN_DIR persists cells\n"
+            "            and recorded traces (resumable, bit-identical\n"
+            "            fingerprints); --from-trace FILE replays one\n"
+            "            recorded trace file instead of a grid.\n"
+            "\n"
+            "Replay is always micro-batched deterministic serving, so the\n"
+            "same trace yields the same actions, flush sequence, and\n"
+            "summary fingerprint on every invocation; render stored runs\n"
+            "with `repro-hvac report RUN_DIR`."
+        ),
+    )
+    workload.add_argument(
+        "action", choices=["list", "describe", "generate", "replay"],
+        help="what to do (see below)",
+    )
+    workload.add_argument(
+        "name", nargs="?", default=None,
+        help="workload preset name (describe)",
+    )
+    workload.add_argument(
+        "--workloads",
+        type=str,
+        default="all",
+        help="comma-separated workload presets, or 'all' (default)",
+    )
+    workload.add_argument(
+        "--scenarios",
+        type=str,
+        default="baseline-tou",
+        help="replay: comma-separated registered scenario names, or 'all'",
+    )
+    workload.add_argument(
+        "--controllers",
+        type=str,
+        default="thermostat",
+        help="replay: comma-separated controllers (thermostat, pid, random, dqn)",
+    )
+    workload.add_argument(
+        "--faults",
+        type=str,
+        default="none",
+        help="replay: comma-separated fault profiles (default: none)",
+    )
+    workload.add_argument(
+        "--fleet", type=int, default=8,
+        help="fleet size = trace client count (default 8)",
+    )
+    workload.add_argument(
+        "--seed", type=int, default=0,
+        help="trace generation and fleet build seed (default 0)",
+    )
+    workload.add_argument(
+        "--duration-s", type=float, default=None, metavar="SECONDS",
+        help="override every workload's trace horizon (e.g. short CI runs)",
+    )
+    workload.add_argument(
+        "--max-batch", type=int, default=64,
+        help="micro-batcher flush size during replay (default 64)",
+    )
+    workload.add_argument(
+        "--from-trace", type=str, default=None, metavar="FILE",
+        help="replay: a standalone trace JSON written by `workload generate --out`",
+    )
+    workload.add_argument(
+        "--out", type=str, default=None, metavar="FILE",
+        help="generate: write the trace JSON; replay: write the summary JSON",
+    )
+    workload.add_argument(
+        "--store",
+        type=str,
+        default=None,
+        metavar="RUN_DIR",
+        help="generate: record traces into a workload-suite run directory",
+    )
+    workload.add_argument(
+        "--resume",
+        type=str,
+        default=None,
+        metavar="RUN_DIR",
+        help=(
+            "replay: durable run directory (created if missing); completed "
+            "cells and recorded traces are reused on rerun"
+        ),
+    )
+
     report = sub.add_parser(
         "report",
         help="render a Markdown report from a run directory",
@@ -434,13 +540,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="check: Prometheus text exposition to validate",
     )
 
-    for instrumented in (train, serve, loadtest, campaign, robustness):
+    for instrumented in (train, serve, loadtest, campaign, robustness, workload):
         _add_telemetry_args(instrumented)
     return parser
 
 
 #: Subcommands carrying the --trace/--metrics telemetry flags.
-_TELEMETRY_COMMANDS = ("train", "serve", "loadtest", "campaign", "robustness")
+_TELEMETRY_COMMANDS = (
+    "train", "serve", "loadtest", "campaign", "robustness", "workload"
+)
 
 
 def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
@@ -520,6 +628,16 @@ def _add_serving_args(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument("--seed", type=int, default=0, help="fleet build seed base")
+    parser.add_argument(
+        "--warmup",
+        type=int,
+        default=0,
+        metavar="TICKS",
+        help=(
+            "serve this many unmeasured ticks before the throughput/latency "
+            "window opens (fleet reset is always excluded from the window)"
+        ),
+    )
     parser.add_argument(
         "--store",
         type=str,
@@ -1047,7 +1165,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"serving {label} to {args.fleet} x {args.scenario} for "
         f"{args.steps} ticks (max batch {args.max_batch})"
     )
-    stats = gateway.run(args.steps)
+    stats = gateway.run(args.steps, warmup=args.warmup)
     print(stats.render())
     if args.store:
         _store_serve_stats(args, stats.as_dict())
@@ -1081,7 +1199,7 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         gateway = make_gateway(
             _batcher_config(args, max_batch=max_batch), routes
         )
-        return gateway.run(args.steps)
+        return gateway.run(args.steps, warmup=args.warmup)
 
     print(
         f"loadtest: {args.fleet} x {args.scenario}, {args.steps} ticks, "
@@ -1099,6 +1217,10 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         "baseline_share": args.baseline_share,
         "deterministic": bool(args.deterministic),
         "max_batch": args.max_batch,
+        # Fleet build/reset (and --warmup ticks) run before the window
+        # opens; records written by earlier releases measured them too.
+        "measurement_window": "steady-state",
+        "warmup": args.warmup,
         "batched": batched.as_dict(),
     }
     if not args.skip_per_request:
@@ -1119,12 +1241,233 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _workload_suite_spec(args: argparse.Namespace):
+    """Build the SuiteSpec a ``workload replay`` invocation describes."""
+    from repro.sim import get_scenario, list_scenarios
+    from repro.workloads import SuiteSpec, get_workload, list_workloads
+
+    if args.scenarios == "all":
+        scenario_names = tuple(list_scenarios())
+    else:
+        scenario_names = tuple(s for s in args.scenarios.split(",") if s)
+    if args.workloads == "all":
+        workload_names = tuple(list_workloads())
+    else:
+        workload_names = tuple(w for w in args.workloads.split(",") if w)
+    for name in scenario_names:
+        get_scenario(name)
+    for name in workload_names:
+        get_workload(name)
+    return SuiteSpec(
+        scenarios=scenario_names,
+        workloads=workload_names,
+        controllers=tuple(c for c in args.controllers.split(",") if c),
+        faults=tuple(f for f in args.faults.split(",") if f),
+        fleet=args.fleet,
+        seed=args.seed,
+        max_batch=args.max_batch,
+        duration_s=args.duration_s,
+    )
+
+
+def _open_suite_store(args: argparse.Namespace, spec):
+    """Open/create a resumable workload-suite run directory.
+
+    Suite cells are deterministic functions of (fleet, seed, max_batch,
+    duration_s), so resuming with different values would mix
+    incomparable fingerprints — reject it like campaign resume rejects
+    changed seeds.
+    """
+    from repro.store import ExperimentStore
+
+    try:
+        store = ExperimentStore.open_or_create(
+            args.resume,
+            kind="workload-suite",
+            config=spec.as_config(),
+            command=args.argv,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"workload: {exc}", file=sys.stderr)
+        return None, 2
+    stored_config = store.manifest.config
+    current_config = spec.as_config()
+    for key in ("fleet", "seed", "max_batch", "duration_s"):
+        if key in stored_config and stored_config[key] != current_config[key]:
+            print(
+                f"workload: --resume {args.resume} was created with "
+                f"{key}={stored_config[key]}, but this run requests "
+                f"{key}={current_config[key]}; use a fresh run directory",
+                file=sys.stderr,
+            )
+            return None, 2
+    planned = {
+        (s, c, f, w)
+        for s in current_config["scenarios"]
+        for c in current_config["controllers"]
+        for f in current_config["faults"]
+        for w in current_config["workloads"]
+    }
+    reused = len(store.completed_workload_cells() & planned)
+    if reused:
+        print(f"resuming {args.resume}: {reused} of {len(planned)} cells stored")
+    return store, 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from repro.workloads import (
+        WorkloadTrace,
+        generate_trace,
+        get_workload,
+        list_workloads,
+        record_trace,
+        run_suite,
+        run_suite_job,
+    )
+
+    try:
+        if args.action == "list":
+            for name in list_workloads():
+                spec = get_workload(name)
+                print(f"{name:18s} [{spec.kind:8s}] {spec.description}")
+            return 0
+
+        if args.action == "describe":
+            if not args.name:
+                raise ValueError("workload describe requires a preset NAME")
+            spec = get_workload(args.name)
+            config = spec.as_config()
+            config["expected_events_per_client_day"] = spec.expected_events(
+                1
+            ) * 86_400.0 / spec.duration_s
+            print(json.dumps(config, indent=2, sort_keys=True))
+            return 0
+
+        if args.action == "generate":
+            if args.workloads == "all":
+                names = list_workloads()
+            else:
+                names = [w for w in args.workloads.split(",") if w]
+            if args.out and len(names) != 1:
+                raise ValueError(
+                    "--out writes a single trace file; pass exactly one "
+                    "--workloads preset with it"
+                )
+            store = None
+            if args.store:
+                from repro.store import ExperimentStore
+
+                store = ExperimentStore.open_or_create(
+                    args.store,
+                    kind="workload-suite",
+                    config={
+                        "workloads": names,
+                        "fleet": args.fleet,
+                        "seed": args.seed,
+                        "duration_s": args.duration_s,
+                    },
+                    command=args.argv,
+                )
+            for name in names:
+                trace = generate_trace(
+                    name,
+                    n_clients=args.fleet,
+                    seed=args.seed,
+                    duration_s=args.duration_s,
+                )
+                print(
+                    f"{name:18s} events={trace.n_events:6d} "
+                    f"requests={trace.n_requests:6d} "
+                    f"ticks={trace.n_ticks:4d} sha256={trace.sha256[:16]}"
+                )
+                if args.out:
+                    trace.save(args.out)
+                    print(f"trace written to {args.out}")
+                if store is not None:
+                    record_trace(store, trace)
+            if store is not None:
+                print(f"trace artifacts recorded in {args.store}")
+            return 0
+
+        # replay
+        if args.from_trace:
+            from repro.sim import get_scenario
+            from repro.workloads import SuiteJob
+
+            trace = WorkloadTrace.load(args.from_trace)
+            scenario = get_scenario(args.scenarios.split(",")[0])
+            controller = args.controllers.split(",")[0]
+            fault = args.faults.split(",")[0]
+            job = SuiteJob(
+                scenario=scenario,
+                controller=controller,
+                fault=fault,
+                workload=trace.spec,
+                fleet=trace.n_clients,
+                seed=args.seed,
+                max_batch=args.max_batch,
+            )
+            row = run_suite_job(job, trace)
+            print(
+                f"replayed {trace.workload} ({trace.n_requests} requests "
+                f"over {trace.n_ticks} ticks) against {scenario.name} / "
+                f"{controller} / {fault}"
+            )
+            print(f"fingerprint: {row.fingerprint}")
+            timing = row.timing
+            lat = timing.get("latency_ms", {})
+            print(
+                f"throughput: {timing.get('throughput_rps', 0.0):,.0f} req/s  "
+                f"p50={lat.get('p50', 0.0):.3f} ms  "
+                f"p99={lat.get('p99', 0.0):.3f} ms"
+            )
+            if args.out:
+                with open(args.out, "w") as fh:
+                    json.dump(row.as_dict(), fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+                print(f"replay summary written to {args.out}")
+            return 0
+
+        spec = _workload_suite_spec(args)
+        store = None
+        if args.resume:
+            store, code = _open_suite_store(args, spec)
+            if store is None:
+                return code
+        result = run_suite(spec, store=store)
+        print(result.render())
+        if store is not None:
+            print(
+                f"workload-suite artifacts stored in {args.resume} "
+                f"(render with `repro-hvac report {args.resume}`)"
+            )
+        if args.out:
+            with open(args.out, "w") as fh:
+                json.dump(
+                    [r.as_dict() for r in result.rows], fh, indent=2,
+                    sort_keys=True,
+                )
+                fh.write("\n")
+            print(f"suite rows written to {args.out}")
+        return 0
+    except BrokenPipeError:
+        # Reader closed early (e.g. ``workload list | head``).
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"workload: {_error_message(exc)}", file=sys.stderr)
+        return 2
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.store import (
         ExperimentStore,
         render_campaign_report,
         render_robustness_report,
         render_serve_report,
+        render_workload_report,
     )
 
     try:
@@ -1133,6 +1476,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
             text = render_serve_report(store)
         elif store.manifest.kind == "robustness":
             text = render_robustness_report(store)
+        elif store.manifest.kind == "workload-suite":
+            text = render_workload_report(store)
         else:
             text = render_campaign_report(store)
     except (FileNotFoundError, ValueError) as exc:
@@ -1308,6 +1653,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "robustness": _cmd_robustness,
         "serve": _cmd_serve,
         "loadtest": _cmd_loadtest,
+        "workload": _cmd_workload,
         "report": _cmd_report,
         "obs": _cmd_obs,
     }

@@ -69,6 +69,18 @@ _SPECS = (
     MetricSpec("campaign.cell_seconds", "histogram",
                "Wall-clock seconds per campaign cell.", (),
                DURATION_BUCKETS_S),
+    # --- workloads ----------------------------------------------------
+    MetricSpec("workload.events_total", "counter",
+               "Trace events generated, per workload preset.",
+               ("workload",)),
+    MetricSpec("workload.replay_requests_total", "counter",
+               "Requests replayed from recorded traces, per workload.",
+               ("workload",)),
+    MetricSpec("workload.replay_ticks_total", "counter",
+               "Control ticks replayed from recorded traces."),
+    MetricSpec("workload.cells_total", "counter",
+               "Workload-suite cells finished, by how the result was "
+               "obtained.", ("status",)),
     # --- fault injection ----------------------------------------------
     MetricSpec("faults.activations_total", "counter",
                "Fault-model hook invocations (action or observation "

@@ -115,6 +115,10 @@ class MicroBatcher:
         Telemetry sink; a fresh :class:`ServeStats` when omitted.
     clock:
         Monotonic time source, injectable for deterministic tests.
+    on_flush:
+        Optional observer called as ``on_flush(policy_key, reason, size)``
+        after every completed flush.  Workload replay uses it to digest
+        the exact flush sequence; it must not mutate batcher state.
     """
 
     def __init__(
@@ -124,11 +128,13 @@ class MicroBatcher:
         config: Optional[MicroBatcherConfig] = None,
         stats: Optional[ServeStats] = None,
         clock=time.perf_counter,
+        on_flush=None,
     ) -> None:
         self.registry = registry
         self.config = config if config is not None else MicroBatcherConfig()
         self.stats = stats if stats is not None else ServeStats()
         self._clock = clock
+        self.on_flush = on_flush
         self._queues: Dict[str, _Queue] = {}
         # Telemetry handles are captured once at construction; when the
         # process runs the null backend every hot-path site reduces to a
@@ -233,6 +239,8 @@ class MicroBatcher:
         if self._tel_enabled:
             self._flush_reason[reason].inc()
             queue.depth_gauge.set(0)
+        if self.on_flush is not None:
+            self.on_flush(queue.version.key, reason, len(tickets))
         return len(tickets)
 
     def __repr__(self) -> str:

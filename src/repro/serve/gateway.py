@@ -95,6 +95,14 @@ class FleetGateway:
             k for k in range(n) if k not in self._local_controllers
         ]
         self._obs: Optional[np.ndarray] = None
+        action_dim = len(vec_env.single_action_space.nvec)
+        # Hold-last-action state for partial ticks: clients not asking
+        # this tick keep applying their previous setpoints, exactly like
+        # a real thermostat between controller updates.
+        self._held_actions: List[np.ndarray] = [
+            np.zeros(action_dim, dtype=int) for _ in range(n)
+        ]
+        self.last_actions: Optional[np.ndarray] = None
         tel = get_telemetry()
         self._tel = tel
         self._tel_enabled = tel.enabled
@@ -125,19 +133,37 @@ class FleetGateway:
         return version.key
 
     # -------------------------------------------------------------- serving
-    def tick(self) -> np.ndarray:
+    def tick(self, active: Optional[Sequence[int]] = None) -> np.ndarray:
         """Serve one control step for the whole fleet; returns rewards.
 
-        One tick = submit every batched client's observation, flush the
-        barrier, answer local (baseline) clients, then advance the
-        simulation one step with the combined actions.
+        One tick = submit every active batched client's observation,
+        flush the barrier, answer active local (baseline) clients, then
+        advance the simulation one step with the combined actions.
+
+        ``active`` restricts which clients *request* an action this tick
+        (default: all of them).  Inactive clients hold their previous
+        action — the simulation always steps the whole fleet, but only
+        requesting clients cost inference.  Trace replay drives this to
+        reproduce recorded request patterns.
         """
         if self._obs is None:
             self.reset()
+        if active is None:
+            active_set = None
+        else:
+            active_set = {int(k) for k in active}
+            invalid = [k for k in active_set if not 0 <= k < self.n_clients]
+            if invalid:
+                raise ValueError(
+                    f"active client indices out of range [0, {self.n_clients}): "
+                    f"{sorted(invalid)}"
+                )
         per_env_obs = self.vec_env.split_obs(self._obs)
         actions: List[Optional[np.ndarray]] = [None] * self.n_clients
         tickets: List[Ticket] = []
         for k in self._batched_clients:
+            if active_set is not None and k not in active_set:
+                continue
             tickets.append(
                 self.batcher.submit(self.routes[k], per_env_obs[k], client_id=k)
             )
@@ -145,10 +171,18 @@ class FleetGateway:
         for ticket in tickets:
             actions[ticket.client_id] = ticket.result()
         for k, controller in self._local_controllers.items():
+            if active_set is not None and k not in active_set:
+                continue
             started = self._clock()
             action = np.atleast_1d(controller.select_action(per_env_obs[k]))
             self.stats.record_batch(self.routes[k], [self._clock() - started])
             actions[k] = np.asarray(action, dtype=int)
+        for k in range(self.n_clients):
+            if actions[k] is None:
+                actions[k] = self._held_actions[k]
+            else:
+                self._held_actions[k] = actions[k]
+        self.last_actions = np.stack(actions)
         self._obs, rewards, dones, _ = self.vec_env.step(actions)
         if self._local_controllers and np.any(dones):
             # Autoreset rolled some clients into a fresh episode; stateful
@@ -163,9 +197,30 @@ class FleetGateway:
             self._ticks_total.inc()
         return rewards
 
-    def run(self, n_steps: int) -> ServeStats:
-        """Serve ``n_steps`` fleet ticks; returns the session telemetry."""
+    def run(self, n_steps: int, *, warmup: int = 0) -> ServeStats:
+        """Serve ``n_steps`` measured fleet ticks; returns the telemetry.
+
+        Fleet construction/reset and the optional ``warmup`` ticks run
+        *before* the measurement window opens, so throughput and latency
+        describe steady-state serving rather than being diluted by setup
+        (allocator warmup, first-touch caches, the initial ``reset``).
+        Warmup requests are recorded into a discarded scratch
+        :class:`ServeStats` and never appear in the returned numbers.
+        """
         check_positive("n_steps", n_steps)
+        if warmup < 0:
+            raise ValueError(f"warmup must be >= 0, got {warmup}")
+        if self._obs is None:
+            self.reset()
+        if warmup:
+            scratch = ServeStats(clock=self._clock)
+            session_stats = self.stats
+            self.stats = self.batcher.stats = scratch
+            try:
+                for _ in range(int(warmup)):
+                    self.tick()
+            finally:
+                self.stats = self.batcher.stats = session_stats
         self.stats.start()
         with self._tel.span(
             "serve.session", cat="serve",

@@ -27,6 +27,7 @@ from repro.store.report import (
     render_campaign_report,
     render_robustness_report,
     render_serve_report,
+    render_workload_report,
 )
 
 __all__ = [
@@ -36,4 +37,5 @@ __all__ = [
     "render_campaign_report",
     "render_robustness_report",
     "render_serve_report",
+    "render_workload_report",
 ]

@@ -177,6 +177,102 @@ def render_serve_report(store: ExperimentStore) -> str:
     return "\n".join(lines)
 
 
+def render_workload_report(store: ExperimentStore) -> str:
+    """Render a workload-suite run directory as a Markdown report.
+
+    A workload-suite run holds recorded traces (``workload_trace__*``
+    artifacts) plus one fingerprinted replay summary per (scenario,
+    fault, controller, workload) cell.  The report surfaces both halves:
+    the deterministic identity (trace digests, replay fingerprints —
+    what acceptance diffs compare) and the measured serving numbers
+    (latency quantiles, throughput).
+    """
+    if store.manifest.kind != "workload-suite":
+        raise ValueError(
+            f"expected a workload-suite run, got kind={store.manifest.kind!r}"
+        )
+    cells = [
+        c
+        for c in store.iter_cells()
+        if c.get("workload", ExperimentStore.NO_WORKLOAD)
+        != ExperimentStore.NO_WORKLOAD
+    ]
+    lines: List[str] = [f"# Workload-suite report — {store.manifest.run_id}", ""]
+    lines.extend(_provenance_lines(store))
+    lines.append("")
+
+    trace_names = [
+        name for name in store.list_artifacts()
+        if name.startswith("workload_trace__")
+    ]
+    if trace_names:
+        lines.append("## Recorded traces")
+        lines.append("")
+        body = []
+        for name in trace_names:
+            payload = store.get_artifact(name)
+            body.append(
+                [
+                    str(payload.get("spec", {}).get("name", name)),
+                    str(payload.get("n_clients", "")),
+                    str(payload.get("seed", "")),
+                    str(payload.get("n_events", "")),
+                    f"`{str(payload.get('sha256', ''))[:16]}`",
+                ]
+            )
+        lines.append(
+            format_markdown_table(
+                ["workload", "clients", "seed", "events", "trace sha256"], body
+            )
+        )
+        lines.append("")
+
+    lines.append("## Replay cells")
+    lines.append("")
+    if not cells:
+        lines.append("_No completed cells yet._")
+        lines.append("")
+        return "\n".join(lines)
+    header = [
+        "scenario",
+        "fault",
+        "controller",
+        "workload",
+        "requests",
+        "p50 (ms)",
+        "p99 (ms)",
+        "req/s",
+        "fingerprint",
+    ]
+    body = []
+    for cell in cells:
+        row = cell["row"]
+        timing = row.get("timing", {})
+        latency = timing.get("latency_ms", {})
+        body.append(
+            [
+                row["scenario"],
+                row.get("fault", ExperimentStore.NO_FAULT),
+                row["controller"],
+                row["workload"],
+                str(row.get("replay", {}).get("n_requests", "")),
+                f"{float(latency.get('p50', 0.0)):.3f}",
+                f"{float(latency.get('p99', 0.0)):.3f}",
+                f"{float(timing.get('throughput_rps', 0.0)):,.0f}",
+                f"`{str(row.get('fingerprint', ''))[:16]}`",
+            ]
+        )
+    lines.append(format_markdown_table(header, body))
+    lines.append("")
+    lines.append(
+        "Fingerprints digest the deterministic replay block (actions, "
+        "flush sequence, trace identity); timing columns are measured "
+        "per run and excluded from the fingerprint."
+    )
+    lines.append("")
+    return "\n".join(lines)
+
+
 def render_robustness_report(store: ExperimentStore) -> str:
     """Render a robustness run directory as a Markdown report.
 

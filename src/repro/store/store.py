@@ -263,24 +263,46 @@ class ExperimentStore:
     # The clean (fault-free) axis value; kept as a local literal so the
     # store stays importable without the faults package.
     NO_FAULT = "none"
+    #: The no-workload axis value (campaign/robustness cells).
+    NO_WORKLOAD = "none"
 
     @classmethod
-    def cell_key(cls, scenario: str, controller: str, fault: str = NO_FAULT) -> str:
-        """Stable file token for one (scenario, controller, fault) cell.
+    def cell_key(
+        cls,
+        scenario: str,
+        controller: str,
+        fault: str = NO_FAULT,
+        workload: str = NO_WORKLOAD,
+    ) -> str:
+        """Stable file token for one (scenario, controller, fault,
+        workload) cell.
 
-        Clean cells keep the historical two-part token, so run
-        directories written before the fault axis existed resume
-        unchanged.
+        Clean cells keep the historical two-part token and clean-but-
+        faulted cells the three-part one, so run directories written
+        before each axis existed resume unchanged.  Workload cells are
+        always four-part — the fault token is written even when clean,
+        so a three-part token is unambiguously a fault cell.
         """
+        if workload != cls.NO_WORKLOAD:
+            return (
+                f"{_slug(scenario)}__{_slug(controller)}"
+                f"__{_slug(fault)}__{_slug(workload)}"
+            )
         if fault == cls.NO_FAULT:
             return f"{_slug(scenario)}__{_slug(controller)}"
         return f"{_slug(scenario)}__{_slug(controller)}__{_slug(fault)}"
 
-    def _cell_path(self, scenario: str, controller: str, fault: str = NO_FAULT) -> Path:
+    def _cell_path(
+        self,
+        scenario: str,
+        controller: str,
+        fault: str = NO_FAULT,
+        workload: str = NO_WORKLOAD,
+    ) -> Path:
         return (
             self.root
             / _CELL_DIR
-            / f"{self.cell_key(scenario, controller, fault)}.json"
+            / f"{self.cell_key(scenario, controller, fault, workload)}.json"
         )
 
     def put_cell(
@@ -298,35 +320,43 @@ class ExperimentStore:
         scenario = str(row_dict["scenario"])
         controller = str(row_dict["controller"])
         fault = str(row_dict.get("fault", self.NO_FAULT))
+        workload = str(row_dict.get("workload", self.NO_WORKLOAD))
         payload = {
             "scenario": scenario,
             "controller": controller,
             "fault": fault,
+            "workload": workload,
             "row": row_dict,
             "elapsed_seconds": elapsed_seconds,
             "completed_at": _utc_now(),
         }
-        path = self._cell_path(scenario, controller, fault)
+        path = self._cell_path(scenario, controller, fault, workload)
         if path.exists():
             existing = json.loads(path.read_text())
             if (
                 existing.get("scenario") != scenario
                 or existing.get("controller") != controller
                 or existing.get("fault", self.NO_FAULT) != fault
+                or existing.get("workload", self.NO_WORKLOAD) != workload
             ):
                 raise ValueError(
                     f"cell file {path.name} already holds "
                     f"({existing.get('scenario')!r}, "
                     f"{existing.get('controller')!r}, "
-                    f"{existing.get('fault', self.NO_FAULT)!r}); rename one "
-                    f"of the slug-colliding scenarios/controllers/faults"
+                    f"{existing.get('fault', self.NO_FAULT)!r}, "
+                    f"{existing.get('workload', self.NO_WORKLOAD)!r}); rename "
+                    f"one of the slug-colliding axis values"
                 )
         path.parent.mkdir(parents=True, exist_ok=True)
         _atomic_write_json(path, payload)
         return path
 
     def get_cell(
-        self, scenario: str, controller: str, fault: str = NO_FAULT
+        self,
+        scenario: str,
+        controller: str,
+        fault: str = NO_FAULT,
+        workload: str = NO_WORKLOAD,
     ) -> Optional[dict]:
         """One cell's stored payload, or None when not yet completed.
 
@@ -334,7 +364,7 @@ class ExperimentStore:
         names that slug to the same file token (``"heat wave"`` vs
         ``"heat-wave"``) must not answer for each other.
         """
-        path = self._cell_path(scenario, controller, fault)
+        path = self._cell_path(scenario, controller, fault, workload)
         if not path.exists():
             return None
         payload = json.loads(path.read_text())
@@ -342,13 +372,18 @@ class ExperimentStore:
             payload.get("scenario") != scenario
             or payload.get("controller") != controller
             or payload.get("fault", self.NO_FAULT) != fault
+            or payload.get("workload", self.NO_WORKLOAD) != workload
         ):
             return None
         return payload
 
     def completed_cells(self) -> Set[Tuple[str, str, str]]:
         """The (scenario, controller, fault) triples with stored results
-        (clean cells report fault ``"none"``)."""
+        (clean cells report fault ``"none"``).
+
+        Workload-suite cells carry a fourth axis and are excluded here;
+        see :meth:`completed_workload_cells`.
+        """
         return {
             (
                 cell["scenario"],
@@ -356,6 +391,21 @@ class ExperimentStore:
                 cell.get("fault", self.NO_FAULT),
             )
             for cell in self.iter_cells()
+            if cell.get("workload", self.NO_WORKLOAD) == self.NO_WORKLOAD
+        }
+
+    def completed_workload_cells(self) -> Set[Tuple[str, str, str, str]]:
+        """The (scenario, controller, fault, workload) quadruples of
+        stored workload-suite cells."""
+        return {
+            (
+                cell["scenario"],
+                cell["controller"],
+                cell.get("fault", self.NO_FAULT),
+                cell["workload"],
+            )
+            for cell in self.iter_cells()
+            if cell.get("workload", self.NO_WORKLOAD) != self.NO_WORKLOAD
         }
 
     def iter_cells(self) -> List[dict]:

@@ -1,0 +1,79 @@
+"""Trace-driven workload harness: specs, deterministic traces, replay.
+
+The workload package makes the serving tier's load *reproducible*:
+declarative :class:`WorkloadSpec` presets (Poisson, bursty ON/OFF,
+diurnal, DR-event spikes) generate deterministic request traces from a
+seed (:func:`generate_trace`), traces persist as experiment-store
+artifacts with full provenance (:func:`record_trace` /
+:func:`load_trace`), and :func:`replay_trace` drives them through the
+:class:`~repro.serve.FleetGateway` with fingerprinted, bit-reproducible
+results.  :func:`run_suite` sweeps the full scenario × fault ×
+controller × workload grid with campaign-style store resume.
+"""
+
+from repro.workloads.generators import generate_trace
+from repro.workloads.golden import (
+    GOLDEN_WORKLOAD_CLIENTS,
+    GOLDEN_WORKLOAD_DURATION_S,
+    GOLDEN_WORKLOAD_SEED,
+    compute_workload_records,
+    golden_workload_record,
+)
+from repro.workloads.replay import ReplayResult, replay_trace
+from repro.workloads.spec import (
+    DEFAULT_RATE_HZ,
+    WORKLOAD_KINDS,
+    WorkloadSpec,
+    get_workload,
+    list_workloads,
+    register_workload,
+)
+from repro.workloads.suite import (
+    SUITE_CONTROLLERS,
+    SuiteJob,
+    SuiteResult,
+    SuiteRow,
+    SuiteSpec,
+    build_suite_gateway,
+    expand_suite,
+    run_suite,
+    run_suite_job,
+    suite_traces,
+)
+from repro.workloads.trace import (
+    WorkloadTrace,
+    load_trace,
+    record_trace,
+    trace_artifact_name,
+)
+
+__all__ = [
+    "DEFAULT_RATE_HZ",
+    "GOLDEN_WORKLOAD_CLIENTS",
+    "GOLDEN_WORKLOAD_DURATION_S",
+    "GOLDEN_WORKLOAD_SEED",
+    "ReplayResult",
+    "SUITE_CONTROLLERS",
+    "SuiteJob",
+    "SuiteResult",
+    "SuiteRow",
+    "SuiteSpec",
+    "WORKLOAD_KINDS",
+    "WorkloadSpec",
+    "WorkloadTrace",
+    "build_suite_gateway",
+    "compute_workload_records",
+    "expand_suite",
+    "generate_trace",
+    "get_workload",
+    "golden_workload_record",
+    "list_workloads",
+    "load_trace",
+    "record_trace",
+    "register_workload",
+    "replay_trace",
+    "run_suite",
+    "run_suite_job",
+    "suite_traces",
+    "trace_artifact_name",
+]

@@ -1,0 +1,53 @@
+"""Golden workload-trace digests: hashed traces that pin the generators.
+
+A golden workload record is the content digest (and count probes) of the
+trace each registered workload preset generates under a fixed fleet size
+and seed.  The committed fixtures (``tests/golden/workloads.json``) are
+checked in tier-1, so any silent drift in the generators — a reordered
+RNG draw, a changed thinning envelope, a preset edit — fails loudly with
+the workload name attached, exactly as golden trajectories pin the
+dynamics.
+
+Regenerate fixtures (only when a generator change is intended) with::
+
+    PYTHONPATH=src python tools/make_golden_workloads.py
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.workloads.generators import generate_trace
+from repro.workloads.spec import list_workloads
+
+# Part of the golden contract: changing any of these invalidates every
+# committed fixture.
+GOLDEN_WORKLOAD_SEED = 7100
+GOLDEN_WORKLOAD_CLIENTS = 4
+GOLDEN_WORKLOAD_DURATION_S = 21_600.0  # 6 hours = 24 control ticks
+
+
+def golden_workload_record(name: str) -> Dict[str, object]:
+    """Digest + probes of one preset's golden trace."""
+    trace = generate_trace(
+        name,
+        n_clients=GOLDEN_WORKLOAD_CLIENTS,
+        seed=GOLDEN_WORKLOAD_SEED,
+        duration_s=GOLDEN_WORKLOAD_DURATION_S,
+    )
+    return {
+        "sha256": trace.sha256,
+        "n_events": trace.n_events,
+        "n_requests": trace.n_requests,
+        "n_ticks": trace.n_ticks,
+    }
+
+
+def compute_workload_records(
+    names: Optional[Sequence[str]] = None,
+) -> Dict[str, Dict[str, object]]:
+    """Records for every (or the given) registered workload preset."""
+    return {
+        name: golden_workload_record(name)
+        for name in (names if names is not None else list_workloads())
+    }

@@ -1,0 +1,171 @@
+"""Trace replay against the serving stack, with deterministic fingerprints.
+
+:func:`replay_trace` drives a :class:`~repro.serve.gateway.FleetGateway`
+tick-by-tick from a recorded :class:`~repro.workloads.trace.WorkloadTrace`:
+at control tick *k* exactly the clients whose trace events fall in that
+tick request an action (the rest hold their previous one), so the
+serving tier sees the recorded request pattern instead of the all-
+clients-every-tick pattern ad-hoc load tests invent.
+
+Every replay produces a :class:`ReplayResult` split into two blocks:
+
+``replay``
+    The deterministic part — the trace digest, request/tick counts, a
+    SHA-256 over the exact action matrices of every tick, a SHA-256 over
+    the exact micro-batcher flush sequence ``(policy_key, reason,
+    size)``, and a combined ``fingerprint``.  Replaying the same trace
+    through the same fleet (``--deterministic`` batching) yields the
+    same fingerprint, bit for bit, on every invocation and across
+    ``--resume`` — this is the equality tests and acceptance gates
+    compare.
+``timing``
+    The measured part — latency quantiles, throughput, wall-clock —
+    which varies run to run and is therefore *excluded* from the
+    fingerprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.obs import get_telemetry
+from repro.serve.gateway import FleetGateway
+from repro.workloads.trace import WorkloadTrace
+
+
+def _canonical_sha256(payload: dict) -> str:
+    """SHA-256 of the canonical (sorted, compact) JSON of ``payload``."""
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+    ).hexdigest()
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of one trace replay: deterministic block + measured block."""
+
+    workload: str
+    trace_sha256: str
+    n_clients: int
+    n_ticks: int
+    n_requests: int
+    actions_sha256: str
+    flushes_sha256: str
+    n_flushes: int
+    total_reward: float
+    timing: dict
+
+    @property
+    def fingerprint(self) -> str:
+        """Combined digest of everything replay-deterministic."""
+        return _canonical_sha256(self.replay_block())
+
+    def replay_block(self) -> dict:
+        """The deterministic block (no timing, no floats from clocks)."""
+        return {
+            "workload": self.workload,
+            "trace_sha256": self.trace_sha256,
+            "n_clients": self.n_clients,
+            "n_ticks": self.n_ticks,
+            "n_requests": self.n_requests,
+            "actions_sha256": self.actions_sha256,
+            "flushes_sha256": self.flushes_sha256,
+            "n_flushes": self.n_flushes,
+        }
+
+    def as_dict(self) -> dict:
+        """Store-ready summary: deterministic block, fingerprint, timing.
+
+        ``replay`` and ``fingerprint`` are reproducible across
+        invocations; ``timing`` and ``total_reward`` are reported beside
+        them without being hashed.
+        """
+        return {
+            "replay": self.replay_block(),
+            "fingerprint": self.fingerprint,
+            "total_reward": self.total_reward,
+            "timing": dict(self.timing),
+        }
+
+
+def replay_trace(
+    trace: WorkloadTrace,
+    gateway: FleetGateway,
+    *,
+    warmup: int = 0,
+) -> ReplayResult:
+    """Replay ``trace`` through ``gateway``; returns the fingerprinted result.
+
+    The gateway's fleet must match the trace's ``n_clients``.  ``warmup``
+    extra all-client ticks run before the trace (and before the timing
+    window opens) to absorb first-touch setup cost; they do not affect
+    the deterministic fingerprint inputs because action digests only
+    start with the first trace tick.
+    """
+    if gateway.n_clients != trace.n_clients:
+        raise ValueError(
+            f"trace was recorded for {trace.n_clients} clients but the "
+            f"gateway serves {gateway.n_clients}"
+        )
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+
+    tel = get_telemetry()
+    requests_total = tel.metric("workload.replay_requests_total").labels(
+        workload=trace.workload
+    )
+    ticks_total = tel.metric("workload.replay_ticks_total")
+
+    buckets = trace.requests_by_tick()
+    actions_digest = hashlib.sha256()
+    flush_log: List[Tuple[str, str, int]] = []
+
+    def record_flush(policy_key: str, reason: str, size: int) -> None:
+        flush_log.append((policy_key, reason, size))
+
+    previous_hook = gateway.batcher.on_flush
+    gateway.reset()
+    for _ in range(int(warmup)):
+        gateway.tick()
+    gateway.batcher.on_flush = record_flush
+    total_reward = 0.0
+    gateway.stats.start()
+    try:
+        with tel.span(
+            "workload.replay", cat="workload",
+            workload=trace.workload, ticks=trace.n_ticks,
+        ):
+            for active in buckets:
+                rewards = gateway.tick(active)
+                total_reward += float(np.sum(rewards))
+                assert gateway.last_actions is not None
+                actions_digest.update(gateway.last_actions.tobytes())
+                if tel.enabled:
+                    ticks_total.inc()
+                    if active.size:
+                        requests_total.inc(int(active.size))
+    finally:
+        gateway.stats.stop()
+        gateway.batcher.on_flush = previous_hook
+
+    flushes_digest = hashlib.sha256()
+    for policy_key, reason, size in flush_log:
+        flushes_digest.update(f"{policy_key}|{reason}|{size}\n".encode())
+
+    return ReplayResult(
+        workload=trace.workload,
+        trace_sha256=trace.sha256,
+        n_clients=trace.n_clients,
+        n_ticks=trace.n_ticks,
+        n_requests=trace.n_requests,
+        actions_sha256=actions_digest.hexdigest(),
+        flushes_sha256=flushes_digest.hexdigest(),
+        n_flushes=len(flush_log),
+        total_reward=total_reward,
+        timing=gateway.stats.as_dict(),
+    )

@@ -1,0 +1,288 @@
+"""Declarative workload specifications and their registry.
+
+A :class:`WorkloadSpec` is a frozen, picklable description of one
+request/demand pattern a building fleet puts on the serving tier —
+*when* clients ask for control actions, independent of which scenario,
+fault profile, or controller answers them.  Four generator kinds cover
+the paper's load shapes:
+
+``poisson``
+    Memoryless steady traffic: aggregate exponential inter-arrivals at
+    ``rate_hz`` requests/second/client.
+``bursty``
+    An ON/OFF (interrupted-Poisson) process: alternating ON windows of
+    ``on_s`` seconds at ``burst_rate_multiplier`` × the base rate and
+    OFF windows of ``off_s`` seconds at ``off_rate_fraction`` × it.
+``diurnal``
+    A raised-cosine daily profile peaking at ``diurnal_peak_s`` seconds
+    past midnight and bottoming out at ``diurnal_min_fraction`` of the
+    base rate — afternoon cooling demand against a quiet night.
+``dr-spike``
+    Steady base traffic plus demand-response-synchronized spikes:
+    within each ``[start, start + spike_duration_s)`` window the rate
+    multiplies by ``spike_rate_multiplier`` (every thermostat re-plans
+    when the event price lands).
+
+Specs carry *rates per client*, so one spec scales to any fleet size;
+:func:`repro.workloads.generators.generate_trace` turns a spec, a fleet
+size, and a seed into a deterministic :class:`~repro.workloads.trace.
+WorkloadTrace`.  Named presets live in a registry so suites can be
+specified as plain strings on the command line, exactly like scenarios
+and fault profiles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass, replace
+from typing import Dict, List, Tuple
+
+from repro.utils.validation import check_positive
+
+#: Generator kinds a spec may name.
+WORKLOAD_KINDS = ("poisson", "bursty", "diurnal", "dr-spike")
+
+#: One request per 15-minute control tick, the fleet's natural cadence.
+DEFAULT_RATE_HZ = 1.0 / 900.0
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One named request-pattern, generatable into a trace from a seed.
+
+    Attributes
+    ----------
+    name / description / kind:
+        Identity; ``kind`` selects the generator (see module docstring).
+    rate_hz:
+        Mean request rate per client in requests/second before any
+        modulation (default: one request per 15-minute tick).
+    duration_s:
+        Trace horizon in seconds.
+    tick_s:
+        Control-tick length used to bucket events at replay time; must
+        match the simulated fleet's control interval (900 s).
+    on_s / off_s / burst_rate_multiplier / off_rate_fraction:
+        ON/OFF shape of the ``bursty`` kind.  The cycle starts ON at
+        ``t = 0``.
+    diurnal_period_s / diurnal_min_fraction / diurnal_peak_s:
+        Shape of the ``diurnal`` kind.
+    spike_starts_s / spike_duration_s / spike_rate_multiplier:
+        Spike windows of the ``dr-spike`` kind.
+    """
+
+    name: str
+    description: str = ""
+    kind: str = "poisson"
+    rate_hz: float = DEFAULT_RATE_HZ
+    duration_s: float = 86_400.0
+    tick_s: float = 900.0
+    # bursty (ON/OFF)
+    on_s: float = 1_800.0
+    off_s: float = 1_800.0
+    burst_rate_multiplier: float = 4.0
+    off_rate_fraction: float = 0.0
+    # diurnal
+    diurnal_period_s: float = 86_400.0
+    diurnal_min_fraction: float = 0.2
+    diurnal_peak_s: float = 50_400.0  # 14:00 — afternoon cooling peak
+    # dr-spike
+    spike_starts_s: Tuple[float, ...] = (46_800.0,)  # 13:00 DR event
+    spike_duration_s: float = 7_200.0
+    spike_rate_multiplier: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKLOAD_KINDS:
+            raise ValueError(
+                f"unknown workload kind {self.kind!r}; "
+                f"choose from {WORKLOAD_KINDS}"
+            )
+        check_positive("rate_hz", self.rate_hz)
+        check_positive("duration_s", self.duration_s)
+        check_positive("tick_s", self.tick_s)
+        if self.kind == "bursty":
+            check_positive("on_s", self.on_s)
+            check_positive("off_s", self.off_s, strict=False)
+            check_positive("burst_rate_multiplier", self.burst_rate_multiplier)
+            if self.off_rate_fraction < 0.0:
+                raise ValueError(
+                    f"off_rate_fraction must be >= 0, got {self.off_rate_fraction}"
+                )
+        if self.kind == "diurnal":
+            check_positive("diurnal_period_s", self.diurnal_period_s)
+            if not 0.0 <= self.diurnal_min_fraction <= 1.0:
+                raise ValueError(
+                    "diurnal_min_fraction must be in [0, 1], got "
+                    f"{self.diurnal_min_fraction}"
+                )
+        if self.kind == "dr-spike":
+            check_positive("spike_duration_s", self.spike_duration_s)
+            check_positive("spike_rate_multiplier", self.spike_rate_multiplier)
+            if any(t < 0.0 for t in self.spike_starts_s):
+                raise ValueError("spike_starts_s entries must be >= 0")
+        object.__setattr__(
+            self,
+            "spike_starts_s",
+            tuple(float(t) for t in self.spike_starts_s),
+        )
+
+    # -------------------------------------------------------------- shape
+    def rate_at(self, t: float) -> float:
+        """Instantaneous per-client request rate (Hz) at trace time ``t``."""
+        base = self.rate_hz
+        if self.kind == "poisson":
+            return base
+        if self.kind == "bursty":
+            phase = math.fmod(t, self.on_s + self.off_s)
+            if phase < self.on_s:
+                return base * self.burst_rate_multiplier
+            return base * self.off_rate_fraction
+        if self.kind == "diurnal":
+            lo = self.diurnal_min_fraction
+            shape = 0.5 * (
+                1.0
+                + math.cos(
+                    2.0 * math.pi * (t - self.diurnal_peak_s) / self.diurnal_period_s
+                )
+            )
+            return base * (lo + (1.0 - lo) * shape)
+        # dr-spike
+        for start in self.spike_starts_s:
+            if start <= t < start + self.spike_duration_s:
+                return base * self.spike_rate_multiplier
+        return base
+
+    def max_rate_hz(self) -> float:
+        """Tight upper bound on :meth:`rate_at` (the thinning envelope)."""
+        if self.kind == "bursty":
+            return self.rate_hz * max(
+                self.burst_rate_multiplier, self.off_rate_fraction
+            )
+        if self.kind == "dr-spike":
+            return self.rate_hz * max(self.spike_rate_multiplier, 1.0)
+        return self.rate_hz
+
+    def expected_events(self, n_clients: int) -> float:
+        """Analytic mean event count of a generated trace.
+
+        Exact for ``poisson``, ``bursty``, and ``dr-spike`` (piecewise-
+        constant rates); exact in the continuum for ``diurnal``.
+        """
+        T, base = self.duration_s, self.rate_hz
+        if self.kind == "poisson":
+            per_client = base * T
+        elif self.kind == "bursty":
+            cycle = self.on_s + self.off_s
+            full, rem = divmod(T, cycle)
+            on_time = full * self.on_s + min(rem, self.on_s)
+            off_time = T - on_time
+            per_client = base * (
+                on_time * self.burst_rate_multiplier
+                + off_time * self.off_rate_fraction
+            )
+        elif self.kind == "diurnal":
+            lo, w = self.diurnal_min_fraction, 2.0 * math.pi / self.diurnal_period_s
+            # ∫ lo + (1-lo)/2 (1 + cos w(t - peak)) dt over [0, T]
+            mean_shape = lo + (1.0 - lo) * 0.5
+            wobble = (
+                (1.0 - lo)
+                * 0.5
+                / w
+                * (math.sin(w * (T - self.diurnal_peak_s)) - math.sin(-w * self.diurnal_peak_s))
+            )
+            per_client = base * (mean_shape * T + wobble)
+        else:  # dr-spike
+            spike_time = 0.0
+            for start in self.spike_starts_s:
+                lo, hi = min(start, T), min(start + self.spike_duration_s, T)
+                spike_time += max(hi - lo, 0.0)
+            per_client = base * (T + spike_time * (self.spike_rate_multiplier - 1.0))
+        return per_client * int(n_clients)
+
+    @property
+    def n_ticks(self) -> int:
+        """Control ticks spanned by the trace horizon."""
+        return int(math.ceil(self.duration_s / self.tick_s))
+
+    # ------------------------------------------------------ serialization
+    def as_config(self) -> dict:
+        """JSON-ready field dict (round-trips through :meth:`from_config`)."""
+        config = asdict(self)
+        config["spike_starts_s"] = list(self.spike_starts_s)
+        return config
+
+    @classmethod
+    def from_config(cls, config: dict) -> "WorkloadSpec":
+        """Rebuild a spec from :meth:`as_config` output."""
+        payload = dict(config)
+        payload["spike_starts_s"] = tuple(payload.get("spike_starts_s", ()))
+        return cls(**payload)
+
+    def with_overrides(self, **changes) -> "WorkloadSpec":
+        """A copy of the spec with fields replaced."""
+        return replace(self, **changes)
+
+
+# ---------------------------------------------------------------- registry
+_REGISTRY: Dict[str, WorkloadSpec] = {}
+
+
+def register_workload(spec: WorkloadSpec, *, overwrite: bool = False) -> None:
+    """Add a workload to the global registry (error on duplicates unless
+    ``overwrite``)."""
+    if spec.name in _REGISTRY and not overwrite:
+        raise ValueError(f"workload {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look up a registered workload by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(list_workloads())}"
+        ) from None
+
+
+def list_workloads() -> List[str]:
+    """Registered workload names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def _register_presets() -> None:
+    presets = [
+        WorkloadSpec(
+            name="steady-poisson",
+            description="memoryless steady traffic, one request per tick per client",
+        ),
+        WorkloadSpec(
+            name="bursty-onoff",
+            description="30-min ON bursts at 4x between 30-min quiet windows",
+            kind="bursty",
+        ),
+        WorkloadSpec(
+            name="diurnal-office",
+            description="raised-cosine daily demand peaking at 14:00, quiet nights",
+            kind="diurnal",
+        ),
+        WorkloadSpec(
+            name="dr-event-spike",
+            description="steady base plus a 6x re-planning spike when the "
+            "13:00 demand-response event lands",
+            kind="dr-spike",
+        ),
+        WorkloadSpec(
+            name="dr-double-spike",
+            description="two DR-synchronized spikes (13:00 and 17:00), 4x each",
+            kind="dr-spike",
+            spike_starts_s=(46_800.0, 61_200.0),
+            spike_duration_s=3_600.0,
+            spike_rate_multiplier=4.0,
+        ),
+    ]
+    for spec in presets:
+        register_workload(spec, overwrite=True)
+
+
+_register_presets()

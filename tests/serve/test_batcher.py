@@ -222,3 +222,31 @@ class TestServeStatsUnits:
         assert summary["total_requests"] == 0
         assert summary["latency_ms"] == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
         assert summary["throughput_rps"] == 0.0
+
+
+class TestOnFlushHook:
+    def test_hook_sees_every_flush_with_key_reason_size(self):
+        batcher, _, _, _ = make_batcher(max_batch_size=3)
+        seen = []
+        batcher.on_flush = lambda key, reason, size: seen.append(
+            (key, reason, size)
+        )
+        for i in range(3):
+            batcher.submit("p", np.zeros(OBS_DIM), client_id=i)
+        assert seen == [("p@1", "max_batch", 3)]
+        batcher.submit("p", np.zeros(OBS_DIM), client_id=3)
+        batcher.flush()
+        assert seen == [("p@1", "max_batch", 3), ("p@1", "barrier", 1)]
+
+    def test_empty_flush_does_not_fire_the_hook(self):
+        batcher, _, _, _ = make_batcher(max_batch_size=4)
+        seen = []
+        batcher.on_flush = lambda *call: seen.append(call)
+        batcher.flush()
+        assert seen == []
+
+    def test_no_hook_is_the_default(self):
+        batcher, _, _, _ = make_batcher(max_batch_size=4)
+        assert batcher.on_flush is None
+        batcher.submit("p", np.zeros(OBS_DIM), client_id=0)
+        assert batcher.flush() == 1  # flushing without a hook stays fine

@@ -121,6 +121,74 @@ class TestEpisodeBoundaries:
         assert all(p.begins == 2 for p in probes)
 
 
+class TestPartialTicks:
+    def test_inactive_clients_hold_their_last_action(self):
+        vec = make_fleet(3)
+        gateway = FleetGateway(vec, make_registry(vec), "dqn", config=DETERMINISTIC)
+        gateway.reset()
+        gateway.tick()  # everyone requests; actions now held
+        held = np.array(gateway.last_actions, copy=True)
+        gateway.tick(active=[1])
+        # Clients 0 and 2 reused their previous action verbatim.
+        assert np.array_equal(gateway.last_actions[0], held[0])
+        assert np.array_equal(gateway.last_actions[2], held[2])
+
+    def test_first_tick_inactive_clients_apply_zero_action(self):
+        vec = make_fleet(2)
+        gateway = FleetGateway(vec, make_registry(vec), "dqn", config=DETERMINISTIC)
+        gateway.reset()
+        gateway.tick(active=[])
+        assert np.all(gateway.last_actions == 0)
+
+    def test_only_active_clients_cost_inference(self):
+        vec = make_fleet(4)
+        gateway = FleetGateway(vec, make_registry(vec), "dqn", config=DETERMINISTIC)
+        gateway.reset()
+        gateway.tick(active=[0, 3])
+        assert gateway.stats.total_requests == 2
+        # The simulation still stepped the whole fleet.
+        assert gateway.stats.env_steps == 4
+
+    def test_partial_ticks_serve_local_controllers_too(self):
+        vec = make_fleet(2)
+        gateway = FleetGateway(
+            vec, make_registry(vec), "baseline:thermostat", config=DETERMINISTIC
+        )
+        gateway.reset()
+        gateway.tick(active=[1])
+        assert gateway.stats.requests_per_policy == {"baseline:thermostat": 1}
+
+    def test_out_of_range_active_indices_raise(self):
+        vec = make_fleet(2)
+        gateway = FleetGateway(vec, make_registry(vec), "dqn", config=DETERMINISTIC)
+        gateway.reset()
+        with pytest.raises(ValueError, match="out of range"):
+            gateway.tick(active=[0, 2])
+
+
+class TestWarmup:
+    def test_warmup_ticks_stay_out_of_the_measurement_window(self):
+        vec = make_fleet(3)
+        gateway = FleetGateway(vec, make_registry(vec), "dqn", config=DETERMINISTIC)
+        stats = gateway.run(4, warmup=2)
+        # Only the measured steps appear in the session stats.
+        assert stats.total_requests == 3 * 4
+        assert stats.env_steps == 3 * 4
+
+    def test_warmup_still_advances_the_simulation(self):
+        vec = make_fleet(2)
+        gateway = FleetGateway(vec, make_registry(vec), "dqn", config=DETERMINISTIC)
+        gateway.run(1, warmup=3)
+        # The vector env's batched step counter saw warmup + measured ticks.
+        assert list(vec._steps_taken) == [4, 4]
+
+    def test_negative_warmup_raises(self):
+        vec = make_fleet(2)
+        gateway = FleetGateway(vec, make_registry(vec), "dqn", config=DETERMINISTIC)
+        with pytest.raises(ValueError, match="warmup"):
+            gateway.run(1, warmup=-1)
+
+
 class TestHotSwap:
     def test_swap_changes_serving_revision_without_dropping_requests(self):
         vec = make_fleet(4)

@@ -71,3 +71,56 @@ class TestRenderCampaignReport:
         store = ExperimentStore.create(tmp_path / "t", kind="train")
         with pytest.raises(ValueError, match="campaign"):
             render_campaign_report(store)
+
+
+class TestRenderWorkloadReport:
+    def _store(self, tmp_path):
+        from repro.store import render_workload_report
+
+        store = ExperimentStore.create(tmp_path / "run", kind="workload-suite")
+        return store, render_workload_report
+
+    def test_empty_run_renders_placeholder(self, tmp_path):
+        store, render = self._store(tmp_path)
+        report = render(store)
+        assert "# Workload-suite report" in report
+        assert "_No completed cells yet._" in report
+
+    def test_traces_and_cells_render_with_digests(self, tmp_path):
+        store, render = self._store(tmp_path)
+        store.put_artifact(
+            "workload_trace__steady-poisson",
+            {
+                "spec": {"name": "steady-poisson"},
+                "n_clients": 2,
+                "seed": 5,
+                "n_events": 7,
+                "sha256": "ab" * 32,
+            },
+        )
+        store.put_cell(
+            {
+                "scenario": "baseline-tou",
+                "controller": "thermostat",
+                "fault": "none",
+                "workload": "steady-poisson",
+                "fingerprint": "cd" * 32,
+                "replay": {"n_requests": 6},
+                "timing": {
+                    "latency_ms": {"p50": 0.5, "p99": 1.5},
+                    "throughput_rps": 123.0,
+                },
+            }
+        )
+        report = render(store)
+        assert "## Recorded traces" in report
+        assert f"`{'ab' * 8}`" in report  # 16-hex trace digest prefix
+        assert f"`{'cd' * 8}`" in report  # 16-hex fingerprint prefix
+        assert "excluded from the fingerprint" in report
+
+    def test_rejects_other_run_kinds(self, tmp_path):
+        from repro.store import render_workload_report
+
+        store = ExperimentStore.create(tmp_path / "run", kind="campaign")
+        with pytest.raises(ValueError, match="workload-suite"):
+            render_workload_report(store)

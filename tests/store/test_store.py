@@ -140,6 +140,45 @@ class TestCells:
         # Re-writing the same cell stays allowed (campaign reruns).
         store.put_cell(self._row("heat-wave", "pid"))
 
+    def test_workload_cells_live_on_a_fourth_axis(self, tmp_path):
+        store = ExperimentStore.create(tmp_path / "run", kind="workload-suite")
+        row = dict(self._row("heat-wave", "pid"), workload="steady-poisson")
+        store.put_cell(row)
+        cell = store.get_cell(
+            "heat-wave", "pid", workload="steady-poisson"
+        )
+        assert cell["row"]["workload"] == "steady-poisson"
+        # The workload cell never answers for the campaign cell.
+        assert store.get_cell("heat-wave", "pid") is None
+        assert store.get_cell("heat-wave", "pid", workload="bursty-onoff") is None
+
+    def test_workload_cell_key_is_always_four_part(self):
+        # Even clean workload cells write the fault token, so a
+        # three-part token stays unambiguously a fault cell.
+        assert (
+            ExperimentStore.cell_key("a", "b", workload="w")
+            == "a__b__none__w"
+        )
+        assert (
+            ExperimentStore.cell_key("a", "b", "stuck damper", "w")
+            == "a__b__stuck-damper__w"
+        )
+
+    def test_workload_cells_excluded_from_campaign_listing(self, tmp_path):
+        store = ExperimentStore.create(tmp_path / "run", kind="workload-suite")
+        store.put_cell(self._row("a", "pid"))
+        store.put_cell(
+            dict(
+                self._row("a", "pid"),
+                fault="stuck-damper",
+                workload="steady-poisson",
+            )
+        )
+        assert store.completed_cells() == {("a", "pid", "none")}
+        assert store.completed_workload_cells() == {
+            ("a", "pid", "stuck-damper", "steady-poisson")
+        }
+
     def test_update_config_rewrites_manifest(self, tmp_path):
         store = ExperimentStore.create(
             tmp_path / "run", kind="train", config={"seed": 0}

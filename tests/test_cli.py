@@ -416,6 +416,125 @@ class TestLoadtestCommand:
         assert a["batched"]["requests_per_policy"] == b["batched"]["requests_per_policy"]
         assert a["batched"]["total_batches"] == b["batched"]["total_batches"]
 
+    def test_warmup_ticks_excluded_from_measured_window(self, tmp_path):
+        out = tmp_path / "bench.json"
+        assert main(
+            ["loadtest", "--fleet", "4", "--steps", "2", "--deterministic",
+             "--warmup", "3", "--skip-per-request", "--out", str(out)]
+        ) == 0
+        record = json.loads(out.read_text())
+        # Only the measured steps count; the record documents the window.
+        assert record["batched"]["total_requests"] == 4 * 2
+        assert record["measurement_window"] == "steady-state"
+        assert record["warmup"] == 3
+
+
+class TestWorkloadCommand:
+    _REPLAY = [
+        "workload", "replay",
+        "--workloads", "steady-poisson",
+        "--scenarios", "baseline-tou",
+        "--controllers", "thermostat",
+        "--fleet", "2",
+        "--duration-s", "1800",
+    ]
+
+    def test_list_shows_registered_presets(self, capsys):
+        assert main(["workload", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "steady-poisson" in out and "dr-event-spike" in out
+
+    def test_describe_dumps_spec_with_expected_load(self, capsys):
+        assert main(["workload", "describe", "bursty-onoff"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "bursty"
+        assert payload["expected_events_per_client_day"] > 0
+
+    def test_describe_without_name_fails(self, capsys):
+        assert main(["workload", "describe"]) == 2
+        assert "requires a preset NAME" in capsys.readouterr().err
+
+    def test_generate_writes_deterministic_trace_file(self, tmp_path, capsys):
+        from repro.workloads import WorkloadTrace
+
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            assert main(
+                ["workload", "generate", "--workloads", "steady-poisson",
+                 "--fleet", "3", "--seed", "9", "--out", str(path)]
+            ) == 0
+        a, b = (WorkloadTrace.load(p) for p in paths)
+        assert a.sha256 == b.sha256
+        assert "sha256=" in capsys.readouterr().out
+
+    def test_generate_out_requires_single_workload(self, capsys):
+        assert main(
+            ["workload", "generate", "--out", "x.json"]
+        ) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_replay_prints_fingerprint_table(self, capsys):
+        assert main(self._REPLAY) == 0
+        out = capsys.readouterr().out
+        assert "fingerprint" in out and "steady-poisson" in out
+
+    def test_replay_from_trace_is_reproducible(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        main(["workload", "generate", "--workloads", "steady-poisson",
+              "--fleet", "2", "--duration-s", "1800", "--out", str(trace_path)])
+        summaries = []
+        for name in ("r1.json", "r2.json"):
+            out = tmp_path / name
+            assert main(
+                ["workload", "replay", "--from-trace", str(trace_path),
+                 "--out", str(out)]
+            ) == 0
+            summaries.append(json.loads(out.read_text()))
+        a, b = summaries
+        assert a["fingerprint"] == b["fingerprint"]
+        assert a["replay"] == b["replay"]
+        assert "fingerprint:" in capsys.readouterr().out
+
+    def test_resume_reuses_cells_and_reproduces_fingerprints(
+        self, tmp_path, capsys
+    ):
+        run_dir = tmp_path / "run"
+        assert main(self._REPLAY + ["--resume", str(run_dir)]) == 0
+        first = capsys.readouterr().out
+        assert (run_dir / "manifest.json").exists()
+
+        assert main(self._REPLAY + ["--resume", str(run_dir)]) == 0
+        second = capsys.readouterr().out
+        assert "resuming" in second and "1 of 1 cells stored" in second
+
+        def fingerprints(text):
+            return [
+                line.split()[-1]
+                for line in text.splitlines()
+                if "baseline-tou" in line
+            ]
+
+        assert fingerprints(first) == fingerprints(second)
+
+    def test_resume_rejects_changed_fleet(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert main(self._REPLAY + ["--resume", str(run_dir)]) == 0
+        capsys.readouterr()
+        changed = [a if a != "2" else "4" for a in self._REPLAY]
+        assert main(changed + ["--resume", str(run_dir)]) == 2
+        err = capsys.readouterr().err
+        assert "fleet" in err and "fresh run directory" in err
+
+    def test_report_renders_workload_suite_markdown(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        main(self._REPLAY + ["--resume", str(run_dir)])
+        capsys.readouterr()
+        assert main(["report", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "# Workload-suite report" in out
+        assert "## Recorded traces" in out and "## Replay cells" in out
+        assert "steady-poisson" in out
+
 
 class TestTrainStore:
     def test_store_checkpoint_enables_resume(self, tmp_path, capsys):

@@ -1,0 +1,135 @@
+"""Property-based invariants of the trace generators.
+
+These pin the contracts replay relies on: events are sorted inside the
+horizon, client indices are valid, counts track the analytic mean, rate
+modulation actually shapes the stream, and — above all — the same
+``(spec, n_clients, seed)`` triple is byte-identical every time.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import WorkloadSpec, generate_trace, list_workloads
+
+# A fast-generating spec family: high rate, short horizon, so each
+# hypothesis example costs microseconds rather than a day-long trace.
+kinds = st.sampled_from(("poisson", "bursty", "diurnal", "dr-spike"))
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+fleets = st.integers(min_value=1, max_value=8)
+
+
+def fast_spec(kind: str) -> WorkloadSpec:
+    return WorkloadSpec(
+        name=f"prop-{kind}",
+        kind=kind,
+        rate_hz=0.05,
+        duration_s=2_000.0,
+        on_s=300.0,
+        off_s=200.0,
+        diurnal_period_s=1_000.0,
+        diurnal_peak_s=500.0,
+        spike_starts_s=(400.0,),
+        spike_duration_s=300.0,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(kind=kinds, seed=seeds, n_clients=fleets)
+def test_events_sorted_nonnegative_inside_horizon(kind, seed, n_clients):
+    trace = generate_trace(fast_spec(kind), n_clients=n_clients, seed=seed)
+    if trace.n_events == 0:
+        return
+    assert trace.times_s[0] >= 0.0
+    assert trace.times_s[-1] < trace.duration_s
+    assert np.all(np.diff(trace.times_s) >= 0.0)
+    assert trace.clients.min() >= 0
+    assert trace.clients.max() < n_clients
+
+
+@settings(max_examples=25, deadline=None)
+@given(kind=kinds, seed=seeds, n_clients=fleets)
+def test_same_seed_is_byte_identical(kind, seed, n_clients):
+    spec = fast_spec(kind)
+    a = generate_trace(spec, n_clients=n_clients, seed=seed)
+    b = generate_trace(spec, n_clients=n_clients, seed=seed)
+    assert a.times_s.tobytes() == b.times_s.tobytes()
+    assert a.clients.tobytes() == b.clients.tobytes()
+    assert a.sha256 == b.sha256
+
+
+@settings(max_examples=15, deadline=None)
+@given(kind=kinds, seed=seeds)
+def test_different_seeds_change_the_digest(kind, seed):
+    spec = fast_spec(kind)
+    a = generate_trace(spec, n_clients=4, seed=seed)
+    b = generate_trace(spec, n_clients=4, seed=seed + 1)
+    assert a.sha256 != b.sha256
+
+
+@settings(max_examples=20, deadline=None)
+@given(kind=kinds, seed=seeds, n_clients=fleets)
+def test_event_count_tracks_analytic_mean(kind, seed, n_clients):
+    """N is Poisson(λ = expected_events), so |N - λ| stays within a
+    generous many-sigma band; a generator bug (wrong envelope, dropped
+    acceptance test) lands far outside it."""
+    spec = fast_spec(kind)
+    trace = generate_trace(spec, n_clients=n_clients, seed=seed)
+    lam = spec.expected_events(n_clients)
+    assert abs(trace.n_events - lam) <= 7.0 * math.sqrt(lam) + 10.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=seeds, n_clients=fleets)
+def test_bursty_silent_off_windows_hold(seed, n_clients):
+    """off_rate_fraction=0 means literally zero events in OFF windows."""
+    spec = fast_spec("bursty").with_overrides(off_rate_fraction=0.0)
+    trace = generate_trace(spec, n_clients=n_clients, seed=seed)
+    cycle = spec.on_s + spec.off_s
+    for t in trace.times_s:
+        assert math.fmod(t, cycle) < spec.on_s
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=seeds)
+def test_dr_spike_concentrates_events_in_the_window(seed):
+    """The spike window's event density must exceed the baseline's."""
+    spec = fast_spec("dr-spike").with_overrides(spike_rate_multiplier=10.0)
+    trace = generate_trace(spec, n_clients=8, seed=seed)
+    start, stop = spec.spike_starts_s[0], (
+        spec.spike_starts_s[0] + spec.spike_duration_s
+    )
+    in_spike = np.sum((trace.times_s >= start) & (trace.times_s < stop))
+    outside = trace.n_events - in_spike
+    spike_density = in_spike / spec.spike_duration_s
+    base_density = outside / (spec.duration_s - spec.spike_duration_s)
+    assert spike_density > base_density
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=seeds)
+def test_duration_override_shortens_the_trace(seed):
+    spec = fast_spec("poisson")
+    short = generate_trace(spec, n_clients=2, seed=seed, duration_s=500.0)
+    assert short.duration_s == 500.0
+    assert short.n_events == 0 or short.times_s[-1] < 500.0
+
+
+class TestArguments:
+    def test_accepts_registered_names(self):
+        for name in list_workloads():
+            trace = generate_trace(
+                name, n_clients=2, seed=0, duration_s=1_800.0
+            )
+            assert trace.workload == name
+
+    def test_rejects_empty_fleet(self):
+        with pytest.raises(ValueError, match="n_clients"):
+            generate_trace("steady-poisson", n_clients=0, seed=0)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="available"):
+            generate_trace("nope", n_clients=1, seed=0)

@@ -1,0 +1,58 @@
+"""Golden workload-trace regression: hashed traces per preset.
+
+The committed fixtures (``tests/golden/workloads.json``) pin the
+byte-exact trace every registered workload preset generates under the
+golden seed and fleet.  A digest mismatch means the generator RNG
+schedule, the thinning envelope, or a preset definition silently
+drifted — regenerate deliberately with
+``tools/make_golden_workloads.py`` and review the fixture diff.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.workloads import (
+    GOLDEN_WORKLOAD_CLIENTS,
+    GOLDEN_WORKLOAD_DURATION_S,
+    GOLDEN_WORKLOAD_SEED,
+    golden_workload_record,
+    list_workloads,
+)
+
+FIXTURE_PATH = Path(__file__).resolve().parent.parent / "golden" / "workloads.json"
+
+
+@pytest.fixture(scope="module")
+def fixtures():
+    payload = json.loads(FIXTURE_PATH.read_text())
+    meta = payload["meta"]
+    # The fixtures are only comparable under the contract they pin.
+    assert meta["seed"] == GOLDEN_WORKLOAD_SEED
+    assert meta["n_clients"] == GOLDEN_WORKLOAD_CLIENTS
+    assert meta["duration_s"] == GOLDEN_WORKLOAD_DURATION_S
+    return payload["workloads"]
+
+
+def test_every_registered_workload_has_a_fixture(fixtures):
+    missing = [name for name in list_workloads() if name not in fixtures]
+    assert not missing, (
+        f"no golden fixture for {missing}; run "
+        "tools/make_golden_workloads.py and commit the result"
+    )
+
+
+@pytest.mark.parametrize("workload", sorted(list_workloads()))
+def test_trace_matches_golden(fixtures, workload):
+    record = golden_workload_record(workload)
+    stored = fixtures[workload]
+    assert record["sha256"] == stored["sha256"], (
+        f"generator drift in {workload!r}: trace now has "
+        f"{record['n_events']} events / {record['n_requests']} requests, "
+        f"fixture has {stored['n_events']} / {stored['n_requests']}"
+    )
+    # The count probes ride along so a drift diff is readable.
+    assert record["n_events"] == stored["n_events"]
+    assert record["n_requests"] == stored["n_requests"]
+    assert record["n_ticks"] == stored["n_ticks"]

@@ -1,0 +1,162 @@
+"""WorkloadSpec: validation, rate shapes, registry, serialization."""
+
+import math
+
+import pytest
+
+from repro.workloads import (
+    DEFAULT_RATE_HZ,
+    WORKLOAD_KINDS,
+    WorkloadSpec,
+    get_workload,
+    list_workloads,
+    register_workload,
+)
+
+PRESETS = (
+    "steady-poisson",
+    "bursty-onoff",
+    "diurnal-office",
+    "dr-event-spike",
+    "dr-double-spike",
+)
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload kind"):
+            WorkloadSpec(name="x", kind="sawtooth")
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ValueError, match="rate_hz"):
+            WorkloadSpec(name="x", rate_hz=0.0)
+
+    def test_bursty_needs_positive_on_window(self):
+        with pytest.raises(ValueError, match="on_s"):
+            WorkloadSpec(name="x", kind="bursty", on_s=0.0)
+
+    def test_diurnal_min_fraction_bounded(self):
+        with pytest.raises(ValueError, match="diurnal_min_fraction"):
+            WorkloadSpec(name="x", kind="diurnal", diurnal_min_fraction=1.5)
+
+    def test_spike_starts_must_be_nonnegative(self):
+        with pytest.raises(ValueError, match="spike_starts_s"):
+            WorkloadSpec(name="x", kind="dr-spike", spike_starts_s=(-1.0,))
+
+
+class TestRateShapes:
+    def test_poisson_rate_is_flat(self):
+        spec = WorkloadSpec(name="x")
+        assert spec.rate_at(0.0) == spec.rate_at(40_000.0) == spec.rate_hz
+
+    def test_bursty_alternates_on_off(self):
+        spec = WorkloadSpec(
+            name="x", kind="bursty", on_s=100.0, off_s=100.0,
+            burst_rate_multiplier=4.0, off_rate_fraction=0.0,
+        )
+        assert spec.rate_at(50.0) == 4.0 * spec.rate_hz
+        assert spec.rate_at(150.0) == 0.0
+        # The cycle wraps.
+        assert spec.rate_at(250.0) == 4.0 * spec.rate_hz
+
+    def test_diurnal_peaks_at_peak_time(self):
+        spec = WorkloadSpec(name="x", kind="diurnal")
+        peak = spec.rate_at(spec.diurnal_peak_s)
+        trough = spec.rate_at(spec.diurnal_peak_s + spec.diurnal_period_s / 2.0)
+        assert peak == pytest.approx(spec.rate_hz)
+        assert trough == pytest.approx(
+            spec.rate_hz * spec.diurnal_min_fraction
+        )
+
+    def test_dr_spike_window_is_half_open(self):
+        spec = WorkloadSpec(
+            name="x", kind="dr-spike", spike_starts_s=(1000.0,),
+            spike_duration_s=500.0, spike_rate_multiplier=6.0,
+        )
+        assert spec.rate_at(999.9) == spec.rate_hz
+        assert spec.rate_at(1000.0) == 6.0 * spec.rate_hz
+        assert spec.rate_at(1499.9) == 6.0 * spec.rate_hz
+        assert spec.rate_at(1500.0) == spec.rate_hz
+
+    @pytest.mark.parametrize("name", PRESETS)
+    def test_max_rate_is_an_envelope(self, name):
+        spec = get_workload(name)
+        cap = spec.max_rate_hz()
+        for i in range(200):
+            t = spec.duration_s * i / 200.0
+            assert spec.rate_at(t) <= cap + 1e-15
+
+    def test_n_ticks_ceils_partial_ticks(self):
+        assert WorkloadSpec(name="x", duration_s=1800.0).n_ticks == 2
+        assert WorkloadSpec(name="x", duration_s=1801.0).n_ticks == 3
+
+
+class TestExpectedEvents:
+    def test_poisson_is_rate_times_horizon(self):
+        spec = WorkloadSpec(name="x", duration_s=9000.0)
+        assert spec.expected_events(4) == pytest.approx(
+            DEFAULT_RATE_HZ * 9000.0 * 4
+        )
+
+    def test_bursty_matches_numeric_integral(self):
+        spec = WorkloadSpec(
+            name="x", kind="bursty", duration_s=10_000.0,
+            on_s=700.0, off_s=1_100.0, off_rate_fraction=0.25,
+        )
+        n = 200_000
+        dt = spec.duration_s / n
+        numeric = sum(spec.rate_at((i + 0.5) * dt) for i in range(n)) * dt
+        assert spec.expected_events(1) == pytest.approx(numeric, rel=1e-3)
+
+    def test_diurnal_matches_numeric_integral(self):
+        spec = WorkloadSpec(name="x", kind="diurnal", duration_s=50_000.0)
+        n = 200_000
+        dt = spec.duration_s / n
+        numeric = sum(spec.rate_at((i + 0.5) * dt) for i in range(n)) * dt
+        assert spec.expected_events(3) == pytest.approx(3 * numeric, rel=1e-4)
+
+    def test_spike_windows_clip_to_horizon(self):
+        spec = WorkloadSpec(
+            name="x", kind="dr-spike", duration_s=1_000.0,
+            spike_starts_s=(900.0,), spike_duration_s=500.0,
+            spike_rate_multiplier=3.0,
+        )
+        # Only 100 s of the spike fits inside the horizon.
+        expected = spec.rate_hz * (1_000.0 + 100.0 * 2.0)
+        assert spec.expected_events(1) == pytest.approx(expected)
+
+
+class TestRegistry:
+    def test_presets_are_registered(self):
+        names = list_workloads()
+        for name in PRESETS:
+            assert name in names
+
+    def test_get_unknown_raises_with_choices(self):
+        with pytest.raises(KeyError, match="available"):
+            get_workload("nope")
+
+    def test_register_refuses_duplicates_without_overwrite(self):
+        spec = get_workload("steady-poisson")
+        with pytest.raises(ValueError, match="already registered"):
+            register_workload(spec)
+        register_workload(spec, overwrite=True)  # restores, no error
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("name", PRESETS)
+    def test_config_round_trip(self, name):
+        spec = get_workload(name)
+        assert WorkloadSpec.from_config(spec.as_config()) == spec
+
+    def test_with_overrides_returns_new_spec(self):
+        spec = get_workload("steady-poisson")
+        short = spec.with_overrides(duration_s=3600.0)
+        assert short.duration_s == 3600.0
+        assert spec.duration_s == 86_400.0
+
+    def test_kinds_tuple_is_exhaustive(self):
+        assert set(get_workload(n).kind for n in PRESETS) == set(
+            WORKLOAD_KINDS
+        )
+        assert math.isfinite(DEFAULT_RATE_HZ)

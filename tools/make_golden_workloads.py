@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Regenerate the golden workload-trace fixtures.
+
+Writes ``tests/golden/workloads.json``: one hashed trace record per
+registered workload preset (see :mod:`repro.workloads.golden` for what
+the digest covers).  Run this ONLY when a generator change is
+intentional — the diff of the fixture file is the reviewable record of
+which workloads moved.
+
+Usage::
+
+    PYTHONPATH=src python tools/make_golden_workloads.py            # rewrite all
+    PYTHONPATH=src python tools/make_golden_workloads.py --check    # verify only
+    PYTHONPATH=src python tools/make_golden_workloads.py --only steady-poisson
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURE_PATH = REPO_ROOT / "tests" / "golden" / "workloads.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.workloads.golden import (  # noqa: E402  (path bootstrap above)
+    GOLDEN_WORKLOAD_CLIENTS,
+    GOLDEN_WORKLOAD_DURATION_S,
+    GOLDEN_WORKLOAD_SEED,
+    compute_workload_records,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="recompute and compare against the committed fixtures (no write)",
+    )
+    parser.add_argument(
+        "--only",
+        type=str,
+        default=None,
+        help="comma-separated workload names to regenerate (default: all)",
+    )
+    args = parser.parse_args()
+
+    names = args.only.split(",") if args.only else None
+    records = compute_workload_records(names)
+
+    existing = {}
+    if FIXTURE_PATH.exists():
+        existing = json.loads(FIXTURE_PATH.read_text())
+
+    if args.check:
+        stored = existing.get("workloads", {})
+        problems = []
+        for name, record in records.items():
+            want = stored.get(name, {}).get("sha256")
+            got = record["sha256"]
+            if want != got:
+                problems.append(f"{name}: stored {want} != computed {got}")
+        if problems:
+            print("\n".join(problems), file=sys.stderr)
+            return 1
+        print(f"golden workload check: {len(records)} preset(s) OK")
+        return 0
+
+    payload = {
+        "meta": {
+            "seed": GOLDEN_WORKLOAD_SEED,
+            "n_clients": GOLDEN_WORKLOAD_CLIENTS,
+            "duration_s": GOLDEN_WORKLOAD_DURATION_S,
+            "note": (
+                "Regenerate with tools/make_golden_workloads.py only for "
+                "intentional generator changes; the fixture diff is the "
+                "review record."
+            ),
+        },
+        "workloads": {**existing.get("workloads", {}), **records},
+    }
+    FIXTURE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    FIXTURE_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    changed = [
+        name
+        for name in records
+        if existing.get("workloads", {}).get(name) != records[name]
+    ]
+    print(f"wrote {len(records)} workload record(s) to {FIXTURE_PATH}")
+    if existing:
+        print(f"changed vs previous fixtures: {changed if changed else 'none'}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

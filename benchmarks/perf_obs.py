@@ -186,6 +186,11 @@ def run_benchmark(
         "enabled_seconds": enabled_s,
         "serve_enabled_throughput_ratio": null_s / enabled_s,
         "enabled_overhead_pct": (enabled_s / null_s - 1.0) * 100.0,
+        # Higher is better: how many enabled-mode spans fit in the time
+        # one null-mode span takes is meaningless, so gate the inverse —
+        # null span cost over enabled span cost.  A faster enabled span
+        # raises the ratio, which is what perf_compare expects.
+        "span_throughput_ratio": raw_null["span_ns"] / raw_enabled["span_ns"],
         "raw_ops": {"null": raw_null, "enabled": raw_enabled},
         **machine_info(),
     }
@@ -230,6 +235,10 @@ def main(argv=None) -> int:
             f"observe_many {ops['histogram_observe_many_ns_per_row']:.1f}ns/row  "
             f"span {ops['span_ns']:.0f}ns"
         )
+    print(
+        f"  span null/enabled cost ratio: "
+        f"{record['span_throughput_ratio']:.3f}"
+    )
     print(f"  recorded in {out_paths[0]} and {out_paths[1]}")
     if args.min_ratio and record["serve_enabled_throughput_ratio"] < args.min_ratio:
         print(

@@ -39,6 +39,12 @@ Exposes the library's main workflows without writing Python:
   ``serve``, ``loadtest``, ``campaign``, ``robustness``): dump a
   metrics snapshot, tail a trace, export Prometheus text or a Chrome
   trace, or validate exported files against the metric catalog.
+  Monitoring lives here too: ``serve``/``loadtest``/``workload``/
+  ``campaign``/``robustness`` accept ``--slo NAME`` and
+  ``--sample-every SECONDS`` to sample windowed rates/quantiles
+  in-session and exit non-zero on an SLO breach, and ``obs
+  watch``/``obs slo``/``obs detect`` render, re-evaluate, and scan the
+  resulting sample streams.
 
 Usage::
 
@@ -499,14 +505,28 @@ def _build_parser() -> argparse.ArgumentParser:
             "  check   validate exported files: --chrome-trace parses and\n"
             "          has well-formed events, --prometheus exposition\n"
             "          lines match the metric catalog, --trace events\n"
-            "          carry the span schema\n"
+            "          carry the span schema, --samples streams carry the\n"
+            "          sample schema, --verdict files the SLO verdict\n"
+            "          schema\n"
+            "  watch   terminal dashboard over a --samples stream (latest\n"
+            "          windowed rates/quantiles per series plus\n"
+            "          sparklines); --follow tails a live stream\n"
+            "  slo     evaluate a --samples stream against an SLO preset\n"
+            "          offline (exit 1 on breach); --list shows presets\n"
+            "  detect  scan a --samples series for anomalies (robust\n"
+            "          z-score spikes), or diff two replay summaries\n"
+            "          (--replay vs --reference) for action-distribution\n"
+            "          drift\n"
             "\n"
             "Produce inputs with the --trace PATH / --metrics PATH flags\n"
-            "of train, serve, loadtest, campaign, and robustness."
+            "of train, serve, loadtest, campaign, and robustness, and the\n"
+            "--slo/--sample-every monitoring flags of the serving-path\n"
+            "commands."
         ),
     )
     obs.add_argument(
-        "action", choices=["dump", "tail", "export", "check"],
+        "action",
+        choices=["dump", "tail", "export", "check", "watch", "slo", "detect"],
         help="what to do (see below)",
     )
     obs.add_argument(
@@ -539,9 +559,71 @@ def _build_parser() -> argparse.ArgumentParser:
         "--prometheus", type=str, default=None, metavar="FILE",
         help="check: Prometheus text exposition to validate",
     )
+    obs.add_argument(
+        "--samples", type=str, default=None, metavar="FILE",
+        help="sample-stream JSONL (from --sample-every / --slo runs)",
+    )
+    obs.add_argument(
+        "--verdict", type=str, default=None, metavar="FILE",
+        help="check: SLO verdict JSON to validate",
+    )
+    obs.add_argument(
+        "--slo", type=str, default="default", metavar="NAME",
+        help="slo: the preset to evaluate (default: default)",
+    )
+    obs.add_argument(
+        "--list", action="store_true",
+        help="slo: list registered SLO presets and exit",
+    )
+    obs.add_argument(
+        "--series", type=str, default=None, metavar="KEY",
+        help="detect: sampled series to scan (default: "
+             "serve.request_latency_seconds); watch: comma-separated "
+             "series filter (default: all)",
+    )
+    obs.add_argument(
+        "--field", type=str, default="p99", metavar="NAME",
+        help="detect: which windowed field to scan (default: p99)",
+    )
+    obs.add_argument(
+        "--threshold", type=float, default=6.0,
+        help="detect: robust z-score flag threshold (default 6.0)",
+    )
+    obs.add_argument(
+        "--replay", type=str, default=None, metavar="FILE",
+        help="detect: candidate replay summary JSON (from workload "
+             "replay --out)",
+    )
+    obs.add_argument(
+        "--reference", type=str, default=None, metavar="FILE",
+        help="detect: reference replay summary JSON to diff against",
+    )
+    obs.add_argument(
+        "--tv-threshold", type=float, default=0.05,
+        help="detect: action-distribution total-variation drift "
+             "threshold (default 0.05)",
+    )
+    obs.add_argument(
+        "--fail-on-detect", action="store_true",
+        help="detect: exit 1 when anomalies or drift are found",
+    )
+    obs.add_argument(
+        "--follow", action="store_true",
+        help="watch: keep tailing the stream (Ctrl-C to stop)",
+    )
+    obs.add_argument(
+        "--interval", type=float, default=2.0,
+        help="watch --follow: refresh period in seconds (default 2)",
+    )
+    obs.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="watch --follow: stop after N refreshes (default: unbounded)",
+    )
 
     for instrumented in (train, serve, loadtest, campaign, robustness, workload):
         _add_telemetry_args(instrumented)
+    for monitored in (serve, loadtest, campaign, robustness, workload):
+        _add_monitor_args(monitored)
     return parser
 
 
@@ -549,6 +631,9 @@ def _build_parser() -> argparse.ArgumentParser:
 _TELEMETRY_COMMANDS = (
     "train", "serve", "loadtest", "campaign", "robustness", "workload"
 )
+
+#: Subcommands carrying the --slo/--sample-every monitoring flags.
+_MONITOR_COMMANDS = ("serve", "loadtest", "campaign", "robustness", "workload")
 
 
 def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
@@ -572,6 +657,54 @@ def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
             "enable telemetry and write the final metrics snapshot to "
             "PATH as JSON (inspect with `repro-hvac obs dump/export`)"
         ),
+    )
+
+
+def _add_monitor_args(parser: argparse.ArgumentParser) -> None:
+    """The ``--slo``/``--sample-every`` monitoring flags.
+
+    Either flag enables telemetry (no ``--trace``/``--metrics`` needed)
+    and runs an in-session :class:`~repro.obs.timeseries.SnapshotSampler`
+    over the live registry; ``--slo`` additionally evaluates the sampled
+    series against a preset at session end and makes the command exit 1
+    on breach.
+    """
+    parser.add_argument(
+        "--slo",
+        type=str,
+        default=None,
+        metavar="NAME",
+        help=(
+            "evaluate the session against this SLO preset and exit "
+            "non-zero on breach (see `repro-hvac obs slo --list`)"
+        ),
+    )
+    parser.add_argument(
+        "--sample-every",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "capture a windowed telemetry sample every SECONDS "
+            "(default 1.0 when --slo is given)"
+        ),
+    )
+    parser.add_argument(
+        "--samples",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "sample-stream JSONL path (default: <command>_samples.jsonl; "
+            "inspect with `repro-hvac obs watch/slo/detect`)"
+        ),
+    )
+    parser.add_argument(
+        "--slo-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="SLO verdict JSON path (default: <command>_slo.json)",
     )
 
 
@@ -917,6 +1050,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         )
         if store is None:
             return code
+    try:
+        monitor, slo_spec = _open_monitor(args, "campaign")
+    except (KeyError, ValueError, OSError) as exc:
+        print(f"campaign: {_error_message(exc)}", file=sys.stderr)
+        return 2
     result = run_campaign(
         spec, executor=args.executor, max_workers=args.workers, store=store
     )
@@ -926,7 +1064,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.out:
         result.save(args.out)
         print(f"campaign rows written to {args.out}")
-    return 0
+    return _finish_monitor(args, "campaign", monitor, slo_spec)
 
 
 def _cmd_robustness(args: argparse.Namespace) -> int:
@@ -980,6 +1118,11 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
         )
         if store is None:
             return code
+    try:
+        monitor, slo_spec = _open_monitor(args, "robustness")
+    except (KeyError, ValueError, OSError) as exc:
+        print(f"robustness: {_error_message(exc)}", file=sys.stderr)
+        return 2
     result = run_campaign(
         spec, executor=args.executor, max_workers=args.workers, store=store
     )
@@ -1004,7 +1147,7 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
             json.dump(payload, fh, indent=2)
             fh.write("\n")
         print(f"robustness rows written to {args.out}")
-    return 0
+    return _finish_monitor(args, "robustness", monitor, slo_spec)
 
 
 def _serving_session(args: argparse.Namespace, *, policy_spec: Optional[str] = None):
@@ -1111,6 +1254,83 @@ def _serving_session(args: argparse.Namespace, *, policy_spec: Optional[str] = N
     return make_gateway, label
 
 
+def _monitor_requested(args: argparse.Namespace) -> bool:
+    return bool(
+        getattr(args, "slo", None) or getattr(args, "sample_every", None)
+    )
+
+
+def _open_monitor(args: argparse.Namespace, label: str):
+    """Start in-session monitoring; returns ``(sampler, slo_spec)``.
+
+    Validates the ``--slo`` preset name *before* the session runs (a
+    typo should fail in seconds, not after the sweep), opens the sample
+    stream, and attaches the sampler to the live telemetry backend so
+    instrumented loops pulse it.  Returns ``(None, None)`` when no
+    monitoring flag was passed.
+    """
+    if not _monitor_requested(args):
+        return None, None
+    from repro.obs import SnapshotSampler, get_telemetry
+    from repro.obs.slo import get_slo
+
+    spec = get_slo(args.slo) if args.slo else None
+    tel = get_telemetry()
+    interval = args.sample_every if args.sample_every else 1.0
+    samples_path = args.samples or f"{label}_samples.jsonl"
+    sampler = SnapshotSampler(
+        tel.registry,
+        interval_s=interval,
+        path=samples_path,
+        meta={"command": label, "slo": args.slo},
+    )
+    tel.attach_sampler(sampler)
+    return sampler, spec
+
+
+def _seal_monitor(sampler) -> None:
+    """Detach the sampler and take the closing window, exactly once.
+
+    Idempotent: a command can seal early — ``loadtest`` does, right
+    after its micro-batched phase, so the per-request comparison twin
+    (whose traffic deliberately stays in a private registry) never
+    contributes a zero-throughput window to the verdict — and the
+    shared :func:`_finish_monitor` epilogue becomes a no-op seal.
+    """
+    from repro.obs import get_telemetry
+
+    tel = get_telemetry()
+    if tel.sampler is sampler:
+        tel.attach_sampler(None)
+        sampler.sample()  # the closing window, even if no tick crossed cadence
+        sampler.close()
+
+
+def _finish_monitor(args: argparse.Namespace, label: str, sampler, spec) -> int:
+    """Close out monitoring: final sample, verdict artifact, exit code."""
+    if sampler is None:
+        return 0
+    _seal_monitor(sampler)
+    print(
+        f"{len(sampler.samples)} telemetry sample(s) written to {sampler.path}"
+    )
+    if spec is None:
+        return 0
+    from repro.obs.slo import evaluate_slo
+
+    report = evaluate_slo(
+        spec, list(sampler.samples), source=str(sampler.path)
+    )
+    verdict_path = args.slo_out or f"{label}_slo.json"
+    report.write(verdict_path)
+    print(report.render())
+    print(f"SLO verdict written to {verdict_path}")
+    if not report.ok:
+        print(f"{label}: SLO {spec.name!r} breached", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _error_message(exc: BaseException) -> str:
     """Human-readable text for a caught serving-setup exception.
 
@@ -1156,6 +1376,7 @@ def _store_serve_stats(args: argparse.Namespace, payload: dict) -> None:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     try:
+        monitor, slo_spec = _open_monitor(args, "serve")
         make_gateway, label = _serving_session(args, policy_spec=args.policy)
         gateway = make_gateway(_batcher_config(args), fold_telemetry=True)
     except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
@@ -1169,11 +1390,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(stats.render())
     if args.store:
         _store_serve_stats(args, stats.as_dict())
-    return 0
+    return _finish_monitor(args, "serve", monitor, slo_spec)
 
 
 def _cmd_loadtest(args: argparse.Namespace) -> int:
     try:
+        monitor, slo_spec = _open_monitor(args, "loadtest")
         make_gateway, label = _serving_session(args)
     except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
         print(f"loadtest: {_error_message(exc)}", file=sys.stderr)
@@ -1195,9 +1417,15 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             "baseline:thermostat"
         ] * n_local
 
-    def run_mode(max_batch: int):
+    def run_mode(max_batch: int, *, fold: bool = False):
+        # The micro-batched (real) mode folds its ServeStats into the
+        # process registry when telemetry is live, so --metrics /
+        # --sample-every / --slo see its latency and throughput series;
+        # the per-request comparison run keeps a private registry
+        # (shared series would double-count).
         gateway = make_gateway(
-            _batcher_config(args, max_batch=max_batch), routes
+            _batcher_config(args, max_batch=max_batch), routes,
+            fold_telemetry=fold,
         )
         return gateway.run(args.steps, warmup=args.warmup)
 
@@ -1205,7 +1433,11 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         f"loadtest: {args.fleet} x {args.scenario}, {args.steps} ticks, "
         f"policy={label}, baseline share {args.baseline_share:.0%}"
     )
-    batched = run_mode(args.max_batch)
+    batched = run_mode(args.max_batch, fold=True)
+    if monitor is not None:
+        # The monitored window covers the batched (product) phase only;
+        # the per-request twin below serves into a private registry.
+        _seal_monitor(monitor)
     print("\n== micro-batched ==")
     print(batched.render())
     record = {
@@ -1238,7 +1470,7 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         print(f"loadtest record written to {args.out}")
     if args.store:
         _store_serve_stats(args, record["batched"])
-    return 0
+    return _finish_monitor(args, "loadtest", monitor, slo_spec)
 
 
 def _workload_suite_spec(args: argparse.Namespace):
@@ -1390,6 +1622,7 @@ def _cmd_workload(args: argparse.Namespace) -> int:
             return 0
 
         # replay
+        monitor, slo_spec = _open_monitor(args, "workload")
         if args.from_trace:
             from repro.sim import get_scenario
             from repro.workloads import SuiteJob
@@ -1426,7 +1659,7 @@ def _cmd_workload(args: argparse.Namespace) -> int:
                     json.dump(row.as_dict(), fh, indent=2, sort_keys=True)
                     fh.write("\n")
                 print(f"replay summary written to {args.out}")
-            return 0
+            return _finish_monitor(args, "workload", monitor, slo_spec)
 
         spec = _workload_suite_spec(args)
         store = None
@@ -1449,7 +1682,7 @@ def _cmd_workload(args: argparse.Namespace) -> int:
                 )
                 fh.write("\n")
             print(f"suite rows written to {args.out}")
-        return 0
+        return _finish_monitor(args, "workload", monitor, slo_spec)
     except BrokenPipeError:
         # Reader closed early (e.g. ``workload list | head``).
         import os
@@ -1552,6 +1785,12 @@ def _cmd_obs(args: argparse.Namespace) -> int:
                     raise ValueError(
                         "a --metrics input exports to --format prometheus"
                     )
+        elif args.action == "watch":
+            return _obs_watch(args)
+        elif args.action == "slo":
+            return _obs_slo(args)
+        elif args.action == "detect":
+            return _obs_detect(args)
         else:  # check
             problems = _obs_check(args)
             for problem in problems:
@@ -1570,6 +1809,195 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
         print(f"obs: {_error_message(exc)}", file=sys.stderr)
         return 2
+    return 0
+
+
+#: Unicode ramp for the `obs watch` sparklines.
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values: List[float], width: int = 32) -> str:
+    """A fixed-alphabet sparkline of the trailing ``width`` values."""
+    tail = values[-width:]
+    if not tail:
+        return ""
+    lo, hi = min(tail), max(tail)
+    if hi <= lo:
+        return _SPARK_BLOCKS[0] * len(tail)
+    span = hi - lo
+    top = len(_SPARK_BLOCKS) - 1
+    return "".join(
+        _SPARK_BLOCKS[int(round((v - lo) / span * top))] for v in tail
+    )
+
+
+def _render_watch(records: List[dict], series_filter: Optional[str]) -> str:
+    """One dashboard frame over a loaded sample stream."""
+    from repro.obs import sample_records
+
+    samples = sample_records(records)
+    if not samples:
+        return "no samples yet"
+    latest = samples[-1]
+    lines = [
+        f"sample #{latest['seq']}  t={latest['t']:.2f}s  "
+        f"window={latest['window_s']:.2f}s  ({len(samples)} in stream)"
+    ]
+    keys = sorted(latest.get("series", {}))
+    if series_filter:
+        wanted = [k for k in series_filter.split(",") if k]
+        keys = [
+            k for k in keys
+            if any(k == w or k.startswith(w + "{") for w in wanted)
+        ]
+    for key in keys:
+        entry = latest["series"][key]
+        if "p99" in entry:  # histogram window
+            trail = [
+                s["series"][key]["p99"]
+                for s in samples if key in s.get("series", {})
+            ]
+            if "_seconds" in key:
+                quantiles = (
+                    f"p50={entry['p50'] * 1e3:>8.3f}ms "
+                    f"p95={entry['p95'] * 1e3:>8.3f}ms "
+                    f"p99={entry['p99'] * 1e3:>8.3f}ms"
+                )
+            else:
+                quantiles = (
+                    f"p50={entry['p50']:>8.1f} "
+                    f"p95={entry['p95']:>8.1f} "
+                    f"p99={entry['p99']:>8.1f}"
+                )
+            detail = f"rate={entry['rate']:>10.1f}/s {quantiles}"
+        elif "rate" in entry:  # counter window
+            trail = [
+                s["series"][key]["rate"]
+                for s in samples if key in s.get("series", {})
+            ]
+            detail = f"rate={entry['rate']:>10.1f}/s total={entry['value']:g}"
+        else:  # gauge
+            trail = [
+                s["series"][key]["value"]
+                for s in samples if key in s.get("series", {})
+            ]
+            detail = f"value={entry['value']:g}"
+        lines.append(f"  {key:<44} {detail}  {_sparkline(trail)}")
+    return "\n".join(lines)
+
+
+def _obs_watch(args: argparse.Namespace) -> int:
+    """Terminal dashboard over a sample stream; optionally tails it."""
+    from repro.obs import load_samples
+
+    if not args.samples:
+        raise ValueError("obs watch requires --samples FILE")
+    refreshes = 0
+    try:
+        while True:
+            text = _render_watch(load_samples(args.samples), args.series)
+            if args.follow:
+                # ANSI clear + home keeps the frame in place like `top`.
+                print("\x1b[2J\x1b[H" + text, flush=True)
+            else:
+                print(text)
+                return 0
+            refreshes += 1
+            if args.iterations is not None and refreshes >= args.iterations:
+                return 0
+            import time as _time
+
+            _time.sleep(max(args.interval, 0.0))
+    except KeyboardInterrupt:
+        return 0
+
+
+def _obs_slo(args: argparse.Namespace) -> int:
+    """Evaluate a sample stream against an SLO preset, offline."""
+    from repro.obs import load_samples, sample_records
+    from repro.obs.slo import evaluate_slo, get_slo, list_slos
+
+    if args.list:
+        for name in list_slos():
+            print(f"{name:16s} {get_slo(name).description}")
+        return 0
+    if not args.samples:
+        raise ValueError("obs slo requires --samples FILE")
+    spec = get_slo(args.slo)
+    samples = sample_records(load_samples(args.samples))
+    report = evaluate_slo(spec, samples, source=args.samples)
+    print(report.render())
+    if args.out:
+        report.write(args.out)
+        print(f"SLO verdict written to {args.out}")
+    if not report.ok:
+        print(f"obs slo: SLO {spec.name!r} breached", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _obs_detect(args: argparse.Namespace) -> int:
+    """Anomaly scan over a sampled series, or replay drift comparison."""
+    if args.replay or args.reference:
+        if not (args.replay and args.reference):
+            raise ValueError(
+                "obs detect drift mode needs both --replay and --reference"
+            )
+        from repro.obs import compare_replays
+
+        with open(args.reference) as fh:
+            reference = json.load(fh)
+        with open(args.replay) as fh:
+            candidate = json.load(fh)
+        report = compare_replays(
+            reference, candidate, tv_threshold=args.tv_threshold
+        )
+        payload = report.as_dict()
+        print(
+            f"fingerprint match: {payload['fingerprint_match']}  "
+            f"trace match: {payload['trace_match']}  "
+            f"max action TV: {payload['max_tv']:.4f} "
+            f"(threshold {args.tv_threshold:g})"
+        )
+        for dim, tv in payload["per_dim_tv"].items():
+            print(f"  {dim:<8} tv={tv:.4f}")
+        found = report.drift
+        verdict = "DRIFT DETECTED" if found else "zero drift"
+        print(f"obs detect: {verdict}")
+    else:
+        if not args.samples:
+            raise ValueError(
+                "obs detect requires --samples FILE (anomaly scan) or "
+                "--replay/--reference (drift comparison)"
+            )
+        from repro.obs import detect_anomalies, load_samples, sample_records, series_values
+
+        series = args.series or "serve.request_latency_seconds"
+        samples = sample_records(load_samples(args.samples))
+        points = series_values(samples, series, args.field)
+        report = detect_anomalies(
+            points, series=series, field_name=args.field,
+            threshold=args.threshold,
+        )
+        payload = report.as_dict()
+        for a in report.anomalies:
+            print(
+                f"  anomaly at sample {a.index} (t={a.t:.2f}s): "
+                f"{series}.{args.field}={a.value:g} "
+                f"z={a.zscore:+.1f} baseline={a.baseline:g}"
+            )
+        found = bool(report.anomalies)
+        print(
+            f"obs detect: {len(report.anomalies)} anomalie(s) in "
+            f"{len(points)} point(s) of {series}.{args.field}"
+        )
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"detect report written to {args.out}")
+    if found and args.fail_on_detect:
+        return 1
     return 0
 
 
@@ -1630,10 +2058,30 @@ def _obs_check(args: argparse.Namespace) -> List[str]:
                         )
         except OSError as exc:
             problems.append(f"{args.prometheus}: {exc}")
+    if args.samples:
+        checked = True
+        from repro.obs.timeseries import check_samples, load_samples
+
+        try:
+            for problem in check_samples(load_samples(args.samples)):
+                problems.append(f"{args.samples}: {problem}")
+        except (OSError, json.JSONDecodeError) as exc:
+            problems.append(f"{args.samples}: {exc}")
+    if args.verdict:
+        checked = True
+        from repro.obs.slo import check_verdict
+
+        try:
+            with open(args.verdict) as fh:
+                verdict = json.load(fh)
+            for problem in check_verdict(verdict):
+                problems.append(f"{args.verdict}: {problem}")
+        except (OSError, json.JSONDecodeError) as exc:
+            problems.append(f"{args.verdict}: {exc}")
     if not checked:
         problems.append(
             "obs check needs at least one of --chrome-trace, --prometheus, "
-            "--trace"
+            "--trace, --samples, --verdict"
         )
     return problems
 
@@ -1658,7 +2106,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         "obs": _cmd_obs,
     }
     handler = handlers[args.command]
-    if args.command in _TELEMETRY_COMMANDS and (args.trace or args.metrics):
+    wants_telemetry = args.command in _TELEMETRY_COMMANDS and (
+        args.trace or args.metrics
+    )
+    # The monitoring flags sample the live registry, so they imply an
+    # enabled telemetry session even without --trace/--metrics.
+    wants_telemetry = wants_telemetry or (
+        args.command in _MONITOR_COMMANDS and _monitor_requested(args)
+    )
+    if wants_telemetry:
         # Enable telemetry for the whole invocation: spans stream to
         # --trace as the run progresses, and the final metrics snapshot
         # lands at --metrics even if the handler fails.

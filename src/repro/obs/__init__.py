@@ -12,6 +12,11 @@ One observability layer for the whole process:
   :func:`telemetry_session` — the process-wide handle.  The default is
   a no-op null backend, so uninstrumented runs pay (almost) nothing and
   never change numerics, RNG draws, trajectories, or checkpoints.
+* Monitoring on top of the raw signals: :class:`SnapshotSampler`
+  (windowed rates/quantiles streamed as JSONL), :class:`SLOSpec` /
+  :func:`evaluate_slo` (error budgets and burn rates over the sampled
+  series), and :mod:`repro.obs.detect` (latency/throughput anomalies,
+  action-distribution drift between replays).
 
 Typical use::
 
@@ -28,6 +33,13 @@ PATH`` to ``train``, ``serve``, ``loadtest``, ``campaign``, or
 """
 
 from repro.obs.catalog import CATALOG, FLUSH_REASONS, MetricSpec, metric, prometheus_name
+from repro.obs.detect import (
+    AnomalyReport,
+    DriftReport,
+    compare_replays,
+    detect_anomalies,
+    total_variation,
+)
 from repro.obs.exporters import (
     snapshot_to_prometheus,
     write_chrome_trace,
@@ -51,6 +63,22 @@ from repro.obs.runtime import (
     get_telemetry,
     set_telemetry,
     telemetry_session,
+)
+from repro.obs.slo import (
+    SLOObjective,
+    SLOReport,
+    SLOSpec,
+    evaluate_slo,
+    get_slo,
+    list_slos,
+    register_slo,
+)
+from repro.obs.timeseries import (
+    SnapshotSampler,
+    load_samples,
+    sample_records,
+    series_values,
+    windowed_series,
 )
 from repro.obs.tracing import (
     JsonlSink,
@@ -87,4 +115,21 @@ __all__ = [
     "Tracer",
     "chrome_trace_from_events",
     "load_jsonl_events",
+    "AnomalyReport",
+    "DriftReport",
+    "compare_replays",
+    "detect_anomalies",
+    "total_variation",
+    "SLOObjective",
+    "SLOReport",
+    "SLOSpec",
+    "evaluate_slo",
+    "get_slo",
+    "list_slos",
+    "register_slo",
+    "SnapshotSampler",
+    "load_samples",
+    "sample_records",
+    "series_values",
+    "windowed_series",
 ]

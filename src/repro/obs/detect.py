@@ -1,0 +1,279 @@
+"""Drift and anomaly detection over sampled telemetry and replays.
+
+Two detectors, both deterministic and dependency-free:
+
+* :func:`detect_anomalies` — point anomalies in one sampled series
+  (latency spikes, throughput collapses).  A trailing-window **robust
+  z-score** (median/MAD, so a spike cannot inflate its own baseline the
+  way a mean/stddev would) flags points far from recent history, and an
+  **EWMA** of the series is carried alongside as the smoothed level so
+  reports show "where the series was heading" next to each outlier.
+* :func:`compare_replays` — behavioral drift between two serving
+  sessions over the same workload trace: the deterministic replay
+  fingerprint from PR 7 (exact equality — the strong bit) plus a
+  **total-variation distance** between per-dimension action
+  distributions (a graded signal that localizes *which* actuator
+  drifted and by how much).  Replaying a golden trace twice against the
+  same policy stack must report zero drift; a canary policy against the
+  incumbent's reference summary shows up here first.
+
+Both emit JSON-able report dicts consumed by ``repro-hvac obs detect``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Consistency scale: MAD of a normal distribution times 1.4826 equals
+#: its standard deviation, so thresholds read in "sigmas".
+MAD_SCALE = 1.4826
+
+#: Floor on the robust scale so a perfectly flat history (MAD == 0)
+#: flags any departure without dividing by zero.
+SCALE_FLOOR = 1e-12
+
+
+@dataclass
+class AnomalyPoint:
+    """One flagged sample of a series."""
+
+    index: int
+    t: float
+    value: float
+    zscore: float
+    baseline: float  # trailing-window median the deviation is against
+    ewma: float  # smoothed level at this point
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "t": self.t,
+            "value": self.value,
+            "zscore": self.zscore,
+            "baseline": self.baseline,
+            "ewma": self.ewma,
+        }
+
+
+@dataclass
+class AnomalyReport:
+    """All anomalies of one series, plus the detector configuration."""
+
+    series: str
+    field_name: str
+    n_points: int
+    threshold: float
+    window: int
+    alpha: float
+    anomalies: List[AnomalyPoint] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.anomalies
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": "anomaly-report",
+            "series": self.series,
+            "field": self.field_name,
+            "n_points": self.n_points,
+            "threshold": self.threshold,
+            "window": self.window,
+            "alpha": self.alpha,
+            "ok": self.ok,
+            "anomalies": [a.as_dict() for a in self.anomalies],
+        }
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def robust_zscore(value: float, history: Sequence[float]) -> Tuple[float, float]:
+    """``(z, baseline)`` of ``value`` against a trailing history.
+
+    ``z`` is the deviation from the history's median in units of the
+    scaled median-absolute-deviation (:data:`MAD_SCALE`), i.e. sigmas
+    under normality but insensitive to outliers in the history itself.
+    """
+    baseline = _median(history)
+    mad = _median([abs(v - baseline) for v in history])
+    scale = max(MAD_SCALE * mad, SCALE_FLOOR)
+    return (value - baseline) / scale, baseline
+
+
+def detect_anomalies(
+    points: Sequence[Tuple[float, float]],
+    *,
+    series: str = "",
+    field_name: str = "",
+    threshold: float = 6.0,
+    window: int = 16,
+    min_history: int = 4,
+    alpha: float = 0.3,
+    min_deviation: float = 0.0,
+) -> AnomalyReport:
+    """Flag points whose robust z-score exceeds ``threshold``.
+
+    ``points`` are ``(t, value)`` pairs in time order (see
+    :func:`repro.obs.timeseries.series_values`).  Each point is judged
+    against the trailing ``window`` *preceding* values only — a spike
+    never contaminates its own baseline — and the first ``min_history``
+    points are warm-up, never flagged.  ``min_deviation`` additionally
+    requires an absolute departure (in the series' units) before a
+    point can flag, which keeps near-constant series (MAD ~ 0) from
+    flagging measurement jitter.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    report = AnomalyReport(
+        series=series, field_name=field_name, n_points=len(points),
+        threshold=threshold, window=window, alpha=alpha,
+    )
+    history: List[float] = []
+    ewma: Optional[float] = None
+    for i, (t, value) in enumerate(points):
+        ewma = value if ewma is None else alpha * value + (1 - alpha) * ewma
+        if len(history) >= min_history:
+            z, baseline = robust_zscore(value, history[-window:])
+            if abs(z) > threshold and abs(value - baseline) >= min_deviation:
+                report.anomalies.append(AnomalyPoint(
+                    index=i, t=t, value=value, zscore=z,
+                    baseline=baseline, ewma=ewma,
+                ))
+        history.append(value)
+    return report
+
+
+# --------------------------------------------------- action-distribution drift
+
+
+def total_variation(
+    counts_a: Dict[str, float], counts_b: Dict[str, float]
+) -> float:
+    """TV distance between two (unnormalized) count distributions.
+
+    0.0 means identical distributions, 1.0 disjoint support.  Empty
+    versus empty is 0.0; empty versus anything non-empty is 1.0.
+    """
+    total_a = sum(counts_a.values())
+    total_b = sum(counts_b.values())
+    if total_a == 0 and total_b == 0:
+        return 0.0
+    if total_a == 0 or total_b == 0:
+        return 1.0
+    keys = set(counts_a) | set(counts_b)
+    return 0.5 * sum(
+        abs(counts_a.get(k, 0) / total_a - counts_b.get(k, 0) / total_b)
+        for k in keys
+    )
+
+
+@dataclass
+class DriftReport:
+    """Behavioral drift between a candidate replay and a reference."""
+
+    fingerprint_match: Optional[bool]
+    trace_match: Optional[bool]
+    tv_threshold: float
+    per_dim_tv: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def max_tv(self) -> float:
+        return max(self.per_dim_tv.values(), default=0.0)
+
+    @property
+    def drift(self) -> bool:
+        """True when any graded or exact signal says behavior moved."""
+        if self.fingerprint_match is False:
+            return True
+        if self.trace_match is False:
+            return True
+        return self.max_tv > self.tv_threshold
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": "drift-report",
+            "fingerprint_match": self.fingerprint_match,
+            "trace_match": self.trace_match,
+            "tv_threshold": self.tv_threshold,
+            "per_dim_tv": dict(sorted(self.per_dim_tv.items())),
+            "max_tv": self.max_tv,
+            "drift": self.drift,
+        }
+
+
+def action_drift(
+    reference_counts: Dict[str, Dict[str, float]],
+    candidate_counts: Dict[str, Dict[str, float]],
+    *,
+    tv_threshold: float = 0.05,
+) -> Dict[str, float]:
+    """Per-dimension TV distance between two action-count tables.
+
+    The tables map action-dimension name -> {action value -> count}, as
+    produced by :class:`repro.workloads.replay.ReplayResult`
+    (``action_counts``).  Dimensions present on only one side compare
+    against an empty distribution (TV = 1.0).
+    """
+    dims = set(reference_counts) | set(candidate_counts)
+    return {
+        dim: total_variation(
+            reference_counts.get(dim, {}), candidate_counts.get(dim, {})
+        )
+        for dim in sorted(dims)
+    }
+
+
+def compare_replays(
+    reference: dict,
+    candidate: dict,
+    *,
+    tv_threshold: float = 0.05,
+) -> DriftReport:
+    """Diff two replay summaries (``ReplayResult.as_dict()`` JSON).
+
+    Three signals, strongest first: the workload trace digest (are the
+    two sessions even replaying the same inputs?), the deterministic
+    replay fingerprint (bit-identical behavior), and per-dimension
+    action-distribution TV distance (how far behavior moved, and
+    where).  Signals missing from either summary evaluate to None and
+    do not force a drift verdict on their own.
+    """
+
+    def _get(summary, *path):
+        node = summary
+        for key in path:
+            if not isinstance(node, dict) or key not in node:
+                return None
+            node = node[key]
+        return node
+
+    ref_fp = _get(reference, "fingerprint")
+    cand_fp = _get(candidate, "fingerprint")
+    fingerprint_match = (
+        None if ref_fp is None or cand_fp is None else ref_fp == cand_fp
+    )
+    ref_trace = _get(reference, "replay", "trace_sha256")
+    cand_trace = _get(candidate, "replay", "trace_sha256")
+    trace_match = (
+        None if ref_trace is None or cand_trace is None
+        else ref_trace == cand_trace
+    )
+    ref_counts = _get(reference, "actions", "counts") or {}
+    cand_counts = _get(candidate, "actions", "counts") or {}
+    per_dim = action_drift(ref_counts, cand_counts, tv_threshold=tv_threshold)
+    return DriftReport(
+        fingerprint_match=fingerprint_match,
+        trace_match=trace_match,
+        tv_threshold=tv_threshold,
+        per_dim_tv=per_dim,
+    )

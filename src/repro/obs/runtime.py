@@ -129,6 +129,7 @@ class Telemetry:
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
+        self.sampler = None
 
     def metric(self, name: str):
         """The cataloged metric family ``name`` on this backend."""
@@ -140,6 +141,25 @@ class Telemetry:
     def snapshot(self) -> dict:
         return self.registry.snapshot()
 
+    def attach_sampler(self, sampler) -> None:
+        """Make :meth:`pulse` drive ``sampler`` (pass None to detach).
+
+        The sampler is any object with a ``maybe_sample()`` method —
+        normally a :class:`~repro.obs.timeseries.SnapshotSampler` over
+        this backend's registry.
+        """
+        self.sampler = sampler
+
+    def pulse(self) -> None:
+        """A cheap in-session heartbeat for the attached sampler.
+
+        Instrumented loops (the gateway tick loop, the campaign cell
+        loop) call this at coarse, safe points; the sampler decides from
+        its own cadence whether to actually capture a snapshot.
+        """
+        if self.sampler is not None:
+            self.sampler.maybe_sample()
+
 
 class NullTelemetry:
     """The default, disabled backend — everything is a shared no-op."""
@@ -149,6 +169,13 @@ class NullTelemetry:
     def __init__(self) -> None:
         self.registry = NullRegistry()
         self.tracer = NullTracer()
+        self.sampler = None
+
+    def attach_sampler(self, sampler) -> None:
+        pass
+
+    def pulse(self) -> None:
+        pass
 
     def metric(self, name: str):
         if name not in CATALOG:

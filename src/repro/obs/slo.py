@@ -1,0 +1,402 @@
+"""Declarative SLOs over sampled telemetry, with burn-rate evaluation.
+
+An :class:`SLOSpec` names a handful of :class:`SLOObjective`\\ s, each a
+ceiling or floor on one field of one sampled series (see
+:mod:`repro.obs.timeseries` for the sample shape): latency-quantile
+ceilings (``serve.request_latency_seconds`` / ``p99``), throughput
+floors (``serve.requests_total`` / ``rate``), fault-activation and
+queue-depth ceilings.  Thresholds are in the series' native units —
+seconds for latency histograms, events/s for rates.
+
+Evaluation follows the error-budget model: every sample window either
+meets or violates an objective, the spec grants a budget (the fraction
+of windows allowed to violate), and *burn rate* is how fast that budget
+is being consumed — ``violating_fraction / error_budget`` measured over
+trailing windows of several lengths (multi-window, so a single cold
+first sample does not page but a sustained breach does).  An objective
+**breaches** when its overall violating fraction exhausts the budget or
+every configured burn window is burning faster than
+``burn_threshold``×.  Objectives whose series never shows data are
+reported as ``no_data`` and do not breach (the gate for "the series
+must exist" is ``obs check``, not the SLO).
+
+:func:`evaluate_slo` returns an :class:`SLOReport` whose ``as_dict()``
+is the ``slo-verdict`` JSON artifact the CLI writes and validates.
+Presets live in a registry mirroring the scenario/fault/workload
+registries: :func:`get_slo` / :func:`list_slos` / :func:`register_slo`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Artifact kind / version of the verdict JSON.
+VERDICT_KIND = "slo-verdict"
+VERDICT_FORMAT_VERSION = 1
+
+_KINDS = ("ceiling", "floor")
+
+
+@dataclass(frozen=True)
+class SLOObjective:
+    """One bound on one field of one sampled series.
+
+    ``series`` is a metric family name (``serve.request_latency_seconds``)
+    or a fully-labeled child key (``serve.queue_depth{policy=dqn}``).  A
+    family name matches every labeled child: a ``ceiling`` binds each
+    child individually (the worst child governs), a ``floor`` binds the
+    *sum* across children (total throughput over all policies).
+    """
+
+    name: str
+    series: str
+    field: str  # "p50"/"p95"/"p99"/"rate"/"mean"/"value"/"count"
+    kind: str  # "ceiling" | "floor"
+    threshold: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"objective kind must be one of {_KINDS}, got {self.kind!r}"
+            )
+
+    def violated_by(self, value: float) -> bool:
+        if self.kind == "ceiling":
+            return value > self.threshold
+        return value < self.threshold
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """A named set of objectives plus the budget/burn policy."""
+
+    name: str
+    description: str
+    objectives: Tuple[SLOObjective, ...]
+    #: Fraction of sample windows allowed to violate an objective.
+    error_budget: float = 0.05
+    #: Trailing window lengths (in samples) burn rates are measured over.
+    burn_windows: Tuple[int, ...] = (5, 20)
+    #: Burn-rate multiple that, sustained across *all* burn windows,
+    #: breaches even before the overall budget is gone.
+    burn_threshold: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not self.objectives:
+            raise ValueError(f"SLO {self.name!r} has no objectives")
+        if not 0.0 < self.error_budget <= 1.0:
+            raise ValueError(
+                f"error_budget must be in (0, 1], got {self.error_budget}"
+            )
+        if not self.burn_windows or any(w <= 0 for w in self.burn_windows):
+            raise ValueError(f"bad burn_windows {self.burn_windows!r}")
+
+
+@dataclass
+class ObjectiveResult:
+    """One objective's verdict across the evaluated samples."""
+
+    objective: SLOObjective
+    windows: int  # samples where the series had data
+    violations: int
+    budget_consumed: float  # violating fraction / error budget
+    burn_rates: Dict[int, float]  # trailing-window length -> burn rate
+    worst: Optional[float]  # most extreme observed value
+    breached: bool
+    no_data: bool
+
+    def as_dict(self) -> dict:
+        o = self.objective
+        return {
+            "name": o.name,
+            "series": o.series,
+            "field": o.field,
+            "kind": o.kind,
+            "threshold": o.threshold,
+            "description": o.description,
+            "windows": self.windows,
+            "violations": self.violations,
+            "budget_consumed": self.budget_consumed,
+            "burn_rates": {str(k): v for k, v in self.burn_rates.items()},
+            "worst": self.worst,
+            "breached": self.breached,
+            "no_data": self.no_data,
+        }
+
+
+@dataclass
+class SLOReport:
+    """The full verdict: per-objective results plus the overall bit."""
+
+    spec: SLOSpec
+    results: List[ObjectiveResult] = field(default_factory=list)
+    source: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return not any(r.breached for r in self.results)
+
+    @property
+    def breached(self) -> List[ObjectiveResult]:
+        return [r for r in self.results if r.breached]
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": VERDICT_KIND,
+            "version": VERDICT_FORMAT_VERSION,
+            "slo": self.spec.name,
+            "description": self.spec.description,
+            "error_budget": self.spec.error_budget,
+            "burn_windows": list(self.spec.burn_windows),
+            "burn_threshold": self.spec.burn_threshold,
+            "source": self.source,
+            "ok": self.ok,
+            "objectives": [r.as_dict() for r in self.results],
+        }
+
+    def write(self, path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    def render(self) -> str:
+        lines = [
+            f"SLO {self.spec.name!r}: {'OK' if self.ok else 'BREACHED'}"
+        ]
+        for r in self.results:
+            o = r.objective
+            bound = f"{o.field} {'<=' if o.kind == 'ceiling' else '>='} " \
+                    f"{o.threshold:g}"
+            if r.no_data:
+                status = "no data"
+            else:
+                status = (
+                    f"{'BREACH' if r.breached else 'ok':<6} "
+                    f"worst={r.worst:g} violations={r.violations}/{r.windows} "
+                    f"budget={r.budget_consumed:.0%}"
+                )
+            lines.append(f"  {o.name:<24} {o.series} {bound:<18} {status}")
+        return "\n".join(lines)
+
+
+def _objective_values(objective: SLOObjective, sample: dict) -> Optional[float]:
+    """The single value an objective is judged on in one sample.
+
+    Returns None when the sample has no data for the series/field.
+    """
+    series = sample.get("series", {})
+    entry = series.get(objective.series)
+    if entry is not None:
+        v = entry.get(objective.field)
+        return float(v) if v is not None else None
+    # Family name: gather labeled children "<series>{...}".
+    prefix = objective.series + "{"
+    values = [
+        float(entry[objective.field])
+        for key, entry in series.items()
+        if key.startswith(prefix) and objective.field in entry
+    ]
+    if not values:
+        return None
+    return max(values) if objective.kind == "ceiling" else sum(values)
+
+
+def evaluate_slo(
+    spec: SLOSpec,
+    samples: Sequence[dict],
+    *,
+    source: Optional[str] = None,
+) -> SLOReport:
+    """Judge ``samples`` (sample records, in time order) against ``spec``."""
+    report = SLOReport(spec=spec, source=source)
+    for objective in spec.objectives:
+        flags: List[bool] = []
+        worst: Optional[float] = None
+        for sample in samples:
+            value = _objective_values(objective, sample)
+            if value is None:
+                continue
+            flags.append(objective.violated_by(value))
+            if worst is None:
+                worst = value
+            elif objective.kind == "ceiling":
+                worst = max(worst, value)
+            else:
+                worst = min(worst, value)
+        windows = len(flags)
+        violations = sum(flags)
+        if windows == 0:
+            report.results.append(
+                ObjectiveResult(
+                    objective=objective, windows=0, violations=0,
+                    budget_consumed=0.0, burn_rates={}, worst=None,
+                    breached=False, no_data=True,
+                )
+            )
+            continue
+        budget_consumed = (violations / windows) / spec.error_budget
+        burn_rates = {}
+        for w in spec.burn_windows:
+            tail = flags[-w:]
+            burn_rates[w] = (sum(tail) / len(tail)) / spec.error_budget
+        fast_burn = all(
+            rate > spec.burn_threshold for rate in burn_rates.values()
+        )
+        breached = budget_consumed > 1.0 or fast_burn
+        report.results.append(
+            ObjectiveResult(
+                objective=objective, windows=windows, violations=violations,
+                budget_consumed=budget_consumed, burn_rates=burn_rates,
+                worst=worst, breached=breached, no_data=False,
+            )
+        )
+    return report
+
+
+def check_verdict(verdict: dict) -> List[str]:
+    """Validate a loaded ``slo-verdict`` artifact; returns problems."""
+    problems: List[str] = []
+    if verdict.get("kind") != VERDICT_KIND:
+        problems.append(
+            f"kind must be {VERDICT_KIND!r}, got {verdict.get('kind')!r}"
+        )
+    if verdict.get("version") != VERDICT_FORMAT_VERSION:
+        problems.append(f"unsupported version {verdict.get('version')!r}")
+    if not isinstance(verdict.get("slo"), str):
+        problems.append("missing slo name")
+    if not isinstance(verdict.get("ok"), bool):
+        problems.append("missing ok flag")
+    objectives = verdict.get("objectives")
+    if not isinstance(objectives, list) or not objectives:
+        problems.append("objectives must be a non-empty list")
+        return problems
+    required = ("name", "series", "field", "kind", "threshold",
+                "windows", "violations", "breached", "no_data")
+    for i, obj in enumerate(objectives):
+        missing = [k for k in required if k not in obj]
+        if missing:
+            problems.append(f"objective {i}: missing {missing}")
+    if isinstance(verdict.get("ok"), bool):
+        derived = not any(o.get("breached") for o in objectives)
+        if verdict["ok"] != derived:
+            problems.append("ok flag inconsistent with objective breaches")
+    return problems
+
+
+# --------------------------------------------------------------- registry
+
+_SLOS: Dict[str, SLOSpec] = {}
+
+
+def register_slo(spec: SLOSpec) -> SLOSpec:
+    """Add ``spec`` to the preset registry (unique names enforced)."""
+    if spec.name in _SLOS:
+        raise ValueError(f"SLO {spec.name!r} already registered")
+    _SLOS[spec.name] = spec
+    return spec
+
+
+def get_slo(name: str) -> SLOSpec:
+    try:
+        return _SLOS[name]
+    except KeyError:
+        known = ", ".join(sorted(_SLOS)) or "<none>"
+        raise KeyError(f"unknown SLO {name!r}; registered: {known}") from None
+
+
+def list_slos() -> List[str]:
+    return sorted(_SLOS)
+
+
+def _preset(name, description, objectives, **kwargs) -> None:
+    register_slo(SLOSpec(
+        name=name, description=description,
+        objectives=tuple(objectives), **kwargs,
+    ))
+
+
+_preset(
+    "default",
+    "Permissive guardrails for any instrumented serving-path session.",
+    [
+        SLOObjective(
+            name="latency-p99",
+            series="serve.request_latency_seconds", field="p99",
+            kind="ceiling", threshold=0.250,
+            description="windowed p99 request latency stays under 250 ms",
+        ),
+        SLOObjective(
+            name="latency-p50",
+            series="serve.request_latency_seconds", field="p50",
+            kind="ceiling", threshold=0.100,
+            description="windowed median request latency stays under 100 ms",
+        ),
+        SLOObjective(
+            name="queue-depth",
+            series="serve.queue_depth", field="value",
+            kind="ceiling", threshold=4096,
+            description="no policy queue backs up past 4096 requests",
+        ),
+    ],
+)
+
+_preset(
+    "serve-ci",
+    "The CI loadtest gate: tight latency, a real throughput floor, and "
+    "zero tolerance for fault activations in a clean run.",
+    [
+        SLOObjective(
+            name="latency-p99",
+            series="serve.request_latency_seconds", field="p99",
+            kind="ceiling", threshold=0.050,
+            description="windowed p99 request latency stays under 50 ms",
+        ),
+        SLOObjective(
+            name="throughput-floor",
+            series="serve.requests_total", field="rate",
+            kind="floor", threshold=50.0,
+            # The first sample window opens before the fleet is built,
+            # so the floor must hold with construction time amortized in
+            # — 50 req/s is an order of magnitude under any healthy CI
+            # run and still catches a stalled gateway.
+            description="total request throughput stays above 50 req/s",
+        ),
+        SLOObjective(
+            name="fault-activations",
+            series="faults.activations_total", field="rate",
+            kind="ceiling", threshold=0.0,
+            description="no fault model activates during a clean loadtest",
+        ),
+    ],
+)
+
+_preset(
+    "unattainable",
+    "Deliberately impossible bounds — exercises breach paths and exit "
+    "codes in tests and smoke jobs.",
+    [
+        SLOObjective(
+            name="latency-p99-zero",
+            series="serve.request_latency_seconds", field="p99",
+            kind="ceiling", threshold=0.0,
+            description="p99 of zero seconds: any observed request breaches",
+        ),
+        SLOObjective(
+            name="impossible-throughput",
+            series="serve.requests_total", field="rate",
+            kind="floor", threshold=1e12,
+            description="a throughput floor no session can meet",
+        ),
+    ],
+    error_budget=0.01,
+    burn_windows=(1,),
+    burn_threshold=1.0,
+)

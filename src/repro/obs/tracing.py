@@ -47,12 +47,23 @@ class JsonlSink:
 
 
 class _SpanContext:
-    """Context manager for one open span (returned by :meth:`Tracer.span`)."""
+    """Context manager for one open span (returned by :meth:`Tracer.span`).
 
-    __slots__ = ("_tracer", "name", "cat", "attrs", "span_id", "parent", "_start")
+    Enter/exit are the tracer's hot path — every instrumented tick and
+    episode passes through here — so both inline the open/close
+    bookkeeping instead of calling back into :class:`Tracer` methods:
+    the clock is pre-bound at construction, the event dict is built
+    once directly from slot attributes (the span owns its ``attrs``
+    dict, so no defensive copy), and no keyword-argument plumbing runs
+    per span.
+    """
+
+    __slots__ = ("_tracer", "_clock", "name", "cat", "attrs", "span_id",
+                 "parent", "_start")
 
     def __init__(self, tracer: "Tracer", name: str, cat: str, attrs: Dict) -> None:
         self._tracer = tracer
+        self._clock = tracer._clock
         self.name = name
         self.cat = cat
         self.attrs = attrs
@@ -65,21 +76,38 @@ class _SpanContext:
         self.attrs.update(attrs)
 
     def __enter__(self) -> "_SpanContext":
-        self.span_id, self.parent = self._tracer._open()
-        self._start = self._tracer._clock()
+        tracer = self._tracer
+        span_id = tracer._next_id
+        tracer._next_id = span_id + 1
+        stack = tracer._stack
+        self.parent = stack[-1] if stack else None
+        stack.append(span_id)
+        self.span_id = span_id
+        self._start = self._clock()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        end = self._tracer._clock()
-        self._tracer._close(
-            name=self.name,
-            cat=self.cat,
-            span_id=self.span_id,
-            parent=self.parent,
-            start=self._start,
-            duration=end - self._start,
-            attrs=self.attrs,
-        )
+        end = self._clock()
+        tracer = self._tracer
+        span_id = self.span_id
+        stack = tracer._stack
+        if stack and stack[-1] == span_id:
+            stack.pop()
+        event = {
+            "name": self.name,
+            "cat": self.cat,
+            "id": span_id,
+            "parent": self.parent,
+            "ts": self._start,
+            "dur": end - self._start,
+            "attrs": self.attrs,
+        }
+        events = tracer.events
+        if len(events) == events.maxlen:
+            tracer.dropped += 1
+        events.append(event)
+        if tracer._sink is not None:
+            tracer._sink(event)
 
 
 class Tracer:
@@ -137,13 +165,6 @@ class Tracer:
             duration=duration,
             attrs=attrs,
         )
-
-    def _open(self):
-        span_id = self._next_id
-        self._next_id += 1
-        parent = self._stack[-1] if self._stack else None
-        self._stack.append(span_id)
-        return span_id, parent
 
     def _close(self, *, name, cat, span_id, parent, start, duration, attrs) -> None:
         if self._stack and self._stack[-1] == span_id:

@@ -195,6 +195,10 @@ class FleetGateway:
         self.stats.record_env_step(self.n_clients)
         if self._tel_enabled:
             self._ticks_total.inc()
+            # In-session monitoring heartbeat: an attached
+            # SnapshotSampler decides from its own cadence whether this
+            # tick boundary is a capture point (no-op otherwise).
+            self._tel.pulse()
         return rewards
 
     def run(self, n_steps: int, *, warmup: int = 0) -> ServeStats:

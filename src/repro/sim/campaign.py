@@ -370,6 +370,9 @@ def run_campaign(
                 controller=job.controller,
                 fault=job.fault.name,
             )
+            # Cell completion is the campaign's monitoring heartbeat:
+            # an attached SnapshotSampler captures here on its cadence.
+            tel.pulse()
 
     with tel.span(
         "campaign.run", cat="campaign", cells=len(jobs), pending=len(pending)

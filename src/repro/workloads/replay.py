@@ -22,14 +22,21 @@ Every replay produces a :class:`ReplayResult` split into two blocks:
     The measured part — latency quantiles, throughput, wall-clock —
     which varies run to run and is therefore *excluded* from the
     fingerprint.
+
+A third block, ``actions``, carries the per-dimension distribution of
+applied actions (``{"dim0": {"2": 512, ...}, ...}``).  It is fully
+determined by the replay (so it *would* be safe to hash) but stays
+outside ``replay_block()`` to keep fingerprints stable across repo
+revisions; :func:`repro.obs.detect.compare_replays` consumes it for
+canary-vs-incumbent drift checks.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -59,6 +66,7 @@ class ReplayResult:
     n_flushes: int
     total_reward: float
     timing: dict
+    action_counts: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def fingerprint(self) -> str:
@@ -90,6 +98,9 @@ class ReplayResult:
             "fingerprint": self.fingerprint,
             "total_reward": self.total_reward,
             "timing": dict(self.timing),
+            "actions": {"counts": {
+                dim: dict(counts) for dim, counts in self.action_counts.items()
+            }},
         }
 
 
@@ -124,6 +135,7 @@ def replay_trace(
     buckets = trace.requests_by_tick()
     actions_digest = hashlib.sha256()
     flush_log: List[Tuple[str, str, int]] = []
+    dim_counts: List[Dict[int, int]] = []
 
     def record_flush(policy_key: str, reason: str, size: int) -> None:
         flush_log.append((policy_key, reason, size))
@@ -145,6 +157,16 @@ def replay_trace(
                 total_reward += float(np.sum(rewards))
                 assert gateway.last_actions is not None
                 actions_digest.update(gateway.last_actions.tobytes())
+                applied = gateway.last_actions
+                if not dim_counts:
+                    dim_counts = [{} for _ in range(applied.shape[1])]
+                for d in range(applied.shape[1]):
+                    values, counts = np.unique(
+                        applied[:, d], return_counts=True
+                    )
+                    bucket = dim_counts[d]
+                    for v, c in zip(values.tolist(), counts.tolist()):
+                        bucket[v] = bucket.get(v, 0) + c
                 if tel.enabled:
                     ticks_total.inc()
                     if active.size:
@@ -168,4 +190,8 @@ def replay_trace(
         n_flushes=len(flush_log),
         total_reward=total_reward,
         timing=gateway.stats.as_dict(),
+        action_counts={
+            f"dim{d}": {str(v): int(c) for v, c in sorted(bucket.items())}
+            for d, bucket in enumerate(dim_counts)
+        },
     )

@@ -245,7 +245,19 @@ def build_suite_gateway(job: SuiteJob):
     config = MicroBatcherConfig(
         max_batch_size=job.max_batch, deterministic=True
     )
-    return FleetGateway(vec_env, registry, route, config=config)
+    # With telemetry live, fold the cell's ServeStats into the process
+    # registry (like `serve` does) so --metrics snapshots and --slo/
+    # --sample-every monitoring see replay latency and throughput.
+    # Cells run sequentially, so the shared series never double-count a
+    # request; they accumulate across cells like any session counter.
+    stats = None
+    from repro.obs import get_telemetry
+    from repro.serve import ServeStats
+
+    tel = get_telemetry()
+    if tel.enabled:
+        stats = ServeStats(registry=tel.registry)
+    return FleetGateway(vec_env, registry, route, config=config, stats=stats)
 
 
 def run_suite_job(job: SuiteJob, trace: WorkloadTrace) -> SuiteRow:

@@ -1,0 +1,167 @@
+"""Anomaly and drift detectors: robust z-scores, TV distance, replays."""
+
+import pytest
+
+from repro.obs.detect import (
+    action_drift,
+    compare_replays,
+    detect_anomalies,
+    robust_zscore,
+    total_variation,
+)
+
+
+def points(values):
+    return [(float(i), float(v)) for i, v in enumerate(values)]
+
+
+class TestRobustZscore:
+    def test_centered_value_scores_zero(self):
+        z, baseline = robust_zscore(3.0, [1.0, 2.0, 3.0, 4.0, 5.0])
+        assert z == pytest.approx(0.0)
+        assert baseline == 3.0
+
+    def test_flat_history_flags_any_departure(self):
+        z, _ = robust_zscore(1.001, [1.0] * 8)
+        assert z > 1e6  # scale floor, not division by zero
+
+    def test_outlier_in_history_does_not_inflate_scale(self):
+        # Median/MAD: one wild value in the history barely moves the
+        # score of a genuine spike, where mean/stddev would absorb it.
+        clean = [1.0, 1.1, 0.9, 1.0, 1.05, 0.95, 1.0, 1.1]
+        polluted = clean[:-1] + [50.0]
+        z_clean, _ = robust_zscore(10.0, clean)
+        z_polluted, _ = robust_zscore(10.0, polluted)
+        assert z_polluted > 0.5 * z_clean
+
+
+class TestDetectAnomalies:
+    def test_flags_injected_spike(self):
+        values = [1.0, 1.1, 0.9, 1.0, 1.05] * 6
+        values[20] = 25.0
+        report = detect_anomalies(points(values), series="lat", field_name="p99")
+        assert not report.ok
+        assert [a.index for a in report.anomalies] == [20]
+        spike = report.anomalies[0]
+        assert spike.value == 25.0
+        assert abs(spike.zscore) > 6.0
+
+    def test_steady_series_is_clean(self):
+        report = detect_anomalies(points([1.0, 1.1, 0.9, 1.0, 1.05] * 10))
+        assert report.ok
+
+    def test_warmup_points_never_flag(self):
+        # The wild swings land inside min_history: no baseline yet.
+        report = detect_anomalies(
+            points([100.0, 0.0, 100.0, 0.0]), min_history=4
+        )
+        assert report.ok
+
+    def test_spike_does_not_contaminate_its_own_baseline(self):
+        # Two consecutive spikes: the second is judged against history
+        # that *includes* the first, but the first was judged against
+        # preceding values only — both must flag against a median/MAD
+        # baseline dominated by the steady level.
+        values = [1.0] * 10 + [30.0, 30.0] + [1.0] * 5
+        report = detect_anomalies(points(values))
+        assert {a.index for a in report.anomalies} >= {10, 11}
+
+    def test_min_deviation_suppresses_jitter_on_flat_series(self):
+        values = [1.0] * 10 + [1.0 + 1e-9] + [1.0] * 5
+        strict = detect_anomalies(points(values))
+        guarded = detect_anomalies(points(values), min_deviation=0.01)
+        assert not strict.ok  # scale floor makes jitter score huge...
+        assert guarded.ok  # ...min_deviation is the practical guard
+
+    def test_report_dict_shape(self):
+        report = detect_anomalies(points([1.0] * 8), series="s",
+                                  field_name="rate")
+        d = report.as_dict()
+        assert d["kind"] == "anomaly-report"
+        assert d["series"] == "s"
+        assert d["ok"] is True
+        assert d["anomalies"] == []
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            detect_anomalies([], window=0)
+        with pytest.raises(ValueError):
+            detect_anomalies([], alpha=0.0)
+
+
+class TestTotalVariation:
+    def test_identical_distributions_are_zero(self):
+        assert total_variation({"0": 10, "1": 30}, {"0": 1, "1": 3}) == 0.0
+
+    def test_disjoint_support_is_one(self):
+        assert total_variation({"0": 5}, {"1": 5}) == 1.0
+
+    def test_empty_vs_empty_zero_empty_vs_any_one(self):
+        assert total_variation({}, {}) == 0.0
+        assert total_variation({}, {"0": 1}) == 1.0
+
+    def test_partial_overlap_in_between(self):
+        tv = total_variation({"0": 1, "1": 1}, {"0": 1, "2": 1})
+        assert tv == pytest.approx(0.5)
+
+
+class TestActionDrift:
+    def test_dimension_missing_on_one_side_is_full_drift(self):
+        tv = action_drift({"dim0": {"1": 5}}, {"dim1": {"1": 5}})
+        assert tv == {"dim0": 1.0, "dim1": 1.0}
+
+
+def replay_summary(fingerprint="abc", trace="t1", counts=None):
+    return {
+        "fingerprint": fingerprint,
+        "replay": {"trace_sha256": trace},
+        "actions": {"counts": counts if counts is not None
+                    else {"dim0": {"1": 10, "2": 10}}},
+    }
+
+
+class TestCompareReplays:
+    def test_identical_summaries_report_zero_drift(self):
+        report = compare_replays(replay_summary(), replay_summary())
+        assert report.fingerprint_match is True
+        assert report.trace_match is True
+        assert report.max_tv == 0.0
+        assert not report.drift
+
+    def test_fingerprint_mismatch_forces_drift(self):
+        report = compare_replays(
+            replay_summary("abc"), replay_summary("xyz")
+        )
+        assert report.drift
+
+    def test_action_shift_past_threshold_drifts(self):
+        report = compare_replays(
+            replay_summary(counts={"dim0": {"1": 100, "2": 0}}),
+            replay_summary(counts={"dim0": {"1": 0, "2": 100}}),
+            tv_threshold=0.05,
+        )
+        assert report.per_dim_tv["dim0"] == 1.0
+        assert report.drift
+
+    def test_small_shift_under_threshold_passes(self):
+        report = compare_replays(
+            replay_summary(fingerprint="a",
+                           counts={"dim0": {"1": 99, "2": 1}}),
+            replay_summary(fingerprint="a",
+                           counts={"dim0": {"1": 98, "2": 2}}),
+            tv_threshold=0.05,
+        )
+        assert report.per_dim_tv["dim0"] == pytest.approx(0.01)
+        assert not report.drift
+
+    def test_missing_signals_are_none_not_drift(self):
+        report = compare_replays({}, {})
+        assert report.fingerprint_match is None
+        assert report.trace_match is None
+        assert not report.drift
+
+    def test_report_dict_round_trip(self):
+        d = compare_replays(replay_summary(), replay_summary()).as_dict()
+        assert d["kind"] == "drift-report"
+        assert d["drift"] is False
+        assert "dim0" in d["per_dim_tv"]

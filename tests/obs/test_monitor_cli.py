@@ -1,0 +1,213 @@
+"""End-to-end monitoring CLI: --slo/--sample-every plus obs watch/slo/detect.
+
+These run real (tiny) sessions in-process and then post-process the
+artifacts the way CI's monitor-smoke job does, so they pin the whole
+chain: pulse-driven sampling -> sample stream -> SLO verdict -> offline
+re-evaluation, anomaly scan, and replay-drift comparison.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.timeseries import check_samples, load_samples, sample_records
+
+
+@pytest.fixture()
+def monitored_loadtest(tmp_path):
+    """One instrumented loadtest run; returns (samples, verdict) paths."""
+    samples = tmp_path / "lt_samples.jsonl"
+    verdict = tmp_path / "lt_slo.json"
+    code = main(
+        ["loadtest", "--fleet", "8", "--steps", "6", "--deterministic",
+         "--slo", "default", "--sample-every", "0.01",
+         "--samples", str(samples), "--slo-out", str(verdict)]
+    )
+    assert code == 0
+    return samples, verdict
+
+
+class TestMonitoredSessions:
+    def test_loadtest_writes_valid_samples_and_verdict(
+        self, monitored_loadtest, capsys
+    ):
+        samples, verdict = monitored_loadtest
+        records = load_samples(samples)
+        assert check_samples(records) == []
+        # The serving path reached the sampler: latency appears.
+        keys = set()
+        for s in sample_records(records):
+            keys.update(s["series"])
+        assert "serve.request_latency_seconds" in keys
+        payload = json.loads(verdict.read_text())
+        assert payload["kind"] == "slo-verdict"
+        assert payload["slo"] == "default"
+        assert payload["ok"] is True
+
+    def test_obs_check_validates_monitoring_artifacts(
+        self, monitored_loadtest, capsys
+    ):
+        samples, verdict = monitored_loadtest
+        capsys.readouterr()
+        code = main(
+            ["obs", "check", "--samples", str(samples),
+             "--verdict", str(verdict)]
+        )
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_unattainable_slo_fails_the_run(self, tmp_path, capsys):
+        verdict = tmp_path / "slo.json"
+        code = main(
+            ["loadtest", "--fleet", "4", "--steps", "3", "--deterministic",
+             "--slo", "unattainable",
+             "--samples", str(tmp_path / "s.jsonl"),
+             "--slo-out", str(verdict)]
+        )
+        assert code == 1
+        assert "BREACHED" in capsys.readouterr().out
+        assert json.loads(verdict.read_text())["ok"] is False
+
+    def test_unknown_slo_preset_rejected_before_session(self, capsys):
+        code = main(
+            ["loadtest", "--fleet", "4", "--steps", "2", "--slo", "nope"]
+        )
+        assert code == 2
+        assert "nope" in capsys.readouterr().err
+
+    def test_sample_every_without_slo_just_samples(self, tmp_path, capsys):
+        samples = tmp_path / "s.jsonl"
+        code = main(
+            ["serve", "--policy", "baseline:thermostat", "--fleet", "4",
+             "--steps", "5", "--deterministic",
+             "--sample-every", "0.01", "--samples", str(samples)]
+        )
+        assert code == 0
+        assert check_samples(load_samples(samples)) == []
+
+    def test_unmonitored_run_keeps_null_backend(self, capsys):
+        from repro.obs import NULL_TELEMETRY, get_telemetry
+
+        code = main(
+            ["loadtest", "--fleet", "4", "--steps", "2", "--deterministic"]
+        )
+        assert code == 0
+        assert get_telemetry() is NULL_TELEMETRY
+
+
+class TestObsSlo:
+    def test_offline_reevaluation_matches_in_session_verdict(
+        self, monitored_loadtest, tmp_path, capsys
+    ):
+        samples, _ = monitored_loadtest
+        out = tmp_path / "re.json"
+        capsys.readouterr()
+        code = main(
+            ["obs", "slo", "--samples", str(samples), "--slo", "default",
+             "--out", str(out)]
+        )
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+        assert json.loads(out.read_text())["ok"] is True
+
+    def test_breaching_preset_exits_nonzero(self, monitored_loadtest, capsys):
+        samples, _ = monitored_loadtest
+        capsys.readouterr()
+        code = main(
+            ["obs", "slo", "--samples", str(samples), "--slo", "unattainable"]
+        )
+        assert code == 1
+
+    def test_list_names_presets(self, capsys):
+        code = main(["obs", "slo", "--list"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for preset in ("default", "serve-ci", "unattainable"):
+            assert preset in out
+
+
+class TestObsWatch:
+    def test_renders_latest_sample_once(self, monitored_loadtest, capsys):
+        samples, _ = monitored_loadtest
+        capsys.readouterr()
+        code = main(["obs", "watch", "--samples", str(samples)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serve.request_latency_seconds" in out
+
+    def test_series_filter_narrows_output(self, monitored_loadtest, capsys):
+        samples, _ = monitored_loadtest
+        capsys.readouterr()
+        code = main(
+            ["obs", "watch", "--samples", str(samples),
+             "--series", "serve.ticks_total"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serve.ticks_total" in out
+        assert "serve.request_latency_seconds" not in out
+
+
+class TestObsDetect:
+    def test_clean_stream_reports_no_anomalies(
+        self, monitored_loadtest, tmp_path, capsys
+    ):
+        samples, _ = monitored_loadtest
+        out = tmp_path / "anom.json"
+        capsys.readouterr()
+        code = main(
+            ["obs", "detect", "--samples", str(samples),
+             "--fail-on-detect", "--out", str(out)]
+        )
+        assert code == 0
+        assert json.loads(out.read_text())["kind"] == "anomaly-report"
+
+    def test_injected_spike_flagged(self, tmp_path, capsys):
+        # Synthesize a stream with one wild p99 sample: the detector
+        # must flag it and --fail-on-detect must turn that into exit 1.
+        path = tmp_path / "spiked.jsonl"
+        lines = [json.dumps({"kind": "obs-samples", "version": 1})]
+        for i in range(30):
+            p99 = 5.0 if i == 25 else 0.001 + (i % 3) * 1e-4
+            lines.append(json.dumps({
+                "kind": "sample", "seq": i, "t": float(i), "window_s": 1.0,
+                "series": {"serve.request_latency_seconds": {"p99": p99}},
+            }))
+        path.write_text("\n".join(lines) + "\n")
+        code = main(
+            ["obs", "detect", "--samples", str(path), "--fail-on-detect"]
+        )
+        assert code == 1
+        assert "anomal" in capsys.readouterr().out.lower()
+
+    def test_replaying_golden_trace_twice_is_drift_free(
+        self, tmp_path, capsys
+    ):
+        trace = tmp_path / "trace.json"
+        main(["workload", "generate", "--workloads", "steady-poisson",
+              "--fleet", "2", "--duration-s", "1800", "--out", str(trace)])
+        outs = []
+        for name in ("a.json", "b.json"):
+            out = tmp_path / name
+            code = main(
+                ["workload", "replay", "--from-trace", str(trace),
+                 "--out", str(out)]
+            )
+            assert code == 0
+            outs.append(out)
+        capsys.readouterr()
+        code = main(
+            ["obs", "detect", "--replay", str(outs[1]),
+             "--reference", str(outs[0]), "--fail-on-detect"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out.lower()
+        assert "drift" in out
+
+    def test_drift_mode_requires_both_sides(self, tmp_path, capsys):
+        code = main(
+            ["obs", "detect", "--replay", str(tmp_path / "only.json")]
+        )
+        assert code == 2
+        assert capsys.readouterr().err

@@ -1,0 +1,196 @@
+"""SLO evaluation: objectives, budgets, burn rates, verdict artifact."""
+
+import json
+
+import pytest
+
+from repro.obs.slo import (
+    SLOObjective,
+    SLOSpec,
+    check_verdict,
+    evaluate_slo,
+    get_slo,
+    list_slos,
+    register_slo,
+)
+
+
+def sample(series):
+    return {"kind": "sample", "seq": 0, "t": 0.0, "window_s": 1.0,
+            "series": series}
+
+
+def latency_sample(p99):
+    return sample({"serve.request_latency_seconds": {"p99": p99, "p50": p99}})
+
+
+CEILING = SLOObjective(
+    name="p99", series="serve.request_latency_seconds", field="p99",
+    kind="ceiling", threshold=0.1,
+)
+
+
+def spec(objectives, **kwargs):
+    defaults = dict(error_budget=0.25, burn_windows=(2,), burn_threshold=2.0)
+    defaults.update(kwargs)
+    return SLOSpec(name="t", description="", objectives=tuple(objectives),
+                   **defaults)
+
+
+class TestObjective:
+    def test_ceiling_violated_above(self):
+        assert CEILING.violated_by(0.2)
+        assert not CEILING.violated_by(0.1)
+
+    def test_floor_violated_below(self):
+        floor = SLOObjective(name="tp", series="s", field="rate",
+                             kind="floor", threshold=100.0)
+        assert floor.violated_by(99.0)
+        assert not floor.violated_by(100.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            SLOObjective(name="x", series="s", field="rate",
+                         kind="target", threshold=1.0)
+
+
+class TestFamilyMatching:
+    def test_ceiling_over_family_binds_worst_child(self):
+        obj = SLOObjective(name="q", series="serve.queue_depth",
+                           field="value", kind="ceiling", threshold=10.0)
+        s = sample({
+            "serve.queue_depth{policy=a}": {"value": 3.0},
+            "serve.queue_depth{policy=b}": {"value": 12.0},
+        })
+        report = evaluate_slo(spec([obj]), [s])
+        assert report.results[0].worst == 12.0
+        assert report.results[0].violations == 1
+
+    def test_floor_over_family_sums_children(self):
+        obj = SLOObjective(name="tp", series="serve.requests_total",
+                           field="rate", kind="floor", threshold=10.0)
+        s = sample({
+            "serve.requests_total{policy=a}": {"rate": 6.0},
+            "serve.requests_total{policy=b}": {"rate": 7.0},
+        })
+        report = evaluate_slo(spec([obj]), [s])
+        assert report.results[0].worst == 13.0
+        assert report.results[0].violations == 0
+
+
+class TestEvaluation:
+    def test_no_data_reported_but_never_breaches(self):
+        report = evaluate_slo(spec([CEILING]), [sample({})] * 5)
+        result = report.results[0]
+        assert result.no_data
+        assert not result.breached
+        assert report.ok
+
+    def test_within_budget_passes(self):
+        # 1 violation in 8 windows against a 25% budget: half consumed.
+        samples = [latency_sample(0.01)] * 7 + [latency_sample(0.5)]
+        report = evaluate_slo(spec([CEILING], burn_windows=(8,)), samples)
+        result = report.results[0]
+        assert result.violations == 1
+        assert result.budget_consumed == pytest.approx(0.5)
+        assert not result.breached
+
+    def test_budget_exhaustion_breaches(self):
+        samples = [latency_sample(0.5)] * 4 + [latency_sample(0.01)] * 4
+        report = evaluate_slo(spec([CEILING], burn_windows=(8,)), samples)
+        assert report.results[0].budget_consumed == pytest.approx(2.0)
+        assert report.results[0].breached
+        assert not report.ok
+
+    def test_sustained_fast_burn_breaches_before_budget_gone(self):
+        # 39 clean windows then 2 hot ones: overall budget intact
+        # (2/41 < 25%), but the trailing burn window is violating at
+        # 4x budget — the multi-window burn rule pages.
+        samples = [latency_sample(0.01)] * 39 + [latency_sample(0.5)] * 2
+        report = evaluate_slo(spec([CEILING], burn_windows=(2,)), samples)
+        result = report.results[0]
+        assert result.budget_consumed < 1.0
+        assert result.burn_rates[2] == pytest.approx(4.0)
+        assert result.breached
+
+    def test_single_cold_sample_does_not_page_multi_window(self):
+        # One early violation: the short window has cooled off and the
+        # long window never burned hot, so no breach.
+        samples = [latency_sample(0.5)] + [latency_sample(0.01)] * 20
+        report = evaluate_slo(
+            spec([CEILING], burn_windows=(2, 20)), samples
+        )
+        assert not report.results[0].breached
+
+    def test_worst_tracks_extreme_in_bound_direction(self):
+        floor = SLOObjective(name="tp", series="x", field="rate",
+                             kind="floor", threshold=5.0)
+        samples = [sample({"x": {"rate": r}}) for r in (9.0, 3.0, 7.0)]
+        report = evaluate_slo(spec([floor]), samples)
+        assert report.results[0].worst == 3.0
+
+    def test_render_mentions_overall_verdict(self):
+        report = evaluate_slo(spec([CEILING]), [latency_sample(0.01)])
+        assert "OK" in report.render()
+        report = evaluate_slo(
+            spec([CEILING], burn_windows=(1,)), [latency_sample(0.5)] * 3
+        )
+        assert "BREACHED" in report.render()
+
+
+class TestSpecValidation:
+    def test_empty_objectives_rejected(self):
+        with pytest.raises(ValueError):
+            SLOSpec(name="x", description="", objectives=())
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(ValueError):
+            spec([CEILING], error_budget=0.0)
+
+    def test_bad_burn_windows_rejected(self):
+        with pytest.raises(ValueError):
+            spec([CEILING], burn_windows=(0,))
+
+
+class TestVerdictArtifact:
+    def test_round_trip_validates(self, tmp_path):
+        report = evaluate_slo(spec([CEILING]), [latency_sample(0.01)])
+        path = report.write(tmp_path / "verdict.json")
+        verdict = json.loads(path.read_text())
+        assert verdict["kind"] == "slo-verdict"
+        assert verdict["ok"] is True
+        assert check_verdict(verdict) == []
+
+    def test_inconsistent_ok_flag_flagged(self):
+        report = evaluate_slo(
+            spec([CEILING], burn_windows=(1,)), [latency_sample(0.5)] * 3
+        )
+        verdict = report.as_dict()
+        assert verdict["ok"] is False
+        verdict["ok"] = True  # tamper
+        assert any("inconsistent" in p for p in check_verdict(verdict))
+
+    def test_wrong_kind_flagged(self):
+        assert any(
+            "kind" in p for p in check_verdict({"kind": "nope"})
+        )
+
+
+class TestRegistry:
+    def test_presets_registered(self):
+        names = list_slos()
+        for preset in ("default", "serve-ci", "unattainable"):
+            assert preset in names
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="registered"):
+            get_slo("no-such-slo")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_slo(get_slo("default"))
+
+    def test_unattainable_preset_always_breaches_observed_latency(self):
+        report = evaluate_slo(get_slo("unattainable"),
+                              [latency_sample(0.001)] * 3)
+        assert not report.ok

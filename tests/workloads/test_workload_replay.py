@@ -104,5 +104,10 @@ def test_fingerprint_excludes_timing_and_reward():
     slow = ReplayResult(**base, total_reward=2.0, timing={"elapsed_s": 9.9})
     assert fast.fingerprint == slow.fingerprint
     payload = fast.as_dict()
-    assert set(payload) == {"replay", "fingerprint", "total_reward", "timing"}
+    assert set(payload) == {
+        "replay", "fingerprint", "total_reward", "timing", "actions",
+    }
     assert "timing" not in payload["replay"]
+    # The action distribution rides outside the fingerprinted block.
+    assert "actions" not in payload["replay"]
+    assert payload["actions"] == {"counts": {}}

@@ -43,7 +43,7 @@ GATED_METRICS = {
     "BENCH_vector_sim.json": ["speedup"],
     "BENCH_serve.json": ["speedup"],
     "BENCH_train.json": ["prioritized_speedup", "ingest_speedup"],
-    "BENCH_obs.json": ["serve_enabled_throughput_ratio"],
+    "BENCH_obs.json": ["serve_enabled_throughput_ratio", "span_throughput_ratio"],
 }
 
 

@@ -321,6 +321,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_serving_args(serve)
     serve.add_argument(
+        "--list-chaos",
+        action="store_true",
+        help="list registered serve-side chaos profiles and exit",
+    )
+    serve.add_argument(
         "--policy",
         type=str,
         default=None,
@@ -445,6 +450,18 @@ def _build_parser() -> argparse.ArgumentParser:
     workload.add_argument(
         "--from-trace", type=str, default=None, metavar="FILE",
         help="replay: a standalone trace JSON written by `workload generate --out`",
+    )
+    workload.add_argument(
+        "--chaos", type=str, default="none", metavar="PROFILE",
+        help=(
+            "replay --from-trace: inject a serve-side chaos profile; the "
+            "replay runs through the resilience ladder and stays "
+            "bit-reproducible (default: none)"
+        ),
+    )
+    workload.add_argument(
+        "--chaos-seed", type=int, default=None, metavar="SEED",
+        help="replay --from-trace: chaos stream seed (default: --seed)",
     )
     workload.add_argument(
         "--out", type=str, default=None, metavar="FILE",
@@ -778,6 +795,102 @@ def _add_serving_args(parser: argparse.ArgumentParser) -> None:
         metavar="RUN_DIR",
         help="persist the serving telemetry as a run directory",
     )
+    # Resilience / chaos knobs (any of them arms the resilience ladder).
+    parser.add_argument(
+        "--chaos",
+        type=str,
+        default=None,
+        metavar="PROFILE",
+        help=(
+            "inject a registered serve-side chaos profile "
+            "(`serve --list-chaos` shows the catalog); implies the "
+            "resilience ladder so every tick still yields an action"
+        ),
+    )
+    parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="chaos RNG stream seed (default: --seed)",
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "per-request deadline budget enforced at the flush; late "
+            "requests resolve as timeouts and walk the fallback chain"
+        ),
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "max attempts per route (first try included; default 3 once "
+            "the resilience ladder is armed)"
+        ),
+    )
+    parser.add_argument(
+        "--fallback",
+        type=str,
+        default=None,
+        metavar="CHAIN",
+        help=(
+            "comma-separated degraded-mode route chain tried when the "
+            "primary fails, e.g. dqn@1,baseline:thermostat"
+        ),
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "admission bound: shed requests once this many are pending "
+            "(explicit rejection instead of unbounded queueing)"
+        ),
+    )
+
+
+def _resilience_from_args(args: argparse.Namespace):
+    """(ResilienceConfig | None, ChaosProfile | None, chaos seed) from flags.
+
+    The chaos *profile* (not a bound injector) is returned so each
+    gateway a command builds gets a freshly seeded injector — loadtest
+    runs two sessions and both must see the identical failure schedule.
+    """
+    from repro.serve import ResilienceConfig, RetryPolicy
+    from repro.serve.chaos import get_chaos_profile
+
+    chaos_profile = None
+    chaos_seed = args.chaos_seed if args.chaos_seed is not None else args.seed
+    if getattr(args, "chaos", None):
+        profile = get_chaos_profile(args.chaos)
+        if not profile.is_clean:
+            chaos_profile = profile
+    armed = chaos_profile is not None or any(
+        getattr(args, flag, None) is not None
+        for flag in ("deadline_ms", "retries", "fallback", "max_inflight")
+    )
+    if not armed:
+        return None, None, chaos_seed
+    retry = (
+        RetryPolicy()
+        if args.retries is None
+        else RetryPolicy(max_attempts=args.retries)
+    )
+    resilience = ResilienceConfig(
+        deadline_s=args.deadline_ms / 1e3 if args.deadline_ms is not None else None,
+        retry=retry,
+        fallbacks=tuple(f for f in (args.fallback or "").split(",") if f),
+        max_inflight=args.max_inflight,
+        seed=args.seed,
+    )
+    return resilience, chaos_profile, chaos_seed
 
 
 def _make_envs(seed: int, comfort_weight: float, eval_days: int):
@@ -1210,6 +1323,8 @@ def _serving_session(args: argparse.Namespace, *, policy_spec: Optional[str] = N
                 "serve it on the scenario it was trained for"
             )
 
+    resilience, chaos_profile, chaos_seed = _resilience_from_args(args)
+
     def make_gateway(
         config: MicroBatcherConfig,
         routes: Optional[List[str]] = None,
@@ -1243,12 +1358,22 @@ def _serving_session(args: argparse.Namespace, *, policy_spec: Optional[str] = N
         vec_env = VectorHVACEnv(
             build_fleet(scenario, seeds=seeds), autoreset=True
         )
+        # Each gateway binds a fresh injector so two sessions of the
+        # same command (loadtest's batched + per-request twins) see the
+        # identical seeded failure schedule.
+        chaos = (
+            chaos_profile.build(chaos_seed)
+            if chaos_profile is not None
+            else None
+        )
         return FleetGateway(
             vec_env,
             registry,
             routes if routes is not None else default_route,
             config=config,
             stats=stats,
+            resilience=resilience,
+            chaos=chaos,
         )
 
     return make_gateway, label
@@ -1375,6 +1500,15 @@ def _store_serve_stats(args: argparse.Namespace, payload: dict) -> None:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.list_chaos:
+        from repro.serve.chaos import get_chaos_profile, list_chaos_profiles
+
+        for name in list_chaos_profiles():
+            profile = get_chaos_profile(name)
+            print(f"{name:20s} {profile.description}")
+            for line in profile.describe_models():
+                print(f"{'':20s}  - {line}")
+        return 0
     try:
         monitor, slo_spec = _open_monitor(args, "serve")
         make_gateway, label = _serving_session(args, policy_spec=args.policy)
@@ -1417,6 +1551,8 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             "baseline:thermostat"
         ] * n_local
 
+    gateways = {}
+
     def run_mode(max_batch: int, *, fold: bool = False):
         # The micro-batched (real) mode folds its ServeStats into the
         # process registry when telemetry is live, so --metrics /
@@ -1427,6 +1563,7 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             _batcher_config(args, max_batch=max_batch), routes,
             fold_telemetry=fold,
         )
+        gateways[max_batch] = gateway
         return gateway.run(args.steps, warmup=args.warmup)
 
     print(
@@ -1455,6 +1592,22 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         "warmup": args.warmup,
         "batched": batched.as_dict(),
     }
+    if args.chaos or args.fallback or args.deadline_ms is not None:
+        gw = gateways[args.max_batch]
+        record["chaos"] = {
+            "profile": args.chaos or "none",
+            "chaos_seed": (
+                args.chaos_seed if args.chaos_seed is not None else args.seed
+            ),
+            "fallback": args.fallback,
+            "deadline_ms": args.deadline_ms,
+            "max_inflight": args.max_inflight,
+            "rollbacks": list(gw.rollbacks),
+            "rejected_swaps": gw.rejected_swaps,
+            # One answered fleet action per client per measured tick: the
+            # zero-unanswered-ticks invariant CI asserts on.
+            "expected_env_steps": args.fleet * args.steps,
+        }
     if not args.skip_per_request:
         per_request = run_mode(1)
         print("\n== per-request (one-request-one-forward) ==")
@@ -1639,12 +1792,15 @@ def _cmd_workload(args: argparse.Namespace) -> int:
                 fleet=trace.n_clients,
                 seed=args.seed,
                 max_batch=args.max_batch,
+                chaos=args.chaos,
+                chaos_seed=args.chaos_seed,
             )
             row = run_suite_job(job, trace)
+            chaos_note = f" / chaos={args.chaos}" if args.chaos != "none" else ""
             print(
                 f"replayed {trace.workload} ({trace.n_requests} requests "
                 f"over {trace.n_ticks} ticks) against {scenario.name} / "
-                f"{controller} / {fault}"
+                f"{controller} / {fault}{chaos_note}"
             )
             print(f"fingerprint: {row.fingerprint}")
             timing = row.timing

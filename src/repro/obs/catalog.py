@@ -62,6 +62,21 @@ _SPECS = (
     MetricSpec("serve.queue_depth", "gauge",
                "Tickets waiting in a policy's micro-batch queue.",
                ("policy",)),
+    # --- serving resilience -------------------------------------------
+    MetricSpec("serve.errors_total", "counter",
+               "Requests that resolved without an action, by failure "
+               "kind (inference, timeout, chaos).", ("kind",)),
+    MetricSpec("serve.retries_total", "counter",
+               "Request retry attempts issued by the resilience layer."),
+    MetricSpec("serve.fallbacks_total", "counter",
+               "Ticks answered through a degraded route (fallback chain "
+               "entry, or hold-last as the final resort).", ("route",)),
+    MetricSpec("serve.shed_total", "counter",
+               "Requests rejected by admission control (bounded queue "
+               "load shedding)."),
+    MetricSpec("serve.breaker_state", "gauge",
+               "Circuit-breaker state per routed policy spec "
+               "(0=closed, 1=half_open, 2=open).", ("policy",)),
     # --- campaigns ----------------------------------------------------
     MetricSpec("campaign.cells_total", "counter",
                "Campaign cells finished, by how the result was obtained.",
@@ -94,6 +109,9 @@ CATALOG: Dict[str, MetricSpec] = {spec.name: spec for spec in _SPECS}
 
 #: Label values ``serve.flush_total`` is emitted with.
 FLUSH_REASONS = ("max_batch", "deadline", "barrier")
+
+#: Label values ``serve.errors_total`` is emitted with.
+ERROR_KINDS = ("inference", "timeout", "chaos")
 
 
 def metric(registry: MetricsRegistry, name: str) -> MetricFamily:

@@ -379,6 +379,37 @@ _preset(
 )
 
 _preset(
+    "serve-degraded",
+    "Degraded-mode guardrails for chaos drills: latency may carry "
+    "virtual stall/backoff seconds and throughput may dip, but the tier "
+    "must keep answering and queues must stay bounded.",
+    [
+        SLOObjective(
+            name="latency-p99-degraded",
+            series="serve.request_latency_seconds", field="p99",
+            kind="ceiling", threshold=2.0,
+            description="even under chaos (virtual stalls + retry backoff) "
+                        "p99 stays under 2 s",
+        ),
+        SLOObjective(
+            name="throughput-floor-degraded",
+            series="serve.requests_total", field="rate",
+            kind="floor", threshold=10.0,
+            description="the tier keeps answering at 10+ req/s while degraded",
+        ),
+        SLOObjective(
+            name="queue-depth",
+            series="serve.queue_depth", field="value",
+            kind="ceiling", threshold=4096,
+            description="admission control keeps queues bounded under chaos",
+        ),
+    ],
+    # Chaos drills are allowed sustained breach-free degradation, not
+    # sustained violation: a fifth of windows may run hot.
+    error_budget=0.20,
+)
+
+_preset(
     "unattainable",
     "Deliberately impossible bounds — exercises breach paths and exit "
     "codes in tests and smoke jobs.",

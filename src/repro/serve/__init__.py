@@ -18,6 +18,12 @@ clients:
   baseline fleets).
 * :class:`~repro.serve.telemetry.ServeStats` — p50/p95/p99 latency,
   throughput, per-policy request counters; JSON-ready for the store.
+* :mod:`~repro.serve.resilience` — deadlines, budgeted retries, circuit
+  breakers, fallback chains, admission control: the degraded-mode
+  ladder the gateway walks so every tick yields an action.
+* :mod:`~repro.serve.chaos` — seeded, bit-reproducible serve-side
+  failure drills (:class:`~repro.serve.chaos.ChaosProfile` registry
+  mirroring the fault-injection profiles).
 
 ``repro-hvac serve`` and ``repro-hvac loadtest`` expose the tier on the
 command line; ``benchmarks/perf_serve.py`` measures the micro-batching
@@ -33,9 +39,28 @@ from repro.serve.registry import (
     default_registry,
     load_checkpoint_file,
     split_spec,
+    validate_policy,
 )
 from repro.serve.batcher import MicroBatcher, MicroBatcherConfig, Ticket
-from repro.serve.gateway import FleetGateway
+from repro.serve.chaos import (
+    ChaosInjector,
+    ChaosModel,
+    ChaosProfile,
+    chaos_stream,
+    get_chaos_profile,
+    list_chaos_profiles,
+    register_chaos_profile,
+)
+from repro.serve.gateway import FleetGateway, HOLD_LAST_ROUTE
+from repro.serve.resilience import (
+    BreakerConfig,
+    CircuitBreaker,
+    RequestFailed,
+    ResilienceConfig,
+    RetryBudget,
+    RetryPolicy,
+    retry_stream,
+)
 from repro.serve.telemetry import LATENCY_QUANTILES, ServeStats
 
 __all__ = [
@@ -47,10 +72,26 @@ __all__ = [
     "default_registry",
     "load_checkpoint_file",
     "split_spec",
+    "validate_policy",
     "MicroBatcher",
     "MicroBatcherConfig",
     "Ticket",
+    "ChaosInjector",
+    "ChaosModel",
+    "ChaosProfile",
+    "chaos_stream",
+    "get_chaos_profile",
+    "list_chaos_profiles",
+    "register_chaos_profile",
     "FleetGateway",
+    "HOLD_LAST_ROUTE",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "RequestFailed",
+    "ResilienceConfig",
+    "RetryBudget",
+    "RetryPolicy",
+    "retry_stream",
     "LATENCY_QUANTILES",
     "ServeStats",
 ]

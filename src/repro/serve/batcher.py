@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.obs import get_telemetry
 from repro.serve.registry import PolicyRegistry, PolicyVersion
+from repro.serve.resilience import RequestFailed
 from repro.serve.telemetry import ServeStats
 from repro.utils.validation import check_positive
 
@@ -66,26 +67,61 @@ class MicroBatcherConfig:
 
 
 class Ticket:
-    """One in-flight request: resolves to an action after its flush."""
+    """One in-flight request: resolves to an outcome after its flush.
 
-    __slots__ = ("client_id", "policy_key", "submitted_at", "_action")
+    ``outcome`` is ``"pending"`` until the flush, then one of ``"ok"``
+    (action available), ``"error"`` (inference raised or chaos failed the
+    batch), or ``"timeout"`` (the request's deadline budget was exhausted
+    by the time the flush completed).  ``virtual_s`` carries synthetic
+    seconds charged against the deadline — chaos stall latency plus any
+    retry backoff from earlier attempts — so deadline enforcement stays
+    deterministic when the batcher runs with ``deterministic=True``.
+    """
 
-    def __init__(self, client_id: int, policy_key: str, submitted_at: float) -> None:
+    __slots__ = (
+        "client_id",
+        "policy_key",
+        "submitted_at",
+        "deadline_s",
+        "virtual_s",
+        "outcome",
+        "failure",
+        "_action",
+    )
+
+    def __init__(
+        self,
+        client_id: int,
+        policy_key: str,
+        submitted_at: float,
+        *,
+        deadline_s: Optional[float] = None,
+        virtual_s: float = 0.0,
+    ) -> None:
         self.client_id = client_id
         self.policy_key = policy_key
         self.submitted_at = submitted_at
+        self.deadline_s = deadline_s
+        self.virtual_s = virtual_s
+        self.outcome = "pending"
+        self.failure: Optional[str] = None
         self._action: Optional[np.ndarray] = None
 
     @property
     def done(self) -> bool:
-        return self._action is not None
+        return self.outcome != "pending"
 
     def result(self) -> np.ndarray:
-        """The action vector; raises if the batch has not flushed yet."""
-        if self._action is None:
+        """The action vector; raises if unflushed, failed, or timed out."""
+        if self.outcome == "pending":
             raise RuntimeError(
                 f"request for client {self.client_id} (policy "
                 f"{self.policy_key}) has not been flushed yet"
+            )
+        if self._action is None:
+            raise RequestFailed(
+                f"request for client {self.client_id} (policy "
+                f"{self.policy_key}) resolved as {self.outcome}: {self.failure}"
             )
         return self._action
 
@@ -119,6 +155,9 @@ class MicroBatcher:
         Optional observer called as ``on_flush(policy_key, reason, size)``
         after every completed flush.  Workload replay uses it to digest
         the exact flush sequence; it must not mutate batcher state.
+    chaos:
+        Optional :class:`~repro.serve.chaos.ChaosInjector`; consulted
+        once per flush for seeded failure/latency effects.
     """
 
     def __init__(
@@ -129,12 +168,14 @@ class MicroBatcher:
         stats: Optional[ServeStats] = None,
         clock=time.perf_counter,
         on_flush=None,
+        chaos=None,
     ) -> None:
         self.registry = registry
         self.config = config if config is not None else MicroBatcherConfig()
         self.stats = stats if stats is not None else ServeStats()
         self._clock = clock
         self.on_flush = on_flush
+        self.chaos = chaos
         self._queues: Dict[str, _Queue] = {}
         # Telemetry handles are captured once at construction; when the
         # process runs the null backend every hot-path site reduces to a
@@ -149,13 +190,25 @@ class MicroBatcher:
         self._queue_depth = tel.metric("serve.queue_depth")
 
     # -------------------------------------------------------------- serving
-    def submit(self, policy_spec: str, obs: np.ndarray, *, client_id: int = -1) -> Ticket:
+    def submit(
+        self,
+        policy_spec: str,
+        obs: np.ndarray,
+        *,
+        client_id: int = -1,
+        deadline_s: Optional[float] = None,
+        virtual_s: float = 0.0,
+    ) -> Ticket:
         """Enqueue one observation for ``policy_spec``; returns its ticket.
 
         The spec is resolved *now* — the returned ticket is pinned to the
         resolved revision even if the name is republished before the
         flush.  A queue that reaches ``max_batch_size`` flushes
         immediately, so the ticket may already be done on return.
+
+        ``deadline_s`` arms a per-request deadline budget checked when the
+        flush completes; ``virtual_s`` pre-charges synthetic seconds
+        against it (retry backoff from earlier attempts).
         """
         version = self.registry.resolve(policy_spec)
         now = self._clock()
@@ -168,7 +221,13 @@ class MicroBatcher:
                 queue.depth_gauge = self._queue_depth.labels(policy=version.key)
         elif not queue.tickets:
             queue.oldest_at = now
-        ticket = Ticket(int(client_id), version.key, now)
+        ticket = Ticket(
+            int(client_id),
+            version.key,
+            now,
+            deadline_s=deadline_s,
+            virtual_s=float(virtual_s),
+        )
         queue.tickets.append(ticket)
         queue.observations.append(np.asarray(obs, dtype=np.float64))
         if len(queue.tickets) >= self.config.max_batch_size:
@@ -219,22 +278,65 @@ class MicroBatcher:
         queue.tickets, queue.observations = [], []
         obs_batch = np.stack(observations)
         policy = queue.version.policy
-        if hasattr(policy, "select_actions"):
-            actions = policy.select_actions(obs_batch, explore=self.config.explore)
-        else:
-            # Policies without a batched surface (custom agents) degrade
-            # to per-row inference; they still benefit from shared queue
-            # accounting and the flush barrier.
-            actions = [
-                np.atleast_1d(policy.select_action(row, explore=self.config.explore))
-                for row in obs_batch
-            ]
-        actions = np.asarray(actions)
+        fail_kind: Optional[str] = None
+        failure_msg: Optional[str] = None
+        extra_latency_s = 0.0
+        if self.chaos is not None:
+            effect = self.chaos.flush_effect(queue.version.key, len(tickets))
+            if effect is not None:
+                extra_latency_s = effect.extra_latency_s
+                if effect.fail_kind is not None:
+                    fail_kind = effect.fail_kind
+                    failure_msg = f"chaos-injected {effect.fail_kind} failure"
+        actions = None
+        if fail_kind is None:
+            try:
+                if hasattr(policy, "select_actions"):
+                    actions = policy.select_actions(
+                        obs_batch, explore=self.config.explore
+                    )
+                else:
+                    # Policies without a batched surface (custom agents)
+                    # degrade to per-row inference; they still benefit from
+                    # shared queue accounting and the flush barrier.
+                    actions = [
+                        np.atleast_1d(
+                            policy.select_action(row, explore=self.config.explore)
+                        )
+                        for row in obs_batch
+                    ]
+                actions = np.asarray(actions)
+            except Exception as exc:  # inference is an untrusted boundary
+                fail_kind = "inference"
+                failure_msg = f"{type(exc).__name__}: {exc}"
         done_at = self._clock()
         latencies = []
-        for ticket, action in zip(tickets, actions):
-            ticket._action = np.asarray(action, dtype=int)
-            latencies.append(done_at - ticket.submitted_at)
+        for i, ticket in enumerate(tickets):
+            # Virtual seconds (chaos stalls, prior-attempt backoff) count
+            # against both the recorded latency and the deadline budget.
+            ticket.virtual_s += extra_latency_s
+            wall_s = done_at - ticket.submitted_at
+            latencies.append(wall_s + ticket.virtual_s)
+            if fail_kind is not None:
+                ticket.outcome = "error"
+                ticket.failure = failure_msg
+                self.stats.record_error(fail_kind)
+                continue
+            # Deterministic mode must not let wall-clock jitter decide
+            # outcomes: deadlines are judged on virtual seconds only.
+            elapsed = ticket.virtual_s
+            if not self.config.deterministic:
+                elapsed += wall_s
+            if ticket.deadline_s is not None and elapsed > ticket.deadline_s:
+                ticket.outcome = "timeout"
+                ticket.failure = (
+                    f"deadline {ticket.deadline_s * 1e3:.1f} ms exceeded "
+                    f"({elapsed * 1e3:.1f} ms elapsed)"
+                )
+                self.stats.record_error("timeout")
+                continue
+            ticket._action = np.asarray(actions[i], dtype=int)
+            ticket.outcome = "ok"
         self.stats.record_batch(queue.version.key, latencies)
         if self._tel_enabled:
             self._flush_reason[reason].inc()

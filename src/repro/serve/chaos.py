@@ -1,0 +1,401 @@
+"""Serve-side chaos injection: seeded, bit-reproducible failure drills.
+
+The PR-5 fault subsystem perturbs what controllers *sense*; this module
+perturbs the *serving runtime itself* — slow policies, failing
+policies, flush stalls, corrupt-checkpoint hot-swaps, burst overload —
+so the resilience layer (:mod:`repro.serve.resilience`) can be
+exercised, measured, and regression-tested.
+
+Chaos mirrors the fault registry's philosophy exactly: a
+:class:`ChaosProfile` pairs a name with template :class:`ChaosModel`
+instances, ``build(seed)`` binds deep copies to per-model seeded RNG
+streams (:func:`chaos_stream`), and every decision a model makes draws
+only from its own stream — so the same ``(profile, seed)`` produces the
+same failure schedule on every run, and a chaos loadtest replayed
+through the workload harness yields a bit-identical fingerprint.
+
+Latency chaos is *virtual*: slow-policy and flush-stall effects add
+synthetic seconds to the affected requests' recorded latency and
+deadline accounting without sleeping, which keeps chaos runs fast and
+(in deterministic batching mode) fully replayable.
+
+Hook points, all driven by the gateway/batcher:
+
+* :meth:`ChaosInjector.flush_effect` — per micro-batch flush: may fail
+  the batch (``kind="chaos"``) and/or add virtual latency;
+* :meth:`ChaosInjector.extra_requests` — per tick: synthetic burst
+  requests submitted ahead of the fleet to pressure admission control;
+* :meth:`ChaosInjector.swap_attempt` — per tick: occasionally attempt a
+  hot swap of a deliberately corrupt policy, exercising transactional
+  validation + rollback.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.seeding import RandomState
+
+# Salt folded into every chaos stream seed so chaos randomness is
+# independent of env/fault/retry streams under equal seeds.
+_CHAOS_STREAM_SALT = 0xC405
+
+NO_CHAOS = "none"
+
+
+def chaos_stream(seed: int, index: int = 0) -> RandomState:
+    """The dedicated chaos RNG stream ``index`` for ``seed``."""
+    return np.random.default_rng([_CHAOS_STREAM_SALT, int(seed), int(index)])
+
+
+@dataclass
+class FlushEffect:
+    """What chaos does to one micro-batch flush."""
+
+    #: Failure kind (``None`` = the flush proceeds normally).  Failed
+    #: flushes mark every ticket in the batch with this error kind.
+    fail_kind: Optional[str] = None
+    #: Virtual seconds added to every request in the flush (recorded in
+    #: latency telemetry and charged against deadline budgets).
+    extra_latency_s: float = 0.0
+
+
+class ChaosModel:
+    """One composable chaos behavior; subclasses override their hooks.
+
+    Configuration lives in constructor arguments; the bound RNG stream
+    arrives via :meth:`bind` (profiles hold unbound templates, like
+    fault profiles do).
+    """
+
+    kind: str = "chaos"
+
+    def __init__(self) -> None:
+        self.rng: Optional[RandomState] = None
+
+    def bind(self, rng: RandomState) -> None:
+        self.rng = rng
+
+    def flush_effect(self, policy_key: str, batch_size: int) -> Optional[FlushEffect]:
+        """Chaos applied to one flush of ``policy_key`` (None = nothing)."""
+        return None
+
+    def extra_requests(self, tick: int) -> int:
+        """Synthetic burst requests to inject ahead of this tick."""
+        return 0
+
+    def swap_attempt(self, tick: int) -> Optional[str]:
+        """Policy name to corrupt-hot-swap this tick (None = no attempt)."""
+        return None
+
+    def describe(self) -> str:
+        return self.kind
+
+
+class SlowPolicy(ChaosModel):
+    """Inference latency inflation: flushes gain virtual seconds."""
+
+    kind = "slow_policy"
+
+    def __init__(self, probability: float = 0.5, delay_s: float = 0.040) -> None:
+        super().__init__()
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        if delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {delay_s}")
+        self.probability = probability
+        self.delay_s = delay_s
+
+    def flush_effect(self, policy_key: str, batch_size: int) -> Optional[FlushEffect]:
+        if float(self.rng.random()) < self.probability:
+            return FlushEffect(extra_latency_s=self.delay_s)
+        return None
+
+    def describe(self) -> str:
+        return f"slow policy: +{self.delay_s * 1e3:.0f} ms on {self.probability:.0%} of flushes"
+
+
+class FailingPolicy(ChaosModel):
+    """Inference failures: a flush errors out with kind ``"chaos"``."""
+
+    kind = "failing_policy"
+
+    def __init__(self, probability: float = 0.25) -> None:
+        super().__init__()
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        self.probability = probability
+
+    def flush_effect(self, policy_key: str, batch_size: int) -> Optional[FlushEffect]:
+        if float(self.rng.random()) < self.probability:
+            return FlushEffect(fail_kind="chaos")
+        return None
+
+    def describe(self) -> str:
+        return f"failing policy: {self.probability:.0%} of flushes error"
+
+
+class FlushStall(ChaosModel):
+    """Rare long stalls: a flush gains a large virtual delay (GC pause,
+    page fault storm, noisy neighbor)."""
+
+    kind = "flush_stall"
+
+    def __init__(self, probability: float = 0.1, stall_s: float = 0.5) -> None:
+        super().__init__()
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        if stall_s < 0:
+            raise ValueError(f"stall_s must be >= 0, got {stall_s}")
+        self.probability = probability
+        self.stall_s = stall_s
+
+    def flush_effect(self, policy_key: str, batch_size: int) -> Optional[FlushEffect]:
+        if float(self.rng.random()) < self.probability:
+            return FlushEffect(extra_latency_s=self.stall_s)
+        return None
+
+    def describe(self) -> str:
+        return f"flush stall: +{self.stall_s * 1e3:.0f} ms on {self.probability:.0%} of flushes"
+
+
+class CorruptSwap(ChaosModel):
+    """Corrupt-checkpoint hot-swap attempts on a cadence.
+
+    Every ``every_n_ticks`` ticks the gateway is told to attempt a hot
+    swap of ``policy`` with a deliberately broken payload; transactional
+    validation must reject it and keep the incumbent serving.
+    """
+
+    kind = "corrupt_swap"
+
+    def __init__(self, policy: str = "dqn", every_n_ticks: int = 4) -> None:
+        super().__init__()
+        if every_n_ticks < 1:
+            raise ValueError(f"every_n_ticks must be >= 1, got {every_n_ticks}")
+        self.policy = policy
+        self.every_n_ticks = every_n_ticks
+
+    def swap_attempt(self, tick: int) -> Optional[str]:
+        if tick % self.every_n_ticks == 0:
+            return self.policy
+        return None
+
+    def describe(self) -> str:
+        return (
+            f"corrupt hot-swap of {self.policy!r} every "
+            f"{self.every_n_ticks} ticks"
+        )
+
+
+class BurstOverload(ChaosModel):
+    """Synthetic request bursts pressuring admission control.
+
+    With probability ``probability`` per tick, ``burst`` synthetic
+    requests are submitted *before* the fleet's own, consuming queue
+    capacity so real clients see shedding under a bounded queue.
+    """
+
+    kind = "burst_overload"
+
+    def __init__(self, probability: float = 0.25, burst: int = 64) -> None:
+        super().__init__()
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.probability = probability
+        self.burst = burst
+
+    def extra_requests(self, tick: int) -> int:
+        if float(self.rng.random()) < self.probability:
+            return self.burst
+        return 0
+
+    def describe(self) -> str:
+        return f"burst overload: +{self.burst} requests on {self.probability:.0%} of ticks"
+
+
+class ChaosInjector:
+    """Applies a composed list of bound chaos models to one session.
+
+    Models compose like fault models: flush effects merge (any failure
+    wins, virtual latencies add), burst sizes add, the first swap
+    attempt wins.  Models are deep-copied at build time so one profile
+    can drive many concurrent sessions.
+    """
+
+    def __init__(self, models, seed: int) -> None:
+        models = list(models)
+        if not models:
+            raise ValueError("chaos injector needs at least one model")
+        self.models: List[ChaosModel] = [copy.deepcopy(m) for m in models]
+        self.seed = int(seed)
+        for i, model in enumerate(self.models):
+            model.bind(chaos_stream(seed, i))
+
+    def flush_effect(self, policy_key: str, batch_size: int) -> Optional[FlushEffect]:
+        merged: Optional[FlushEffect] = None
+        for model in self.models:
+            effect = model.flush_effect(policy_key, batch_size)
+            if effect is None:
+                continue
+            if merged is None:
+                merged = FlushEffect()
+            if effect.fail_kind is not None:
+                merged.fail_kind = effect.fail_kind
+            merged.extra_latency_s += effect.extra_latency_s
+        return merged
+
+    def extra_requests(self, tick: int) -> int:
+        return sum(model.extra_requests(tick) for model in self.models)
+
+    def swap_attempt(self, tick: int) -> Optional[str]:
+        for model in self.models:
+            name = model.swap_attempt(tick)
+            if name is not None:
+                return name
+        return None
+
+
+class BrokenPolicy:
+    """A policy whose every inference raises — the corrupt-swap payload.
+
+    What a truncated or garbage checkpoint degenerates to if it ever
+    reached serving; transactional swap validation must reject it
+    before promotion.
+    """
+
+    def __init__(self, reason: str = "chaos: corrupt checkpoint") -> None:
+        self.reason = reason
+
+    def select_action(self, obs, *, explore: bool = False):
+        raise RuntimeError(self.reason)
+
+    def select_actions(self, obs_batch, *, explore: bool = False):
+        raise RuntimeError(self.reason)
+
+
+# ---------------------------------------------------------------- profiles
+@dataclass(frozen=True)
+class ChaosProfile:
+    """A named, composable set of chaos-model templates."""
+
+    name: str
+    description: str = ""
+    models: Tuple[ChaosModel, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("chaos profile needs a non-empty name")
+        object.__setattr__(self, "models", tuple(self.models))
+        for model in self.models:
+            if not isinstance(model, ChaosModel):
+                raise TypeError(
+                    f"profile {self.name!r} holds a {type(model).__name__}, "
+                    "expected ChaosModel instances"
+                )
+
+    @property
+    def is_clean(self) -> bool:
+        """Whether this profile injects nothing (the baseline)."""
+        return not self.models
+
+    def build(self, seed: int) -> Optional[ChaosInjector]:
+        """An injector bound to seeded streams (``None`` when clean)."""
+        if self.is_clean:
+            return None
+        return ChaosInjector(self.models, seed)
+
+    def describe_models(self) -> List[str]:
+        """One line per composed chaos model."""
+        return [model.describe() for model in self.models]
+
+
+_REGISTRY: Dict[str, ChaosProfile] = {}
+
+
+def register_chaos_profile(profile: ChaosProfile, *, overwrite: bool = False) -> None:
+    """Add a profile to the global registry (error on duplicates unless
+    ``overwrite``)."""
+    if profile.name in _REGISTRY and not overwrite:
+        raise ValueError(f"chaos profile {profile.name!r} already registered")
+    _REGISTRY[profile.name] = profile
+
+
+def get_chaos_profile(name: str) -> ChaosProfile:
+    """Look up a registered chaos profile by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown chaos profile {name!r}; available: "
+            f"{', '.join(list_chaos_profiles())}"
+        ) from None
+
+
+def list_chaos_profiles() -> List[str]:
+    """Registered profile names, sorted, with ``"none"`` first."""
+    names = sorted(_REGISTRY)
+    if NO_CHAOS in names:
+        names.remove(NO_CHAOS)
+        names.insert(0, NO_CHAOS)
+    return names
+
+
+def _register_presets() -> None:
+    presets = [
+        ChaosProfile(NO_CHAOS, "clean baseline — no chaos injected"),
+        ChaosProfile(
+            "slow-policy",
+            "inference latency inflated on half of flushes",
+            (SlowPolicy(probability=0.5, delay_s=0.040),),
+        ),
+        ChaosProfile(
+            "failing-policy",
+            "a quarter of batched flushes error out",
+            (FailingPolicy(probability=0.25),),
+        ),
+        ChaosProfile(
+            "flush-stalls",
+            "rare half-second stalls on the flush path",
+            (FlushStall(probability=0.1, stall_s=0.5),),
+        ),
+        ChaosProfile(
+            "corrupt-swap",
+            "a corrupt checkpoint hot-swap attempted every 4 ticks",
+            (CorruptSwap(policy="dqn", every_n_ticks=4),),
+        ),
+        ChaosProfile(
+            "burst-overload",
+            "synthetic 64-request bursts ahead of a quarter of ticks",
+            (BurstOverload(probability=0.25, burst=64),),
+        ),
+        ChaosProfile(
+            "failing-plus-stalls",
+            "failing policy plus flush stalls — the degraded-mode drill",
+            (
+                FailingPolicy(probability=0.3),
+                FlushStall(probability=0.15, stall_s=0.5),
+            ),
+        ),
+        ChaosProfile(
+            "chaos-compound",
+            "failures, stalls, corrupt swaps, and bursts, together",
+            (
+                FailingPolicy(probability=0.2),
+                FlushStall(probability=0.1, stall_s=0.5),
+                CorruptSwap(policy="dqn", every_n_ticks=8),
+                BurstOverload(probability=0.2, burst=32),
+            ),
+        ),
+    ]
+    for profile in presets:
+        register_chaos_profile(profile, overwrite=True)
+
+
+_register_presets()

@@ -17,22 +17,76 @@ throughput numbers describe the whole fleet.
 Hot swap: :meth:`FleetGateway.swap` republishes a route's policy in the
 registry.  Clients routed by bare name pick the new revision up at their
 next submit; requests already queued flush through the revision they
-resolved.  No request is ever dropped by a swap.
+resolved.  No request is ever dropped by a swap.  Swaps are
+**transactional**: the incoming policy must answer a probe inference
+before promotion, and a swapped revision whose circuit breaker trips is
+auto-rolled-back to the prior revision.
+
+Resilience: with a :class:`~repro.serve.resilience.ResilienceConfig`
+attached, the tick loop runs the full degraded-mode ladder per client —
+deadline-armed submission, budgeted retries with deterministic backoff,
+per-route circuit breakers, a configurable fallback chain, and
+hold-last-action as the final resort — so every tick yields an action
+for every active client no matter what fails.  All resilience decisions
+are driven by the tick counter and seeded RNG streams, never the wall
+clock, so chaos drills replay bit-identically.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.agent import AgentBase
 from repro.obs import get_telemetry
+from repro.obs.catalog import metric as catalog_metric
 from repro.serve.batcher import MicroBatcher, MicroBatcherConfig, Ticket
-from repro.serve.registry import PolicyRegistry
+from repro.serve.registry import (
+    CheckpointFormatError,
+    PolicyRegistry,
+    split_spec,
+)
+from repro.serve.resilience import (
+    BREAKER_OPEN,
+    CircuitBreaker,
+    ResilienceConfig,
+    RetryBudget,
+    retry_stream,
+)
 from repro.serve.telemetry import ServeStats
 from repro.utils.validation import check_positive
+
+#: The ``serve.fallbacks_total`` route label for the final resort.
+HOLD_LAST_ROUTE = "hold-last"
+
+
+class _PendingRequest:
+    """One client's action request walking the resilience ladder."""
+
+    __slots__ = ("client", "chain", "chain_idx", "attempt", "virtual_s")
+
+    def __init__(self, client: int, chain: Tuple[str, ...]) -> None:
+        self.client = client
+        self.chain = chain          # primary spec + configured fallbacks
+        self.chain_idx = 0
+        self.attempt = 0            # attempts against the current spec
+        self.virtual_s = 0.0        # synthetic seconds (backoff) carried over
+
+    @property
+    def spec(self) -> str:
+        return self.chain[self.chain_idx]
+
+    @property
+    def exhausted(self) -> bool:
+        return self.chain_idx >= len(self.chain)
+
+    def advance(self) -> None:
+        """Move to the next fallback entry, resetting per-spec state."""
+        self.chain_idx += 1
+        self.attempt = 0
+        self.virtual_s = 0.0
 
 
 class FleetGateway:
@@ -54,6 +108,15 @@ class FleetGateway:
         Batcher flush knobs (:class:`MicroBatcherConfig`).
     stats:
         Telemetry sink shared with the batcher; fresh when omitted.
+    resilience:
+        Optional :class:`ResilienceConfig` enabling deadlines, retries,
+        breakers, fallback chains, and admission control on the tick
+        loop.  ``None`` keeps the lean fast path.
+    chaos:
+        Optional :class:`~repro.serve.chaos.ChaosInjector`.  Attaching
+        chaos without an explicit resilience config enables the
+        resilience ladder with defaults, so chaos drills always degrade
+        gracefully instead of crashing the loop.
     """
 
     def __init__(
@@ -65,6 +128,8 @@ class FleetGateway:
         config: Optional[MicroBatcherConfig] = None,
         stats: Optional[ServeStats] = None,
         clock=time.perf_counter,
+        resilience: Optional[ResilienceConfig] = None,
+        chaos=None,
     ) -> None:
         self.vec_env = vec_env
         self.registry = registry
@@ -78,8 +143,12 @@ class FleetGateway:
         self.routes: List[str] = [str(r) for r in routes]
         self.stats = stats if stats is not None else ServeStats()
         self._clock = clock
+        self.chaos = chaos
+        if resilience is None and chaos is not None:
+            resilience = ResilienceConfig()
+        self.resilience = resilience
         self.batcher = MicroBatcher(
-            registry, config=config, stats=self.stats, clock=clock
+            registry, config=config, stats=self.stats, clock=clock, chaos=chaos
         )
 
         # Validate every route up front — a typo should fail at
@@ -108,6 +177,31 @@ class FleetGateway:
         self._tel_enabled = tel.enabled
         self._ticks_total = tel.metric("serve.ticks_total")
 
+        # Resilience state (idle unless a config is attached).
+        self._tick_index = 0
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._breaker_gauge = catalog_metric(
+            self.stats.registry, "serve.breaker_state"
+        )
+        self._fallback_controllers: Dict[Tuple[int, str], AgentBase] = {}
+        self._canaries: Dict[str, str] = {}  # name -> swapped name@rev
+        self.rollbacks: List[str] = []       # name@rev revisions auto-retired
+        self.rejected_swaps: int = 0
+        if resilience is not None:
+            self._retry_rng = retry_stream(resilience.seed)
+            self._retry_budget = RetryBudget(resilience.retry)
+            # Fallback chains must resolve at construction like primary
+            # routes do — a typo in --fallback should not surface as a
+            # KeyError mid-incident.
+            for spec in resilience.fallbacks:
+                if registry.is_baseline_spec(spec):
+                    registry.baseline_factory(spec)
+                else:
+                    registry.resolve(spec)
+        else:
+            self._retry_rng = None
+            self._retry_budget = None
+
     # ------------------------------------------------------------ lifecycle
     @property
     def n_clients(self) -> int:
@@ -121,15 +215,37 @@ class FleetGateway:
             controller.begin_episode(per_env_obs[k])
         return self._obs
 
-    def swap(self, name: str, policy: AgentBase, *, source: str = "") -> str:
+    def _probe_obs(self, client: Optional[int] = None) -> np.ndarray:
+        """The observation used to probe-validate an incoming policy."""
+        if client is None:
+            client = self._batched_clients[0] if self._batched_clients else 0
+        if self._obs is not None:
+            return self.vec_env.split_obs(self._obs)[client]
+        return np.zeros(int(self.vec_env.obs_dims[client]), dtype=np.float64)
+
+    def swap(
+        self, name: str, policy: AgentBase, *, source: str = "", validate: bool = True
+    ) -> str:
         """Hot-swap: publish a new revision of ``name`` mid-session.
 
         Returns the new ``name@rev`` key.  In-flight requests keep the
         revision they resolved; clients routed by bare name serve the new
         revision from their next tick.
+
+        The swap is transactional: unless ``validate=False``, the policy
+        must answer one probe inference against a live fleet observation
+        before promotion.  A policy that cannot raises
+        :class:`CheckpointFormatError` and the incumbent keeps serving —
+        nothing is published, nothing is counted as a swap.
         """
-        version = self.registry.publish(name, policy, source=source)
+        probe = self._probe_obs() if validate else None
+        version = self.registry.publish(
+            name, policy, source=source, probe_obs=probe
+        )
         self.stats.record_swap()
+        # Remember the swapped revision: if its breaker trips while it is
+        # still the head, auto-rollback restores the prior revision.
+        self._canaries[name] = version.key
         return version.key
 
     # -------------------------------------------------------------- serving
@@ -160,16 +276,21 @@ class FleetGateway:
                 )
         per_env_obs = self.vec_env.split_obs(self._obs)
         actions: List[Optional[np.ndarray]] = [None] * self.n_clients
-        tickets: List[Ticket] = []
-        for k in self._batched_clients:
-            if active_set is not None and k not in active_set:
-                continue
-            tickets.append(
-                self.batcher.submit(self.routes[k], per_env_obs[k], client_id=k)
-            )
-        self.batcher.flush()
-        for ticket in tickets:
-            actions[ticket.client_id] = ticket.result()
+        if self.resilience is not None:
+            self._resilient_actions(per_env_obs, active_set, actions)
+        else:
+            tickets: List[Ticket] = []
+            for k in self._batched_clients:
+                if active_set is not None and k not in active_set:
+                    continue
+                tickets.append(
+                    self.batcher.submit(
+                        self.routes[k], per_env_obs[k], client_id=k
+                    )
+                )
+            self.batcher.flush()
+            for ticket in tickets:
+                actions[ticket.client_id] = ticket.result()
         for k, controller in self._local_controllers.items():
             if active_set is not None and k not in active_set:
                 continue
@@ -184,7 +305,7 @@ class FleetGateway:
                 self._held_actions[k] = actions[k]
         self.last_actions = np.stack(actions)
         self._obs, rewards, dones, _ = self.vec_env.step(actions)
-        if self._local_controllers and np.any(dones):
+        if (self._local_controllers or self._fallback_controllers) and np.any(dones):
             # Autoreset rolled some clients into a fresh episode; stateful
             # local controllers (PID integral, thermostat hysteresis) must
             # restart like their scalar-eval counterparts do.
@@ -192,7 +313,11 @@ class FleetGateway:
             for k, controller in self._local_controllers.items():
                 if dones[k]:
                     controller.begin_episode(fresh_obs[k])
+            for (k, _), controller in self._fallback_controllers.items():
+                if dones[k]:
+                    controller.begin_episode(fresh_obs[k])
         self.stats.record_env_step(self.n_clients)
+        self._tick_index += 1
         if self._tel_enabled:
             self._ticks_total.inc()
             # In-session monitoring heartbeat: an attached
@@ -200,6 +325,178 @@ class FleetGateway:
             # tick boundary is a capture point (no-op otherwise).
             self._tel.pulse()
         return rewards
+
+    # ----------------------------------------------------------- resilience
+    def _breaker(self, spec: str) -> CircuitBreaker:
+        """The (lazily created) circuit breaker guarding route ``spec``."""
+        breaker = self._breakers.get(spec)
+        if breaker is None:
+            breaker = self._breakers[spec] = CircuitBreaker(
+                self.resilience.breaker,
+                gauge=self._breaker_gauge.labels(policy=spec),
+            )
+        return breaker
+
+    def _fallback_controller(self, client: int, spec: str, obs) -> AgentBase:
+        """The per-client baseline behind a fallback route, created lazily."""
+        key = (client, spec)
+        controller = self._fallback_controllers.get(key)
+        if controller is None:
+            factory = self.registry.baseline_factory(spec)
+            controller = factory(self.vec_env.env_view(client))
+            controller.begin_episode(obs)
+            self._fallback_controllers[key] = controller
+        return controller
+
+    def _maybe_rollback(self, spec: str) -> None:
+        """Auto-retire a freshly swapped revision whose breaker tripped."""
+        if not self.resilience.auto_rollback:
+            return
+        name, _ = split_spec(spec)
+        canary = self._canaries.get(name)
+        if canary is None:
+            return
+        try:
+            head = self.registry.resolve(name)
+        except KeyError:
+            return
+        if head.key != canary:
+            # The canary is no longer the head; nothing to retract.
+            self._canaries.pop(name, None)
+            return
+        try:
+            self.registry.rollback(name)
+        except ValueError:
+            return  # rev 1 has nothing earlier to restore
+        self._canaries.pop(name, None)
+        self.rollbacks.append(canary)
+
+    def _route_request(
+        self,
+        req: _PendingRequest,
+        per_env_obs,
+        actions,
+        inflight: List[Tuple[_PendingRequest, Ticket]],
+    ) -> None:
+        """Walk one request down the ladder until it is answered locally,
+        submitted to the batcher, or out of options (hold-last)."""
+        res = self.resilience
+        tick = self._tick_index
+        while True:
+            if req.exhausted:
+                # actions[client] stays None: the generic hold-last pass
+                # at the end of tick() answers it — degraded, counted.
+                self.stats.record_fallback(HOLD_LAST_ROUTE)
+                return
+            spec = req.spec
+            if self.registry.is_baseline_spec(spec):
+                started = self._clock()
+                controller = self._fallback_controller(
+                    req.client, spec, per_env_obs[req.client]
+                )
+                action = np.atleast_1d(
+                    controller.select_action(per_env_obs[req.client])
+                )
+                self.stats.record_batch(spec, [self._clock() - started])
+                actions[req.client] = np.asarray(action, dtype=int)
+                if req.chain_idx > 0:
+                    self.stats.record_fallback(spec)
+                return
+            if not self._breaker(spec).allow(tick):
+                req.advance()
+                continue
+            if (
+                res.max_inflight is not None
+                and self.batcher.pending >= res.max_inflight
+            ):
+                self.stats.record_shed()
+                req.advance()
+                continue
+            req.attempt += 1
+            ticket = self.batcher.submit(
+                spec,
+                per_env_obs[req.client],
+                client_id=req.client,
+                deadline_s=res.deadline_s,
+                virtual_s=req.virtual_s,
+            )
+            inflight.append((req, ticket))
+            return
+
+    def _resilient_actions(self, per_env_obs, active_set, actions) -> None:
+        """Answer every active batched client through the resilience ladder."""
+        res = self.resilience
+        tick = self._tick_index
+        if self.chaos is not None:
+            self._apply_tick_chaos(per_env_obs)
+        queue: List[_PendingRequest] = []
+        for k in self._batched_clients:
+            if active_set is not None and k not in active_set:
+                continue
+            queue.append(_PendingRequest(k, (self.routes[k],) + res.fallbacks))
+            self._retry_budget.record_request()
+        while queue:
+            inflight: List[Tuple[_PendingRequest, Ticket]] = []
+            for req in queue:
+                self._route_request(req, per_env_obs, actions, inflight)
+            queue = []
+            if not inflight:
+                break
+            self.batcher.flush()
+            for req, ticket in inflight:
+                if ticket.outcome == "ok":
+                    self._breaker(req.spec).record_success(tick)
+                    actions[req.client] = ticket.result()
+                    if req.chain_idx > 0:
+                        self.stats.record_fallback(req.spec)
+                    continue
+                breaker = self._breaker(req.spec)
+                breaker.record_failure(tick)
+                if breaker.state == BREAKER_OPEN:
+                    self._maybe_rollback(req.spec)
+                if (
+                    req.attempt < res.retry.max_attempts
+                    and self._retry_budget.try_spend()
+                ):
+                    # Backoff is virtual: it charges the request's
+                    # deadline budget and latency record, nothing sleeps.
+                    req.virtual_s = ticket.virtual_s + res.retry.backoff_s(
+                        req.attempt, rng=self._retry_rng
+                    )
+                    self.stats.record_retry()
+                else:
+                    req.advance()
+                queue.append(req)
+        # End-of-tick barrier: chaos burst tickets (fire-and-forget) must
+        # not linger in queues across ticks, or a bounded queue would
+        # stay saturated and shed real clients forever.
+        self.batcher.flush()
+
+    def _apply_tick_chaos(self, per_env_obs) -> None:
+        """Per-tick chaos hooks: corrupt swap attempts, synthetic bursts."""
+        from repro.serve.chaos import BrokenPolicy
+
+        tick = self._tick_index
+        target = self.chaos.swap_attempt(tick)
+        if target is not None and target in self.registry.names():
+            try:
+                self.swap(target, BrokenPolicy(), source="chaos:corrupt-swap")
+            except CheckpointFormatError:
+                self.rejected_swaps += 1
+        if not self._batched_clients:
+            return
+        burst_client = self._batched_clients[0]
+        burst_spec = self.routes[burst_client]
+        res = self.resilience
+        for _ in range(self.chaos.extra_requests(tick)):
+            if (
+                res.max_inflight is not None
+                and self.batcher.pending >= res.max_inflight
+            ):
+                break  # the burst itself is shed at the admission edge
+            self.batcher.submit(
+                burst_spec, per_env_obs[burst_client], client_id=-1
+            )
 
     def run(self, n_steps: int, *, warmup: int = 0) -> ServeStats:
         """Serve ``n_steps`` measured fleet ticks; returns the telemetry.

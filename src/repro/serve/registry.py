@@ -33,6 +33,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.core.agent import AgentBase
 from repro.core.dqn import DQNAgent, DQNConfig
 from repro.core.multizone import FactoredDQNAgent
@@ -109,6 +111,33 @@ def load_checkpoint_file(path: str | Path) -> AgentBase:
     return agent_from_checkpoint(payload)
 
 
+def validate_policy(policy: AgentBase, probe_obs) -> None:
+    """Run one probe inference; raise :class:`CheckpointFormatError` on failure.
+
+    The transactional half of a hot swap: a checkpoint that *parses* but
+    cannot answer a real observation (wrong dims, NaN weights, broken
+    surface) must be rejected **before** promotion, while the incumbent
+    revision is still serving.
+    """
+    probe = np.asarray(probe_obs, dtype=np.float64)
+    try:
+        if hasattr(policy, "select_actions"):
+            action = np.asarray(policy.select_actions(probe[None, :], explore=False))[0]
+        else:
+            action = np.atleast_1d(policy.select_action(probe, explore=False))
+        action = np.asarray(action, dtype=float)
+    except CheckpointFormatError:
+        raise
+    except Exception as exc:
+        raise CheckpointFormatError(
+            f"policy failed probe inference: {type(exc).__name__}: {exc}"
+        ) from exc
+    if action.size == 0 or not np.all(np.isfinite(action)):
+        raise CheckpointFormatError(
+            "policy probe inference returned an empty or non-finite action"
+        )
+
+
 @dataclass(frozen=True)
 class PolicyVersion:
     """One immutable published revision of a named policy."""
@@ -145,36 +174,78 @@ class PolicyRegistry:
 
     def __init__(self) -> None:
         self._versions: Dict[str, List[PolicyVersion]] = {}
+        self._heads: Dict[str, int] = {}
         self._baselines: Dict[str, Callable[..., AgentBase]] = {}
 
     # ------------------------------------------------------------ publishing
     def publish(
-        self, name: str, policy: AgentBase, *, source: str = ""
+        self,
+        name: str,
+        policy: AgentBase,
+        *,
+        source: str = "",
+        probe_obs=None,
     ) -> PolicyVersion:
         """Register ``policy`` under ``name``, bumping the revision.
 
         Returns the new :class:`PolicyVersion`; earlier revisions stay
         resolvable by ``name@rev``, so requests pinned to them (including
         in-flight batches) are never invalidated.
+
+        With ``probe_obs`` the publish is **transactional**: the policy
+        must answer one probe inference (:func:`validate_policy`) before
+        it is promoted.  On failure :class:`CheckpointFormatError`
+        propagates and the registry — including the incumbent head
+        revision — is completely untouched.
         """
         if "@" in name or name.startswith(BASELINE_PREFIX):
             raise ValueError(
                 f"policy name {name!r} may not contain '@' or the "
                 f"{BASELINE_PREFIX!r} prefix"
             )
+        if probe_obs is not None:
+            validate_policy(policy, probe_obs)
         history = self._versions.setdefault(name, [])
         version = PolicyVersion(
             name=name, rev=len(history) + 1, policy=policy, source=source
         )
         history.append(version)
+        self._heads[name] = version.rev
         return version
 
+    def rollback(self, name: str) -> PolicyVersion:
+        """Demote the head of ``name`` to the previous revision.
+
+        The canary-failure escape hatch: a freshly swapped revision that
+        trips its circuit breaker is retired from bare-name resolution
+        while staying pinned-resolvable (``name@rev``) so in-flight
+        requests settle normally.  Returns the restored head.  Raises
+        ``ValueError`` when there is no earlier revision to restore.
+        """
+        head = self._heads.get(name)
+        if head is None:
+            available = ", ".join(sorted(self._versions)) or "none"
+            raise KeyError(
+                f"unknown policy {name!r}; registered: {available}"
+            )
+        if head <= 1:
+            raise ValueError(
+                f"policy {name!r} has no revision before {head} to roll back to"
+            )
+        self._heads[name] = head - 1
+        return self._versions[name][head - 2]
+
     def load_checkpoint(
-        self, name: str, path: str | Path
+        self, name: str, path: str | Path, *, probe_obs=None
     ) -> PolicyVersion:
-        """Publish the agent reconstructed from a checkpoint file."""
+        """Publish the agent reconstructed from a checkpoint file.
+
+        ``probe_obs`` makes the publish transactional, exactly as in
+        :meth:`publish`: a checkpoint that parses but cannot serve is
+        rejected with the incumbent left untouched.
+        """
         policy = load_checkpoint_file(path)
-        return self.publish(name, policy, source=str(path))
+        return self.publish(name, policy, source=str(path), probe_obs=probe_obs)
 
     def load_from_store(
         self,
@@ -232,7 +303,11 @@ class PolicyRegistry:
 
     # ------------------------------------------------------------- resolving
     def resolve(self, spec: str) -> PolicyVersion:
-        """``"name"`` → latest revision; ``"name@rev"`` → that revision."""
+        """``"name"`` → head revision; ``"name@rev"`` → that revision.
+
+        The head is normally the newest publish, but :meth:`rollback`
+        can demote it to an earlier revision.
+        """
         name, rev = split_spec(spec)
         try:
             history = self._versions[name]
@@ -242,7 +317,7 @@ class PolicyRegistry:
                 f"unknown policy {name!r}; registered: {available}"
             ) from None
         if rev is None:
-            return history[-1]
+            return history[self._heads[name] - 1]
         if not 1 <= rev <= len(history):
             raise KeyError(
                 f"policy {name!r} has revisions 1..{len(history)}, not {rev}"
@@ -250,7 +325,7 @@ class PolicyRegistry:
         return history[rev - 1]
 
     def latest_rev(self, name: str) -> int:
-        """The newest revision number of ``name``."""
+        """The current head revision number of ``name``."""
         return self.resolve(name).rev
 
     def names(self) -> List[str]:

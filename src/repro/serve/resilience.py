@@ -1,0 +1,333 @@
+"""Resilience primitives for the serving tier: deadlines, retries,
+circuit breakers, fallback chains, admission control.
+
+The serving path must keep emitting *safe* HVAC actions when components
+misbehave — a stuck policy, a corrupt checkpoint mid-hot-swap, an
+overload spike must degrade to a pinned revision or a thermostat
+baseline, never to "no action" for a live building.  This module holds
+the mechanism; :class:`~repro.serve.gateway.FleetGateway` weaves it
+through the tick loop when constructed with a :class:`ResilienceConfig`.
+
+Determinism contract: every randomized decision (retry jitter) draws
+from a dedicated seeded stream (:func:`retry_stream`), and the circuit
+breakers are driven by the gateway's *tick counter*, not wall clock —
+so a chaos run replayed with the same seed and trace takes identical
+retry/fallback/breaker transitions and produces bit-identical actions.
+
+The pieces:
+
+* :class:`RetryPolicy` — capped exponential backoff with bounded,
+  seeded jitter.  Backoff delays are *virtual* in the tick-synchronous
+  gateway (they count against the request's deadline budget and appear
+  in latency telemetry; nothing sleeps).
+* :class:`RetryBudget` — a global cap on retries relative to served
+  requests, so a failure storm cannot amplify load (retry storms are
+  how overloads become outages).
+* :class:`CircuitBreaker` — per-route closed/open/half-open state
+  machine with failure-rate and consecutive-error trip conditions, a
+  cooldown before half-open, and a probe quota to close again.
+* :class:`ResilienceConfig` — the gateway-facing bundle: deadline
+  budget, retry policy, breaker config, the fallback chain, admission
+  bound, and auto-rollback of freshly swapped revisions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.seeding import RandomState
+
+# Salt folded into the retry-jitter stream so retry randomness is
+# independent of env/fault/chaos streams under equal seeds (mirrors
+# repro.faults.base.fault_stream).
+_RETRY_STREAM_SALT = 0x5E77
+
+
+def retry_stream(seed: int) -> RandomState:
+    """The dedicated retry-jitter RNG stream for ``seed``."""
+    return np.random.default_rng([_RETRY_STREAM_SALT, int(seed)])
+
+
+class RequestFailed(RuntimeError):
+    """A serving request resolved without an action (error/timeout)."""
+
+
+# ------------------------------------------------------------------ retries
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with bounded jitter and a retry budget.
+
+    ``max_attempts`` counts the first try: 3 means one request plus at
+    most two retries.  ``budget_ratio``/``min_budget`` bound the *total*
+    retries a session may spend relative to requests served, so a
+    correlated failure burst degrades to fallbacks instead of doubling
+    the load on an already-failing policy.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.025
+    max_delay_s: float = 0.25
+    multiplier: float = 2.0
+    #: Jitter fraction: a retry delay is drawn uniformly from
+    #: ``[base * (1-jitter), base * (1+jitter)]`` (then capped).
+    jitter: float = 0.5
+    #: Retries allowed per request served (plus ``min_budget`` slack).
+    budget_ratio: float = 0.2
+    min_budget: int = 4
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay_s < 0 or self.max_delay_s < self.base_delay_s:
+            raise ValueError(
+                f"need 0 <= base_delay_s <= max_delay_s, got "
+                f"{self.base_delay_s}/{self.max_delay_s}"
+            )
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.budget_ratio < 0 or self.min_budget < 0:
+            raise ValueError("budget_ratio and min_budget must be >= 0")
+
+    def base_backoff_s(self, attempt: int) -> float:
+        """The un-jittered delay before retry ``attempt`` (1-based).
+
+        Monotone non-decreasing in ``attempt`` and capped at
+        ``max_delay_s`` (the hypothesis property tests hold this line).
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        # Cap the exponent too: multiplier**attempt overflows to inf for
+        # large attempt counts, and inf*0 jitter math turns into NaN.
+        delay = self.base_delay_s * min(
+            self.multiplier ** (attempt - 1), 1e12
+        )
+        return min(delay, self.max_delay_s)
+
+    def backoff_s(self, attempt: int, rng: Optional[RandomState] = None) -> float:
+        """The jittered delay before retry ``attempt`` (1-based, seconds).
+
+        Always within ``[base * (1-jitter), max_delay_s]``; with no RNG
+        the un-jittered base is returned (deterministic mode).
+        """
+        base = self.base_backoff_s(attempt)
+        if rng is None or self.jitter == 0.0:
+            return base
+        scaled = base * (1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0))
+        return min(scaled, self.max_delay_s)
+
+
+class RetryBudget:
+    """Global retry accounting: a storm can never amplify load unboundedly.
+
+    The budget grows with served requests (``budget_ratio`` per request
+    plus ``min_budget`` slack) and every retry spends one token.  The
+    invariant — ``retries_spent <= min_budget + budget_ratio *
+    requests_seen`` at all times — is property-tested.
+    """
+
+    def __init__(self, policy: RetryPolicy) -> None:
+        self.policy = policy
+        self.requests_seen = 0
+        self.retries_spent = 0
+
+    @property
+    def allowance(self) -> float:
+        return self.policy.min_budget + self.policy.budget_ratio * self.requests_seen
+
+    def record_request(self, n: int = 1) -> None:
+        self.requests_seen += int(n)
+
+    def try_spend(self) -> bool:
+        """Spend one retry token if the budget allows; False otherwise."""
+        if self.retries_spent + 1 > self.allowance:
+            return False
+        self.retries_spent += 1
+        return True
+
+
+# ------------------------------------------------------------------ breaker
+#: Circuit-breaker states, in escalation order.  The numeric values are
+#: what ``serve.breaker_state{policy}`` exports.
+BREAKER_CLOSED = "closed"
+BREAKER_HALF_OPEN = "half_open"
+BREAKER_OPEN = "open"
+
+BREAKER_STATE_VALUES = {BREAKER_CLOSED: 0, BREAKER_HALF_OPEN: 1, BREAKER_OPEN: 2}
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Trip/recovery policy of one :class:`CircuitBreaker`.
+
+    ``cooldown`` is in the units of the clock driving the breaker — the
+    gateway drives breakers with its tick counter, so a cooldown of 8
+    means "stay open for 8 control ticks before probing".
+    """
+
+    window: int = 16
+    failure_rate_threshold: float = 0.5
+    #: The rolling window must hold at least this many outcomes before
+    #: the rate condition can trip (a single early failure is not 100%).
+    min_samples: int = 4
+    consecutive_failures: int = 3
+    cooldown: float = 8.0
+    half_open_probes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if not 0.0 < self.failure_rate_threshold <= 1.0:
+            raise ValueError(
+                f"failure_rate_threshold must be in (0, 1], got "
+                f"{self.failure_rate_threshold}"
+            )
+        if self.min_samples < 1 or self.consecutive_failures < 1:
+            raise ValueError("min_samples and consecutive_failures must be >= 1")
+        if self.cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {self.cooldown}")
+        if self.half_open_probes < 1:
+            raise ValueError(
+                f"half_open_probes must be >= 1, got {self.half_open_probes}"
+            )
+
+
+class CircuitBreaker:
+    """Closed/open/half-open state machine guarding one policy route.
+
+    CLOSED admits everything and trips OPEN on either condition:
+    ``consecutive_failures`` errors in a row, or a failure rate of at
+    least ``failure_rate_threshold`` over a rolling window holding
+    ``min_samples``+ outcomes.  OPEN admits nothing until ``cooldown``
+    clock units have passed, then transitions to HALF_OPEN, which
+    admits up to ``half_open_probes`` probe requests: all must succeed
+    to close; any failure re-opens (and restarts the cooldown).
+    """
+
+    def __init__(self, config: Optional[BreakerConfig] = None, *, gauge=None) -> None:
+        self.config = config if config is not None else BreakerConfig()
+        self.state = BREAKER_CLOSED
+        self.opened_at: float = 0.0
+        self.consecutive = 0
+        self.trips = 0
+        self._window: Deque[bool] = deque(maxlen=self.config.window)
+        self._probes_issued = 0
+        self._probes_succeeded = 0
+        # Optional serve.breaker_state{policy} gauge child.
+        self._gauge = gauge
+        self._export()
+
+    def _export(self) -> None:
+        if self._gauge is not None:
+            self._gauge.set(BREAKER_STATE_VALUES[self.state])
+
+    def _set_state(self, state: str, now: float) -> None:
+        self.state = state
+        if state == BREAKER_OPEN:
+            self.opened_at = now
+            self.trips += 1
+        if state in (BREAKER_HALF_OPEN, BREAKER_OPEN):
+            self._probes_issued = 0
+            self._probes_succeeded = 0
+        if state == BREAKER_CLOSED:
+            self._window.clear()
+            self.consecutive = 0
+        self._export()
+
+    @property
+    def failure_rate(self) -> float:
+        if not self._window:
+            return 0.0
+        return sum(self._window) / len(self._window)
+
+    def allow(self, now: float) -> bool:
+        """Whether a request may be routed through this breaker at ``now``."""
+        if self.state == BREAKER_CLOSED:
+            return True
+        if self.state == BREAKER_OPEN:
+            if now - self.opened_at >= self.config.cooldown:
+                self._set_state(BREAKER_HALF_OPEN, now)
+            else:
+                return False
+        # HALF_OPEN: a bounded probe quota.
+        if self._probes_issued < self.config.half_open_probes:
+            self._probes_issued += 1
+            return True
+        return False
+
+    def record_success(self, now: float) -> None:
+        if self.state == BREAKER_HALF_OPEN:
+            self._probes_succeeded += 1
+            if self._probes_succeeded >= self.config.half_open_probes:
+                self._set_state(BREAKER_CLOSED, now)
+            return
+        if self.state == BREAKER_CLOSED:
+            self.consecutive = 0
+            self._window.append(False)
+
+    def record_failure(self, now: float) -> None:
+        if self.state == BREAKER_HALF_OPEN:
+            # A failed probe re-opens immediately and restarts cooldown.
+            self._set_state(BREAKER_OPEN, now)
+            return
+        if self.state != BREAKER_CLOSED:
+            return
+        self.consecutive += 1
+        self._window.append(True)
+        rate_trips = (
+            len(self._window) >= self.config.min_samples
+            and self.failure_rate >= self.config.failure_rate_threshold
+        )
+        if self.consecutive >= self.config.consecutive_failures or rate_trips:
+            self._set_state(BREAKER_OPEN, now)
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(state={self.state}, trips={self.trips}, "
+            f"failure_rate={self.failure_rate:.2f})"
+        )
+
+
+# ------------------------------------------------------------------- config
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Everything the gateway needs to serve through failures.
+
+    ``fallbacks`` is the degraded-mode route chain tried, in order, when
+    a client's primary route fails (errors/timeouts after retries, or an
+    open breaker): e.g. ``("dqn@1", "baseline:thermostat")`` falls back
+    to a pinned prior revision, then the thermostat.  A client whose
+    whole chain is unavailable holds its previous action — every tick
+    still yields an action, degraded, flagged, and counted.
+
+    ``deadline_s`` is the per-request latency budget enforced at the
+    batcher flush (retry backoff spends it too).  ``max_inflight``
+    bounds the batcher's pending queue — requests beyond it are shed
+    with an explicit Rejected outcome instead of queueing unboundedly.
+    ``auto_rollback`` retracts a revision published via
+    :meth:`~repro.serve.gateway.FleetGateway.swap` whose breaker trips
+    while it is the latest (a failed canary rolls back without
+    disturbing the prior incumbent).
+    """
+
+    deadline_s: Optional[float] = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+    fallbacks: Tuple[str, ...] = ()
+    max_inflight: Optional[int] = None
+    auto_rollback: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "fallbacks", tuple(self.fallbacks))
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(f"deadline_s must be > 0, got {self.deadline_s}")
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {self.max_inflight}"
+            )

@@ -68,6 +68,10 @@ class ServeStats:
         self._requests = catalog_metric(self.registry, "serve.requests_total")
         self._env_steps = catalog_metric(self.registry, "serve.env_steps_total")
         self._swaps = catalog_metric(self.registry, "serve.swaps_total")
+        self._errors = catalog_metric(self.registry, "serve.errors_total")
+        self._retries = catalog_metric(self.registry, "serve.retries_total")
+        self._fallbacks = catalog_metric(self.registry, "serve.fallbacks_total")
+        self._shed = catalog_metric(self.registry, "serve.shed_total")
         self._started_at: Optional[float] = None
         self._stopped_at: Optional[float] = None
 
@@ -98,6 +102,22 @@ class ServeStats:
         """Count one hot-swap (a policy republished mid-session)."""
         self._swaps.inc()
 
+    def record_error(self, kind: str) -> None:
+        """Count one request that resolved without an action."""
+        self._errors.labels(kind=kind).inc()
+
+    def record_retry(self, n: int = 1) -> None:
+        """Count retry attempts issued by the resilience layer."""
+        self._retries.inc(int(n))
+
+    def record_fallback(self, route: str) -> None:
+        """Count one tick answered through a degraded route."""
+        self._fallbacks.labels(route=route).inc()
+
+    def record_shed(self, n: int = 1) -> None:
+        """Count requests rejected by admission control."""
+        self._shed.inc(int(n))
+
     # ----------------------------------------------------------- aggregates
     @property
     def latencies_s(self) -> List[float]:
@@ -127,6 +147,36 @@ class ServeStats:
     @property
     def swaps(self) -> int:
         return int(self._swaps.value)
+
+    @property
+    def errors_by_kind(self) -> Dict[str, int]:
+        return {
+            labels["kind"]: int(child.value)
+            for labels, child in self._errors.series()
+        }
+
+    @property
+    def total_errors(self) -> int:
+        return sum(self.errors_by_kind.values())
+
+    @property
+    def retries(self) -> int:
+        return int(self._retries.value)
+
+    @property
+    def fallbacks_by_route(self) -> Dict[str, int]:
+        return {
+            labels["route"]: int(child.value)
+            for labels, child in self._fallbacks.series()
+        }
+
+    @property
+    def total_fallbacks(self) -> int:
+        return sum(self.fallbacks_by_route.values())
+
+    @property
+    def shed(self) -> int:
+        return int(self._shed.value)
 
     @property
     def total_requests(self) -> int:
@@ -183,6 +233,12 @@ class ServeStats:
             "throughput_rps": self.throughput_rps,
             "latency_ms": self.latency_quantiles_ms(),
             "requests_per_policy": dict(sorted(self.requests_per_policy.items())),
+            "resilience": {
+                "errors": dict(sorted(self.errors_by_kind.items())),
+                "retries": self.retries,
+                "fallbacks": dict(sorted(self.fallbacks_by_route.items())),
+                "shed": self.shed,
+            },
         }
 
     def render(self) -> str:
@@ -200,6 +256,16 @@ class ServeStats:
         ]
         if summary["swaps"]:
             lines.append(f"hot swaps: {summary['swaps']}")
+        res = summary["resilience"]
+        if res["errors"] or res["retries"] or res["fallbacks"] or res["shed"]:
+            errors = ", ".join(f"{k}={v}" for k, v in res["errors"].items()) or "0"
+            fallbacks = (
+                ", ".join(f"{k}={v}" for k, v in res["fallbacks"].items()) or "0"
+            )
+            lines.append(
+                f"degraded: errors [{errors}]  retries={res['retries']}  "
+                f"fallbacks [{fallbacks}]  shed={res['shed']}"
+            )
         if summary["requests_per_policy"]:
             body = [
                 [key, str(count)]

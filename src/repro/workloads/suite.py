@@ -135,12 +135,19 @@ class SuiteJob:
     fleet: int
     seed: int
     max_batch: int = 64
+    #: Serve-side chaos profile name replayed through the resilience
+    #: ladder ("none" keeps the lean gateway path).
+    chaos: str = "none"
+    chaos_seed: Optional[int] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.scenario, str):
             object.__setattr__(self, "scenario", get_scenario(self.scenario))
         if isinstance(self.fault, str):
             object.__setattr__(self, "fault", get_fault_profile(self.fault))
+        from repro.serve.chaos import get_chaos_profile
+
+        get_chaos_profile(self.chaos)  # fail on typos at expansion time
 
 
 @dataclass
@@ -257,7 +264,27 @@ def build_suite_gateway(job: SuiteJob):
     tel = get_telemetry()
     if tel.enabled:
         stats = ServeStats(registry=tel.registry)
-    return FleetGateway(vec_env, registry, route, config=config, stats=stats)
+    # Chaos cells replay through the resilience ladder: batched routes
+    # fall back to the thermostat baseline so every replayed tick still
+    # yields an action, bit-reproducibly (seeded chaos/retry streams +
+    # deterministic batching).
+    chaos = None
+    resilience = None
+    if job.chaos != "none":
+        from repro.serve import ResilienceConfig
+        from repro.serve.chaos import get_chaos_profile
+
+        seed = job.chaos_seed if job.chaos_seed is not None else job.seed
+        chaos = get_chaos_profile(job.chaos).build(seed)
+        if chaos is not None:
+            fallbacks = () if route.startswith("baseline:") else (
+                "baseline:thermostat",
+            )
+            resilience = ResilienceConfig(fallbacks=fallbacks, seed=seed)
+    return FleetGateway(
+        vec_env, registry, route, config=config, stats=stats,
+        resilience=resilience, chaos=chaos,
+    )
 
 
 def run_suite_job(job: SuiteJob, trace: WorkloadTrace) -> SuiteRow:

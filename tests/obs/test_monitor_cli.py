@@ -211,3 +211,62 @@ class TestObsDetect:
         )
         assert code == 2
         assert capsys.readouterr().err
+
+
+RESILIENCE_SERIES = (
+    "serve.errors_total",
+    "serve.retries_total",
+    "serve.fallbacks_total",
+    "serve.shed_total",
+    "serve.breaker_state",
+)
+
+
+class TestResilienceMetricsRoundTrip:
+    """The five resilience series flow stats -> snapshot -> exposition -> check."""
+
+    def test_chaos_loadtest_exports_resilience_series(self, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        code = main(
+            ["loadtest", "--fleet", "6", "--steps", "10", "--deterministic",
+             "--chaos", "failing-plus-stalls", "--chaos-seed", "3",
+             "--fallback", "baseline:thermostat", "--metrics", str(metrics)]
+        )
+        assert code == 0
+        snap = json.loads(metrics.read_text())["metrics"]
+        for name in RESILIENCE_SERIES:
+            assert name in snap, f"{name} missing from exported snapshot"
+        errors = sum(
+            s["value"] for s in snap["serve.errors_total"]["series"]
+        )
+        fallbacks = sum(
+            s["value"] for s in snap["serve.fallbacks_total"]["series"]
+        )
+        assert errors > 0, "chaos must surface as counted errors"
+        assert fallbacks > 0, "the fallback chain must be exercised"
+
+        # Round trip: snapshot -> prometheus exposition -> obs check.
+        prom = tmp_path / "metrics.prom"
+        capsys.readouterr()
+        assert main(
+            ["obs", "export", "--metrics", str(metrics), "--out", str(prom)]
+        ) == 0
+        text = prom.read_text()
+        for name in RESILIENCE_SERIES:
+            assert name.replace(".", "_") in text
+        assert main(["obs", "check", "--prometheus", str(prom)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_degraded_slo_preset_passes_under_chaos(self, tmp_path, capsys):
+        verdict = tmp_path / "slo.json"
+        code = main(
+            ["loadtest", "--fleet", "6", "--steps", "10", "--deterministic",
+             "--chaos", "failing-plus-stalls", "--chaos-seed", "3",
+             "--fallback", "baseline:thermostat",
+             "--slo", "serve-degraded", "--sample-every", "0.01",
+             "--samples", str(tmp_path / "s.jsonl"), "--slo-out", str(verdict)]
+        )
+        assert code == 0
+        payload = json.loads(verdict.read_text())
+        assert payload["slo"] == "serve-degraded"
+        assert payload["ok"] is True

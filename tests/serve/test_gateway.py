@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.core import DQNAgent
-from repro.serve import FleetGateway, MicroBatcherConfig, default_registry
+from repro.serve import (
+    FleetGateway,
+    MicroBatcherConfig,
+    ResilienceConfig,
+    default_registry,
+)
+from repro.serve.chaos import BrokenPolicy, ChaosInjector, FlushStall
 from repro.sim import VectorHVACEnv, build_fleet
 
 
@@ -157,6 +163,55 @@ class TestPartialTicks:
         gateway.reset()
         gateway.tick(active=[1])
         assert gateway.stats.requests_per_policy == {"baseline:thermostat": 1}
+
+
+class TestDegradedHoldLast:
+    """Timeout / breaker-rejected clients hold their last action — they are
+    never silently zeroed, matching the inactive-client hold-last path."""
+
+    def resilient_gateway(self, n=3, **res_kwargs):
+        vec = make_fleet(n)
+        registry = make_registry(vec)
+        resilience = ResilienceConfig(**res_kwargs)
+        gateway = FleetGateway(
+            vec, registry, "dqn", config=DETERMINISTIC, resilience=resilience
+        )
+        gateway.reset()
+        return gateway
+
+    def test_timeout_clients_hold_last_action(self):
+        gateway = self.resilient_gateway(deadline_s=0.05)
+        gateway.tick()  # healthy tick establishes held actions
+        held = np.array(gateway.last_actions, copy=True)
+        # Every flush now stalls for 1 s of virtual latency — all requests
+        # blow the 50 ms deadline, retries included.
+        gateway.batcher.chaos = ChaosInjector(
+            [FlushStall(probability=1.0, stall_s=1.0)], seed=0
+        )
+        gateway.tick()
+        assert gateway.stats.errors_by_kind["timeout"] > 0
+        assert np.array_equal(gateway.last_actions, held)
+
+    def test_breaker_rejected_clients_hold_last_action(self):
+        gateway = self.resilient_gateway(auto_rollback=False)
+        gateway.tick()
+        held = np.array(gateway.last_actions, copy=True)
+        gateway.swap("dqn", BrokenPolicy(), validate=False)
+        for _ in range(5):
+            gateway.tick()
+            assert np.array_equal(gateway.last_actions, held)
+        stats = gateway.stats
+        assert stats.fallbacks_by_route.get("hold-last", 0) > 0
+        assert stats.env_steps == 6 * gateway.n_clients
+
+    def test_degraded_partial_tick_holds_inactive_and_rejected(self):
+        gateway = self.resilient_gateway()
+        gateway.tick()
+        held = np.array(gateway.last_actions, copy=True)
+        gateway.swap("dqn", BrokenPolicy(), validate=False)
+        gateway.tick(active=[0, 2])
+        # Inactive client 1 held; degraded actives 0 and 2 held too.
+        assert np.array_equal(gateway.last_actions, held)
 
     def test_out_of_range_active_indices_raise(self):
         vec = make_fleet(2)

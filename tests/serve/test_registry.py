@@ -161,6 +161,95 @@ class TestVersioning:
         assert "dqn@2" not in registry
 
 
+class TestTransactionalSwap:
+    def probe(self):
+        return np.zeros(6)
+
+    def test_publish_with_probe_validates(self):
+        registry = PolicyRegistry()
+        version = registry.publish("dqn", make_agent(), probe_obs=self.probe())
+        assert version.key == "dqn@1"
+
+    def test_probe_failure_leaves_registry_untouched(self):
+        class Broken:
+            def select_action(self, obs, explore=False):
+                raise RuntimeError("poisoned weights")
+
+        registry = PolicyRegistry()
+        registry.publish("dqn", make_agent(0))
+        with pytest.raises(CheckpointFormatError, match="probe inference"):
+            registry.publish("dqn", Broken(), probe_obs=self.probe())
+        assert registry.latest_rev("dqn") == 1
+        assert "dqn@2" not in registry
+
+    def test_non_finite_probe_action_rejected(self):
+        class NaNPolicy:
+            def select_action(self, obs, explore=False):
+                return np.array([np.nan])
+
+        registry = PolicyRegistry()
+        with pytest.raises(CheckpointFormatError, match="non-finite"):
+            registry.publish("bad", NaNPolicy(), probe_obs=self.probe())
+        assert "bad" not in registry
+
+    def test_truncated_json_swap_mid_serve(self, tmp_path):
+        """Regression: a half-written checkpoint swapped mid-serve must
+        raise CheckpointFormatError and leave the incumbent serving."""
+        registry = PolicyRegistry()
+        incumbent = registry.publish("dqn", make_agent(0))
+        pinned = registry.resolve("dqn")  # an in-flight batch's view
+        text = json.dumps(make_agent(1).state_dict(include_buffer=False))
+        path = tmp_path / "half.json"
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(CheckpointFormatError, match="corrupt or truncated"):
+            registry.load_checkpoint("dqn", path, probe_obs=self.probe())
+        # Incumbent untouched: bare name and the pinned key still serve.
+        assert registry.latest_rev("dqn") == 1
+        assert registry.resolve("dqn").policy is incumbent.policy
+        assert registry.resolve(pinned.key).policy is incumbent.policy
+
+    def test_load_checkpoint_with_probe_accepts_good_file(self, tmp_path):
+        agent = make_agent(5)
+        path = write_json(
+            tmp_path / "good.json", agent.state_dict(include_buffer=False)
+        )
+        registry = PolicyRegistry()
+        version = registry.load_checkpoint("dqn", path, probe_obs=self.probe())
+        assert version.key == "dqn@1"
+
+
+class TestRollback:
+    def test_rollback_demotes_head_keeps_pins(self):
+        registry = PolicyRegistry()
+        first = registry.publish("dqn", make_agent(0))
+        second = registry.publish("dqn", make_agent(1))
+        restored = registry.rollback("dqn")
+        assert restored.policy is first.policy
+        assert registry.resolve("dqn").rev == 1
+        # The retired canary stays pinned-resolvable for in-flight work.
+        assert registry.resolve("dqn@2").policy is second.policy
+
+    def test_publish_after_rollback_becomes_new_head(self):
+        registry = PolicyRegistry()
+        registry.publish("dqn", make_agent(0))
+        registry.publish("dqn", make_agent(1))
+        registry.rollback("dqn")
+        third = registry.publish("dqn", make_agent(2))
+        assert third.rev == 3
+        assert registry.resolve("dqn").rev == 3
+
+    def test_rollback_at_first_revision_raises(self):
+        registry = PolicyRegistry()
+        registry.publish("dqn", make_agent())
+        with pytest.raises(ValueError, match="no revision before"):
+            registry.rollback("dqn")
+
+    def test_rollback_unknown_name_raises(self):
+        registry = PolicyRegistry()
+        with pytest.raises(KeyError, match="unknown policy"):
+            registry.rollback("ghost")
+
+
 class TestBaselines:
     def test_default_registry_names_match_campaign_vocabulary(self):
         registry = default_registry()

@@ -1,0 +1,237 @@
+"""Resilience primitives: backoff, retry budget, breaker state machine.
+
+Hypothesis properties pin the invariants the ISSUE names — backoff is
+monotone-capped, jitter stays within bounds, the breaker never
+half-opens before its cooldown, the retry budget is never exceeded —
+and a scripted-clock transition-table test walks the breaker through
+every closed/open/half-open edge deterministically.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    BREAKER_STATE_VALUES,
+    BreakerConfig,
+    CircuitBreaker,
+    RequestFailed,
+    ResilienceConfig,
+    RetryBudget,
+    RetryPolicy,
+    retry_stream,
+)
+
+
+class TestRetryPolicy:
+    def test_defaults_valid(self):
+        RetryPolicy()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay_s": -0.1},
+            {"max_delay_s": 0.01, "base_delay_s": 0.02},
+            {"multiplier": 0.5},
+            {"jitter": 1.5},
+            {"budget_ratio": -1.0},
+        ],
+    )
+    def test_rejects_bad_config(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        base=st.floats(0.001, 0.5),
+        cap_mult=st.floats(1.0, 100.0),
+        multiplier=st.floats(1.0, 10.0),
+        attempt=st.integers(1, 200),
+    )
+    def test_backoff_monotone_and_capped(self, base, cap_mult, multiplier, attempt):
+        policy = RetryPolicy(
+            base_delay_s=base, max_delay_s=base * cap_mult, multiplier=multiplier
+        )
+        prev = policy.base_backoff_s(attempt)
+        nxt = policy.base_backoff_s(attempt + 1)
+        assert nxt >= prev, "backoff must be monotone non-decreasing"
+        assert prev <= policy.max_delay_s + 1e-12, "backoff must respect the cap"
+        assert np.isfinite(prev) and np.isfinite(nxt)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        jitter=st.floats(0.0, 1.0),
+        attempt=st.integers(1, 50),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_jitter_within_bounds(self, jitter, attempt, seed):
+        policy = RetryPolicy(jitter=jitter)
+        rng = retry_stream(seed)
+        base = policy.base_backoff_s(attempt)
+        delay = policy.backoff_s(attempt, rng=rng)
+        lo = base * (1.0 - jitter) - 1e-12
+        hi = min(base * (1.0 + jitter), policy.max_delay_s) + 1e-12
+        assert lo <= delay <= hi
+
+    def test_backoff_without_rng_is_base(self):
+        policy = RetryPolicy()
+        assert policy.backoff_s(2) == policy.base_backoff_s(2)
+
+    def test_retry_stream_deterministic(self):
+        assert retry_stream(7).random() == retry_stream(7).random()
+        assert retry_stream(7).random() != retry_stream(8).random()
+
+
+class TestRetryBudget:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ratio=st.floats(0.0, 1.0),
+        min_budget=st.integers(0, 10),
+        events=st.lists(st.booleans(), max_size=200),
+    )
+    def test_budget_never_exceeded(self, ratio, min_budget, events):
+        policy = RetryPolicy(budget_ratio=ratio, min_budget=min_budget)
+        budget = RetryBudget(policy)
+        for is_request in events:
+            if is_request:
+                budget.record_request()
+            else:
+                budget.try_spend()
+            assert budget.retries_spent <= budget.allowance, (
+                "retry budget invariant violated"
+            )
+
+    def test_spend_denied_when_exhausted(self):
+        budget = RetryBudget(RetryPolicy(budget_ratio=0.0, min_budget=1))
+        assert budget.try_spend()
+        assert not budget.try_spend()
+
+
+def scripted_breaker(**kwargs):
+    config = BreakerConfig(
+        window=8,
+        failure_rate_threshold=0.5,
+        min_samples=4,
+        consecutive_failures=3,
+        cooldown=5.0,
+        half_open_probes=2,
+        **kwargs,
+    )
+    return CircuitBreaker(config)
+
+
+class TestBreakerTransitionTable:
+    """Deterministic scripted-clock walk through every edge."""
+
+    def test_full_transition_table(self):
+        br = scripted_breaker()
+        # t0-t2: three consecutive failures trip CLOSED -> OPEN.
+        assert br.state == BREAKER_CLOSED
+        for t in range(3):
+            assert br.allow(t)
+            br.record_failure(t)
+        assert br.state == BREAKER_OPEN
+        assert br.trips == 1
+        # t3-t7: cooldown (5 ticks from t2) holds the breaker open.
+        for t in range(3, 7):
+            assert not br.allow(t), f"breaker must stay open at t={t}"
+            assert br.state == BREAKER_OPEN
+        # t7: cooldown elapsed -> HALF_OPEN, probe quota admits 2 then denies.
+        assert br.allow(7)
+        assert br.state == BREAKER_HALF_OPEN
+        assert br.allow(7)
+        assert not br.allow(7), "probe quota exceeded"
+        # One probe failure re-opens immediately and restarts cooldown.
+        br.record_failure(7)
+        assert br.state == BREAKER_OPEN
+        assert br.trips == 2
+        assert not br.allow(8)
+        # t12: cooldown again -> HALF_OPEN; both probes succeed -> CLOSED.
+        assert br.allow(12)
+        br.record_success(12)
+        assert br.state == BREAKER_HALF_OPEN, "one probe is not enough"
+        assert br.allow(12)
+        br.record_success(12)
+        assert br.state == BREAKER_CLOSED
+        # Window and consecutive counters reset on close.
+        assert br.failure_rate == 0.0
+        assert br.consecutive == 0
+
+    def test_failure_rate_trip(self):
+        br = scripted_breaker()
+        # Alternate success/failure: never 3 consecutive, but the rolling
+        # rate reaches 50% at 4+ samples.
+        br.record_success(0)
+        br.record_failure(1)
+        br.record_success(2)
+        assert br.state == BREAKER_CLOSED
+        br.record_failure(3)
+        assert br.state == BREAKER_OPEN, "rate condition must trip at 2/4"
+
+    def test_rate_needs_min_samples(self):
+        br = scripted_breaker()
+        br.record_failure(0)  # 1/1 = 100% but only one sample
+        assert br.state == BREAKER_CLOSED
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        cooldown=st.integers(1, 20),
+        probe_delay=st.integers(0, 40),
+    )
+    def test_never_half_opens_before_cooldown(self, cooldown, probe_delay):
+        br = CircuitBreaker(BreakerConfig(cooldown=float(cooldown)))
+        for t in range(3):
+            br.record_failure(t)
+        assert br.state == BREAKER_OPEN
+        opened = br.opened_at
+        admitted = br.allow(opened + probe_delay)
+        if probe_delay < cooldown:
+            assert not admitted
+            assert br.state == BREAKER_OPEN
+        else:
+            assert admitted
+            assert br.state == BREAKER_HALF_OPEN
+
+    def test_gauge_exports_state(self):
+        class FakeGauge:
+            def __init__(self):
+                self.value = None
+
+            def set(self, v):
+                self.value = v
+
+        gauge = FakeGauge()
+        br = CircuitBreaker(BreakerConfig(cooldown=1.0), gauge=gauge)
+        assert gauge.value == BREAKER_STATE_VALUES[BREAKER_CLOSED]
+        for t in range(3):
+            br.record_failure(t)
+        assert gauge.value == BREAKER_STATE_VALUES[BREAKER_OPEN]
+        br.allow(10)
+        assert gauge.value == BREAKER_STATE_VALUES[BREAKER_HALF_OPEN]
+
+
+class TestResilienceConfig:
+    def test_defaults(self):
+        config = ResilienceConfig()
+        assert config.deadline_s is None
+        assert config.fallbacks == ()
+        assert config.auto_rollback
+
+    def test_fallbacks_normalized_to_tuple(self):
+        config = ResilienceConfig(fallbacks=["a", "b"])
+        assert config.fallbacks == ("a", "b")
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"deadline_s": 0.0}, {"max_inflight": 0}]
+    )
+    def test_rejects_bad_config(self, kwargs):
+        with pytest.raises(ValueError):
+            ResilienceConfig(**kwargs)
+
+    def test_request_failed_is_runtime_error(self):
+        assert issubclass(RequestFailed, RuntimeError)

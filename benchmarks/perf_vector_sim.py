@@ -82,7 +82,57 @@ def _time_scalar(weather, n_envs: int, n_steps: int) -> float:
     return time.perf_counter() - start
 
 
-def run_benchmark(n_envs: int = 64, n_steps: int = 96, repeats: int = 3) -> dict:
+def _time_fleet(weather, n_envs: int, n_steps: int, backend=None) -> float:
+    """Steady-state aggregate env-steps/sec for one fleet size.
+
+    One warmup step runs outside the timed window so the propagator
+    build (and a jit backend's compilation) doesn't bill the steady
+    state the metric is about.
+    """
+    vec = VectorHVACEnv(
+        [_make_env(weather, seed) for seed in range(n_envs)], backend=backend
+    )
+    vec.reset()
+    action = np.ones((n_envs, 1), dtype=int)
+    vec.step(action)
+    start = time.perf_counter()
+    for _ in range(n_steps):
+        vec.step(action)
+    return n_envs * n_steps / (time.perf_counter() - start)
+
+
+def run_fleet_scale(sizes, n_steps: int = 8, backend=None) -> dict:
+    """SoA fleet-scaling sweep: steps/s per size plus the scaling ratio.
+
+    ``fleet_scaling_efficiency`` is (steps/s at the largest size) over
+    (steps/s at the smallest): a machine-independent ratio that collapses
+    toward 1 if per-env Python work sneaks back into the step path, so
+    it is the gated metric; the absolute per-size numbers are recorded
+    for trend-reading.
+    """
+    weather = generate_weather(
+        SyntheticWeatherConfig(), start_day_of_year=213, n_days=3, rng=42
+    )
+    steps_per_s = {}
+    for n in sizes:
+        steps_per_s[str(n)] = _time_fleet(weather, n, n_steps, backend=backend)
+    smallest, largest = str(sizes[0]), str(sizes[-1])
+    return {
+        "fleet_sizes": list(sizes),
+        "fleet_n_steps": n_steps,
+        "fleet_steps_per_s": steps_per_s,
+        "fleet_largest_env_steps_per_s": steps_per_s[largest],
+        "fleet_scaling_efficiency": steps_per_s[largest] / steps_per_s[smallest],
+    }
+
+
+def run_benchmark(
+    n_envs: int = 64,
+    n_steps: int = 96,
+    repeats: int = 3,
+    fleet_sizes=(1000, 4000, 10000),
+    fleet_steps: int = 8,
+) -> dict:
     """Best-of-``repeats`` timing for both execution models."""
     weather = generate_weather(
         SyntheticWeatherConfig(), start_day_of_year=213, n_days=3, rng=42
@@ -92,7 +142,7 @@ def run_benchmark(n_envs: int = 64, n_steps: int = 96, repeats: int = 3) -> dict
     construction_s = min(run[1] for run in vector_runs)
     scalar_s = min(_time_scalar(weather, n_envs, n_steps) for _ in range(repeats))
     total_env_steps = n_envs * n_steps
-    return {
+    record = {
         "benchmark": "vector_sim",
         "n_envs": n_envs,
         "n_steps": n_steps,
@@ -106,6 +156,9 @@ def run_benchmark(n_envs: int = 64, n_steps: int = 96, repeats: int = 3) -> dict
         "speedup_including_construction": scalar_s / (vector_s + construction_s),
         **machine_info(),
     }
+    if fleet_sizes:
+        record.update(run_fleet_scale(sorted(fleet_sizes), fleet_steps))
+    return record
 
 
 def main(argv=None) -> int:
@@ -119,9 +172,29 @@ def main(argv=None) -> int:
         default=5.0,
         help="fail (exit 1) below this vector/scalar speedup; 0 disables",
     )
+    parser.add_argument(
+        "--fleet-sizes",
+        type=str,
+        default="1000,4000,10000",
+        help=(
+            "comma-separated fleet sizes for the SoA scaling sweep "
+            "(empty string skips it)"
+        ),
+    )
+    parser.add_argument(
+        "--fleet-steps",
+        type=int,
+        default=8,
+        help="timed control steps per fleet size (one warmup step extra)",
+    )
     args = parser.parse_args(argv)
+    fleet_sizes = tuple(
+        int(s) for s in args.fleet_sizes.split(",") if s.strip()
+    )
 
-    record = run_benchmark(args.n_envs, args.n_steps, args.repeats)
+    record = run_benchmark(
+        args.n_envs, args.n_steps, args.repeats, fleet_sizes, args.fleet_steps
+    )
     out_path, root_path = write_bench_record(BENCH_NAME, record)
 
     print(
@@ -135,6 +208,14 @@ def main(argv=None) -> int:
         f"{record['speedup_including_construction']:.1f}x including the "
         f"{record['vector_construction_seconds']:.3f}s one-time fleet setup"
     )
+    if "fleet_steps_per_s" in record:
+        for size, rate in record["fleet_steps_per_s"].items():
+            print(f"  fleet {int(size):>6,}: {rate:>12,.0f} env-steps/s")
+        print(
+            f"  fleet scaling efficiency "
+            f"({record['fleet_sizes'][-1]:,} vs {record['fleet_sizes'][0]:,}): "
+            f"{record['fleet_scaling_efficiency']:.2f}x"
+        )
     print(f"  recorded in {out_path} and {root_path}")
     if args.min_speedup and record["speedup"] < args.min_speedup:
         print(

@@ -10,11 +10,12 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-hvac",
-    version="1.0.0",
+    version="1.1.0",
     description=(
         "Reproduction of 'Deep Reinforcement Learning for Building HVAC "
-        "Control' (DAC 2017): simulator, DQN stack, fleet engine, "
-        "experiment store"
+        "Control' (DAC 2017): simulator, DQN stack, SoA fleet engine with "
+        "pluggable compute backends, experiment store, serving tier, "
+        "telemetry, and workload replay"
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),

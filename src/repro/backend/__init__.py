@@ -1,0 +1,56 @@
+"""Pluggable array-compute backends for the fleet hot paths.
+
+The simulation core (:class:`~repro.sim.BatchRCNetwork`,
+:class:`~repro.sim.VectorHVACEnv`) and the neural stack
+(:mod:`repro.nn`) express their array math against a small protocol —
+matmul, where, gather/scatter, reductions, RNG-free elementwise math —
+instead of importing numpy directly.  A backend implements that
+protocol; the registry selects one **at construction time**:
+
+* ``"numpy"`` (default, always available): the operations are the numpy
+  functions themselves, so the default path is bit-identical to the
+  pre-seam code.  Golden trajectories pin this.
+* ``"jax"`` (optional, never required): jit-compiled XLA execution with
+  float64 enabled, for GPU-ready 10k+ building fleets.  Registered even
+  when jax is missing; resolving it then raises
+  :class:`BackendUnavailableError` naming the usable alternatives.
+
+Usage::
+
+    from repro.backend import get_backend
+    env = VectorHVACEnv(envs, backend="numpy")      # explicit default
+    net = MLP(8, (64,), 4, backend=get_backend())    # shared instance
+
+Randomness never crosses the seam: every RNG draw stays with the
+component that owns the ``numpy.random.Generator`` stream.
+"""
+
+from repro.backend.base import (
+    ArrayBackend,
+    BackendSpec,
+    BackendUnavailableError,
+    DEFAULT_BACKEND_NAME,
+    available_backends,
+    get_backend,
+    list_backends,
+    register_backend,
+)
+from repro.backend.jax_backend import JaxBackend, jax_available
+from repro.backend.numpy_backend import NumpyBackend
+
+register_backend("numpy", NumpyBackend)
+register_backend("jax", JaxBackend, available=jax_available)
+
+__all__ = [
+    "ArrayBackend",
+    "BackendSpec",
+    "BackendUnavailableError",
+    "DEFAULT_BACKEND_NAME",
+    "NumpyBackend",
+    "JaxBackend",
+    "available_backends",
+    "get_backend",
+    "jax_available",
+    "list_backends",
+    "register_backend",
+]

@@ -1,0 +1,144 @@
+"""The array-ops protocol and backend registry.
+
+:class:`ArrayBackend` is the seam between the fleet hot paths (batched
+RC dynamics, vector-env step math, ``nn`` forward/backward) and the
+array library executing them.  A backend binds a small, RNG-free set of
+operations — matmul, where, gather/scatter, reductions, elementwise
+math — plus conversion helpers and an optional ``jit`` hook.
+
+The contract that makes the seam safe:
+
+* The **numpy** backend's operations *are* the ``numpy`` functions, so
+  code routed through the seam on the default backend is bit-identical
+  to the direct numpy expression it replaced (the golden-trajectory
+  fixtures pin this).
+* Backends never own randomness.  RNG draws stay with the components
+  that hold the ``numpy.random.Generator`` streams; only the pure array
+  arithmetic crosses the seam.
+* A backend is selected **at construction** of the consuming object
+  (``BatchRCNetwork(..., backend=...)``, ``MLP(..., backend=...)``) and
+  never required: everything defaults to numpy.
+
+Registering a backend::
+
+    from repro.backend import register_backend
+    register_backend("mylib", _factory, available=_probe)
+
+``get_backend`` resolves ``None`` (default), a name, or an instance, so
+constructors can simply pass their ``backend`` argument through.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Union
+
+import numpy as np
+
+DEFAULT_BACKEND_NAME = "numpy"
+
+
+class BackendUnavailableError(RuntimeError):
+    """Raised when a registered backend's library cannot be imported."""
+
+
+class ArrayBackend:
+    """Base class for array-ops backends.
+
+    Concrete backends assign the operation attributes (``matmul``,
+    ``where``, ...) to their library's functions.  The base class
+    provides only the conversion/``jit`` defaults that are commonly
+    identity functions.
+    """
+
+    #: Registry name; also used in ``repr`` and error messages.
+    name: str = "abstract"
+
+    # -------------------------------------------------------- conversions
+    def asarray(self, x, dtype=None):
+        """Convert ``x`` to this backend's array type."""
+        raise NotImplementedError
+
+    def to_numpy(self, x) -> np.ndarray:
+        """Materialize a backend array as a host ``numpy.ndarray``."""
+        return np.asarray(x)
+
+    def jit(self, fn: Callable) -> Callable:
+        """Compile a pure array function (identity for eager backends)."""
+        return fn
+
+    # ----------------------------------------------------------- indexing
+    def gather(self, a, indices, axis: int):
+        """``take_along_axis``: gather entries of ``a`` along ``axis``."""
+        raise NotImplementedError
+
+    def scatter(self, a, mask, values):
+        """Return ``a`` with ``values`` written where ``mask`` holds.
+
+        Functional form of ``a[mask] = values`` (backends with immutable
+        arrays return a new array; numpy mutates a copy).
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+BackendSpec = Union[None, str, ArrayBackend]
+
+_FACTORIES: Dict[str, Callable[[], ArrayBackend]] = {}
+_AVAILABILITY: Dict[str, Callable[[], bool]] = {}
+_INSTANCES: Dict[str, ArrayBackend] = {}
+
+
+def register_backend(
+    name: str,
+    factory: Callable[[], ArrayBackend],
+    *,
+    available: Optional[Callable[[], bool]] = None,
+) -> None:
+    """Register (or replace) a backend factory under ``name``.
+
+    ``factory`` is called lazily on first :func:`get_backend` and the
+    instance is cached.  ``available`` is an import-free probe used by
+    :func:`available_backends`; when it returns False, ``get_backend``
+    raises :class:`BackendUnavailableError` instead of calling the
+    factory.
+    """
+    key = str(name)
+    _FACTORIES[key] = factory
+    _AVAILABILITY[key] = available if available is not None else (lambda: True)
+    _INSTANCES.pop(key, None)
+
+
+def list_backends() -> List[str]:
+    """Names of every registered backend (available or not)."""
+    return sorted(_FACTORIES)
+
+
+def available_backends() -> List[str]:
+    """Names of registered backends whose library imports on this host."""
+    return [name for name in list_backends() if _AVAILABILITY[name]()]
+
+
+def get_backend(spec: BackendSpec = None) -> ArrayBackend:
+    """Resolve a backend from ``None`` (default), a name, or an instance.
+
+    ``None`` returns the numpy default — the only backend a deployment
+    is guaranteed to have.  Instances pass through unchanged so an
+    already-constructed backend can be shared across objects.
+    """
+    if isinstance(spec, ArrayBackend):
+        return spec
+    name = DEFAULT_BACKEND_NAME if spec is None else str(spec)
+    if name not in _FACTORIES:
+        raise KeyError(
+            f"unknown backend {name!r}; registered: {list_backends()}"
+        )
+    if name not in _INSTANCES:
+        if not _AVAILABILITY[name]():
+            raise BackendUnavailableError(
+                f"backend {name!r} is registered but its library is not "
+                f"importable on this host; available: {available_backends()}"
+            )
+        _INSTANCES[name] = _FACTORIES[name]()
+    return _INSTANCES[name]

@@ -1,0 +1,86 @@
+"""Optional jit-compiled backend over ``jax`` (never required).
+
+The factory imports jax lazily; on hosts without jax the backend stays
+registered but unavailable (``get_backend("jax")`` raises
+:class:`~repro.backend.base.BackendUnavailableError` with the list of
+usable backends).  Double precision is enabled at construction so jax
+results track the float64 numpy path closely; exact bit-parity is only
+guaranteed for the numpy backend, which is why the default never
+changes.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend
+
+
+def jax_available() -> bool:
+    """True when the jax library is importable on this host."""
+    return importlib.util.find_spec("jax") is not None
+
+
+class JaxBackend(ArrayBackend):
+    """XLA-compiled backend: same protocol, ``jax.numpy`` operations."""
+
+    name = "jax"
+
+    def __init__(self) -> None:
+        import jax
+        import jax.numpy as jnp
+
+        # Fleet state is float64 end to end; keep jax from silently
+        # downcasting to float32 (the default) before comparisons.
+        jax.config.update("jax_enable_x64", True)
+        self._jax = jax
+        self._jnp = jnp
+
+        self.asarray = jnp.asarray
+        self.zeros = jnp.zeros
+        self.ones = jnp.ones
+        self.full = jnp.full
+        self.arange = jnp.arange
+        self.matmul = jnp.matmul
+        self.einsum = jnp.einsum
+        self.where = jnp.where
+        self.sum = jnp.sum
+        self.mean = jnp.mean
+        self.max = jnp.max
+        self.min = jnp.min
+        self.argmax = jnp.argmax
+        self.any = jnp.any
+        self.all = jnp.all
+        self.add = jnp.add
+        self.subtract = jnp.subtract
+        self.multiply = jnp.multiply
+        self.divide = jnp.divide
+        self.power = jnp.power
+        self.maximum = jnp.maximum
+        self.minimum = jnp.minimum
+        self.clip = jnp.clip
+        self.abs = jnp.abs
+        self.exp = jnp.exp
+        self.sqrt = jnp.sqrt
+        self.tanh = jnp.tanh
+        self.sin = jnp.sin
+        self.cos = jnp.cos
+
+    def to_numpy(self, x) -> np.ndarray:
+        return np.asarray(x)
+
+    def jit(self, fn):
+        return self._jax.jit(fn)
+
+    def transpose(self, a, axes=None):
+        return self._jnp.transpose(a, axes)
+
+    def gather(self, a, indices, axis: int):
+        return self._jnp.take_along_axis(
+            self._jnp.asarray(a), self._jnp.asarray(indices), axis=axis
+        )
+
+    def scatter(self, a, mask, values):
+        return self._jnp.asarray(a).at[self._jnp.asarray(mask)].set(values)

@@ -1,0 +1,74 @@
+"""The default numpy backend: the ops *are* the numpy functions.
+
+Every operation attribute is bound directly to the corresponding
+``numpy`` callable, so any expression routed through this backend is
+byte-identical to the plain numpy expression it replaced — the property
+the golden-trajectory fixtures and the scalar/vector parity tests pin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend
+
+
+class NumpyBackend(ArrayBackend):
+    """Eager host-side backend over ``numpy`` (the default everywhere)."""
+
+    name = "numpy"
+
+    # Conversions: ``asarray`` doubles as the no-copy device transfer.
+    asarray = staticmethod(np.asarray)
+
+    def to_numpy(self, x) -> np.ndarray:
+        return np.asarray(x)
+
+    # Construction.
+    zeros = staticmethod(np.zeros)
+    ones = staticmethod(np.ones)
+    full = staticmethod(np.full)
+    arange = staticmethod(np.arange)
+
+    # Linear algebra.
+    matmul = staticmethod(np.matmul)
+    einsum = staticmethod(np.einsum)
+
+    def transpose(self, a, axes=None):
+        return np.transpose(a, axes)
+
+    # Selection and indexing.
+    where = staticmethod(np.where)
+
+    def gather(self, a, indices, axis: int):
+        return np.take_along_axis(np.asarray(a), np.asarray(indices), axis=axis)
+
+    def scatter(self, a, mask, values):
+        out = np.array(a, copy=True)
+        out[np.asarray(mask)] = values
+        return out
+
+    # Reductions.
+    sum = staticmethod(np.sum)
+    mean = staticmethod(np.mean)
+    max = staticmethod(np.max)
+    min = staticmethod(np.min)
+    argmax = staticmethod(np.argmax)
+    any = staticmethod(np.any)
+    all = staticmethod(np.all)
+
+    # Elementwise math (RNG-free by protocol).
+    add = staticmethod(np.add)
+    subtract = staticmethod(np.subtract)
+    multiply = staticmethod(np.multiply)
+    divide = staticmethod(np.divide)
+    power = staticmethod(np.power)
+    maximum = staticmethod(np.maximum)
+    minimum = staticmethod(np.minimum)
+    clip = staticmethod(np.clip)
+    abs = staticmethod(np.abs)
+    exp = staticmethod(np.exp)
+    sqrt = staticmethod(np.sqrt)
+    tanh = staticmethod(np.tanh)
+    sin = staticmethod(np.sin)
+    cos = staticmethod(np.cos)

@@ -17,6 +17,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from repro.backend import ArrayBackend, BackendSpec, get_backend
 from repro.nn.initializers import he_uniform, xavier_uniform
 from repro.nn.layers import Layer, Linear, ReLU, Sequential, Tanh
 from repro.nn.parameter import Parameter
@@ -41,6 +42,7 @@ class DuelingMLP(Layer):
         *,
         activation: str = "relu",
         rng: RandomState | int | None = None,
+        backend: BackendSpec = None,
     ) -> None:
         if activation not in _ACTIVATIONS:
             raise ValueError(
@@ -53,6 +55,7 @@ class DuelingMLP(Layer):
         self.out_dim = int(out_dim)
         self.hidden = tuple(int(h) for h in hidden)
         self.activation = activation
+        self.backend: ArrayBackend = get_backend(backend)
 
         hidden_init = he_uniform if activation == "relu" else xavier_uniform
         act_cls = _ACTIVATIONS[activation]
@@ -66,18 +69,20 @@ class DuelingMLP(Layer):
                     rng=derive_rng(rng, f"trunk{i}"),
                     weight_init=hidden_init,
                     name=f"trunk{i}",
+                    backend=self.backend,
                 )
             )
-            layers.append(act_cls())
+            layers.append(act_cls(backend=self.backend))
             prev = width
         self._trunk = Sequential(layers)
         self._value_head = Linear(
             prev, 1, rng=derive_rng(rng, "value"), weight_init=xavier_uniform,
-            name="value_head",
+            name="value_head", backend=self.backend,
         )
         self._adv_head = Linear(
             prev, self.out_dim, rng=derive_rng(rng, "advantage"),
             weight_init=xavier_uniform, name="advantage_head",
+            backend=self.backend,
         )
 
     # ------------------------------------------------------------- forward
@@ -134,7 +139,7 @@ class DuelingMLP(Layer):
         """Create a new network with identical architecture and weights."""
         twin = DuelingMLP(
             self.in_dim, self.hidden, self.out_dim,
-            activation=self.activation, rng=0,
+            activation=self.activation, rng=0, backend=self.backend,
         )
         twin.copy_weights_from(self)
         return twin

@@ -47,7 +47,11 @@ def golden_actions(
     (it is seed-independent within a scenario).
     """
     space = get_scenario(scenario_name).build(GOLDEN_ENV_SEED).action_space
-    salt = sum(scenario_name.encode()) % 997
+    # Digest-derived salt: byte-sum salting collides on anagram names
+    # (the bug fixed in repro.utils.seeding.derive_rng), so scenario
+    # names hash through sha256 here too.
+    digest = hashlib.sha256(scenario_name.encode("utf-8")).digest()
+    salt = int.from_bytes(digest[:8], "little")
     actions = []
     for k in range(n_envs):
         rng = np.random.default_rng([GOLDEN_ACTION_SEED, salt, k])

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.backend import ArrayBackend, BackendSpec, get_backend
 from repro.env.hvac_env import (
     _GHI_SCALE,
     _OUT_CENTER_C,
@@ -146,9 +147,22 @@ class VectorHVACEnv:
         episode's first observation; the terminal observation is kept in
         ``info.terminal_obs``.  When False, finished environments freeze
         (zero reward, ``done`` stays True) until :meth:`reset`.
+    backend:
+        Array-compute backend (name, instance, or ``None`` for the
+        default numpy backend) executing the batched step arithmetic.
+        On the numpy default the math is bit-identical to the scalar
+        envs; jit-capable backends compile the step kernel once at
+        construction.  Randomness never crosses the seam — resets and
+        forecast noise always consume the member envs' own generators.
     """
 
-    def __init__(self, envs: Sequence[HVACEnv], *, autoreset: bool = True) -> None:
+    def __init__(
+        self,
+        envs: Sequence[HVACEnv],
+        *,
+        autoreset: bool = True,
+        backend: BackendSpec = None,
+    ) -> None:
         if not envs:
             raise ValueError("need at least one environment")
         for env in envs:
@@ -165,8 +179,11 @@ class VectorHVACEnv:
         n = self.n_envs = len(self.envs)
         self.dt_seconds = dts.pop()
         self._dt_hours = self.dt_seconds / 3600.0
+        self.backend: ArrayBackend = get_backend(backend)
 
-        self.batch_net = BatchRCNetwork([env.building.network for env in self.envs])
+        self.batch_net = BatchRCNetwork(
+            [env.building.network for env in self.envs], backend=self.backend
+        )
         z = self.max_zones = self.batch_net.max_zones
         self.n_zones = self.batch_net.n_zones
         self.zone_mask = self.batch_net.zone_mask
@@ -211,6 +228,8 @@ class VectorHVACEnv:
 
         self._build_time_tables()
         self._build_obs_groups()
+        self._build_forecast_columns()
+        self._step_core = self._make_step_core()
 
         # ------------------------------------------------------ dynamic state
         self._temps = np.zeros((n, z))
@@ -318,6 +337,29 @@ class VectorHVACEnv:
         self.max_obs_dim = int(self.obs_dims.max())
         self.max_horizon = max(env.config.forecast_horizon for env in self.envs)
 
+    def _build_forecast_columns(self) -> None:
+        """Columnar per-lead noise scales so forecast math batches.
+
+        Each member env owns a :class:`~repro.weather.forecast.ForecastProvider`
+        with per-lead noise stds; copying those scales into ``(n_envs,
+        max_horizon)`` columns lets :meth:`_assemble_obs` do the forecast
+        arithmetic for a whole observation group at once.  Only the raw
+        standard-normal draws stay per-env (they must consume each env's
+        own forecast generator, exactly as a scalar env would).
+        """
+        n, h_max = self.n_envs, self.max_horizon
+        self._horizons = np.array(
+            [env.config.forecast_horizon for env in self.envs], dtype=int
+        )
+        self._f_temp_scales = np.zeros((n, max(h_max, 1)))
+        self._f_ghi_scales = np.zeros((n, max(h_max, 1)))
+        for k, env in enumerate(self.envs):
+            h = env.config.forecast_horizon
+            if h > 0:
+                self._f_temp_scales[k, :h] = env._forecast._temp_scales
+                self._f_ghi_scales[k, :h] = env._forecast._ghi_scales
+        self._f_leads = np.arange(1, h_max + 1)
+
     # ----------------------------------------------------------- properties
     @property
     def homogeneous(self) -> bool:
@@ -414,16 +456,17 @@ class VectorHVACEnv:
         ghi_scaled = self._ghi[indices, i] / _GHI_SCALE
         price_scaled = self._price[indices, i] / _PRICE_SCALE
 
-        f_temp = f_ghi = None
+        noise = None
         if self.max_horizon > 0:
-            f_temp = np.zeros((self.n_envs, self.max_horizon))
-            f_ghi = np.zeros((self.n_envs, self.max_horizon))
+            # The one irreducible per-env loop: the raw normal draws must
+            # come from each env's own forecast generator, in env order,
+            # exactly as the scalar envs would consume them.  All forecast
+            # *arithmetic* happens columnarly per group below.
+            noise = np.zeros((self.n_envs, 2 * self.max_horizon))
             for k in indices:
-                h = self.envs[k].config.forecast_horizon
-                if h > 0:
-                    ft, fg = self.envs[k]._forecast.forecast(int(self._idx[k]))
-                    f_temp[k, :h] = ft
-                    f_ghi[k, :h] = fg
+                if self._horizons[k] > 0:
+                    h = self._horizons[k]
+                    noise[k, : 2 * h] = self.envs[k]._forecast.draw_noise()
 
         member = np.zeros(self.n_envs, dtype=bool)
         member[indices] = True
@@ -446,14 +489,125 @@ class VectorHVACEnv:
             obs[sel, col + 1] = ghi_scaled[p]
             obs[sel, col + 2] = price_scaled[p]
             if h > 0:
-                obs[sel, col + 3 : col + 3 + h] = (
-                    f_temp[np.ix_(sel, range(h))] - _OUT_CENTER_C
-                ) / _OUT_SCALE_C
-                obs[sel, col + 3 + h : col + 3 + 2 * h] = (
-                    f_ghi[np.ix_(sel, range(h))] / _GHI_SCALE
+                # Forecast base values come from the fleet weather tables
+                # (bit-equal to each provider's series); leads past the
+                # trace end persist the last sample, as the scalar
+                # provider does.
+                j = np.minimum(
+                    self._idx[sel][:, None] + self._f_leads[:h][None, :],
+                    (self._trace_len[sel] - 1)[:, None],
                 )
+                f_temp = self._temp_out[sel[:, None], j] + (
+                    0.0 + self._f_temp_scales[sel, :h] * noise[sel, 0 : 2 * h : 2]
+                )
+                f_ghi = np.maximum(
+                    self._ghi[sel[:, None], j]
+                    * (1.0 + (0.0 + self._f_ghi_scales[sel, :h] * noise[sel, 1 : 2 * h : 2])),
+                    0.0,
+                )
+                obs[sel, col + 3 : col + 3 + h] = (
+                    f_temp - _OUT_CENTER_C
+                ) / _OUT_SCALE_C
+                obs[sel, col + 3 + h : col + 3 + 2 * h] = f_ghi / _GHI_SCALE
 
     # -------------------------------------------------------------- stepping
+    def _make_step_core(self):
+        """Build the pure batched step kernel, closed over the backend.
+
+        The kernel contains every RNG-free array operation of a control
+        step — plant response, thermal advance, comfort accounting,
+        reward shaping — expressed through the backend's ops so a
+        jit-capable backend compiles it once.  On the numpy default the
+        ops *are* the numpy functions, so the kernel is bit-identical to
+        the scalar envs' arithmetic.  Static fleet columns are captured
+        as backend arrays (constants under jit); per-step inputs arrive
+        as arguments.
+        """
+        b = self.backend
+        dt = self.dt_seconds
+        dt_hours = self._dt_hours
+        flow_table = b.asarray(self._flow_table)
+        supply = b.asarray(self._supply_temp)
+        oaf = b.asarray(self._oaf)
+        cop = b.asarray(self._cop)
+        fan_scale = b.asarray(self._fan_scale)
+        plant_max_flow = b.asarray(self._plant_max_flow)
+        aperture = b.asarray(self._aperture)
+        occ_low = b.asarray(self._occ_low)
+        occ_high = b.asarray(self._occ_high)
+        set_low = b.asarray(self._set_low)
+        set_high = b.asarray(self._set_high)
+        comfort_w = b.asarray(self._comfort_weight)
+        cost_w = b.asarray(self._cost_weight)
+        zone_mask = b.asarray(self.zone_mask)
+        n_zones = b.asarray(self.n_zones)
+        cap = b.asarray(self.batch_net.capacitance)
+        ua = b.asarray(self.batch_net.ua_ambient)
+
+        def step_core(
+            decay, gain, levels, temps, temp_out, ghi, price, occupied, gains, active
+        ):
+            # Plant response (mirrors VAVSystem.zone_heat_w / electric_power_w).
+            flows = b.gather(flow_table, levels, axis=1)
+            hvac_heat = flows * AIR_CP_J_PER_KG_K * (supply[:, None] - temps)
+            total_flow = b.sum(flows, axis=1)
+            frac = total_flow / plant_max_flow
+            fan_power = fan_scale * b.power(frac, 3)
+            safe_total = b.where(total_flow > 0.0, total_flow, 1.0)
+            return_temp = b.sum(flows * temps, axis=1) / safe_total
+            mixed = (1.0 - oaf) * return_temp + oaf * temp_out
+            delta = b.maximum(mixed - supply, 0.0)
+            coil_power = b.where(
+                total_flow > 0.0,
+                total_flow * AIR_CP_J_PER_KG_K * delta / cop,
+                0.0,
+            )
+            power_w = fan_power + coil_power
+            energy_kwh = power_w * dt / 3.6e6
+            cost_usd = energy_kwh * price
+
+            # Thermal advance (solar + internal + HVAC heat, zero-order
+            # held) — the batched propagator update, inlined so one
+            # kernel covers the whole step.
+            heat = aperture * ghi[:, None] + gains + hvac_heat
+            forcing = (ua * temp_out[:, None] + heat) / cap
+            stepped = (
+                b.matmul(decay, temps[..., None])[..., 0]
+                + b.matmul(gain, forcing[..., None])[..., 0]
+            )
+            new_temps = b.where(active[:, None], stepped, temps)
+
+            # Comfort accounting on end-of-step temperatures.
+            low = b.where(occupied, occ_low, set_low)
+            high = b.where(occupied, occ_high, set_high)
+            violations = b.maximum(0.0, b.maximum(new_temps - high, low - new_temps))
+            violations = b.where(zone_mask, violations, 0.0)
+            violation_deg_hours = b.sum(violations, axis=1) * dt_hours
+
+            reward = -cost_w * cost_usd - comfort_w * violation_deg_hours
+            cost_share = b.where(
+                total_flow[:, None] > 0.0,
+                flows / safe_total[:, None],
+                zone_mask / n_zones[:, None],
+            )
+            reward_per_zone = (
+                -cost_w[:, None] * cost_usd[:, None] * cost_share
+                - comfort_w[:, None] * violations * dt_hours
+            )
+            reward = b.where(active, reward, 0.0)
+            return (
+                new_temps,
+                power_w,
+                energy_kwh,
+                cost_usd,
+                violations,
+                violation_deg_hours,
+                reward,
+                reward_per_zone,
+            )
+
+        return b.jit(step_core)
+
     def _coerce_actions(self, actions) -> np.ndarray:
         if isinstance(actions, (list, tuple)) and actions and np.ndim(actions[0]) > 0:
             levels = np.zeros((self.n_envs, self.max_zones), dtype=int)
@@ -507,51 +661,35 @@ class VectorHVACEnv:
         hour = self._hour[rows, i]
         dt = self.dt_seconds
 
-        # Plant response (mirrors VAVSystem.zone_heat_w / electric_power_w).
-        flows = self._flow_table[rows[:, None], levels]
-        hvac_heat = flows * AIR_CP_J_PER_KG_K * (self._supply_temp[:, None] - self._temps)
-        total_flow = flows.sum(axis=1)
-        frac = total_flow / self._plant_max_flow
-        fan_power = self._fan_scale * frac**3
-        safe_total = np.where(total_flow > 0.0, total_flow, 1.0)
-        return_temp = (flows * self._temps).sum(axis=1) / safe_total
-        mixed = (1.0 - self._oaf) * return_temp + self._oaf * temp_out
-        delta = np.maximum(mixed - self._supply_temp, 0.0)
-        coil_power = np.where(
-            total_flow > 0.0, total_flow * AIR_CP_J_PER_KG_K * delta / self._cop, 0.0
+        # One backend kernel covers plant response, thermal advance,
+        # comfort accounting, and rewards; the dt-keyed propagators come
+        # from the batch network's LRU cache.
+        decay, gain = self.batch_net._propagators(dt)
+        b = self.backend
+        out = self._step_core(
+            decay,
+            gain,
+            b.asarray(levels),
+            b.asarray(self._temps),
+            b.asarray(temp_out),
+            b.asarray(ghi),
+            b.asarray(price),
+            b.asarray(occupied),
+            b.asarray(gains),
+            b.asarray(active),
         )
-        power_w = fan_power + coil_power
-        energy_kwh = power_w * dt / 3.6e6
-        cost_usd = energy_kwh * price
-
-        # Thermal advance (solar + internal + HVAC heat, zero-order held).
-        heat = self._aperture * ghi[:, None] + gains + hvac_heat
-        new_temps = self.batch_net.step(self._temps, temp_out, heat, dt)
-        new_temps = np.where(active[:, None], new_temps, self._temps)
-
-        # Comfort accounting on end-of-step temperatures.
-        low = np.where(occupied, self._occ_low, self._set_low)
-        high = np.where(occupied, self._occ_high, self._set_high)
-        violations = np.maximum(0.0, np.maximum(new_temps - high, low - new_temps))
-        violations = np.where(self.zone_mask, violations, 0.0)
-        violation_deg_hours = violations.sum(axis=1) * self._dt_hours
-
-        reward = (
-            -self._cost_weight * cost_usd
-            - self._comfort_weight * violation_deg_hours
-        )
-        cost_share = np.where(
-            total_flow[:, None] > 0.0,
-            flows / safe_total[:, None],
-            self.zone_mask / self.n_zones[:, None],
-        )
-        reward_per_zone = (
-            -self._cost_weight[:, None] * cost_usd[:, None] * cost_share
-            - self._comfort_weight[:, None] * violations * self._dt_hours
-        )
+        (
+            new_temps,
+            power_w,
+            energy_kwh,
+            cost_usd,
+            violations,
+            violation_deg_hours,
+            reward,
+            reward_per_zone,
+        ) = (b.to_numpy(x) for x in out)
 
         # Freeze finished envs (autoreset=False) and advance the rest.
-        reward = np.where(active, reward, 0.0)
         self._temps = new_temps
         self._idx = i + active.astype(int)
         self._steps_taken += active.astype(int)
@@ -648,5 +786,5 @@ class VectorHVACEnv:
     def __repr__(self) -> str:
         return (
             f"VectorHVACEnv(n_envs={self.n_envs}, max_zones={self.max_zones}, "
-            f"autoreset={self.autoreset})"
+            f"autoreset={self.autoreset}, backend={self.backend.name!r})"
         )

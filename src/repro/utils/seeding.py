@@ -9,6 +9,7 @@ helpers here create, normalize, and derive generators.
 from __future__ import annotations
 
 import copy
+import hashlib
 
 import numpy as np
 
@@ -26,6 +27,13 @@ def ensure_rng(seed_or_rng: int | RandomState | None) -> RandomState:
         return np.random.default_rng()
     if isinstance(seed_or_rng, np.random.Generator):
         return seed_or_rng
+    # ``isinstance(True, int)`` holds, so without this guard a flag passed
+    # where a seed belongs silently becomes seed 1/0.
+    if isinstance(seed_or_rng, (bool, np.bool_)):
+        raise TypeError(
+            "bool is not a valid seed (True/False would silently become "
+            "seed 1/0); pass an int, a numpy Generator, or None"
+        )
     if isinstance(seed_or_rng, (int, np.integer)):
         return np.random.default_rng(int(seed_or_rng))
     raise TypeError(
@@ -38,13 +46,19 @@ def derive_rng(rng: RandomState, stream: str) -> RandomState:
 
     Components that share one top-level seed must not consume from the same
     stream (otherwise adding a call in one component perturbs another).  We
-    derive a child by drawing a 128-bit seed and folding in a stable hash of
-    the stream name, which keeps children independent and reproducible.
+    derive a child by drawing a 63-bit seed from the parent and folding a
+    SHA-256 digest of the stream name into the seed sequence, so distinct
+    names — including permutations of the same characters — always yield
+    distinct child streams.  (The previous byte-*sum* salt collided on
+    anagram names: ``derive_rng(rng, "ab")`` equalled ``derive_rng(rng,
+    "ba")`` bit for bit.)
     """
-    name_digest = np.frombuffer(stream.encode("utf-8"), dtype=np.uint8)
-    salt = int(name_digest.sum()) + 31 * len(stream)
+    digest = hashlib.sha256(stream.encode("utf-8")).digest()
+    salt_words = [
+        int.from_bytes(digest[i : i + 8], "little") for i in range(0, 32, 8)
+    ]
     seed = rng.integers(0, 2**63 - 1, dtype=np.int64)
-    return np.random.default_rng([int(seed), salt])
+    return np.random.default_rng([int(seed), *salt_words])
 
 
 def rng_state(rng: RandomState) -> dict:

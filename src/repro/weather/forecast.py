@@ -43,23 +43,42 @@ class ForecastProvider:
         self.temp_noise_std_per_step = float(temp_noise_std_per_step)
         self.ghi_relative_noise_per_step = float(ghi_relative_noise_per_step)
         self._rng = ensure_rng(rng)
+        leads = np.arange(1, self.horizon + 1)
+        # Per-lead noise scales: lead k carries std k * noise_per_step.
+        self._temp_scales = self.temp_noise_std_per_step * leads
+        self._ghi_scales = self.ghi_relative_noise_per_step * leads
+        self._leads = leads
 
     def _future_index(self, index: int, lead: int) -> int:
         return min(index + lead, len(self.series) - 1)
 
-    def forecast(self, index: int) -> tuple[np.ndarray, np.ndarray]:
-        """Return ``(temps, ghis)`` for leads ``1..horizon`` from ``index``."""
+    def draw_noise(self) -> np.ndarray:
+        """Draw the raw standard normals one forecast consumes.
+
+        Returns ``2 * horizon`` values interleaved (temp, ghi) per lead —
+        the exact stream consumption of the historical per-lead
+        ``normal()`` call pairs, so callers that split the draw from the
+        arithmetic (the vector env does, to batch the math) stay
+        bit-identical to the scalar path.
+        """
+        return self._rng.standard_normal(2 * self.horizon)
+
+    def forecast_from_noise(
+        self, index: int, noise: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Assemble a forecast from pre-drawn noise (see :meth:`draw_noise`)."""
         if not 0 <= index < len(self.series):
             raise IndexError(f"index {index} out of range for series of {len(self.series)}")
-        temps = np.empty(self.horizon)
-        ghis = np.empty(self.horizon)
-        for k in range(1, self.horizon + 1):
-            j = self._future_index(index, k)
-            temp_noise = self._rng.normal(0.0, self.temp_noise_std_per_step * k)
-            ghi_noise = self._rng.normal(0.0, self.ghi_relative_noise_per_step * k)
-            temps[k - 1] = self.series.temp_out_c[j] + temp_noise
-            ghis[k - 1] = max(self.series.ghi_w_m2[j] * (1.0 + ghi_noise), 0.0)
+        j = np.minimum(index + self._leads, len(self.series) - 1)
+        temp_noise = 0.0 + self._temp_scales * noise[0::2]
+        ghi_noise = 0.0 + self._ghi_scales * noise[1::2]
+        temps = self.series.temp_out_c[j] + temp_noise
+        ghis = np.maximum(self.series.ghi_w_m2[j] * (1.0 + ghi_noise), 0.0)
         return temps, ghis
+
+    def forecast(self, index: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(temps, ghis)`` for leads ``1..horizon`` from ``index``."""
+        return self.forecast_from_noise(index, self.draw_noise())
 
 
 class PerfectForecastProvider(ForecastProvider):

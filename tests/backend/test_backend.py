@@ -1,0 +1,143 @@
+"""Backend protocol, registry, and numpy-op identity tests."""
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    ArrayBackend,
+    BackendUnavailableError,
+    NumpyBackend,
+    available_backends,
+    get_backend,
+    jax_available,
+    list_backends,
+    register_backend,
+)
+
+
+class TestRegistry:
+    def test_default_is_numpy(self):
+        b = get_backend()
+        assert isinstance(b, NumpyBackend)
+        assert b.name == "numpy"
+
+    def test_none_name_and_instance_resolve_to_same_object(self):
+        b = get_backend()
+        assert get_backend("numpy") is b
+        assert get_backend(b) is b
+
+    def test_both_builtin_backends_registered(self):
+        names = list_backends()
+        assert "numpy" in names
+        assert "jax" in names
+
+    def test_numpy_always_available(self):
+        assert "numpy" in available_backends()
+
+    def test_unknown_backend_raises_keyerror(self):
+        with pytest.raises(KeyError, match="unknown backend"):
+            get_backend("not-a-backend")
+
+    def test_unavailable_backend_raises_with_alternatives(self):
+        register_backend(
+            "test-phantom", lambda: NumpyBackend(), available=lambda: False
+        )
+        try:
+            with pytest.raises(BackendUnavailableError, match="numpy"):
+                get_backend("test-phantom")
+        finally:
+            # Leave the global registry as this test found it.
+            from repro.backend import base
+
+            base._FACTORIES.pop("test-phantom", None)
+            base._AVAILABILITY.pop("test-phantom", None)
+            base._INSTANCES.pop("test-phantom", None)
+
+    def test_custom_backend_roundtrip(self):
+        class Custom(NumpyBackend):
+            name = "test-custom"
+
+        register_backend("test-custom", Custom)
+        try:
+            b = get_backend("test-custom")
+            assert isinstance(b, Custom)
+            # Cached: same instance on every resolve.
+            assert get_backend("test-custom") is b
+        finally:
+            from repro.backend import base
+
+            base._FACTORIES.pop("test-custom", None)
+            base._AVAILABILITY.pop("test-custom", None)
+            base._INSTANCES.pop("test-custom", None)
+
+
+class TestNumpyOps:
+    """The numpy backend must be *the* numpy functions (bit-parity seam)."""
+
+    def test_ops_are_numpy_functions(self):
+        b = get_backend()
+        assert b.matmul is np.matmul
+        assert b.where is np.where
+        assert b.maximum is np.maximum
+        assert b.sum is np.sum
+        assert b.power is np.power
+
+    def test_asarray_is_no_copy(self):
+        b = get_backend()
+        x = np.arange(6.0)
+        assert b.asarray(x) is x
+        assert b.to_numpy(x) is x
+
+    def test_jit_is_identity(self):
+        b = get_backend()
+
+        def f(x):
+            return x + 1
+
+        assert b.jit(f) is f
+
+    def test_gather_matches_fancy_indexing(self, rng):
+        b = get_backend()
+        table = rng.normal(size=(5, 7))
+        idx = rng.integers(0, 7, size=(5, 3))
+        got = b.gather(table, idx, axis=1)
+        rows = np.arange(5)[:, None]
+        np.testing.assert_array_equal(got, table[rows, idx])
+
+    def test_scatter_returns_updated_copy(self):
+        b = get_backend()
+        a = np.zeros(4)
+        mask = np.array([True, False, True, False])
+        out = b.scatter(a, mask, 2.5)
+        np.testing.assert_array_equal(out, [2.5, 0.0, 2.5, 0.0])
+        assert np.all(a == 0.0)  # input untouched
+
+
+@pytest.mark.skipif(not jax_available(), reason="jax not installed")
+class TestJaxBackend:
+    """Exercised only where jax is importable; numerics are approximate."""
+
+    def test_resolves_and_matches_numpy_closely(self, rng):
+        b = get_backend("jax")
+        nb = get_backend()
+        x = rng.normal(size=(4, 3))
+        w = rng.normal(size=(3, 5))
+        np.testing.assert_allclose(
+            b.to_numpy(b.matmul(b.asarray(x), b.asarray(w))),
+            nb.matmul(x, w),
+            rtol=1e-12,
+        )
+
+    def test_jit_compiles_a_kernel(self, rng):
+        b = get_backend("jax")
+
+        def kernel(a, c):
+            return b.sum(b.maximum(a - c, 0.0))
+
+        compiled = b.jit(kernel)
+        x = rng.normal(size=16)
+        np.testing.assert_allclose(
+            float(compiled(b.asarray(x), 0.1)),
+            float(np.sum(np.maximum(x - 0.1, 0.0))),
+            rtol=1e-12,
+        )

@@ -1,0 +1,106 @@
+"""Backend-parity tests: the seam must not move a single bit.
+
+The numpy backend's operations are the numpy functions themselves, so a
+fleet constructed with ``backend="numpy"`` (or an explicit instance)
+must produce *byte-identical* trajectories to the default construction.
+When jax is importable the jax backend is additionally checked against
+numpy within floating-point tolerance (XLA may fuse differently).
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend import NumpyBackend, get_backend, jax_available
+from repro.sim.golden import GOLDEN_ENV_SEED, golden_actions
+from repro.sim.scenarios import build_fleet, get_scenario
+from repro.sim.vector_env import VectorHVACEnv
+
+N_STEPS = 24
+
+
+def _rollout(vec, actions, n_steps=N_STEPS):
+    """Concatenated (obs, rewards, temps) bytes of a fixed-action rollout."""
+    chunks = [vec.reset().tobytes()]
+    for t in range(n_steps):
+        obs, rewards, dones, info = vec.step([a[t] for a in actions])
+        chunks.append(obs.tobytes())
+        chunks.append(rewards.tobytes())
+        chunks.append(info.temps_c.tobytes())
+    return b"".join(chunks)
+
+
+def _fleet(sweep_seed, backend=None):
+    scenario = get_scenario("baseline-tou")
+    seeds = [sweep_seed, sweep_seed + 1]
+    return VectorHVACEnv(
+        build_fleet(scenario, seeds), autoreset=False, backend=backend
+    )
+
+
+class TestNumpyBackendBitParity:
+    def test_explicit_numpy_backend_is_byte_identical(self, sweep_seed):
+        actions = golden_actions("baseline-tou")
+        default = _rollout(_fleet(sweep_seed), actions)
+        explicit = _rollout(_fleet(sweep_seed, backend="numpy"), actions)
+        assert default == explicit
+
+    def test_shared_instance_is_byte_identical(self, sweep_seed):
+        actions = golden_actions("baseline-tou")
+        default = _rollout(_fleet(sweep_seed), actions)
+        shared = _rollout(_fleet(sweep_seed, backend=NumpyBackend()), actions)
+        assert default == shared
+
+    def test_backend_threads_to_batch_net(self):
+        vec = _fleet(GOLDEN_ENV_SEED)
+        assert vec.batch_net.backend is vec.backend
+        assert vec.backend is get_backend("numpy")
+
+
+class TestAgentBackendParity:
+    def test_select_actions_byte_identical_on_explicit_numpy(self, sweep_seed):
+        from repro.core.dqn import DQNAgent
+        from repro.env.spaces import MultiDiscrete
+
+        space = MultiDiscrete([4, 4])
+        a1 = DQNAgent(8, space, rng=sweep_seed)
+        a2 = DQNAgent(8, space, rng=sweep_seed, backend="numpy")
+        obs = np.random.default_rng(sweep_seed).normal(size=(16, 8))
+        acts1 = a1.select_actions(obs)
+        acts2 = a2.select_actions(obs)
+        assert acts1.tobytes() == acts2.tobytes()
+        # Weights initialized identically too (init never crosses the seam).
+        for p1, p2 in zip(a1.online.parameters(), a2.online.parameters()):
+            assert p1.value.tobytes() == p2.value.tobytes()
+
+    def test_mlp_forward_backward_byte_identical(self, sweep_seed):
+        from repro import nn
+
+        n1 = nn.MLP(6, (16, 16), 4, rng=sweep_seed)
+        n2 = nn.MLP(6, (16, 16), 4, rng=sweep_seed, backend="numpy")
+        x = np.random.default_rng(sweep_seed).normal(size=(8, 6))
+        y1, y2 = n1.forward(x), n2.forward(x)
+        assert y1.tobytes() == y2.tobytes()
+        g = np.ones_like(y1)
+        d1, d2 = n1.backward(g), n2.backward(g)
+        assert d1.tobytes() == d2.tobytes()
+        for p1, p2 in zip(n1.parameters(), n2.parameters()):
+            assert p1.grad.tobytes() == p2.grad.tobytes()
+
+
+@pytest.mark.skipif(not jax_available(), reason="jax not installed")
+class TestJaxBackendParity:
+    """Approximate parity only — XLA fusion may reorder float ops."""
+
+    def test_fleet_trajectory_close_to_numpy(self):
+        actions = golden_actions("baseline-tou")
+        vec_np = _fleet(GOLDEN_ENV_SEED)
+        vec_jax = _fleet(GOLDEN_ENV_SEED, backend="jax")
+        obs_np = vec_np.reset()
+        obs_jax = vec_jax.reset()
+        np.testing.assert_allclose(obs_jax, obs_np, rtol=1e-9, atol=1e-9)
+        for t in range(N_STEPS):
+            step_actions = [a[t] for a in actions]
+            o_np, r_np, _, _ = vec_np.step(step_actions)
+            o_jax, r_jax, _, _ = vec_jax.step(step_actions)
+            np.testing.assert_allclose(o_jax, o_np, rtol=1e-9, atol=1e-9)
+            np.testing.assert_allclose(r_jax, r_np, rtol=1e-9, atol=1e-9)

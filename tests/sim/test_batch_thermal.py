@@ -48,6 +48,38 @@ class TestBatchRCNetwork:
         assert batch._propagators(900.0) is first
         assert batch._propagators(450.0) is not first
 
+    def test_propagator_cache_evicts_lru(self, rng):
+        batch = BatchRCNetwork([_random_network(rng, 2)], cache_size=2)
+        p900 = batch._propagators(900.0)
+        batch._propagators(450.0)
+        # Touch 900 so 450 becomes the least recently used...
+        assert batch._propagators(900.0) is p900
+        # ...then a third dt must evict 450, not 900.
+        batch._propagators(300.0)
+        assert set(batch._propagator_cache) == {900.0, 300.0}
+        assert batch._propagators(900.0) is p900
+        # A rebuilt 450 is a fresh pair (it was evicted).
+        assert batch._propagators(450.0) is not p900
+        assert set(batch._propagator_cache) == {900.0, 450.0}
+
+    def test_propagator_cache_single_dt_never_evicted(self, rng):
+        # The fast path keeps the active dt alive no matter how often it
+        # alternates with exactly one other dt at cache_size=1.
+        batch = BatchRCNetwork([_random_network(rng, 2)], cache_size=1)
+        p900 = batch._propagators(900.0)
+        for _ in range(3):
+            assert batch._propagators(900.0) is p900
+        batch._propagators(450.0)
+        assert set(batch._propagator_cache) == {450.0}
+        # Evicted dt still computes correctly when it comes back.
+        rebuilt = batch._propagators(900.0)
+        np.testing.assert_array_equal(rebuilt[0], p900[0])
+        np.testing.assert_array_equal(rebuilt[1], p900[1])
+
+    def test_rejects_bad_cache_size(self, rng):
+        with pytest.raises(ValueError, match="cache_size"):
+            BatchRCNetwork([_random_network(rng, 2)], cache_size=0)
+
     def test_rejects_singular_network(self):
         # A zone fully isolated from ambient makes M singular.
         isolated = RCNetwork(

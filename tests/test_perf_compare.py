@@ -41,10 +41,18 @@ class TestRunCompare:
 
     def test_synthetic_50_percent_regression_fails(self, dirs):
         baseline, current = dirs
-        _write(baseline, "BENCH_vector_sim.json", {"speedup": 9.0})
-        _write(current, "BENCH_vector_sim.json", {"speedup": 4.5})
+        _write(
+            baseline,
+            "BENCH_vector_sim.json",
+            {"speedup": 9.0, "fleet_scaling_efficiency": 1.0},
+        )
+        _write(
+            current,
+            "BENCH_vector_sim.json",
+            {"speedup": 4.5, "fleet_scaling_efficiency": 1.0},
+        )
         ok, regressions, _ = perf_compare.run_compare(baseline, current, 0.30)
-        assert not ok
+        assert len(ok) == 1  # the scaling-efficiency metric held steady
         assert len(regressions) == 1 and "speedup" in regressions[0]
 
     def test_drop_within_tolerance_passes(self, dirs):

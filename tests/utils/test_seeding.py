@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.utils.seeding import derive_rng, ensure_rng
 
@@ -32,6 +34,18 @@ class TestEnsureRng:
         with pytest.raises(TypeError, match="expected int"):
             ensure_rng("seed")  # type: ignore[arg-type]
 
+    @pytest.mark.parametrize("flag", [True, False])
+    def test_rejects_bool_seed(self, flag):
+        # isinstance(True, int) holds — a flag accidentally passed as a
+        # seed must fail loudly instead of becoming seed 1/0.
+        with pytest.raises(TypeError, match="bool is not a valid seed"):
+            ensure_rng(flag)
+
+    @pytest.mark.parametrize("flag", [np.True_, np.False_])
+    def test_rejects_numpy_bool_seed(self, flag):
+        with pytest.raises(TypeError, match="bool is not a valid seed"):
+            ensure_rng(flag)
+
 
 class TestDeriveRng:
     def test_streams_are_independent(self):
@@ -52,3 +66,32 @@ class TestDeriveRng:
         derive_rng(parent, "s")
         after = parent.bit_generator.state["state"]["state"]
         assert before != after
+
+    def test_anagram_stream_names_do_not_collide(self):
+        # Regression: the pre-1.1 byte-sum salt made anagram names produce
+        # bit-identical child streams from the same parent (seed 0).
+        a = derive_rng(ensure_rng(0), "ab").random(16)
+        b = derive_rng(ensure_rng(0), "ba").random(16)
+        assert not np.array_equal(a, b)
+
+    @pytest.mark.parametrize(
+        ("left", "right"),
+        [("ab", "ba"), ("net", "ten"), ("layer01", "layer10"), ("abc", "cba")],
+    )
+    def test_known_anagram_pairs_differ(self, left, right):
+        a = derive_rng(ensure_rng(0), left).random(8)
+        b = derive_rng(ensure_rng(0), right).random(8)
+        assert not np.array_equal(a, b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        names=st.tuples(st.text(max_size=24), st.text(max_size=24)),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_distinct_names_yield_distinct_streams(self, names, seed):
+        left, right = names
+        if left == right:
+            return
+        a = derive_rng(ensure_rng(seed), left).random(8)
+        b = derive_rng(ensure_rng(seed), right).random(8)
+        assert not np.array_equal(a, b)

@@ -40,7 +40,10 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 # metric -> higher_is_better, per benchmark file.  Dotted paths reach
 # into nested objects.
 GATED_METRICS = {
-    "BENCH_vector_sim.json": ["speedup"],
+    # fleet_scaling_efficiency is steps/s at the largest fleet size over
+    # the smallest — a same-run ratio (like the speedups) that collapses
+    # toward 1 if per-env Python work sneaks back into the SoA step path.
+    "BENCH_vector_sim.json": ["speedup", "fleet_scaling_efficiency"],
     "BENCH_serve.json": ["speedup"],
     "BENCH_train.json": ["prioritized_speedup", "ingest_speedup"],
     "BENCH_obs.json": ["serve_enabled_throughput_ratio", "span_throughput_ratio"],
